@@ -1,0 +1,118 @@
+//! Hash functions shared across the index stack.
+//!
+//! Sphinx hashes *inner-node full prefixes* in three places with three
+//! different widths:
+//!
+//! * a 64-bit hash ([`fnv1a64`]) drives consistent-hash placement and the
+//!   Inner Node Hash Table bucket choice;
+//! * a 42-bit **full prefix hash** ([`prefix_hash42`]) lives in the inner
+//!   node header (Fig. 3) and lets clients reject unmatched nodes;
+//! * a 12-bit fingerprint **fp₂** ([`fp12`]) lives in hash entries and in
+//!   the succinct filter cache.
+//!
+//! The fingerprints are carved from independent regions of a single
+//! avalanche-mixed 64-bit hash, so a collision in one does not imply a
+//! collision in another.
+
+/// FNV-1a 64-bit hash.
+///
+/// # Examples
+///
+/// ```
+/// use art_core::hash::fnv1a64;
+///
+/// assert_ne!(fnv1a64(b"lyr"), fnv1a64(b"lyre"));
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Finalizing mixer (Murmur3/SplitMix style) applied on top of FNV to get
+/// good high bits.
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+/// Full 64-bit mixed hash of a prefix — the "primary" hash.
+pub fn prefix_hash64(prefix: &[u8]) -> u64 {
+    mix64(fnv1a64(prefix))
+}
+
+/// The 42-bit full-prefix hash stored in inner-node headers (Fig. 3).
+pub fn prefix_hash42(prefix: &[u8]) -> u64 {
+    prefix_hash64(prefix) & ((1 << 42) - 1)
+}
+
+/// The 12-bit fingerprint fp₂ stored in hash entries and the succinct
+/// filter cache. Never zero (zero is reserved for "empty slot").
+pub fn fp12(prefix: &[u8]) -> u16 {
+    let fp = ((prefix_hash64(prefix) >> 42) & 0xFFF) as u16;
+    if fp == 0 {
+        1
+    } else {
+        fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fp12_in_range_and_never_zero() {
+        for i in 0..5000u32 {
+            let fp = fp12(&i.to_le_bytes());
+            assert!((1..4096).contains(&fp));
+        }
+    }
+
+    #[test]
+    fn hash42_fits_42_bits() {
+        for i in 0..1000u32 {
+            assert!(prefix_hash42(&i.to_le_bytes()) < (1 << 42));
+        }
+    }
+
+    #[test]
+    fn hashes_are_well_distributed() {
+        let mut set = HashSet::new();
+        for i in 0..10_000u32 {
+            set.insert(prefix_hash64(&i.to_le_bytes()));
+        }
+        assert_eq!(set.len(), 10_000, "64-bit hash should have no collisions here");
+    }
+
+    #[test]
+    fn fp_and_hash42_are_independent_regions() {
+        // Find no pair where both collide among distinct short inputs (a
+        // smoke test of the double-collision being "extremely rare").
+        let n = 2000u32;
+        let items: Vec<(u64, u16)> =
+            (0..n).map(|i| (prefix_hash42(&i.to_le_bytes()), fp12(&i.to_le_bytes()))).collect();
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                assert!(
+                    !(items[i].0 == items[j].0 && items[i].1 == items[j].1),
+                    "double collision between {i} and {j}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! CRC-32 (IEEE 802.3) used by leaf-node checksums.
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Computes the IEEE CRC-32 of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use art_core::layout::crc32;
+///
+/// assert_eq!(crc32(b"123456789"), 0xCBF43926);
+/// assert_eq!(crc32(b""), 0);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Incremental CRC-32 over several slices (avoids concatenation).
+pub(crate) fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn parts_equal_whole() {
+        let whole = crc32(b"hello world");
+        let parts = crc32_parts(&[b"hello", b" ", b"world"]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn single_bit_flip_detected() {
+        let a = crc32(b"sphinx leaf payload");
+        let b = crc32(b"sphinx leaf pbyload");
+        assert_ne!(a, b);
+    }
+}

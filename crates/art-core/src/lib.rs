@@ -1,0 +1,43 @@
+//! # art-core — adaptive radix tree building blocks
+//!
+//! Two halves:
+//!
+//! 1. [`LocalArt`]: a complete in-memory Adaptive Radix Tree (Leis et al.,
+//!    ICDE'13) with Node4/16/48/256 adaptive inner nodes, path compression,
+//!    insert/get/remove/range-scan. Used as the correctness oracle in tests
+//!    and as the structural model for the remote trees.
+//! 2. [`layout`]: the serialized on-memory-node formats of Fig. 3 of the
+//!    Sphinx paper — inner-node headers with status/type/prefix-hash,
+//!    8-byte atomic child slots, and checksum-protected leaf nodes. These
+//!    encodings are *pure* (bytes in, bytes out) and shared between the
+//!    Sphinx index and the SMART/ART baselines, which move the bytes over
+//!    the `dm-sim` substrate.
+//!
+//! One deliberate simplification relative to textbook ART: inner nodes here
+//! record their **full prefix** (all bytes from the root) rather than a
+//! compressed fragment plus depth. The structure and adaptivity are
+//! identical, and the full prefix is exactly the quantity Sphinx's Inner
+//! Node Hash Table and Succinct Filter Cache key on.
+//!
+//! ## Example
+//!
+//! ```
+//! use art_core::LocalArt;
+//!
+//! let mut art = LocalArt::new();
+//! art.insert(b"lyrics".to_vec(), 1);
+//! art.insert(b"lyre".to_vec(), 2);
+//! assert_eq!(art.get(b"lyrics"), Some(&1));
+//! let hits: Vec<_> = art.range(b"lyr", b"lyrz").collect();
+//! assert_eq!(hits.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod key;
+pub mod layout;
+mod local;
+
+pub use local::{LocalArt, NodeCensus, NodeKind, PrefixIter, Range};

@@ -1,0 +1,1157 @@
+//! A local (single-process) Adaptive Radix Tree.
+//!
+//! Implements the structure of Leis et al. (ICDE'13): four adaptive inner
+//! node types (Node4/16/48/256) and path compression. Inner nodes store
+//! their *full* prefix (see the crate docs for why), and an inner node may
+//! itself hold a value when a stored key terminates exactly at its prefix —
+//! this is how variable-length keys where one key is a prefix of another
+//! are supported without terminator bytes.
+
+use std::fmt;
+
+use crate::key::common_prefix_len;
+
+/// Which adaptive node type an inner node currently uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeKind {
+    /// Up to 4 children, sorted array.
+    Node4,
+    /// Up to 16 children, sorted array.
+    Node16,
+    /// Up to 48 children, byte-indexed indirection.
+    Node48,
+    /// Direct 256-way dispatch.
+    Node256,
+}
+
+impl NodeKind {
+    /// Maximum child count for this node type.
+    pub fn capacity(self) -> usize {
+        match self {
+            NodeKind::Node4 => 4,
+            NodeKind::Node16 => 16,
+            NodeKind::Node48 => 48,
+            NodeKind::Node256 => 256,
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Node4 => "Node4",
+            NodeKind::Node16 => "Node16",
+            NodeKind::Node48 => "Node48",
+            NodeKind::Node256 => "Node256",
+        };
+        f.write_str(s)
+    }
+}
+
+struct Leaf<V> {
+    key: Vec<u8>,
+    value: V,
+}
+
+struct Inner<V> {
+    /// Full prefix from the root (every key in this subtree starts with it).
+    prefix: Vec<u8>,
+    /// Value for the key equal to `prefix`, if stored.
+    value: Option<V>,
+    children: Children<V>,
+}
+
+enum Node<V> {
+    Leaf(Leaf<V>),
+    Inner(Inner<V>),
+}
+
+type Slot<V> = Option<Box<Node<V>>>;
+
+struct SmallNode<V, const N: usize> {
+    keys: [u8; N],
+    slots: [Slot<V>; N],
+    n: u8,
+}
+
+impl<V, const N: usize> SmallNode<V, N> {
+    fn new() -> Self {
+        SmallNode { keys: [0; N], slots: std::array::from_fn(|_| None), n: 0 }
+    }
+
+    fn position(&self, byte: u8) -> Option<usize> {
+        self.keys[..self.n as usize].iter().position(|&k| k == byte)
+    }
+
+    /// Inserts keeping `keys[..n]` sorted. Caller guarantees space and
+    /// absence of the byte.
+    fn insert(&mut self, byte: u8, node: Box<Node<V>>) {
+        let n = self.n as usize;
+        debug_assert!(n < N);
+        let pos = self.keys[..n].iter().position(|&k| k > byte).unwrap_or(n);
+        for i in (pos..n).rev() {
+            self.keys[i + 1] = self.keys[i];
+            self.slots[i + 1] = self.slots[i].take();
+        }
+        self.keys[pos] = byte;
+        self.slots[pos] = Some(node);
+        self.n += 1;
+    }
+
+    fn remove(&mut self, byte: u8) -> Slot<V> {
+        let pos = self.position(byte)?;
+        let n = self.n as usize;
+        let out = self.slots[pos].take();
+        for i in pos..n - 1 {
+            self.keys[i] = self.keys[i + 1];
+            self.slots[i] = self.slots[i + 1].take();
+        }
+        self.n -= 1;
+        out
+    }
+}
+
+struct Node48<V> {
+    /// `index[b]` is the slot holding byte `b`, or `EMPTY48`.
+    index: Box<[u8; 256]>,
+    slots: Vec<Slot<V>>,
+    n: u8,
+}
+
+const EMPTY48: u8 = 0xFF;
+
+impl<V> Node48<V> {
+    fn new() -> Self {
+        Node48 {
+            index: Box::new([EMPTY48; 256]),
+            slots: (0..48).map(|_| None).collect(),
+            n: 0,
+        }
+    }
+
+    fn insert(&mut self, byte: u8, node: Box<Node<V>>) {
+        debug_assert_eq!(self.index[byte as usize], EMPTY48);
+        let free = self.slots.iter().position(Option::is_none).expect("Node48 has space");
+        self.slots[free] = Some(node);
+        self.index[byte as usize] = free as u8;
+        self.n += 1;
+    }
+
+    fn remove(&mut self, byte: u8) -> Slot<V> {
+        let idx = self.index[byte as usize];
+        if idx == EMPTY48 {
+            return None;
+        }
+        self.index[byte as usize] = EMPTY48;
+        self.n -= 1;
+        self.slots[idx as usize].take()
+    }
+}
+
+struct Node256<V> {
+    slots: Vec<Slot<V>>,
+    n: u16,
+}
+
+impl<V> Node256<V> {
+    fn new() -> Self {
+        Node256 { slots: (0..256).map(|_| None).collect(), n: 0 }
+    }
+}
+
+enum Children<V> {
+    N4(SmallNode<V, 4>),
+    N16(SmallNode<V, 16>),
+    N48(Node48<V>),
+    N256(Node256<V>),
+}
+
+impl<V> Children<V> {
+    fn new() -> Self {
+        Children::N4(SmallNode::new())
+    }
+
+    fn kind(&self) -> NodeKind {
+        match self {
+            Children::N4(_) => NodeKind::Node4,
+            Children::N16(_) => NodeKind::Node16,
+            Children::N48(_) => NodeKind::Node48,
+            Children::N256(_) => NodeKind::Node256,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Children::N4(c) => c.n as usize,
+            Children::N16(c) => c.n as usize,
+            Children::N48(c) => c.n as usize,
+            Children::N256(c) => c.n as usize,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.len() == self.kind().capacity()
+    }
+
+    fn get(&self, byte: u8) -> Option<&Node<V>> {
+        match self {
+            Children::N4(c) => c.position(byte).and_then(|i| c.slots[i].as_deref()),
+            Children::N16(c) => c.position(byte).and_then(|i| c.slots[i].as_deref()),
+            Children::N48(c) => {
+                let idx = c.index[byte as usize];
+                if idx == EMPTY48 {
+                    None
+                } else {
+                    c.slots[idx as usize].as_deref()
+                }
+            }
+            Children::N256(c) => c.slots[byte as usize].as_deref(),
+        }
+    }
+
+    fn get_mut(&mut self, byte: u8) -> Option<&mut Box<Node<V>>> {
+        match self {
+            Children::N4(c) => c.position(byte).and_then(|i| c.slots[i].as_mut()),
+            Children::N16(c) => c.position(byte).and_then(|i| c.slots[i].as_mut()),
+            Children::N48(c) => {
+                let idx = c.index[byte as usize];
+                if idx == EMPTY48 {
+                    None
+                } else {
+                    c.slots[idx as usize].as_mut()
+                }
+            }
+            Children::N256(c) => c.slots[byte as usize].as_mut(),
+        }
+    }
+
+    /// Inserts a child; grows the node type when full.
+    ///
+    /// The caller must ensure `byte` is not already present.
+    fn insert(&mut self, byte: u8, node: Box<Node<V>>) {
+        if self.is_full() {
+            self.grow();
+        }
+        match self {
+            Children::N4(c) => c.insert(byte, node),
+            Children::N16(c) => c.insert(byte, node),
+            Children::N48(c) => c.insert(byte, node),
+            Children::N256(c) => {
+                debug_assert!(c.slots[byte as usize].is_none());
+                c.slots[byte as usize] = Some(node);
+                c.n += 1;
+            }
+        }
+    }
+
+    fn remove(&mut self, byte: u8) -> Slot<V> {
+        let out = match self {
+            Children::N4(c) => c.remove(byte),
+            Children::N16(c) => c.remove(byte),
+            Children::N48(c) => c.remove(byte),
+            Children::N256(c) => {
+                let out = c.slots[byte as usize].take();
+                if out.is_some() {
+                    c.n -= 1;
+                }
+                out
+            }
+        };
+        if out.is_some() {
+            self.maybe_shrink();
+        }
+        out
+    }
+
+    fn grow(&mut self) {
+        let drained: Vec<(u8, Box<Node<V>>)> = self.drain();
+        *self = match self.kind() {
+            NodeKind::Node4 => Children::N16(SmallNode::new()),
+            NodeKind::Node16 => Children::N48(Node48::new()),
+            NodeKind::Node48 => Children::N256(Node256::new()),
+            NodeKind::Node256 => unreachable!("Node256 never grows"),
+        };
+        for (b, n) in drained {
+            self.insert(b, n);
+        }
+    }
+
+    fn maybe_shrink(&mut self) {
+        let target = match (self.kind(), self.len()) {
+            (NodeKind::Node256, n) if n <= 40 => NodeKind::Node48,
+            (NodeKind::Node48, n) if n <= 12 => NodeKind::Node16,
+            (NodeKind::Node16, n) if n <= 3 => NodeKind::Node4,
+            _ => return,
+        };
+        let drained: Vec<(u8, Box<Node<V>>)> = self.drain();
+        *self = match target {
+            NodeKind::Node4 => Children::N4(SmallNode::new()),
+            NodeKind::Node16 => Children::N16(SmallNode::new()),
+            NodeKind::Node48 => Children::N48(Node48::new()),
+            NodeKind::Node256 => unreachable!(),
+        };
+        for (b, n) in drained {
+            self.insert(b, n);
+        }
+    }
+
+    fn drain(&mut self) -> Vec<(u8, Box<Node<V>>)> {
+        let mut out = Vec::with_capacity(self.len());
+        match self {
+            Children::N4(c) => {
+                for i in 0..c.n as usize {
+                    out.push((c.keys[i], c.slots[i].take().expect("occupied")));
+                }
+                c.n = 0;
+            }
+            Children::N16(c) => {
+                for i in 0..c.n as usize {
+                    out.push((c.keys[i], c.slots[i].take().expect("occupied")));
+                }
+                c.n = 0;
+            }
+            Children::N48(c) => {
+                for b in 0..=255u8 {
+                    let idx = c.index[b as usize];
+                    if idx != EMPTY48 {
+                        out.push((b, c.slots[idx as usize].take().expect("occupied")));
+                        c.index[b as usize] = EMPTY48;
+                    }
+                }
+                c.n = 0;
+            }
+            Children::N256(c) => {
+                for b in 0..=255u8 {
+                    if let Some(n) = c.slots[b as usize].take() {
+                        out.push((b, n));
+                    }
+                }
+                c.n = 0;
+            }
+        }
+        out
+    }
+
+    /// Children in ascending byte order.
+    fn iter(&self) -> ChildIter<'_, V> {
+        ChildIter { children: self, byte: 0, done: false }
+    }
+
+    fn take_only_child(&mut self) -> Box<Node<V>> {
+        debug_assert_eq!(self.len(), 1);
+        self.drain().pop().expect("exactly one child").1
+    }
+}
+
+struct ChildIter<'a, V> {
+    children: &'a Children<V>,
+    byte: u8,
+    done: bool,
+}
+
+impl<'a, V> Iterator for ChildIter<'a, V> {
+    type Item = (u8, &'a Node<V>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            let b = self.byte;
+            if self.byte == 255 {
+                self.done = true;
+            } else {
+                self.byte += 1;
+            }
+            if let Some(n) = self.children.get(b) {
+                return Some((b, n));
+            }
+        }
+        None
+    }
+}
+
+/// Per-kind node counts, used for space accounting and structural tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCensus {
+    /// Number of Node4 inner nodes.
+    pub n4: usize,
+    /// Number of Node16 inner nodes.
+    pub n16: usize,
+    /// Number of Node48 inner nodes.
+    pub n48: usize,
+    /// Number of Node256 inner nodes.
+    pub n256: usize,
+    /// Number of leaves (stored key-value pairs living in leaf nodes).
+    pub leaves: usize,
+    /// Number of values stored *inside* inner nodes (key == node prefix).
+    pub inner_values: usize,
+}
+
+impl NodeCensus {
+    /// Total number of inner nodes.
+    pub fn inner_nodes(&self) -> usize {
+        self.n4 + self.n16 + self.n48 + self.n256
+    }
+
+    /// Estimates the MN-side bytes this tree occupies in the remote
+    /// layout (`art_core::layout` node sizes plus 64-byte-aligned leaves),
+    /// before allocator size-class rounding. `avg_key_len`/`value_len`
+    /// size the leaves; values are per the paper's 64-byte payloads.
+    ///
+    /// Used to cross-validate the simulator's allocation accounting and
+    /// to extrapolate Fig. 6 numbers to other scales.
+    pub fn remote_bytes_estimate(&self, avg_key_len: usize, value_len: usize) -> u64 {
+        use crate::layout::{InnerNode, LeafNode};
+        let inner = self.n4 as u64 * InnerNode::byte_size(NodeKind::Node4) as u64
+            + self.n16 as u64 * InnerNode::byte_size(NodeKind::Node16) as u64
+            + self.n48 as u64 * InnerNode::byte_size(NodeKind::Node48) as u64
+            + self.n256 as u64 * InnerNode::byte_size(NodeKind::Node256) as u64;
+        let leaf = LeafNode::encoded_size(avg_key_len, value_len) as u64;
+        inner + (self.leaves + self.inner_values) as u64 * leaf
+    }
+}
+
+/// A local Adaptive Radix Tree mapping byte-string keys to values.
+///
+/// # Examples
+///
+/// ```
+/// use art_core::LocalArt;
+///
+/// let mut art = LocalArt::new();
+/// assert_eq!(art.insert(b"key".to_vec(), 7), None);
+/// assert_eq!(art.insert(b"key".to_vec(), 8), Some(7));
+/// assert_eq!(art.get(b"key"), Some(&8));
+/// assert_eq!(art.remove(b"key"), Some(8));
+/// assert!(art.is_empty());
+/// ```
+pub struct LocalArt<V> {
+    root: Slot<V>,
+    len: usize,
+}
+
+impl<V> Default for LocalArt<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for LocalArt<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalArt").field("len", &self.len).finish_non_exhaustive()
+    }
+}
+
+impl<V> LocalArt<V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        LocalArt { root: None, len: 0 }
+    }
+
+    /// Number of stored key-value pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &[u8]) -> Option<&V> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node {
+                Node::Leaf(l) => return (l.key == key).then_some(&l.value),
+                Node::Inner(inner) => {
+                    if !key.starts_with(&inner.prefix) {
+                        return None;
+                    }
+                    if key.len() == inner.prefix.len() {
+                        return inner.value.as_ref();
+                    }
+                    node = inner.children.get(key[inner.prefix.len()])?;
+                }
+            }
+        }
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Looks up a key, returning a mutable reference to its value.
+    pub fn get_mut(&mut self, key: &[u8]) -> Option<&mut V> {
+        let mut node = self.root.as_deref_mut()?;
+        loop {
+            match node {
+                Node::Leaf(l) => return (l.key == key).then_some(&mut l.value),
+                Node::Inner(inner) => {
+                    if !key.starts_with(&inner.prefix) {
+                        return None;
+                    }
+                    if key.len() == inner.prefix.len() {
+                        return inner.value.as_mut();
+                    }
+                    node = inner.children.get_mut(key[inner.prefix.len()])?;
+                }
+            }
+        }
+    }
+
+    /// The smallest stored entry, if any.
+    pub fn first(&self) -> Option<(&[u8], &V)> {
+        self.iter().next()
+    }
+
+    /// The largest stored entry, if any.
+    pub fn last(&self) -> Option<(&[u8], &V)> {
+        // Walk the rightmost spine directly (iterating everything would be
+        // O(n)).
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node {
+                Node::Leaf(l) => return Some((l.key.as_slice(), &l.value)),
+                Node::Inner(inner) => {
+                    match inner.children.iter().last() {
+                        Some((_, child)) => node = child,
+                        None => {
+                            let v = inner.value.as_ref()?;
+                            return Some((inner.prefix.as_slice(), v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// All entries whose key starts with `prefix`, in ascending order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use art_core::LocalArt;
+    ///
+    /// let mut art = LocalArt::new();
+    /// for w in ["car", "cart", "cat", "dog"] {
+    ///     art.insert(w.as_bytes().to_vec(), ());
+    /// }
+    /// let hits: Vec<&[u8]> = art.prefix_iter(b"ca").map(|(k, _)| k).collect();
+    /// assert_eq!(hits, vec![b"car".as_slice(), b"cart", b"cat"]);
+    /// ```
+    pub fn prefix_iter<'a>(&'a self, prefix: &'a [u8]) -> PrefixIter<'a, V> {
+        PrefixIter { inner: self.range(prefix, UNBOUNDED), prefix }
+    }
+
+    /// Inserts a key-value pair, returning the previous value if the key
+    /// was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` exceeds [`crate::key::MAX_KEY_LEN`].
+    pub fn insert(&mut self, key: Vec<u8>, value: V) -> Option<V> {
+        assert!(key.len() <= crate::key::MAX_KEY_LEN, "key too long");
+        let old = match &mut self.root {
+            None => {
+                self.root = Some(Box::new(Node::Leaf(Leaf { key, value })));
+                None
+            }
+            Some(node) => insert_rec(node, key, value),
+        };
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let out = remove_rec(&mut self.root, key);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// All entries with `start <= key <= end`, in ascending key order.
+    pub fn range<'a>(&'a self, start: &'a [u8], end: &'a [u8]) -> Range<'a, V> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push(Frame::Node(root));
+        }
+        Range { stack, start, end }
+    }
+
+    /// All entries in ascending key order.
+    pub fn iter(&self) -> Range<'_, V> {
+        const EMPTY: &[u8] = &[];
+        // end = [0xFF; MAX] is awkward; instead use an inclusive "all" range
+        // by making `end` empty mean "no upper bound".
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push(Frame::Node(root));
+        }
+        Range { stack, start: EMPTY, end: UNBOUNDED }
+    }
+
+    /// Counts nodes of each kind (structure inspection).
+    pub fn census(&self) -> NodeCensus {
+        let mut c = NodeCensus::default();
+        fn walk<V>(node: &Node<V>, c: &mut NodeCensus) {
+            match node {
+                Node::Leaf(_) => c.leaves += 1,
+                Node::Inner(inner) => {
+                    match inner.children.kind() {
+                        NodeKind::Node4 => c.n4 += 1,
+                        NodeKind::Node16 => c.n16 += 1,
+                        NodeKind::Node48 => c.n48 += 1,
+                        NodeKind::Node256 => c.n256 += 1,
+                    }
+                    if inner.value.is_some() {
+                        c.inner_values += 1;
+                    }
+                    for (_, child) in inner.children.iter() {
+                        walk(child, c);
+                    }
+                }
+            }
+        }
+        if let Some(root) = self.root.as_deref() {
+            walk(root, &mut c);
+        }
+        c
+    }
+
+    /// Visits every inner node's full prefix (used to seed hash tables and
+    /// filters from an existing tree).
+    pub fn visit_inner_prefixes<F: FnMut(&[u8])>(&self, mut f: F) {
+        fn walk<V, F: FnMut(&[u8])>(node: &Node<V>, f: &mut F) {
+            if let Node::Inner(inner) = node {
+                f(&inner.prefix);
+                for (_, child) in inner.children.iter() {
+                    walk(child, f);
+                }
+            }
+        }
+        if let Some(root) = self.root.as_deref() {
+            walk(root, &mut f);
+        }
+    }
+}
+
+impl<V> FromIterator<(Vec<u8>, V)> for LocalArt<V> {
+    fn from_iter<T: IntoIterator<Item = (Vec<u8>, V)>>(iter: T) -> Self {
+        let mut art = LocalArt::new();
+        art.extend(iter);
+        art
+    }
+}
+
+impl<V> Extend<(Vec<u8>, V)> for LocalArt<V> {
+    fn extend<T: IntoIterator<Item = (Vec<u8>, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+fn insert_rec<V>(node: &mut Box<Node<V>>, key: Vec<u8>, value: V) -> Option<V> {
+    match node.as_mut() {
+        Node::Leaf(l) => {
+            if l.key == key {
+                return Some(std::mem::replace(&mut l.value, value));
+            }
+            let cpl = common_prefix_len(&l.key, &key);
+            let new_prefix = key[..cpl].to_vec();
+            let old = std::mem::replace(
+                node,
+                Box::new(Node::Inner(Inner {
+                    prefix: new_prefix,
+                    value: None,
+                    children: Children::new(),
+                })),
+            );
+            let Node::Inner(inner) = node.as_mut() else { unreachable!() };
+            let Node::Leaf(old_leaf) = *old else { unreachable!() };
+            if cpl == old_leaf.key.len() {
+                // old key terminates exactly at the new inner node
+                inner.value = Some(old_leaf.value);
+            } else {
+                let b = old_leaf.key[cpl];
+                inner.children.insert(b, Box::new(Node::Leaf(old_leaf)));
+            }
+            if cpl == key.len() {
+                inner.value = Some(value);
+            } else {
+                let b = key[cpl];
+                inner.children.insert(b, Box::new(Node::Leaf(Leaf { key, value })));
+            }
+            None
+        }
+        Node::Inner(inner) => {
+            let cpl = common_prefix_len(&inner.prefix, &key);
+            if cpl < inner.prefix.len() {
+                // Split: introduce a new inner node above this one.
+                let new_prefix = key[..cpl].to_vec();
+                let old = std::mem::replace(
+                    node,
+                    Box::new(Node::Inner(Inner {
+                        prefix: new_prefix,
+                        value: None,
+                        children: Children::new(),
+                    })),
+                );
+                let Node::Inner(new_inner) = node.as_mut() else { unreachable!() };
+                let old_dispatch = match old.as_ref() {
+                    Node::Inner(i) => i.prefix[cpl],
+                    Node::Leaf(_) => unreachable!("old node is an inner"),
+                };
+                new_inner.children.insert(old_dispatch, old);
+                if cpl == key.len() {
+                    new_inner.value = Some(value);
+                } else {
+                    let b = key[cpl];
+                    new_inner.children.insert(b, Box::new(Node::Leaf(Leaf { key, value })));
+                }
+                None
+            } else if key.len() == inner.prefix.len() {
+                // Key terminates exactly at this node.
+                inner.value.replace(value)
+            } else {
+                let b = key[inner.prefix.len()];
+                if let Some(child) = inner.children.get_mut(b) {
+                    insert_rec(child, key, value)
+                } else {
+                    inner.children.insert(b, Box::new(Node::Leaf(Leaf { key, value })));
+                    None
+                }
+            }
+        }
+    }
+}
+
+fn remove_rec<V>(slot: &mut Slot<V>, key: &[u8]) -> Option<V> {
+    match slot.as_deref()? {
+        Node::Leaf(l) => {
+            if l.key != key {
+                return None;
+            }
+            let boxed = slot.take().expect("slot occupied");
+            let Node::Leaf(l) = *boxed else { unreachable!() };
+            Some(l.value)
+        }
+        Node::Inner(_) => {
+            let mut boxed = slot.take().expect("slot occupied");
+            let removed = {
+                let Node::Inner(inner) = boxed.as_mut() else { unreachable!() };
+                if !key.starts_with(&inner.prefix) {
+                    None
+                } else if key.len() == inner.prefix.len() {
+                    inner.value.take()
+                } else {
+                    let b = key[inner.prefix.len()];
+                    // Recurse through a temporary slot so child deletion is
+                    // uniform.
+                    match inner.children.get_mut(b) {
+                        None => None,
+                        Some(_) => {
+                            let mut child_slot = inner.children.remove(b);
+                            let r = remove_rec(&mut child_slot, key);
+                            if let Some(child) = child_slot {
+                                inner.children.insert(b, child);
+                            }
+                            r
+                        }
+                    }
+                }
+            };
+            if removed.is_some() {
+                let Node::Inner(inner) = boxed.as_mut() else { unreachable!() };
+                match (inner.children.len(), inner.value.is_some()) {
+                    (0, false) => {
+                        // Empty inner: delete it entirely.
+                        return removed;
+                    }
+                    (0, true) => {
+                        // Collapse to a leaf for the prefix key.
+                        let value = inner.value.take().expect("checked");
+                        let key = std::mem::take(&mut inner.prefix);
+                        *slot = Some(Box::new(Node::Leaf(Leaf { key, value })));
+                        return removed;
+                    }
+                    (1, false) => {
+                        // Path compression: splice out this inner node.
+                        let child = inner.children.take_only_child();
+                        *slot = Some(child);
+                        return removed;
+                    }
+                    _ => {}
+                }
+            }
+            *slot = Some(boxed);
+            removed
+        }
+    }
+}
+
+/// Sentinel meaning "no upper bound" for [`LocalArt::iter`].
+const UNBOUNDED: &[u8] = &[0xFF; 64];
+
+enum Frame<'a, V> {
+    Node(&'a Node<V>),
+    Entry(&'a [u8], &'a V),
+}
+
+/// Iterator over entries sharing a key prefix, created by
+/// [`LocalArt::prefix_iter`].
+pub struct PrefixIter<'a, V> {
+    inner: Range<'a, V>,
+    prefix: &'a [u8],
+}
+
+impl<'a, V> Iterator for PrefixIter<'a, V> {
+    type Item = (&'a [u8], &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (k, v) = self.inner.next()?;
+        k.starts_with(self.prefix).then_some((k, v))
+    }
+}
+
+/// Iterator over entries in a key range, in ascending key order.
+///
+/// Created by [`LocalArt::range`] and [`LocalArt::iter`].
+pub struct Range<'a, V> {
+    stack: Vec<Frame<'a, V>>,
+    start: &'a [u8],
+    end: &'a [u8],
+}
+
+impl<'a, V> Range<'a, V> {
+    fn key_in_range(&self, key: &[u8]) -> bool {
+        key >= self.start && (self.end == UNBOUNDED || key <= self.end)
+    }
+
+    /// Whether a subtree whose keys all start with `prefix` can contain
+    /// in-range keys.
+    fn subtree_viable(&self, prefix: &[u8]) -> bool {
+        // All keys in the subtree start with `prefix`, so they are >= prefix.
+        if self.end != UNBOUNDED && prefix > self.end {
+            return false;
+        }
+        // If prefix < start and start does not begin with prefix, every key
+        // in the subtree compares below start.
+        if prefix < self.start && !self.start.starts_with(prefix) {
+            return false;
+        }
+        true
+    }
+}
+
+impl<'a, V> Iterator for Range<'a, V> {
+    type Item = (&'a [u8], &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(frame) = self.stack.pop() {
+            match frame {
+                Frame::Entry(k, v) => return Some((k, v)),
+                Frame::Node(Node::Leaf(l)) => {
+                    if self.key_in_range(&l.key) {
+                        return Some((l.key.as_slice(), &l.value));
+                    }
+                }
+                Frame::Node(Node::Inner(inner)) => {
+                    if !self.subtree_viable(&inner.prefix) {
+                        continue;
+                    }
+                    // Push children in reverse byte order so the smallest
+                    // pops first; the inner value (key == prefix) sorts
+                    // before all children.
+                    let children: Vec<_> = inner.children.iter().collect();
+                    for (_, child) in children.into_iter().rev() {
+                        self.stack.push(Frame::Node(child));
+                    }
+                    if let Some(v) = &inner.value {
+                        if self.key_in_range(&inner.prefix) {
+                            self.stack.push(Frame::Entry(inner.prefix.as_slice(), v));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_basic() {
+        let mut art = LocalArt::new();
+        assert_eq!(art.insert(k("lyrics"), 1), None);
+        assert_eq!(art.insert(k("lyre"), 2), None);
+        assert_eq!(art.insert(k("lyceum"), 3), None);
+        assert_eq!(art.get(b"lyrics"), Some(&1));
+        assert_eq!(art.get(b"lyre"), Some(&2));
+        assert_eq!(art.get(b"lyceum"), Some(&3));
+        assert_eq!(art.get(b"lyr"), None);
+        assert_eq!(art.get(b"lyrical"), None);
+        assert_eq!(art.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_returns_old() {
+        let mut art = LocalArt::new();
+        art.insert(k("a"), 1);
+        assert_eq!(art.insert(k("a"), 2), Some(1));
+        assert_eq!(art.len(), 1);
+    }
+
+    #[test]
+    fn key_that_is_prefix_of_another() {
+        let mut art = LocalArt::new();
+        art.insert(k("lyr"), 10);
+        art.insert(k("lyrics"), 20);
+        assert_eq!(art.get(b"lyr"), Some(&10));
+        assert_eq!(art.get(b"lyrics"), Some(&20));
+        // and the other insertion order
+        let mut art2 = LocalArt::new();
+        art2.insert(k("lyrics"), 20);
+        art2.insert(k("lyr"), 10);
+        assert_eq!(art2.get(b"lyr"), Some(&10));
+        assert_eq!(art2.get(b"lyrics"), Some(&20));
+    }
+
+    #[test]
+    fn empty_key_is_storable() {
+        let mut art = LocalArt::new();
+        art.insert(Vec::new(), 0);
+        art.insert(k("x"), 1);
+        assert_eq!(art.get(b""), Some(&0));
+        assert_eq!(art.remove(b""), Some(0));
+        assert_eq!(art.get(b"x"), Some(&1));
+    }
+
+    #[test]
+    fn node_type_growth() {
+        let mut art = LocalArt::new();
+        for b in 0..=255u8 {
+            art.insert(vec![b, b], b as u32);
+        }
+        let census = art.census();
+        assert_eq!(census.n256, 1);
+        assert_eq!(census.leaves, 256);
+        for b in 0..=255u8 {
+            assert_eq!(art.get(&[b, b]), Some(&(b as u32)));
+        }
+    }
+
+    #[test]
+    fn node_type_shrink_on_remove() {
+        let mut art = LocalArt::new();
+        for b in 0..=255u8 {
+            art.insert(vec![b, b], b as u32);
+        }
+        for b in 5..=255u8 {
+            assert_eq!(art.remove(&[b, b]), Some(b as u32));
+        }
+        let census = art.census();
+        assert_eq!(census.n4 + census.n16, 1, "should have shrunk: {census:?}");
+        for b in 0..5u8 {
+            assert_eq!(art.get(&[b, b]), Some(&(b as u32)));
+        }
+    }
+
+    #[test]
+    fn path_compression_splices_single_child_nodes() {
+        let mut art = LocalArt::new();
+        art.insert(k("compress"), 1);
+        art.insert(k("compute"), 2);
+        art.insert(k("companion"), 3);
+        // root inner prefix should be "comp"
+        let census = art.census();
+        assert_eq!(census.inner_nodes(), 1);
+        art.remove(b"companion");
+        art.remove(b"compute");
+        // single leaf should remain; inner collapsed
+        assert_eq!(art.census().inner_nodes(), 0);
+        assert_eq!(art.get(b"compress"), Some(&1));
+    }
+
+    #[test]
+    fn remove_restores_exact_state() {
+        let mut art = LocalArt::new();
+        art.insert(k("ab"), 1);
+        art.insert(k("abc"), 2);
+        art.insert(k("abd"), 3);
+        assert_eq!(art.remove(b"ab"), Some(1));
+        assert_eq!(art.remove(b"ab"), None);
+        assert_eq!(art.get(b"abc"), Some(&2));
+        assert_eq!(art.get(b"abd"), Some(&3));
+        assert_eq!(art.len(), 2);
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut art = LocalArt::new();
+        art.insert(k("hello"), 1);
+        assert_eq!(art.remove(b"help"), None);
+        assert_eq!(art.remove(b"hell"), None);
+        assert_eq!(art.remove(b"helloo"), None);
+        assert_eq!(art.len(), 1);
+    }
+
+    #[test]
+    fn range_scan_ordered_inclusive() {
+        let mut art = LocalArt::new();
+        for w in ["apple", "banana", "cherry", "date", "elderberry"] {
+            art.insert(k(w), w.len());
+        }
+        let hits: Vec<&[u8]> = art.range(b"banana", b"date").map(|(k, _)| k).collect();
+        assert_eq!(hits, vec![b"banana".as_slice(), b"cherry", b"date"]);
+    }
+
+    #[test]
+    fn range_scan_includes_inner_values_in_order() {
+        let mut art = LocalArt::new();
+        art.insert(k("a"), 1);
+        art.insert(k("ab"), 2);
+        art.insert(k("abc"), 3);
+        art.insert(k("b"), 4);
+        let all: Vec<(&[u8], &i32)> = art.iter().collect();
+        let keys: Vec<&[u8]> = all.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"ab", b"abc", b"b"]);
+    }
+
+    #[test]
+    fn range_prunes_but_does_not_miss() {
+        let mut art = LocalArt::new();
+        for i in 0..1000u64 {
+            art.insert(crate::key::u64_key(i * 7).to_vec(), i);
+        }
+        let start = crate::key::u64_key(100);
+        let end = crate::key::u64_key(2000);
+        let hits: Vec<u64> =
+            art.range(&start, &end).map(|(k, _)| crate::key::key_u64(k).unwrap()).collect();
+        let expected: Vec<u64> =
+            (0..1000).map(|i| i * 7).filter(|v| (100..=2000).contains(v)).collect();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn iter_yields_everything_sorted() {
+        let mut art = LocalArt::new();
+        let words = ["zebra", "yak", "xerus", "wolf", "vole", "urchin"];
+        for w in words {
+            art.insert(k(w), ());
+        }
+        let got: Vec<Vec<u8>> = art.iter().map(|(k, _)| k.to_vec()).collect();
+        let mut want: Vec<Vec<u8>> = words.iter().map(|w| k(w)).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn census_counts_inner_values() {
+        let mut art = LocalArt::new();
+        art.insert(k("pre"), 1);
+        art.insert(k("prefix"), 2);
+        art.insert(k("present"), 3);
+        let c = art.census();
+        assert_eq!(c.inner_values, 1);
+        assert_eq!(c.leaves, 2);
+    }
+
+    #[test]
+    fn visit_inner_prefixes_sees_split_points() {
+        let mut art = LocalArt::new();
+        art.insert(k("lyrics"), 1);
+        art.insert(k("lyre"), 2);
+        let mut prefixes = Vec::new();
+        art.visit_inner_prefixes(|p| prefixes.push(p.to_vec()));
+        assert_eq!(prefixes, vec![k("lyr")]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let art: LocalArt<u32> = vec![(k("a"), 1), (k("b"), 2)].into_iter().collect();
+        assert_eq!(art.len(), 2);
+        let mut art2 = LocalArt::new();
+        art2.extend(vec![(k("c"), 3)]);
+        assert_eq!(art2.get(b"c"), Some(&3));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut art = LocalArt::new();
+        art.insert(k("x"), 1);
+        art.insert(k("xy"), 2); // x becomes an inner value
+        *art.get_mut(b"x").unwrap() += 10;
+        *art.get_mut(b"xy").unwrap() += 10;
+        assert_eq!(art.get(b"x"), Some(&11));
+        assert_eq!(art.get(b"xy"), Some(&12));
+        assert!(art.get_mut(b"zz").is_none());
+    }
+
+    #[test]
+    fn first_and_last() {
+        let mut art = LocalArt::new();
+        assert!(art.first().is_none() && art.last().is_none());
+        for w in ["m", "a", "z", "aa"] {
+            art.insert(k(w), w.len());
+        }
+        assert_eq!(art.first().unwrap().0, b"a");
+        assert_eq!(art.last().unwrap().0, b"z");
+        art.remove(b"z");
+        assert_eq!(art.last().unwrap().0, b"m");
+    }
+
+    #[test]
+    fn last_when_rightmost_terminates_at_inner() {
+        let mut art = LocalArt::new();
+        art.insert(k("ab"), 1);
+        art.insert(k("abc"), 2);
+        art.remove(b"abc");
+        assert_eq!(art.last().unwrap().0, b"ab");
+    }
+
+    #[test]
+    fn prefix_iter_bounds() {
+        let mut art = LocalArt::new();
+        for w in ["ca", "car", "cart", "cat", "cb", "d"] {
+            art.insert(k(w), ());
+        }
+        let hits: Vec<&[u8]> = art.prefix_iter(b"ca").map(|(key, _)| key).collect();
+        assert_eq!(hits, vec![b"ca".as_slice(), b"car", b"cart", b"cat"]);
+        assert_eq!(art.prefix_iter(b"zz").count(), 0);
+        assert_eq!(art.prefix_iter(b"").count(), 6);
+    }
+
+    #[test]
+    fn dense_u64_workout_against_btreemap() {
+        use std::collections::BTreeMap;
+        let mut art = LocalArt::new();
+        let mut oracle = BTreeMap::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for i in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = crate::key::u64_key(x % 2500).to_vec();
+            art.insert(key.clone(), i);
+            oracle.insert(key, i);
+            if i % 3 == 0 {
+                let victim = crate::key::u64_key(x % 1000).to_vec();
+                assert_eq!(art.remove(&victim), oracle.remove(&victim), "at step {i}");
+            }
+        }
+        assert_eq!(art.len(), oracle.len());
+        let got: Vec<_> = art.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
+        let want: Vec<_> = oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,187 @@
+//! The CN-side node cache used by the SMART baseline: a byte-budgeted LRU
+//! over decoded inner nodes, keyed by remote address.
+
+use std::collections::{BTreeMap, HashMap};
+
+use art_core::layout::InnerNode;
+use dm_sim::RemotePtr;
+
+/// A byte-budgeted LRU cache of inner nodes.
+///
+/// Shared by all workers on a compute node (wrap in a mutex), matching the
+/// paper's per-CN cache whose size is the headline parameter of §V
+/// ("The CN-side cache size of SMART and Sphinx is set to 20 MB").
+#[derive(Debug)]
+pub struct NodeCache {
+    budget: usize,
+    used: usize,
+    gen: u64,
+    nodes: HashMap<u64, (InnerNode, u64, usize)>, // addr -> (node, gen, bytes)
+    lru: BTreeMap<u64, u64>,                      // gen -> addr
+    hits: u64,
+    misses: u64,
+}
+
+impl NodeCache {
+    /// Creates a cache bounded by `budget` bytes of node payload.
+    pub fn new(budget: usize) -> Self {
+        NodeCache {
+            budget,
+            used: 0,
+            gen: 0,
+            nodes: HashMap::new(),
+            lru: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up a node by address; a hit refreshes its recency.
+    pub fn get(&mut self, addr: RemotePtr) -> Option<InnerNode> {
+        let key = addr.to_raw();
+        match self.nodes.get_mut(&key) {
+            Some((node, gen, _)) => {
+                self.lru.remove(gen);
+                self.gen += 1;
+                *gen = self.gen;
+                self.lru.insert(self.gen, key);
+                self.hits += 1;
+                Some(node.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts or refreshes a node, evicting the least recently used
+    /// entries until the budget is met.
+    pub fn put(&mut self, addr: RemotePtr, node: InnerNode) {
+        let key = addr.to_raw();
+        let bytes = InnerNode::byte_size(node.header.kind);
+        if bytes > self.budget {
+            return;
+        }
+        if let Some((_, gen, old_bytes)) = self.nodes.remove(&key) {
+            self.lru.remove(&gen);
+            self.used -= old_bytes;
+        }
+        while self.used + bytes > self.budget {
+            let Some((&g, &victim)) = self.lru.iter().next() else { break };
+            self.lru.remove(&g);
+            if let Some((_, _, b)) = self.nodes.remove(&victim) {
+                self.used -= b;
+            }
+        }
+        self.gen += 1;
+        self.nodes.insert(key, (node, self.gen, bytes));
+        self.lru.insert(self.gen, key);
+        self.used += bytes;
+    }
+
+    /// Drops a node (after observing it stale or retired).
+    pub fn invalidate(&mut self, addr: RemotePtr) {
+        if let Some((_, gen, bytes)) = self.nodes.remove(&addr.to_raw()) {
+            self.lru.remove(&gen);
+            self.used -= bytes;
+        }
+    }
+
+    /// Number of cached nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use art_core::NodeKind;
+
+    fn node(tag: u8) -> InnerNode {
+        InnerNode::new(NodeKind::Node4, &[tag])
+    }
+
+    fn addr(i: u64) -> RemotePtr {
+        RemotePtr::new(0, 64 + i * 64)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut c = NodeCache::new(1 << 20);
+        c.put(addr(1), node(1));
+        assert_eq!(c.get(addr(1)).unwrap().header.prefix_hash42,
+                   node(1).header.prefix_hash42);
+        assert!(c.get(addr(2)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn budget_evicts_lru() {
+        // Node4 is 56 bytes; budget for ~3 nodes.
+        let mut c = NodeCache::new(180);
+        c.put(addr(1), node(1));
+        c.put(addr(2), node(2));
+        c.put(addr(3), node(3));
+        // Touch 1 so 2 becomes the LRU victim.
+        c.get(addr(1));
+        c.put(addr(4), node(4));
+        assert!(c.get(addr(1)).is_some());
+        assert!(c.get(addr(2)).is_none(), "LRU entry should be evicted");
+        assert!(c.get(addr(4)).is_some());
+        assert!(c.used_bytes() <= 180);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = NodeCache::new(1 << 20);
+        c.put(addr(1), node(1));
+        c.invalidate(addr(1));
+        assert!(c.get(addr(1)).is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reput_same_address_replaces() {
+        let mut c = NodeCache::new(1 << 20);
+        c.put(addr(1), node(1));
+        c.put(addr(1), node(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(addr(1)).unwrap().header.prefix_hash42,
+                   node(2).header.prefix_hash42);
+    }
+
+    #[test]
+    fn oversized_node_is_skipped() {
+        let mut c = NodeCache::new(10);
+        c.put(addr(1), node(1));
+        assert!(c.is_empty());
+    }
+}

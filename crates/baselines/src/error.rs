@@ -1,0 +1,85 @@
+//! Error type for the baseline indexes.
+
+use std::error::Error;
+use std::fmt;
+
+use art_core::layout::LayoutError;
+use dm_sim::DmError;
+
+/// Errors returned by the baseline index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Substrate error.
+    Dm(DmError),
+    /// Node decode failure that survived retries.
+    Layout(LayoutError),
+    /// The key exceeds [`art_core::key::MAX_KEY_LEN`].
+    KeyTooLong {
+        /// Offending length.
+        len: usize,
+    },
+    /// An operation exhausted its retry budget.
+    RetriesExhausted {
+        /// Which operation gave up.
+        op: &'static str,
+    },
+    /// An on-MN invariant was violated.
+    Corrupt {
+        /// Description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Dm(e) => write!(f, "substrate error: {e}"),
+            BaselineError::Layout(e) => write!(f, "node decode error: {e}"),
+            BaselineError::KeyTooLong { len } => {
+                write!(f, "key of {len} bytes exceeds the maximum")
+            }
+            BaselineError::RetriesExhausted { op } => {
+                write!(f, "{op} exhausted its retry budget")
+            }
+            BaselineError::Corrupt { what } => write!(f, "corrupt index structure: {what}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Dm(e) => Some(e),
+            BaselineError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DmError> for BaselineError {
+    fn from(e: DmError) -> Self {
+        BaselineError::Dm(e)
+    }
+}
+
+impl From<LayoutError> for BaselineError {
+    fn from(e: LayoutError) -> Self {
+        BaselineError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaselineError>();
+        assert_eq!(
+            BaselineError::RetriesExhausted { op: "get" }.to_string(),
+            "get exhausted its retry budget"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # baselines — the comparison indexes from the Sphinx paper (§V-A)
+//!
+//! * **ART** ([`BaselineConfig::art`]): the original adaptive radix tree
+//!   ported to disaggregated memory. Every index operation walks the tree
+//!   from the root, costing one network round trip per level — the
+//!   behaviour whose cost Sphinx's Inner Node Hash Table eliminates.
+//! * **SMART** ([`BaselineConfig::smart`]): the OSDI'23 state of the art.
+//!   Two distinguishing features are modeled:
+//!   1. a CN-side **node cache** with a byte budget (20 MB for "SMART",
+//!      200 MB for "SMART+C" in the paper) holding recently read inner
+//!      nodes, so the top of the tree is traversed locally;
+//!   2. **Node-256 preallocation**: every inner node is allocated at
+//!      Node-256 size so it never relocates on growth, which sidesteps
+//!      cache-coherence problems at the price of 2.1–3.0× MN-side memory
+//!      (the paper's Fig. 6). Stale cached nodes are healed by re-reading
+//!      remotely whenever a cached traversal produces a suspicious
+//!      outcome — our stand-in for SMART's reverse-check mechanism.
+//!
+//! Both share the node formats of [`art_core::layout`] and run on the
+//! [`dm_sim`] substrate, so their round-trip/bandwidth costs are directly
+//! comparable with Sphinx's.
+//!
+//! ## Example
+//!
+//! ```
+//! use dm_sim::{ClusterConfig, DmCluster};
+//! use baselines::{BaselineConfig, BaselineIndex};
+//!
+//! # fn main() -> Result<(), baselines::BaselineError> {
+//! let cluster = DmCluster::new(ClusterConfig::default());
+//! let index = BaselineIndex::create(&cluster, BaselineConfig::art())?;
+//! let mut client = index.client(0)?;
+//! client.insert(b"key", b"value")?;
+//! assert_eq!(client.get(b"key")?.as_deref(), Some(&b"value"[..]));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod error;
+mod index;
+mod ops;
+mod verify;
+
+pub use cache::NodeCache;
+pub use error::BaselineError;
+pub use index::{BaselineClient, BaselineConfig, BaselineIndex, BaselineStats};
+pub use verify::BaselineIntegrityReport;

@@ -1,0 +1,1154 @@
+//! Baseline index operations: root-to-leaf traversal (with optional node
+//! cache), inserts with splits and type switches, updates, deletes, scans.
+
+use art_core::hash::{prefix_hash42, prefix_hash64};
+use art_core::key::{common_prefix_len, MAX_KEY_LEN};
+use art_core::layout::{
+    InnerNode, LayoutError, LeafNode, NodeStatus, Slot, VALUE_SLOT_OFFSET,
+};
+use dm_sim::{DoorbellBatch, RemotePtr, Verb, VerbResult};
+
+use crate::error::BaselineError;
+use crate::index::BaselineClient;
+
+const OP_RETRY_LIMIT: usize = 200_000; // see sphinx::client for rationale
+const IO_RETRY_LIMIT: usize = 64;
+
+/// Outcome of a guarded single-word install (see `sphinx::write_ops` for
+/// the full memory-safety rationale: buffers referenced by the new word
+/// may be freed only on `Raced`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Install {
+    Done,
+    Raced,
+    Ambiguous,
+}
+
+/// Where the traversal ended.
+#[derive(Debug)]
+enum BOutcome {
+    Leaf { offset: u64, slot: Slot, leaf: LeafNode },
+    NoValueSlot,
+    Empty { byte: u8 },
+    Divergent { slot_idx: usize, slot: Slot, child: InnerNode, sample: LeafNode },
+}
+
+/// A completed traversal: the deepest inner node whose prefix prefixes the
+/// key, with the location of the slot pointing *to* that node (needed for
+/// type switches — `None` parent means the node is the root, pointed to by
+/// the meta word).
+#[derive(Debug)]
+struct Located {
+    parent_node_ptr: Option<RemotePtr>,
+    parent_word_ptr: RemotePtr,
+    parent_expected: u64,
+    node: InnerNode,
+    node_ptr: RemotePtr,
+    used_cache: bool,
+    outcome: BOutcome,
+}
+
+enum LocateResult {
+    Done(Located),
+    Retry,
+}
+
+impl BaselineClient {
+    fn backoff(&mut self) {
+        self.dm.advance_clock(200);
+        std::thread::yield_now();
+    }
+
+    fn leaf_read_hint(&self) -> usize {
+        self.meta.config.leaf_read_hint
+    }
+
+    /// The root slot word, cached client-side (refreshed when stale).
+    fn root_slot(&mut self, refresh: bool) -> Result<Slot, BaselineError> {
+        if refresh || self.root_slot.is_none() {
+            let word = self.dm.read_u64(self.meta.root_word)?;
+            self.root_slot =
+                Some(Slot::decode(word).ok_or(BaselineError::Corrupt { what: "null root" })?);
+        }
+        Ok(self.root_slot.expect("just set"))
+    }
+
+    /// Reads an inner node, consulting the CN node cache when allowed.
+    /// Returns the node and whether it came from the cache.
+    fn read_inner_mc(
+        &mut self,
+        ptr: RemotePtr,
+        kind: art_core::NodeKind,
+        use_cache: bool,
+    ) -> Result<(InnerNode, bool), BaselineError> {
+        if use_cache {
+            if let Some(cache) = &self.cache {
+                if let Some(node) = cache.lock().get(ptr) {
+                    if node.header.kind == kind {
+                        return Ok((node, true));
+                    }
+                    cache.lock().invalidate(ptr);
+                }
+            }
+        }
+        let bytes = self.dm.read(ptr, InnerNode::byte_size(kind))?;
+        let node = InnerNode::decode(&bytes)?;
+        if let Some(cache) = &self.cache {
+            if node.header.status == NodeStatus::Idle && node.header.kind == kind {
+                cache.lock().put(ptr, node.clone());
+            }
+        }
+        Ok((node, false))
+    }
+
+    /// Reads a leaf, retrying torn reads and extending short hints.
+    fn read_leaf(&mut self, ptr: RemotePtr) -> Result<LeafNode, BaselineError> {
+        let mut read_len = self.leaf_read_hint().max(64);
+        for _ in 0..IO_RETRY_LIMIT {
+            let bytes = self.dm.read(ptr, read_len)?;
+            let word0 = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+            let units = ((word0 >> 8) & 0xFF) as usize;
+            let true_len = units.max(1) * 64;
+            if true_len > read_len {
+                read_len = true_len;
+                continue;
+            }
+            match LeafNode::decode(&bytes) {
+                Ok(leaf) => return Ok(leaf),
+                Err(LayoutError::ChecksumMismatch { .. })
+                | Err(LayoutError::TruncatedNode { .. }) => self.backoff(),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(BaselineError::RetriesExhausted { op: "leaf read" })
+    }
+
+    fn invalidate_cached(&mut self, ptr: RemotePtr) {
+        if let Some(cache) = &self.cache {
+            cache.lock().invalidate(ptr);
+        }
+    }
+
+    /// Root-to-leaf traversal. One network round trip per uncached level —
+    /// the cost profile that motivates Sphinx.
+    fn locate(&mut self, key: &[u8], use_cache: bool) -> Result<Located, BaselineError> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(BaselineError::KeyTooLong { len: key.len() });
+        }
+        for attempt in 0..OP_RETRY_LIMIT {
+            match self.locate_once(key, use_cache)? {
+                LocateResult::Done(loc) => return Ok(loc),
+                LocateResult::Retry => {
+                    self.stats.retries += 1;
+                    self.root_slot(true)?;
+                    if attempt > 2 {
+                        self.backoff();
+                    }
+                }
+            }
+        }
+        Err(BaselineError::RetriesExhausted { op: "locate" })
+    }
+
+    fn locate_once(&mut self, key: &[u8], use_cache: bool) -> Result<LocateResult, BaselineError> {
+        let root = self.root_slot(false)?;
+        let mut parent_node_ptr: Option<RemotePtr> = None;
+        let mut parent_word_ptr = self.meta.root_word;
+        let mut parent_expected = root.encode();
+        let mut node_ptr = root.addr;
+        let (mut node, mut used_cache) =
+            self.read_inner_mc(root.addr, root.child_kind, use_cache)?;
+        loop {
+            if node.header.status == NodeStatus::Invalid {
+                self.invalidate_cached(node_ptr);
+                return Ok(LocateResult::Retry);
+            }
+            let plen = node.header.prefix_len as usize;
+            let done = |outcome| {
+                Ok(LocateResult::Done(Located {
+                    parent_node_ptr,
+                    parent_word_ptr,
+                    parent_expected,
+                    node: node.clone(),
+                    node_ptr,
+                    used_cache,
+                    outcome,
+                }))
+            };
+            if key.len() == plen {
+                return match node.value_slot {
+                    Some(slot) => {
+                        let leaf = self.read_leaf(slot.addr)?;
+                        done(BOutcome::Leaf { offset: VALUE_SLOT_OFFSET, slot, leaf })
+                    }
+                    None => done(BOutcome::NoValueSlot),
+                };
+            }
+            let byte = key[plen];
+            match node.find_child(byte) {
+                None => return done(BOutcome::Empty { byte }),
+                Some((idx, slot)) if slot.is_leaf => {
+                    let leaf = self.read_leaf(slot.addr)?;
+                    return done(BOutcome::Leaf {
+                        offset: InnerNode::slot_offset(idx),
+                        slot,
+                        leaf,
+                    });
+                }
+                Some((idx, slot)) => {
+                    let (child, hit) = self.read_inner_mc(slot.addr, slot.child_kind, use_cache)?;
+                    if child.header.status == NodeStatus::Invalid
+                        || child.header.kind != slot.child_kind
+                    {
+                        self.invalidate_cached(slot.addr);
+                        self.invalidate_cached(node_ptr);
+                        return Ok(LocateResult::Retry);
+                    }
+                    let clen = child.header.prefix_len as usize;
+                    if clen <= plen {
+                        self.invalidate_cached(slot.addr);
+                        return Ok(LocateResult::Retry);
+                    }
+                    if key.len() >= clen
+                        && child.header.prefix_hash42 == prefix_hash42(&key[..clen])
+                    {
+                        parent_node_ptr = Some(node_ptr);
+                        parent_word_ptr = node_ptr.checked_add(InnerNode::slot_offset(idx))?;
+                        parent_expected = slot.encode();
+                        node_ptr = slot.addr;
+                        node = child;
+                        used_cache |= hit;
+                        continue;
+                    }
+                    let Some(sample) = self.sample_leaf(&child)? else {
+                        return Ok(LocateResult::Retry);
+                    };
+                    return done(BOutcome::Divergent { slot_idx: idx, slot, child, sample });
+                }
+            }
+        }
+    }
+
+    fn sample_leaf(&mut self, node: &InnerNode) -> Result<Option<LeafNode>, BaselineError> {
+        let mut current = node.clone();
+        for _ in 0..IO_RETRY_LIMIT {
+            let slot = match current
+                .value_slot
+                .or_else(|| current.slots.iter().flatten().next().copied())
+            {
+                Some(s) => s,
+                None => return Ok(None),
+            };
+            if slot.is_leaf {
+                return Ok(Some(self.read_leaf(slot.addr)?));
+            }
+            let (child, _) = self.read_inner_mc(slot.addr, slot.child_kind, false)?;
+            if child.header.status == NodeStatus::Invalid || child.header.kind != slot.child_kind
+            {
+                return Ok(None);
+            }
+            current = child;
+        }
+        Ok(None)
+    }
+
+    // ------------------------------------------------------------------
+    // Public operations.
+    // ------------------------------------------------------------------
+
+    /// Point lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::KeyTooLong`] or substrate errors.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, BaselineError> {
+        self.stats.gets += 1;
+        for pass in 0..2 {
+            let use_cache = pass == 0;
+            let loc = self.locate(key, use_cache)?;
+            match loc.outcome {
+                BOutcome::Leaf { leaf, .. } if leaf.key == key => {
+                    return Ok((leaf.status != NodeStatus::Invalid).then_some(leaf.value));
+                }
+                _ if loc.used_cache => {
+                    // A stale cached node can hide recent inserts: confirm
+                    // the miss with a remote traversal (our stand-in for
+                    // SMART's reverse check).
+                }
+                _ => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Inserts or overwrites `key` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::RetriesExhausted`] under pathological contention,
+    /// or substrate errors.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), BaselineError> {
+        self.stats.inserts += 1;
+        for attempt in 0..OP_RETRY_LIMIT {
+            let use_cache = attempt == 0;
+            let loc = self.locate(key, use_cache)?;
+            let done = match loc.outcome {
+                BOutcome::Leaf { offset, ref slot, ref leaf } if leaf.key == key => {
+                    if leaf.status == NodeStatus::Invalid {
+                        self.swap_leaf(loc.node_ptr, offset, slot, key, value)?
+                    } else {
+                        self.write_leaf_value(loc.node_ptr, offset, slot, leaf, key, value)?
+                    }
+                }
+                BOutcome::Leaf { offset, ref slot, ref leaf } => {
+                    self.split_leaf(loc.node_ptr, offset, slot, leaf, key, value)?
+                }
+                BOutcome::NoValueSlot => {
+                    let leaf_ptr = self.write_new_leaf(key, value)?;
+                    let new_slot = Slot::leaf(0, leaf_ptr);
+                    self.install_word(loc.node_ptr, VALUE_SLOT_OFFSET, 0, new_slot.encode())?
+                        == Install::Done
+                }
+                BOutcome::Empty { byte } => match loc.node.free_slot(byte) {
+                    Some(idx) => {
+                        let leaf_ptr = self.write_new_leaf(key, value)?;
+                        let new_slot = Slot::leaf(byte, leaf_ptr);
+                        self.install_fresh_child(
+                            &loc.node,
+                            loc.node_ptr,
+                            idx,
+                            byte,
+                            new_slot,
+                            key,
+                        )?
+                    }
+                    None => self.type_switch_insert(&loc, key, value)?,
+                },
+                BOutcome::Divergent { slot_idx, ref slot, ref child, ref sample } => {
+                    self.split_path(loc.node_ptr, slot_idx, slot, child, sample, key, value)?
+                }
+            };
+            if done {
+                return Ok(());
+            }
+            self.backoff();
+        }
+        Err(BaselineError::RetriesExhausted { op: "insert" })
+    }
+
+    /// Updates an existing key. Returns `false` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`BaselineClient::insert`].
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<bool, BaselineError> {
+        self.stats.updates += 1;
+        for attempt in 0..OP_RETRY_LIMIT {
+            let use_cache = attempt == 0;
+            let loc = self.locate(key, use_cache)?;
+            match loc.outcome {
+                BOutcome::Leaf { offset, ref slot, ref leaf } if leaf.key == key => {
+                    if leaf.status == NodeStatus::Invalid {
+                        return Ok(false);
+                    }
+                    if self.write_leaf_value(loc.node_ptr, offset, slot, leaf, key, value)? {
+                        return Ok(true);
+                    }
+                }
+                _ if loc.used_cache => {} // confirm the miss uncached
+                _ => return Ok(false),
+            }
+            self.backoff();
+        }
+        Err(BaselineError::RetriesExhausted { op: "update" })
+    }
+
+    /// Deletes a key. Returns whether this client performed the deletion.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`BaselineClient::insert`].
+    pub fn remove(&mut self, key: &[u8]) -> Result<bool, BaselineError> {
+        self.stats.deletes += 1;
+        for attempt in 0..OP_RETRY_LIMIT {
+            let use_cache = attempt == 0;
+            let loc = self.locate(key, use_cache)?;
+            match loc.outcome {
+                BOutcome::Leaf { offset, ref slot, ref leaf } if leaf.key == key => {
+                    if leaf.status == NodeStatus::Invalid {
+                        return Ok(false);
+                    }
+                    let (cur, inv) = leaf.status_cas_words(leaf.status, NodeStatus::Invalid);
+                    if self.dm.cas(slot.addr, cur, inv)? != cur {
+                        self.backoff();
+                        continue;
+                    }
+                    let _ = self.install_word(loc.node_ptr, offset, slot.encode(), 0)?;
+                    return Ok(true);
+                }
+                _ if loc.used_cache => {}
+                _ => return Ok(false),
+            }
+            self.backoff();
+        }
+        Err(BaselineError::RetriesExhausted { op: "remove" })
+    }
+
+    /// Range scan: every `(key, value)` with `low <= key <= high`, sorted.
+    ///
+    /// SMART reads each tree level in one doorbell batch; the plain ART
+    /// port issues one read per node — the YCSB-E gap of Fig. 4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors.
+    pub fn scan(
+        &mut self,
+        low: &[u8],
+        high: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BaselineError> {
+        self.stats.scans += 1;
+        let mut results: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        if low > high {
+            return Ok(results);
+        }
+        let root = self.root_slot(false)?;
+        let (root_node, _) = self.read_inner_mc(root.addr, root.child_kind, true)?;
+        // (node, known_prefix, exact) — see sphinx::scan for why pruning
+        // is only sound while the known prefix is exact.
+        let mut inners: Vec<(InnerNode, Vec<u8>, bool)> = vec![(root_node, Vec::new(), true)];
+        let batched = self.meta.config.batched_scan;
+
+        while !inners.is_empty() {
+            // Resolve inexact prefixes from direct leaf children so
+            // pruning stays effective under path compression (same
+            // technique as sphinx::scan; one extra batched — or, for
+            // plain ART, grouped — round trip per level).
+            let mut resolve_targets: Vec<usize> = Vec::new();
+            let mut chain_targets: Vec<usize> = Vec::new();
+            let mut batch = DoorbellBatch::new();
+            for (i, (node, known, exact)) in inners.iter().enumerate() {
+                let exact_here = *exact && node.header.prefix_len as usize == known.len();
+                if exact_here {
+                    continue;
+                }
+                let leaf_slot = node
+                    .value_slot
+                    .or_else(|| node.slots.iter().flatten().find(|s| s.is_leaf).copied());
+                match leaf_slot {
+                    Some(slot) => {
+                        batch.push(Verb::Read { ptr: slot.addr, len: self.leaf_read_hint() });
+                        resolve_targets.push(i);
+                    }
+                    None => chain_targets.push(i),
+                }
+            }
+            if !batch.is_empty() {
+                let reads = self.dm.execute(batch)?;
+                for (i, res) in resolve_targets.into_iter().zip(reads) {
+                    let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
+                    if let Ok(leaf) = LeafNode::decode(&bytes) {
+                        let (node, known, exact) = &mut inners[i];
+                        let plen = node.header.prefix_len as usize;
+                        if leaf.key.len() >= plen {
+                            *known = leaf.key[..plen].to_vec();
+                            *exact = true;
+                        }
+                    }
+                }
+            }
+            // Upper nodes without a direct leaf child resolve by walking
+            // the leftmost chain to any leaf (see sphinx::scan).
+            for i in chain_targets {
+                let node = inners[i].0.clone();
+                if let Some(leaf) = self.sample_leaf(&node)? {
+                    let (node, known, exact) = &mut inners[i];
+                    let plen = node.header.prefix_len as usize;
+                    if leaf.key.len() >= plen {
+                        *known = leaf.key[..plen].to_vec();
+                        *exact = true;
+                    }
+                }
+            }
+
+            let mut pending: Vec<(Slot, Vec<u8>, bool)> = Vec::new();
+            for (node, known, exact) in inners.drain(..) {
+                let exact_here = exact && node.header.prefix_len as usize == known.len();
+                if exact_here && !range_may_intersect(&known, low, high) {
+                    continue;
+                }
+                if let Some(slot) = node.value_slot {
+                    pending.push((slot, known.clone(), exact_here));
+                }
+                for slot in node.children_sorted() {
+                    let (ck, ce) = if exact_here {
+                        let mut ck = known.clone();
+                        ck.push(slot.key_byte);
+                        (ck, true)
+                    } else {
+                        (known.clone(), false)
+                    };
+                    if ce && !range_may_intersect(&ck, low, high) {
+                        continue;
+                    }
+                    pending.push((slot, ck, ce));
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+
+            let mut fetched: Vec<(Slot, Vec<u8>, bool, Vec<u8>)> = Vec::new();
+            if batched {
+                let mut batch = DoorbellBatch::with_capacity(pending.len());
+                for (slot, _, _) in &pending {
+                    let len = if slot.is_leaf {
+                        self.leaf_read_hint()
+                    } else {
+                        InnerNode::byte_size(slot.child_kind)
+                    };
+                    batch.push(Verb::Read { ptr: slot.addr, len });
+                }
+                let reads = self.dm.execute(batch)?;
+                for ((slot, known, exact), res) in pending.into_iter().zip(reads) {
+                    let bytes = match res {
+                        VerbResult::Read(b) => b,
+                        other => unreachable!("expected read, got {other:?}"),
+                    };
+                    fetched.push((slot, known, exact, bytes));
+                }
+            } else {
+                // Plain ART: small batches (≈ one parent node's children
+                // at a time — the natural non-optimized implementation
+                // reads a node's children together but does not overlap
+                // across nodes), versus SMART's whole-level batching —
+                // the source of the paper's 2.3–3.1× YCSB-E gap.
+                for group in pending.chunks(8) {
+                    let mut batch = DoorbellBatch::with_capacity(group.len());
+                    for (slot, _, _) in group {
+                        let len = if slot.is_leaf {
+                            self.leaf_read_hint()
+                        } else {
+                            InnerNode::byte_size(slot.child_kind)
+                        };
+                        batch.push(Verb::Read { ptr: slot.addr, len });
+                    }
+                    let reads = self.dm.execute(batch)?;
+                    for ((slot, known, exact), res) in group.iter().cloned().zip(reads) {
+                        let bytes = match res {
+                            VerbResult::Read(b) => b,
+                            other => unreachable!("expected read, got {other:?}"),
+                        };
+                        fetched.push((slot, known, exact, bytes));
+                    }
+                }
+            }
+
+            for (slot, known, exact, bytes) in fetched {
+                if slot.is_leaf {
+                    let leaf = match LeafNode::decode(&bytes) {
+                        Ok(l) => l,
+                        Err(_) => match self.read_leaf(slot.addr) {
+                            Ok(l) => l,
+                            Err(BaselineError::RetriesExhausted { .. }) => continue,
+                            Err(e) => return Err(e),
+                        },
+                    };
+                    if leaf.status != NodeStatus::Invalid
+                        && leaf.key.as_slice() >= low
+                        && leaf.key.as_slice() <= high
+                    {
+                        results.push((leaf.key, leaf.value));
+                    }
+                } else {
+                    match InnerNode::decode(&bytes) {
+                        Ok(node)
+                            if node.header.status != NodeStatus::Invalid
+                                && node.header.kind == slot.child_kind =>
+                        {
+                            inners.push((node, known, exact));
+                        }
+                        _ => {
+                            // Transient (type switch mid-scan): skip; the
+                            // subtree is reachable on the next scan.
+                        }
+                    }
+                }
+            }
+        }
+        results.sort_by(|a, b| a.0.cmp(&b.0));
+        results.dedup_by(|a, b| a.0 == b.0);
+        Ok(results)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation building blocks (mirrors of the Sphinx write path, minus
+    // the hash table / filter publication).
+    // ------------------------------------------------------------------
+
+    fn write_new_leaf(&mut self, key: &[u8], value: &[u8]) -> Result<RemotePtr, BaselineError> {
+        let leaf = LeafNode::new(key.to_vec(), value.to_vec());
+        let bytes = leaf.encode();
+        let mn = self.dm.place(prefix_hash64(key));
+        let ptr = self.dm.alloc(mn, bytes.len())?;
+        self.dm.write(ptr, &bytes)?;
+        Ok(ptr)
+    }
+
+    fn write_new_inner(
+        &mut self,
+        node: &InnerNode,
+        prefix: &[u8],
+    ) -> Result<RemotePtr, BaselineError> {
+        let bytes = node.encode();
+        let mn = self.dm.place(prefix_hash64(prefix));
+        let ptr = self.dm.alloc(mn, bytes.len())?;
+        self.dm.write(ptr, &bytes)?;
+        Ok(ptr)
+    }
+
+    fn install_word(
+        &mut self,
+        node_ptr: RemotePtr,
+        offset: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<Install, BaselineError> {
+        let mut batch = DoorbellBatch::with_capacity(2);
+        batch.push(Verb::Cas { ptr: node_ptr.checked_add(offset)?, expected, new });
+        batch.push(Verb::Read { ptr: node_ptr, len: 8 });
+        let mut res = self.dm.execute(batch)?;
+        let control = match res.pop().expect("read result") {
+            VerbResult::Read(b) => u64::from_le_bytes(b.as_slice().try_into().expect("8 bytes")),
+            other => unreachable!("expected read, got {other:?}"),
+        };
+        let prev = res.pop().expect("cas result").into_cas();
+        self.invalidate_cached(node_ptr);
+        if prev != expected {
+            return Ok(Install::Raced);
+        }
+        if control & 0xFF == NodeStatus::Idle as u64 {
+            return Ok(Install::Done);
+        }
+        // Landed on a node mid type-switch: the word may survive in the
+        // replacement's copy — treat as live, retry via fresh traversal,
+        // never free what it references.
+        Ok(Install::Ambiguous)
+    }
+
+    /// Same duplicate-byte-safe fresh install as Sphinx's (see
+    /// `sphinx::write_ops` for the full race analysis, including why a
+    /// mid-switch landing must be resolved by waiting for the node to
+    /// settle rather than by a blind undo).
+    fn install_fresh_child(
+        &mut self,
+        node: &InnerNode,
+        node_ptr: RemotePtr,
+        idx: usize,
+        byte: u8,
+        new_slot: Slot,
+        key: &[u8],
+    ) -> Result<bool, BaselineError> {
+        let offset = InnerNode::slot_offset(idx);
+        let node_len = InnerNode::byte_size(node.header.kind);
+        let mut batch = DoorbellBatch::with_capacity(2);
+        batch.push(Verb::Cas {
+            ptr: node_ptr.checked_add(offset)?,
+            expected: 0,
+            new: new_slot.encode(),
+        });
+        batch.push(Verb::Read { ptr: node_ptr, len: node_len });
+        let mut res = self.dm.execute(batch)?;
+        let bytes = match res.pop().expect("read result") {
+            VerbResult::Read(b) => b,
+            other => unreachable!("expected read, got {other:?}"),
+        };
+        let prev = res.pop().expect("cas result").into_cas();
+        self.invalidate_cached(node_ptr);
+        if prev != 0 {
+            return Ok(false);
+        }
+        let now = match InnerNode::decode(&bytes) {
+            Ok(n) => n,
+            Err(_) => return self.resolve_settled_install(node, node_ptr, idx, byte, key),
+        };
+        if now.header.status != NodeStatus::Idle || now.header.kind != node.header.kind {
+            return self.resolve_settled_install(node, node_ptr, idx, byte, key);
+        }
+        let duplicated = now
+            .slots
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != idx && s.is_some_and(|s| s.key_byte == byte));
+        if duplicated {
+            let _ = self.dm.cas(node_ptr.checked_add(offset)?, new_slot.encode(), 0)?;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// See `sphinx::write_ops::resolve_settled_install`.
+    fn resolve_settled_install(
+        &mut self,
+        node: &InnerNode,
+        node_ptr: RemotePtr,
+        idx: usize,
+        byte: u8,
+        key: &[u8],
+    ) -> Result<bool, BaselineError> {
+        let offset = InnerNode::slot_offset(idx);
+        for _ in 0..OP_RETRY_LIMIT {
+            let control = self.dm.read_u64(node_ptr)?;
+            match (control & 0xFF) as u8 {
+                x if x == NodeStatus::Idle as u8 => {
+                    let bytes =
+                        self.dm.read(node_ptr, InnerNode::byte_size(node.header.kind))?;
+                    let Ok(now) = InnerNode::decode(&bytes) else { continue };
+                    if now.header.kind != node.header.kind {
+                        continue;
+                    }
+                    let mine = now.slots.get(idx).copied().flatten();
+                    if mine.map(|s| s.key_byte) != Some(byte) {
+                        return Ok(false);
+                    }
+                    let duplicated = now
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .any(|(i, s)| i != idx && s.is_some_and(|s| s.key_byte == byte));
+                    if duplicated {
+                        let word = mine.expect("checked above").encode();
+                        let _ = self.dm.cas(node_ptr.checked_add(offset)?, word, 0)?;
+                        return Ok(false);
+                    }
+                    return Ok(true);
+                }
+                x if x == NodeStatus::Invalid as u8 => {
+                    let loc = self.locate(key, false)?;
+                    return Ok(matches!(
+                        loc.outcome,
+                        BOutcome::Leaf { ref leaf, .. }
+                            if leaf.key == key && leaf.status != NodeStatus::Invalid
+                    ));
+                }
+                _ => {
+                    self.backoff();
+                }
+            }
+        }
+        Err(BaselineError::RetriesExhausted { op: "install resolve" })
+    }
+
+    fn write_leaf_value(
+        &mut self,
+        node_ptr: RemotePtr,
+        offset: u64,
+        slot: &Slot,
+        leaf: &LeafNode,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, BaselineError> {
+        if leaf.fits_in_place(value.len()) {
+            let (idle, locked) = leaf.status_cas_words(NodeStatus::Idle, NodeStatus::Locked);
+            if self.dm.cas(slot.addr, idle, locked)? != idle {
+                return Ok(false);
+            }
+            let mut new_leaf = LeafNode::new(key.to_vec(), value.to_vec());
+            new_leaf.version = leaf.version.wrapping_add(1);
+            new_leaf.set_len_units(leaf.len_units());
+            self.dm.write(slot.addr, &new_leaf.encode())?;
+            Ok(true)
+        } else {
+            self.swap_leaf(node_ptr, offset, slot, key, value)
+        }
+    }
+
+    fn swap_leaf(
+        &mut self,
+        node_ptr: RemotePtr,
+        offset: u64,
+        slot: &Slot,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, BaselineError> {
+        let new_ptr = self.write_new_leaf(key, value)?;
+        let new_slot = Slot::leaf(slot.key_byte, new_ptr);
+        match self.install_word(node_ptr, offset, slot.encode(), new_slot.encode())? {
+            Install::Done => {
+                if let Ok(old) = self.read_leaf(slot.addr) {
+                    let (cur, inv) = old.status_cas_words(old.status, NodeStatus::Invalid);
+                    let _ = self.dm.cas(slot.addr, cur, inv)?;
+                }
+                Ok(true)
+            }
+            Install::Raced => {
+                let _ = self.dm.free(new_ptr);
+                Ok(false)
+            }
+            Install::Ambiguous => Ok(false), // possibly live in a copy: leak
+        }
+    }
+
+    fn split_leaf(
+        &mut self,
+        node_ptr: RemotePtr,
+        offset: u64,
+        slot: &Slot,
+        leaf: &LeafNode,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, BaselineError> {
+        if offset == VALUE_SLOT_OFFSET {
+            // A value-slot leaf key equals the node prefix equals the
+            // search key; a mismatch means the tree changed — retry.
+            return Ok(false);
+        }
+        let cpl = common_prefix_len(key, &leaf.key);
+        let prefix = &key[..cpl];
+        let kind = self.meta.config.fresh_node_kind();
+        let mut n = InnerNode::new(kind, prefix);
+        if leaf.key.len() == cpl {
+            n.value_slot = Some(Slot::leaf(0, slot.addr));
+        } else {
+            n.set_child(Slot::leaf(leaf.key[cpl], slot.addr));
+        }
+        let leaf_ptr = self.write_new_leaf(key, value)?;
+        if key.len() == cpl {
+            n.value_slot = Some(Slot::leaf(0, leaf_ptr));
+        } else {
+            n.set_child(Slot::leaf(key[cpl], leaf_ptr));
+        }
+        let n_ptr = self.write_new_inner(&n, prefix)?;
+        let new_slot = Slot::inner(slot.key_byte, kind, n_ptr);
+        match self.install_word(node_ptr, offset, slot.encode(), new_slot.encode())? {
+            Install::Done => Ok(true),
+            Install::Raced => {
+                let _ = self.dm.free(n_ptr);
+                let _ = self.dm.free(leaf_ptr);
+                Ok(false)
+            }
+            Install::Ambiguous => Ok(false),
+        }
+    }
+
+    fn split_path(
+        &mut self,
+        node_ptr: RemotePtr,
+        slot_idx: usize,
+        slot: &Slot,
+        child: &InnerNode,
+        sample: &LeafNode,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, BaselineError> {
+        let cpl = common_prefix_len(key, &sample.key);
+        let clen = child.header.prefix_len as usize;
+        if cpl >= clen || cpl >= sample.key.len() {
+            return Ok(false);
+        }
+        let prefix = &key[..cpl];
+        let kind = self.meta.config.fresh_node_kind();
+        let mut n = InnerNode::new(kind, prefix);
+        n.set_child(Slot::inner(sample.key[cpl], child.header.kind, slot.addr));
+        let leaf_ptr = self.write_new_leaf(key, value)?;
+        if key.len() == cpl {
+            n.value_slot = Some(Slot::leaf(0, leaf_ptr));
+        } else {
+            n.set_child(Slot::leaf(key[cpl], leaf_ptr));
+        }
+        let n_ptr = self.write_new_inner(&n, prefix)?;
+        let new_slot = Slot::inner(slot.key_byte, kind, n_ptr);
+        match self.install_word(
+            node_ptr,
+            InnerNode::slot_offset(slot_idx),
+            slot.encode(),
+            new_slot.encode(),
+        )? {
+            Install::Done => Ok(true),
+            Install::Raced => {
+                let _ = self.dm.free(n_ptr);
+                let _ = self.dm.free(leaf_ptr);
+                Ok(false)
+            }
+            Install::Ambiguous => Ok(false),
+        }
+    }
+
+    /// The adaptive node-type switch, with the parent slot known directly
+    /// from the traversal (no hash table to consult — but also no way to
+    /// shortcut it, which is the point of the baseline).
+    fn type_switch_insert(
+        &mut self,
+        loc: &Located,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, BaselineError> {
+        let node = &loc.node;
+        let plen = node.header.prefix_len as usize;
+        let byte = key[plen];
+        if node.grown_kind().is_none() {
+            return Ok(false); // stale snapshot of a full Node256
+        }
+        let idle = node.header.control_with_status(NodeStatus::Idle);
+        let locked = node.header.control_with_status(NodeStatus::Locked);
+        if self.dm.cas(loc.node_ptr, idle, locked)? != idle {
+            return Ok(false);
+        }
+        let bytes = self.dm.read(loc.node_ptr, InnerNode::byte_size(node.header.kind))?;
+        let fresh = InnerNode::decode(&bytes)?;
+        let unlock = fresh.header.control_with_status(NodeStatus::Idle);
+        if fresh.find_child(byte).is_some() {
+            self.dm.write_u64(loc.node_ptr, unlock)?;
+            return Ok(false);
+        }
+        if let Some(idx) = fresh.free_slot(byte) {
+            let leaf_ptr = self.write_new_leaf(key, value)?;
+            let mut batch = DoorbellBatch::with_capacity(2);
+            batch.push(Verb::Write {
+                ptr: loc.node_ptr.checked_add(InnerNode::slot_offset(idx))?,
+                data: Slot::leaf(byte, leaf_ptr).encode().to_le_bytes().to_vec(),
+            });
+            batch.push(Verb::Write { ptr: loc.node_ptr, data: unlock.to_le_bytes().to_vec() });
+            self.dm.execute(batch)?;
+            self.invalidate_cached(loc.node_ptr);
+            return Ok(true);
+        }
+        let mut grown = fresh.grow();
+        let leaf_ptr = self.write_new_leaf(key, value)?;
+        grown.set_child(Slot::leaf(byte, leaf_ptr));
+        let grown_ptr = self.write_new_inner(&grown, &key[..plen])?;
+
+        // Swing the pointer to this node: either the parent's child slot
+        // or the root word.
+        let old_slot =
+            Slot::decode(loc.parent_expected).ok_or(BaselineError::Corrupt { what: "parent slot empty" })?;
+        let new_word = Slot::inner(old_slot.key_byte, grown.header.kind, grown_ptr).encode();
+        let swung = match loc.parent_node_ptr {
+            None => {
+                if self.dm.cas(self.meta.root_word, loc.parent_expected, new_word)?
+                    == loc.parent_expected
+                {
+                    Install::Done
+                } else {
+                    Install::Raced // the meta word has no switch ambiguity
+                }
+            }
+            Some(pp) => {
+                let offset = loc.parent_word_ptr.offset() - pp.offset();
+                self.install_word(pp, offset, loc.parent_expected, new_word)?
+            }
+        };
+        match swung {
+            Install::Done => {}
+            Install::Raced => {
+                // Provably never linked: reclaim and retry.
+                self.dm.write_u64(loc.node_ptr, unlock)?;
+                let _ = self.dm.free(grown_ptr);
+                let _ = self.dm.free(leaf_ptr);
+                self.root_slot = None;
+                return Ok(false);
+            }
+            Install::Ambiguous => {
+                // The grown node may be linked through a copy: unlock the
+                // original, leak, and let the retry converge on whichever
+                // structure won.
+                self.dm.write_u64(loc.node_ptr, unlock)?;
+                self.root_slot = None;
+                return Ok(false);
+            }
+        }
+        // Retire the original.
+        let invalid = fresh.header.control_with_status(NodeStatus::Invalid);
+        self.dm.write_u64(loc.node_ptr, invalid)?;
+        self.invalidate_cached(loc.node_ptr);
+        if loc.parent_node_ptr.is_none() {
+            self.root_slot = None; // our cached root pointer is stale now
+        }
+        Ok(true)
+    }
+}
+
+/// See `sphinx::scan` for the derivation.
+fn range_may_intersect(known: &[u8], low: &[u8], high: &[u8]) -> bool {
+    if known > high {
+        return false;
+    }
+    if known < low && !low.starts_with(known) {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BaselineConfig, BaselineIndex};
+    use dm_sim::{ClusterConfig, DmCluster};
+
+    fn cluster() -> DmCluster {
+        DmCluster::new(ClusterConfig {
+            num_mns: 3,
+            num_cns: 3,
+            mn_capacity: 128 << 20,
+            ..Default::default()
+        })
+    }
+
+    fn configs() -> Vec<(&'static str, BaselineConfig)> {
+        vec![
+            ("art", BaselineConfig::art()),
+            ("smart", BaselineConfig::smart(1 << 20)),
+        ]
+    }
+
+    #[test]
+    fn insert_get_roundtrip_both_baselines() {
+        for (name, cfg) in configs() {
+            let c = cluster();
+            let idx = BaselineIndex::create(&c, cfg).unwrap();
+            let mut cl = idx.client(0).unwrap();
+            cl.insert(b"lyrics", b"v1").unwrap();
+            cl.insert(b"lyre", b"v2").unwrap();
+            assert_eq!(cl.get(b"lyrics").unwrap().as_deref(), Some(&b"v1"[..]), "{name}");
+            assert_eq!(cl.get(b"lyre").unwrap().as_deref(), Some(&b"v2"[..]), "{name}");
+            assert_eq!(cl.get(b"lyr").unwrap(), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn update_delete_scan_both_baselines() {
+        for (name, cfg) in configs() {
+            let c = cluster();
+            let idx = BaselineIndex::create(&c, cfg).unwrap();
+            let mut cl = idx.client(0).unwrap();
+            for w in ["apple", "banana", "cherry", "date"] {
+                cl.insert(w.as_bytes(), b"x").unwrap();
+            }
+            assert!(cl.update(b"banana", b"yellow").unwrap(), "{name}");
+            assert!(cl.remove(b"cherry").unwrap(), "{name}");
+            let hits = cl.scan(b"a", b"z").unwrap();
+            let keys: Vec<&[u8]> = hits.iter().map(|(k, _)| k.as_slice()).collect();
+            assert_eq!(keys, vec![b"apple".as_slice(), b"banana", b"date"], "{name}");
+            assert_eq!(cl.get(b"banana").unwrap().as_deref(), Some(&b"yellow"[..]), "{name}");
+        }
+    }
+
+    #[test]
+    fn many_keys_with_type_switches_art() {
+        let c = cluster();
+        let idx = BaselineIndex::create(&c, BaselineConfig::art()).unwrap();
+        let mut cl = idx.client(0).unwrap();
+        for i in 0..500u32 {
+            cl.insert(&i.wrapping_mul(2654435761).to_be_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..500u32 {
+            assert_eq!(
+                cl.get(&i.wrapping_mul(2654435761).to_be_bytes()).unwrap().as_deref(),
+                Some(&i.to_le_bytes()[..]),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn smart_prealloc_uses_more_memory_than_art() {
+        let keys: Vec<[u8; 8]> =
+            (0..3000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).to_be_bytes()).collect();
+        let mut sizes = Vec::new();
+        for (_, cfg) in configs() {
+            let c = cluster();
+            let idx = BaselineIndex::create(&c, cfg).unwrap();
+            let mut cl = idx.client(0).unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                cl.insert(k, &(i as u64).to_le_bytes()).unwrap();
+            }
+            sizes.push(idx.memory_bytes());
+        }
+        let (art, smart) = (sizes[0], sizes[1]);
+        assert!(
+            smart as f64 > art as f64 * 1.5,
+            "SMART prealloc should cost much more memory: art={art} smart={smart}"
+        );
+    }
+
+    #[test]
+    fn smart_cache_cuts_round_trips() {
+        let c = cluster();
+        let idx = BaselineIndex::create(&c, BaselineConfig::smart(4 << 20)).unwrap();
+        let mut cl = idx.client(0).unwrap();
+        for i in 0..200u32 {
+            cl.insert(format!("cachekey{i:04}").as_bytes(), b"v").unwrap();
+        }
+        // Warm pass.
+        for i in 0..200u32 {
+            cl.get(format!("cachekey{i:04}").as_bytes()).unwrap();
+        }
+        let warm_before = cl.net_stats().round_trips;
+        for i in 0..200u32 {
+            cl.get(format!("cachekey{i:04}").as_bytes()).unwrap();
+        }
+        let warm = cl.net_stats().round_trips - warm_before;
+        // ART pays full traversal every time.
+        let c2 = cluster();
+        let idx2 = BaselineIndex::create(&c2, BaselineConfig::art()).unwrap();
+        let mut cl2 = idx2.client(0).unwrap();
+        for i in 0..200u32 {
+            cl2.insert(format!("cachekey{i:04}").as_bytes(), b"v").unwrap();
+        }
+        let before = cl2.net_stats().round_trips;
+        for i in 0..200u32 {
+            cl2.get(format!("cachekey{i:04}").as_bytes()).unwrap();
+        }
+        let art_rts = cl2.net_stats().round_trips - before;
+        assert!(
+            warm < art_rts,
+            "cached SMART ({warm} RTs) should beat uncached ART ({art_rts} RTs)"
+        );
+    }
+
+    #[test]
+    fn cross_client_visibility_despite_cache() {
+        let c = cluster();
+        let idx = BaselineIndex::create(&c, BaselineConfig::smart(1 << 20)).unwrap();
+        let mut w = idx.client(0).unwrap();
+        let mut r = idx.client(1).unwrap();
+        w.insert(b"seen", b"1").unwrap();
+        assert_eq!(r.get(b"seen").unwrap().as_deref(), Some(&b"1"[..]));
+        // Reader has now cached the path; writer adds a sibling.
+        w.insert(b"seen2", b"2").unwrap();
+        assert_eq!(
+            r.get(b"seen2").unwrap().as_deref(),
+            Some(&b"2"[..]),
+            "stale cache must not hide new keys"
+        );
+    }
+
+    #[test]
+    fn concurrent_inserts_both_baselines() {
+        for (name, cfg) in configs() {
+            let c = cluster();
+            let idx = BaselineIndex::create(&c, cfg).unwrap();
+            std::thread::scope(|s| {
+                for t in 0..3u32 {
+                    let idx = idx.clone();
+                    s.spawn(move || {
+                        let mut cl = idx.client(t as u16 % 3).unwrap();
+                        for i in 0..150u32 {
+                            cl.insert(format!("c{t}-{i:04}").as_bytes(), &i.to_le_bytes())
+                                .unwrap();
+                        }
+                    });
+                }
+            });
+            let mut cl = idx.client(0).unwrap();
+            for t in 0..3u32 {
+                for i in 0..150u32 {
+                    assert_eq!(
+                        cl.get(format!("c{t}-{i:04}").as_bytes()).unwrap().as_deref(),
+                        Some(&i.to_le_bytes()[..]),
+                        "{name}: lost c{t}-{i}"
+                    );
+                }
+            }
+        }
+    }
+}

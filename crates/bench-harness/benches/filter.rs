@@ -1,0 +1,56 @@
+//! Criterion companion to §III-B: raw Succinct-Filter-Cache operation
+//! costs at increasing occupancy (the CN-side CPU price of the design —
+//! the network-side effect is measured by `sfc_stats` and `ablation`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cuckoo::CuckooFilter;
+
+fn filled_filter(capacity: usize, load_pct: usize) -> CuckooFilter {
+    let mut f = CuckooFilter::with_capacity_and_seed(capacity, 42);
+    let n = capacity * load_pct / 100;
+    for i in 0..n as u64 {
+        f.insert(&i.to_le_bytes());
+    }
+    f
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("succinct_filter_cache");
+    for load in [25usize, 50, 90] {
+        group.bench_function(BenchmarkId::new("contains_hit", load), |b| {
+            let mut f = filled_filter(1 << 16, load);
+            let n = ((1usize << 16) * load / 100) as u64;
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % n;
+                std::hint::black_box(f.contains(&i.to_le_bytes()))
+            })
+        });
+        group.bench_function(BenchmarkId::new("contains_miss", load), |b| {
+            let f = filled_filter(1 << 16, load);
+            let mut i = 1u64 << 40;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(f.contains_quiet(&i.to_le_bytes()))
+            })
+        });
+        group.bench_function(BenchmarkId::new("insert_with_eviction", load), |b| {
+            let mut f = filled_filter(1 << 12, load);
+            let mut i = 1u64 << 50;
+            b.iter(|| {
+                i += 1;
+                f.insert(&i.to_le_bytes());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = filter;
+    config = Criterion::default().measurement_time(Duration::from_secs(5));
+    targets = benches
+}
+criterion_main!(filter);

@@ -1,0 +1,75 @@
+//! Substrate microbenchmarks: per-verb simulator cost, node
+//! encode/decode, and local-ART operations. These bound how much host CPU
+//! the simulation itself spends per modeled operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use art_core::layout::{InnerNode, LeafNode};
+use art_core::{LocalArt, NodeKind};
+use dm_sim::{ClusterConfig, DmCluster};
+
+fn benches(c: &mut Criterion) {
+    // Simulator verb costs.
+    let cluster = DmCluster::new(ClusterConfig::default());
+    let mut client = cluster.client(0);
+    let ptr = client.alloc(0, 4096).expect("alloc");
+
+    let mut group = c.benchmark_group("dm_sim_verbs");
+    group.bench_function("read_128", |b| {
+        b.iter(|| std::hint::black_box(client.read(ptr, 128).expect("read")))
+    });
+    group.bench_function("write_128", |b| {
+        let data = [7u8; 128];
+        b.iter(|| client.write(ptr, &data).expect("write"))
+    });
+    group.bench_function("cas", |b| b.iter(|| client.cas(ptr, 0, 0).expect("cas")));
+    group.finish();
+
+    // Node codecs.
+    let mut group = c.benchmark_group("layout_codecs");
+    let mut inner = InnerNode::new(NodeKind::Node48, b"prefix");
+    for i in 0..40u8 {
+        inner.set_child(art_core::layout::Slot::leaf(i, dm_sim::RemotePtr::new(0, 64)));
+    }
+    let inner_bytes = inner.encode();
+    group.bench_function("inner48_encode", |b| b.iter(|| std::hint::black_box(inner.encode())));
+    group.bench_function("inner48_decode", |b| {
+        b.iter(|| std::hint::black_box(InnerNode::decode(&inner_bytes).expect("decode")))
+    });
+    let leaf = LeafNode::new(b"someemail@example.org".to_vec(), vec![9u8; 64]);
+    let leaf_bytes = leaf.encode();
+    group.bench_function("leaf_encode", |b| b.iter(|| std::hint::black_box(leaf.encode())));
+    group.bench_function("leaf_decode_checksum", |b| {
+        b.iter(|| std::hint::black_box(LeafNode::decode(&leaf_bytes).expect("decode")))
+    });
+    group.finish();
+
+    // Local ART reference ops.
+    let mut group = c.benchmark_group("local_art");
+    let mut art = LocalArt::new();
+    for i in 0..50_000u64 {
+        art.insert(art_core::key::u64_key(i.wrapping_mul(0x9E37)).to_vec(), i);
+    }
+    let mut i = 0u64;
+    group.bench_function("get_50k", |b| {
+        b.iter(|| {
+            i = (i + 1) % 50_000;
+            std::hint::black_box(art.get(&art_core::key::u64_key(i.wrapping_mul(0x9E37))))
+        })
+    });
+    group.bench_function("insert_remove", |b| {
+        b.iter(|| {
+            art.insert(b"bench-key".to_vec(), 1);
+            art.remove(b"bench-key");
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().measurement_time(Duration::from_secs(5));
+    targets = benches
+}
+criterion_main!(micro);

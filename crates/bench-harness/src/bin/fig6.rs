@@ -1,0 +1,73 @@
+//! Fig. 6 + §V-D — MN-side memory usage across datasets.
+//!
+//! Loads the same key set into ART, Sphinx (= ART + Inner Node Hash
+//! Table) and SMART, and reports each system's memory-node footprint. The
+//! paper reports: INHT overhead of 3.3% (u64) / 4.9% (email) over plain
+//! ART, and SMART at 2.1–3.0× ART due to Node-256 preallocation.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin fig6 -- [--keys 200000]
+//! ```
+
+use bench_harness::report::{arg_u64, Table};
+use bench_harness::runner::load_phase;
+use bench_harness::systems::System;
+use ycsb::KeySpace;
+
+fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let keys = arg_u64(&args, "--keys", 200_000);
+
+    println!("Fig. 6 — MN-side memory usage after loading {keys} keys\n");
+    let mut table = Table::new([
+        "dataset",
+        "system",
+        "art_mib",
+        "aux_mib",
+        "total_mib",
+        "vs_art",
+    ]);
+
+    for keyspace in [KeySpace::U64, KeySpace::Email] {
+        let mut art_total = 0u64;
+        for sys in [System::Art, System::Sphinx, System::Smart] {
+            let handle = sys.build(2 << 30, None);
+            load_phase(&handle, keyspace, keys, 8);
+            let (art_bytes, aux_bytes) = handle.memory_breakdown();
+            let total = art_bytes + aux_bytes;
+            if sys == System::Art {
+                art_total = total;
+            }
+            let vs_art = total as f64 / art_total as f64;
+            table.row([
+                keyspace.name().to_string(),
+                sys.label().to_string(),
+                mib(art_bytes),
+                mib(aux_bytes),
+                mib(total),
+                format!("{vs_art:.2}x"),
+            ]);
+            if sys == System::Sphinx {
+                println!(
+                    "  {}: INHT overhead = {:.1}% of ART (paper: {})",
+                    keyspace.name(),
+                    aux_bytes as f64 / art_bytes as f64 * 100.0,
+                    if keyspace == KeySpace::U64 { "3.3%" } else { "4.9%" },
+                );
+            }
+            if sys == System::Smart {
+                println!(
+                    "  {}: SMART / ART = {:.2}x (paper: 2.1–3.0x)\n",
+                    keyspace.name(),
+                    vs_art,
+                );
+            }
+        }
+    }
+    println!("{}", table.render());
+    table.write_csv("fig6_memory");
+}

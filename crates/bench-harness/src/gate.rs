@@ -1,0 +1,97 @@
+//! Conservative virtual-time synchronization for benchmark workers.
+//!
+//! The NIC model in `dm-sim` is a FIFO server in *virtual* time: it is
+//! accurate when requests arrive in roughly nondecreasing virtual order.
+//! Real OS scheduling violates that — on a small host one worker thread
+//! runs a long real-time slice, pushing its virtual clock far ahead, and
+//! every later-scheduled worker then queues behind virtual history that
+//! "already happened". The symptom is perfect serialization: aggregate
+//! throughput pinned at a single worker's rate regardless of worker count.
+//!
+//! [`VirtualGate`] restores near-monotonic arrivals the way conservative
+//! parallel-discrete-event simulators do: each worker publishes its clock
+//! after every operation and yields while it is more than `window_ns`
+//! ahead of the slowest active worker. The window trades fidelity (smaller
+//! = more accurate queueing) against real-time overhead (more yields).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A clock-window barrier across benchmark workers.
+#[derive(Debug)]
+pub struct VirtualGate {
+    clocks: Vec<AtomicU64>,
+    window_ns: u64,
+}
+
+impl VirtualGate {
+    /// Creates a gate for `workers` participants with the given window.
+    pub fn new(workers: usize, window_ns: u64) -> Self {
+        let mut clocks = Vec::with_capacity(workers);
+        clocks.resize_with(workers, || AtomicU64::new(0));
+        VirtualGate { clocks, window_ns }
+    }
+
+    /// Publishes worker `me`'s clock and blocks (yielding) while it runs
+    /// more than the window ahead of the slowest active worker.
+    pub fn sync(&self, me: usize, clock_ns: u64) {
+        self.clocks[me].store(clock_ns, Ordering::Release);
+        loop {
+            let min =
+                self.clocks.iter().map(|c| c.load(Ordering::Acquire)).min().unwrap_or(0);
+            if clock_ns <= min.saturating_add(self.window_ns) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Marks worker `me` finished so it no longer holds others back.
+    pub fn finish(&self, me: usize) {
+        self.clocks[me].store(u64::MAX, Ordering::Release);
+    }
+
+    /// Resets all clocks to zero (phase boundary).
+    pub fn reset(&self) {
+        for c in &self.clocks {
+            c.store(0, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lone_worker_never_blocks() {
+        let gate = VirtualGate::new(1, 1000);
+        gate.sync(0, 0);
+        gate.sync(0, 1_000_000_000);
+    }
+
+    #[test]
+    fn fast_worker_waits_for_slow_one() {
+        let gate = Arc::new(VirtualGate::new(2, 1_000));
+        let g = gate.clone();
+        let t = std::thread::spawn(move || {
+            // Fast worker jumps to 1 ms; must block until the slow worker
+            // catches up within 1 µs.
+            g.sync(0, 1_000_000);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!t.is_finished(), "fast worker should be gated");
+        gate.sync(1, 999_500);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn finish_releases_waiters() {
+        let gate = Arc::new(VirtualGate::new(2, 1_000));
+        let g = gate.clone();
+        let t = std::thread::spawn(move || g.sync(0, 5_000_000));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        gate.finish(1);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! Table and CSV emission for the benchmark binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple fixed-width text table matching the rows/series the paper
+/// reports.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths.get(i).copied().unwrap_or(0));
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Writes the table as CSV under `results/` (created on demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (bench context).
+    pub fn write_csv(&self, name: &str) {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir).expect("create results dir");
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        fs::write(dir.join(format!("{name}.csv")), out).expect("write csv");
+    }
+}
+
+/// Renders a throughput–latency scatter as ASCII: one letter per series,
+/// log-scaled axes, suitable for eyeballing the Fig. 5 hockey stick in a
+/// terminal. Points are `(x = Mops, y = latency µs)`.
+pub fn ascii_curve(series: &[(&str, Vec<(f64, f64)>)]) -> String {
+    const W: usize = 64;
+    const H: usize = 18;
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no data)
+");
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        x0 = x0.min(x.max(1e-6));
+        x1 = x1.max(x);
+        y0 = y0.min(y.max(1e-6));
+        y1 = y1.max(y);
+    }
+    let (lx0, lx1) = (x0.ln(), (x1.max(x0 * 1.01)).ln());
+    let (ly0, ly1) = (y0.ln(), (y1.max(y0 * 1.01)).ln());
+    let mut grid = vec![vec![b' '; W]; H];
+    for (si, (label, pts)) in series.iter().enumerate() {
+        let ch = label.as_bytes().first().copied().unwrap_or(b'A' + si as u8);
+        for &(x, y) in pts {
+            let cx = ((x.max(1e-6).ln() - lx0) / (lx1 - lx0) * (W - 1) as f64).round();
+            let cy = ((y.max(1e-6).ln() - ly0) / (ly1 - ly0) * (H - 1) as f64).round();
+            let (cx, cy) = (cx.clamp(0.0, (W - 1) as f64) as usize,
+                            cy.clamp(0.0, (H - 1) as f64) as usize);
+            grid[H - 1 - cy][cx] = ch;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "latency (us, log) {y1:>8.1}");
+    for row in &grid {
+        out.push_str("  |");
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    let _ = writeln!(out, "  +{}", "-".repeat(W));
+    let _ = writeln!(
+        out,
+        "  {:.2} Mops (log) {:>width$.2}",
+        x0,
+        x1,
+        width = W.saturating_sub(18)
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .map(|(l, _)| format!("{} = {l}", l.chars().next().unwrap_or('?')))
+        .collect();
+    let _ = writeln!(out, "  {}", legend.join("   "));
+    out
+}
+
+/// Parses `--flag value` style arguments with a default.
+pub fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["sys", "mops"]);
+        t.row(["Sphinx", "1.234"]);
+        t.row(["ART", "0.1"]);
+        let s = t.render();
+        assert!(s.contains("Sphinx"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn ascii_curve_draws_all_series() {
+        let s = ascii_curve(&[
+            ("Sphinx", vec![(1.0, 9.0), (10.0, 12.0)]),
+            ("ART", vec![(0.5, 12.0), (3.0, 50.0)]),
+        ]);
+        assert!(s.contains('S') && s.contains('A'));
+        assert!(s.contains("S = Sphinx"));
+        assert!(s.lines().count() > 15);
+    }
+
+    #[test]
+    fn ascii_curve_empty() {
+        assert_eq!(ascii_curve(&[]), "(no data)\n");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--keys", "5000", "--ops", "100"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_u64(&args, "--keys", 1), 5000);
+        assert_eq!(arg_u64(&args, "--ops", 1), 100);
+        assert_eq!(arg_u64(&args, "--workers", 24), 24);
+    }
+}

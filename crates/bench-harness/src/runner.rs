@@ -1,0 +1,290 @@
+//! The multi-worker, virtual-time workload runner.
+//!
+//! Workers are OS threads, each owning a [`WorkerClient`] with its own
+//! virtual clock; throughput and latency are computed from **virtual**
+//! time, so results are meaningful regardless of host core count (the
+//! simulation thesis of DESIGN.md §2). Between the load and run phases the
+//! NIC queues and worker clocks are reset, and the run phase starts with a
+//! warm-up fraction so caches reach steady state before measurement.
+
+use std::sync::{Arc, Barrier};
+
+use dm_sim::LatencyHistogram;
+use ycsb::{value_for, KeySpace, Op, OpStream, SharedInsertCursor, Workload};
+
+use crate::gate::VirtualGate;
+use crate::systems::{SystemHandle, WorkerClient};
+
+/// How far ahead of the slowest worker a clock may run (see
+/// [`VirtualGate`]). Roughly two operations at the common three-round-trip
+/// cost.
+const GATE_WINDOW_NS: u64 = 15_000;
+
+/// Parameters of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Key dataset.
+    pub keyspace: KeySpace,
+    /// Preloaded key count.
+    pub num_keys: u64,
+    /// Workload mix.
+    pub workload: Workload,
+    /// Total worker count, distributed round-robin over the CNs.
+    pub workers: usize,
+    /// Measured operations per worker.
+    pub ops_per_worker: u64,
+    /// Warm-up operations per worker (run before clocks reset).
+    pub warmup_per_worker: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A laptop-scale default: 100k keys, 24 workers, 2k measured ops per
+    /// worker.
+    pub fn quick(keyspace: KeySpace, workload: Workload) -> Self {
+        RunConfig {
+            keyspace,
+            num_keys: 100_000,
+            workload,
+            workers: 24,
+            ops_per_worker: 2_000,
+            warmup_per_worker: 400,
+            seed: 0xBEAC_0001,
+        }
+    }
+}
+
+/// Aggregated outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Throughput in million operations per second (virtual time).
+    pub mops: f64,
+    /// Mean operation latency, microseconds.
+    pub avg_latency_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Total measured operations.
+    pub total_ops: u64,
+    /// Network round trips per operation.
+    pub round_trips_per_op: f64,
+    /// Wire bytes per operation.
+    pub bytes_per_op: f64,
+}
+
+/// Loads `num_keys` keys (indexes `0..num_keys`) through `load_workers`
+/// parallel workers. Values are the deterministic 64-byte YCSB payloads.
+///
+/// # Panics
+///
+/// Panics on index errors (bench context).
+pub fn load_phase(handle: &SystemHandle, keyspace: KeySpace, num_keys: u64, load_workers: usize) {
+    let num_cns = handle.cluster().num_cns();
+    std::thread::scope(|s| {
+        for w in 0..load_workers {
+            let handle = handle.clone();
+            s.spawn(move || {
+                let mut client = handle.worker((w % num_cns as usize) as u16);
+                let mut i = w as u64;
+                while i < num_keys {
+                    client.insert(&keyspace.key(i), &value_for(i, 0));
+                    i += load_workers as u64;
+                }
+            });
+        }
+    });
+    // The load phase must not pollute run-phase clocks or NIC queues.
+    handle.cluster().reset_network();
+}
+
+/// Sorted initial keys — used to translate YCSB `Scan(start, len)` into
+/// the `[low, high]` ranges the indexes serve.
+pub fn sorted_keys(keyspace: KeySpace, num_keys: u64) -> Arc<Vec<Vec<u8>>> {
+    let mut keys: Vec<Vec<u8>> = (0..num_keys).map(|i| keyspace.key(i)).collect();
+    keys.sort();
+    Arc::new(keys)
+}
+
+struct WorkerOutcome {
+    clock_ns: u64,
+    ops: u64,
+    hist: LatencyHistogram,
+    round_trips: u64,
+    bytes: u64,
+}
+
+/// Executes the measured phase and aggregates virtual-time results.
+///
+/// # Panics
+///
+/// Panics on index errors (bench context).
+pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
+    let num_cns = handle.cluster().num_cns() as usize;
+    let cursor = SharedInsertCursor::new(cfg.num_keys);
+    let sorted = if cfg.workload.scan > 0.0 {
+        sorted_keys(cfg.keyspace, cfg.num_keys)
+    } else {
+        Arc::new(Vec::new())
+    };
+
+    let barrier = Arc::new(Barrier::new(cfg.workers));
+    let gate = Arc::new(VirtualGate::new(cfg.workers, GATE_WINDOW_NS));
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let handle = handle.clone();
+            let cursor = cursor.clone();
+            let sorted = sorted.clone();
+            let cfg = cfg.clone();
+            let barrier = barrier.clone();
+            let gate = gate.clone();
+            joins.push(s.spawn(move || {
+                let mut client = handle.worker((w % num_cns) as u16);
+                let mut stream = OpStream::with_cursor(
+                    cfg.workload.clone(),
+                    cfg.num_keys,
+                    cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    cursor,
+                );
+                // Warm-up: populate filter/node caches…
+                for _ in 0..cfg.warmup_per_worker {
+                    execute_op(&mut client, &mut stream, &cfg, &sorted);
+                    gate.sync(w, client.clock_ns());
+                }
+                // …then synchronize everyone, drain the virtual NIC queues
+                // exactly once, and restart all clocks at zero so the
+                // measured interval is a clean steady-state window.
+                gate.finish(w);
+                if barrier.wait().is_leader() {
+                    handle.cluster().reset_network();
+                    gate.reset();
+                }
+                barrier.wait();
+                client.set_clock_ns(0);
+                let base_stats = client.net_stats();
+
+                let mut hist = LatencyHistogram::new();
+                for _ in 0..cfg.ops_per_worker {
+                    let before = client.clock_ns();
+                    execute_op(&mut client, &mut stream, &cfg, &sorted);
+                    hist.record(client.clock_ns() - before);
+                    // Keep virtual clocks in lockstep so the NIC FIFO sees
+                    // near-monotonic arrivals (see gate.rs).
+                    gate.sync(w, client.clock_ns());
+                }
+                gate.finish(w);
+                let net = client.net_stats().since(&base_stats);
+                WorkerOutcome {
+                    clock_ns: client.clock_ns(),
+                    ops: cfg.ops_per_worker,
+                    hist,
+                    round_trips: net.round_trips,
+                    bytes: net.bytes_total(),
+                }
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("worker panicked")).collect()
+    });
+
+    let total_ops: u64 = outcomes.iter().map(|o| o.ops).sum();
+    let makespan_ns = outcomes.iter().map(|o| o.clock_ns).max().unwrap_or(1).max(1);
+    let mut hist = LatencyHistogram::new();
+    for o in &outcomes {
+        hist.merge(&o.hist);
+    }
+    let round_trips: u64 = outcomes.iter().map(|o| o.round_trips).sum();
+    let bytes: u64 = outcomes.iter().map(|o| o.bytes).sum();
+    RunResult {
+        mops: total_ops as f64 / makespan_ns as f64 * 1e3,
+        avg_latency_us: hist.mean_ns() as f64 / 1e3,
+        p99_latency_us: hist.quantile_ns(0.99) as f64 / 1e3,
+        total_ops,
+        round_trips_per_op: round_trips as f64 / total_ops as f64,
+        bytes_per_op: bytes as f64 / total_ops as f64,
+    }
+}
+
+fn execute_op(
+    client: &mut WorkerClient,
+    stream: &mut OpStream,
+    cfg: &RunConfig,
+    sorted: &[Vec<u8>],
+) {
+    match stream.next_op() {
+        Op::Read(idx) => {
+            client.get(&cfg.keyspace.key(idx));
+        }
+        Op::Update(idx) => {
+            client.update(&cfg.keyspace.key(idx), &value_for(idx, 1));
+        }
+        Op::Insert(idx) => {
+            client.insert(&cfg.keyspace.key(idx), &value_for(idx, 0));
+        }
+        Op::ReadModifyWrite(idx) => {
+            let key = cfg.keyspace.key(idx);
+            let version = client.get(&key).map_or(0, |v| v.first().copied().unwrap_or(0) as u32);
+            client.update(&key, &value_for(idx, version.wrapping_add(1)));
+        }
+        Op::Scan(idx, len) => {
+            if sorted.is_empty() {
+                return;
+            }
+            let j = (idx as usize) % sorted.len();
+            let hi = (j + len.max(1) - 1).min(sorted.len() - 1);
+            client.scan(&sorted[j], &sorted[hi]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::System;
+
+    #[test]
+    fn quick_run_produces_sane_numbers() {
+        let handle = System::Sphinx.build(64 << 20, Some(1 << 20));
+        load_phase(&handle, KeySpace::U64, 2_000, 4);
+        let cfg = RunConfig {
+            keyspace: KeySpace::U64,
+            num_keys: 2_000,
+            workload: Workload::c(),
+            workers: 6,
+            ops_per_worker: 300,
+            warmup_per_worker: 50,
+            seed: 7,
+        };
+        let r = run_phase(&handle, &cfg);
+        assert_eq!(r.total_ops, 1800);
+        assert!(r.mops > 0.0);
+        assert!(r.avg_latency_us > 1.0, "latency below one RTT: {}", r.avg_latency_us);
+        assert!(r.round_trips_per_op >= 1.0);
+    }
+
+    #[test]
+    fn scan_workload_runs() {
+        let handle = System::Smart.build(64 << 20, Some(1 << 20));
+        load_phase(&handle, KeySpace::U64, 1_000, 4);
+        let cfg = RunConfig {
+            keyspace: KeySpace::U64,
+            num_keys: 1_000,
+            workload: Workload::e(),
+            workers: 3,
+            ops_per_worker: 30,
+            warmup_per_worker: 5,
+            seed: 7,
+        };
+        let r = run_phase(&handle, &cfg);
+        assert!(r.total_ops == 90 && r.mops > 0.0);
+    }
+
+    #[test]
+    fn load_phase_inserts_all_keys() {
+        let handle = System::Art.build(64 << 20, None);
+        load_phase(&handle, KeySpace::Email, 500, 3);
+        let mut w = handle.worker(0);
+        for i in (0..500).step_by(71) {
+            assert!(w.get(&KeySpace::Email.key(i)).is_some(), "key {i} missing after load");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The four evaluated systems behind one worker-client interface.
+
+use baselines::{BaselineConfig, BaselineIndex};
+use dm_sim::{ClientStats, ClusterConfig, DmCluster};
+use sphinx::{CacheMode, SphinxConfig, SphinxIndex};
+
+/// The paper's CN-side cache budget (20 MB against a 60 M-key dataset —
+/// 4.2% of the u64 keys, 1.8% of the email keys), scaled to the number of
+/// keys the experiment actually loads. SMART+C uses ten times this.
+pub fn paper_cache_bytes(num_keys: u64) -> usize {
+    ((num_keys as usize) / 3).max(4 << 10)
+}
+
+/// Which system a run drives (the four bars of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Sphinx with the paper's default 20 MB Succinct Filter Cache.
+    Sphinx,
+    /// Sphinx without the filter cache (INHT-only ablation; not in the
+    /// paper's figures but used by the `ablation` binary).
+    SphinxInhtOnly,
+    /// SMART with a 20 MB CN-side node cache.
+    Smart,
+    /// SMART with a 200 MB CN-side node cache ("SMART+C").
+    SmartC,
+    /// The original ART ported to DM (no cache).
+    Art,
+    /// A Sherman-lite B+-tree (extension; fixed 8-byte keys — it cannot
+    /// run the email dataset, which is the point of the comparison).
+    BpTree,
+}
+
+impl System {
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            System::Sphinx => "Sphinx",
+            System::SphinxInhtOnly => "Sphinx-INHT",
+            System::Smart => "SMART",
+            System::SmartC => "SMART+C",
+            System::Art => "ART",
+            System::BpTree => "B+Tree",
+        }
+    }
+
+    /// The systems compared in Fig. 4 / Fig. 5.
+    pub fn paper_lineup() -> [System; 4] {
+        [System::Sphinx, System::Smart, System::SmartC, System::Art]
+    }
+
+    /// Builds the system on a fresh cluster mirroring the paper's testbed
+    /// (3 machines, each one CN + one MN). `cache_bytes` overrides the
+    /// CN-side cache budget where the system has one.
+    pub fn build(&self, mn_capacity: usize, cache_bytes: Option<usize>) -> SystemHandle {
+        let cluster = DmCluster::new(ClusterConfig {
+            num_mns: 3,
+            num_cns: 3,
+            mn_capacity,
+            ..Default::default()
+        });
+        self.build_on(&cluster, cache_bytes)
+    }
+
+    /// Builds the system with the paper's cache proportions for a run
+    /// over `num_keys` keys (Sphinx/SMART get the scaled 20 MB budget,
+    /// SMART+C ten times that, ART none).
+    pub fn build_scaled(&self, mn_capacity: usize, num_keys: u64) -> SystemHandle {
+        let cache = paper_cache_bytes(num_keys);
+        let budget = match self {
+            System::SmartC => 10 * cache,
+            _ => cache,
+        };
+        self.build(mn_capacity, Some(budget))
+    }
+
+    /// Builds the system on an existing cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if index creation fails (out of MN memory — raise
+    /// `mn_capacity`).
+    pub fn build_on(&self, cluster: &DmCluster, cache_bytes: Option<usize>) -> SystemHandle {
+        match self {
+            System::Sphinx | System::SphinxInhtOnly => {
+                let config = SphinxConfig {
+                    cache_bytes: cache_bytes.unwrap_or(20 << 20),
+                    mode: if *self == System::SphinxInhtOnly {
+                        CacheMode::InhtOnly
+                    } else {
+                        CacheMode::FilterCache
+                    },
+                    ..SphinxConfig::default()
+                };
+                SystemHandle::Sphinx(
+                    SphinxIndex::create(cluster, config).expect("create sphinx"),
+                )
+            }
+            System::Smart => SystemHandle::Baseline(
+                BaselineIndex::create(
+                    cluster,
+                    BaselineConfig::smart(cache_bytes.unwrap_or(20 << 20)),
+                )
+                .expect("create smart"),
+            ),
+            System::SmartC => SystemHandle::Baseline(
+                BaselineIndex::create(
+                    cluster,
+                    BaselineConfig::smart(cache_bytes.unwrap_or(200 << 20)),
+                )
+                .expect("create smart+c"),
+            ),
+            System::Art => SystemHandle::Baseline(
+                BaselineIndex::create(cluster, BaselineConfig::art()).expect("create art"),
+            ),
+            System::BpTree => SystemHandle::BpTree(
+                bptree::BpTreeIndex::create(cluster, cache_bytes.unwrap_or(20 << 20))
+                    .expect("create b+tree"),
+            ),
+        }
+    }
+}
+
+/// A built index, able to mint per-worker clients.
+#[derive(Clone)]
+pub enum SystemHandle {
+    /// A Sphinx index.
+    Sphinx(SphinxIndex),
+    /// An ART or SMART baseline index.
+    Baseline(BaselineIndex),
+    /// A B+-tree index (extension experiments).
+    BpTree(bptree::BpTreeIndex),
+}
+
+impl SystemHandle {
+    /// Creates a worker client bound to compute node `cn_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on substrate errors (bench context).
+    pub fn worker(&self, cn_id: u16) -> WorkerClient {
+        match self {
+            SystemHandle::Sphinx(idx) => {
+                WorkerClient::Sphinx(Box::new(idx.client(cn_id).expect("sphinx client")))
+            }
+            SystemHandle::Baseline(idx) => {
+                WorkerClient::Baseline(Box::new(idx.client(cn_id).expect("baseline client")))
+            }
+            SystemHandle::BpTree(idx) => {
+                WorkerClient::BpTree(Box::new(idx.client(cn_id).expect("b+tree client")))
+            }
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &DmCluster {
+        match self {
+            SystemHandle::Sphinx(idx) => idx.cluster(),
+            SystemHandle::Baseline(idx) => idx.cluster(),
+            SystemHandle::BpTree(idx) => idx.cluster(),
+        }
+    }
+
+    /// MN-side memory: `(index bytes, auxiliary bytes)` where auxiliary is
+    /// Sphinx's Inner Node Hash Table (0 for the baselines). Fig. 6.
+    pub fn memory_breakdown(&self) -> (u64, u64) {
+        match self {
+            SystemHandle::Sphinx(idx) => {
+                let s = idx.space_breakdown().expect("space breakdown");
+                (s.art_bytes, s.inht_bytes)
+            }
+            SystemHandle::Baseline(idx) => (idx.memory_bytes(), 0),
+            SystemHandle::BpTree(idx) => (idx.memory_bytes(), 0),
+        }
+    }
+}
+
+/// One benchmark worker: a thin uniform facade over the two client types.
+///
+/// Methods panic on substrate errors — benchmark context, where an error
+/// is a bug, not a condition to handle.
+pub enum WorkerClient {
+    /// Sphinx worker.
+    Sphinx(Box<sphinx::SphinxClient>),
+    /// Baseline worker.
+    Baseline(Box<baselines::BaselineClient>),
+    /// B+-tree worker: keys must be 8-byte big-endian integers (the u64
+    /// dataset); anything else panics — fixed-width keys are the point of
+    /// the comparison.
+    BpTree(Box<bptree::BpTreeClient>),
+}
+
+fn bp_key(key: &[u8]) -> u64 {
+    u64::from_be_bytes(
+        key.try_into().expect("B+tree supports fixed 8-byte keys only (u64 dataset)"),
+    )
+}
+
+impl WorkerClient {
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        match self {
+            WorkerClient::Sphinx(c) => c.get(key).expect("get"),
+            WorkerClient::Baseline(c) => c.get(key).expect("get"),
+            WorkerClient::BpTree(c) => c.get(bp_key(key)).expect("get"),
+        }
+    }
+
+    /// Insert / upsert.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) {
+        match self {
+            WorkerClient::Sphinx(c) => c.insert(key, value).expect("insert"),
+            WorkerClient::Baseline(c) => c.insert(key, value).expect("insert"),
+            WorkerClient::BpTree(c) => c.insert(bp_key(key), value).expect("insert"),
+        }
+    }
+
+    /// Update an existing key.
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> bool {
+        match self {
+            WorkerClient::Sphinx(c) => c.update(key, value).expect("update"),
+            WorkerClient::Baseline(c) => c.update(key, value).expect("update"),
+            WorkerClient::BpTree(c) => c.update(bp_key(key), value).expect("update"),
+        }
+    }
+
+    /// Range scan; returns the number of entries found.
+    pub fn scan(&mut self, low: &[u8], high: &[u8]) -> usize {
+        match self {
+            WorkerClient::Sphinx(c) => c.scan(low, high).expect("scan").len(),
+            WorkerClient::Baseline(c) => c.scan(low, high).expect("scan").len(),
+            WorkerClient::BpTree(c) => {
+                c.scan(bp_key(low), bp_key(high)).expect("scan").len()
+            }
+        }
+    }
+
+    /// Virtual clock (ns).
+    pub fn clock_ns(&self) -> u64 {
+        match self {
+            WorkerClient::Sphinx(c) => c.clock_ns(),
+            WorkerClient::Baseline(c) => c.clock_ns(),
+            WorkerClient::BpTree(c) => c.clock_ns(),
+        }
+    }
+
+    /// Reset the virtual clock (phase barrier).
+    pub fn set_clock_ns(&mut self, ns: u64) {
+        match self {
+            WorkerClient::Sphinx(c) => c.set_clock_ns(ns),
+            WorkerClient::Baseline(c) => c.set_clock_ns(ns),
+            WorkerClient::BpTree(c) => c.set_clock_ns(ns),
+        }
+    }
+
+    /// Network counters.
+    pub fn net_stats(&self) -> ClientStats {
+        match self {
+            WorkerClient::Sphinx(c) => c.net_stats(),
+            WorkerClient::Baseline(c) => c.net_stats(),
+            WorkerClient::BpTree(c) => c.net_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_build_and_serve() {
+        for sys in [
+            System::Sphinx,
+            System::SphinxInhtOnly,
+            System::Smart,
+            System::SmartC,
+            System::Art,
+            System::BpTree,
+        ] {
+            let handle = sys.build(64 << 20, Some(1 << 20));
+            let mut w = handle.worker(0);
+            // The B+tree takes fixed 8-byte keys; use one everywhere.
+            let key = 42u64.to_be_bytes();
+            let (lo, hi) = (0u64.to_be_bytes(), u64::MAX.to_be_bytes());
+            w.insert(&key, b"value");
+            let got = w.get(&key).expect("present");
+            assert_eq!(&got[..5], b"value", "{}", sys.label());
+            assert!(w.update(&key, b"value2"), "{}", sys.label());
+            assert_eq!(w.scan(&lo, &hi), 1, "{}", sys.label());
+        }
+    }
+}

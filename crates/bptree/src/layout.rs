@@ -1,0 +1,271 @@
+//! On-MN node layout of the B-link tree.
+//!
+//! ```text
+//! node (1024 bytes):
+//!   word 0      lock(1) | level(7) | count(16) | version(32) | rsvd(8)
+//!   word 1      right-sibling pointer (raw RemotePtr, 0 = none)
+//!   word 2      high key (u64::MAX = +∞)
+//!   24..1016    entries
+//!   1016..1024  trailing version (seqlock tail check)
+//!
+//! internal entry (16 B): separator key | child raw pointer
+//!   child i covers [sep_i, sep_{i+1}) — sep_0 is 0 for the leftmost path
+//! leaf entry (72 B): key | 64-byte value
+//! ```
+
+use dm_sim::RemotePtr;
+
+/// Node size in bytes.
+pub const NODE_BYTES: usize = 1024;
+/// Fixed value payload per leaf entry.
+pub const VALUE_LEN: usize = 64;
+/// Byte offset of the entry area.
+pub const ENTRIES_OFFSET: usize = 24;
+/// Byte offset of the trailing version word.
+pub const TAIL_OFFSET: usize = NODE_BYTES - 8;
+/// Max entries in an internal node.
+pub const INTERNAL_CAP: usize = (TAIL_OFFSET - ENTRIES_OFFSET) / 16; // 62
+/// Max entries in a leaf.
+pub const LEAF_CAP: usize = (TAIL_OFFSET - ENTRIES_OFFSET) / (8 + VALUE_LEN); // 13
+
+/// Decoded node header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeHeader {
+    /// Write lock bit.
+    pub locked: bool,
+    /// Tree level: 0 = leaf.
+    pub level: u8,
+    /// Live entry count.
+    pub count: u16,
+    /// Version, bumped by every write (seqlock).
+    pub version: u32,
+}
+
+impl NodeHeader {
+    /// Encodes the header word.
+    pub fn encode(&self) -> u64 {
+        (self.locked as u64)
+            | ((self.level as u64 & 0x7F) << 1)
+            | ((self.count as u64) << 8)
+            | ((self.version as u64) << 24)
+    }
+
+    /// Decodes a header word.
+    pub fn decode(word: u64) -> NodeHeader {
+        NodeHeader {
+            locked: word & 1 != 0,
+            level: ((word >> 1) & 0x7F) as u8,
+            count: ((word >> 8) & 0xFFFF) as u16,
+            version: ((word >> 24) & 0xFFFF_FFFF) as u32,
+        }
+    }
+}
+
+/// A decoded B-link node (leaf or internal, by `header.level`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpNode {
+    /// Header fields.
+    pub header: NodeHeader,
+    /// Right sibling (null = rightmost).
+    pub right: RemotePtr,
+    /// Upper bound (exclusive) of keys in this node; `u64::MAX` = +∞.
+    pub high_key: u64,
+    /// Internal: `(separator, child)`; leaves keep `children` empty.
+    pub seps: Vec<(u64, RemotePtr)>,
+    /// Leaf: `(key, value)`; internal nodes keep this empty.
+    pub entries: Vec<(u64, [u8; VALUE_LEN])>,
+}
+
+impl BpNode {
+    /// A fresh empty leaf covering everything up to `high_key`.
+    pub fn new_leaf(high_key: u64) -> Self {
+        BpNode {
+            header: NodeHeader { locked: false, level: 0, count: 0, version: 0 },
+            right: RemotePtr::NULL,
+            high_key,
+            seps: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// A fresh internal node at `level` (≥1).
+    pub fn new_internal(level: u8, high_key: u64) -> Self {
+        BpNode {
+            header: NodeHeader { locked: false, level, count: 0, version: 0 },
+            right: RemotePtr::NULL,
+            high_key,
+            seps: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.header.level == 0
+    }
+
+    /// Whether the node is at capacity.
+    pub fn is_full(&self) -> bool {
+        if self.is_leaf() {
+            self.entries.len() >= LEAF_CAP
+        } else {
+            self.seps.len() >= INTERNAL_CAP
+        }
+    }
+
+    /// Child covering `key` (internal nodes): the last separator ≤ key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a leaf or an empty internal node.
+    pub fn child_for(&self, key: u64) -> RemotePtr {
+        assert!(!self.is_leaf() && !self.seps.is_empty());
+        match self.seps.binary_search_by_key(&key, |(s, _)| *s) {
+            Ok(i) => self.seps[i].1,
+            Err(0) => self.seps[0].1, // key below first separator: leftmost
+            Err(i) => self.seps[i - 1].1,
+        }
+    }
+
+    /// Serializes to the fixed 1024-byte on-MN image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node exceeds capacity.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; NODE_BYTES];
+        let mut h = self.header;
+        h.count = if self.is_leaf() { self.entries.len() } else { self.seps.len() } as u16;
+        out[0..8].copy_from_slice(&h.encode().to_le_bytes());
+        out[8..16].copy_from_slice(&self.right.to_raw().to_le_bytes());
+        out[16..24].copy_from_slice(&self.high_key.to_le_bytes());
+        if self.is_leaf() {
+            assert!(self.entries.len() <= LEAF_CAP, "leaf overflow");
+            for (i, (k, v)) in self.entries.iter().enumerate() {
+                let off = ENTRIES_OFFSET + i * (8 + VALUE_LEN);
+                out[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                out[off + 8..off + 8 + VALUE_LEN].copy_from_slice(v);
+            }
+        } else {
+            assert!(self.seps.len() <= INTERNAL_CAP, "internal overflow");
+            for (i, (s, c)) in self.seps.iter().enumerate() {
+                let off = ENTRIES_OFFSET + i * 16;
+                out[off..off + 8].copy_from_slice(&s.to_le_bytes());
+                out[off + 8..off + 16].copy_from_slice(&c.to_raw().to_le_bytes());
+            }
+        }
+        out[TAIL_OFFSET..].copy_from_slice(&(h.version as u64).to_le_bytes());
+        out
+    }
+
+    /// Decodes a node image; `None` on a torn read (header/tail version
+    /// mismatch or locked snapshot — the seqlock check).
+    pub fn decode(bytes: &[u8]) -> Option<BpNode> {
+        if bytes.len() < NODE_BYTES {
+            return None;
+        }
+        let word = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let header = NodeHeader::decode(word(0));
+        let tail = word(TAIL_OFFSET) as u32;
+        if header.locked || header.version != tail {
+            return None;
+        }
+        let right = RemotePtr::from_raw(word(8));
+        let high_key = word(16);
+        let mut node = if header.level == 0 {
+            let mut n = BpNode::new_leaf(high_key);
+            for i in 0..header.count as usize {
+                let off = ENTRIES_OFFSET + i * (8 + VALUE_LEN);
+                let k = word(off);
+                let mut v = [0u8; VALUE_LEN];
+                v.copy_from_slice(&bytes[off + 8..off + 8 + VALUE_LEN]);
+                n.entries.push((k, v));
+            }
+            n
+        } else {
+            let mut n = BpNode::new_internal(header.level, high_key);
+            for i in 0..header.count as usize {
+                let off = ENTRIES_OFFSET + i * 16;
+                n.seps.push((word(off), RemotePtr::from_raw(word(off + 8))));
+            }
+            n
+        };
+        node.header = header;
+        node.right = right;
+        Some(node)
+    }
+
+    /// Pads/truncates an arbitrary byte slice into a leaf value.
+    pub fn value_from(bytes: &[u8]) -> [u8; VALUE_LEN] {
+        let mut v = [0u8; VALUE_LEN];
+        let n = bytes.len().min(VALUE_LEN);
+        v[..n].copy_from_slice(&bytes[..n]);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities() {
+        assert_eq!(INTERNAL_CAP, 62);
+        assert_eq!(LEAF_CAP, 13);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = NodeHeader { locked: true, level: 3, count: 61, version: 0xDEAD_BEEF };
+        assert_eq!(NodeHeader::decode(h.encode()), h);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut n = BpNode::new_leaf(1000);
+        for i in 0..LEAF_CAP as u64 {
+            n.entries.push((i * 10, BpNode::value_from(&i.to_le_bytes())));
+        }
+        n.right = RemotePtr::new(1, 2048);
+        let decoded = BpNode::decode(&n.encode()).expect("consistent");
+        assert_eq!(decoded.entries.len(), LEAF_CAP);
+        assert_eq!(decoded.right, n.right);
+        assert_eq!(decoded.high_key, 1000);
+        assert_eq!(decoded.entries[3].0, 30);
+    }
+
+    #[test]
+    fn internal_roundtrip_and_routing() {
+        let mut n = BpNode::new_internal(1, u64::MAX);
+        for i in 0..5u64 {
+            n.seps.push((i * 100, RemotePtr::new(0, 1024 * (i + 1))));
+        }
+        let d = BpNode::decode(&n.encode()).expect("consistent");
+        assert_eq!(d.child_for(0), RemotePtr::new(0, 1024));
+        assert_eq!(d.child_for(99), RemotePtr::new(0, 1024));
+        assert_eq!(d.child_for(100), RemotePtr::new(0, 2048));
+        assert_eq!(d.child_for(101), RemotePtr::new(0, 2048));
+        assert_eq!(d.child_for(10_000), RemotePtr::new(0, 5 * 1024));
+    }
+
+    #[test]
+    fn torn_reads_rejected() {
+        let n = BpNode::new_leaf(u64::MAX);
+        let mut bytes = n.encode();
+        // Tail version mismatch.
+        bytes[TAIL_OFFSET] ^= 1;
+        assert!(BpNode::decode(&bytes).is_none());
+        // Locked snapshot.
+        let mut locked = n.clone();
+        locked.header.locked = true;
+        assert!(BpNode::decode(&locked.encode()).is_none());
+    }
+
+    #[test]
+    fn value_from_pads_and_truncates() {
+        assert_eq!(&BpNode::value_from(b"ab")[..2], b"ab");
+        assert_eq!(BpNode::value_from(b"ab")[2], 0);
+        let long = vec![7u8; 100];
+        assert_eq!(BpNode::value_from(&long), [7u8; VALUE_LEN]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # bptree — a Sherman-lite B+-tree on disaggregated memory
+//!
+//! The index family the Sphinx paper's introduction contrasts with:
+//! B+-trees (Sherman, USENIX SIGMOD'22) are excellent on DM for
+//! **fixed-width** keys — shallow trees (fanout 62), linked leaves for
+//! cheap scans, cache-friendly internal nodes — but cannot represent
+//! variable-length keys without padding every slot to the maximum, which
+//! is exactly the gap ART-family indexes (and Sphinx) fill.
+//!
+//! This crate exists for the `btree_compare` extension experiment: on the
+//! `u64` dataset the B+-tree is a serious competitor; on the `email`
+//! dataset it simply does not apply.
+//!
+//! Design (a deliberately simplified Sherman):
+//!
+//! * **B-link structure** (Lehman–Yao): every node carries a *high key*
+//!   and a right-sibling pointer, so readers racing a split chase right
+//!   links instead of taking locks, and stale compute-side caches of
+//!   internal nodes can only cause extra right-hops, never wrong answers
+//!   (splits move keys right, never left).
+//! * **Seqlock node reads**: a whole-node read is validated by comparing
+//!   the version embedded in the header with a trailing version word
+//!   (plus a lock-bit check) fetched in the same doorbell batch; torn
+//!   reads retry.
+//! * **Node-grained leaf locks** for writes; **one tree-wide SMO lock**
+//!   serializes splits (structure modifications are rare after load; this
+//!   trades peak insert scalability for simplicity, and is documented in
+//!   the experiment notes).
+//! * **Compute-side internal-node cache** with a byte budget (Sherman's
+//!   index cache), safe without validation thanks to the B-link property.
+//!
+//! ## Example
+//!
+//! ```
+//! use dm_sim::{ClusterConfig, DmCluster};
+//! use bptree::BpTreeIndex;
+//!
+//! # fn main() -> Result<(), bptree::BpTreeError> {
+//! let cluster = DmCluster::new(ClusterConfig::default());
+//! let index = BpTreeIndex::create(&cluster, 64 << 10)?;
+//! let mut client = index.client(0)?;
+//! client.insert(42, b"answer")?;
+//! // Values are fixed 64-byte slots (the point of the comparison):
+//! let value = client.get(42)?.expect("present");
+//! assert_eq!(&value[..6], b"answer");
+//! assert_eq!(value.len(), bptree::VALUE_LEN);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layout;
+mod ops;
+
+pub use layout::{BpNode, NodeHeader, VALUE_LEN};
+pub use ops::{BpTreeClient, BpTreeError, BpTreeIndex, BpTreeStats};

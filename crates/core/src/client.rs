@@ -1,0 +1,473 @@
+//! The per-worker client: deepest-node location and point lookups.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use art_core::hash::{fp12, prefix_hash42, prefix_hash64};
+use art_core::key::{common_prefix_len, MAX_KEY_LEN};
+use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot};
+use cuckoo::CuckooFilter;
+use dm_sim::{ClientStats, DmClient, DoorbellBatch, RemotePtr, Verb};
+use race_hash::{FoundEntry, RaceTable};
+
+use crate::config::{CacheMode, SphinxConfig};
+use crate::error::SphinxError;
+use crate::node_io::{read_inner, read_leaf};
+use crate::stats::OpStats;
+
+// Generous: retries wait out concurrent structural changes (type
+// switches, splits). On a host with fewer cores than workers, a lock
+// holder may need many scheduling rounds while waiters spin through
+// cheap yield-retries, so the budget must absorb real-time scheduling
+// skew, not just genuine conflict rates.
+pub(crate) const OP_RETRY_LIMIT: usize = 200_000;
+
+/// Where a located leaf hangs off its parent inner node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlotRef {
+    /// Child slot at this index.
+    Child(usize),
+    /// The node's value slot (key == node prefix).
+    Value,
+}
+
+/// What the descent from the entry node ended at.
+#[derive(Debug)]
+pub(crate) enum Outcome {
+    /// Reached a leaf (whose key may or may not equal the search key).
+    Leaf {
+        /// Which slot of `Descent::node` points at the leaf.
+        slot_ref: SlotRef,
+        /// The pointing slot.
+        slot: Slot,
+        /// The decoded leaf.
+        leaf: LeafNode,
+    },
+    /// The key terminates exactly at the node, which has no value slot.
+    NoValueSlot,
+    /// The node has no child for the dispatch byte.
+    Empty {
+        /// The dispatch byte with no child.
+        byte: u8,
+    },
+    /// The child inner node's prefix diverges from the key inside its
+    /// compressed path; `sample` is a leaf from its subtree used to learn
+    /// the actual prefix bytes.
+    Divergent {
+        /// Slot index of the divergent child in `Descent::node`.
+        slot_idx: usize,
+        /// The child slot.
+        slot: Slot,
+        /// The decoded divergent child.
+        child: InnerNode,
+        /// Any leaf under the child (shares the child's full prefix).
+        sample: LeafNode,
+    },
+}
+
+/// A completed location attempt: the deepest inner node whose full prefix
+/// prefixes the key, and what lies below it.
+#[derive(Debug)]
+pub(crate) struct Descent {
+    /// Prefix length of the node the hash-table lookup landed on.
+    pub entry_len: usize,
+    /// The deepest matching inner node.
+    pub node: InnerNode,
+    /// Its address.
+    pub node_ptr: RemotePtr,
+    /// What the final dispatch found.
+    pub outcome: Outcome,
+}
+
+pub(crate) enum DescentResult {
+    Done(Descent),
+    /// A node marked `Invalid` (mid type-switch) was encountered: retry
+    /// through a fresh hash-table lookup.
+    Retry,
+}
+
+/// A per-worker Sphinx client.
+///
+/// Owns a [`DmClient`] (and therefore a virtual clock and network
+/// statistics) plus per-MN hash-table handles, and shares its compute
+/// node's Succinct Filter Cache. Created via
+/// [`SphinxIndex::client`](crate::SphinxIndex::client).
+#[derive(Debug)]
+pub struct SphinxClient {
+    pub(crate) dm: DmClient,
+    pub(crate) tables: Vec<RaceTable>,
+    pub(crate) filter: Arc<Mutex<CuckooFilter>>,
+    pub(crate) config: SphinxConfig,
+    pub(crate) stats: OpStats,
+}
+
+impl SphinxClient {
+    pub(crate) fn new(
+        dm: DmClient,
+        tables: Vec<RaceTable>,
+        filter: Arc<Mutex<CuckooFilter>>,
+        config: SphinxConfig,
+    ) -> Self {
+        SphinxClient { dm, tables, filter, config, stats: OpStats::default() }
+    }
+
+    /// Index-level statistics for this worker.
+    pub fn op_stats(&self) -> OpStats {
+        self.stats
+    }
+
+    /// Network-level statistics for this worker.
+    pub fn net_stats(&self) -> ClientStats {
+        self.dm.stats()
+    }
+
+    /// This worker's virtual clock, nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.dm.clock_ns()
+    }
+
+    /// Resets the virtual clock (e.g. at a benchmark phase barrier).
+    pub fn set_clock_ns(&mut self, ns: u64) {
+        self.dm.set_clock_ns(ns);
+    }
+
+    /// The shared per-CN Succinct Filter Cache.
+    pub fn filter_handle(&self) -> &Arc<Mutex<CuckooFilter>> {
+        &self.filter
+    }
+
+    /// Point lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SphinxError::KeyTooLong`] for oversized keys and
+    /// substrate errors otherwise.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, SphinxError> {
+        self.stats.gets += 1;
+        let d = self.locate(key)?;
+        Ok(match d.outcome {
+            Outcome::Leaf { leaf, .. } => {
+                (leaf.key == key && leaf.status != NodeStatus::Invalid).then_some(leaf.value)
+            }
+            _ => None,
+        })
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SphinxClient::get`].
+    pub fn contains_key(&mut self, key: &[u8]) -> Result<bool, SphinxError> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Deepest-node location (§III-B, §IV "Search").
+    // ------------------------------------------------------------------
+
+    pub(crate) fn locate(&mut self, key: &[u8]) -> Result<Descent, SphinxError> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(SphinxError::KeyTooLong { len: key.len() });
+        }
+        let mut max_len = key.len();
+        for _ in 0..OP_RETRY_LIMIT {
+            let (ptr, node, len) = self.entry_node(key, max_len)?;
+            match self.descend(key, ptr, node, len)? {
+                DescentResult::Done(d) => {
+                    // False-positive detection (§III-B): if the leaf we
+                    // reached shares less of the key than the entry node's
+                    // prefix length, the fp₂ *and* the 42-bit prefix hash
+                    // collided; retry with a shorter prefix.
+                    let observed = match &d.outcome {
+                        Outcome::Leaf { leaf, .. } => Some(common_prefix_len(key, &leaf.key)),
+                        Outcome::Divergent { sample, .. } => {
+                            Some(common_prefix_len(key, &sample.key))
+                        }
+                        _ => None,
+                    };
+                    if let Some(cpl) = observed {
+                        if cpl < d.entry_len {
+                            self.stats.false_positive_retries += 1;
+                            max_len = d.entry_len.saturating_sub(1);
+                            continue;
+                        }
+                    }
+                    return Ok(d);
+                }
+                DescentResult::Retry => {
+                    self.stats.invalid_node_retries += 1;
+                    self.dm.advance_clock(200);
+                    std::thread::yield_now();
+                }
+            }
+        }
+        Err(SphinxError::RetriesExhausted { op: "locate" })
+    }
+
+    /// Finds a validated inner node for the deepest available prefix of
+    /// `key` no longer than `max_len`.
+    pub(crate) fn entry_node(
+        &mut self,
+        key: &[u8],
+        max_len: usize,
+    ) -> Result<(RemotePtr, InnerNode, usize), SphinxError> {
+        match self.config.mode {
+            CacheMode::FilterCache => {
+                let mut l = max_len;
+                let mut first = true;
+                loop {
+                    let cand = if l == 0 {
+                        0
+                    } else {
+                        let mut f = self.filter.lock();
+                        (1..=l).rev().find(|&x| f.contains(&key[..x])).unwrap_or(0)
+                    };
+                    if let Some((ptr, node)) = self.fetch_validated(key, cand)? {
+                        if first {
+                            self.stats.filter_first_hits += 1;
+                        }
+                        return Ok((ptr, node, cand));
+                    }
+                    self.stats.entry_misses += 1;
+                    first = false;
+                    if cand == 0 {
+                        return Err(SphinxError::Corrupt { what: "root hash entry missing" });
+                    }
+                    l = cand - 1;
+                }
+            }
+            CacheMode::InhtOnly => self.entry_node_parallel(key, max_len),
+        }
+    }
+
+    /// One INHT lookup + node fetch + validation for an exact prefix
+    /// length.
+    fn fetch_validated(
+        &mut self,
+        key: &[u8],
+        len: usize,
+    ) -> Result<Option<(RemotePtr, InnerNode)>, SphinxError> {
+        let prefix = &key[..len];
+        let h = prefix_hash64(prefix);
+        let mn = self.dm.place(h) as usize;
+        let found = self.tables[mn].search(&mut self.dm, h)?;
+        self.validate_candidates(&found, key, len)
+    }
+
+    /// Checks hash-entry candidates against the prefix fingerprint, then
+    /// fetches and validates the referenced node.
+    fn validate_candidates(
+        &mut self,
+        found: &[FoundEntry],
+        key: &[u8],
+        len: usize,
+    ) -> Result<Option<(RemotePtr, InnerNode)>, SphinxError> {
+        let prefix = &key[..len];
+        let fp = fp12(prefix);
+        let h42 = prefix_hash42(prefix);
+        for e in found {
+            let Some(he) = HashEntry::decode(e.word) else { continue };
+            if he.fp != fp {
+                continue;
+            }
+            let node = read_inner(&mut self.dm, he.addr, he.kind)?;
+            if node.header.status == NodeStatus::Invalid
+                || node.header.kind != he.kind
+                || node.header.prefix_len as usize != len
+                || node.header.prefix_hash42 != h42
+            {
+                continue;
+            }
+            return Ok(Some((he.addr, node)));
+        }
+        Ok(None)
+    }
+
+    /// The INHT-only ablation: read the bucket pairs of *every* prefix of
+    /// `key` in one doorbell-batched round trip and use the deepest valid
+    /// entry (§III-A without the filter cache).
+    fn entry_node_parallel(
+        &mut self,
+        key: &[u8],
+        max_len: usize,
+    ) -> Result<(RemotePtr, InnerNode, usize), SphinxError> {
+        'retry: for _ in 0..OP_RETRY_LIMIT {
+            let mut lookups = Vec::with_capacity(max_len + 1);
+            let mut batch = DoorbellBatch::with_capacity(max_len + 1);
+            for l in 0..=max_len {
+                let h = prefix_hash64(&key[..l]);
+                let mn = self.dm.place(h) as usize;
+                let base = self.tables[mn].bucket_pair_ptr(h)?;
+                batch.push(Verb::Read { ptr: base, len: RaceTable::pair_len() });
+                lookups.push((l, h, mn, base));
+            }
+            let results = self.dm.execute(batch)?;
+            for (i, &(l, h, mn, base)) in lookups.iter().enumerate().rev() {
+                let bytes = match &results[i] {
+                    dm_sim::VerbResult::Read(b) => b,
+                    _ => unreachable!("batch contained only reads"),
+                };
+                match RaceTable::parse_pair(base, bytes, h) {
+                    None => {
+                        // Stale directory for this table: refresh, redo the
+                        // whole batch.
+                        self.tables[mn].refresh(&mut self.dm)?;
+                        continue 'retry;
+                    }
+                    Some(entries) => {
+                        if let Some((ptr, node)) = self.validate_candidates(&entries, key, l)? {
+                            return Ok((ptr, node, l));
+                        }
+                    }
+                }
+            }
+            return Err(SphinxError::Corrupt { what: "root hash entry missing" });
+        }
+        Err(SphinxError::RetriesExhausted { op: "parallel entry lookup" })
+    }
+
+    // ------------------------------------------------------------------
+    // Downward traversal from the entry node.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn descend(
+        &mut self,
+        key: &[u8],
+        entry_ptr: RemotePtr,
+        entry_node: InnerNode,
+        entry_len: usize,
+    ) -> Result<DescentResult, SphinxError> {
+        let mut node = entry_node;
+        let mut ptr = entry_ptr;
+        loop {
+            if node.header.status == NodeStatus::Invalid {
+                return Ok(DescentResult::Retry);
+            }
+            let plen = node.header.prefix_len as usize;
+            if key.len() == plen {
+                // Key terminates exactly at this node.
+                return Ok(DescentResult::Done(match node.value_slot {
+                    Some(slot) => {
+                        let leaf = read_leaf(
+                            &mut self.dm,
+                            slot.addr,
+                            self.config.leaf_read_hint,
+                            &mut self.stats.checksum_retries,
+                        )?;
+                        Descent {
+                            entry_len,
+                            node,
+                            node_ptr: ptr,
+                            outcome: Outcome::Leaf { slot_ref: SlotRef::Value, slot, leaf },
+                        }
+                    }
+                    None => Descent {
+                        entry_len,
+                        node,
+                        node_ptr: ptr,
+                        outcome: Outcome::NoValueSlot,
+                    },
+                }));
+            }
+            let byte = key[plen];
+            match node.find_child(byte) {
+                None => {
+                    return Ok(DescentResult::Done(Descent {
+                        entry_len,
+                        node,
+                        node_ptr: ptr,
+                        outcome: Outcome::Empty { byte },
+                    }));
+                }
+                Some((idx, slot)) if slot.is_leaf => {
+                    let leaf = read_leaf(
+                        &mut self.dm,
+                        slot.addr,
+                        self.config.leaf_read_hint,
+                        &mut self.stats.checksum_retries,
+                    )?;
+                    return Ok(DescentResult::Done(Descent {
+                        entry_len,
+                        node,
+                        node_ptr: ptr,
+                        outcome: Outcome::Leaf { slot_ref: SlotRef::Child(idx), slot, leaf },
+                    }));
+                }
+                Some((idx, slot)) => {
+                    let child = read_inner(&mut self.dm, slot.addr, slot.child_kind)?;
+                    if child.header.status == NodeStatus::Invalid
+                        || child.header.kind != slot.child_kind
+                    {
+                        return Ok(DescentResult::Retry);
+                    }
+                    let clen = child.header.prefix_len as usize;
+                    if clen <= plen {
+                        return Ok(DescentResult::Retry);
+                    }
+                    if key.len() >= clen
+                        && child.header.prefix_hash42 == prefix_hash42(&key[..clen])
+                    {
+                        // Child matches the key: keep descending, and teach
+                        // the filter this prefix (the "freshness" update of
+                        // §IV Search).
+                        if self.config.mode == CacheMode::FilterCache {
+                            let mut f = self.filter.lock();
+                            if !f.contains(&key[..clen]) {
+                                f.insert(&key[..clen]);
+                                self.stats.filter_refreshes += 1;
+                            }
+                        }
+                        node = child;
+                        ptr = slot.addr;
+                        continue;
+                    }
+                    // Divergence inside the child's compressed path: learn
+                    // the actual prefix bytes from any leaf below it.
+                    let Some(sample) = self.sample_leaf(&child)? else {
+                        return Ok(DescentResult::Retry);
+                    };
+                    return Ok(DescentResult::Done(Descent {
+                        entry_len,
+                        node,
+                        node_ptr: ptr,
+                        outcome: Outcome::Divergent { slot_idx: idx, slot, child, sample },
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Fetches any leaf from `node`'s subtree (all of them share the
+    /// node's full prefix). `None` when a transient state blocks the walk.
+    pub(crate) fn sample_leaf(
+        &mut self,
+        node: &InnerNode,
+    ) -> Result<Option<LeafNode>, SphinxError> {
+        let mut current = node.clone();
+        for _ in 0..64 {
+            let slot = match current.value_slot.or_else(|| current.slots.iter().flatten().next().copied())
+            {
+                Some(s) => s,
+                None => return Ok(None),
+            };
+            if slot.is_leaf || current.value_slot == Some(slot) {
+                let leaf = read_leaf(
+                    &mut self.dm,
+                    slot.addr,
+                    self.config.leaf_read_hint,
+                    &mut self.stats.checksum_retries,
+                )?;
+                return Ok(Some(leaf));
+            }
+            let child = read_inner(&mut self.dm, slot.addr, slot.child_kind)?;
+            if child.header.status == NodeStatus::Invalid || child.header.kind != slot.child_kind
+            {
+                return Ok(None);
+            }
+            current = child;
+        }
+        Ok(None)
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for Sphinx operations.
+
+use std::error::Error;
+use std::fmt;
+
+use art_core::layout::LayoutError;
+use dm_sim::DmError;
+use race_hash::RaceError;
+
+/// Errors returned by Sphinx index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SphinxError {
+    /// Error from the DM substrate.
+    Dm(DmError),
+    /// Error from the Inner Node Hash Table.
+    Inht(RaceError),
+    /// A node failed to decode (should not survive retries).
+    Layout(LayoutError),
+    /// The key exceeds [`art_core::key::MAX_KEY_LEN`].
+    KeyTooLong {
+        /// Offending length.
+        len: usize,
+    },
+    /// An operation exhausted its retry budget under contention.
+    RetriesExhausted {
+        /// Which operation gave up.
+        op: &'static str,
+    },
+    /// An invariant was violated on the MN side.
+    Corrupt {
+        /// Description of the violation.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SphinxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SphinxError::Dm(e) => write!(f, "substrate error: {e}"),
+            SphinxError::Inht(e) => write!(f, "inner node hash table error: {e}"),
+            SphinxError::Layout(e) => write!(f, "node decode error: {e}"),
+            SphinxError::KeyTooLong { len } => write!(f, "key of {len} bytes exceeds the maximum"),
+            SphinxError::RetriesExhausted { op } => {
+                write!(f, "{op} exhausted its retry budget")
+            }
+            SphinxError::Corrupt { what } => write!(f, "corrupt index structure: {what}"),
+        }
+    }
+}
+
+impl Error for SphinxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SphinxError::Dm(e) => Some(e),
+            SphinxError::Inht(e) => Some(e),
+            SphinxError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DmError> for SphinxError {
+    fn from(e: DmError) -> Self {
+        SphinxError::Dm(e)
+    }
+}
+
+impl From<RaceError> for SphinxError {
+    fn from(e: RaceError) -> Self {
+        SphinxError::Inht(e)
+    }
+}
+
+impl From<LayoutError> for SphinxError {
+    fn from(e: LayoutError) -> Self {
+        SphinxError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SphinxError>();
+        let e = SphinxError::RetriesExhausted { op: "insert" };
+        assert_eq!(e.to_string(), "insert exhausted its retry budget");
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = SphinxError::Dm(DmError::OutOfMemory { mn_id: 0, requested: 8 });
+        assert!(e.source().is_some());
+    }
+}

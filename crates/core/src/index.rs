@@ -1,0 +1,195 @@
+//! Index bootstrap: server-side structures and client construction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use art_core::hash::{fp12, prefix_hash64};
+use art_core::layout::{HashEntry, InnerNode};
+use art_core::NodeKind;
+use cuckoo::CuckooFilter;
+use dm_sim::{DmCluster, RemotePtr};
+use race_hash::RaceTable;
+
+use crate::client::SphinxClient;
+use crate::config::SphinxConfig;
+use crate::error::SphinxError;
+
+/// Shared bootstrap information: where each MN's Inner Node Hash Table
+/// lives. In a real deployment this is exchanged when a CN mounts the
+/// index.
+#[derive(Debug)]
+pub(crate) struct SphinxMeta {
+    pub(crate) inht_metas: Vec<RemotePtr>,
+    pub(crate) config: SphinxConfig,
+    /// One Succinct Filter Cache per compute node, shared by its workers.
+    pub(crate) filters: Mutex<HashMap<u16, Arc<Mutex<CuckooFilter>>>>,
+}
+
+/// MN-side space usage of the index, split by component — the quantities
+/// behind the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceBreakdown {
+    /// Bytes consumed by ART nodes (inner + leaf).
+    pub art_bytes: u64,
+    /// Bytes consumed by the Inner Node Hash Tables (directories +
+    /// segments).
+    pub inht_bytes: u64,
+}
+
+impl SpaceBreakdown {
+    /// Total MN-side bytes.
+    pub fn total(&self) -> u64 {
+        self.art_bytes + self.inht_bytes
+    }
+
+    /// INHT overhead relative to the ART itself (the paper reports
+    /// 3.3–4.9%).
+    pub fn inht_overhead(&self) -> f64 {
+        self.inht_bytes as f64 / self.art_bytes as f64
+    }
+}
+
+/// A Sphinx index living on a [`DmCluster`].
+///
+/// Create once with [`SphinxIndex::create`], then hand out per-worker
+/// [`SphinxClient`]s via [`SphinxIndex::client`]. The handle is cheap to
+/// clone.
+#[derive(Debug, Clone)]
+pub struct SphinxIndex {
+    cluster: DmCluster,
+    meta: Arc<SphinxMeta>,
+}
+
+impl SphinxIndex {
+    /// Builds the MN-side structures: one Inner Node Hash Table per memory
+    /// node and an empty root inner node (full prefix ε), registered in
+    /// the INHT under the empty prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate and hash-table errors.
+    pub fn create(cluster: &DmCluster, config: SphinxConfig) -> Result<Self, SphinxError> {
+        let mut boot = cluster.client(0);
+        let mut inht_metas = Vec::with_capacity(cluster.num_mns() as usize);
+        for mn in 0..cluster.num_mns() {
+            inht_metas.push(RaceTable::create(&mut boot, mn, &config.inht)?);
+        }
+
+        // Root node: empty Node4 with prefix ε, placed by consistent
+        // hashing like every other node, reachable through the INHT.
+        let root_prefix: &[u8] = &[];
+        let h = prefix_hash64(root_prefix);
+        let mn = cluster.place(h);
+        let root = InnerNode::new(NodeKind::Node4, root_prefix);
+        let root_ptr = boot.alloc(mn, InnerNode::byte_size(NodeKind::Node4))?;
+        boot.write(root_ptr, &root.encode())?;
+        let mut table = RaceTable::open(&mut boot, inht_metas[mn as usize])?;
+        let entry = HashEntry { fp: fp12(root_prefix), kind: NodeKind::Node4, addr: root_ptr };
+        table.insert(&mut boot, h, entry.encode(), |_c, _w| Ok(h))?;
+
+        Ok(SphinxIndex {
+            cluster: cluster.clone(),
+            meta: Arc::new(SphinxMeta {
+                inht_metas,
+                config,
+                filters: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// Creates a worker client attached to compute node `cn_id`.
+    ///
+    /// All workers of one CN share that CN's Succinct Filter Cache (sized
+    /// by [`SphinxConfig::cache_bytes`]), mirroring the paper's per-CN
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors from opening the hash tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cn_id` is out of range for the cluster.
+    pub fn client(&self, cn_id: u16) -> Result<SphinxClient, SphinxError> {
+        let mut dm = self.cluster.client(cn_id);
+        let tables = self
+            .meta
+            .inht_metas
+            .iter()
+            .map(|&m| RaceTable::open(&mut dm, m))
+            .collect::<Result<Vec<_>, _>>()?;
+        let filter = {
+            let mut filters = self.meta.filters.lock();
+            filters
+                .entry(cn_id)
+                .or_insert_with(|| {
+                    Arc::new(Mutex::new(CuckooFilter::with_byte_budget(
+                        self.meta.config.cache_bytes.max(64),
+                    )))
+                })
+                .clone()
+        };
+        Ok(SphinxClient::new(dm, tables, filter, self.meta.config.clone()))
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &DmCluster {
+        &self.cluster
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &SphinxConfig {
+        &self.meta.config
+    }
+
+    /// Meta pointers of the per-MN Inner Node Hash Tables (diagnostics
+    /// and fault-injection tests; normal clients never need these).
+    pub fn inht_metas(&self) -> &[RemotePtr] {
+        &self.meta.inht_metas
+    }
+
+    /// Measures MN-side space: total live bytes minus INHT bytes gives the
+    /// ART's share (nodes and leaves are the only other allocations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors.
+    pub fn space_breakdown(&self) -> Result<SpaceBreakdown, SphinxError> {
+        let mut client = self.cluster.client(0);
+        let mut inht_bytes = 0;
+        for &meta in &self.meta.inht_metas {
+            let mut table = RaceTable::open(&mut client, meta)?;
+            inht_bytes += table.memory_bytes(&mut client)?;
+        }
+        let total = self.cluster.total_live_bytes();
+        Ok(SpaceBreakdown { art_bytes: total.saturating_sub(inht_bytes), inht_bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_sim::ClusterConfig;
+
+    #[test]
+    fn create_builds_root_and_tables() {
+        let cluster = DmCluster::new(ClusterConfig::default());
+        let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
+        let space = index.space_breakdown().unwrap();
+        assert!(space.inht_bytes > 0);
+        assert!(space.art_bytes > 0, "root node should be allocated");
+    }
+
+    #[test]
+    fn workers_on_same_cn_share_a_filter() {
+        let cluster = DmCluster::new(ClusterConfig::default());
+        let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
+        let a = index.client(0).unwrap();
+        let b = index.client(0).unwrap();
+        let c = index.client(1).unwrap();
+        assert!(Arc::ptr_eq(a.filter_handle(), b.filter_handle()));
+        assert!(!Arc::ptr_eq(a.filter_handle(), c.filter_handle()));
+    }
+}

@@ -1,0 +1,291 @@
+//! Batched point lookups — an extension beyond the paper.
+//!
+//! Sphinx's three-round-trip lookup pipeline (hash bucket → inner node →
+//! leaf) has no data dependencies *between* different keys, so N lookups
+//! can share the same three doorbell-batched round trips: all bucket
+//! pairs in one batch, all inner nodes in the next, all leaves in the
+//! third. Keys whose fast path fails anywhere (filter miss, stale entry,
+//! false positive) fall back to the ordinary [`SphinxClient::get`] —
+//! correctness is never traded for batching.
+
+use art_core::hash::{fp12, prefix_hash42, prefix_hash64};
+use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot};
+use dm_sim::{DoorbellBatch, RemotePtr, Verb, VerbResult};
+use race_hash::RaceTable;
+
+use crate::client::SphinxClient;
+use crate::config::CacheMode;
+use crate::error::SphinxError;
+
+/// Per-key pipeline state.
+enum Lane {
+    /// Still in the pipeline: candidate prefix length and current target.
+    Fetching { prefix_len: usize, target: RemotePtr, kind: art_core::NodeKind },
+    /// Needs the slow path.
+    Fallback,
+    /// Finished.
+    Done(Option<Vec<u8>>),
+}
+
+impl SphinxClient {
+    /// Looks up many keys at once, sharing round trips across keys.
+    ///
+    /// Results are positionally aligned with `keys`. With a warm filter
+    /// cache the whole batch costs **three round trips** regardless of
+    /// batch size (plus a slow-path lookup per key that hit a stale or
+    /// cold path).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SphinxClient::get`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dm_sim::{ClusterConfig, DmCluster};
+    /// # use sphinx::{SphinxConfig, SphinxIndex};
+    /// # fn main() -> Result<(), sphinx::SphinxError> {
+    /// # let cluster = DmCluster::new(ClusterConfig::default());
+    /// # let index = SphinxIndex::create(&cluster, SphinxConfig::default())?;
+    /// # let mut client = index.client(0)?;
+    /// client.insert(b"k1", b"v1")?;
+    /// client.insert(b"k2", b"v2")?;
+    /// let hits = client.multi_get(&[b"k1".as_slice(), b"missing", b"k2"])?;
+    /// assert_eq!(hits[0].as_deref(), Some(&b"v1"[..]));
+    /// assert_eq!(hits[1], None);
+    /// assert_eq!(hits[2].as_deref(), Some(&b"v2"[..]));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn multi_get(&mut self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, SphinxError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.config.mode != CacheMode::FilterCache || keys.len() == 1 {
+            // The batched pipeline builds on the filter cache; the
+            // INHT-only mode already batches per key.
+            return keys.iter().map(|k| self.get(k)).collect();
+        }
+        // Stage 0: candidate prefix per key (local filter checks).
+        let mut lanes: Vec<Lane> = Vec::with_capacity(keys.len());
+        let mut prefix_lens = Vec::with_capacity(keys.len());
+        {
+            let mut filter = self.filter.lock();
+            for key in keys {
+                let cand =
+                    (1..=key.len()).rev().find(|&l| filter.contains(&key[..l])).unwrap_or(0);
+                prefix_lens.push(cand);
+            }
+        }
+
+        // Stage 1: all hash-bucket pairs in one round trip.
+        let mut batch = DoorbellBatch::with_capacity(keys.len());
+        let mut bases = Vec::with_capacity(keys.len());
+        for (key, &plen) in keys.iter().zip(&prefix_lens) {
+            let h = prefix_hash64(&key[..plen]);
+            let mn = self.dm.place(h) as usize;
+            let base = self.tables[mn].bucket_pair_ptr(h)?;
+            batch.push(Verb::Read { ptr: base, len: RaceTable::pair_len() });
+            bases.push((base, h));
+        }
+        let reads = self.dm.execute(batch)?;
+        for ((key, &plen), ((base, h), res)) in
+            keys.iter().zip(&prefix_lens).zip(bases.into_iter().zip(reads))
+        {
+            let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
+            let lane = match RaceTable::parse_pair(base, &bytes, h) {
+                None => Lane::Fallback, // stale directory
+                Some(entries) => {
+                    let fp = fp12(&key[..plen]);
+                    match entries
+                        .iter()
+                        .filter_map(|e| HashEntry::decode(e.word))
+                        .find(|he| he.fp == fp)
+                    {
+                        Some(he) => {
+                            Lane::Fetching { prefix_len: plen, target: he.addr, kind: he.kind }
+                        }
+                        None => Lane::Fallback, // filter false positive / cold
+                    }
+                }
+            };
+            lanes.push(lane);
+        }
+
+        // Stage 2: all inner nodes in one round trip; resolve each key to
+        // a leaf pointer (keys needing deeper descent fall back).
+        let mut batch = DoorbellBatch::new();
+        let mut idxs = Vec::new();
+        for (i, lane) in lanes.iter().enumerate() {
+            if let Lane::Fetching { target, kind, .. } = lane {
+                batch.push(Verb::Read { ptr: *target, len: InnerNode::byte_size(*kind) });
+                idxs.push(i);
+            }
+        }
+        let reads = self.dm.execute(batch)?;
+        let mut leaf_targets: Vec<(usize, Slot)> = Vec::new();
+        for (i, res) in idxs.into_iter().zip(reads) {
+            let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
+            let key = keys[i];
+            let Lane::Fetching { prefix_len, kind, .. } = lanes[i] else { unreachable!() };
+            let lane = match InnerNode::decode(&bytes) {
+                Ok(node)
+                    if node.header.status != NodeStatus::Invalid
+                        && node.header.kind == kind
+                        && node.header.prefix_len as usize == prefix_len
+                        && node.header.prefix_hash42 == prefix_hash42(&key[..prefix_len]) =>
+                {
+                    let plen = prefix_len;
+                    if key.len() == plen {
+                        match node.value_slot {
+                            Some(slot) => {
+                                leaf_targets.push((i, slot));
+                                continue;
+                            }
+                            None => Lane::Done(None),
+                        }
+                    } else {
+                        match node.find_child(key[plen]) {
+                            Some((_, slot)) if slot.is_leaf => {
+                                leaf_targets.push((i, slot));
+                                continue;
+                            }
+                            // Deeper inner child: the filter was stale for
+                            // the longer prefix — slow path handles it
+                            // (and refreshes the filter).
+                            Some(_) => Lane::Fallback,
+                            None => Lane::Done(None),
+                        }
+                    }
+                }
+                _ => Lane::Fallback,
+            };
+            lanes[i] = lane;
+        }
+
+        // Stage 3: all leaves in one round trip.
+        let mut batch = DoorbellBatch::with_capacity(leaf_targets.len());
+        for (_, slot) in &leaf_targets {
+            batch.push(Verb::Read { ptr: slot.addr, len: self.config.leaf_read_hint });
+        }
+        let reads = self.dm.execute(batch)?;
+        for ((i, _slot), res) in leaf_targets.into_iter().zip(reads) {
+            let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
+            lanes[i] = match LeafNode::decode(&bytes) {
+                Ok(leaf) if leaf.key == keys[i] => {
+                    Lane::Done((leaf.status != NodeStatus::Invalid).then_some(leaf.value))
+                }
+                Ok(_) => Lane::Done(None), // different key under this slot
+                Err(_) => Lane::Fallback,  // torn or oversized: retry solo
+            };
+        }
+
+        // Slow path for whatever fell out of the pipeline.
+        lanes
+            .into_iter()
+            .enumerate()
+            .map(|(i, lane)| match lane {
+                Lane::Done(v) => {
+                    self.stats.gets += 1;
+                    Ok(v)
+                }
+                _ => self.get(keys[i]), // counts itself
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SphinxConfig, SphinxIndex};
+    use dm_sim::{ClusterConfig, DmCluster};
+
+    fn setup(n: u64) -> (SphinxIndex, crate::SphinxClient) {
+        let cluster = DmCluster::new(ClusterConfig::default());
+        let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
+        let mut client = index.client(0).unwrap();
+        for i in 0..n {
+            client.insert(format!("mget-{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        (index, client)
+    }
+
+    #[test]
+    fn multi_get_matches_get() {
+        let (_idx, mut client) = setup(500);
+        let keys: Vec<Vec<u8>> = (0..600u64)
+            .step_by(7)
+            .map(|i| format!("mget-{i:05}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let batched = client.multi_get(&refs).unwrap();
+        for (key, got) in refs.iter().zip(&batched) {
+            assert_eq!(got, &client.get(key).unwrap(), "{}", String::from_utf8_lossy(key));
+        }
+    }
+
+    #[test]
+    fn multi_get_is_three_round_trips_when_warm() {
+        let (_idx, mut client) = setup(300);
+        let keys: Vec<Vec<u8>> =
+            (0..100u64).map(|i| format!("mget-{i:05}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        // Warm the filter.
+        for k in &refs {
+            client.get(k).unwrap();
+        }
+        let before = client.net_stats().round_trips;
+        let res = client.multi_get(&refs).unwrap();
+        let rts = client.net_stats().round_trips - before;
+        assert!(res.iter().all(Option::is_some));
+        assert!(
+            rts <= 3 + 10,
+            "100 warm lookups should take ~3 batched round trips, took {rts}"
+        );
+    }
+
+    #[test]
+    fn multi_get_empty_and_single() {
+        let (_idx, mut client) = setup(10);
+        assert!(client.multi_get(&[]).unwrap().is_empty());
+        let one = client.multi_get(&[b"mget-00003".as_slice()]).unwrap();
+        assert_eq!(one[0].as_deref(), Some(&3u64.to_le_bytes()[..]));
+    }
+
+    #[test]
+    fn multi_get_in_inht_only_mode_falls_back_correctly() {
+        let cluster = DmCluster::new(ClusterConfig::default());
+        let config = crate::SphinxConfig {
+            mode: crate::CacheMode::InhtOnly,
+            ..crate::SphinxConfig::small()
+        };
+        let index = SphinxIndex::create(&cluster, config).unwrap();
+        let mut client = index.client(0).unwrap();
+        for i in 0..50u64 {
+            client.insert(format!("io-{i:03}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let keys: Vec<Vec<u8>> =
+            (0..60u64).map(|i| format!("io-{i:03}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let got = client.multi_get(&refs).unwrap();
+        for (i, g) in got.iter().enumerate() {
+            if i < 50 {
+                assert_eq!(g.as_deref(), Some(&(i as u64).to_le_bytes()[..]));
+            } else {
+                assert_eq!(*g, None);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_get_mixed_hits_and_misses() {
+        let (_idx, mut client) = setup(50);
+        let res = client
+            .multi_get(&[b"mget-00001".as_slice(), b"nope", b"mget-00049", b"mget-00050"])
+            .unwrap();
+        assert!(res[0].is_some());
+        assert_eq!(res[1], None);
+        assert!(res[2].is_some());
+        assert_eq!(res[3], None, "key 50 was never inserted");
+    }
+}

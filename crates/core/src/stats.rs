@@ -1,0 +1,73 @@
+//! Per-client operation statistics.
+
+/// Counters describing a client's index operations (complements the
+/// network-level [`dm_sim::ClientStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Point lookups served.
+    pub gets: u64,
+    /// Inserts served.
+    pub inserts: u64,
+    /// Updates served.
+    pub updates: u64,
+    /// Deletes served.
+    pub deletes: u64,
+    /// Scans served.
+    pub scans: u64,
+    /// Retries caused by filter-cache false positives detected at a leaf
+    /// (the <0.01% path of §III-B).
+    pub false_positive_retries: u64,
+    /// Retries caused by reading a node marked `Invalid` after a type
+    /// switch (§III-C).
+    pub invalid_node_retries: u64,
+    /// Retries caused by leaf checksum mismatches (torn reads under
+    /// concurrent in-place updates).
+    pub checksum_retries: u64,
+    /// Times the deepest node was found via the filter cache on the first
+    /// hash-entry fetch.
+    pub filter_first_hits: u64,
+    /// Hash-entry fetches that found no matching entry (filter false
+    /// positives or stale filter state).
+    pub entry_misses: u64,
+    /// Prefixes newly learned into the filter during traversals.
+    pub filter_refreshes: u64,
+}
+
+impl OpStats {
+    /// Total operations.
+    pub fn ops(&self) -> u64 {
+        self.gets + self.inserts + self.updates + self.deletes + self.scans
+    }
+
+    /// Difference between two snapshots (`self` minus `earlier`).
+    pub fn since(&self, earlier: &OpStats) -> OpStats {
+        OpStats {
+            gets: self.gets - earlier.gets,
+            inserts: self.inserts - earlier.inserts,
+            updates: self.updates - earlier.updates,
+            deletes: self.deletes - earlier.deletes,
+            scans: self.scans - earlier.scans,
+            false_positive_retries: self.false_positive_retries - earlier.false_positive_retries,
+            invalid_node_retries: self.invalid_node_retries - earlier.invalid_node_retries,
+            checksum_retries: self.checksum_retries - earlier.checksum_retries,
+            filter_first_hits: self.filter_first_hits - earlier.filter_first_hits,
+            entry_misses: self.entry_misses - earlier.entry_misses,
+            filter_refreshes: self.filter_refreshes - earlier.filter_refreshes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_and_since() {
+        let a = OpStats { gets: 10, inserts: 5, ..Default::default() };
+        let b = OpStats { gets: 4, inserts: 2, ..Default::default() };
+        assert_eq!(a.ops(), 15);
+        let d = a.since(&b);
+        assert_eq!(d.gets, 6);
+        assert_eq!(d.inserts, 3);
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline integrity verification: walk the remote tree and cross-check
+//! every structural invariant Sphinx relies on.
+//!
+//! Used by the test suite after concurrency torture runs, and available to
+//! operators as a consistency audit. Checks, per inner node:
+//!
+//! * the header decodes, with a sane status and a prefix length strictly
+//!   greater than its parent's;
+//! * the 42-bit full-prefix hash matches the node's actual prefix
+//!   (reconstructed from any leaf in its subtree — every leaf shares it);
+//! * the Inner Node Hash Table holds exactly one matching entry (right
+//!   fingerprint, address, and node kind) for the node's prefix;
+//! * every child leaf decodes with a valid checksum, starts with the
+//!   node's prefix, and dispatches on the slot's key byte;
+//! * the value-slot leaf (if any) has key == prefix.
+
+use art_core::hash::{fp12, prefix_hash42, prefix_hash64};
+use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot};
+use race_hash::RaceTable;
+
+use crate::error::SphinxError;
+use crate::index::SphinxIndex;
+
+/// Outcome of [`SphinxIndex::verify`].
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityReport {
+    /// Inner nodes visited.
+    pub inner_nodes: usize,
+    /// Live leaves visited (tombstoned leaves are skipped, not counted).
+    pub leaves: usize,
+    /// Deepest prefix length observed.
+    pub max_prefix_len: usize,
+    /// Inner Node Hash Table entries validated.
+    pub inht_entries_checked: usize,
+    /// Human-readable descriptions of every violation found.
+    pub problems: Vec<String>,
+}
+
+impl IntegrityReport {
+    /// Whether the index passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+impl SphinxIndex {
+    /// Audits the whole index. Run only on a quiescent index — concurrent
+    /// writers make transient states (locked nodes, half-published splits)
+    /// look like violations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors; structural *violations* are reported
+    /// in the [`IntegrityReport`], not as errors.
+    pub fn verify(&self) -> Result<IntegrityReport, SphinxError> {
+        let mut dm = self.cluster().client(0);
+        let mut tables = self
+            .inht_metas()
+            .iter()
+            .map(|&m| RaceTable::open(&mut dm, m))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut report = IntegrityReport::default();
+
+        // Root via the hash table.
+        let root_hash = prefix_hash64(&[]);
+        let root_mn = dm.place(root_hash) as usize;
+        let found = tables[root_mn].search(&mut dm, root_hash)?;
+        let Some(root_entry) = found
+            .iter()
+            .filter_map(|e| HashEntry::decode(e.word))
+            .find(|he| he.fp == fp12(&[]))
+        else {
+            report.problems.push("root hash entry missing".into());
+            return Ok(report);
+        };
+
+        // (node ptr, expected kind, parent prefix len, parent prefix known?)
+        let mut queue = vec![(root_entry.addr, root_entry.kind, 0usize)];
+        while let Some((ptr, kind, parent_len)) = queue.pop() {
+            let bytes = dm.read(ptr, InnerNode::byte_size(kind))?;
+            let node = match InnerNode::decode(&bytes) {
+                Ok(n) => n,
+                Err(e) => {
+                    report.problems.push(format!("node {ptr}: undecodable: {e}"));
+                    continue;
+                }
+            };
+            report.inner_nodes += 1;
+            let plen = node.header.prefix_len as usize;
+            report.max_prefix_len = report.max_prefix_len.max(plen);
+            if node.header.status != NodeStatus::Idle {
+                report
+                    .problems
+                    .push(format!("node {ptr}: status {:?} on quiescent index", node.header.status));
+            }
+            if node.header.kind != kind {
+                report.problems.push(format!(
+                    "node {ptr}: kind {:?} does not match pointing slot {kind:?}",
+                    node.header.kind
+                ));
+                continue;
+            }
+            if plen < parent_len || (plen == parent_len && parent_len != 0) {
+                report.problems.push(format!(
+                    "node {ptr}: prefix length {plen} does not extend parent ({parent_len})"
+                ));
+            }
+
+            // Reconstruct the node's full prefix from any leaf below it.
+            let prefix = match self.sample_key(&mut dm, &node)? {
+                Some(key) if key.len() >= plen => key[..plen].to_vec(),
+                Some(key) => {
+                    report.problems.push(format!(
+                        "node {ptr}: sampled leaf key shorter ({}) than prefix length {plen}",
+                        key.len()
+                    ));
+                    continue;
+                }
+                None if plen == 0 => Vec::new(), // an empty root is legal
+                None => {
+                    report.problems.push(format!("node {ptr}: empty subtree"));
+                    continue;
+                }
+            };
+            if node.header.prefix_hash42 != prefix_hash42(&prefix) {
+                report.problems.push(format!(
+                    "node {ptr}: full-prefix hash mismatch for {:?}",
+                    String::from_utf8_lossy(&prefix)
+                ));
+            }
+
+            // The INHT must name this node.
+            let h = prefix_hash64(&prefix);
+            let mn = dm.place(h) as usize;
+            let entries = tables[mn].search(&mut dm, h)?;
+            let matching: Vec<HashEntry> = entries
+                .iter()
+                .filter_map(|e| HashEntry::decode(e.word))
+                .filter(|he| he.fp == fp12(&prefix) && he.addr == ptr)
+                .collect();
+            report.inht_entries_checked += 1;
+            match matching.as_slice() {
+                [] => report.problems.push(format!(
+                    "node {ptr}: no hash entry for prefix {:?}",
+                    String::from_utf8_lossy(&prefix)
+                )),
+                [one] => {
+                    if one.kind != node.header.kind {
+                        report.problems.push(format!(
+                            "node {ptr}: hash entry kind {:?} != node kind {:?}",
+                            one.kind, node.header.kind
+                        ));
+                    }
+                }
+                _ => report
+                    .problems
+                    .push(format!("node {ptr}: duplicate hash entries for its prefix")),
+            }
+
+            // Value slot: key must equal the prefix exactly.
+            if let Some(slot) = node.value_slot {
+                match self.check_leaf(&mut dm, &slot, &prefix, None, &mut report)? {
+                    Some(key) if key != prefix => report.problems.push(format!(
+                        "node {ptr}: value-slot key {:?} != prefix {:?}",
+                        String::from_utf8_lossy(&key),
+                        String::from_utf8_lossy(&prefix)
+                    )),
+                    _ => {}
+                }
+            }
+
+            // Children.
+            let mut seen_bytes = std::collections::HashSet::new();
+            for slot in node.slots.iter().flatten() {
+                if !seen_bytes.insert(slot.key_byte) {
+                    report.problems.push(format!(
+                        "node {ptr}: duplicate dispatch byte {:#x}",
+                        slot.key_byte
+                    ));
+                }
+                if slot.is_leaf {
+                    self.check_leaf(&mut dm, slot, &prefix, Some(slot.key_byte), &mut report)?;
+                } else {
+                    queue.push((slot.addr, slot.child_kind, plen));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Any live leaf key from the subtree of `node`.
+    fn sample_key(
+        &self,
+        dm: &mut dm_sim::DmClient,
+        node: &InnerNode,
+    ) -> Result<Option<Vec<u8>>, SphinxError> {
+        let mut current = node.clone();
+        for _ in 0..64 {
+            let slot = match current
+                .value_slot
+                .or_else(|| current.slots.iter().flatten().next().copied())
+            {
+                Some(s) => s,
+                None => return Ok(None),
+            };
+            if slot.is_leaf {
+                let bytes = dm.read(slot.addr, self.config().leaf_read_hint.max(64))?;
+                return Ok(LeafNode::decode(&bytes).ok().map(|l| l.key));
+            }
+            let bytes = dm.read(slot.addr, InnerNode::byte_size(slot.child_kind))?;
+            match InnerNode::decode(&bytes) {
+                Ok(n) => current = n,
+                Err(_) => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Decodes and checks one leaf; returns its key when live.
+    fn check_leaf(
+        &self,
+        dm: &mut dm_sim::DmClient,
+        slot: &Slot,
+        prefix: &[u8],
+        dispatch: Option<u8>,
+        report: &mut IntegrityReport,
+    ) -> Result<Option<Vec<u8>>, SphinxError> {
+        let mut len = self.config().leaf_read_hint.max(64);
+        let leaf = loop {
+            let bytes = dm.read(slot.addr, len)?;
+            let units = ((u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) >> 8)
+                & 0xFF) as usize;
+            if units.max(1) * 64 > len {
+                len = units * 64;
+                continue;
+            }
+            match LeafNode::decode(&bytes) {
+                Ok(l) => break l,
+                Err(e) => {
+                    report.problems.push(format!("leaf {}: undecodable: {e}", slot.addr));
+                    return Ok(None);
+                }
+            }
+        };
+        if leaf.status == NodeStatus::Invalid {
+            // Tombstone awaiting unlink; structurally fine.
+            return Ok(None);
+        }
+        report.leaves += 1;
+        if !leaf.key.starts_with(prefix) {
+            report.problems.push(format!(
+                "leaf {}: key {:?} does not start with parent prefix {:?}",
+                slot.addr,
+                String::from_utf8_lossy(&leaf.key),
+                String::from_utf8_lossy(prefix)
+            ));
+        }
+        if let Some(byte) = dispatch {
+            if leaf.key.get(prefix.len()) != Some(&byte) {
+                report.problems.push(format!(
+                    "leaf {}: dispatch byte {byte:#x} does not match key",
+                    slot.addr
+                ));
+            }
+        }
+        Ok(Some(leaf.key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SphinxConfig, SphinxIndex};
+    use dm_sim::{ClusterConfig, DmCluster};
+
+    #[test]
+    fn fresh_index_verifies_clean() {
+        let cluster = DmCluster::new(ClusterConfig::default());
+        let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
+        let report = index.verify().unwrap();
+        assert!(report.is_clean(), "{:?}", report.problems);
+        assert_eq!(report.inner_nodes, 1, "just the root");
+    }
+
+    #[test]
+    fn populated_index_verifies_clean() {
+        let cluster = DmCluster::new(ClusterConfig::default());
+        let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
+        let mut client = index.client(0).unwrap();
+        for i in 0..2000u64 {
+            let key = format!("verify-key-{:06}", i * 37 % 5000);
+            client.insert(key.as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        for i in (0..2000u64).step_by(5) {
+            let key = format!("verify-key-{:06}", i * 37 % 5000);
+            client.remove(key.as_bytes()).unwrap();
+        }
+        let report = index.verify().unwrap();
+        assert!(report.is_clean(), "{:?}", report.problems);
+        assert!(report.inner_nodes > 10);
+        assert!(report.leaves > 500);
+        assert_eq!(report.inht_entries_checked, report.inner_nodes);
+    }
+
+    #[test]
+    fn verify_catches_injected_corruption() {
+        let cluster = DmCluster::new(ClusterConfig::default());
+        let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
+        let mut client = index.client(0).unwrap();
+        for w in ["corrupt-a", "corrupt-b", "corrupt-c"] {
+            client.insert(w.as_bytes(), b"v").unwrap();
+        }
+        // Break the inner node's prefix hash (word 1) wherever it lives.
+        let h42 = art_core::hash::prefix_hash42(b"corrupt-");
+        let mut hit = false;
+        for mn_id in 0..cluster.num_mns() {
+            let mn = cluster.mn(mn_id).unwrap();
+            let mut buf = vec![0u8; mn.capacity()];
+            mn.read_bytes(0, &mut buf).unwrap();
+            for off in (0..buf.len() - 8).step_by(8) {
+                if u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) == h42 {
+                    mn.store_u64(off as u64, h42 ^ 0b100).unwrap();
+                    hit = true;
+                }
+            }
+        }
+        assert!(hit, "inner node for 'corrupt-' not found");
+        let report = index.verify().unwrap();
+        assert!(!report.is_clean(), "corruption must be reported");
+    }
+}

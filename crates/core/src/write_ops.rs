@@ -1,0 +1,835 @@
+//! Write operations: insert (with node splits and type switches), update
+//! (in-place and out-of-place), delete. Implements §IV of the paper.
+
+use art_core::hash::{fp12, prefix_hash64};
+use art_core::key::common_prefix_len;
+use art_core::layout::{
+    HashEntry, InnerNode, LeafNode, NodeStatus, Slot, VALUE_SLOT_OFFSET,
+};
+use art_core::NodeKind;
+use dm_sim::{DmClient, DoorbellBatch, RemotePtr, Verb, VerbResult};
+use race_hash::RaceError;
+
+use crate::client::{Outcome, SlotRef, SphinxClient, OP_RETRY_LIMIT};
+use crate::config::CacheMode;
+use crate::error::SphinxError;
+use crate::node_io::{invalidate_inner, read_inner, write_new_leaf};
+
+/// Outcome of a guarded single-word install into an inner node.
+///
+/// The distinction matters for memory safety: buffers referenced by the
+/// installed word may be freed only on [`Install::Raced`] (the CAS never
+/// landed). After [`Install::Ambiguous`] the word may live on in a
+/// type-switched copy of the node, so freeing would let the allocator
+/// recycle memory the live tree still points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Install {
+    /// The word is installed in a live (Idle) node.
+    Done,
+    /// The CAS lost: nothing was installed; referenced buffers are safe to
+    /// free.
+    Raced,
+    /// The CAS landed while the node was mid-type-switch: the install may
+    /// or may not survive in the replacement. Retry via a fresh lookup and
+    /// do not free.
+    Ambiguous,
+}
+
+/// The split oracle the Inner Node Hash Table needs: recover an entry's
+/// key hash from the entry word by reading the referenced node's 42-bit
+/// full-prefix hash (word 1), which equals the low 42 bits of the
+/// placement hash.
+fn inht_split_oracle(client: &mut DmClient, word: u64) -> Result<u64, RaceError> {
+    let entry =
+        HashEntry::decode(word).ok_or(RaceError::Corrupt { what: "undecodable hash entry" })?;
+    let w1 = client
+        .read_u64(entry.addr.checked_add(8).map_err(race_hash::RaceError::from)?)
+        .map_err(RaceError::from)?;
+    Ok(w1 & ((1 << 42) - 1))
+}
+
+impl SphinxClient {
+    /// Inserts or overwrites `key` with `value` (upsert, matching YCSB
+    /// insert semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`SphinxError::KeyTooLong`], [`SphinxError::RetriesExhausted`]
+    /// under pathological contention, or substrate errors.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), SphinxError> {
+        self.stats.inserts += 1;
+        for _ in 0..OP_RETRY_LIMIT {
+            let d = self.locate(key)?;
+            let done = match d.outcome {
+                Outcome::Leaf { slot_ref, ref slot, ref leaf } if leaf.key == key => {
+                    if leaf.status == NodeStatus::Invalid {
+                        // Deleted leaf still linked: replace it outright.
+                        self.swap_leaf(d.node_ptr, slot_ref, slot, key, value)?
+                    } else {
+                        self.write_leaf_value(d.node_ptr, slot_ref, slot, leaf, key, value)?
+                    }
+                }
+                Outcome::Leaf { slot_ref, ref slot, ref leaf } => {
+                    self.split_leaf(d.node_ptr, slot_ref, slot, leaf, key, value)?
+                }
+                Outcome::NoValueSlot => {
+                    let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
+                    let new_slot = Slot::leaf(0, leaf_ptr);
+                    self.install_word(d.node_ptr, VALUE_SLOT_OFFSET, 0, new_slot.encode())?
+                        == Install::Done
+                }
+                Outcome::Empty { byte } => match d.node.free_slot(byte) {
+                    Some(idx) => {
+                        let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
+                        let new_slot = Slot::leaf(byte, leaf_ptr);
+                        self.install_fresh_child(&d.node, d.node_ptr, idx, byte, new_slot, key)?
+                    }
+                    None => self.type_switch_insert(&d.node, d.node_ptr, key, value)?,
+                },
+                Outcome::Divergent { slot_idx, ref slot, ref child, ref sample } => {
+                    self.split_path(d.node_ptr, slot_idx, slot, child, sample, key, value)?
+                }
+            };
+            if done {
+                return Ok(());
+            }
+            self.dm.advance_clock(200);
+            std::thread::yield_now();
+        }
+        Err(SphinxError::RetriesExhausted { op: "insert" })
+    }
+
+    /// Updates an existing key. Returns `false` if the key is absent.
+    ///
+    /// Fits-in-place updates use the checksum scheme of §III-C: one CAS to
+    /// lock, one write that simultaneously stores the value, refreshes the
+    /// checksum and releases the lock.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SphinxClient::insert`].
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<bool, SphinxError> {
+        self.stats.updates += 1;
+        for _ in 0..OP_RETRY_LIMIT {
+            let d = self.locate(key)?;
+            match d.outcome {
+                Outcome::Leaf { slot_ref, ref slot, ref leaf } if leaf.key == key => {
+                    if leaf.status == NodeStatus::Invalid {
+                        return Ok(false);
+                    }
+                    if self.write_leaf_value(d.node_ptr, slot_ref, slot, leaf, key, value)? {
+                        return Ok(true);
+                    }
+                }
+                _ => return Ok(false),
+            }
+            self.dm.advance_clock(200);
+            std::thread::yield_now();
+        }
+        Err(SphinxError::RetriesExhausted { op: "update" })
+    }
+
+    /// Deletes a key. Returns whether this client performed the deletion.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SphinxClient::insert`].
+    pub fn remove(&mut self, key: &[u8]) -> Result<bool, SphinxError> {
+        self.stats.deletes += 1;
+        for _ in 0..OP_RETRY_LIMIT {
+            let d = self.locate(key)?;
+            match d.outcome {
+                Outcome::Leaf { slot_ref, ref slot, ref leaf } if leaf.key == key => {
+                    if leaf.status == NodeStatus::Invalid {
+                        // Another client deleted it (and owns the slot
+                        // cleanup).
+                        return Ok(false);
+                    }
+                    // 1. Invalidate the leaf (fails under a concurrent
+                    //    update; retry with fresh state).
+                    let (cur, inv) = leaf.status_cas_words(leaf.status, NodeStatus::Invalid);
+                    if self.dm.cas(slot.addr, cur, inv)? != cur {
+                        self.dm.advance_clock(200);
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    // 2. Unlink from the parent. A racing type switch can
+                    //    make this fail; re-locate until the slot is gone.
+                    let offset = match slot_ref {
+                        SlotRef::Child(i) => InnerNode::slot_offset(i),
+                        SlotRef::Value => VALUE_SLOT_OFFSET,
+                    };
+                    if self.install_word(d.node_ptr, offset, slot.encode(), 0)?
+                        != Install::Done
+                    {
+                        self.unlink_invalid_leaf(key)?;
+                    }
+                    return Ok(true);
+                }
+                _ => return Ok(false),
+            }
+        }
+        Err(SphinxError::RetriesExhausted { op: "remove" })
+    }
+
+    /// After this client invalidated a leaf but lost the unlink race (e.g.
+    /// to a concurrent type switch that copied the slot), chase the moved
+    /// slot until it is cleared.
+    fn unlink_invalid_leaf(&mut self, key: &[u8]) -> Result<(), SphinxError> {
+        for _ in 0..OP_RETRY_LIMIT {
+            let d = self.locate(key)?;
+            match d.outcome {
+                Outcome::Leaf { slot_ref, ref slot, ref leaf }
+                    if leaf.key == key && leaf.status == NodeStatus::Invalid =>
+                {
+                    let offset = match slot_ref {
+                        SlotRef::Child(i) => InnerNode::slot_offset(i),
+                        SlotRef::Value => VALUE_SLOT_OFFSET,
+                    };
+                    if self.install_word(d.node_ptr, offset, slot.encode(), 0)?
+                        == Install::Done
+                    {
+                        return Ok(());
+                    }
+                    self.dm.advance_clock(200);
+                    std::thread::yield_now();
+                }
+                _ => return Ok(()), // slot already gone
+            }
+        }
+        Err(SphinxError::RetriesExhausted { op: "unlink" })
+    }
+
+    // ------------------------------------------------------------------
+    // Building blocks.
+    // ------------------------------------------------------------------
+
+    /// CASes one word of an inner node and — in the same doorbell batch —
+    /// re-reads the node's control word to detect a concurrent type
+    /// switch.
+    pub(crate) fn install_word(
+        &mut self,
+        node_ptr: RemotePtr,
+        offset: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<Install, SphinxError> {
+        let mut batch = DoorbellBatch::with_capacity(2);
+        batch.push(Verb::Cas { ptr: node_ptr.checked_add(offset)?, expected, new });
+        batch.push(Verb::Read { ptr: node_ptr, len: 8 });
+        let mut res = self.dm.execute(batch)?;
+        let control = match res.pop().expect("read result") {
+            VerbResult::Read(b) => u64::from_le_bytes(b.as_slice().try_into().expect("8 bytes")),
+            other => unreachable!("expected read, got {other:?}"),
+        };
+        let prev = res.pop().expect("cas result").into_cas();
+        if prev != expected {
+            return Ok(Install::Raced);
+        }
+        if control & 0xFF == NodeStatus::Idle as u64 {
+            return Ok(Install::Done);
+        }
+        // The node is Locked (mid type-switch) or Invalid. Our word landed
+        // and *may already have been copied into the replacement node*, so
+        // it must be treated as live: the caller retries from a fresh
+        // lookup (which converges either way) and MUST NOT free anything
+        // the word references.
+        Ok(Install::Ambiguous)
+    }
+
+    /// Installs a slot for a dispatch byte that had **no** child — the one
+    /// case where two racing clients can occupy *different* free slots for
+    /// the *same* byte (each CAS succeeds against 0). The batch re-reads
+    /// the whole node after the CAS; if *any other* occupied slot carries
+    /// the same byte, this client undoes its install and retries. Because
+    /// at least one of two racers always observes the other (their
+    /// CAS→read windows overlap), at most one install survives.
+    fn install_fresh_child(
+        &mut self,
+        node: &InnerNode,
+        node_ptr: RemotePtr,
+        idx: usize,
+        byte: u8,
+        new_slot: Slot,
+        key: &[u8],
+    ) -> Result<bool, SphinxError> {
+        let offset = InnerNode::slot_offset(idx);
+        let node_len = InnerNode::byte_size(node.header.kind);
+        let mut batch = DoorbellBatch::with_capacity(2);
+        batch.push(Verb::Cas { ptr: node_ptr.checked_add(offset)?, expected: 0, new: new_slot.encode() });
+        batch.push(Verb::Read { ptr: node_ptr, len: node_len });
+        let mut res = self.dm.execute(batch)?;
+        let bytes = match res.pop().expect("read result") {
+            VerbResult::Read(b) => b,
+            other => unreachable!("expected read, got {other:?}"),
+        };
+        let prev = res.pop().expect("cas result").into_cas();
+        if prev != 0 {
+            return Ok(false);
+        }
+        let mut now = match InnerNode::decode(&bytes) {
+            Ok(n) => n,
+            Err(_) => return self.resolve_settled_install(node, node_ptr, idx, byte, key),
+        };
+        if now.header.status != NodeStatus::Idle || now.header.kind != node.header.kind {
+            // The node is mid type-switch: our word may or may not be in
+            // the replacement's copy, and leaving a duplicate byte behind
+            // would shadow a sibling key. Wait for the switch to settle
+            // and resolve deterministically.
+            return self.resolve_settled_install(node, node_ptr, idx, byte, key);
+        }
+        // Duplicate check: any *other* occupant of this byte forces an
+        // undo (symmetric rule — a one-sided tie-break can double-keep
+        // when one racer's read predates the other's CAS).
+        let duplicated = now
+            .slots
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != idx && s.is_some_and(|s| s.key_byte == byte));
+        let _ = &mut now;
+        if duplicated {
+            let _ = self.dm.cas(node_ptr.checked_add(offset)?, new_slot.encode(), 0)?;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// After a fresh-child CAS landed on a node observed mid type-switch,
+    /// waits for the node to settle and resolves the install outcome
+    /// deterministically:
+    ///
+    /// * node back to `Idle` (the switch bailed): rerun the duplicate
+    ///   check; undo is safe again because no copy is in flight;
+    /// * node `Invalid` (the switch completed): the word survives iff the
+    ///   switcher's copy caught it — observable by looking the key up
+    ///   through the fresh structure.
+    fn resolve_settled_install(
+        &mut self,
+        node: &InnerNode,
+        node_ptr: RemotePtr,
+        idx: usize,
+        byte: u8,
+        key: &[u8],
+    ) -> Result<bool, SphinxError> {
+        let offset = InnerNode::slot_offset(idx);
+        for _ in 0..OP_RETRY_LIMIT {
+            let control = self.dm.read_u64(node_ptr)?;
+            match (control & 0xFF) as u8 {
+                x if x == NodeStatus::Idle as u8 => {
+                    let bytes =
+                        self.dm.read(node_ptr, InnerNode::byte_size(node.header.kind))?;
+                    let Ok(now) = InnerNode::decode(&bytes) else { continue };
+                    if now.header.kind != node.header.kind {
+                        continue;
+                    }
+                    let mine = now.slots.get(idx).copied().flatten();
+                    if mine.map(|s| s.key_byte) != Some(byte) {
+                        return Ok(false); // someone cleared it; retry
+                    }
+                    let duplicated = now
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .any(|(i, s)| i != idx && s.is_some_and(|s| s.key_byte == byte));
+                    if duplicated {
+                        let word = mine.expect("checked above").encode();
+                        let _ = self.dm.cas(node_ptr.checked_add(offset)?, word, 0)?;
+                        return Ok(false);
+                    }
+                    return Ok(true);
+                }
+                x if x == NodeStatus::Invalid as u8 => {
+                    // Switch completed: success iff the key is reachable in
+                    // the replacement structure.
+                    return self.key_is_live(key);
+                }
+                _ => {
+                    // Still locked: let the switcher run.
+                    self.dm.advance_clock(200);
+                    std::thread::yield_now();
+                }
+            }
+        }
+        Err(SphinxError::RetriesExhausted { op: "install resolve" })
+    }
+
+    /// Whether `key` currently resolves to a live leaf holding it.
+    fn key_is_live(&mut self, key: &[u8]) -> Result<bool, SphinxError> {
+        let d = self.locate(key)?;
+        Ok(matches!(
+            d.outcome,
+            Outcome::Leaf { ref leaf, .. }
+                if leaf.key == key && leaf.status != NodeStatus::Invalid
+        ))
+    }
+
+    /// Writes a new value into an existing leaf: in place when it fits
+    /// (§III-C), else out of place via slot replacement.
+    fn write_leaf_value(
+        &mut self,
+        node_ptr: RemotePtr,
+        slot_ref: SlotRef,
+        slot: &Slot,
+        leaf: &LeafNode,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, SphinxError> {
+        if leaf.fits_in_place(value.len()) {
+            let (idle, locked) = leaf.status_cas_words(NodeStatus::Idle, NodeStatus::Locked);
+            if self.dm.cas(slot.addr, idle, locked)? != idle {
+                return Ok(false); // lock lost or leaf changed; retry
+            }
+            let mut new_leaf = LeafNode::new(key.to_vec(), value.to_vec());
+            new_leaf.version = leaf.version.wrapping_add(1);
+            new_leaf.set_len_units(leaf.len_units());
+            // One write stores the value, refreshes the checksum and —
+            // because the written status byte is Idle — releases the lock.
+            self.dm.write(slot.addr, &new_leaf.encode())?;
+            Ok(true)
+        } else {
+            self.swap_leaf(node_ptr, slot_ref, slot, key, value)
+        }
+    }
+
+    /// Out-of-place leaf replacement: write a fresh leaf, swing the parent
+    /// slot, invalidate the old leaf.
+    fn swap_leaf(
+        &mut self,
+        node_ptr: RemotePtr,
+        slot_ref: SlotRef,
+        slot: &Slot,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, SphinxError> {
+        let new_ptr = write_new_leaf(&mut self.dm, key, value)?;
+        let new_slot = Slot::leaf(slot.key_byte, new_ptr);
+        let offset = match slot_ref {
+            SlotRef::Child(i) => InnerNode::slot_offset(i),
+            SlotRef::Value => VALUE_SLOT_OFFSET,
+        };
+        match self.install_word(node_ptr, offset, slot.encode(), new_slot.encode())? {
+            Install::Done => {
+                // Best-effort invalidation of the unlinked leaf so laggard
+                // readers holding its address see a tombstone. The region
+                // is intentionally not recycled (safe reclamation needs
+                // epochs, out of scope — see DESIGN.md).
+                let mut probe = 0;
+                if let Ok(old) =
+                    crate::node_io::read_leaf(&mut self.dm, slot.addr, 64, &mut probe)
+                {
+                    let (cur, inv) = old.status_cas_words(old.status, NodeStatus::Invalid);
+                    let _ = self.dm.cas(slot.addr, cur, inv)?;
+                }
+                Ok(true)
+            }
+            Install::Raced => {
+                let _ = self.dm.free(new_ptr);
+                Ok(false)
+            }
+            Install::Ambiguous => Ok(false), // new leaf may be live: leak it
+        }
+    }
+
+    /// Case: dispatch slot holds a leaf with a *different* key — create a
+    /// Node4 over their common prefix (an ART node split).
+    fn split_leaf(
+        &mut self,
+        node_ptr: RemotePtr,
+        slot_ref: SlotRef,
+        slot: &Slot,
+        leaf: &LeafNode,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, SphinxError> {
+        let SlotRef::Child(slot_idx) = slot_ref else {
+            // A value-slot leaf's key equals the node prefix, which equals
+            // the search key when the descent ends there — a mismatch here
+            // means the tree changed under us; retry.
+            return Ok(false);
+        };
+        let cpl = common_prefix_len(key, &leaf.key);
+        let prefix = &key[..cpl];
+        // The new leaf's address is needed inside the new inner node, so
+        // allocate it first; both writes then share one doorbell batch.
+        let leaf_ptr = self.dm.alloc_placed(prefix_hash64(key), 
+            art_core::layout::LeafNode::encoded_size(key.len(), value.len()))?;
+        let mut n = InnerNode::new(NodeKind::Node4, prefix);
+        // Re-hang the existing leaf (reusing its storage).
+        if leaf.key.len() == cpl {
+            n.value_slot = Some(Slot::leaf(0, slot.addr));
+        } else {
+            n.set_child(Slot::leaf(leaf.key[cpl], slot.addr));
+        }
+        if key.len() == cpl {
+            n.value_slot = Some(Slot::leaf(0, leaf_ptr));
+        } else {
+            n.set_child(Slot::leaf(key[cpl], leaf_ptr));
+        }
+        let node_bytes = n.encode();
+        let n_ptr = self.dm.alloc_placed(prefix_hash64(prefix), node_bytes.len())?;
+        let mut batch = DoorbellBatch::with_capacity(2);
+        batch.push(Verb::Write {
+            ptr: leaf_ptr,
+            data: art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode(),
+        });
+        batch.push(Verb::Write { ptr: n_ptr, data: node_bytes });
+        self.dm.execute(batch)?;
+        let new_slot = Slot::inner(slot.key_byte, NodeKind::Node4, n_ptr);
+        match self.install_word(
+            node_ptr,
+            InnerNode::slot_offset(slot_idx),
+            slot.encode(),
+            new_slot.encode(),
+        )? {
+            Install::Done => {
+                self.publish_new_inner(prefix, NodeKind::Node4, n_ptr)?;
+                Ok(true)
+            }
+            Install::Raced => {
+                let _ = self.dm.free(n_ptr);
+                let _ = self.dm.free(leaf_ptr);
+                Ok(false)
+            }
+            Install::Ambiguous => Ok(false), // may be live in a copy: leak
+        }
+    }
+
+    /// Case: dispatch slot holds an inner node whose compressed path
+    /// diverges from the key — split the path with a Node4 over the common
+    /// prefix (learned from `sample`, a leaf of the child's subtree).
+    fn split_path(
+        &mut self,
+        node_ptr: RemotePtr,
+        slot_idx: usize,
+        slot: &Slot,
+        child: &InnerNode,
+        sample: &LeafNode,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, SphinxError> {
+        let cpl = common_prefix_len(key, &sample.key);
+        let clen = child.header.prefix_len as usize;
+        if cpl >= clen || cpl >= sample.key.len() {
+            // The structure changed since we sampled; retry.
+            return Ok(false);
+        }
+        let prefix = &key[..cpl];
+        let leaf_ptr = self.dm.alloc_placed(prefix_hash64(key),
+            art_core::layout::LeafNode::encoded_size(key.len(), value.len()))?;
+        let mut n = InnerNode::new(NodeKind::Node4, prefix);
+        n.set_child(Slot::inner(sample.key[cpl], child.header.kind, slot.addr));
+        if key.len() == cpl {
+            n.value_slot = Some(Slot::leaf(0, leaf_ptr));
+        } else {
+            n.set_child(Slot::leaf(key[cpl], leaf_ptr));
+        }
+        let node_bytes = n.encode();
+        let n_ptr = self.dm.alloc_placed(prefix_hash64(prefix), node_bytes.len())?;
+        let mut batch = DoorbellBatch::with_capacity(2);
+        batch.push(Verb::Write {
+            ptr: leaf_ptr,
+            data: art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode(),
+        });
+        batch.push(Verb::Write { ptr: n_ptr, data: node_bytes });
+        self.dm.execute(batch)?;
+        let new_slot = Slot::inner(slot.key_byte, NodeKind::Node4, n_ptr);
+        match self.install_word(
+            node_ptr,
+            InnerNode::slot_offset(slot_idx),
+            slot.encode(),
+            new_slot.encode(),
+        )? {
+            Install::Done => {
+                self.publish_new_inner(prefix, NodeKind::Node4, n_ptr)?;
+                Ok(true)
+            }
+            Install::Raced => {
+                let _ = self.dm.free(n_ptr);
+                let _ = self.dm.free(leaf_ptr);
+                Ok(false)
+            }
+            Install::Ambiguous => Ok(false), // may be live in a copy: leak
+        }
+    }
+
+    /// The node-type switch of §III-C: lock, copy into a grown node (with
+    /// the new leaf folded in), swing the parent pointer, update the hash
+    /// table, invalidate the original.
+    fn type_switch_insert(
+        &mut self,
+        node: &InnerNode,
+        node_ptr: RemotePtr,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, SphinxError> {
+        let plen = node.header.prefix_len as usize;
+        let prefix = &key[..plen];
+        let byte = key[plen];
+        if node.grown_kind().is_none() {
+            // A full Node256 has a child for every byte; `Empty` cannot
+            // have been observed unless the snapshot was stale.
+            return Ok(false);
+        }
+        // 1+2. Node-grained lock, with the authoritative re-read
+        // piggybacked in the same doorbell batch (the read executes after
+        // the CAS, so on success it observes the locked node).
+        let idle = node.header.control_with_status(NodeStatus::Idle);
+        let locked = node.header.control_with_status(NodeStatus::Locked);
+        let mut batch = DoorbellBatch::with_capacity(2);
+        batch.push(Verb::Cas { ptr: node_ptr, expected: idle, new: locked });
+        batch.push(Verb::Read { ptr: node_ptr, len: InnerNode::byte_size(node.header.kind) });
+        let mut res = self.dm.execute(batch)?;
+        let bytes = match res.pop().expect("read result") {
+            VerbResult::Read(b) => b,
+            other => unreachable!("expected read, got {other:?}"),
+        };
+        if res.pop().expect("cas result").into_cas() != idle {
+            return Ok(false);
+        }
+        let fresh = InnerNode::decode(&bytes)?;
+        let unlock = fresh.header.control_with_status(NodeStatus::Idle);
+
+        if fresh.find_child(byte).is_some() {
+            // Someone installed our dispatch byte concurrently before we
+            // locked; bail and re-descend.
+            self.dm.write_u64(node_ptr, unlock)?;
+            return Ok(false);
+        }
+        if let Some(idx) = fresh.free_slot(byte) {
+            // A concurrent delete freed a slot: plain install under the
+            // lock, no switch needed.
+            let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
+            let mut batch = DoorbellBatch::with_capacity(2);
+            batch.push(Verb::Write {
+                ptr: node_ptr.checked_add(InnerNode::slot_offset(idx))?,
+                data: Slot::leaf(byte, leaf_ptr).encode().to_le_bytes().to_vec(),
+            });
+            batch.push(Verb::Write { ptr: node_ptr, data: unlock.to_le_bytes().to_vec() });
+            self.dm.execute(batch)?;
+            return Ok(true);
+        }
+
+        // 3. Build the grown replacement with the new leaf folded in; both
+        // fresh nodes are written in one doorbell batch.
+        let mut grown = fresh.grow();
+        let (leaf_ptr, grown_ptr) = {
+            let leaf_ptr = self.dm.alloc_placed(prefix_hash64(key),
+                art_core::layout::LeafNode::encoded_size(key.len(), value.len()))?;
+            grown.set_child(Slot::leaf(byte, leaf_ptr));
+            let grown_bytes = grown.encode();
+            let grown_ptr = self.dm.alloc_placed(prefix_hash64(prefix), grown_bytes.len())?;
+            let mut batch = DoorbellBatch::with_capacity(2);
+            batch.push(Verb::Write {
+                ptr: leaf_ptr,
+                data: art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode(),
+            });
+            batch.push(Verb::Write { ptr: grown_ptr, data: grown_bytes });
+            self.dm.execute(batch)?;
+            (leaf_ptr, grown_ptr)
+        };
+
+        // 4. Swing the parent's child slot (the root has no parent).
+        let is_root = prefix.is_empty();
+        if !is_root {
+            match self.swing_parent_slot(key, plen, node_ptr, grown.header.kind, grown_ptr)? {
+                Install::Done => {}
+                Install::Raced => {
+                    // Provably never linked: safe to reclaim and retry.
+                    self.dm.write_u64(node_ptr, unlock)?;
+                    let _ = self.dm.free(grown_ptr);
+                    let _ = self.dm.free(leaf_ptr);
+                    return Ok(false);
+                }
+                Install::Ambiguous => {
+                    // The grown node may be linked through a copy we cannot
+                    // see yet: release the lock, leak, and retry — the
+                    // fresh locate converges on whichever structure won.
+                    self.dm.write_u64(node_ptr, unlock)?;
+                    return Ok(false);
+                }
+            }
+        }
+
+        // 5. Update the Inner Node Hash Table (single 8-byte CAS, §IV).
+        let h = prefix_hash64(prefix);
+        let mn = self.dm.place(h) as usize;
+        let fp = fp12(prefix);
+        let old_entry = HashEntry { fp, kind: fresh.header.kind, addr: node_ptr };
+        let new_entry = HashEntry { fp, kind: grown.header.kind, addr: grown_ptr };
+        let SphinxClient { tables, dm, .. } = self;
+        tables[mn].replace(dm, h, old_entry.encode(), new_entry.encode())?;
+
+        // 6. Retire the original so readers holding stale hash entries or
+        //    pointers retry (§III-C).
+        invalidate_inner(&mut self.dm, node_ptr, &fresh)?;
+        Ok(true)
+    }
+
+    /// Finds the tree parent of the node with full prefix `key[..plen]`
+    /// and CASes its child slot from `old_ptr` to the grown node,
+    /// verifying adoption through the live tree when the CAS outcome is
+    /// ambiguous (the parent itself may be mid-type-switch).
+    fn swing_parent_slot(
+        &mut self,
+        key: &[u8],
+        plen: usize,
+        old_ptr: RemotePtr,
+        new_kind: NodeKind,
+        new_ptr: RemotePtr,
+    ) -> Result<Install, SphinxError> {
+        let mut ambiguous_seen = false;
+        for _ in 0..64 {
+            match self.find_parent_slot(key, plen, old_ptr)? {
+                Some((parent_ptr, idx, slot)) => {
+                    let new_slot = Slot::inner(slot.key_byte, new_kind, new_ptr);
+                    match self.install_word(
+                        parent_ptr,
+                        InnerNode::slot_offset(idx),
+                        slot.encode(),
+                        new_slot.encode(),
+                    )? {
+                        Install::Done => return Ok(Install::Done),
+                        Install::Ambiguous => ambiguous_seen = true,
+                        Install::Raced => {}
+                    }
+                }
+                None => {
+                    // The old node is no longer linked under this key: if
+                    // the live tree now points at OUR replacement, an
+                    // ambiguous CAS was in fact adopted.
+                    if self.find_parent_slot(key, plen, new_ptr)?.is_some() {
+                        return Ok(Install::Done);
+                    }
+                    // Neither old nor new is linked: the tree moved on
+                    // (e.g. a parent copy adopted a different structure)
+                    // while the hash table may still name the dead node.
+                    // Heal it from the tree — the source of truth — so the
+                    // retry does not loop through the stale entry forever.
+                    self.repair_inht_entry(key, plen, old_ptr)?;
+                    return Ok(if ambiguous_seen { Install::Ambiguous } else { Install::Raced });
+                }
+            }
+            self.dm.advance_clock(200);
+            std::thread::yield_now();
+        }
+        Ok(if ambiguous_seen { Install::Ambiguous } else { Install::Raced })
+    }
+
+    /// Re-points the Inner Node Hash Table entry for `key[..plen]` at the
+    /// node the live tree actually holds at that position (found by a pure
+    /// tree walk, bypassing the possibly-stale hash table).
+    fn repair_inht_entry(
+        &mut self,
+        key: &[u8],
+        plen: usize,
+        stale_ptr: RemotePtr,
+    ) -> Result<(), SphinxError> {
+        // Pure tree walk from the root to the node with prefix_len == plen.
+        let (_, mut node, _) = self.entry_node(key, 0)?;
+        let mut node_ptr = None;
+        for _ in 0..64 {
+            let nplen = node.header.prefix_len as usize;
+            if nplen == plen {
+                break;
+            }
+            if nplen > plen || key.len() <= nplen {
+                return Ok(()); // position no longer exists; nothing to heal
+            }
+            let Some((_, slot)) = node.find_child(key[nplen]) else { return Ok(()) };
+            if slot.is_leaf {
+                return Ok(());
+            }
+            node = read_inner(&mut self.dm, slot.addr, slot.child_kind)?;
+            node_ptr = Some(slot.addr);
+        }
+        let Some(live_ptr) = node_ptr else { return Ok(()) };
+        if live_ptr == stale_ptr
+            || node.header.prefix_len as usize != plen
+            || node.header.status == NodeStatus::Invalid
+        {
+            return Ok(());
+        }
+        let prefix = &key[..plen];
+        if node.header.prefix_hash42 != art_core::hash::prefix_hash42(prefix) {
+            return Ok(()); // different subtree; not ours to touch
+        }
+        let h = prefix_hash64(prefix);
+        let mn = self.dm.place(h) as usize;
+        let fp = fp12(prefix);
+        // Replace whatever entry currently names the stale node.
+        let SphinxClient { tables, dm, .. } = self;
+        let found = tables[mn].search(dm, h)?;
+        for e in found {
+            if let Some(he) = HashEntry::decode(e.word) {
+                if he.fp == fp && he.addr == stale_ptr {
+                    let fresh =
+                        HashEntry { fp, kind: node.header.kind, addr: live_ptr };
+                    let _ = tables[mn].replace(dm, h, e.word, fresh.encode())?;
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Walks from an ancestor entry node to the node whose child slot
+    /// holds `child_ptr`.
+    fn find_parent_slot(
+        &mut self,
+        key: &[u8],
+        child_plen: usize,
+        child_ptr: RemotePtr,
+    ) -> Result<Option<(RemotePtr, usize, Slot)>, SphinxError> {
+        'outer: for _ in 0..64 {
+            let (mut ptr, mut node, _len) = self.entry_node(key, child_plen - 1)?;
+            loop {
+                if node.header.status == NodeStatus::Invalid {
+                    self.dm.advance_clock(200);
+                    std::thread::yield_now();
+                    continue 'outer;
+                }
+                let plen = node.header.prefix_len as usize;
+                if plen >= child_plen {
+                    continue 'outer;
+                }
+                let byte = key[plen];
+                let Some((idx, slot)) = node.find_child(byte) else {
+                    return Ok(None);
+                };
+                if slot.addr == child_ptr {
+                    return Ok(Some((ptr, idx, slot)));
+                }
+                if slot.is_leaf {
+                    return Ok(None);
+                }
+                let child = read_inner(&mut self.dm, slot.addr, slot.child_kind)?;
+                if child.header.kind != slot.child_kind {
+                    continue 'outer;
+                }
+                ptr = slot.addr;
+                node = child;
+            }
+        }
+        Ok(None)
+    }
+
+    /// Registers a freshly published inner node in the INHT and the local
+    /// Succinct Filter Cache (§IV Insert: "after a node split, where a new
+    /// inner node with a new prefix is added").
+    fn publish_new_inner(
+        &mut self,
+        prefix: &[u8],
+        kind: NodeKind,
+        ptr: RemotePtr,
+    ) -> Result<(), SphinxError> {
+        let h = prefix_hash64(prefix);
+        let mn = self.dm.place(h) as usize;
+        let entry = HashEntry { fp: fp12(prefix), kind, addr: ptr };
+        let SphinxClient { tables, dm, .. } = self;
+        tables[mn].insert(dm, h, entry.encode(), inht_split_oracle)?;
+        if self.config.mode == CacheMode::FilterCache {
+            self.filter.lock().insert(prefix);
+        }
+        Ok(())
+    }
+}

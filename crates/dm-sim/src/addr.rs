@@ -1,0 +1,192 @@
+//! Remote pointers: 64-bit handles addressing memory on a specific MN.
+
+use std::fmt;
+
+use crate::error::DmError;
+
+/// Number of low bits used for the byte offset within a memory node.
+const OFFSET_BITS: u32 = 48;
+const OFFSET_MASK: u64 = (1 << OFFSET_BITS) - 1;
+
+/// A pointer into the memory pool of one memory node.
+///
+/// Packed into a single `u64` — 16 bits of MN id, 48 bits of byte offset —
+/// so it fits in one RDMA-atomic word and in the 48-bit address field of
+/// Sphinx hash entries and node slots (Fig. 3 of the paper).
+///
+/// The all-zero value is reserved as the null pointer; memory-node
+/// allocators never hand out offset 0.
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::RemotePtr;
+///
+/// let p = RemotePtr::new(2, 4096);
+/// assert_eq!(p.mn_id(), 2);
+/// assert_eq!(p.offset(), 4096);
+/// assert!(!p.is_null());
+/// assert!(RemotePtr::NULL.is_null());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RemotePtr(u64);
+
+impl RemotePtr {
+    /// The null remote pointer.
+    pub const NULL: RemotePtr = RemotePtr(0);
+
+    /// Creates a pointer to `offset` on memory node `mn_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit in 48 bits.
+    pub fn new(mn_id: u16, offset: u64) -> Self {
+        assert!(offset <= OFFSET_MASK, "offset {offset:#x} exceeds 48 bits");
+        RemotePtr(((mn_id as u64) << OFFSET_BITS) | offset)
+    }
+
+    /// Reconstructs a pointer from its raw packed representation.
+    pub fn from_raw(raw: u64) -> Self {
+        RemotePtr(raw)
+    }
+
+    /// The raw packed representation (16-bit MN id | 48-bit offset).
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// The memory node this pointer refers to.
+    pub fn mn_id(self) -> u16 {
+        (self.0 >> OFFSET_BITS) as u16
+    }
+
+    /// The byte offset within the memory node's pool.
+    pub fn offset(self) -> u64 {
+        self.0 & OFFSET_MASK
+    }
+
+    /// Whether this is the null pointer.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Packs this pointer into 48 bits (8-bit MN id, 40-bit offset) — the
+    /// address width used inside Sphinx hash entries and node slots
+    /// (Fig. 3 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MN id exceeds 255 or the offset exceeds 2⁴⁰−1
+    /// (1 TiB per memory node — beyond any simulated configuration).
+    pub fn to_packed48(self) -> u64 {
+        let mn = self.mn_id() as u64;
+        let off = self.offset();
+        assert!(mn < 256, "mn id {mn} does not fit in 8 bits");
+        assert!(off < (1 << 40), "offset {off:#x} does not fit in 40 bits");
+        (mn << 40) | off
+    }
+
+    /// Reverses [`RemotePtr::to_packed48`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed` has bits set above bit 47.
+    pub fn from_packed48(packed: u64) -> Self {
+        assert!(packed < (1 << 48), "packed pointer {packed:#x} exceeds 48 bits");
+        RemotePtr::new((packed >> 40) as u16, packed & ((1 << 40) - 1))
+    }
+
+    /// Returns a pointer `delta` bytes past `self` on the same MN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] if the new offset overflows
+    /// 48 bits.
+    pub fn checked_add(self, delta: u64) -> Result<Self, DmError> {
+        let off = self
+            .offset()
+            .checked_add(delta)
+            .filter(|o| *o <= OFFSET_MASK)
+            .ok_or(DmError::InvalidAddress {
+                mn_id: self.mn_id(),
+                offset: self.offset().wrapping_add(delta),
+            })?;
+        Ok(RemotePtr::new(self.mn_id(), off))
+    }
+}
+
+impl fmt::Debug for RemotePtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "RemotePtr(NULL)")
+        } else {
+            write!(f, "RemotePtr(mn={}, off={:#x})", self.mn_id(), self.offset())
+        }
+    }
+}
+
+impl fmt::Display for RemotePtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#x}", self.mn_id(), self.offset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let p = RemotePtr::new(0xBEEF, 0x1234_5678_9ABC);
+        assert_eq!(p.mn_id(), 0xBEEF);
+        assert_eq!(p.offset(), 0x1234_5678_9ABC);
+        assert_eq!(RemotePtr::from_raw(p.to_raw()), p);
+    }
+
+    #[test]
+    fn null_is_mn0_offset0() {
+        assert_eq!(RemotePtr::NULL.mn_id(), 0);
+        assert_eq!(RemotePtr::NULL.offset(), 0);
+        assert!(RemotePtr::default().is_null());
+    }
+
+    #[test]
+    fn max_offset_fits() {
+        let p = RemotePtr::new(1, OFFSET_MASK);
+        assert_eq!(p.offset(), OFFSET_MASK);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn oversized_offset_panics() {
+        let _ = RemotePtr::new(0, OFFSET_MASK + 1);
+    }
+
+    #[test]
+    fn checked_add_ok_and_overflow() {
+        let p = RemotePtr::new(3, 100);
+        assert_eq!(p.checked_add(28).unwrap().offset(), 128);
+        assert!(RemotePtr::new(3, OFFSET_MASK).checked_add(1).is_err());
+    }
+
+    #[test]
+    fn packed48_roundtrip() {
+        for (mn, off) in [(0u16, 0u64), (255, (1 << 40) - 1), (3, 0x12_3456_7890)] {
+            let p = RemotePtr::new(mn, off);
+            assert_eq!(RemotePtr::from_packed48(p.to_packed48()), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in 8 bits")]
+    fn packed48_rejects_large_mn() {
+        let _ = RemotePtr::new(256, 0).to_packed48();
+    }
+
+    #[test]
+    fn ordering_is_by_mn_then_offset() {
+        let a = RemotePtr::new(0, 500);
+        let b = RemotePtr::new(1, 4);
+        assert!(a < b);
+    }
+}

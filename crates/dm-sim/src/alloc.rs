@@ -1,0 +1,149 @@
+//! A segregated free-list allocator for memory-node pools.
+//!
+//! Allocation sizes are rounded up to a size class (8/16/32/64 bytes, then
+//! multiples of 64 up to 4 KiB, then powers of two). Freed blocks go onto a
+//! per-class free list and are recycled before the bump pointer advances.
+//! The allocator also keeps the live-byte counters used to reproduce the
+//! paper's Fig. 6 (MN-side memory usage).
+
+use std::collections::HashMap;
+
+/// Snapshot of a memory node's allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Bytes currently live (allocated and not freed), after size-class
+    /// rounding — i.e. what the pool actually consumes.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`.
+    pub peak_bytes: u64,
+    /// Total number of `alloc` calls served.
+    pub allocations: u64,
+    /// Total number of `free` calls served.
+    pub frees: u64,
+}
+
+/// Rounds a request up to its allocation size class — what a block of
+/// `size` bytes actually consumes in an MN pool. Public so higher layers
+/// can account memory the way the allocator does.
+pub fn size_class(size: u64) -> u64 {
+    match size {
+        0..=8 => 8,
+        9..=16 => 16,
+        17..=32 => 32,
+        33..=4096 => size.div_ceil(64) * 64,
+        _ => size.next_power_of_two(),
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct SegregatedAllocator {
+    capacity: u64,
+    bump: u64,
+    free_lists: HashMap<u64, Vec<u64>>,
+    live: HashMap<u64, u64>, // offset -> class size
+    stats: AllocStats,
+}
+
+impl SegregatedAllocator {
+    pub(crate) fn new(capacity: u64) -> Self {
+        SegregatedAllocator {
+            capacity,
+            // Offset 0 is reserved so that RemotePtr::NULL is never a valid
+            // allocation; keep the first 64 bytes as a red zone.
+            bump: 64,
+            free_lists: HashMap::new(),
+            live: HashMap::new(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    pub(crate) fn alloc(&mut self, size: u64) -> Option<u64> {
+        let class = size_class(size);
+        let off = if let Some(off) = self.free_lists.get_mut(&class).and_then(Vec::pop) {
+            off
+        } else {
+            if self.bump + class > self.capacity {
+                return None;
+            }
+            let off = self.bump;
+            self.bump += class;
+            off
+        };
+        self.live.insert(off, class);
+        self.stats.live_bytes += class;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        self.stats.allocations += 1;
+        Some(off)
+    }
+
+    pub(crate) fn free(&mut self, offset: u64) -> bool {
+        let Some(class) = self.live.remove(&offset) else {
+            return false;
+        };
+        self.free_lists.entry(class).or_default().push(offset);
+        self.stats.live_bytes -= class;
+        self.stats.frees += 1;
+        true
+    }
+
+    pub(crate) fn stats(&self) -> AllocStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(size_class(1), 8);
+        assert_eq!(size_class(8), 8);
+        assert_eq!(size_class(9), 16);
+        assert_eq!(size_class(33), 64);
+        assert_eq!(size_class(65), 128);
+        assert_eq!(size_class(100), 128);
+        assert_eq!(size_class(4096), 4096);
+        assert_eq!(size_class(4097), 8192);
+    }
+
+    #[test]
+    fn never_returns_offset_zero() {
+        let mut a = SegregatedAllocator::new(1 << 20);
+        for _ in 0..100 {
+            assert_ne!(a.alloc(8).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn recycles_freed_blocks() {
+        let mut a = SegregatedAllocator::new(1 << 20);
+        let x = a.alloc(64).unwrap();
+        a.free(x);
+        let y = a.alloc(50).unwrap(); // same class (64)
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn live_bytes_track_alloc_free() {
+        let mut a = SegregatedAllocator::new(1 << 20);
+        let x = a.alloc(100).unwrap(); // class 128
+        assert_eq!(a.stats().live_bytes, 128);
+        a.free(x);
+        assert_eq!(a.stats().live_bytes, 0);
+        assert_eq!(a.stats().peak_bytes, 128);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = SegregatedAllocator::new(256);
+        assert!(a.alloc(128).is_some());
+        assert!(a.alloc(128).is_none()); // 64B red zone + 128 > 256 - 128
+    }
+
+    #[test]
+    fn free_of_unknown_offset_is_rejected() {
+        let mut a = SegregatedAllocator::new(1 << 20);
+        assert!(!a.free(12345));
+    }
+}

@@ -1,0 +1,586 @@
+//! Compute-side clients: one-sided verbs, doorbell batching, virtual clock.
+
+use std::sync::Arc;
+
+use crate::addr::RemotePtr;
+use crate::cluster::ClusterInner;
+use crate::error::DmError;
+use crate::stats::ClientStats;
+
+/// A single one-sided RDMA operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verb {
+    /// Read `len` bytes at `ptr`.
+    Read {
+        /// Source address.
+        ptr: RemotePtr,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Write `data` at `ptr`.
+    Write {
+        /// Destination address.
+        ptr: RemotePtr,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Compare-and-swap the 8-byte word at `ptr`.
+    Cas {
+        /// Word address (8-byte aligned).
+        ptr: RemotePtr,
+        /// Expected value.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Fetch-and-add on the 8-byte word at `ptr`.
+    Faa {
+        /// Word address (8-byte aligned).
+        ptr: RemotePtr,
+        /// Addend (wrapping).
+        delta: u64,
+    },
+}
+
+impl Verb {
+    fn mn_id(&self) -> u16 {
+        match self {
+            Verb::Read { ptr, .. }
+            | Verb::Write { ptr, .. }
+            | Verb::Cas { ptr, .. }
+            | Verb::Faa { ptr, .. } => ptr.mn_id(),
+        }
+    }
+
+    /// Payload bytes this verb moves over the wire (request + response).
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Verb::Read { len, .. } => *len as u64,
+            Verb::Write { data, .. } => data.len() as u64,
+            Verb::Cas { .. } => 16, // expected+swap out, old value back
+            Verb::Faa { .. } => 16,
+        }
+    }
+}
+
+/// The outcome of one [`Verb`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerbResult {
+    /// Bytes returned by a read.
+    Read(Vec<u8>),
+    /// A write completed.
+    Write,
+    /// Previous word value observed by a CAS (success ⇔ it equals the
+    /// expected value the caller supplied).
+    Cas(u64),
+    /// Previous word value returned by an FAA.
+    Faa(u64),
+}
+
+impl VerbResult {
+    /// Extracts read data, panicking on other variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not `Read`.
+    pub fn into_read(self) -> Vec<u8> {
+        match self {
+            VerbResult::Read(v) => v,
+            other => panic!("expected Read result, got {other:?}"),
+        }
+    }
+
+    /// Extracts the previous value of a CAS, panicking on other variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is not `Cas`.
+    pub fn into_cas(self) -> u64 {
+        match self {
+            VerbResult::Cas(v) => v,
+            other => panic!("expected Cas result, got {other:?}"),
+        }
+    }
+}
+
+/// A doorbell batch: multiple verbs posted to the NIC together.
+///
+/// All verbs destined for the same MN share **one network round trip**; a
+/// batch spanning `k` MNs performs `k` round trips *in parallel* (the
+/// client's clock advances by the slowest one). This is the mechanism
+/// Sphinx uses both for parallel hash-entry reads and for piggybacking lock
+/// acquisition onto node writes (§IV).
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::{DmCluster, ClusterConfig, DoorbellBatch, Verb};
+///
+/// # fn main() -> Result<(), dm_sim::DmError> {
+/// let cluster = DmCluster::new(ClusterConfig::default());
+/// let mut client = cluster.client(0);
+/// let a = client.alloc(0, 8)?;
+/// let b = client.alloc(0, 8)?;
+/// let mut batch = DoorbellBatch::new();
+/// batch.push(Verb::Write { ptr: a, data: vec![1; 8] });
+/// batch.push(Verb::Write { ptr: b, data: vec![2; 8] });
+/// let before = client.stats().round_trips;
+/// client.execute(batch)?;
+/// assert_eq!(client.stats().round_trips - before, 1); // same MN: one RT
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DoorbellBatch {
+    verbs: Vec<Verb>,
+}
+
+impl DoorbellBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        DoorbellBatch::default()
+    }
+
+    /// Creates an empty batch with capacity for `n` verbs.
+    pub fn with_capacity(n: usize) -> Self {
+        DoorbellBatch { verbs: Vec::with_capacity(n) }
+    }
+
+    /// Appends a verb to the batch.
+    pub fn push(&mut self, verb: Verb) {
+        self.verbs.push(verb);
+    }
+
+    /// Number of verbs queued.
+    pub fn len(&self) -> usize {
+        self.verbs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.verbs.is_empty()
+    }
+}
+
+impl Extend<Verb> for DoorbellBatch {
+    fn extend<T: IntoIterator<Item = Verb>>(&mut self, iter: T) {
+        self.verbs.extend(iter);
+    }
+}
+
+impl FromIterator<Verb> for DoorbellBatch {
+    fn from_iter<T: IntoIterator<Item = Verb>>(iter: T) -> Self {
+        DoorbellBatch { verbs: Vec::from_iter(iter) }
+    }
+}
+
+/// A compute-side client: issues one-sided verbs against the cluster and
+/// tracks its own virtual time and statistics.
+///
+/// Not `Sync`: create one per worker thread (the intended usage, matching
+/// per-coroutine contexts in the paper's systems).
+#[derive(Debug)]
+pub struct DmClient {
+    inner: Arc<ClusterInner>,
+    cn_id: u16,
+    clock_ns: u64,
+    stats: ClientStats,
+}
+
+impl DmClient {
+    pub(crate) fn new(inner: Arc<ClusterInner>, cn_id: u16) -> Self {
+        DmClient { inner, cn_id, clock_ns: 0, stats: ClientStats::default() }
+    }
+
+    /// The compute node this client runs on.
+    pub fn cn_id(&self) -> u16 {
+        self.cn_id
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advances the virtual clock by `ns` (models CN-side compute).
+    pub fn advance_clock(&mut self, ns: u64) {
+        self.clock_ns += ns;
+    }
+
+    /// Sets the virtual clock (e.g. to re-synchronize workers at a barrier).
+    pub fn set_clock_ns(&mut self, ns: u64) {
+        self.clock_ns = ns;
+    }
+
+    /// Cumulative network statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Consistent-hash placement (same as [`DmCluster::place`](crate::DmCluster::place)).
+    pub fn place(&self, hash: u64) -> u16 {
+        self.inner.ring.place(hash)
+    }
+
+    /// Number of memory nodes in the cluster.
+    pub fn num_mns(&self) -> u16 {
+        self.inner.config.num_mns
+    }
+
+    /// Executes a doorbell batch, advancing the virtual clock by the
+    /// slowest of the per-MN round trips. Results are returned in verb
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first addressing/alignment error encountered; memory
+    /// effects of verbs preceding the failed one are retained (as on real
+    /// hardware, where a QP flushes after a failed work request).
+    pub fn execute(&mut self, batch: DoorbellBatch) -> Result<Vec<VerbResult>, DmError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let now = self.clock_ns;
+        // Tally per-MN message counts and bytes for the cost model.
+        let mut mn_msgs: Vec<(u16, u64, u64)> = Vec::new(); // (mn, msgs, bytes)
+        for verb in &batch.verbs {
+            let mn = verb.mn_id();
+            let bytes = verb.wire_bytes();
+            match mn_msgs.iter_mut().find(|(id, _, _)| *id == mn) {
+                Some((_, m, b)) => {
+                    *m += 1;
+                    *b += bytes;
+                }
+                None => mn_msgs.push((mn, 1, bytes)),
+            }
+        }
+
+        // Charge the CN NIC once for the whole batch, each MN NIC for its
+        // share, and take the slowest completion.
+        let cn_nic = &self.inner.cn_nics[self.cn_id as usize];
+        let total_msgs: u64 = mn_msgs.iter().map(|(_, m, _)| m).sum();
+        let total_bytes: u64 = mn_msgs.iter().map(|(_, _, b)| b).sum();
+        let cn_fin = cn_nic.submit(now, total_msgs, total_bytes);
+        let mut completion = cn_fin;
+        for &(mn_id, msgs, bytes) in &mn_msgs {
+            let mn = self
+                .inner
+                .mns
+                .get(mn_id as usize)
+                .ok_or(DmError::UnknownMemoryNode { mn_id })?;
+            let fin = mn.nic().submit(now, msgs, bytes);
+            completion = completion.max(fin);
+        }
+        let rtt = self.inner.config.net.rtt_ns;
+        let cpu = self.inner.config.net.client_op_ns * batch.verbs.len() as u64;
+        self.clock_ns = completion + rtt + cpu;
+
+        self.stats.round_trips += mn_msgs.len() as u64;
+        self.stats.verbs += batch.verbs.len() as u64;
+
+        // Apply memory effects and collect results.
+        let mut results = Vec::with_capacity(batch.verbs.len());
+        for verb in batch.verbs {
+            let mn = self
+                .inner
+                .mns
+                .get(verb.mn_id() as usize)
+                .ok_or(DmError::UnknownMemoryNode { mn_id: verb.mn_id() })?;
+            let res = match verb {
+                Verb::Read { ptr, len } => {
+                    let mut buf = vec![0u8; len];
+                    mn.read_bytes(ptr.offset(), &mut buf)?;
+                    self.stats.bytes_read += len as u64;
+                    VerbResult::Read(buf)
+                }
+                Verb::Write { ptr, data } => {
+                    mn.write_bytes(ptr.offset(), &data)?;
+                    self.stats.bytes_written += data.len() as u64;
+                    VerbResult::Write
+                }
+                Verb::Cas { ptr, expected, new } => {
+                    let prev = mn.cas_u64(ptr.offset(), expected, new)?;
+                    self.stats.bytes_written += 8;
+                    VerbResult::Cas(prev)
+                }
+                Verb::Faa { ptr, delta } => {
+                    let prev = mn.faa_u64(ptr.offset(), delta)?;
+                    self.stats.bytes_written += 8;
+                    VerbResult::Faa(prev)
+                }
+            };
+            results.push(res);
+        }
+        Ok(results)
+    }
+
+    /// Reads `len` bytes at `ptr` in one round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    pub fn read(&mut self, ptr: RemotePtr, len: usize) -> Result<Vec<u8>, DmError> {
+        let mut res = self.execute(DoorbellBatch { verbs: vec![Verb::Read { ptr, len }] })?;
+        Ok(res.pop().expect("one result").into_read())
+    }
+
+    /// Writes `data` at `ptr` in one round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    pub fn write(&mut self, ptr: RemotePtr, data: &[u8]) -> Result<(), DmError> {
+        self.execute(DoorbellBatch { verbs: vec![Verb::Write { ptr, data: data.to_vec() }] })?;
+        Ok(())
+    }
+
+    /// Reads the 8-byte word at `ptr` (one round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    pub fn read_u64(&mut self, ptr: RemotePtr) -> Result<u64, DmError> {
+        let bytes = self.read(ptr, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Writes the 8-byte word at `ptr` (one round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    pub fn write_u64(&mut self, ptr: RemotePtr, value: u64) -> Result<(), DmError> {
+        self.write(ptr, &value.to_le_bytes())
+    }
+
+    /// RDMA CAS on the word at `ptr`; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    pub fn cas(&mut self, ptr: RemotePtr, expected: u64, new: u64) -> Result<u64, DmError> {
+        let mut res = self.execute(DoorbellBatch { verbs: vec![Verb::Cas { ptr, expected, new }] })?;
+        Ok(res.pop().expect("one result").into_cas())
+    }
+
+    /// RDMA FAA on the word at `ptr`; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    pub fn faa(&mut self, ptr: RemotePtr, delta: u64) -> Result<u64, DmError> {
+        let mut res = self.execute(DoorbellBatch { verbs: vec![Verb::Faa { ptr, delta }] })?;
+        match res.pop().expect("one result") {
+            VerbResult::Faa(v) => Ok(v),
+            other => panic!("expected Faa result, got {other:?}"),
+        }
+    }
+
+    /// Allocates `size` bytes on memory node `mn_id`.
+    ///
+    /// Allocation is charged no network time: real DM systems amortize it
+    /// through per-CN memory leases/slabs (e.g. FaRM, Sherman), so it is off
+    /// the critical path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::OutOfMemory`] or [`DmError::UnknownMemoryNode`].
+    pub fn alloc(&mut self, mn_id: u16, size: usize) -> Result<RemotePtr, DmError> {
+        self.inner
+            .mns
+            .get(mn_id as usize)
+            .ok_or(DmError::UnknownMemoryNode { mn_id })?
+            .alloc(size)
+    }
+
+    /// Allocates on the MN chosen by consistent hashing of `hash`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::OutOfMemory`].
+    pub fn alloc_placed(&mut self, hash: u64, size: usize) -> Result<RemotePtr, DmError> {
+        let mn = self.place(hash);
+        self.alloc(mn, size)
+    }
+
+    /// Frees a previously allocated region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidFree`] or [`DmError::UnknownMemoryNode`].
+    pub fn free(&mut self, ptr: RemotePtr) -> Result<(), DmError> {
+        self.inner
+            .mns
+            .get(ptr.mn_id() as usize)
+            .ok_or(DmError::UnknownMemoryNode { mn_id: ptr.mn_id() })?
+            .free(ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, DmCluster};
+    use crate::net::NetConfig;
+
+    fn small_cluster() -> DmCluster {
+        DmCluster::new(ClusterConfig {
+            num_mns: 2,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn single_read_write() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let p = cl.alloc(0, 64).unwrap();
+        cl.write(p, b"sphinx").unwrap();
+        assert_eq!(cl.read(p, 6).unwrap(), b"sphinx");
+        assert_eq!(cl.stats().round_trips, 2);
+        assert_eq!(cl.stats().verbs, 2);
+    }
+
+    #[test]
+    fn batch_to_one_mn_is_one_round_trip() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 8).unwrap();
+        let b = cl.alloc(0, 8).unwrap();
+        let mut batch = DoorbellBatch::new();
+        batch.push(Verb::Write { ptr: a, data: vec![1; 8] });
+        batch.push(Verb::Write { ptr: b, data: vec![2; 8] });
+        batch.push(Verb::Read { ptr: a, len: 8 });
+        cl.execute(batch).unwrap();
+        assert_eq!(cl.stats().round_trips, 1);
+        assert_eq!(cl.stats().verbs, 3);
+    }
+
+    #[test]
+    fn batch_to_two_mns_is_two_parallel_round_trips() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 8).unwrap();
+        let b = cl.alloc(1, 8).unwrap();
+        let t0 = cl.clock_ns();
+        let mut batch = DoorbellBatch::new();
+        batch.push(Verb::Read { ptr: a, len: 8 });
+        batch.push(Verb::Read { ptr: b, len: 8 });
+        cl.execute(batch).unwrap();
+        let parallel_elapsed = cl.clock_ns() - t0;
+        assert_eq!(cl.stats().round_trips, 2);
+
+        // Sequential execution of the same two reads takes ~2x the time.
+        let mut cl2 = c.client(0);
+        cl2.read(a, 8).unwrap();
+        cl2.read(b, 8).unwrap();
+        let seq_elapsed = cl2.clock_ns();
+        assert!(
+            seq_elapsed > parallel_elapsed + NetConfig::default().rtt_ns / 2,
+            "sequential {seq_elapsed} should exceed parallel {parallel_elapsed}"
+        );
+    }
+
+    #[test]
+    fn clock_advances_by_at_least_rtt() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let p = cl.alloc(0, 8).unwrap();
+        let t0 = cl.clock_ns();
+        cl.read(p, 8).unwrap();
+        assert!(cl.clock_ns() >= t0 + NetConfig::default().rtt_ns);
+    }
+
+    #[test]
+    fn cas_through_client() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let p = cl.alloc(0, 8).unwrap();
+        cl.write_u64(p, 5).unwrap();
+        assert_eq!(cl.cas(p, 5, 6).unwrap(), 5); // success
+        assert_eq!(cl.cas(p, 5, 7).unwrap(), 6); // failure returns current
+        assert_eq!(cl.read_u64(p).unwrap(), 6);
+    }
+
+    #[test]
+    fn faa_through_client() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let p = cl.alloc(0, 8).unwrap();
+        assert_eq!(cl.faa(p, 10).unwrap(), 0);
+        assert_eq!(cl.read_u64(p).unwrap(), 10);
+    }
+
+    #[test]
+    fn results_in_verb_order() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let p = cl.alloc(0, 16).unwrap();
+        let q = p.checked_add(8).unwrap();
+        let mut batch = DoorbellBatch::new();
+        batch.push(Verb::Write { ptr: p, data: 1u64.to_le_bytes().to_vec() });
+        batch.push(Verb::Write { ptr: q, data: 2u64.to_le_bytes().to_vec() });
+        batch.push(Verb::Read { ptr: p, len: 8 });
+        batch.push(Verb::Read { ptr: q, len: 8 });
+        let res = cl.execute(batch).unwrap();
+        assert_eq!(res[2], VerbResult::Read(1u64.to_le_bytes().to_vec()));
+        assert_eq!(res[3], VerbResult::Read(2u64.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let t0 = cl.clock_ns();
+        let res = cl.execute(DoorbellBatch::new()).unwrap();
+        assert!(res.is_empty());
+        assert_eq!(cl.clock_ns(), t0);
+        assert_eq!(cl.stats().round_trips, 0);
+    }
+
+    #[test]
+    fn contention_inflates_latency() {
+        // Two clients hammering the same MN should see higher per-op
+        // latency than one client alone (NIC queueing). The per-message
+        // service time is set high enough that two clients exceed the NIC's
+        // capacity: solo rate = 1/(s+rtt) < capacity 1/s, duo rate = 2/(s+rtt) > 1/s.
+        let config = ClusterConfig {
+            num_mns: 1,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            net: NetConfig { rtt_ns: 2000, msg_ns: 5000, byte_ns_x1000: 80, client_op_ns: 0 },
+            ..Default::default()
+        };
+        let c = DmCluster::new(config);
+        let p = c.mn(0).unwrap().alloc(8).unwrap();
+
+        let mut solo = c.client(0);
+        for _ in 0..100 {
+            solo.read(p, 8).unwrap();
+        }
+        let solo_time = solo.clock_ns();
+
+        c.reset_network();
+        let mut a = c.client(0);
+        let mut b = c.client(0);
+        for _ in 0..100 {
+            a.read(p, 8).unwrap();
+            b.read(p, 8).unwrap();
+        }
+        assert!(
+            a.clock_ns() > solo_time && b.clock_ns() > solo_time,
+            "contended clients ({}, {}) should be slower than solo ({})",
+            a.clock_ns(),
+            b.clock_ns(),
+            solo_time
+        );
+    }
+
+    #[test]
+    fn client_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DmClient>();
+    }
+}

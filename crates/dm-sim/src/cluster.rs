@@ -1,0 +1,189 @@
+//! Cluster assembly: memory nodes, compute-node NICs, placement ring.
+
+use std::sync::Arc;
+
+use crate::client::DmClient;
+use crate::error::DmError;
+use crate::heap::MemoryNode;
+use crate::net::{NetConfig, Nic};
+use crate::ring::HashRing;
+
+/// Topology and cost parameters for a simulated DM cluster.
+///
+/// The defaults mirror the paper's testbed: 3 machines, each hosting one CN
+/// and one MN, interconnected at 100 Gbps with ~2 µs RTT.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of memory nodes.
+    pub num_mns: u16,
+    /// Number of compute nodes (each has its own NIC shared by its workers).
+    pub num_cns: u16,
+    /// Byte capacity of each memory node's pool.
+    pub mn_capacity: usize,
+    /// Network cost model.
+    pub net: NetConfig,
+    /// Virtual nodes per MN on the consistent-hashing ring.
+    pub vnodes: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_mns: 3,
+            num_cns: 3,
+            mn_capacity: 256 << 20, // 256 MiB per MN
+            net: NetConfig::default(),
+            vnodes: 64,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct ClusterInner {
+    pub(crate) mns: Vec<MemoryNode>,
+    pub(crate) cn_nics: Vec<Nic>,
+    pub(crate) ring: HashRing,
+    pub(crate) config: ClusterConfig,
+}
+
+/// A simulated disaggregated-memory cluster.
+///
+/// Cheap to clone (it is an `Arc` handle); clone it into worker threads and
+/// create one [`DmClient`] per worker.
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::{DmCluster, ClusterConfig};
+///
+/// let cluster = DmCluster::new(ClusterConfig { num_mns: 2, ..Default::default() });
+/// assert_eq!(cluster.num_mns(), 2);
+/// let mn = cluster.place(42);
+/// assert!(mn < 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DmCluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl DmCluster {
+    /// Builds a cluster from the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_mns` or `num_cns` is zero.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.num_mns > 0, "cluster needs at least one memory node");
+        assert!(config.num_cns > 0, "cluster needs at least one compute node");
+        let mns = (0..config.num_mns)
+            .map(|id| MemoryNode::new(id, config.mn_capacity, &config.net))
+            .collect();
+        let cn_nics = (0..config.num_cns).map(|_| Nic::new(config.net.clone())).collect();
+        let ring = HashRing::new(config.num_mns, config.vnodes);
+        DmCluster { inner: Arc::new(ClusterInner { mns, cn_nics, ring, config }) }
+    }
+
+    /// Creates a client attached to compute node `cn_id`'s NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cn_id` is out of range.
+    pub fn client(&self, cn_id: u16) -> DmClient {
+        assert!(
+            (cn_id as usize) < self.inner.cn_nics.len(),
+            "cn_id {cn_id} out of range (cluster has {} CNs)",
+            self.inner.cn_nics.len()
+        );
+        DmClient::new(self.inner.clone(), cn_id)
+    }
+
+    /// Number of memory nodes.
+    pub fn num_mns(&self) -> u16 {
+        self.inner.config.num_mns
+    }
+
+    /// Number of compute nodes.
+    pub fn num_cns(&self) -> u16 {
+        self.inner.config.num_cns
+    }
+
+    /// Consistent-hash placement: which MN owns an object with this hash.
+    pub fn place(&self, hash: u64) -> u16 {
+        self.inner.ring.place(hash)
+    }
+
+    /// Direct access to a memory node (for server-side setup and
+    /// memory-usage accounting, not for data-path access).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::UnknownMemoryNode`] for an out-of-range id.
+    pub fn mn(&self, mn_id: u16) -> Result<&MemoryNode, DmError> {
+        self.inner.mns.get(mn_id as usize).ok_or(DmError::UnknownMemoryNode { mn_id })
+    }
+
+    /// Total live bytes across all MN pools (Fig. 6 accounting).
+    pub fn total_live_bytes(&self) -> u64 {
+        self.inner.mns.iter().map(|m| m.alloc_stats().live_bytes).sum()
+    }
+
+    /// Sum of messages processed by all MN NICs.
+    pub fn total_mn_msgs(&self) -> u64 {
+        self.inner.mns.iter().map(|m| m.nic().total_msgs()).sum()
+    }
+
+    /// Resets every NIC's queue state and counters (between benchmark
+    /// phases, so the load phase does not pollute run-phase clocks).
+    pub fn reset_network(&self) {
+        for mn in &self.inner.mns {
+            mn.nic().reset();
+        }
+        for nic in &self.inner.cn_nics {
+            nic.reset();
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cluster_shape() {
+        let c = DmCluster::new(ClusterConfig::default());
+        assert_eq!(c.num_mns(), 3);
+        assert_eq!(c.num_cns(), 3);
+        assert!(c.mn(0).is_ok());
+        assert!(c.mn(9).is_err());
+    }
+
+    #[test]
+    fn placement_covers_all_mns() {
+        let c = DmCluster::new(ClusterConfig { num_mns: 4, ..Default::default() });
+        let mut seen = [false; 4];
+        for i in 0..1000u64 {
+            seen[c.place(i) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn client_for_unknown_cn_panics() {
+        let c = DmCluster::new(ClusterConfig::default());
+        let _ = c.client(99);
+    }
+
+    #[test]
+    fn live_bytes_aggregate() {
+        let c = DmCluster::new(ClusterConfig::default());
+        c.mn(0).unwrap().alloc(100).unwrap();
+        c.mn(1).unwrap().alloc(100).unwrap();
+        assert_eq!(c.total_live_bytes(), 256); // two 128-byte classes
+    }
+}

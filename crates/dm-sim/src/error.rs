@@ -1,0 +1,82 @@
+//! Error type for the DM substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the disaggregated-memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DmError {
+    /// The target memory node has exhausted its pool.
+    OutOfMemory {
+        /// Memory node whose pool is full.
+        mn_id: u16,
+        /// Size of the failed allocation in bytes.
+        requested: usize,
+    },
+    /// An access referenced memory outside any allocated pool region.
+    InvalidAddress {
+        /// Memory node addressed.
+        mn_id: u16,
+        /// Offending byte offset.
+        offset: u64,
+    },
+    /// An atomic verb (CAS/FAA) was issued on a non-8-byte-aligned address.
+    MisalignedAtomic {
+        /// Offending byte offset.
+        offset: u64,
+    },
+    /// A verb referenced a memory node id that does not exist.
+    UnknownMemoryNode {
+        /// Offending memory node id.
+        mn_id: u16,
+    },
+    /// `free` was called on a pointer that is not a live allocation.
+    InvalidFree {
+        /// Offending pointer (raw form).
+        ptr: u64,
+    },
+}
+
+impl fmt::Display for DmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmError::OutOfMemory { mn_id, requested } => {
+                write!(f, "memory node {mn_id} out of memory ({requested} bytes requested)")
+            }
+            DmError::InvalidAddress { mn_id, offset } => {
+                write!(f, "invalid address {offset:#x} on memory node {mn_id}")
+            }
+            DmError::MisalignedAtomic { offset } => {
+                write!(f, "atomic verb on misaligned address {offset:#x}")
+            }
+            DmError::UnknownMemoryNode { mn_id } => {
+                write!(f, "unknown memory node {mn_id}")
+            }
+            DmError::InvalidFree { ptr } => {
+                write!(f, "free of non-live allocation {ptr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for DmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = DmError::OutOfMemory { mn_id: 1, requested: 64 };
+        let s = e.to_string();
+        assert!(s.starts_with("memory node 1 out of memory"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DmError>();
+    }
+}

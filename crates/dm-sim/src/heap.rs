@@ -1,0 +1,345 @@
+//! Memory-node heaps: word-atomic byte-addressable pools.
+//!
+//! A [`MemoryNode`] stores its pool as `Box<[AtomicU64]>`. Byte-granular
+//! reads and writes are assembled from relaxed word operations, so:
+//!
+//! * concurrent unsynchronized accesses can observe *torn* data across
+//!   8-byte boundaries — exactly the guarantee (or lack thereof) one-sided
+//!   RDMA gives, which is why Sphinx leaf nodes carry checksums;
+//! * accesses to a single aligned 8-byte word are atomic, matching RDMA
+//!   CAS/FAA and the paper's reliance on 8-byte control words (Fig. 3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::addr::RemotePtr;
+use crate::alloc::{AllocStats, SegregatedAllocator};
+use crate::error::DmError;
+use crate::net::{NetConfig, Nic};
+
+use parking_lot::Mutex;
+
+/// One memory node (MN): a large byte pool plus its NIC model and allocator.
+///
+/// All verb-level access goes through [`DmClient`](crate::DmClient); the
+/// methods here are the "remote side" primitives.
+#[derive(Debug)]
+pub struct MemoryNode {
+    id: u16,
+    words: Box<[AtomicU64]>,
+    nic: Nic,
+    allocator: Mutex<SegregatedAllocator>,
+}
+
+impl MemoryNode {
+    /// Creates a memory node with a pool of `capacity` bytes (rounded up to
+    /// a multiple of 8).
+    pub fn new(id: u16, capacity: usize, net: &NetConfig) -> Self {
+        let words = capacity.div_ceil(8);
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU64::new(0));
+        MemoryNode {
+            id,
+            words: v.into_boxed_slice(),
+            nic: Nic::new(net.clone()),
+            allocator: Mutex::new(SegregatedAllocator::new(capacity as u64)),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// The NIC model attached to this node.
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    /// Snapshot of allocation statistics (used for the paper's Fig. 6
+    /// memory-usage accounting).
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.allocator.lock().stats()
+    }
+
+    fn check_range(&self, offset: u64, len: usize) -> Result<(), DmError> {
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or(DmError::InvalidAddress { mn_id: self.id, offset })?;
+        if end > self.capacity() as u64 {
+            return Err(DmError::InvalidAddress { mn_id: self.id, offset });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset` into `buf`.
+    ///
+    /// Reads are word-atomic but not range-atomic: a concurrent writer can
+    /// produce a torn view across word boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] if the range exceeds the pool.
+    pub fn read_bytes(&self, offset: u64, buf: &mut [u8]) -> Result<(), DmError> {
+        self.check_range(offset, buf.len())?;
+        let mut pos = 0usize;
+        let mut off = offset;
+        while pos < buf.len() {
+            let word_idx = (off / 8) as usize;
+            let in_word = (off % 8) as usize;
+            let take = (8 - in_word).min(buf.len() - pos);
+            let w = self.words[word_idx].load(Ordering::Acquire).to_le_bytes();
+            buf[pos..pos + take].copy_from_slice(&w[in_word..in_word + take]);
+            pos += take;
+            off += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `offset`.
+    ///
+    /// Word-aligned 8-byte chunks are stored atomically; partial words use a
+    /// CAS loop so concurrent writers to *different* bytes of the same word
+    /// do not clobber each other. Cross-word writes are not atomic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] if the range exceeds the pool.
+    pub fn write_bytes(&self, offset: u64, data: &[u8]) -> Result<(), DmError> {
+        self.check_range(offset, data.len())?;
+        let mut pos = 0usize;
+        let mut off = offset;
+        while pos < data.len() {
+            let word_idx = (off / 8) as usize;
+            let in_word = (off % 8) as usize;
+            let take = (8 - in_word).min(data.len() - pos);
+            let cell = &self.words[word_idx];
+            if take == 8 {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(&data[pos..pos + 8]);
+                cell.store(u64::from_le_bytes(w), Ordering::Release);
+            } else {
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let mut w = cur.to_le_bytes();
+                    w[in_word..in_word + take].copy_from_slice(&data[pos..pos + take]);
+                    match cell.compare_exchange_weak(
+                        cur,
+                        u64::from_le_bytes(w),
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            pos += take;
+            off += take as u64;
+        }
+        Ok(())
+    }
+
+    fn word_cell(&self, offset: u64) -> Result<&AtomicU64, DmError> {
+        if !offset.is_multiple_of(8) {
+            return Err(DmError::MisalignedAtomic { offset });
+        }
+        self.check_range(offset, 8)?;
+        Ok(&self.words[(offset / 8) as usize])
+    }
+
+    /// Atomically loads the 8-byte word at `offset` (must be 8-aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    pub fn load_u64(&self, offset: u64) -> Result<u64, DmError> {
+        Ok(self.word_cell(offset)?.load(Ordering::Acquire))
+    }
+
+    /// Atomically stores the 8-byte word at `offset` (must be 8-aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    pub fn store_u64(&self, offset: u64, value: u64) -> Result<(), DmError> {
+        self.word_cell(offset)?.store(value, Ordering::Release);
+        Ok(())
+    }
+
+    /// RDMA compare-and-swap: atomically replaces the word at `offset` with
+    /// `new` if it equals `expected`. Returns the *previous* value (the RDMA
+    /// CAS convention — the caller checks success by comparing with
+    /// `expected`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    pub fn cas_u64(&self, offset: u64, expected: u64, new: u64) -> Result<u64, DmError> {
+        let cell = self.word_cell(offset)?;
+        match cell.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(prev) => Ok(prev),
+            Err(prev) => Ok(prev),
+        }
+    }
+
+    /// RDMA fetch-and-add: atomically adds `delta` (wrapping) to the word at
+    /// `offset`, returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    pub fn faa_u64(&self, offset: u64, delta: u64) -> Result<u64, DmError> {
+        Ok(self.word_cell(offset)?.fetch_add(delta, Ordering::AcqRel))
+    }
+
+    /// Allocates `size` bytes on this node, returning a pointer to the
+    /// start. The returned region is 8-byte aligned and zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::OutOfMemory`] when the pool is exhausted.
+    pub fn alloc(&self, size: usize) -> Result<RemotePtr, DmError> {
+        let off = self
+            .allocator
+            .lock()
+            .alloc(size as u64)
+            .ok_or(DmError::OutOfMemory { mn_id: self.id, requested: size })?;
+        // Zero the region so recycled blocks don't leak stale contents
+        // (a fresh RDMA-registered region is zeroed too).
+        let zero = vec![0u8; size];
+        self.write_bytes(off, &zero)?;
+        Ok(RemotePtr::new(self.id, off))
+    }
+
+    /// Releases a region previously returned by [`MemoryNode::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidFree`] if `ptr` is not a live allocation on
+    /// this node.
+    pub fn free(&self, ptr: RemotePtr) -> Result<(), DmError> {
+        if ptr.mn_id() != self.id || ptr.is_null() {
+            return Err(DmError::InvalidFree { ptr: ptr.to_raw() });
+        }
+        self.allocator
+            .lock()
+            .free(ptr.offset())
+            .then_some(())
+            .ok_or(DmError::InvalidFree { ptr: ptr.to_raw() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> MemoryNode {
+        MemoryNode::new(0, 1 << 20, &NetConfig::default())
+    }
+
+    #[test]
+    fn read_write_roundtrip_unaligned() {
+        let mn = node();
+        let data: Vec<u8> = (0..100).collect();
+        mn.write_bytes(3, &data).unwrap();
+        let mut back = vec![0u8; 100];
+        mn.read_bytes(3, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn partial_word_writes_do_not_clobber_neighbors() {
+        let mn = node();
+        mn.write_bytes(0, &[0xFF; 8]).unwrap();
+        mn.write_bytes(2, &[0xAA; 3]).unwrap();
+        let mut back = [0u8; 8];
+        mn.read_bytes(0, &mut back).unwrap();
+        assert_eq!(back, [0xFF, 0xFF, 0xAA, 0xAA, 0xAA, 0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn cas_returns_previous_value() {
+        let mn = node();
+        mn.store_u64(64, 7).unwrap();
+        assert_eq!(mn.cas_u64(64, 7, 9).unwrap(), 7);
+        assert_eq!(mn.load_u64(64).unwrap(), 9);
+        // failed CAS: returns current value, leaves memory untouched
+        assert_eq!(mn.cas_u64(64, 7, 11).unwrap(), 9);
+        assert_eq!(mn.load_u64(64).unwrap(), 9);
+    }
+
+    #[test]
+    fn faa_accumulates() {
+        let mn = node();
+        assert_eq!(mn.faa_u64(128, 5).unwrap(), 0);
+        assert_eq!(mn.faa_u64(128, 3).unwrap(), 5);
+        assert_eq!(mn.load_u64(128).unwrap(), 8);
+    }
+
+    #[test]
+    fn misaligned_atomics_rejected() {
+        let mn = node();
+        assert!(matches!(mn.load_u64(4), Err(DmError::MisalignedAtomic { .. })));
+        assert!(matches!(mn.cas_u64(1, 0, 1), Err(DmError::MisalignedAtomic { .. })));
+    }
+
+    #[test]
+    fn out_of_range_access_rejected() {
+        let mn = node();
+        let cap = mn.capacity() as u64;
+        let mut b = [0u8; 16];
+        assert!(mn.read_bytes(cap - 8, &mut b).is_err());
+        assert!(mn.store_u64(cap, 1).is_err());
+    }
+
+    #[test]
+    fn alloc_is_zeroed_and_aligned() {
+        let mn = node();
+        let p = mn.alloc(100).unwrap();
+        assert_eq!(p.offset() % 8, 0);
+        let mut b = vec![1u8; 100];
+        mn.read_bytes(p.offset(), &mut b).unwrap();
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn alloc_free_recycles_and_rezeros() {
+        let mn = node();
+        let p = mn.alloc(64).unwrap();
+        mn.write_bytes(p.offset(), &[0xAB; 64]).unwrap();
+        mn.free(p).unwrap();
+        let q = mn.alloc(64).unwrap();
+        let mut b = [1u8; 64];
+        mn.read_bytes(q.offset(), &mut b).unwrap();
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mn = node();
+        let p = mn.alloc(64).unwrap();
+        mn.free(p).unwrap();
+        assert!(matches!(mn.free(p), Err(DmError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn concurrent_faa_is_atomic() {
+        let mn = std::sync::Arc::new(node());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mn = mn.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        mn.faa_u64(256, 1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(mn.load_u64(256).unwrap(), 4000);
+    }
+}

@@ -1,0 +1,59 @@
+//! # dm-sim — a disaggregated-memory substrate simulator
+//!
+//! This crate stands in for the RDMA-based disaggregated memory (DM) cluster
+//! used by the Sphinx paper (DAC 2025). It provides:
+//!
+//! * **Memory nodes** ([`MemoryNode`]): byte-addressable remote heaps backed
+//!   by `AtomicU64` words, so concurrent one-sided accesses exhibit the same
+//!   torn-read/torn-write behaviour as real RDMA, and 8-byte aligned words
+//!   can be manipulated atomically (RDMA CAS/FAA semantics).
+//! * **One-sided verbs** ([`DmClient`]): `read`, `write`, `cas`, `faa`, plus
+//!   [`DoorbellBatch`] for issuing many verbs in a single network round trip
+//!   (the doorbell-batching mechanism of Kalia et al., USENIX ATC'16).
+//! * **A virtual-time network model** ([`NetConfig`], [`Nic`]): every client
+//!   carries its own virtual clock; each round trip charges base RTT,
+//!   per-message NIC processing, and per-byte serialization, with NIC
+//!   contention modeled as a FIFO server in virtual time. Throughput and
+//!   latency measurements are therefore deterministic in *shape* and
+//!   independent of how many physical cores the host has.
+//! * **Cluster placement** ([`DmCluster`]): consistent hashing of objects
+//!   across memory nodes.
+//!
+//! ## Example
+//!
+//! ```
+//! use dm_sim::{DmCluster, ClusterConfig};
+//!
+//! # fn main() -> Result<(), dm_sim::DmError> {
+//! let cluster = DmCluster::new(ClusterConfig::default());
+//! let mut client = cluster.client(0);
+//! let ptr = client.alloc(0, 64)?;
+//! client.write(ptr, b"hello disaggregated world")?;
+//! let back = client.read(ptr, 25)?;
+//! assert_eq!(&back, b"hello disaggregated world");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod alloc;
+mod client;
+mod cluster;
+mod error;
+mod heap;
+mod net;
+mod ring;
+mod stats;
+
+pub use addr::RemotePtr;
+pub use alloc::{size_class, AllocStats};
+pub use client::{DmClient, DoorbellBatch, Verb, VerbResult};
+pub use cluster::{ClusterConfig, DmCluster};
+pub use error::DmError;
+pub use heap::MemoryNode;
+pub use net::{NetConfig, Nic};
+pub use ring::HashRing;
+pub use stats::{ClientStats, LatencyHistogram};

@@ -1,0 +1,120 @@
+//! Consistent hashing ring for placing objects across memory nodes.
+//!
+//! Sphinx distributes ART nodes evenly across MNs by consistent hashing
+//! (§III of the paper). The ring maps a 64-bit object hash to an MN id,
+//! using virtual nodes for smoothness.
+
+use std::collections::BTreeMap;
+
+/// A consistent-hashing ring over memory-node ids.
+///
+/// # Examples
+///
+/// ```
+/// use dm_sim::HashRing;
+///
+/// let ring = HashRing::new(3, 64);
+/// let mn = ring.place(0xDEADBEEF);
+/// assert!(mn < 3);
+/// // placement is deterministic
+/// assert_eq!(mn, ring.place(0xDEADBEEF));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: BTreeMap<u64, u16>,
+    num_nodes: u16,
+}
+
+/// SplitMix64 — a tiny, high-quality 64-bit mixer used for ring points and
+/// object placement.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl HashRing {
+    /// Builds a ring over `num_nodes` MNs with `vnodes` virtual points per
+    /// node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` or `vnodes` is zero.
+    pub fn new(num_nodes: u16, vnodes: u32) -> Self {
+        assert!(num_nodes > 0, "ring needs at least one node");
+        assert!(vnodes > 0, "ring needs at least one vnode per node");
+        let mut points = BTreeMap::new();
+        for mn in 0..num_nodes {
+            for v in 0..vnodes {
+                let point = splitmix64(((mn as u64) << 32) | v as u64);
+                points.insert(point, mn);
+            }
+        }
+        HashRing { points, num_nodes }
+    }
+
+    /// Number of memory nodes on the ring.
+    pub fn num_nodes(&self) -> u16 {
+        self.num_nodes
+    }
+
+    /// Maps an object hash to the MN that owns it: the first ring point at
+    /// or after `hash`, wrapping around.
+    pub fn place(&self, hash: u64) -> u16 {
+        let h = splitmix64(hash);
+        self.points
+            .range(h..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, &mn)| mn)
+            .expect("ring is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_gets_everything() {
+        let ring = HashRing::new(1, 16);
+        for i in 0..100u64 {
+            assert_eq!(ring.place(i), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_roughly_balanced() {
+        let ring = HashRing::new(4, 128);
+        let mut counts = [0usize; 4];
+        for i in 0..40_000u64 {
+            counts[ring.place(i) as usize] += 1;
+        }
+        for &c in &counts {
+            // each node should get 25% +/- 10 points
+            assert!((6_000..=14_000).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn adding_a_node_moves_few_keys() {
+        let r3 = HashRing::new(3, 128);
+        let r4 = HashRing::new(4, 128);
+        let moved = (0..10_000u64)
+            .filter(|&i| {
+                let a = r3.place(i);
+                let b = r4.place(i);
+                a != b && b != 3 // moved between old nodes (not to the new one)
+            })
+            .count();
+        // consistent hashing: keys should only move *to* the new node
+        assert!(moved < 500, "{moved} keys moved between surviving nodes");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = HashRing::new(0, 16);
+    }
+}

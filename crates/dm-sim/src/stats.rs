@@ -1,0 +1,205 @@
+//! Per-client statistics: verbs, round trips, bytes, latency histogram.
+
+/// A fixed-bucket log-scale latency histogram (nanoseconds).
+///
+/// Quarter-octave buckets (four per power of two) from 1 ns to ~1 s give
+/// tail quantiles ~19% worst-case resolution — enough to read p99 curves
+/// without storing samples.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+const OCTAVES: usize = 31;
+const SUB: usize = 4;
+const NUM_BUCKETS: usize = OCTAVES * SUB;
+
+/// Bucket index for a sample: octave = floor(log2), sub-bucket by the two
+/// bits below the leading one.
+fn bucket_index(ns: u64) -> usize {
+    let ns = ns.max(1);
+    let octave = (63 - ns.leading_zeros()) as usize;
+    let sub = if octave >= 2 { ((ns >> (octave - 2)) & 0b11) as usize } else { 0 };
+    (octave * SUB + sub).min(NUM_BUCKETS - 1)
+}
+
+/// Upper bound of a bucket in nanoseconds.
+fn bucket_upper(idx: usize) -> u64 {
+    let octave = idx / SUB;
+    let sub = (idx % SUB) as u64;
+    if octave >= 62 {
+        return u64::MAX;
+    }
+    // Buckets span [2^o + sub*2^(o-2), 2^o + (sub+1)*2^(o-2)).
+    if octave >= 2 {
+        (1u64 << octave) + (sub + 1) * (1u64 << (octave - 2))
+    } else {
+        1u64 << (octave + 1)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: vec![0; NUM_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 if empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Maximum recorded latency in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Approximate quantile (by bucket upper bound), `q` in `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i).min(self.max_ns.max(1));
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Counters describing the network work a client has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Round trips performed (a doorbell batch to `k` distinct MNs counts
+    /// `k` parallel round trips but only advances the clock by the slowest).
+    pub round_trips: u64,
+    /// Individual verbs issued (READ/WRITE/CAS/FAA).
+    pub verbs: u64,
+    /// Payload bytes read from remote memory.
+    pub bytes_read: u64,
+    /// Payload bytes written to remote memory (CAS/FAA count as 8).
+    pub bytes_written: u64,
+}
+
+impl ClientStats {
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Difference between two snapshots (`self` after, `earlier` before).
+    pub fn since(&self, earlier: &ClientStats) -> ClientStats {
+        ClientStats {
+            round_trips: self.round_trips - earlier.round_trips,
+            verbs: self.verbs - earlier.verbs,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean_ns(), 200);
+        assert_eq!(h.max_ns(), 300);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone_and_tight() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 10);
+        }
+        assert!(h.quantile_ns(0.5) <= h.quantile_ns(0.99));
+        assert!(h.quantile_ns(0.99) <= h.quantile_ns(1.0).max(h.max_ns()));
+        // Quarter-octave resolution: p50 of uniform 10..10000 is ~5000;
+        // the reported bound must be within ~25%.
+        let p50 = h.quantile_ns(0.5);
+        assert!((4500..6500).contains(&p50), "p50 bound too loose: {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!((9000..12500).contains(&p99), "p99 bound too loose: {p99}");
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0;
+        for ns in [1u64, 2, 3, 4, 5, 7, 8, 100, 1000, 16_384, 1 << 30] {
+            let idx = super::bucket_index(ns);
+            assert!(idx >= prev, "index not monotone at {ns}");
+            prev = idx;
+            assert!(super::bucket_upper(idx) >= ns, "upper bound below sample {ns}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(50);
+        b.record(150);
+        b.record(250);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean_ns(), 150);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn stats_since() {
+        let a = ClientStats { round_trips: 10, verbs: 20, bytes_read: 100, bytes_written: 50 };
+        let b = ClientStats { round_trips: 4, verbs: 5, bytes_read: 40, bytes_written: 20 };
+        let d = a.since(&b);
+        assert_eq!(d.round_trips, 6);
+        assert_eq!(d.bytes_total(), 90);
+    }
+}

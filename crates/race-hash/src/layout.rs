@@ -1,0 +1,193 @@
+//! On-MN layout of the RACE table.
+//!
+//! ```text
+//! meta block:
+//!   word 0    global depth
+//!   word 1    meta lock (serializes directory & global-depth updates)
+//!   word 2    version (bumped on every directory change)
+//!   offset 64 directory: 2^max_depth words (DirEntry)
+//!
+//! segment (4032 bytes = one 4032-byte size class):
+//!   word 0    segment lock
+//!   word 1    reserved
+//!   offset 64 62 buckets × 64 bytes  (= 31 bucket pairs)
+//!
+//! bucket (64 bytes):
+//!   word 0    BucketHeader: local_depth(8) | suffix(48)
+//!   words 1–7 entries (0 = empty)
+//! ```
+
+use dm_sim::RemotePtr;
+
+/// Buckets per segment (62 = 31 pairs; the segment fits a 4032-byte
+/// allocation class exactly).
+pub const BUCKETS_PER_SEGMENT: usize = 62;
+/// Bucket pairs per segment.
+pub const PAIRS_PER_SEGMENT: usize = BUCKETS_PER_SEGMENT / 2;
+/// Entry words per bucket (word 0 is the header).
+pub const ENTRIES_PER_BUCKET: usize = 7;
+/// Bytes per bucket.
+pub const BUCKET_BYTES: u64 = 64;
+/// Bytes of segment header (lock + reserved, padded).
+pub const SEGMENT_HEADER_BYTES: u64 = 64;
+/// Total segment size in bytes.
+pub const SEGMENT_BYTES: usize =
+    SEGMENT_HEADER_BYTES as usize + BUCKETS_PER_SEGMENT * BUCKET_BYTES as usize;
+
+/// Offset of the directory inside the meta block.
+pub const DIR_OFFSET: u64 = 64;
+/// Offset of the meta lock word.
+pub const META_LOCK_OFFSET: u64 = 8;
+/// Offset of the version word.
+pub const META_VERSION_OFFSET: u64 = 16;
+
+/// Sizing parameters for a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableConfig {
+    /// log2 of the number of segments at creation.
+    pub initial_depth: u8,
+    /// Maximum global depth the preallocated directory can reach.
+    pub max_depth: u8,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig { initial_depth: 2, max_depth: 16 }
+    }
+}
+
+impl TableConfig {
+    /// Bytes of the meta block (header + full directory).
+    pub fn meta_bytes(&self) -> usize {
+        DIR_OFFSET as usize + 8 * (1usize << self.max_depth)
+    }
+
+    /// Entry capacity of one segment.
+    pub fn segment_capacity() -> usize {
+        BUCKETS_PER_SEGMENT * ENTRIES_PER_BUCKET
+    }
+}
+
+/// A bucket's header word: the segment's local depth and the hash suffix
+/// every key in this segment shares. Clients compare
+/// `hash & ((1 << local_depth) - 1)` with `suffix` to detect stale
+/// directory caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketHeader {
+    /// Local depth of the owning segment.
+    pub local_depth: u8,
+    /// The `local_depth` low bits of every key hash stored here.
+    pub suffix: u64,
+}
+
+impl BucketHeader {
+    /// Encodes to the header word.
+    pub fn encode(&self) -> u64 {
+        debug_assert!(self.suffix < (1 << 48));
+        (self.local_depth as u64) | (self.suffix << 8)
+    }
+
+    /// Decodes a header word.
+    pub fn decode(word: u64) -> BucketHeader {
+        BucketHeader { local_depth: (word & 0xFF) as u8, suffix: word >> 8 }
+    }
+
+    /// Whether `hash` belongs in a bucket with this header.
+    pub fn matches(&self, hash: u64) -> bool {
+        hash & ((1u64 << self.local_depth) - 1) == self.suffix
+    }
+}
+
+/// One directory slot: segment address plus its local depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Address of the segment.
+    pub segment: RemotePtr,
+    /// Local depth of the segment (advisory; buckets carry the truth).
+    pub local_depth: u8,
+}
+
+impl DirEntry {
+    /// Encodes to the directory word.
+    pub fn encode(&self) -> u64 {
+        self.segment.to_packed48() | ((self.local_depth as u64) << 48)
+    }
+
+    /// Decodes a directory word; `None` for an empty slot.
+    pub fn decode(word: u64) -> Option<DirEntry> {
+        if word == 0 {
+            return None;
+        }
+        Some(DirEntry {
+            segment: RemotePtr::from_packed48(word & ((1 << 48) - 1)),
+            local_depth: ((word >> 48) & 0xFF) as u8,
+        })
+    }
+}
+
+/// Byte offset of bucket `idx` within a segment.
+pub(crate) fn bucket_offset(idx: usize) -> u64 {
+    SEGMENT_HEADER_BYTES + idx as u64 * BUCKET_BYTES
+}
+
+/// Which bucket pair a hash falls into.
+///
+/// Uses bits 20–39: above the directory bits (`max_depth` ≤ 16) so the
+/// pair choice is independent of the segment choice, yet within the low
+/// 42 bits so a split oracle that can only recover a 42-bit key hash (the
+/// inner-node header's full-prefix hash) still recomputes the same pair.
+pub(crate) fn pair_index(hash: u64) -> usize {
+    (((hash >> 20) & 0xF_FFFF) % PAIRS_PER_SEGMENT as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_fits_its_size_class() {
+        assert_eq!(SEGMENT_BYTES, 4032);
+        assert_eq!(SEGMENT_BYTES % 64, 0);
+    }
+
+    #[test]
+    fn bucket_header_roundtrip_and_match() {
+        let h = BucketHeader { local_depth: 5, suffix: 0b10110 };
+        assert_eq!(BucketHeader::decode(h.encode()), h);
+        assert!(h.matches(0b10110));
+        assert!(h.matches(0xFF_F600 | 0b10110)); // any high bits
+        assert!(!h.matches(0b00110));
+    }
+
+    #[test]
+    fn zero_depth_header_matches_everything() {
+        let h = BucketHeader { local_depth: 0, suffix: 0 };
+        for hash in [0u64, 1, u64::MAX, 0xDEAD] {
+            assert!(h.matches(hash));
+        }
+    }
+
+    #[test]
+    fn dir_entry_roundtrip() {
+        let e = DirEntry { segment: RemotePtr::new(1, 4096), local_depth: 7 };
+        assert_eq!(DirEntry::decode(e.encode()), Some(e));
+        assert_eq!(DirEntry::decode(0), None);
+    }
+
+    #[test]
+    fn pair_index_in_range_and_spread() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let p = pair_index(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            assert!(p < PAIRS_PER_SEGMENT);
+            seen.insert(p);
+        }
+        assert_eq!(seen.len(), PAIRS_PER_SEGMENT, "all pairs should be hit");
+    }
+
+    #[test]
+    fn meta_bytes_scale_with_max_depth() {
+        let small = TableConfig { initial_depth: 1, max_depth: 4 };
+        assert_eq!(small.meta_bytes(), 64 + 8 * 16);
+    }
+}

@@ -1,0 +1,180 @@
+//! Key spaces: the paper's `u64` and `email` datasets as deterministic
+//! functions from item index to key bytes.
+
+/// Value size used throughout the paper's evaluation (§V-A).
+pub const VALUE_LEN: usize = 64;
+
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "li", "bo", "al", "ed", "jo", "amy", "ann", "ben", "dan", "eva", "ian", "joe", "kim", "lee",
+    "max", "mia", "sam", "tom", "zoe", "alex", "anna", "carl", "dave", "emma", "fred", "gary",
+    "hugo", "ivan", "jack", "jane", "kate", "lily", "mark", "nina", "olga", "paul", "rosa",
+    "sara", "tina", "vera", "wang", "yang", "zhao", "chen", "aaron", "bella", "chris", "diana",
+    "elena", "frank", "grace", "henry", "irene", "james", "karen", "laura", "maria", "nancy",
+    "oscar", "peter", "quinn", "ralph", "susan", "tanya", "ursula", "victor", "wendy", "xavier",
+    "yvonne", "zachary", "jingxiang", "shengan", "bowen", "hankun", "linpeng",
+];
+
+const DOMAINS: &[&str] = &[
+    "qq.com", "gm.com", "163.com", "aol.com", "mail.ru", "gmx.de", "yahoo.com", "gmail.com",
+    "proton.me", "sjtu.edu.cn", "outlook.com", "hotmail.com", "example.org", "fastmail.fm",
+];
+
+fn base36(mut v: u64, width: usize) -> String {
+    const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut out = vec![b'0'; width];
+    for slot in out.iter_mut().rev() {
+        *slot = DIGITS[(v % 36) as usize];
+        v /= 36;
+    }
+    debug_assert_eq!(v, 0, "index exceeds base36 width {width}");
+    String::from_utf8(out).expect("ascii")
+}
+
+/// Which dataset keys are drawn from.
+///
+/// A key space is a *pure function* from item index to key bytes: no
+/// materialized key array is needed, inserts simply use fresh indexes, and
+/// every worker sees the same mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySpace {
+    /// 8-byte big-endian integers, uniformly spread over the u64 space
+    /// (via a bijective mix of the index, so keys are unique).
+    U64,
+    /// Synthetic email addresses, 2–32 bytes, mean ≈ 19 bytes. Unique per
+    /// index (the local part embeds a base-36 rendering of the index).
+    Email,
+}
+
+impl KeySpace {
+    /// Materializes the key for item `index`.
+    pub fn key(&self, index: u64) -> Vec<u8> {
+        match self {
+            KeySpace::U64 => mix64(index).to_be_bytes().to_vec(),
+            KeySpace::Email => {
+                let h = mix64(index ^ 0xE4_1A11); // independent of the u64 keys
+                let first = FIRST_NAMES[(h % FIRST_NAMES.len() as u64) as usize];
+                let domain = DOMAINS[((h >> 8) % DOMAINS.len() as u64) as usize];
+                let tag = base36(index, 6);
+                let style = (h >> 16) % 4;
+                let s = match style {
+                    0 => format!("{tag}@{domain}"),
+                    1 => format!("{first}.{tag}@{domain}"),
+                    2 => format!("{first}{tag}@{domain}"),
+                    _ => {
+                        let second =
+                            FIRST_NAMES[((h >> 24) % FIRST_NAMES.len() as u64) as usize];
+                        format!("{first}.{second}.{tag}@{domain}")
+                    }
+                };
+                let mut bytes = s.into_bytes();
+                bytes.truncate(32);
+                bytes
+            }
+        }
+    }
+
+    /// Short human-readable dataset name (as used in the paper's figures).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeySpace::U64 => "u64",
+            KeySpace::Email => "email",
+        }
+    }
+}
+
+/// Deterministic 64-byte value for item `index` at update `version`
+/// (lets tests verify read-your-writes without storing expected values).
+pub fn value_for(index: u64, version: u32) -> Vec<u8> {
+    let seed = mix64(index ^ ((version as u64) << 40));
+    let mut out = Vec::with_capacity(VALUE_LEN);
+    let mut x = seed;
+    while out.len() < VALUE_LEN {
+        out.extend_from_slice(&x.to_le_bytes());
+        x = mix64(x);
+    }
+    out.truncate(VALUE_LEN);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn u64_keys_unique_and_fixed_width() {
+        let ks = KeySpace::U64;
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            let k = ks.key(i);
+            assert_eq!(k.len(), 8);
+            assert!(seen.insert(k), "duplicate at {i}");
+        }
+    }
+
+    #[test]
+    fn email_keys_unique() {
+        let ks = KeySpace::Email;
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(ks.key(i)), "duplicate at {i}");
+        }
+    }
+
+    #[test]
+    fn email_length_statistics_match_paper() {
+        // Paper §V-A: sizes 2–32 bytes, average 18.93 bytes.
+        let ks = KeySpace::Email;
+        let n = 100_000u64;
+        let lens: Vec<usize> = (0..n).map(|i| ks.key(i).len()).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        let avg = lens.iter().sum::<usize>() as f64 / n as f64;
+        assert!(min >= 2, "min {min}");
+        assert!(max <= 32, "max {max}");
+        assert!((17.0..=21.0).contains(&avg), "avg {avg} outside 17–21");
+    }
+
+    #[test]
+    fn email_keys_are_ascii_addresses() {
+        let ks = KeySpace::Email;
+        for i in (0..50_000u64).step_by(997) {
+            let k = ks.key(i);
+            let s = std::str::from_utf8(&k).expect("ascii email");
+            assert!(s.contains('@') || s.len() == 32, "malformed: {s}");
+        }
+    }
+
+    #[test]
+    fn keys_are_deterministic() {
+        for ks in [KeySpace::U64, KeySpace::Email] {
+            assert_eq!(ks.key(12345), ks.key(12345));
+        }
+    }
+
+    #[test]
+    fn values_depend_on_index_and_version() {
+        assert_eq!(value_for(1, 0).len(), VALUE_LEN);
+        assert_ne!(value_for(1, 0), value_for(2, 0));
+        assert_ne!(value_for(1, 0), value_for(1, 1));
+        assert_eq!(value_for(7, 3), value_for(7, 3));
+    }
+
+    #[test]
+    fn base36_is_fixed_width_and_unique() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            let s = base36(i, 6);
+            assert_eq!(s.len(), 6);
+            assert!(seen.insert(s));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # ycsb — YCSB-style workload generation
+//!
+//! Reproduces the benchmark setup of the Sphinx paper's evaluation (§V-A):
+//!
+//! * **Workloads** A (50/50 read/update), B (95/5), C (read-only),
+//!   D (95% *latest* reads, 5% updates), E (95% scans, 5% inserts) and
+//!   LOAD (insert-only), via [`Workload`].
+//! * **Request distributions**: zipfian with skew 0.99 (the YCSB default,
+//!   scrambled over the key space), uniform, and "latest".
+//! * **Datasets**: `u64` — 8-byte big-endian keys drawn from a uniform
+//!   64-bit space — and `email` — synthetic addresses of 2–32 bytes
+//!   averaging ≈19 bytes, standing in for the public email corpus the
+//!   paper uses (the generator matches its published length statistics;
+//!   see DESIGN.md).
+//!
+//! Everything is deterministic given a seed, and every worker derives its
+//! own independent stream.
+//!
+//! ## Example
+//!
+//! ```
+//! use ycsb::{KeySpace, Workload, OpStream, Op};
+//!
+//! let keyspace = KeySpace::U64;
+//! let mut stream = OpStream::new(Workload::a(), 10_000, 42);
+//! match stream.next_op() {
+//!     Op::Read(idx) | Op::Update(idx) => {
+//!         let key = keyspace.key(idx);
+//!         assert_eq!(key.len(), 8);
+//!     }
+//!     _ => unreachable!("workload A only reads and updates"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod dist;
+mod workload;
+
+pub use dataset::{value_for, KeySpace, VALUE_LEN};
+pub use dist::{Distribution, Zipfian};
+pub use workload::{Op, OpStream, SharedInsertCursor, Workload};

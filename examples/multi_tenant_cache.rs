@@ -1,0 +1,90 @@
+//! Cache-budget study: how small can the Succinct Filter Cache be?
+//!
+//! The paper's central memory claim (§III-B): tracking prefix *existence*
+//! in ~13 bits per entry beats caching nodes at 40–2056 bytes each, and
+//! the second-chance (hotness-bit) policy keeps hot tenants resident when
+//! the filter is smaller than the prefix population.
+//!
+//! This example runs the same skewed multi-tenant lookup mix under
+//! shrinking filter budgets and reports round trips per op and filter
+//! effectiveness — demonstrating graceful degradation instead of a cliff.
+//!
+//! ```text
+//! cargo run --release -p sphinx-examples --bin multi_tenant_cache
+//! ```
+
+use dm_sim::{ClusterConfig, DmCluster};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sphinx::{SphinxConfig, SphinxIndex};
+
+/// tenants × records each: keys look like "tenant-0042/record-000137".
+const TENANTS: u64 = 50;
+const RECORDS: u64 = 400;
+
+fn key(tenant: u64, record: u64) -> Vec<u8> {
+    format!("tenant-{tenant:04}/record-{record:06}").into_bytes()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{} tenants x {} records; zipf-ish access: 90% of lookups hit 5 hot tenants\n",
+        TENANTS, RECORDS
+    );
+    println!("filter budget   rts/op   filter hit-rate   evictions");
+    println!("------------------------------------------------------");
+
+    for budget in [1 << 20, 64 << 10, 8 << 10, 1 << 10] {
+        let cluster = DmCluster::new(ClusterConfig {
+            mn_capacity: 1 << 30,
+            ..ClusterConfig::default()
+        });
+        let config = SphinxConfig { cache_bytes: budget, ..SphinxConfig::default() };
+        let index = SphinxIndex::create(&cluster, config)?;
+        let mut client = index.client(0)?;
+        for t in 0..TENANTS {
+            for r in 0..RECORDS {
+                client.insert(&key(t, r), format!("payload-{t}-{r}").as_bytes())?;
+            }
+        }
+
+        let mut rng = SmallRng::seed_from_u64(7);
+        let lookups = 20_000;
+        // Warm-up pass so the filter reaches steady state under this
+        // budget.
+        for _ in 0..lookups / 4 {
+            let t = if rng.gen_bool(0.9) { rng.gen_range(0..5) } else { rng.gen_range(0..TENANTS) };
+            client.get(&key(t, rng.gen_range(0..RECORDS)))?;
+        }
+        let base = client.net_stats();
+        let (h0, l0) = {
+            let f = client.filter_handle().lock();
+            (f.stats().hits, f.stats().lookups)
+        };
+        for _ in 0..lookups {
+            let t = if rng.gen_bool(0.9) { rng.gen_range(0..5) } else { rng.gen_range(0..TENANTS) };
+            client.get(&key(t, rng.gen_range(0..RECORDS)))?;
+        }
+        let net = client.net_stats().since(&base);
+        let (hit_rate, evictions) = {
+            let f = client.filter_handle().lock();
+            (
+                (f.stats().hits - h0) as f64 / (f.stats().lookups - l0).max(1) as f64,
+                f.stats().evictions,
+            )
+        };
+        println!(
+            "{:>10} B   {:>6.2}   {:>14.1}%   {:>9}",
+            budget,
+            net.round_trips as f64 / lookups as f64,
+            hit_rate * 100.0,
+            evictions
+        );
+    }
+    println!(
+        "\nEven a 1 KiB filter keeps the hot tenants' prefixes resident (second-chance\n\
+         eviction) — lookups degrade by extra hash-bucket probes, never by full\n\
+         root-to-leaf traversals."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: a Sphinx index on a simulated DM cluster in ~40 lines.
+//!
+//! ```text
+//! cargo run -p sphinx-examples --bin quickstart
+//! ```
+
+use dm_sim::{ClusterConfig, DmCluster};
+use sphinx::{SphinxConfig, SphinxIndex};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A cluster shaped like the paper's testbed: 3 machines, each hosting
+    // one compute node (CN) and one memory node (MN).
+    let cluster = DmCluster::new(ClusterConfig::default());
+
+    // Create the index (builds the root ART node and one Inner Node Hash
+    // Table per MN), then attach a worker client on CN 0.
+    let index = SphinxIndex::create(&cluster, SphinxConfig::default())?;
+    let mut client = index.client(0)?;
+
+    // Point operations.
+    client.insert(b"lyrics", b"la-la-la")?;
+    client.insert(b"lyre", b"a small harp")?;
+    client.insert(b"lyceum", b"a hall")?;
+    println!("lyrics   -> {}", pretty(client.get(b"lyrics")?));
+    println!("lyrebird -> {}", pretty(client.get(b"lyrebird")?));
+
+    client.update(b"lyre", b"an ancient string instrument")?;
+    println!("lyre     -> {}", pretty(client.get(b"lyre")?));
+
+    // Range scan (inclusive bounds, ordered results).
+    println!("\nscan [lyc, lyz]:");
+    for (k, v) in client.scan(b"lyc", b"lyz")? {
+        println!("  {} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+    }
+
+    client.remove(b"lyceum")?;
+    println!("\nafter delete, lyceum -> {}", pretty(client.get(b"lyceum")?));
+
+    // The whole point of Sphinx: few round trips per operation.
+    let net = client.net_stats();
+    let ops = client.op_stats().ops();
+    println!(
+        "\n{} ops used {} network round trips ({:.1} per op)",
+        ops,
+        net.round_trips,
+        net.round_trips as f64 / ops as f64
+    );
+    Ok(())
+}
+
+fn pretty(v: Option<Vec<u8>>) -> String {
+    v.map_or("<absent>".to_string(), |v| String::from_utf8_lossy(&v).into_owned())
+}

@@ -1,0 +1,1 @@
+//! Workspace integration-test helpers (tests live in tests/tests/).

@@ -1,0 +1,161 @@
+//! Cross-system agreement: Sphinx, SMART, SMART+C and ART must produce
+//! identical answers on identical operation sequences — they differ only
+//! in how many packets it takes.
+
+use bench_harness::systems::System;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use ycsb::{value_for, KeySpace};
+
+#[test]
+fn four_systems_agree_on_a_mixed_history() {
+    let systems = [System::Sphinx, System::Smart, System::SmartC, System::Art];
+    let mut workers: Vec<_> = systems
+        .iter()
+        .map(|s| {
+            let h = s.build(128 << 20, Some(64 << 10));
+            (h.worker(0), h)
+        })
+        .collect();
+    let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut rng = SmallRng::seed_from_u64(0xC0FE);
+
+    for step in 0..1500u64 {
+        let idx = rng.gen_range(0..400u64);
+        let key = KeySpace::Email.key(idx);
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                let value = value_for(idx, step as u32);
+                for (w, _) in &mut workers {
+                    w.insert(&key, &value);
+                }
+                oracle.insert(key, value);
+            }
+            5..=6 => {
+                let value = value_for(idx, step as u32 + 1);
+                let expect = oracle.contains_key(&key);
+                for (w, _) in &mut workers {
+                    assert_eq!(w.update(&key, &value), expect, "update disagreement @{step}");
+                }
+                if expect {
+                    oracle.insert(key, value);
+                }
+            }
+            _ => {
+                let expect = oracle.get(&key).cloned();
+                for ((w, _), sys) in workers.iter_mut().zip(&systems) {
+                    assert_eq!(
+                        w.get(&key),
+                        expect,
+                        "{} disagrees on {:?} @{step}",
+                        sys.label(),
+                        String::from_utf8_lossy(&key)
+                    );
+                }
+            }
+        }
+    }
+
+    // Identical full scans at the end.
+    let full: Vec<usize> =
+        workers.iter_mut().map(|(w, _)| w.scan(b"", &[0xFF; 40])).collect();
+    for (count, sys) in full.iter().zip(&systems) {
+        assert_eq!(*count, oracle.len(), "{} scan count", sys.label());
+    }
+}
+
+/// On the u64 dataset all FIVE systems (including the B+-tree extension)
+/// must agree on a mixed history.
+#[test]
+fn five_systems_agree_on_u64_history() {
+    let systems =
+        [System::Sphinx, System::Smart, System::SmartC, System::Art, System::BpTree];
+    let mut workers: Vec<_> = systems
+        .iter()
+        .map(|s| {
+            let h = s.build(128 << 20, Some(64 << 10));
+            (h.worker(0), h)
+        })
+        .collect();
+    let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut rng = SmallRng::seed_from_u64(0xB0B5);
+
+    for step in 0..1200u64 {
+        let idx = rng.gen_range(0..300u64);
+        let key = KeySpace::U64.key(idx);
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                let value = value_for(idx, step as u32);
+                for (w, _) in &mut workers {
+                    w.insert(&key, &value);
+                }
+                oracle.insert(key, value);
+            }
+            5..=6 => {
+                let value = value_for(idx, step as u32 + 1);
+                let expect = oracle.contains_key(&key);
+                for (w, _) in &mut workers {
+                    assert_eq!(w.update(&key, &value), expect, "update @{step}");
+                }
+                if expect {
+                    oracle.insert(key, value);
+                }
+            }
+            _ => {
+                let expect = oracle.get(&key).cloned();
+                for ((w, _), sys) in workers.iter_mut().zip(&systems) {
+                    let got = w.get(&key);
+                    match (&got, &expect) {
+                        (Some(g), Some(e)) => assert_eq!(
+                            &g[..e.len().min(g.len())],
+                            &e[..e.len().min(g.len())],
+                            "{} value mismatch @{step}",
+                            sys.label()
+                        ),
+                        (None, None) => {}
+                        _ => panic!(
+                            "{} presence disagreement @{step}: got {:?} expected {:?}",
+                            sys.label(),
+                            got.is_some(),
+                            expect.is_some()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    // Identical scan counts over the full range.
+    let (lo, hi) = (0u64.to_be_bytes(), u64::MAX.to_be_bytes());
+    for ((w, _), sys) in workers.iter_mut().zip(&systems) {
+        assert_eq!(w.scan(&lo, &hi), oracle.len(), "{} scan count", sys.label());
+    }
+}
+
+#[test]
+fn ycsb_smoke_every_workload_every_system() {
+    use bench_harness::runner::{load_phase, run_phase, RunConfig};
+    use ycsb::Workload;
+
+    for sys in System::paper_lineup() {
+        let handle = sys.build(128 << 20, Some(16 << 10));
+        load_phase(&handle, KeySpace::U64, 1_500, 3);
+        for wl in ["A", "B", "C", "D", "E", "LOAD"] {
+            let workload = Workload::by_name(wl).expect("workload");
+            let r = run_phase(
+                &handle,
+                &RunConfig {
+                    keyspace: KeySpace::U64,
+                    num_keys: 1_500,
+                    workload,
+                    workers: 3,
+                    ops_per_worker: if wl == "E" { 15 } else { 80 },
+                    warmup_per_worker: 10,
+                    seed: 99,
+                },
+            );
+            assert!(r.mops > 0.0, "{} {wl}", sys.label());
+            assert!(r.round_trips_per_op > 0.5, "{} {wl}", sys.label());
+        }
+    }
+}

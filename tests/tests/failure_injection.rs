@@ -1,0 +1,132 @@
+//! Failure injection: corrupt and tear on-MN state directly and verify
+//! the client-side defenses (checksums, status words, suffix checks)
+//! respond as designed.
+
+use art_core::hash::prefix_hash64;
+use art_core::layout::{LeafNode, NodeStatus};
+use dm_sim::{ClusterConfig, DmCluster};
+use sphinx::{SphinxConfig, SphinxError, SphinxIndex};
+
+fn cluster() -> DmCluster {
+    DmCluster::new(ClusterConfig { mn_capacity: 64 << 20, ..Default::default() })
+}
+
+/// Find the leaf address for `key` by scanning the MN pools for its
+/// encoded form (test-only trick: values are unique).
+fn find_leaf_ptr(cluster: &DmCluster, key: &[u8], value: &[u8]) -> dm_sim::RemotePtr {
+    let needle = LeafNode::new(key.to_vec(), value.to_vec()).encode();
+    for mn_id in 0..cluster.num_mns() {
+        let mn = cluster.mn(mn_id).unwrap();
+        let cap = mn.capacity();
+        let mut buf = vec![0u8; cap];
+        mn.read_bytes(0, &mut buf).unwrap();
+        if let Some(pos) = buf.windows(needle.len()).position(|w| w == needle) {
+            return dm_sim::RemotePtr::new(mn_id, pos as u64);
+        }
+    }
+    panic!("leaf not found in any pool");
+}
+
+#[test]
+fn torn_leaf_write_is_detected_never_served() {
+    let c = cluster();
+    let index = SphinxIndex::create(&c, SphinxConfig::small()).unwrap();
+    let mut client = index.client(0).unwrap();
+    client.insert(b"victim", b"payload-payload-payload").unwrap();
+    let ptr = find_leaf_ptr(&c, b"victim", b"payload-payload-payload");
+
+    // Tear the value bytes behind the checksum's back (what a reader of a
+    // half-finished in-place update would observe on real RDMA).
+    let mn = c.mn(ptr.mn_id()).unwrap();
+    let mut original = vec![0u8; 4];
+    mn.read_bytes(ptr.offset() + 20, &mut original).unwrap();
+    mn.write_bytes(ptr.offset() + 20, &[0xEE; 4]).unwrap();
+
+    // The read path must NOT return the torn value. (A real tear is
+    // transient — the writer's WRITE completes — so the reader retries;
+    // with a *permanently* torn leaf it exhausts its retry budget, which
+    // is the correct refusal behaviour.)
+    let got = client.get(b"victim");
+    assert!(
+        matches!(got, Err(SphinxError::RetriesExhausted { .. })),
+        "torn leaf must never be served: {got:?}"
+    );
+
+    // The writer's in-flight write "completes" (bytes restored): reads
+    // immediately recover — no state was poisoned by the failed attempts.
+    mn.write_bytes(ptr.offset() + 20, &original).unwrap();
+    assert_eq!(
+        client.get(b"victim").unwrap().as_deref(),
+        Some(&b"payload-payload-payload"[..])
+    );
+}
+
+#[test]
+fn invalid_status_blocks_reads_until_slot_swap() {
+    let c = cluster();
+    let index = SphinxIndex::create(&c, SphinxConfig::small()).unwrap();
+    let mut client = index.client(0).unwrap();
+    client.insert(b"tomb", b"old-value").unwrap();
+    let ptr = find_leaf_ptr(&c, b"tomb", b"old-value");
+
+    // Set the leaf's status byte to Invalid (what a deleter does first).
+    let mn = c.mn(ptr.mn_id()).unwrap();
+    let word0 = mn.load_u64(ptr.offset()).unwrap();
+    mn.store_u64(ptr.offset(), (word0 & !0xFF) | NodeStatus::Invalid as u64).unwrap();
+
+    // Readers treat it as deleted.
+    assert_eq!(client.get(b"tomb").unwrap(), None);
+    // An insert over the tombstone swaps in a fresh leaf.
+    client.insert(b"tomb", b"new-value").unwrap();
+    assert_eq!(client.get(b"tomb").unwrap().as_deref(), Some(&b"new-value"[..]));
+}
+
+#[test]
+fn bogus_hash_entry_is_rejected_by_validation() {
+    // A hash entry whose fingerprint matches but whose referenced node
+    // does not (the filter-cache false-positive path of §III-B) must be
+    // filtered by the prefix-hash/length validation, not followed blindly.
+    let c = cluster();
+    let index = SphinxIndex::create(&c, SphinxConfig::small()).unwrap();
+    let mut client = index.client(0).unwrap();
+    for word in ["alpha", "alien", "alloy"] {
+        client.insert(word.as_bytes(), b"v").unwrap();
+    }
+
+    // Locate the real inner node for "al" through the INHT.
+    let h_al = prefix_hash64(b"al");
+    let mut dm = c.client(0);
+    let mn_al = c.place(h_al) as usize;
+    let mut table =
+        race_hash::RaceTable::open(&mut dm, index.inht_metas()[mn_al]).unwrap();
+    let found = table.search(&mut dm, h_al).unwrap();
+    let al_entry = found
+        .iter()
+        .filter_map(|e| art_core::layout::HashEntry::decode(e.word))
+        .find(|he| he.fp == art_core::hash::fp12(b"al"))
+        .expect("inner node 'al' registered");
+
+    // Forge an entry for prefix "zz" (which has NO inner node) pointing at
+    // the "al" node, with "zz"'s fingerprint — exactly what a double
+    // fp-collision would present to the client.
+    let h_zz = prefix_hash64(b"zz");
+    let mn_zz = c.place(h_zz) as usize;
+    let forged = art_core::layout::HashEntry {
+        fp: art_core::hash::fp12(b"zz"),
+        kind: al_entry.kind,
+        addr: al_entry.addr,
+    };
+    let mut table_zz =
+        race_hash::RaceTable::open(&mut dm, index.inht_metas()[mn_zz]).unwrap();
+    table_zz.insert(&mut dm, h_zz, forged.encode(), |_c, _w| Ok(h_zz)).unwrap();
+    // Teach the filter the forged prefix so lookups actually try it.
+    client.filter_handle().lock().insert(b"zz");
+
+    // Lookups under the forged prefix must not be misrouted into the 'al'
+    // subtree: validation rejects the node (prefix hash mismatch) and the
+    // client falls back to shorter prefixes, answering correctly.
+    assert_eq!(client.get(b"zzz").unwrap(), None);
+    assert_eq!(client.get(b"zz").unwrap(), None);
+    // And the real data is untouched.
+    assert_eq!(client.get(b"alpha").unwrap().as_deref(), Some(&b"v"[..]));
+}

@@ -1,0 +1,105 @@
+//! Property tests: both baseline indexes (naive ART-on-DM and SMART with
+//! its node cache and preallocation) agree with `BTreeMap` on arbitrary
+//! operation sequences — including scans, and including the cache-staleness
+//! healing paths (the SMART run exercises a deliberately tiny cache).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use baselines::{BaselineConfig, BaselineIndex};
+use dm_sim::{ClusterConfig, DmCluster};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Update(Vec<u8>, Vec<u8>),
+    Remove(Vec<u8>),
+    Get(Vec<u8>),
+    Scan(Vec<u8>, Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![3 => 0u8..4, 1 => any::<u8>()], 0..8)
+}
+
+fn val_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..60)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(), val_strategy()).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => (key_strategy(), val_strategy()).prop_map(|(k, v)| Op::Update(k, v)),
+        1 => key_strategy().prop_map(Op::Remove),
+        2 => key_strategy().prop_map(Op::Get),
+        1 => (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Scan(a, b)),
+    ]
+}
+
+fn check(config: BaselineConfig, ops: &[Op]) -> Result<(), TestCaseError> {
+    let cluster = DmCluster::new(ClusterConfig {
+        mn_capacity: 32 << 20,
+        ..ClusterConfig::default()
+    });
+    let index = BaselineIndex::create(&cluster, config).expect("create");
+    let mut client = index.client(0).expect("client");
+    let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                client.insert(k, v).expect("insert");
+                oracle.insert(k.clone(), v.clone());
+            }
+            Op::Update(k, v) => {
+                let did = client.update(k, v).expect("update");
+                prop_assert_eq!(did, oracle.contains_key(k));
+                if did {
+                    oracle.insert(k.clone(), v.clone());
+                }
+            }
+            Op::Remove(k) => {
+                let did = client.remove(k).expect("remove");
+                prop_assert_eq!(did, oracle.remove(k).is_some());
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(client.get(k).expect("get"), oracle.get(k).cloned());
+            }
+            Op::Scan(a, b) => {
+                let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                let got = client.scan(low, high).expect("scan");
+                let want: Vec<(Vec<u8>, Vec<u8>)> = oracle
+                    .range(low.clone()..=high.clone())
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+    for (k, v) in &oracle {
+        prop_assert_eq!(client.get(k).expect("get"), Some(v.clone()));
+    }
+    // The structure must also audit clean.
+    let report = index.verify().expect("verify");
+    prop_assert!(report.is_clean(), "{:?}", report.problems);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn art_baseline_matches_btreemap(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        check(BaselineConfig::art(), &ops)?;
+    }
+
+    #[test]
+    fn smart_baseline_matches_btreemap_with_tiny_cache(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        // A cache big enough for only ~3 nodes maximizes staleness churn.
+        check(BaselineConfig::smart(8 << 10), &ops)?;
+    }
+}
