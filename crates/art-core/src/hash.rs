@@ -96,7 +96,11 @@ mod tests {
         for i in 0..10_000u32 {
             set.insert(prefix_hash64(&i.to_le_bytes()));
         }
-        assert_eq!(set.len(), 10_000, "64-bit hash should have no collisions here");
+        assert_eq!(
+            set.len(),
+            10_000,
+            "64-bit hash should have no collisions here"
+        );
     }
 
     #[test]
@@ -104,8 +108,9 @@ mod tests {
         // Find no pair where both collide among distinct short inputs (a
         // smoke test of the double-collision being "extremely rare").
         let n = 2000u32;
-        let items: Vec<(u64, u16)> =
-            (0..n).map(|i| (prefix_hash42(&i.to_le_bytes()), fp12(&i.to_le_bytes()))).collect();
+        let items: Vec<(u64, u16)> = (0..n)
+            .map(|i| (prefix_hash42(&i.to_le_bytes()), fp12(&i.to_le_bytes())))
+            .collect();
         for i in 0..items.len() {
             for j in (i + 1)..items.len() {
                 assert!(

@@ -63,8 +63,17 @@ mod tests {
 
     #[test]
     fn roundtrip_all_kinds() {
-        for kind in [NodeKind::Node4, NodeKind::Node16, NodeKind::Node48, NodeKind::Node256] {
-            let e = HashEntry { fp: 0xABC, kind, addr: RemotePtr::new(3, 0x1_0000) };
+        for kind in [
+            NodeKind::Node4,
+            NodeKind::Node16,
+            NodeKind::Node48,
+            NodeKind::Node256,
+        ] {
+            let e = HashEntry {
+                fp: 0xABC,
+                kind,
+                addr: RemotePtr::new(3, 0x1_0000),
+            };
             assert_eq!(HashEntry::decode(e.encode()), Some(e));
         }
     }
@@ -76,7 +85,11 @@ mod tests {
 
     #[test]
     fn max_fp_fits() {
-        let e = HashEntry { fp: 0xFFF, kind: NodeKind::Node4, addr: RemotePtr::new(0, 64) };
+        let e = HashEntry {
+            fp: 0xFFF,
+            kind: NodeKind::Node4,
+            addr: RemotePtr::new(0, 64),
+        };
         assert_eq!(HashEntry::decode(e.encode()).unwrap().fp, 0xFFF);
     }
 }

@@ -64,9 +64,7 @@ impl InnerNode {
     /// Finds the child dispatched on `byte`, with its slot index.
     pub fn find_child(&self, byte: u8) -> Option<(usize, Slot)> {
         match self.header.kind {
-            NodeKind::Node256 => {
-                self.slots[byte as usize].map(|s| (byte as usize, s))
-            }
+            NodeKind::Node256 => self.slots[byte as usize].map(|s| (byte as usize, s)),
             _ => self
                 .slots
                 .iter()
@@ -150,11 +148,20 @@ impl InnerNode {
         let header = InnerHeader::decode(word(0), word(1))?;
         let need = Self::byte_size(header.kind);
         if bytes.len() < need {
-            return Err(LayoutError::TruncatedNode { need, have: bytes.len() });
+            return Err(LayoutError::TruncatedNode {
+                need,
+                have: bytes.len(),
+            });
         }
         let value_slot = Slot::decode(word(2));
-        let slots = (0..header.kind.capacity()).map(|i| Slot::decode(word(3 + i))).collect();
-        Ok(InnerNode { header, value_slot, slots })
+        let slots = (0..header.kind.capacity())
+            .map(|i| Slot::decode(word(3 + i)))
+            .collect();
+        Ok(InnerNode {
+            header,
+            value_slot,
+            slots,
+        })
     }
 
     /// Copies header (with `kind` upgraded and version bumped), value slot

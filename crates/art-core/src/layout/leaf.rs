@@ -38,7 +38,13 @@ impl LeafNode {
     /// Creates an `Idle`, version-0 leaf sized minimally for its content.
     pub fn new(key: Vec<u8>, value: Vec<u8>) -> Self {
         let units = (Self::encoded_size(key.len(), value.len()) / 64) as u8;
-        LeafNode { status: NodeStatus::Idle, key, value, version: 0, units }
+        LeafNode {
+            status: NodeStatus::Idle,
+            key,
+            value,
+            version: 0,
+            units,
+        }
     }
 
     /// Encoded size in bytes for a key/value pair: header plus payload,
@@ -60,7 +66,10 @@ impl LeafNode {
     /// Panics if the content needs more than `units` units.
     pub fn set_len_units(&mut self, units: u8) {
         let need = Self::encoded_size(self.key.len(), self.value.len());
-        assert!(need <= units as usize * 64, "leaf content exceeds {units} units");
+        assert!(
+            need <= units as usize * 64,
+            "leaf content exceeds {units} units"
+        );
         self.units = units;
     }
 
@@ -93,7 +102,10 @@ impl LeafNode {
     pub fn encode(&self) -> Vec<u8> {
         let size = self.units as usize * 64;
         debug_assert!(size >= Self::encoded_size(self.key.len(), self.value.len()));
-        assert!(self.key.len() <= u16::MAX as usize, "key too long for leaf header");
+        assert!(
+            self.key.len() <= u16::MAX as usize,
+            "key too long for leaf header"
+        );
         let mut out = vec![0u8; size];
         let word0 = (self.status as u64)
             | ((self.len_units() as u64) << 8)
@@ -119,7 +131,10 @@ impl LeafNode {
     /// * [`LayoutError::UnknownStatus`] — corrupt status tag.
     pub fn decode(bytes: &[u8]) -> Result<Self, LayoutError> {
         if bytes.len() < 16 {
-            return Err(LayoutError::TruncatedNode { need: 16, have: bytes.len() });
+            return Err(LayoutError::TruncatedNode {
+                need: 16,
+                have: bytes.len(),
+            });
         }
         let word0 = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
         let word1 = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
@@ -130,7 +145,10 @@ impl LeafNode {
         let version = (word1 >> 32) as u32;
         let need = 16 + key_len + val_len;
         if bytes.len() < need {
-            return Err(LayoutError::TruncatedNode { need, have: bytes.len() });
+            return Err(LayoutError::TruncatedNode {
+                need,
+                have: bytes.len(),
+            });
         }
         let units = ((word0 >> 8) & 0xFF) as u8;
         let leaf = LeafNode {
@@ -187,7 +205,10 @@ mod tests {
         let leaf = LeafNode::new(b"key".to_vec(), b"value".to_vec());
         let mut bytes = leaf.encode();
         bytes[20] ^= 0x01; // flip one key bit
-        assert!(matches!(LeafNode::decode(&bytes), Err(LayoutError::ChecksumMismatch { .. })));
+        assert!(matches!(
+            LeafNode::decode(&bytes),
+            Err(LayoutError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -253,6 +274,9 @@ mod tests {
     fn version_survives_roundtrip() {
         let mut leaf = LeafNode::new(b"k".to_vec(), b"v".to_vec());
         leaf.version = 0xDEAD_BEEF;
-        assert_eq!(LeafNode::decode(&leaf.encode()).unwrap().version, 0xDEAD_BEEF);
+        assert_eq!(
+            LeafNode::decode(&leaf.encode()).unwrap().version,
+            0xDEAD_BEEF
+        );
     }
 }

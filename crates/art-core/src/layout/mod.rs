@@ -71,12 +71,22 @@ pub struct Slot {
 impl Slot {
     /// Convenience constructor for a leaf child.
     pub fn leaf(key_byte: u8, addr: dm_sim::RemotePtr) -> Slot {
-        Slot { key_byte, is_leaf: true, child_kind: crate::local::NodeKind::Node4, addr }
+        Slot {
+            key_byte,
+            is_leaf: true,
+            child_kind: crate::local::NodeKind::Node4,
+            addr,
+        }
     }
 
     /// Convenience constructor for an inner child of the given kind.
     pub fn inner(key_byte: u8, kind: crate::local::NodeKind, addr: dm_sim::RemotePtr) -> Slot {
-        Slot { key_byte, is_leaf: false, child_kind: kind, addr }
+        Slot {
+            key_byte,
+            is_leaf: false,
+            child_kind: kind,
+            addr,
+        }
     }
 
     /// Encodes the slot into its 8-byte word (occupied bit set).
@@ -156,7 +166,10 @@ impl fmt::Display for LayoutError {
             LayoutError::UnknownNodeType { tag } => write!(f, "unknown node type tag {tag}"),
             LayoutError::UnknownStatus { tag } => write!(f, "unknown status tag {tag}"),
             LayoutError::ChecksumMismatch { stored, computed } => {
-                write!(f, "leaf checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+                write!(
+                    f,
+                    "leaf checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+                )
             }
         }
     }
@@ -179,7 +192,12 @@ mod tests {
     #[test]
     fn slot_carries_child_kind() {
         use crate::local::NodeKind;
-        for kind in [NodeKind::Node4, NodeKind::Node16, NodeKind::Node48, NodeKind::Node256] {
+        for kind in [
+            NodeKind::Node4,
+            NodeKind::Node16,
+            NodeKind::Node48,
+            NodeKind::Node256,
+        ] {
             let s = Slot::inner(9, kind, RemotePtr::new(0, 128));
             assert_eq!(Slot::decode(s.encode()).unwrap().child_kind, kind);
         }

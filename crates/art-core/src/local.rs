@@ -76,7 +76,11 @@ struct SmallNode<V, const N: usize> {
 
 impl<V, const N: usize> SmallNode<V, N> {
     fn new() -> Self {
-        SmallNode { keys: [0; N], slots: std::array::from_fn(|_| None), n: 0 }
+        SmallNode {
+            keys: [0; N],
+            slots: std::array::from_fn(|_| None),
+            n: 0,
+        }
     }
 
     fn position(&self, byte: u8) -> Option<usize> {
@@ -131,7 +135,11 @@ impl<V> Node48<V> {
 
     fn insert(&mut self, byte: u8, node: Box<Node<V>>) {
         debug_assert_eq!(self.index[byte as usize], EMPTY48);
-        let free = self.slots.iter().position(Option::is_none).expect("Node48 has space");
+        let free = self
+            .slots
+            .iter()
+            .position(Option::is_none)
+            .expect("Node48 has space");
         self.slots[free] = Some(node);
         self.index[byte as usize] = free as u8;
         self.n += 1;
@@ -155,7 +163,10 @@ struct Node256<V> {
 
 impl<V> Node256<V> {
     fn new() -> Self {
-        Node256 { slots: (0..256).map(|_| None).collect(), n: 0 }
+        Node256 {
+            slots: (0..256).map(|_| None).collect(),
+            n: 0,
+        }
     }
 }
 
@@ -334,7 +345,11 @@ impl<V> Children<V> {
 
     /// Children in ascending byte order.
     fn iter(&self) -> ChildIter<'_, V> {
-        ChildIter { children: self, byte: 0, done: false }
+        ChildIter {
+            children: self,
+            byte: 0,
+            done: false,
+        }
     }
 
     fn take_only_child(&mut self) -> Box<Node<V>> {
@@ -436,7 +451,9 @@ impl<V> Default for LocalArt<V> {
 
 impl<V: fmt::Debug> fmt::Debug for LocalArt<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LocalArt").field("len", &self.len).finish_non_exhaustive()
+        f.debug_struct("LocalArt")
+            .field("len", &self.len)
+            .finish_non_exhaustive()
     }
 }
 
@@ -512,15 +529,13 @@ impl<V> LocalArt<V> {
         loop {
             match node {
                 Node::Leaf(l) => return Some((l.key.as_slice(), &l.value)),
-                Node::Inner(inner) => {
-                    match inner.children.iter().last() {
-                        Some((_, child)) => node = child,
-                        None => {
-                            let v = inner.value.as_ref()?;
-                            return Some((inner.prefix.as_slice(), v));
-                        }
+                Node::Inner(inner) => match inner.children.iter().last() {
+                    Some((_, child)) => node = child,
+                    None => {
+                        let v = inner.value.as_ref()?;
+                        return Some((inner.prefix.as_slice(), v));
                     }
-                }
+                },
             }
         }
     }
@@ -540,7 +555,10 @@ impl<V> LocalArt<V> {
     /// assert_eq!(hits, vec![b"car".as_slice(), b"cart", b"cat"]);
     /// ```
     pub fn prefix_iter<'a>(&'a self, prefix: &'a [u8]) -> PrefixIter<'a, V> {
-        PrefixIter { inner: self.range(prefix, UNBOUNDED), prefix }
+        PrefixIter {
+            inner: self.range(prefix, UNBOUNDED),
+            prefix,
+        }
     }
 
     /// Inserts a key-value pair, returning the previous value if the key
@@ -591,7 +609,11 @@ impl<V> LocalArt<V> {
         if let Some(root) = self.root.as_deref() {
             stack.push(Frame::Node(root));
         }
-        Range { stack, start: EMPTY, end: UNBOUNDED }
+        Range {
+            stack,
+            start: EMPTY,
+            end: UNBOUNDED,
+        }
     }
 
     /// Counts nodes of each kind (structure inspection).
@@ -671,8 +693,12 @@ fn insert_rec<V>(node: &mut Box<Node<V>>, key: Vec<u8>, value: V) -> Option<V> {
                     children: Children::new(),
                 })),
             );
-            let Node::Inner(inner) = node.as_mut() else { unreachable!() };
-            let Node::Leaf(old_leaf) = *old else { unreachable!() };
+            let Node::Inner(inner) = node.as_mut() else {
+                unreachable!()
+            };
+            let Node::Leaf(old_leaf) = *old else {
+                unreachable!()
+            };
             if cpl == old_leaf.key.len() {
                 // old key terminates exactly at the new inner node
                 inner.value = Some(old_leaf.value);
@@ -684,7 +710,9 @@ fn insert_rec<V>(node: &mut Box<Node<V>>, key: Vec<u8>, value: V) -> Option<V> {
                 inner.value = Some(value);
             } else {
                 let b = key[cpl];
-                inner.children.insert(b, Box::new(Node::Leaf(Leaf { key, value })));
+                inner
+                    .children
+                    .insert(b, Box::new(Node::Leaf(Leaf { key, value })));
             }
             None
         }
@@ -701,7 +729,9 @@ fn insert_rec<V>(node: &mut Box<Node<V>>, key: Vec<u8>, value: V) -> Option<V> {
                         children: Children::new(),
                     })),
                 );
-                let Node::Inner(new_inner) = node.as_mut() else { unreachable!() };
+                let Node::Inner(new_inner) = node.as_mut() else {
+                    unreachable!()
+                };
                 let old_dispatch = match old.as_ref() {
                     Node::Inner(i) => i.prefix[cpl],
                     Node::Leaf(_) => unreachable!("old node is an inner"),
@@ -711,7 +741,9 @@ fn insert_rec<V>(node: &mut Box<Node<V>>, key: Vec<u8>, value: V) -> Option<V> {
                     new_inner.value = Some(value);
                 } else {
                     let b = key[cpl];
-                    new_inner.children.insert(b, Box::new(Node::Leaf(Leaf { key, value })));
+                    new_inner
+                        .children
+                        .insert(b, Box::new(Node::Leaf(Leaf { key, value })));
                 }
                 None
             } else if key.len() == inner.prefix.len() {
@@ -722,7 +754,9 @@ fn insert_rec<V>(node: &mut Box<Node<V>>, key: Vec<u8>, value: V) -> Option<V> {
                 if let Some(child) = inner.children.get_mut(b) {
                     insert_rec(child, key, value)
                 } else {
-                    inner.children.insert(b, Box::new(Node::Leaf(Leaf { key, value })));
+                    inner
+                        .children
+                        .insert(b, Box::new(Node::Leaf(Leaf { key, value })));
                     None
                 }
             }
@@ -737,13 +771,17 @@ fn remove_rec<V>(slot: &mut Slot<V>, key: &[u8]) -> Option<V> {
                 return None;
             }
             let boxed = slot.take().expect("slot occupied");
-            let Node::Leaf(l) = *boxed else { unreachable!() };
+            let Node::Leaf(l) = *boxed else {
+                unreachable!()
+            };
             Some(l.value)
         }
         Node::Inner(_) => {
             let mut boxed = slot.take().expect("slot occupied");
             let removed = {
-                let Node::Inner(inner) = boxed.as_mut() else { unreachable!() };
+                let Node::Inner(inner) = boxed.as_mut() else {
+                    unreachable!()
+                };
                 if !key.starts_with(&inner.prefix) {
                     None
                 } else if key.len() == inner.prefix.len() {
@@ -766,7 +804,9 @@ fn remove_rec<V>(slot: &mut Slot<V>, key: &[u8]) -> Option<V> {
                 }
             };
             if removed.is_some() {
-                let Node::Inner(inner) = boxed.as_mut() else { unreachable!() };
+                let Node::Inner(inner) = boxed.as_mut() else {
+                    unreachable!()
+                };
                 match (inner.children.len(), inner.value.is_some()) {
                     (0, false) => {
                         // Empty inner: delete it entirely.
@@ -1037,10 +1077,14 @@ mod tests {
         }
         let start = crate::key::u64_key(100);
         let end = crate::key::u64_key(2000);
-        let hits: Vec<u64> =
-            art.range(&start, &end).map(|(k, _)| crate::key::key_u64(k).unwrap()).collect();
-        let expected: Vec<u64> =
-            (0..1000).map(|i| i * 7).filter(|v| (100..=2000).contains(v)).collect();
+        let hits: Vec<u64> = art
+            .range(&start, &end)
+            .map(|(k, _)| crate::key::key_u64(k).unwrap())
+            .collect();
+        let expected: Vec<u64> = (0..1000)
+            .map(|i| i * 7)
+            .filter(|v| (100..=2000).contains(v))
+            .collect();
         assert_eq!(hits, expected);
     }
 
@@ -1140,7 +1184,9 @@ mod tests {
         let mut oracle = BTreeMap::new();
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for i in 0..5000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = crate::key::u64_key(x % 2500).to_vec();
             art.insert(key.clone(), i);
             oracle.insert(key, i);

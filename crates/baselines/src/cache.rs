@@ -88,7 +88,9 @@ impl NodeCache {
             self.used -= old_bytes;
         }
         while self.used + bytes > self.budget {
-            let Some((&g, &victim)) = self.lru.iter().next() else { break };
+            let Some((&g, &victim)) = self.lru.iter().next() else {
+                break;
+            };
             self.lru.remove(&g);
             if let Some((_, _, b)) = self.nodes.remove(&victim) {
                 self.used -= b;
@@ -136,8 +138,10 @@ mod tests {
     fn put_get_roundtrip() {
         let mut c = NodeCache::new(1 << 20);
         c.put(addr(1), node(1));
-        assert_eq!(c.get(addr(1)).unwrap().header.prefix_hash42,
-                   node(1).header.prefix_hash42);
+        assert_eq!(
+            c.get(addr(1)).unwrap().header.prefix_hash42,
+            node(1).header.prefix_hash42
+        );
         assert!(c.get(addr(2)).is_none());
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
@@ -174,8 +178,10 @@ mod tests {
         c.put(addr(1), node(1));
         c.put(addr(1), node(2));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(addr(1)).unwrap().header.prefix_hash42,
-                   node(2).header.prefix_hash42);
+        assert_eq!(
+            c.get(addr(1)).unwrap().header.prefix_hash42,
+            node(2).header.prefix_hash42
+        );
     }
 
     #[test]

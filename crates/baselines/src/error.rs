@@ -69,6 +69,21 @@ impl From<LayoutError> for BaselineError {
     }
 }
 
+impl From<node_engine::EngineError> for BaselineError {
+    fn from(e: node_engine::EngineError) -> Self {
+        match e {
+            node_engine::EngineError::Dm(e) => BaselineError::Dm(e),
+            node_engine::EngineError::Layout(e) => BaselineError::Layout(e),
+            node_engine::EngineError::RetriesExhausted { op } => {
+                BaselineError::RetriesExhausted { op }
+            }
+            _ => BaselineError::Corrupt {
+                what: "unknown engine error",
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

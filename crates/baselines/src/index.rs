@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 
 use art_core::layout::{InnerNode, Slot};
 use art_core::NodeKind;
-use dm_sim::{ClientStats, DmClient, DmCluster, RemotePtr};
+use dm_sim::{ClientStats, DmClient, DmCluster, RemotePtr, RetryPolicy};
 
 use crate::cache::NodeCache;
 use crate::error::BaselineError;
@@ -132,6 +132,7 @@ impl BaselineIndex {
             cache,
             root_slot: None,
             stats: BaselineStats::default(),
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -166,6 +167,8 @@ pub struct BaselineStats {
     pub scans: u64,
     /// Traversals restarted after seeing stale/invalid state.
     pub retries: u64,
+    /// Leaf reads re-issued after a torn (checksum-failing) snapshot.
+    pub checksum_retries: u64,
 }
 
 /// A per-worker baseline client (owns a virtual clock and its network
@@ -177,6 +180,8 @@ pub struct BaselineClient {
     pub(crate) cache: Option<Arc<Mutex<NodeCache>>>,
     pub(crate) root_slot: Option<Slot>,
     pub(crate) stats: BaselineStats,
+    /// Shared bounded-retry budget (see [`dm_sim::RetryPolicy`]).
+    pub(crate) retry: RetryPolicy,
 }
 
 impl BaselineClient {

@@ -1,36 +1,33 @@
 //! Baseline index operations: root-to-leaf traversal (with optional node
 //! cache), inserts with splits and type switches, updates, deletes, scans.
 
-use art_core::hash::{prefix_hash42, prefix_hash64};
+use art_core::hash::prefix_hash42;
 use art_core::key::{common_prefix_len, MAX_KEY_LEN};
-use art_core::layout::{
-    InnerNode, LayoutError, LeafNode, NodeStatus, Slot, VALUE_SLOT_OFFSET,
-};
-use dm_sim::{DoorbellBatch, RemotePtr, Verb, VerbResult};
+use art_core::layout::{InnerNode, LeafNode, NodeStatus, Slot, VALUE_SLOT_OFFSET};
+use dm_sim::{RemotePtr, Transport};
+use node_engine::{cas_locked_write, write_new_inner, write_new_leaf, Install};
 
 use crate::error::BaselineError;
 use crate::index::BaselineClient;
 
-const OP_RETRY_LIMIT: usize = 200_000; // see sphinx::client for rationale
-const IO_RETRY_LIMIT: usize = 64;
-
-/// Outcome of a guarded single-word install (see `sphinx::write_ops` for
-/// the full memory-safety rationale: buffers referenced by the new word
-/// may be freed only on `Raced`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Install {
-    Done,
-    Raced,
-    Ambiguous,
-}
-
 /// Where the traversal ended.
 #[derive(Debug)]
 enum BOutcome {
-    Leaf { offset: u64, slot: Slot, leaf: LeafNode },
+    Leaf {
+        offset: u64,
+        slot: Slot,
+        leaf: LeafNode,
+    },
     NoValueSlot,
-    Empty { byte: u8 },
-    Divergent { slot_idx: usize, slot: Slot, child: InnerNode, sample: LeafNode },
+    Empty {
+        byte: u8,
+    },
+    Divergent {
+        slot_idx: usize,
+        slot: Slot,
+        child: InnerNode,
+        sample: LeafNode,
+    },
 }
 
 /// A completed traversal: the deepest inner node whose prefix prefixes the
@@ -48,6 +45,7 @@ struct Located {
     outcome: BOutcome,
 }
 
+#[allow(clippy::large_enum_variant)] // Retry is transient; Done is immediately unpacked
 enum LocateResult {
     Done(Located),
     Retry,
@@ -55,8 +53,7 @@ enum LocateResult {
 
 impl BaselineClient {
     fn backoff(&mut self) {
-        self.dm.advance_clock(200);
-        std::thread::yield_now();
+        self.dm.backoff(&self.retry);
     }
 
     fn leaf_read_hint(&self) -> usize {
@@ -101,26 +98,17 @@ impl BaselineClient {
         Ok((node, false))
     }
 
-    /// Reads a leaf, retrying torn reads and extending short hints.
+    /// Reads a leaf through the shared validated reader (torn-read retry
+    /// and short-hint extension live in `node-engine` now).
     fn read_leaf(&mut self, ptr: RemotePtr) -> Result<LeafNode, BaselineError> {
-        let mut read_len = self.leaf_read_hint().max(64);
-        for _ in 0..IO_RETRY_LIMIT {
-            let bytes = self.dm.read(ptr, read_len)?;
-            let word0 = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
-            let units = ((word0 >> 8) & 0xFF) as usize;
-            let true_len = units.max(1) * 64;
-            if true_len > read_len {
-                read_len = true_len;
-                continue;
-            }
-            match LeafNode::decode(&bytes) {
-                Ok(leaf) => return Ok(leaf),
-                Err(LayoutError::ChecksumMismatch { .. })
-                | Err(LayoutError::TruncatedNode { .. }) => self.backoff(),
-                Err(e) => return Err(e.into()),
-            }
-        }
-        Err(BaselineError::RetriesExhausted { op: "leaf read" })
+        let hint = self.leaf_read_hint();
+        Ok(node_engine::read_validated_leaf(
+            &mut self.dm,
+            ptr,
+            hint,
+            &self.retry,
+            &mut self.stats.checksum_retries,
+        )?)
     }
 
     fn invalidate_cached(&mut self, ptr: RemotePtr) {
@@ -135,7 +123,7 @@ impl BaselineClient {
         if key.len() > MAX_KEY_LEN {
             return Err(BaselineError::KeyTooLong { len: key.len() });
         }
-        for attempt in 0..OP_RETRY_LIMIT {
+        for attempt in 0..self.retry.op_retries {
             match self.locate_once(key, use_cache)? {
                 LocateResult::Done(loc) => return Ok(loc),
                 LocateResult::Retry => {
@@ -179,7 +167,11 @@ impl BaselineClient {
                 return match node.value_slot {
                     Some(slot) => {
                         let leaf = self.read_leaf(slot.addr)?;
-                        done(BOutcome::Leaf { offset: VALUE_SLOT_OFFSET, slot, leaf })
+                        done(BOutcome::Leaf {
+                            offset: VALUE_SLOT_OFFSET,
+                            slot,
+                            leaf,
+                        })
                     }
                     None => done(BOutcome::NoValueSlot),
                 };
@@ -223,7 +215,12 @@ impl BaselineClient {
                     let Some(sample) = self.sample_leaf(&child)? else {
                         return Ok(LocateResult::Retry);
                     };
-                    return done(BOutcome::Divergent { slot_idx: idx, slot, child, sample });
+                    return done(BOutcome::Divergent {
+                        slot_idx: idx,
+                        slot,
+                        child,
+                        sample,
+                    });
                 }
             }
         }
@@ -231,7 +228,7 @@ impl BaselineClient {
 
     fn sample_leaf(&mut self, node: &InnerNode) -> Result<Option<LeafNode>, BaselineError> {
         let mut current = node.clone();
-        for _ in 0..IO_RETRY_LIMIT {
+        for _ in 0..self.retry.io_retries {
             let slot = match current
                 .value_slot
                 .or_else(|| current.slots.iter().flatten().next().copied())
@@ -243,8 +240,7 @@ impl BaselineClient {
                 return Ok(Some(self.read_leaf(slot.addr)?));
             }
             let (child, _) = self.read_inner_mc(slot.addr, slot.child_kind, false)?;
-            if child.header.status == NodeStatus::Invalid || child.header.kind != slot.child_kind
-            {
+            if child.header.status == NodeStatus::Invalid || child.header.kind != slot.child_kind {
                 return Ok(None);
             }
             current = child;
@@ -289,44 +285,46 @@ impl BaselineClient {
     /// or substrate errors.
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), BaselineError> {
         self.stats.inserts += 1;
-        for attempt in 0..OP_RETRY_LIMIT {
+        for attempt in 0..self.retry.op_retries {
             let use_cache = attempt == 0;
             let loc = self.locate(key, use_cache)?;
             let done = match loc.outcome {
-                BOutcome::Leaf { offset, ref slot, ref leaf } if leaf.key == key => {
+                BOutcome::Leaf {
+                    offset,
+                    ref slot,
+                    ref leaf,
+                } if leaf.key == key => {
                     if leaf.status == NodeStatus::Invalid {
                         self.swap_leaf(loc.node_ptr, offset, slot, key, value)?
                     } else {
                         self.write_leaf_value(loc.node_ptr, offset, slot, leaf, key, value)?
                     }
                 }
-                BOutcome::Leaf { offset, ref slot, ref leaf } => {
-                    self.split_leaf(loc.node_ptr, offset, slot, leaf, key, value)?
-                }
+                BOutcome::Leaf {
+                    offset,
+                    ref slot,
+                    ref leaf,
+                } => self.split_leaf(loc.node_ptr, offset, slot, leaf, key, value)?,
                 BOutcome::NoValueSlot => {
-                    let leaf_ptr = self.write_new_leaf(key, value)?;
+                    let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
                     let new_slot = Slot::leaf(0, leaf_ptr);
                     self.install_word(loc.node_ptr, VALUE_SLOT_OFFSET, 0, new_slot.encode())?
                         == Install::Done
                 }
                 BOutcome::Empty { byte } => match loc.node.free_slot(byte) {
                     Some(idx) => {
-                        let leaf_ptr = self.write_new_leaf(key, value)?;
+                        let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
                         let new_slot = Slot::leaf(byte, leaf_ptr);
-                        self.install_fresh_child(
-                            &loc.node,
-                            loc.node_ptr,
-                            idx,
-                            byte,
-                            new_slot,
-                            key,
-                        )?
+                        self.install_fresh_child(&loc.node, loc.node_ptr, idx, byte, new_slot, key)?
                     }
                     None => self.type_switch_insert(&loc, key, value)?,
                 },
-                BOutcome::Divergent { slot_idx, ref slot, ref child, ref sample } => {
-                    self.split_path(loc.node_ptr, slot_idx, slot, child, sample, key, value)?
-                }
+                BOutcome::Divergent {
+                    slot_idx,
+                    ref slot,
+                    ref child,
+                    ref sample,
+                } => self.split_path(loc.node_ptr, slot_idx, slot, child, sample, key, value)?,
             };
             if done {
                 return Ok(());
@@ -343,11 +341,15 @@ impl BaselineClient {
     /// Same classes as [`BaselineClient::insert`].
     pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<bool, BaselineError> {
         self.stats.updates += 1;
-        for attempt in 0..OP_RETRY_LIMIT {
+        for attempt in 0..self.retry.op_retries {
             let use_cache = attempt == 0;
             let loc = self.locate(key, use_cache)?;
             match loc.outcome {
-                BOutcome::Leaf { offset, ref slot, ref leaf } if leaf.key == key => {
+                BOutcome::Leaf {
+                    offset,
+                    ref slot,
+                    ref leaf,
+                } if leaf.key == key => {
                     if leaf.status == NodeStatus::Invalid {
                         return Ok(false);
                     }
@@ -370,11 +372,15 @@ impl BaselineClient {
     /// Same classes as [`BaselineClient::insert`].
     pub fn remove(&mut self, key: &[u8]) -> Result<bool, BaselineError> {
         self.stats.deletes += 1;
-        for attempt in 0..OP_RETRY_LIMIT {
+        for attempt in 0..self.retry.op_retries {
             let use_cache = attempt == 0;
             let loc = self.locate(key, use_cache)?;
             match loc.outcome {
-                BOutcome::Leaf { offset, ref slot, ref leaf } if leaf.key == key => {
+                BOutcome::Leaf {
+                    offset,
+                    ref slot,
+                    ref leaf,
+                } if leaf.key == key => {
                     if leaf.status == NodeStatus::Invalid {
                         return Ok(false);
                     }
@@ -402,6 +408,7 @@ impl BaselineClient {
     /// # Errors
     ///
     /// Propagates substrate errors.
+    #[allow(clippy::type_complexity)]
     pub fn scan(
         &mut self,
         low: &[u8],
@@ -426,7 +433,7 @@ impl BaselineClient {
             // plain ART, grouped — round trip per level).
             let mut resolve_targets: Vec<usize> = Vec::new();
             let mut chain_targets: Vec<usize> = Vec::new();
-            let mut batch = DoorbellBatch::new();
+            let mut resolve_reads = Vec::new();
             for (i, (node, known, exact)) in inners.iter().enumerate() {
                 let exact_here = *exact && node.header.prefix_len as usize == known.len();
                 if exact_here {
@@ -437,16 +444,15 @@ impl BaselineClient {
                     .or_else(|| node.slots.iter().flatten().find(|s| s.is_leaf).copied());
                 match leaf_slot {
                     Some(slot) => {
-                        batch.push(Verb::Read { ptr: slot.addr, len: self.leaf_read_hint() });
+                        resolve_reads.push((slot.addr, self.leaf_read_hint()));
                         resolve_targets.push(i);
                     }
                     None => chain_targets.push(i),
                 }
             }
-            if !batch.is_empty() {
-                let reads = self.dm.execute(batch)?;
-                for (i, res) in resolve_targets.into_iter().zip(reads) {
-                    let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
+            if !resolve_reads.is_empty() {
+                let reads = self.dm.read_many(&resolve_reads)?;
+                for (i, bytes) in resolve_targets.into_iter().zip(reads) {
                     if let Ok(leaf) = LeafNode::decode(&bytes) {
                         let (node, known, exact) = &mut inners[i];
                         let plen = node.header.prefix_len as usize;
@@ -500,21 +506,19 @@ impl BaselineClient {
 
             let mut fetched: Vec<(Slot, Vec<u8>, bool, Vec<u8>)> = Vec::new();
             if batched {
-                let mut batch = DoorbellBatch::with_capacity(pending.len());
-                for (slot, _, _) in &pending {
-                    let len = if slot.is_leaf {
-                        self.leaf_read_hint()
-                    } else {
-                        InnerNode::byte_size(slot.child_kind)
-                    };
-                    batch.push(Verb::Read { ptr: slot.addr, len });
-                }
-                let reads = self.dm.execute(batch)?;
-                for ((slot, known, exact), res) in pending.into_iter().zip(reads) {
-                    let bytes = match res {
-                        VerbResult::Read(b) => b,
-                        other => unreachable!("expected read, got {other:?}"),
-                    };
+                let level_reads: Vec<_> = pending
+                    .iter()
+                    .map(|(slot, _, _)| {
+                        let len = if slot.is_leaf {
+                            self.leaf_read_hint()
+                        } else {
+                            InnerNode::byte_size(slot.child_kind)
+                        };
+                        (slot.addr, len)
+                    })
+                    .collect();
+                let reads = self.dm.read_many(&level_reads)?;
+                for ((slot, known, exact), bytes) in pending.into_iter().zip(reads) {
                     fetched.push((slot, known, exact, bytes));
                 }
             } else {
@@ -524,21 +528,19 @@ impl BaselineClient {
                 // across nodes), versus SMART's whole-level batching —
                 // the source of the paper's 2.3–3.1× YCSB-E gap.
                 for group in pending.chunks(8) {
-                    let mut batch = DoorbellBatch::with_capacity(group.len());
-                    for (slot, _, _) in group {
-                        let len = if slot.is_leaf {
-                            self.leaf_read_hint()
-                        } else {
-                            InnerNode::byte_size(slot.child_kind)
-                        };
-                        batch.push(Verb::Read { ptr: slot.addr, len });
-                    }
-                    let reads = self.dm.execute(batch)?;
-                    for ((slot, known, exact), res) in group.iter().cloned().zip(reads) {
-                        let bytes = match res {
-                            VerbResult::Read(b) => b,
-                            other => unreachable!("expected read, got {other:?}"),
-                        };
+                    let group_reads: Vec<_> = group
+                        .iter()
+                        .map(|(slot, _, _)| {
+                            let len = if slot.is_leaf {
+                                self.leaf_read_hint()
+                            } else {
+                                InnerNode::byte_size(slot.child_kind)
+                            };
+                            (slot.addr, len)
+                        })
+                        .collect();
+                    let reads = self.dm.read_many(&group_reads)?;
+                    for ((slot, known, exact), bytes) in group.iter().cloned().zip(reads) {
                         fetched.push((slot, known, exact, bytes));
                     }
                 }
@@ -586,27 +588,8 @@ impl BaselineClient {
     // the hash table / filter publication).
     // ------------------------------------------------------------------
 
-    fn write_new_leaf(&mut self, key: &[u8], value: &[u8]) -> Result<RemotePtr, BaselineError> {
-        let leaf = LeafNode::new(key.to_vec(), value.to_vec());
-        let bytes = leaf.encode();
-        let mn = self.dm.place(prefix_hash64(key));
-        let ptr = self.dm.alloc(mn, bytes.len())?;
-        self.dm.write(ptr, &bytes)?;
-        Ok(ptr)
-    }
-
-    fn write_new_inner(
-        &mut self,
-        node: &InnerNode,
-        prefix: &[u8],
-    ) -> Result<RemotePtr, BaselineError> {
-        let bytes = node.encode();
-        let mn = self.dm.place(prefix_hash64(prefix));
-        let ptr = self.dm.alloc(mn, bytes.len())?;
-        self.dm.write(ptr, &bytes)?;
-        Ok(ptr)
-    }
-
+    /// [`node_engine::install_word`] plus the CN cache invalidation the
+    /// baselines owe their node cache.
     fn install_word(
         &mut self,
         node_ptr: RemotePtr,
@@ -614,26 +597,9 @@ impl BaselineClient {
         expected: u64,
         new: u64,
     ) -> Result<Install, BaselineError> {
-        let mut batch = DoorbellBatch::with_capacity(2);
-        batch.push(Verb::Cas { ptr: node_ptr.checked_add(offset)?, expected, new });
-        batch.push(Verb::Read { ptr: node_ptr, len: 8 });
-        let mut res = self.dm.execute(batch)?;
-        let control = match res.pop().expect("read result") {
-            VerbResult::Read(b) => u64::from_le_bytes(b.as_slice().try_into().expect("8 bytes")),
-            other => unreachable!("expected read, got {other:?}"),
-        };
-        let prev = res.pop().expect("cas result").into_cas();
+        let r = node_engine::install_word(&mut self.dm, node_ptr, offset, expected, new)?;
         self.invalidate_cached(node_ptr);
-        if prev != expected {
-            return Ok(Install::Raced);
-        }
-        if control & 0xFF == NodeStatus::Idle as u64 {
-            return Ok(Install::Done);
-        }
-        // Landed on a node mid type-switch: the word may survive in the
-        // replacement's copy — treat as live, retry via fresh traversal,
-        // never free what it references.
-        Ok(Install::Ambiguous)
+        Ok(r)
     }
 
     /// Same duplicate-byte-safe fresh install as Sphinx's (see
@@ -651,19 +617,13 @@ impl BaselineClient {
     ) -> Result<bool, BaselineError> {
         let offset = InnerNode::slot_offset(idx);
         let node_len = InnerNode::byte_size(node.header.kind);
-        let mut batch = DoorbellBatch::with_capacity(2);
-        batch.push(Verb::Cas {
-            ptr: node_ptr.checked_add(offset)?,
-            expected: 0,
-            new: new_slot.encode(),
-        });
-        batch.push(Verb::Read { ptr: node_ptr, len: node_len });
-        let mut res = self.dm.execute(batch)?;
-        let bytes = match res.pop().expect("read result") {
-            VerbResult::Read(b) => b,
-            other => unreachable!("expected read, got {other:?}"),
-        };
-        let prev = res.pop().expect("cas result").into_cas();
+        let (prev, bytes) = self.dm.cas_and_read(
+            node_ptr.checked_add(offset)?,
+            0,
+            new_slot.encode(),
+            node_ptr,
+            node_len,
+        )?;
         self.invalidate_cached(node_ptr);
         if prev != 0 {
             return Ok(false);
@@ -681,7 +641,9 @@ impl BaselineClient {
             .enumerate()
             .any(|(i, s)| i != idx && s.is_some_and(|s| s.key_byte == byte));
         if duplicated {
-            let _ = self.dm.cas(node_ptr.checked_add(offset)?, new_slot.encode(), 0)?;
+            let _ = self
+                .dm
+                .cas(node_ptr.checked_add(offset)?, new_slot.encode(), 0)?;
             return Ok(false);
         }
         Ok(true)
@@ -697,13 +659,16 @@ impl BaselineClient {
         key: &[u8],
     ) -> Result<bool, BaselineError> {
         let offset = InnerNode::slot_offset(idx);
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let control = self.dm.read_u64(node_ptr)?;
             match (control & 0xFF) as u8 {
                 x if x == NodeStatus::Idle as u8 => {
-                    let bytes =
-                        self.dm.read(node_ptr, InnerNode::byte_size(node.header.kind))?;
-                    let Ok(now) = InnerNode::decode(&bytes) else { continue };
+                    let bytes = self
+                        .dm
+                        .read(node_ptr, InnerNode::byte_size(node.header.kind))?;
+                    let Ok(now) = InnerNode::decode(&bytes) else {
+                        continue;
+                    };
                     if now.header.kind != node.header.kind {
                         continue;
                     }
@@ -736,7 +701,9 @@ impl BaselineClient {
                 }
             }
         }
-        Err(BaselineError::RetriesExhausted { op: "install resolve" })
+        Err(BaselineError::RetriesExhausted {
+            op: "install resolve",
+        })
     }
 
     fn write_leaf_value(
@@ -750,14 +717,16 @@ impl BaselineClient {
     ) -> Result<bool, BaselineError> {
         if leaf.fits_in_place(value.len()) {
             let (idle, locked) = leaf.status_cas_words(NodeStatus::Idle, NodeStatus::Locked);
-            if self.dm.cas(slot.addr, idle, locked)? != idle {
-                return Ok(false);
-            }
             let mut new_leaf = LeafNode::new(key.to_vec(), value.to_vec());
             new_leaf.version = leaf.version.wrapping_add(1);
             new_leaf.set_len_units(leaf.len_units());
-            self.dm.write(slot.addr, &new_leaf.encode())?;
-            Ok(true)
+            Ok(cas_locked_write(
+                &mut self.dm,
+                slot.addr,
+                idle,
+                locked,
+                vec![(slot.addr, new_leaf.encode())],
+            )?)
         } else {
             self.swap_leaf(node_ptr, offset, slot, key, value)
         }
@@ -771,7 +740,7 @@ impl BaselineClient {
         key: &[u8],
         value: &[u8],
     ) -> Result<bool, BaselineError> {
-        let new_ptr = self.write_new_leaf(key, value)?;
+        let new_ptr = write_new_leaf(&mut self.dm, key, value)?;
         let new_slot = Slot::leaf(slot.key_byte, new_ptr);
         match self.install_word(node_ptr, offset, slot.encode(), new_slot.encode())? {
             Install::Done => {
@@ -812,13 +781,13 @@ impl BaselineClient {
         } else {
             n.set_child(Slot::leaf(leaf.key[cpl], slot.addr));
         }
-        let leaf_ptr = self.write_new_leaf(key, value)?;
+        let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
         if key.len() == cpl {
             n.value_slot = Some(Slot::leaf(0, leaf_ptr));
         } else {
             n.set_child(Slot::leaf(key[cpl], leaf_ptr));
         }
-        let n_ptr = self.write_new_inner(&n, prefix)?;
+        let n_ptr = write_new_inner(&mut self.dm, &n, prefix)?;
         let new_slot = Slot::inner(slot.key_byte, kind, n_ptr);
         match self.install_word(node_ptr, offset, slot.encode(), new_slot.encode())? {
             Install::Done => Ok(true),
@@ -831,6 +800,7 @@ impl BaselineClient {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn split_path(
         &mut self,
         node_ptr: RemotePtr,
@@ -850,13 +820,13 @@ impl BaselineClient {
         let kind = self.meta.config.fresh_node_kind();
         let mut n = InnerNode::new(kind, prefix);
         n.set_child(Slot::inner(sample.key[cpl], child.header.kind, slot.addr));
-        let leaf_ptr = self.write_new_leaf(key, value)?;
+        let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
         if key.len() == cpl {
             n.value_slot = Some(Slot::leaf(0, leaf_ptr));
         } else {
             n.set_child(Slot::leaf(key[cpl], leaf_ptr));
         }
-        let n_ptr = self.write_new_inner(&n, prefix)?;
+        let n_ptr = write_new_inner(&mut self.dm, &n, prefix)?;
         let new_slot = Slot::inner(slot.key_byte, kind, n_ptr);
         match self.install_word(
             node_ptr,
@@ -894,7 +864,9 @@ impl BaselineClient {
         if self.dm.cas(loc.node_ptr, idle, locked)? != idle {
             return Ok(false);
         }
-        let bytes = self.dm.read(loc.node_ptr, InnerNode::byte_size(node.header.kind))?;
+        let bytes = self
+            .dm
+            .read(loc.node_ptr, InnerNode::byte_size(node.header.kind))?;
         let fresh = InnerNode::decode(&bytes)?;
         let unlock = fresh.header.control_with_status(NodeStatus::Idle);
         if fresh.find_child(byte).is_some() {
@@ -902,30 +874,33 @@ impl BaselineClient {
             return Ok(false);
         }
         if let Some(idx) = fresh.free_slot(byte) {
-            let leaf_ptr = self.write_new_leaf(key, value)?;
-            let mut batch = DoorbellBatch::with_capacity(2);
-            batch.push(Verb::Write {
-                ptr: loc.node_ptr.checked_add(InnerNode::slot_offset(idx))?,
-                data: Slot::leaf(byte, leaf_ptr).encode().to_le_bytes().to_vec(),
-            });
-            batch.push(Verb::Write { ptr: loc.node_ptr, data: unlock.to_le_bytes().to_vec() });
-            self.dm.execute(batch)?;
+            let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
+            self.dm.write_many(vec![
+                (
+                    loc.node_ptr.checked_add(InnerNode::slot_offset(idx))?,
+                    Slot::leaf(byte, leaf_ptr).encode().to_le_bytes().to_vec(),
+                ),
+                (loc.node_ptr, unlock.to_le_bytes().to_vec()),
+            ])?;
             self.invalidate_cached(loc.node_ptr);
             return Ok(true);
         }
         let mut grown = fresh.grow();
-        let leaf_ptr = self.write_new_leaf(key, value)?;
+        let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
         grown.set_child(Slot::leaf(byte, leaf_ptr));
-        let grown_ptr = self.write_new_inner(&grown, &key[..plen])?;
+        let grown_ptr = write_new_inner(&mut self.dm, &grown, &key[..plen])?;
 
         // Swing the pointer to this node: either the parent's child slot
         // or the root word.
-        let old_slot =
-            Slot::decode(loc.parent_expected).ok_or(BaselineError::Corrupt { what: "parent slot empty" })?;
+        let old_slot = Slot::decode(loc.parent_expected).ok_or(BaselineError::Corrupt {
+            what: "parent slot empty",
+        })?;
         let new_word = Slot::inner(old_slot.key_byte, grown.header.kind, grown_ptr).encode();
         let swung = match loc.parent_node_ptr {
             None => {
-                if self.dm.cas(self.meta.root_word, loc.parent_expected, new_word)?
+                if self
+                    .dm
+                    .cas(self.meta.root_word, loc.parent_expected, new_word)?
                     == loc.parent_expected
                 {
                     Install::Done
@@ -1008,8 +983,16 @@ mod tests {
             let mut cl = idx.client(0).unwrap();
             cl.insert(b"lyrics", b"v1").unwrap();
             cl.insert(b"lyre", b"v2").unwrap();
-            assert_eq!(cl.get(b"lyrics").unwrap().as_deref(), Some(&b"v1"[..]), "{name}");
-            assert_eq!(cl.get(b"lyre").unwrap().as_deref(), Some(&b"v2"[..]), "{name}");
+            assert_eq!(
+                cl.get(b"lyrics").unwrap().as_deref(),
+                Some(&b"v1"[..]),
+                "{name}"
+            );
+            assert_eq!(
+                cl.get(b"lyre").unwrap().as_deref(),
+                Some(&b"v2"[..]),
+                "{name}"
+            );
             assert_eq!(cl.get(b"lyr").unwrap(), None, "{name}");
         }
     }
@@ -1027,8 +1010,16 @@ mod tests {
             assert!(cl.remove(b"cherry").unwrap(), "{name}");
             let hits = cl.scan(b"a", b"z").unwrap();
             let keys: Vec<&[u8]> = hits.iter().map(|(k, _)| k.as_slice()).collect();
-            assert_eq!(keys, vec![b"apple".as_slice(), b"banana", b"date"], "{name}");
-            assert_eq!(cl.get(b"banana").unwrap().as_deref(), Some(&b"yellow"[..]), "{name}");
+            assert_eq!(
+                keys,
+                vec![b"apple".as_slice(), b"banana", b"date"],
+                "{name}"
+            );
+            assert_eq!(
+                cl.get(b"banana").unwrap().as_deref(),
+                Some(&b"yellow"[..]),
+                "{name}"
+            );
         }
     }
 
@@ -1038,11 +1029,14 @@ mod tests {
         let idx = BaselineIndex::create(&c, BaselineConfig::art()).unwrap();
         let mut cl = idx.client(0).unwrap();
         for i in 0..500u32 {
-            cl.insert(&i.wrapping_mul(2654435761).to_be_bytes(), &i.to_le_bytes()).unwrap();
+            cl.insert(&i.wrapping_mul(2654435761).to_be_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         for i in 0..500u32 {
             assert_eq!(
-                cl.get(&i.wrapping_mul(2654435761).to_be_bytes()).unwrap().as_deref(),
+                cl.get(&i.wrapping_mul(2654435761).to_be_bytes())
+                    .unwrap()
+                    .as_deref(),
                 Some(&i.to_le_bytes()[..]),
                 "key {i}"
             );
@@ -1051,8 +1045,9 @@ mod tests {
 
     #[test]
     fn smart_prealloc_uses_more_memory_than_art() {
-        let keys: Vec<[u8; 8]> =
-            (0..3000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).to_be_bytes()).collect();
+        let keys: Vec<[u8; 8]> = (0..3000u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).to_be_bytes())
+            .collect();
         let mut sizes = Vec::new();
         for (_, cfg) in configs() {
             let c = cluster();
@@ -1076,7 +1071,8 @@ mod tests {
         let idx = BaselineIndex::create(&c, BaselineConfig::smart(4 << 20)).unwrap();
         let mut cl = idx.client(0).unwrap();
         for i in 0..200u32 {
-            cl.insert(format!("cachekey{i:04}").as_bytes(), b"v").unwrap();
+            cl.insert(format!("cachekey{i:04}").as_bytes(), b"v")
+                .unwrap();
         }
         // Warm pass.
         for i in 0..200u32 {
@@ -1092,7 +1088,8 @@ mod tests {
         let idx2 = BaselineIndex::create(&c2, BaselineConfig::art()).unwrap();
         let mut cl2 = idx2.client(0).unwrap();
         for i in 0..200u32 {
-            cl2.insert(format!("cachekey{i:04}").as_bytes(), b"v").unwrap();
+            cl2.insert(format!("cachekey{i:04}").as_bytes(), b"v")
+                .unwrap();
         }
         let before = cl2.net_stats().round_trips;
         for i in 0..200u32 {
@@ -1143,7 +1140,9 @@ mod tests {
             for t in 0..3u32 {
                 for i in 0..150u32 {
                     assert_eq!(
-                        cl.get(format!("c{t}-{i:04}").as_bytes()).unwrap().as_deref(),
+                        cl.get(format!("c{t}-{i:04}").as_bytes())
+                            .unwrap()
+                            .as_deref(),
                         Some(&i.to_le_bytes()[..]),
                         "{name}: lost c{t}-{i}"
                     );

@@ -57,7 +57,9 @@ impl BaselineIndex {
             let node = match InnerNode::decode(&bytes) {
                 Ok(n) => n,
                 Err(e) => {
-                    report.problems.push(format!("node {ptr}: undecodable: {e}"));
+                    report
+                        .problems
+                        .push(format!("node {ptr}: undecodable: {e}"));
                     continue;
                 }
             };
@@ -98,7 +100,9 @@ impl BaselineIndex {
                 }
             };
             if node.header.prefix_hash42 != prefix_hash42(&prefix) {
-                report.problems.push(format!("node {ptr}: full-prefix hash mismatch"));
+                report
+                    .problems
+                    .push(format!("node {ptr}: full-prefix hash mismatch"));
             }
             let mut seen = std::collections::HashSet::new();
             if let Some(slot) = node.value_slot {
@@ -139,7 +143,9 @@ fn sample_key(
             let bytes = client.dm.read(slot.addr, 128)?;
             return Ok(LeafNode::decode(&bytes).ok().map(|l| l.key));
         }
-        let bytes = client.dm.read(slot.addr, InnerNode::byte_size(slot.child_kind))?;
+        let bytes = client
+            .dm
+            .read(slot.addr, InnerNode::byte_size(slot.child_kind))?;
         match InnerNode::decode(&bytes) {
             Ok(n) => current = n,
             Err(_) => return Ok(None),
@@ -167,7 +173,9 @@ fn check_leaf(
         match LeafNode::decode(&bytes) {
             Ok(l) => break l,
             Err(e) => {
-                report.problems.push(format!("leaf {}: undecodable: {e}", slot.addr));
+                report
+                    .problems
+                    .push(format!("leaf {}: undecodable: {e}", slot.addr));
                 return Ok(());
             }
         }
@@ -177,13 +185,16 @@ fn check_leaf(
     }
     report.leaves += 1;
     if !leaf.key.starts_with(prefix) {
-        report
-            .problems
-            .push(format!("leaf {}: key does not carry parent prefix", slot.addr));
+        report.problems.push(format!(
+            "leaf {}: key does not carry parent prefix",
+            slot.addr
+        ));
     }
     if let Some(byte) = dispatch {
         if leaf.key.get(prefix.len()) != Some(&byte) {
-            report.problems.push(format!("leaf {}: dispatch byte mismatch", slot.addr));
+            report
+                .problems
+                .push(format!("leaf {}: dispatch byte mismatch", slot.addr));
         }
     }
     Ok(())

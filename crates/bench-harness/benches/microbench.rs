@@ -30,16 +30,23 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("layout_codecs");
     let mut inner = InnerNode::new(NodeKind::Node48, b"prefix");
     for i in 0..40u8 {
-        inner.set_child(art_core::layout::Slot::leaf(i, dm_sim::RemotePtr::new(0, 64)));
+        inner.set_child(art_core::layout::Slot::leaf(
+            i,
+            dm_sim::RemotePtr::new(0, 64),
+        ));
     }
     let inner_bytes = inner.encode();
-    group.bench_function("inner48_encode", |b| b.iter(|| std::hint::black_box(inner.encode())));
+    group.bench_function("inner48_encode", |b| {
+        b.iter(|| std::hint::black_box(inner.encode()))
+    });
     group.bench_function("inner48_decode", |b| {
         b.iter(|| std::hint::black_box(InnerNode::decode(&inner_bytes).expect("decode")))
     });
     let leaf = LeafNode::new(b"someemail@example.org".to_vec(), vec![9u8; 64]);
     let leaf_bytes = leaf.encode();
-    group.bench_function("leaf_encode", |b| b.iter(|| std::hint::black_box(leaf.encode())));
+    group.bench_function("leaf_encode", |b| {
+        b.iter(|| std::hint::black_box(leaf.encode()))
+    });
     group.bench_function("leaf_decode_checksum", |b| {
         b.iter(|| std::hint::black_box(LeafNode::decode(&leaf_bytes).expect("decode")))
     });

@@ -44,7 +44,11 @@ fn main() {
             let handle = sys.build_scaled(1 << 30, keys);
             load_phase(&handle, KeySpace::U64, keys, 8);
             let workload = Workload::by_name(wl_name).expect("workload");
-            let ops_here = if wl_name == "E" { (ops / 8).max(1) } else { ops };
+            let ops_here = if wl_name == "E" {
+                (ops / 8).max(1)
+            } else {
+                ops
+            };
             let r = run_phase(
                 &handle,
                 &RunConfig {

@@ -46,7 +46,11 @@ fn main() {
             load_phase(&handle, keyspace, keys, 8);
             for wl_name in ["C", "B", "A", "D", "E"] {
                 let workload = Workload::by_name(wl_name).expect("workload");
-                let ops_here = if wl_name == "E" { (ops / 8).max(1) } else { ops };
+                let ops_here = if wl_name == "E" {
+                    (ops / 8).max(1)
+                } else {
+                    ops
+                };
                 let r = run_phase(
                     &handle,
                     &RunConfig {
@@ -79,9 +83,7 @@ fn main() {
             mops.insert("LOAD", r.mops);
 
             let row: Vec<f64> = display.iter().map(|w| mops[w]).collect();
-            table.row(
-                std::iter::once(sys.label().to_string()).chain(row.iter().map(|m| f3(*m))),
-            );
+            table.row(std::iter::once(sys.label().to_string()).chain(row.iter().map(|m| f3(*m))));
             per_system.push(row);
         }
         println!("dataset: {}", keyspace.name());
@@ -94,10 +96,14 @@ fn main() {
         let mut min_gain = f64::INFINITY;
         let mut max_gain: f64 = 0.0;
         for (w, _) in display.iter().enumerate() {
-            let best_other =
-                per_system[1..].iter().map(|row| row[w]).fold(f64::MIN, f64::max);
-            let worst_other =
-                per_system[1..].iter().map(|row| row[w]).fold(f64::MAX, f64::min);
+            let best_other = per_system[1..]
+                .iter()
+                .map(|row| row[w])
+                .fold(f64::MIN, f64::max);
+            let worst_other = per_system[1..]
+                .iter()
+                .map(|row| row[w])
+                .fold(f64::MAX, f64::min);
             min_gain = min_gain.min(sphinx[w] / best_other);
             max_gain = max_gain.max(sphinx[w] / worst_other);
         }
@@ -106,7 +112,11 @@ fn main() {
             keyspace.name(),
             min_gain,
             max_gain,
-            if keyspace == KeySpace::U64 { "1.2–3.6x" } else { "1.9–7.3x" },
+            if keyspace == KeySpace::U64 {
+                "1.2–3.6x"
+            } else {
+                "1.9–7.3x"
+            },
         );
     }
 }

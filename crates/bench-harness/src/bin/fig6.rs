@@ -56,7 +56,11 @@ fn main() {
                     "  {}: INHT overhead = {:.1}% of ART (paper: {})",
                     keyspace.name(),
                     aux_bytes as f64 / art_bytes as f64 * 100.0,
-                    if keyspace == KeySpace::U64 { "3.3%" } else { "4.9%" },
+                    if keyspace == KeySpace::U64 {
+                        "3.3%"
+                    } else {
+                        "4.9%"
+                    },
                 );
             }
             if sys == System::Smart {

@@ -48,7 +48,9 @@ fn main() {
         let _ = base_net;
         let mut x = 0x1234_5678u64;
         for _ in 0..ops {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             worker.get(&keyspace.key((x >> 16) % keys));
         }
         let stats = match &worker {
@@ -62,9 +64,7 @@ fn main() {
                 let filter = c.filter_handle().lock();
                 let probes = 50_000u64;
                 let fps = (0..probes)
-                    .filter(|i| {
-                        filter.contains_quiet(format!("no-such-prefix-{i}").as_bytes())
-                    })
+                    .filter(|i| filter.contains_quiet(format!("no-such-prefix-{i}").as_bytes()))
                     .count();
                 fps as f64 / probes as f64 * 100.0
             }
@@ -73,9 +73,15 @@ fn main() {
 
         table.row([
             keyspace.name().to_string(),
-            format!("{:.1}", stats.filter_first_hits as f64 / stats.gets as f64 * 100.0),
+            format!(
+                "{:.1}",
+                stats.filter_first_hits as f64 / stats.gets as f64 * 100.0
+            ),
             format!("{:.4}", stats.entry_misses as f64 / stats.gets as f64),
-            format!("{:.6}", stats.false_positive_retries as f64 / stats.gets as f64),
+            format!(
+                "{:.6}",
+                stats.false_positive_retries as f64 / stats.gets as f64
+            ),
             format!("{raw_fp:.3}"),
         ]);
     }

@@ -29,8 +29,7 @@ fn main() {
 
     println!("What-if — YCSB-C on u64 under RDMA vs CXL cost models");
     println!("keys={keys}, {workers} workers, {ops} ops/worker\n");
-    let mut table =
-        Table::new(["interconnect", "system", "mops", "avg_lat_us", "rts_per_op"]);
+    let mut table = Table::new(["interconnect", "system", "mops", "avg_lat_us", "rts_per_op"]);
 
     for (label, net) in [("RDMA", NetConfig::rdma()), ("CXL", NetConfig::cxl())] {
         for sys in [System::Sphinx, System::Smart, System::Art] {

@@ -36,8 +36,12 @@ impl VirtualGate {
     pub fn sync(&self, me: usize, clock_ns: u64) {
         self.clocks[me].store(clock_ns, Ordering::Release);
         loop {
-            let min =
-                self.clocks.iter().map(|c| c.load(Ordering::Acquire)).min().unwrap_or(0);
+            let min = self
+                .clocks
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .min()
+                .unwrap_or(0);
             if clock_ns <= min.saturating_add(self.window_ns) {
                 return;
             }

@@ -15,7 +15,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (stringified cells).
@@ -35,7 +38,12 @@ impl Table {
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
             for (i, cell) in cells.iter().enumerate() {
-                let _ = write!(out, "{:<width$}  ", cell, width = widths.get(i).copied().unwrap_or(0));
+                let _ = write!(
+                    out,
+                    "{:<width$}  ",
+                    cell,
+                    width = widths.get(i).copied().unwrap_or(0)
+                );
             }
             out.push('\n');
         };
@@ -74,11 +82,15 @@ impl Table {
 pub fn ascii_curve(series: &[(&str, Vec<(f64, f64)>)]) -> String {
     const W: usize = 64;
     const H: usize = 18;
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
     if all.is_empty() {
-        return String::from("(no data)
-");
+        return String::from(
+            "(no data)
+",
+        );
     }
     let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
     for &(x, y) in &all {
@@ -95,8 +107,10 @@ pub fn ascii_curve(series: &[(&str, Vec<(f64, f64)>)]) -> String {
         for &(x, y) in pts {
             let cx = ((x.max(1e-6).ln() - lx0) / (lx1 - lx0) * (W - 1) as f64).round();
             let cy = ((y.max(1e-6).ln() - ly0) / (ly1 - ly0) * (H - 1) as f64).round();
-            let (cx, cy) = (cx.clamp(0.0, (W - 1) as f64) as usize,
-                            cy.clamp(0.0, (H - 1) as f64) as usize);
+            let (cx, cy) = (
+                cx.clamp(0.0, (W - 1) as f64) as usize,
+                cy.clamp(0.0, (H - 1) as f64) as usize,
+            );
             grid[H - 1 - cy][cx] = ch;
         }
     }
@@ -169,8 +183,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--keys", "5000", "--ops", "100"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--keys", "5000", "--ops", "100"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_u64(&args, "--keys", 1), 5000);
         assert_eq!(arg_u64(&args, "--ops", 1), 100);
         assert_eq!(arg_u64(&args, "--workers", 24), 24);

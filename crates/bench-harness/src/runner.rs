@@ -183,11 +183,19 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
                 }
             }));
         }
-        joins.into_iter().map(|j| j.join().expect("worker panicked")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("worker panicked"))
+            .collect()
     });
 
     let total_ops: u64 = outcomes.iter().map(|o| o.ops).sum();
-    let makespan_ns = outcomes.iter().map(|o| o.clock_ns).max().unwrap_or(1).max(1);
+    let makespan_ns = outcomes
+        .iter()
+        .map(|o| o.clock_ns)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let mut hist = LatencyHistogram::new();
     for o in &outcomes {
         hist.merge(&o.hist);
@@ -222,7 +230,9 @@ fn execute_op(
         }
         Op::ReadModifyWrite(idx) => {
             let key = cfg.keyspace.key(idx);
-            let version = client.get(&key).map_or(0, |v| v.first().copied().unwrap_or(0) as u32);
+            let version = client
+                .get(&key)
+                .map_or(0, |v| v.first().copied().unwrap_or(0) as u32);
             client.update(&key, &value_for(idx, version.wrapping_add(1)));
         }
         Op::Scan(idx, len) => {
@@ -257,7 +267,11 @@ mod tests {
         let r = run_phase(&handle, &cfg);
         assert_eq!(r.total_ops, 1800);
         assert!(r.mops > 0.0);
-        assert!(r.avg_latency_us > 1.0, "latency below one RTT: {}", r.avg_latency_us);
+        assert!(
+            r.avg_latency_us > 1.0,
+            "latency below one RTT: {}",
+            r.avg_latency_us
+        );
         assert!(r.round_trips_per_op >= 1.0);
     }
 
@@ -284,7 +298,10 @@ mod tests {
         load_phase(&handle, KeySpace::Email, 500, 3);
         let mut w = handle.worker(0);
         for i in (0..500).step_by(71) {
-            assert!(w.get(&KeySpace::Email.key(i)).is_some(), "key {i} missing after load");
+            assert!(
+                w.get(&KeySpace::Email.key(i)).is_some(),
+                "key {i} missing after load"
+            );
         }
     }
 }

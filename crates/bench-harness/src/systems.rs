@@ -91,9 +91,7 @@ impl System {
                     },
                     ..SphinxConfig::default()
                 };
-                SystemHandle::Sphinx(
-                    SphinxIndex::create(cluster, config).expect("create sphinx"),
-                )
+                SystemHandle::Sphinx(SphinxIndex::create(cluster, config).expect("create sphinx"))
             }
             System::Smart => SystemHandle::Baseline(
                 BaselineIndex::create(
@@ -191,7 +189,8 @@ pub enum WorkerClient {
 
 fn bp_key(key: &[u8]) -> u64 {
     u64::from_be_bytes(
-        key.try_into().expect("B+tree supports fixed 8-byte keys only (u64 dataset)"),
+        key.try_into()
+            .expect("B+tree supports fixed 8-byte keys only (u64 dataset)"),
     )
 }
 
@@ -228,9 +227,7 @@ impl WorkerClient {
         match self {
             WorkerClient::Sphinx(c) => c.scan(low, high).expect("scan").len(),
             WorkerClient::Baseline(c) => c.scan(low, high).expect("scan").len(),
-            WorkerClient::BpTree(c) => {
-                c.scan(bp_key(low), bp_key(high)).expect("scan").len()
-            }
+            WorkerClient::BpTree(c) => c.scan(bp_key(low), bp_key(high)).expect("scan").len(),
         }
     }
 

@@ -80,7 +80,12 @@ impl BpNode {
     /// A fresh empty leaf covering everything up to `high_key`.
     pub fn new_leaf(high_key: u64) -> Self {
         BpNode {
-            header: NodeHeader { locked: false, level: 0, count: 0, version: 0 },
+            header: NodeHeader {
+                locked: false,
+                level: 0,
+                count: 0,
+                version: 0,
+            },
             right: RemotePtr::NULL,
             high_key,
             seps: Vec::new(),
@@ -91,7 +96,12 @@ impl BpNode {
     /// A fresh internal node at `level` (≥1).
     pub fn new_internal(level: u8, high_key: u64) -> Self {
         BpNode {
-            header: NodeHeader { locked: false, level, count: 0, version: 0 },
+            header: NodeHeader {
+                locked: false,
+                level,
+                count: 0,
+                version: 0,
+            },
             right: RemotePtr::NULL,
             high_key,
             seps: Vec::new(),
@@ -135,7 +145,11 @@ impl BpNode {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = vec![0u8; NODE_BYTES];
         let mut h = self.header;
-        h.count = if self.is_leaf() { self.entries.len() } else { self.seps.len() } as u16;
+        h.count = if self.is_leaf() {
+            self.entries.len()
+        } else {
+            self.seps.len()
+        } as u16;
         out[0..8].copy_from_slice(&h.encode().to_le_bytes());
         out[8..16].copy_from_slice(&self.right.to_raw().to_le_bytes());
         out[16..24].copy_from_slice(&self.high_key.to_le_bytes());
@@ -216,7 +230,12 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = NodeHeader { locked: true, level: 3, count: 61, version: 0xDEAD_BEEF };
+        let h = NodeHeader {
+            locked: true,
+            level: 3,
+            count: 61,
+            version: 0xDEAD_BEEF,
+        };
         assert_eq!(NodeHeader::decode(h.encode()), h);
     }
 
@@ -224,7 +243,8 @@ mod tests {
     fn leaf_roundtrip() {
         let mut n = BpNode::new_leaf(1000);
         for i in 0..LEAF_CAP as u64 {
-            n.entries.push((i * 10, BpNode::value_from(&i.to_le_bytes())));
+            n.entries
+                .push((i * 10, BpNode::value_from(&i.to_le_bytes())));
         }
         n.right = RemotePtr::new(1, 2048);
         let decoded = BpNode::decode(&n.encode()).expect("consistent");

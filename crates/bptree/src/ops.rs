@@ -7,11 +7,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dm_sim::{DmClient, DmCluster, DmError, DoorbellBatch, RemotePtr, Verb};
+use dm_sim::{DmClient, DmCluster, DmError, RemotePtr, RetryPolicy, Transport};
 
 use crate::layout::{BpNode, NodeHeader, NODE_BYTES, TAIL_OFFSET};
-
-const OP_RETRY_LIMIT: usize = 200_000;
 
 /// Errors from B+-tree operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +53,11 @@ struct InternalCache {
 
 impl InternalCache {
     fn new(budget: usize) -> Self {
-        InternalCache { budget, nodes: HashMap::new(), gen: 0 }
+        InternalCache {
+            budget,
+            nodes: HashMap::new(),
+            gen: 0,
+        }
     }
 
     fn get(&mut self, ptr: RemotePtr) -> Option<BpNode> {
@@ -105,7 +107,9 @@ pub struct BpTreeIndex {
 
 impl fmt::Debug for BpTreeIndex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("BpTreeIndex").field("meta", &self.meta).finish_non_exhaustive()
+        f.debug_struct("BpTreeIndex")
+            .field("meta", &self.meta)
+            .finish_non_exhaustive()
     }
 }
 
@@ -155,6 +159,7 @@ impl BpTreeIndex {
             meta: self.meta,
             cache,
             root_hint: None,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -215,6 +220,8 @@ pub struct BpTreeClient {
     cache: Arc<Mutex<InternalCache>>,
     /// Cached root pointer; stale roots are safe (B-link right-chase).
     root_hint: Option<RemotePtr>,
+    /// Shared bounded-retry budget (see [`dm_sim::RetryPolicy`]).
+    retry: RetryPolicy,
 }
 
 impl BpTreeClient {
@@ -234,8 +241,7 @@ impl BpTreeClient {
     }
 
     fn backoff(&mut self) {
-        self.dm.advance_clock(200);
-        std::thread::yield_now();
+        self.dm.backoff(&self.retry);
     }
 
     fn root(&mut self, refresh: bool) -> Result<RemotePtr, BpTreeError> {
@@ -248,7 +254,7 @@ impl BpTreeClient {
 
     /// Consistent (seqlock-validated) read of one node.
     fn read_node(&mut self, ptr: RemotePtr) -> Result<BpNode, BpTreeError> {
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let bytes = self.dm.read(ptr, NODE_BYTES)?;
             if let Some(node) = BpNode::decode(&bytes) {
                 return Ok(node);
@@ -263,11 +269,14 @@ impl BpTreeClient {
     /// seqlock readers can never accept a torn image.
     fn write_node(&mut self, ptr: RemotePtr, node: &BpNode) -> Result<(), BpTreeError> {
         let image = node.encode();
-        let mut batch = DoorbellBatch::with_capacity(3);
-        batch.push(Verb::Write { ptr: ptr.checked_add(TAIL_OFFSET as u64)?, data: image[TAIL_OFFSET..].to_vec() });
-        batch.push(Verb::Write { ptr: ptr.checked_add(8)?, data: image[8..TAIL_OFFSET].to_vec() });
-        batch.push(Verb::Write { ptr, data: image[0..8].to_vec() });
-        self.dm.execute(batch)?;
+        self.dm.write_many(vec![
+            (
+                ptr.checked_add(TAIL_OFFSET as u64)?,
+                image[TAIL_OFFSET..].to_vec(),
+            ),
+            (ptr.checked_add(8)?, image[8..TAIL_OFFSET].to_vec()),
+            (ptr, image[0..8].to_vec()),
+        ])?;
         self.cache.lock().invalidate(ptr);
         Ok(())
     }
@@ -281,7 +290,7 @@ impl BpTreeClient {
         let mut chases = 0usize;
         let mut ptr = self.root(false)?;
         let mut node = self.fetch(ptr, true)?;
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             // Right-chase while the key is beyond this node's fence.
             while key >= node.high_key && !node.right.is_null() {
                 chases += 1;
@@ -337,7 +346,7 @@ impl BpTreeClient {
     /// [`BpTreeError::RetriesExhausted`] under pathological contention.
     pub fn insert(&mut self, key: u64, value: &[u8]) -> Result<(), BpTreeError> {
         let value = BpNode::value_from(value);
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let (ptr, leaf) = self.descend(key)?;
             let exists = leaf.entries.binary_search_by_key(&key, |(k, _)| *k).is_ok();
             if !exists && leaf.is_full() {
@@ -374,7 +383,7 @@ impl BpTreeClient {
     /// [`BpTreeError::RetriesExhausted`] under pathological contention.
     pub fn update(&mut self, key: u64, value: &[u8]) -> Result<bool, BpTreeError> {
         let value = BpNode::value_from(value);
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let (ptr, leaf) = self.descend(key)?;
             let Ok(i) = leaf.entries.binary_search_by_key(&key, |(k, _)| *k) else {
                 return Ok(false);
@@ -401,7 +410,7 @@ impl BpTreeClient {
     ///
     /// [`BpTreeError::RetriesExhausted`] under pathological contention.
     pub fn remove(&mut self, key: u64) -> Result<bool, BpTreeError> {
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let (ptr, leaf) = self.descend(key)?;
             let Ok(i) = leaf.entries.binary_search_by_key(&key, |(k, _)| *k) else {
                 return Ok(false);
@@ -448,15 +457,27 @@ impl BpTreeClient {
     /// CAS the node's header from its known unlocked form to locked.
     fn try_lock(&mut self, ptr: RemotePtr, node: &BpNode) -> Result<bool, BpTreeError> {
         let mut h = node.header;
-        h.count = if node.is_leaf() { node.entries.len() } else { node.seps.len() } as u16;
+        h.count = if node.is_leaf() {
+            node.entries.len()
+        } else {
+            node.seps.len()
+        } as u16;
         let expected = h.encode();
         let locked = NodeHeader { locked: true, ..h }.encode();
         Ok(self.dm.cas(ptr, expected, locked)? == expected)
     }
 
     fn unlock(&mut self, ptr: RemotePtr, header: &NodeHeader) -> Result<(), BpTreeError> {
-        let locked = NodeHeader { locked: true, ..*header }.encode();
-        let idle = NodeHeader { locked: false, ..*header }.encode();
+        let locked = NodeHeader {
+            locked: true,
+            ..*header
+        }
+        .encode();
+        let idle = NodeHeader {
+            locked: false,
+            ..*header
+        }
+        .encode();
         let _ = self.dm.cas(ptr, locked, idle)?;
         Ok(())
     }
@@ -466,7 +487,7 @@ impl BpTreeClient {
     // ------------------------------------------------------------------
 
     fn smo_lock(&mut self) -> Result<(), BpTreeError> {
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             if self.dm.cas(self.meta, 0, 1)? == 0 {
                 return Ok(());
             }
@@ -516,7 +537,7 @@ impl BpTreeClient {
 
         // Lock the leaf for the duration of its rewrite.
         let mut locked = false;
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             if self.try_lock(ptr, &node)? {
                 locked = true;
                 break;
@@ -528,7 +549,9 @@ impl BpTreeClient {
             }
         }
         if !locked {
-            return Err(BpTreeError::RetriesExhausted { op: "split leaf lock" });
+            return Err(BpTreeError::RetriesExhausted {
+                op: "split leaf lock",
+            });
         }
 
         // Split the leaf: upper half moves right (keys never move left,
@@ -587,7 +610,8 @@ impl BpTreeClient {
                     new_root.seps.push((insert_key, insert_child));
                     let new_root_ptr = self.dm.alloc(self.dm.place(insert_key), NODE_BYTES)?;
                     self.dm.write(new_root_ptr, &new_root.encode())?;
-                    self.dm.write_u64(self.meta.checked_add(8)?, new_root_ptr.to_raw())?;
+                    self.dm
+                        .write_u64(self.meta.checked_add(8)?, new_root_ptr.to_raw())?;
                     let _ = self.dm.faa(self.meta.checked_add(16)?, 1)?;
                     self.root_hint = Some(new_root_ptr);
                     return Ok(());
@@ -669,7 +693,10 @@ mod tests {
         }
         let hits = c.scan(30, 90).unwrap();
         let keys: Vec<u64> = hits.iter().map(|(k, _)| *k).collect();
-        let want: Vec<u64> = (0..500).map(|i| i * 3).filter(|k| (30..=90).contains(k)).collect();
+        let want: Vec<u64> = (0..500)
+            .map(|i| i * 3)
+            .filter(|k| (30..=90).contains(k))
+            .collect();
         assert_eq!(keys, want);
         assert!(c.scan(90, 30).unwrap().is_empty());
     }
@@ -734,10 +761,7 @@ mod tests {
                         c.update(key, &[t + 1; 32]).unwrap();
                         if let Some(v) = c.get(key).unwrap() {
                             let tag = v[0];
-                            assert!(
-                                v[..32].iter().all(|&b| b == tag),
-                                "torn value {v:?}"
-                            );
+                            assert!(v[..32].iter().all(|&b| b == tag), "torn value {v:?}");
                         }
                     }
                 });

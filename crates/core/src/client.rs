@@ -8,20 +8,13 @@ use art_core::hash::{fp12, prefix_hash42, prefix_hash64};
 use art_core::key::{common_prefix_len, MAX_KEY_LEN};
 use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot};
 use cuckoo::CuckooFilter;
-use dm_sim::{ClientStats, DmClient, DoorbellBatch, RemotePtr, Verb};
+use dm_sim::{ClientStats, DmClient, RemotePtr, RetryPolicy, Transport};
+use node_engine::{read_inner_consistent, read_validated_leaf};
 use race_hash::{FoundEntry, RaceTable};
 
 use crate::config::{CacheMode, SphinxConfig};
 use crate::error::SphinxError;
-use crate::node_io::{read_inner, read_leaf};
 use crate::stats::OpStats;
-
-// Generous: retries wait out concurrent structural changes (type
-// switches, splits). On a host with fewer cores than workers, a lock
-// holder may need many scheduling rounds while waiters spin through
-// cheap yield-retries, so the budget must absorb real-time scheduling
-// skew, not just genuine conflict rates.
-pub(crate) const OP_RETRY_LIMIT: usize = 200_000;
 
 /// Where a located leaf hangs off its parent inner node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +73,7 @@ pub(crate) struct Descent {
     pub outcome: Outcome,
 }
 
+#[allow(clippy::large_enum_variant)] // Retry is transient; Done is immediately unpacked
 pub(crate) enum DescentResult {
     Done(Descent),
     /// A node marked `Invalid` (mid type-switch) was encountered: retry
@@ -100,6 +94,12 @@ pub struct SphinxClient {
     pub(crate) filter: Arc<Mutex<CuckooFilter>>,
     pub(crate) config: SphinxConfig,
     pub(crate) stats: OpStats,
+    // The shared bounded-retry budget (see node_engine::RetryPolicy for
+    // the rationale behind the defaults). Generous op_retries: retries
+    // wait out concurrent structural changes (type switches, splits), and
+    // on a host with fewer cores than workers a lock holder may need many
+    // scheduling rounds while waiters spin through cheap yield-retries.
+    pub(crate) retry: RetryPolicy,
 }
 
 impl SphinxClient {
@@ -109,7 +109,14 @@ impl SphinxClient {
         filter: Arc<Mutex<CuckooFilter>>,
         config: SphinxConfig,
     ) -> Self {
-        SphinxClient { dm, tables, filter, config, stats: OpStats::default() }
+        SphinxClient {
+            dm,
+            tables,
+            filter,
+            config,
+            stats: OpStats::default(),
+            retry: RetryPolicy::default(),
+        }
     }
 
     /// Index-level statistics for this worker.
@@ -172,7 +179,7 @@ impl SphinxClient {
             return Err(SphinxError::KeyTooLong { len: key.len() });
         }
         let mut max_len = key.len();
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let (ptr, node, len) = self.entry_node(key, max_len)?;
             match self.descend(key, ptr, node, len)? {
                 DescentResult::Done(d) => {
@@ -198,8 +205,7 @@ impl SphinxClient {
                 }
                 DescentResult::Retry => {
                     self.stats.invalid_node_retries += 1;
-                    self.dm.advance_clock(200);
-                    std::thread::yield_now();
+                    self.dm.backoff(&self.retry);
                 }
             }
         }
@@ -233,7 +239,9 @@ impl SphinxClient {
                     self.stats.entry_misses += 1;
                     first = false;
                     if cand == 0 {
-                        return Err(SphinxError::Corrupt { what: "root hash entry missing" });
+                        return Err(SphinxError::Corrupt {
+                            what: "root hash entry missing",
+                        });
                     }
                     l = cand - 1;
                 }
@@ -268,11 +276,13 @@ impl SphinxClient {
         let fp = fp12(prefix);
         let h42 = prefix_hash42(prefix);
         for e in found {
-            let Some(he) = HashEntry::decode(e.word) else { continue };
+            let Some(he) = HashEntry::decode(e.word) else {
+                continue;
+            };
             if he.fp != fp {
                 continue;
             }
-            let node = read_inner(&mut self.dm, he.addr, he.kind)?;
+            let node = read_inner_consistent(&mut self.dm, he.addr, he.kind)?;
             if node.header.status == NodeStatus::Invalid
                 || node.header.kind != he.kind
                 || node.header.prefix_len as usize != len
@@ -293,22 +303,19 @@ impl SphinxClient {
         key: &[u8],
         max_len: usize,
     ) -> Result<(RemotePtr, InnerNode, usize), SphinxError> {
-        'retry: for _ in 0..OP_RETRY_LIMIT {
+        'retry: for _ in 0..self.retry.op_retries {
             let mut lookups = Vec::with_capacity(max_len + 1);
-            let mut batch = DoorbellBatch::with_capacity(max_len + 1);
+            let mut reads = Vec::with_capacity(max_len + 1);
             for l in 0..=max_len {
                 let h = prefix_hash64(&key[..l]);
                 let mn = self.dm.place(h) as usize;
                 let base = self.tables[mn].bucket_pair_ptr(h)?;
-                batch.push(Verb::Read { ptr: base, len: RaceTable::pair_len() });
+                reads.push((base, RaceTable::pair_len()));
                 lookups.push((l, h, mn, base));
             }
-            let results = self.dm.execute(batch)?;
+            let results = self.dm.read_many(&reads)?;
             for (i, &(l, h, mn, base)) in lookups.iter().enumerate().rev() {
-                let bytes = match &results[i] {
-                    dm_sim::VerbResult::Read(b) => b,
-                    _ => unreachable!("batch contained only reads"),
-                };
+                let bytes = &results[i];
                 match RaceTable::parse_pair(base, bytes, h) {
                     None => {
                         // Stale directory for this table: refresh, redo the
@@ -323,9 +330,13 @@ impl SphinxClient {
                     }
                 }
             }
-            return Err(SphinxError::Corrupt { what: "root hash entry missing" });
+            return Err(SphinxError::Corrupt {
+                what: "root hash entry missing",
+            });
         }
-        Err(SphinxError::RetriesExhausted { op: "parallel entry lookup" })
+        Err(SphinxError::RetriesExhausted {
+            op: "parallel entry lookup",
+        })
     }
 
     // ------------------------------------------------------------------
@@ -350,17 +361,22 @@ impl SphinxClient {
                 // Key terminates exactly at this node.
                 return Ok(DescentResult::Done(match node.value_slot {
                     Some(slot) => {
-                        let leaf = read_leaf(
+                        let leaf = read_validated_leaf(
                             &mut self.dm,
                             slot.addr,
                             self.config.leaf_read_hint,
+                            &self.retry,
                             &mut self.stats.checksum_retries,
                         )?;
                         Descent {
                             entry_len,
                             node,
                             node_ptr: ptr,
-                            outcome: Outcome::Leaf { slot_ref: SlotRef::Value, slot, leaf },
+                            outcome: Outcome::Leaf {
+                                slot_ref: SlotRef::Value,
+                                slot,
+                                leaf,
+                            },
                         }
                     }
                     None => Descent {
@@ -382,21 +398,26 @@ impl SphinxClient {
                     }));
                 }
                 Some((idx, slot)) if slot.is_leaf => {
-                    let leaf = read_leaf(
+                    let leaf = read_validated_leaf(
                         &mut self.dm,
                         slot.addr,
                         self.config.leaf_read_hint,
+                        &self.retry,
                         &mut self.stats.checksum_retries,
                     )?;
                     return Ok(DescentResult::Done(Descent {
                         entry_len,
                         node,
                         node_ptr: ptr,
-                        outcome: Outcome::Leaf { slot_ref: SlotRef::Child(idx), slot, leaf },
+                        outcome: Outcome::Leaf {
+                            slot_ref: SlotRef::Child(idx),
+                            slot,
+                            leaf,
+                        },
                     }));
                 }
                 Some((idx, slot)) => {
-                    let child = read_inner(&mut self.dm, slot.addr, slot.child_kind)?;
+                    let child = read_inner_consistent(&mut self.dm, slot.addr, slot.child_kind)?;
                     if child.header.status == NodeStatus::Invalid
                         || child.header.kind != slot.child_kind
                     {
@@ -432,7 +453,12 @@ impl SphinxClient {
                         entry_len,
                         node,
                         node_ptr: ptr,
-                        outcome: Outcome::Divergent { slot_idx: idx, slot, child, sample },
+                        outcome: Outcome::Divergent {
+                            slot_idx: idx,
+                            slot,
+                            child,
+                            sample,
+                        },
                     }));
                 }
             }
@@ -447,23 +473,25 @@ impl SphinxClient {
     ) -> Result<Option<LeafNode>, SphinxError> {
         let mut current = node.clone();
         for _ in 0..64 {
-            let slot = match current.value_slot.or_else(|| current.slots.iter().flatten().next().copied())
+            let slot = match current
+                .value_slot
+                .or_else(|| current.slots.iter().flatten().next().copied())
             {
                 Some(s) => s,
                 None => return Ok(None),
             };
             if slot.is_leaf || current.value_slot == Some(slot) {
-                let leaf = read_leaf(
+                let leaf = read_validated_leaf(
                     &mut self.dm,
                     slot.addr,
                     self.config.leaf_read_hint,
+                    &self.retry,
                     &mut self.stats.checksum_retries,
                 )?;
                 return Ok(Some(leaf));
             }
-            let child = read_inner(&mut self.dm, slot.addr, slot.child_kind)?;
-            if child.header.status == NodeStatus::Invalid || child.header.kind != slot.child_kind
-            {
+            let child = read_inner_consistent(&mut self.dm, slot.addr, slot.child_kind)?;
+            if child.header.status == NodeStatus::Invalid || child.header.kind != slot.child_kind {
                 return Ok(None);
             }
             current = child;

@@ -42,7 +42,10 @@ impl Default for SphinxConfig {
             // nodes per MN) — 32 KiB per MN, so the hash table's overhead
             // stays in the paper's 3–5% band instead of being dominated
             // by an oversized directory.
-            inht: TableConfig { initial_depth: 4, max_depth: 12 },
+            inht: TableConfig {
+                initial_depth: 4,
+                max_depth: 12,
+            },
             leaf_read_hint: 128,
             seed: 0x5F13_C5EE,
         }
@@ -54,7 +57,10 @@ impl SphinxConfig {
     pub fn small() -> Self {
         SphinxConfig {
             cache_bytes: 1 << 20,
-            inht: TableConfig { initial_depth: 2, max_depth: 12 },
+            inht: TableConfig {
+                initial_depth: 2,
+                max_depth: 12,
+            },
             ..Default::default()
         }
     }

@@ -78,6 +78,21 @@ impl From<LayoutError> for SphinxError {
     }
 }
 
+impl From<node_engine::EngineError> for SphinxError {
+    fn from(e: node_engine::EngineError) -> Self {
+        match e {
+            node_engine::EngineError::Dm(e) => SphinxError::Dm(e),
+            node_engine::EngineError::Layout(e) => SphinxError::Layout(e),
+            node_engine::EngineError::RetriesExhausted { op } => {
+                SphinxError::RetriesExhausted { op }
+            }
+            _ => SphinxError::Corrupt {
+                what: "unknown engine error",
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,7 +107,10 @@ mod tests {
 
     #[test]
     fn sources_chain() {
-        let e = SphinxError::Dm(DmError::OutOfMemory { mn_id: 0, requested: 8 });
+        let e = SphinxError::Dm(DmError::OutOfMemory {
+            mn_id: 0,
+            requested: 8,
+        });
         assert!(e.source().is_some());
     }
 }

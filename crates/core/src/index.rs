@@ -86,7 +86,11 @@ impl SphinxIndex {
         let root_ptr = boot.alloc(mn, InnerNode::byte_size(NodeKind::Node4))?;
         boot.write(root_ptr, &root.encode())?;
         let mut table = RaceTable::open(&mut boot, inht_metas[mn as usize])?;
-        let entry = HashEntry { fp: fp12(root_prefix), kind: NodeKind::Node4, addr: root_ptr };
+        let entry = HashEntry {
+            fp: fp12(root_prefix),
+            kind: NodeKind::Node4,
+            addr: root_ptr,
+        };
         table.insert(&mut boot, h, entry.encode(), |_c, _w| Ok(h))?;
 
         Ok(SphinxIndex {
@@ -131,7 +135,12 @@ impl SphinxIndex {
                 })
                 .clone()
         };
-        Ok(SphinxClient::new(dm, tables, filter, self.meta.config.clone()))
+        Ok(SphinxClient::new(
+            dm,
+            tables,
+            filter,
+            self.meta.config.clone(),
+        ))
     }
 
     /// The underlying cluster.
@@ -164,7 +173,10 @@ impl SphinxIndex {
             inht_bytes += table.memory_bytes(&mut client)?;
         }
         let total = self.cluster.total_live_bytes();
-        Ok(SpaceBreakdown { art_bytes: total.saturating_sub(inht_bytes), inht_bytes })
+        Ok(SpaceBreakdown {
+            art_bytes: total.saturating_sub(inht_bytes),
+            inht_bytes,
+        })
     }
 }
 

@@ -47,7 +47,6 @@ mod config;
 mod error;
 mod index;
 mod multi_get;
-mod node_io;
 mod scan;
 mod scan_iter;
 mod scan_n;
@@ -59,6 +58,6 @@ pub use client::SphinxClient;
 pub use config::{CacheMode, SphinxConfig};
 pub use error::SphinxError;
 pub use index::{SpaceBreakdown, SphinxIndex};
-pub use verify::IntegrityReport;
 pub use scan_iter::ScanIter;
 pub use stats::OpStats;
+pub use verify::IntegrityReport;

@@ -10,7 +10,7 @@
 
 use art_core::hash::{fp12, prefix_hash42, prefix_hash64};
 use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot};
-use dm_sim::{DoorbellBatch, RemotePtr, Verb, VerbResult};
+use dm_sim::{RemotePtr, Transport};
 use race_hash::RaceTable;
 
 use crate::client::SphinxClient;
@@ -20,7 +20,11 @@ use crate::error::SphinxError;
 /// Per-key pipeline state.
 enum Lane {
     /// Still in the pipeline: candidate prefix length and current target.
-    Fetching { prefix_len: usize, target: RemotePtr, kind: art_core::NodeKind },
+    Fetching {
+        prefix_len: usize,
+        target: RemotePtr,
+        kind: art_core::NodeKind,
+    },
     /// Needs the slow path.
     Fallback,
     /// Finished.
@@ -72,27 +76,30 @@ impl SphinxClient {
         {
             let mut filter = self.filter.lock();
             for key in keys {
-                let cand =
-                    (1..=key.len()).rev().find(|&l| filter.contains(&key[..l])).unwrap_or(0);
+                let cand = (1..=key.len())
+                    .rev()
+                    .find(|&l| filter.contains(&key[..l]))
+                    .unwrap_or(0);
                 prefix_lens.push(cand);
             }
         }
 
         // Stage 1: all hash-bucket pairs in one round trip.
-        let mut batch = DoorbellBatch::with_capacity(keys.len());
+        let mut bucket_reads = Vec::with_capacity(keys.len());
         let mut bases = Vec::with_capacity(keys.len());
         for (key, &plen) in keys.iter().zip(&prefix_lens) {
             let h = prefix_hash64(&key[..plen]);
             let mn = self.dm.place(h) as usize;
             let base = self.tables[mn].bucket_pair_ptr(h)?;
-            batch.push(Verb::Read { ptr: base, len: RaceTable::pair_len() });
+            bucket_reads.push((base, RaceTable::pair_len()));
             bases.push((base, h));
         }
-        let reads = self.dm.execute(batch)?;
-        for ((key, &plen), ((base, h), res)) in
-            keys.iter().zip(&prefix_lens).zip(bases.into_iter().zip(reads))
+        let reads = self.dm.read_many(&bucket_reads)?;
+        for ((key, &plen), ((base, h), bytes)) in keys
+            .iter()
+            .zip(&prefix_lens)
+            .zip(bases.into_iter().zip(reads))
         {
-            let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
             let lane = match RaceTable::parse_pair(base, &bytes, h) {
                 None => Lane::Fallback, // stale directory
                 Some(entries) => {
@@ -102,9 +109,11 @@ impl SphinxClient {
                         .filter_map(|e| HashEntry::decode(e.word))
                         .find(|he| he.fp == fp)
                     {
-                        Some(he) => {
-                            Lane::Fetching { prefix_len: plen, target: he.addr, kind: he.kind }
-                        }
+                        Some(he) => Lane::Fetching {
+                            prefix_len: plen,
+                            target: he.addr,
+                            kind: he.kind,
+                        },
                         None => Lane::Fallback, // filter false positive / cold
                     }
                 }
@@ -114,20 +123,24 @@ impl SphinxClient {
 
         // Stage 2: all inner nodes in one round trip; resolve each key to
         // a leaf pointer (keys needing deeper descent fall back).
-        let mut batch = DoorbellBatch::new();
+        let mut inner_reads = Vec::new();
         let mut idxs = Vec::new();
         for (i, lane) in lanes.iter().enumerate() {
             if let Lane::Fetching { target, kind, .. } = lane {
-                batch.push(Verb::Read { ptr: *target, len: InnerNode::byte_size(*kind) });
+                inner_reads.push((*target, InnerNode::byte_size(*kind)));
                 idxs.push(i);
             }
         }
-        let reads = self.dm.execute(batch)?;
+        let reads = self.dm.read_many(&inner_reads)?;
         let mut leaf_targets: Vec<(usize, Slot)> = Vec::new();
-        for (i, res) in idxs.into_iter().zip(reads) {
-            let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
+        for (i, bytes) in idxs.into_iter().zip(reads) {
             let key = keys[i];
-            let Lane::Fetching { prefix_len, kind, .. } = lanes[i] else { unreachable!() };
+            let Lane::Fetching {
+                prefix_len, kind, ..
+            } = lanes[i]
+            else {
+                unreachable!()
+            };
             let lane = match InnerNode::decode(&bytes) {
                 Ok(node)
                     if node.header.status != NodeStatus::Invalid
@@ -164,13 +177,12 @@ impl SphinxClient {
         }
 
         // Stage 3: all leaves in one round trip.
-        let mut batch = DoorbellBatch::with_capacity(leaf_targets.len());
-        for (_, slot) in &leaf_targets {
-            batch.push(Verb::Read { ptr: slot.addr, len: self.config.leaf_read_hint });
-        }
-        let reads = self.dm.execute(batch)?;
-        for ((i, _slot), res) in leaf_targets.into_iter().zip(reads) {
-            let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
+        let leaf_reads: Vec<_> = leaf_targets
+            .iter()
+            .map(|(_, slot)| (slot.addr, self.config.leaf_read_hint))
+            .collect();
+        let reads = self.dm.read_many(&leaf_reads)?;
+        for ((i, _slot), bytes) in leaf_targets.into_iter().zip(reads) {
             lanes[i] = match LeafNode::decode(&bytes) {
                 Ok(leaf) if leaf.key == keys[i] => {
                     Lane::Done((leaf.status != NodeStatus::Invalid).then_some(leaf.value))
@@ -205,7 +217,9 @@ mod tests {
         let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
         let mut client = index.client(0).unwrap();
         for i in 0..n {
-            client.insert(format!("mget-{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+            client
+                .insert(format!("mget-{i:05}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         (index, client)
     }
@@ -220,15 +234,21 @@ mod tests {
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         let batched = client.multi_get(&refs).unwrap();
         for (key, got) in refs.iter().zip(&batched) {
-            assert_eq!(got, &client.get(key).unwrap(), "{}", String::from_utf8_lossy(key));
+            assert_eq!(
+                got,
+                &client.get(key).unwrap(),
+                "{}",
+                String::from_utf8_lossy(key)
+            );
         }
     }
 
     #[test]
     fn multi_get_is_three_round_trips_when_warm() {
         let (_idx, mut client) = setup(300);
-        let keys: Vec<Vec<u8>> =
-            (0..100u64).map(|i| format!("mget-{i:05}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..100u64)
+            .map(|i| format!("mget-{i:05}").into_bytes())
+            .collect();
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         // Warm the filter.
         for k in &refs {
@@ -262,10 +282,13 @@ mod tests {
         let index = SphinxIndex::create(&cluster, config).unwrap();
         let mut client = index.client(0).unwrap();
         for i in 0..50u64 {
-            client.insert(format!("io-{i:03}").as_bytes(), &i.to_le_bytes()).unwrap();
+            client
+                .insert(format!("io-{i:03}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
-        let keys: Vec<Vec<u8>> =
-            (0..60u64).map(|i| format!("io-{i:03}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..60u64)
+            .map(|i| format!("io-{i:03}").into_bytes())
+            .collect();
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         let got = client.multi_get(&refs).unwrap();
         for (i, g) in got.iter().enumerate() {
@@ -281,7 +304,12 @@ mod tests {
     fn multi_get_mixed_hits_and_misses() {
         let (_idx, mut client) = setup(50);
         let res = client
-            .multi_get(&[b"mget-00001".as_slice(), b"nope", b"mget-00049", b"mget-00050"])
+            .multi_get(&[
+                b"mget-00001".as_slice(),
+                b"nope",
+                b"mget-00049",
+                b"mget-00050",
+            ])
             .unwrap();
         assert!(res[0].is_some());
         assert_eq!(res[1], None);

@@ -2,7 +2,7 @@
 //! level reads.
 
 use art_core::layout::{InnerNode, LeafNode, NodeStatus, Slot};
-use dm_sim::{DoorbellBatch, Verb, VerbResult};
+use dm_sim::Transport;
 
 use crate::client::SphinxClient;
 use crate::error::SphinxError;
@@ -32,6 +32,7 @@ impl SphinxClient {
     ///
     /// Propagates substrate errors; torn leaf reads are retried
     /// internally.
+    #[allow(clippy::type_complexity)]
     pub fn scan(
         &mut self,
         low: &[u8],
@@ -57,7 +58,7 @@ impl SphinxClient {
             // subtree size.
             let mut resolve_targets: Vec<usize> = Vec::new();
             let mut chain_targets: Vec<usize> = Vec::new();
-            let mut batch = DoorbellBatch::new();
+            let mut resolve_reads = Vec::new();
             for (i, (node, known, exact)) in inners.iter().enumerate() {
                 let exact_here = *exact && node.header.prefix_len as usize == known.len();
                 if exact_here {
@@ -68,10 +69,7 @@ impl SphinxClient {
                     .or_else(|| node.slots.iter().flatten().find(|s| s.is_leaf).copied());
                 match leaf_slot {
                     Some(slot) => {
-                        batch.push(Verb::Read {
-                            ptr: slot.addr,
-                            len: self.config.leaf_read_hint,
-                        });
+                        resolve_reads.push((slot.addr, self.config.leaf_read_hint));
                         resolve_targets.push(i);
                     }
                     // No direct leaf child: resolve by walking the
@@ -81,10 +79,9 @@ impl SphinxClient {
                     None => chain_targets.push(i),
                 }
             }
-            if !batch.is_empty() {
-                let reads = self.dm.execute(batch)?;
-                for (i, res) in resolve_targets.into_iter().zip(reads) {
-                    let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
+            if !resolve_reads.is_empty() {
+                let reads = self.dm.read_many(&resolve_reads)?;
+                for (i, bytes) in resolve_targets.into_iter().zip(reads) {
                     if let Ok(leaf) = LeafNode::decode(&bytes) {
                         let (node, known, exact) = &mut inners[i];
                         let plen = node.header.prefix_len as usize;
@@ -120,7 +117,11 @@ impl SphinxClient {
                     continue; // the resolved prefix proves the subtree is out of range
                 }
                 if let Some(slot) = node.value_slot {
-                    pending.push(Pending { slot, known_prefix: known.clone(), exact: exact_here });
+                    pending.push(Pending {
+                        slot,
+                        known_prefix: known.clone(),
+                        exact: exact_here,
+                    });
                 }
                 for slot in node.children_sorted() {
                     let (child_known, child_exact) = if exact_here {
@@ -133,29 +134,31 @@ impl SphinxClient {
                     if child_exact && !range_may_intersect(&child_known, low, high) {
                         continue;
                     }
-                    pending.push(Pending { slot, known_prefix: child_known, exact: child_exact });
+                    pending.push(Pending {
+                        slot,
+                        known_prefix: child_known,
+                        exact: child_exact,
+                    });
                 }
             }
             if pending.is_empty() {
                 break;
             }
             // One doorbell batch for the whole level.
-            let mut batch = DoorbellBatch::with_capacity(pending.len());
-            for p in &pending {
-                let len = if p.slot.is_leaf {
-                    self.config.leaf_read_hint
-                } else {
-                    InnerNode::byte_size(p.slot.child_kind)
-                };
-                batch.push(Verb::Read { ptr: p.slot.addr, len });
-            }
-            let reads = self.dm.execute(batch)?;
+            let level_reads: Vec<_> = pending
+                .iter()
+                .map(|p| {
+                    let len = if p.slot.is_leaf {
+                        self.config.leaf_read_hint
+                    } else {
+                        InnerNode::byte_size(p.slot.child_kind)
+                    };
+                    (p.slot.addr, len)
+                })
+                .collect();
+            let reads = self.dm.read_many(&level_reads)?;
 
-            for (p, res) in pending.into_iter().zip(reads) {
-                let bytes = match res {
-                    VerbResult::Read(b) => b,
-                    other => unreachable!("expected read, got {other:?}"),
-                };
+            for (p, bytes) in pending.into_iter().zip(reads) {
                 if p.slot.is_leaf {
                     let leaf = self.decode_scanned_leaf(&p, &bytes)?;
                     if let Some(leaf) = leaf {
@@ -199,15 +202,16 @@ impl SphinxClient {
             Err(_) => {
                 // Torn or larger-than-hint: fall back to the retrying
                 // reader.
-                match crate::node_io::read_leaf(
+                match node_engine::read_validated_leaf(
                     &mut self.dm,
                     p.slot.addr,
                     self.config.leaf_read_hint,
+                    &self.retry,
                     &mut self.stats.checksum_retries,
                 ) {
                     Ok(leaf) => Ok(Some(leaf)),
-                    Err(SphinxError::RetriesExhausted { .. }) => Ok(None),
-                    Err(e) => Err(e),
+                    Err(node_engine::EngineError::RetriesExhausted { .. }) => Ok(None),
+                    Err(e) => Err(e.into()),
                 }
             }
         }
@@ -220,12 +224,11 @@ impl SphinxClient {
         for _ in 0..8 {
             self.dm.advance_clock(400);
             std::thread::yield_now();
-            let bytes =
-                self.dm.read(p.slot.addr, InnerNode::byte_size(p.slot.child_kind))?;
+            let bytes = self
+                .dm
+                .read(p.slot.addr, InnerNode::byte_size(p.slot.child_kind))?;
             if let Ok(node) = InnerNode::decode(&bytes) {
-                if node.header.status == NodeStatus::Idle
-                    && node.header.kind == p.slot.child_kind
-                {
+                if node.header.status == NodeStatus::Idle && node.header.kind == p.slot.child_kind {
                     return Ok(Some(node));
                 }
             }

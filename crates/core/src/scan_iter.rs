@@ -124,7 +124,9 @@ mod tests {
         let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
         let mut client = index.client(0).unwrap();
         for i in 0..n {
-            client.insert(format!("cur-{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+            client
+                .insert(format!("cur-{i:05}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         client
     }
@@ -146,8 +148,11 @@ mod tests {
     #[test]
     fn starts_mid_range_and_respects_take() {
         let mut client = setup(100);
-        let first: Vec<Vec<u8>> =
-            client.scan_iter(b"cur-00042").take(5).map(|r| r.unwrap().0).collect();
+        let first: Vec<Vec<u8>> = client
+            .scan_iter(b"cur-00042")
+            .take(5)
+            .map(|r| r.unwrap().0)
+            .collect();
         assert_eq!(first[0], b"cur-00042".to_vec());
         assert_eq!(first[4], b"cur-00046".to_vec());
     }
@@ -163,7 +168,10 @@ mod tests {
     #[test]
     fn page_boundary_exactly_at_end() {
         let mut client = setup(64); // equals the default page size
-        let n = client.scan_iter(b"").inspect(|r| assert!(r.is_ok())).count();
+        let n = client
+            .scan_iter(b"")
+            .inspect(|r| assert!(r.is_ok()))
+            .count();
         assert_eq!(n, 64);
     }
 }

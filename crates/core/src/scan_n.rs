@@ -8,7 +8,7 @@
 //! not the tree size.
 
 use art_core::layout::{InnerNode, LeafNode, NodeStatus, Slot};
-use dm_sim::{DoorbellBatch, Verb, VerbResult};
+use dm_sim::Transport;
 
 use crate::client::SphinxClient;
 use crate::error::SphinxError;
@@ -49,6 +49,7 @@ impl SphinxClient {
     /// # Ok(())
     /// # }
     /// ```
+    #[allow(clippy::type_complexity)]
     pub fn scan_n(
         &mut self,
         low: &[u8],
@@ -79,24 +80,24 @@ impl SphinxClient {
             if leaf_run > 0 {
                 let start = stack.len() - leaf_run;
                 let run: Vec<PendingChild> = stack.drain(start..).rev().collect();
-                let mut batch = DoorbellBatch::with_capacity(run.len());
-                for p in &run {
-                    batch.push(Verb::Read { ptr: p.slot.addr, len: self.config.leaf_read_hint });
-                }
-                let reads = self.dm.execute(batch)?;
-                for (p, res) in run.into_iter().zip(reads) {
-                    let VerbResult::Read(bytes) = res else { unreachable!("read batch") };
+                let run_reads: Vec<_> = run
+                    .iter()
+                    .map(|p| (p.slot.addr, self.config.leaf_read_hint))
+                    .collect();
+                let reads = self.dm.read_many(&run_reads)?;
+                for (p, bytes) in run.into_iter().zip(reads) {
                     let leaf = match LeafNode::decode(&bytes) {
                         Ok(l) => l,
-                        Err(_) => match crate::node_io::read_leaf(
+                        Err(_) => match node_engine::read_validated_leaf(
                             &mut self.dm,
                             p.slot.addr,
                             self.config.leaf_read_hint,
+                            &self.retry,
                             &mut self.stats.checksum_retries,
                         ) {
                             Ok(l) => l,
-                            Err(SphinxError::RetriesExhausted { .. }) => continue,
-                            Err(e) => return Err(e),
+                            Err(node_engine::EngineError::RetriesExhausted { .. }) => continue,
+                            Err(e) => return Err(e.into()),
                         },
                     };
                     if leaf.status != NodeStatus::Invalid && leaf.key.as_slice() >= low {
@@ -108,11 +109,13 @@ impl SphinxClient {
 
             // Otherwise the next item is an inner subtree: fetch just it.
             let Some(p) = stack.pop() else { break };
-            let bytes = self.dm.read(p.slot.addr, InnerNode::byte_size(p.slot.child_kind))?;
-            let Ok(node) = InnerNode::decode(&bytes) else { continue };
-            if node.header.status == NodeStatus::Invalid
-                || node.header.kind != p.slot.child_kind
-            {
+            let bytes = self
+                .dm
+                .read(p.slot.addr, InnerNode::byte_size(p.slot.child_kind))?;
+            let Ok(node) = InnerNode::decode(&bytes) else {
+                continue;
+            };
+            if node.header.status == NodeStatus::Invalid || node.header.kind != p.slot.child_kind {
                 continue; // mid type-switch; reachable via a later scan
             }
             self.push_children(&node, p.known, p.exact, low, &mut stack)?;
@@ -161,7 +164,11 @@ impl SphinxClient {
 
         let mut ordered: Vec<PendingChild> = Vec::new();
         if let Some(slot) = node.value_slot {
-            ordered.push(PendingChild { slot, known: known.clone(), exact: exact_here });
+            ordered.push(PendingChild {
+                slot,
+                known: known.clone(),
+                exact: exact_here,
+            });
         }
         for slot in node.children_sorted() {
             let (child_known, child_exact) = if exact_here {
@@ -178,7 +185,11 @@ impl SphinxClient {
             {
                 continue;
             }
-            ordered.push(PendingChild { slot, known: child_known, exact: child_exact });
+            ordered.push(PendingChild {
+                slot,
+                known: child_known,
+                exact: child_exact,
+            });
         }
         while let Some(p) = ordered.pop() {
             stack.push(p);
@@ -197,7 +208,9 @@ mod tests {
         let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
         let mut client = index.client(0).unwrap();
         for i in 0..n {
-            client.insert(format!("scan-{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+            client
+                .insert(format!("scan-{i:05}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
         client
     }
@@ -235,16 +248,18 @@ mod tests {
         let keys: Vec<Vec<u8>> = hits.into_iter().map(|(k, _)| k).collect();
         assert_eq!(
             keys,
-            vec![b"scan-00004".to_vec(), b"scan-00006".to_vec(), b"scan-00007".to_vec()]
+            vec![
+                b"scan-00004".to_vec(),
+                b"scan-00006".to_vec(),
+                b"scan-00007".to_vec()
+            ]
         );
     }
 
     #[test]
     fn scan_n_agrees_with_range_scan() {
         let mut client = setup(400);
-        let want: Vec<(Vec<u8>, Vec<u8>)> = client
-            .scan(b"scan-00150", b"scan-00169")
-            .unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> = client.scan(b"scan-00150", b"scan-00169").unwrap();
         let got = client.scan_n(b"scan-00150", 20).unwrap();
         assert_eq!(got, want);
     }
@@ -256,6 +271,9 @@ mod tests {
         let hits = client.scan_n(b"scan-01000", 10).unwrap();
         let rts = client.net_stats().round_trips - before;
         assert_eq!(hits.len(), 10);
-        assert!(rts < 25, "10-row scan over 2000 keys took {rts} round trips");
+        assert!(
+            rts < 25,
+            "10-row scan over 2000 keys took {rts} round trips"
+        );
     }
 }

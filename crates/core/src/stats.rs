@@ -63,8 +63,16 @@ mod tests {
 
     #[test]
     fn ops_and_since() {
-        let a = OpStats { gets: 10, inserts: 5, ..Default::default() };
-        let b = OpStats { gets: 4, inserts: 2, ..Default::default() };
+        let a = OpStats {
+            gets: 10,
+            inserts: 5,
+            ..Default::default()
+        };
+        let b = OpStats {
+            gets: 4,
+            inserts: 2,
+            ..Default::default()
+        };
         assert_eq!(a.ops(), 15);
         let d = a.since(&b);
         assert_eq!(d.gets, 6);

@@ -81,7 +81,9 @@ impl SphinxIndex {
             let node = match InnerNode::decode(&bytes) {
                 Ok(n) => n,
                 Err(e) => {
-                    report.problems.push(format!("node {ptr}: undecodable: {e}"));
+                    report
+                        .problems
+                        .push(format!("node {ptr}: undecodable: {e}"));
                     continue;
                 }
             };
@@ -89,9 +91,10 @@ impl SphinxIndex {
             let plen = node.header.prefix_len as usize;
             report.max_prefix_len = report.max_prefix_len.max(plen);
             if node.header.status != NodeStatus::Idle {
-                report
-                    .problems
-                    .push(format!("node {ptr}: status {:?} on quiescent index", node.header.status));
+                report.problems.push(format!(
+                    "node {ptr}: status {:?} on quiescent index",
+                    node.header.status
+                ));
             }
             if node.header.kind != kind {
                 report.problems.push(format!(
@@ -228,8 +231,8 @@ impl SphinxIndex {
         let mut len = self.config().leaf_read_hint.max(64);
         let leaf = loop {
             let bytes = dm.read(slot.addr, len)?;
-            let units = ((u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) >> 8)
-                & 0xFF) as usize;
+            let units = ((u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")) >> 8) & 0xFF)
+                as usize;
             if units.max(1) * 64 > len {
                 len = units * 64;
                 continue;
@@ -237,7 +240,9 @@ impl SphinxIndex {
             match LeafNode::decode(&bytes) {
                 Ok(l) => break l,
                 Err(e) => {
-                    report.problems.push(format!("leaf {}: undecodable: {e}", slot.addr));
+                    report
+                        .problems
+                        .push(format!("leaf {}: undecodable: {e}", slot.addr));
                     return Ok(None);
                 }
             }

@@ -3,47 +3,34 @@
 
 use art_core::hash::{fp12, prefix_hash64};
 use art_core::key::common_prefix_len;
-use art_core::layout::{
-    HashEntry, InnerNode, LeafNode, NodeStatus, Slot, VALUE_SLOT_OFFSET,
-};
+use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot, VALUE_SLOT_OFFSET};
 use art_core::NodeKind;
-use dm_sim::{DmClient, DoorbellBatch, RemotePtr, Verb, VerbResult};
+use dm_sim::{DmClient, RemotePtr, Transport};
+use node_engine::{
+    cas_locked_write, install_word, invalidate_inner, read_inner_consistent, read_validated_leaf,
+    write_new_leaf, Install,
+};
 use race_hash::RaceError;
 
-use crate::client::{Outcome, SlotRef, SphinxClient, OP_RETRY_LIMIT};
+use crate::client::{Outcome, SlotRef, SphinxClient};
 use crate::config::CacheMode;
 use crate::error::SphinxError;
-use crate::node_io::{invalidate_inner, read_inner, write_new_leaf};
-
-/// Outcome of a guarded single-word install into an inner node.
-///
-/// The distinction matters for memory safety: buffers referenced by the
-/// installed word may be freed only on [`Install::Raced`] (the CAS never
-/// landed). After [`Install::Ambiguous`] the word may live on in a
-/// type-switched copy of the node, so freeing would let the allocator
-/// recycle memory the live tree still points at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Install {
-    /// The word is installed in a live (Idle) node.
-    Done,
-    /// The CAS lost: nothing was installed; referenced buffers are safe to
-    /// free.
-    Raced,
-    /// The CAS landed while the node was mid-type-switch: the install may
-    /// or may not survive in the replacement. Retry via a fresh lookup and
-    /// do not free.
-    Ambiguous,
-}
 
 /// The split oracle the Inner Node Hash Table needs: recover an entry's
 /// key hash from the entry word by reading the referenced node's 42-bit
 /// full-prefix hash (word 1), which equals the low 42 bits of the
 /// placement hash.
 fn inht_split_oracle(client: &mut DmClient, word: u64) -> Result<u64, RaceError> {
-    let entry =
-        HashEntry::decode(word).ok_or(RaceError::Corrupt { what: "undecodable hash entry" })?;
+    let entry = HashEntry::decode(word).ok_or(RaceError::Corrupt {
+        what: "undecodable hash entry",
+    })?;
     let w1 = client
-        .read_u64(entry.addr.checked_add(8).map_err(race_hash::RaceError::from)?)
+        .read_u64(
+            entry
+                .addr
+                .checked_add(8)
+                .map_err(race_hash::RaceError::from)?,
+        )
         .map_err(RaceError::from)?;
     Ok(w1 & ((1 << 42) - 1))
 }
@@ -58,10 +45,14 @@ impl SphinxClient {
     /// under pathological contention, or substrate errors.
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), SphinxError> {
         self.stats.inserts += 1;
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let d = self.locate(key)?;
             let done = match d.outcome {
-                Outcome::Leaf { slot_ref, ref slot, ref leaf } if leaf.key == key => {
+                Outcome::Leaf {
+                    slot_ref,
+                    ref slot,
+                    ref leaf,
+                } if leaf.key == key => {
                     if leaf.status == NodeStatus::Invalid {
                         // Deleted leaf still linked: replace it outright.
                         self.swap_leaf(d.node_ptr, slot_ref, slot, key, value)?
@@ -69,14 +60,21 @@ impl SphinxClient {
                         self.write_leaf_value(d.node_ptr, slot_ref, slot, leaf, key, value)?
                     }
                 }
-                Outcome::Leaf { slot_ref, ref slot, ref leaf } => {
-                    self.split_leaf(d.node_ptr, slot_ref, slot, leaf, key, value)?
-                }
+                Outcome::Leaf {
+                    slot_ref,
+                    ref slot,
+                    ref leaf,
+                } => self.split_leaf(d.node_ptr, slot_ref, slot, leaf, key, value)?,
                 Outcome::NoValueSlot => {
                     let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
                     let new_slot = Slot::leaf(0, leaf_ptr);
-                    self.install_word(d.node_ptr, VALUE_SLOT_OFFSET, 0, new_slot.encode())?
-                        == Install::Done
+                    install_word(
+                        &mut self.dm,
+                        d.node_ptr,
+                        VALUE_SLOT_OFFSET,
+                        0,
+                        new_slot.encode(),
+                    )? == Install::Done
                 }
                 Outcome::Empty { byte } => match d.node.free_slot(byte) {
                     Some(idx) => {
@@ -86,15 +84,17 @@ impl SphinxClient {
                     }
                     None => self.type_switch_insert(&d.node, d.node_ptr, key, value)?,
                 },
-                Outcome::Divergent { slot_idx, ref slot, ref child, ref sample } => {
-                    self.split_path(d.node_ptr, slot_idx, slot, child, sample, key, value)?
-                }
+                Outcome::Divergent {
+                    slot_idx,
+                    ref slot,
+                    ref child,
+                    ref sample,
+                } => self.split_path(d.node_ptr, slot_idx, slot, child, sample, key, value)?,
             };
             if done {
                 return Ok(());
             }
-            self.dm.advance_clock(200);
-            std::thread::yield_now();
+            self.dm.backoff(&self.retry);
         }
         Err(SphinxError::RetriesExhausted { op: "insert" })
     }
@@ -110,10 +110,14 @@ impl SphinxClient {
     /// Same classes as [`SphinxClient::insert`].
     pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<bool, SphinxError> {
         self.stats.updates += 1;
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let d = self.locate(key)?;
             match d.outcome {
-                Outcome::Leaf { slot_ref, ref slot, ref leaf } if leaf.key == key => {
+                Outcome::Leaf {
+                    slot_ref,
+                    ref slot,
+                    ref leaf,
+                } if leaf.key == key => {
                     if leaf.status == NodeStatus::Invalid {
                         return Ok(false);
                     }
@@ -123,8 +127,7 @@ impl SphinxClient {
                 }
                 _ => return Ok(false),
             }
-            self.dm.advance_clock(200);
-            std::thread::yield_now();
+            self.dm.backoff(&self.retry);
         }
         Err(SphinxError::RetriesExhausted { op: "update" })
     }
@@ -136,10 +139,14 @@ impl SphinxClient {
     /// Same classes as [`SphinxClient::insert`].
     pub fn remove(&mut self, key: &[u8]) -> Result<bool, SphinxError> {
         self.stats.deletes += 1;
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let d = self.locate(key)?;
             match d.outcome {
-                Outcome::Leaf { slot_ref, ref slot, ref leaf } if leaf.key == key => {
+                Outcome::Leaf {
+                    slot_ref,
+                    ref slot,
+                    ref leaf,
+                } if leaf.key == key => {
                     if leaf.status == NodeStatus::Invalid {
                         // Another client deleted it (and owns the slot
                         // cleanup).
@@ -159,7 +166,7 @@ impl SphinxClient {
                         SlotRef::Child(i) => InnerNode::slot_offset(i),
                         SlotRef::Value => VALUE_SLOT_OFFSET,
                     };
-                    if self.install_word(d.node_ptr, offset, slot.encode(), 0)?
+                    if install_word(&mut self.dm, d.node_ptr, offset, slot.encode(), 0)?
                         != Install::Done
                     {
                         self.unlink_invalid_leaf(key)?;
@@ -176,23 +183,24 @@ impl SphinxClient {
     /// to a concurrent type switch that copied the slot), chase the moved
     /// slot until it is cleared.
     fn unlink_invalid_leaf(&mut self, key: &[u8]) -> Result<(), SphinxError> {
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let d = self.locate(key)?;
             match d.outcome {
-                Outcome::Leaf { slot_ref, ref slot, ref leaf }
-                    if leaf.key == key && leaf.status == NodeStatus::Invalid =>
-                {
+                Outcome::Leaf {
+                    slot_ref,
+                    ref slot,
+                    ref leaf,
+                } if leaf.key == key && leaf.status == NodeStatus::Invalid => {
                     let offset = match slot_ref {
                         SlotRef::Child(i) => InnerNode::slot_offset(i),
                         SlotRef::Value => VALUE_SLOT_OFFSET,
                     };
-                    if self.install_word(d.node_ptr, offset, slot.encode(), 0)?
+                    if install_word(&mut self.dm, d.node_ptr, offset, slot.encode(), 0)?
                         == Install::Done
                     {
                         return Ok(());
                     }
-                    self.dm.advance_clock(200);
-                    std::thread::yield_now();
+                    self.dm.backoff(&self.retry);
                 }
                 _ => return Ok(()), // slot already gone
             }
@@ -203,39 +211,6 @@ impl SphinxClient {
     // ------------------------------------------------------------------
     // Building blocks.
     // ------------------------------------------------------------------
-
-    /// CASes one word of an inner node and — in the same doorbell batch —
-    /// re-reads the node's control word to detect a concurrent type
-    /// switch.
-    pub(crate) fn install_word(
-        &mut self,
-        node_ptr: RemotePtr,
-        offset: u64,
-        expected: u64,
-        new: u64,
-    ) -> Result<Install, SphinxError> {
-        let mut batch = DoorbellBatch::with_capacity(2);
-        batch.push(Verb::Cas { ptr: node_ptr.checked_add(offset)?, expected, new });
-        batch.push(Verb::Read { ptr: node_ptr, len: 8 });
-        let mut res = self.dm.execute(batch)?;
-        let control = match res.pop().expect("read result") {
-            VerbResult::Read(b) => u64::from_le_bytes(b.as_slice().try_into().expect("8 bytes")),
-            other => unreachable!("expected read, got {other:?}"),
-        };
-        let prev = res.pop().expect("cas result").into_cas();
-        if prev != expected {
-            return Ok(Install::Raced);
-        }
-        if control & 0xFF == NodeStatus::Idle as u64 {
-            return Ok(Install::Done);
-        }
-        // The node is Locked (mid type-switch) or Invalid. Our word landed
-        // and *may already have been copied into the replacement node*, so
-        // it must be treated as live: the caller retries from a fresh
-        // lookup (which converges either way) and MUST NOT free anything
-        // the word references.
-        Ok(Install::Ambiguous)
-    }
 
     /// Installs a slot for a dispatch byte that had **no** child — the one
     /// case where two racing clients can occupy *different* free slots for
@@ -255,15 +230,13 @@ impl SphinxClient {
     ) -> Result<bool, SphinxError> {
         let offset = InnerNode::slot_offset(idx);
         let node_len = InnerNode::byte_size(node.header.kind);
-        let mut batch = DoorbellBatch::with_capacity(2);
-        batch.push(Verb::Cas { ptr: node_ptr.checked_add(offset)?, expected: 0, new: new_slot.encode() });
-        batch.push(Verb::Read { ptr: node_ptr, len: node_len });
-        let mut res = self.dm.execute(batch)?;
-        let bytes = match res.pop().expect("read result") {
-            VerbResult::Read(b) => b,
-            other => unreachable!("expected read, got {other:?}"),
-        };
-        let prev = res.pop().expect("cas result").into_cas();
+        let (prev, bytes) = self.dm.cas_and_read(
+            node_ptr.checked_add(offset)?,
+            0,
+            new_slot.encode(),
+            node_ptr,
+            node_len,
+        )?;
         if prev != 0 {
             return Ok(false);
         }
@@ -288,7 +261,9 @@ impl SphinxClient {
             .any(|(i, s)| i != idx && s.is_some_and(|s| s.key_byte == byte));
         let _ = &mut now;
         if duplicated {
-            let _ = self.dm.cas(node_ptr.checked_add(offset)?, new_slot.encode(), 0)?;
+            let _ = self
+                .dm
+                .cas(node_ptr.checked_add(offset)?, new_slot.encode(), 0)?;
             return Ok(false);
         }
         Ok(true)
@@ -312,13 +287,16 @@ impl SphinxClient {
         key: &[u8],
     ) -> Result<bool, SphinxError> {
         let offset = InnerNode::slot_offset(idx);
-        for _ in 0..OP_RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let control = self.dm.read_u64(node_ptr)?;
             match (control & 0xFF) as u8 {
                 x if x == NodeStatus::Idle as u8 => {
-                    let bytes =
-                        self.dm.read(node_ptr, InnerNode::byte_size(node.header.kind))?;
-                    let Ok(now) = InnerNode::decode(&bytes) else { continue };
+                    let bytes = self
+                        .dm
+                        .read(node_ptr, InnerNode::byte_size(node.header.kind))?;
+                    let Ok(now) = InnerNode::decode(&bytes) else {
+                        continue;
+                    };
                     if now.header.kind != node.header.kind {
                         continue;
                     }
@@ -345,12 +323,13 @@ impl SphinxClient {
                 }
                 _ => {
                     // Still locked: let the switcher run.
-                    self.dm.advance_clock(200);
-                    std::thread::yield_now();
+                    self.dm.backoff(&self.retry);
                 }
             }
         }
-        Err(SphinxError::RetriesExhausted { op: "install resolve" })
+        Err(SphinxError::RetriesExhausted {
+            op: "install resolve",
+        })
     }
 
     /// Whether `key` currently resolves to a live leaf holding it.
@@ -376,16 +355,19 @@ impl SphinxClient {
     ) -> Result<bool, SphinxError> {
         if leaf.fits_in_place(value.len()) {
             let (idle, locked) = leaf.status_cas_words(NodeStatus::Idle, NodeStatus::Locked);
-            if self.dm.cas(slot.addr, idle, locked)? != idle {
-                return Ok(false); // lock lost or leaf changed; retry
-            }
             let mut new_leaf = LeafNode::new(key.to_vec(), value.to_vec());
             new_leaf.version = leaf.version.wrapping_add(1);
             new_leaf.set_len_units(leaf.len_units());
-            // One write stores the value, refreshes the checksum and —
-            // because the written status byte is Idle — releases the lock.
-            self.dm.write(slot.addr, &new_leaf.encode())?;
-            Ok(true)
+            // The publishing write stores the value, refreshes the checksum
+            // and — because the written status byte is Idle — releases the
+            // lock. A lost lock CAS means the leaf changed; retry.
+            Ok(cas_locked_write(
+                &mut self.dm,
+                slot.addr,
+                idle,
+                locked,
+                vec![(slot.addr, new_leaf.encode())],
+            )?)
         } else {
             self.swap_leaf(node_ptr, slot_ref, slot, key, value)
         }
@@ -407,7 +389,13 @@ impl SphinxClient {
             SlotRef::Child(i) => InnerNode::slot_offset(i),
             SlotRef::Value => VALUE_SLOT_OFFSET,
         };
-        match self.install_word(node_ptr, offset, slot.encode(), new_slot.encode())? {
+        match install_word(
+            &mut self.dm,
+            node_ptr,
+            offset,
+            slot.encode(),
+            new_slot.encode(),
+        )? {
             Install::Done => {
                 // Best-effort invalidation of the unlinked leaf so laggard
                 // readers holding its address see a tombstone. The region
@@ -415,7 +403,7 @@ impl SphinxClient {
                 // epochs, out of scope — see DESIGN.md).
                 let mut probe = 0;
                 if let Ok(old) =
-                    crate::node_io::read_leaf(&mut self.dm, slot.addr, 64, &mut probe)
+                    read_validated_leaf(&mut self.dm, slot.addr, 64, &self.retry, &mut probe)
                 {
                     let (cur, inv) = old.status_cas_words(old.status, NodeStatus::Invalid);
                     let _ = self.dm.cas(slot.addr, cur, inv)?;
@@ -451,8 +439,10 @@ impl SphinxClient {
         let prefix = &key[..cpl];
         // The new leaf's address is needed inside the new inner node, so
         // allocate it first; both writes then share one doorbell batch.
-        let leaf_ptr = self.dm.alloc_placed(prefix_hash64(key), 
-            art_core::layout::LeafNode::encoded_size(key.len(), value.len()))?;
+        let leaf_ptr = self.dm.alloc_placed(
+            prefix_hash64(key),
+            art_core::layout::LeafNode::encoded_size(key.len(), value.len()),
+        )?;
         let mut n = InnerNode::new(NodeKind::Node4, prefix);
         // Re-hang the existing leaf (reusing its storage).
         if leaf.key.len() == cpl {
@@ -466,16 +456,19 @@ impl SphinxClient {
             n.set_child(Slot::leaf(key[cpl], leaf_ptr));
         }
         let node_bytes = n.encode();
-        let n_ptr = self.dm.alloc_placed(prefix_hash64(prefix), node_bytes.len())?;
-        let mut batch = DoorbellBatch::with_capacity(2);
-        batch.push(Verb::Write {
-            ptr: leaf_ptr,
-            data: art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode(),
-        });
-        batch.push(Verb::Write { ptr: n_ptr, data: node_bytes });
-        self.dm.execute(batch)?;
+        let n_ptr = self
+            .dm
+            .alloc_placed(prefix_hash64(prefix), node_bytes.len())?;
+        self.dm.write_many(vec![
+            (
+                leaf_ptr,
+                art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode(),
+            ),
+            (n_ptr, node_bytes),
+        ])?;
         let new_slot = Slot::inner(slot.key_byte, NodeKind::Node4, n_ptr);
-        match self.install_word(
+        match install_word(
+            &mut self.dm,
             node_ptr,
             InnerNode::slot_offset(slot_idx),
             slot.encode(),
@@ -497,6 +490,7 @@ impl SphinxClient {
     /// Case: dispatch slot holds an inner node whose compressed path
     /// diverges from the key — split the path with a Node4 over the common
     /// prefix (learned from `sample`, a leaf of the child's subtree).
+    #[allow(clippy::too_many_arguments)]
     fn split_path(
         &mut self,
         node_ptr: RemotePtr,
@@ -514,8 +508,10 @@ impl SphinxClient {
             return Ok(false);
         }
         let prefix = &key[..cpl];
-        let leaf_ptr = self.dm.alloc_placed(prefix_hash64(key),
-            art_core::layout::LeafNode::encoded_size(key.len(), value.len()))?;
+        let leaf_ptr = self.dm.alloc_placed(
+            prefix_hash64(key),
+            art_core::layout::LeafNode::encoded_size(key.len(), value.len()),
+        )?;
         let mut n = InnerNode::new(NodeKind::Node4, prefix);
         n.set_child(Slot::inner(sample.key[cpl], child.header.kind, slot.addr));
         if key.len() == cpl {
@@ -524,16 +520,19 @@ impl SphinxClient {
             n.set_child(Slot::leaf(key[cpl], leaf_ptr));
         }
         let node_bytes = n.encode();
-        let n_ptr = self.dm.alloc_placed(prefix_hash64(prefix), node_bytes.len())?;
-        let mut batch = DoorbellBatch::with_capacity(2);
-        batch.push(Verb::Write {
-            ptr: leaf_ptr,
-            data: art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode(),
-        });
-        batch.push(Verb::Write { ptr: n_ptr, data: node_bytes });
-        self.dm.execute(batch)?;
+        let n_ptr = self
+            .dm
+            .alloc_placed(prefix_hash64(prefix), node_bytes.len())?;
+        self.dm.write_many(vec![
+            (
+                leaf_ptr,
+                art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode(),
+            ),
+            (n_ptr, node_bytes),
+        ])?;
         let new_slot = Slot::inner(slot.key_byte, NodeKind::Node4, n_ptr);
-        match self.install_word(
+        match install_word(
+            &mut self.dm,
             node_ptr,
             InnerNode::slot_offset(slot_idx),
             slot.encode(),
@@ -575,15 +574,14 @@ impl SphinxClient {
         // the CAS, so on success it observes the locked node).
         let idle = node.header.control_with_status(NodeStatus::Idle);
         let locked = node.header.control_with_status(NodeStatus::Locked);
-        let mut batch = DoorbellBatch::with_capacity(2);
-        batch.push(Verb::Cas { ptr: node_ptr, expected: idle, new: locked });
-        batch.push(Verb::Read { ptr: node_ptr, len: InnerNode::byte_size(node.header.kind) });
-        let mut res = self.dm.execute(batch)?;
-        let bytes = match res.pop().expect("read result") {
-            VerbResult::Read(b) => b,
-            other => unreachable!("expected read, got {other:?}"),
-        };
-        if res.pop().expect("cas result").into_cas() != idle {
+        let (prev, bytes) = self.dm.cas_and_read(
+            node_ptr,
+            idle,
+            locked,
+            node_ptr,
+            InnerNode::byte_size(node.header.kind),
+        )?;
+        if prev != idle {
             return Ok(false);
         }
         let fresh = InnerNode::decode(&bytes)?;
@@ -599,13 +597,13 @@ impl SphinxClient {
             // A concurrent delete freed a slot: plain install under the
             // lock, no switch needed.
             let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
-            let mut batch = DoorbellBatch::with_capacity(2);
-            batch.push(Verb::Write {
-                ptr: node_ptr.checked_add(InnerNode::slot_offset(idx))?,
-                data: Slot::leaf(byte, leaf_ptr).encode().to_le_bytes().to_vec(),
-            });
-            batch.push(Verb::Write { ptr: node_ptr, data: unlock.to_le_bytes().to_vec() });
-            self.dm.execute(batch)?;
+            self.dm.write_many(vec![
+                (
+                    node_ptr.checked_add(InnerNode::slot_offset(idx))?,
+                    Slot::leaf(byte, leaf_ptr).encode().to_le_bytes().to_vec(),
+                ),
+                (node_ptr, unlock.to_le_bytes().to_vec()),
+            ])?;
             return Ok(true);
         }
 
@@ -613,18 +611,22 @@ impl SphinxClient {
         // fresh nodes are written in one doorbell batch.
         let mut grown = fresh.grow();
         let (leaf_ptr, grown_ptr) = {
-            let leaf_ptr = self.dm.alloc_placed(prefix_hash64(key),
-                art_core::layout::LeafNode::encoded_size(key.len(), value.len()))?;
+            let leaf_ptr = self.dm.alloc_placed(
+                prefix_hash64(key),
+                art_core::layout::LeafNode::encoded_size(key.len(), value.len()),
+            )?;
             grown.set_child(Slot::leaf(byte, leaf_ptr));
             let grown_bytes = grown.encode();
-            let grown_ptr = self.dm.alloc_placed(prefix_hash64(prefix), grown_bytes.len())?;
-            let mut batch = DoorbellBatch::with_capacity(2);
-            batch.push(Verb::Write {
-                ptr: leaf_ptr,
-                data: art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode(),
-            });
-            batch.push(Verb::Write { ptr: grown_ptr, data: grown_bytes });
-            self.dm.execute(batch)?;
+            let grown_ptr = self
+                .dm
+                .alloc_placed(prefix_hash64(prefix), grown_bytes.len())?;
+            self.dm.write_many(vec![
+                (
+                    leaf_ptr,
+                    art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode(),
+                ),
+                (grown_ptr, grown_bytes),
+            ])?;
             (leaf_ptr, grown_ptr)
         };
 
@@ -654,8 +656,16 @@ impl SphinxClient {
         let h = prefix_hash64(prefix);
         let mn = self.dm.place(h) as usize;
         let fp = fp12(prefix);
-        let old_entry = HashEntry { fp, kind: fresh.header.kind, addr: node_ptr };
-        let new_entry = HashEntry { fp, kind: grown.header.kind, addr: grown_ptr };
+        let old_entry = HashEntry {
+            fp,
+            kind: fresh.header.kind,
+            addr: node_ptr,
+        };
+        let new_entry = HashEntry {
+            fp,
+            kind: grown.header.kind,
+            addr: grown_ptr,
+        };
         let SphinxClient { tables, dm, .. } = self;
         tables[mn].replace(dm, h, old_entry.encode(), new_entry.encode())?;
 
@@ -682,7 +692,8 @@ impl SphinxClient {
             match self.find_parent_slot(key, plen, old_ptr)? {
                 Some((parent_ptr, idx, slot)) => {
                     let new_slot = Slot::inner(slot.key_byte, new_kind, new_ptr);
-                    match self.install_word(
+                    match install_word(
+                        &mut self.dm,
                         parent_ptr,
                         InnerNode::slot_offset(idx),
                         slot.encode(),
@@ -706,13 +717,20 @@ impl SphinxClient {
                     // Heal it from the tree — the source of truth — so the
                     // retry does not loop through the stale entry forever.
                     self.repair_inht_entry(key, plen, old_ptr)?;
-                    return Ok(if ambiguous_seen { Install::Ambiguous } else { Install::Raced });
+                    return Ok(if ambiguous_seen {
+                        Install::Ambiguous
+                    } else {
+                        Install::Raced
+                    });
                 }
             }
-            self.dm.advance_clock(200);
-            std::thread::yield_now();
+            self.dm.backoff(&self.retry);
         }
-        Ok(if ambiguous_seen { Install::Ambiguous } else { Install::Raced })
+        Ok(if ambiguous_seen {
+            Install::Ambiguous
+        } else {
+            Install::Raced
+        })
     }
 
     /// Re-points the Inner Node Hash Table entry for `key[..plen]` at the
@@ -735,14 +753,18 @@ impl SphinxClient {
             if nplen > plen || key.len() <= nplen {
                 return Ok(()); // position no longer exists; nothing to heal
             }
-            let Some((_, slot)) = node.find_child(key[nplen]) else { return Ok(()) };
+            let Some((_, slot)) = node.find_child(key[nplen]) else {
+                return Ok(());
+            };
             if slot.is_leaf {
                 return Ok(());
             }
-            node = read_inner(&mut self.dm, slot.addr, slot.child_kind)?;
+            node = read_inner_consistent(&mut self.dm, slot.addr, slot.child_kind)?;
             node_ptr = Some(slot.addr);
         }
-        let Some(live_ptr) = node_ptr else { return Ok(()) };
+        let Some(live_ptr) = node_ptr else {
+            return Ok(());
+        };
         if live_ptr == stale_ptr
             || node.header.prefix_len as usize != plen
             || node.header.status == NodeStatus::Invalid
@@ -762,8 +784,11 @@ impl SphinxClient {
         for e in found {
             if let Some(he) = HashEntry::decode(e.word) {
                 if he.fp == fp && he.addr == stale_ptr {
-                    let fresh =
-                        HashEntry { fp, kind: node.header.kind, addr: live_ptr };
+                    let fresh = HashEntry {
+                        fp,
+                        kind: node.header.kind,
+                        addr: live_ptr,
+                    };
                     let _ = tables[mn].replace(dm, h, e.word, fresh.encode())?;
                     return Ok(());
                 }
@@ -784,8 +809,7 @@ impl SphinxClient {
             let (mut ptr, mut node, _len) = self.entry_node(key, child_plen - 1)?;
             loop {
                 if node.header.status == NodeStatus::Invalid {
-                    self.dm.advance_clock(200);
-                    std::thread::yield_now();
+                    self.dm.backoff(&self.retry);
                     continue 'outer;
                 }
                 let plen = node.header.prefix_len as usize;
@@ -802,7 +826,7 @@ impl SphinxClient {
                 if slot.is_leaf {
                     return Ok(None);
                 }
-                let child = read_inner(&mut self.dm, slot.addr, slot.child_kind)?;
+                let child = read_inner_consistent(&mut self.dm, slot.addr, slot.child_kind)?;
                 if child.header.kind != slot.child_kind {
                     continue 'outer;
                 }
@@ -824,7 +848,11 @@ impl SphinxClient {
     ) -> Result<(), SphinxError> {
         let h = prefix_hash64(prefix);
         let mn = self.dm.place(h) as usize;
-        let entry = HashEntry { fp: fp12(prefix), kind, addr: ptr };
+        let entry = HashEntry {
+            fp: fp12(prefix),
+            kind,
+            addr: ptr,
+        };
         let SphinxClient { tables, dm, .. } = self;
         tables[mn].insert(dm, h, entry.encode(), inht_split_oracle)?;
         if self.config.mode == CacheMode::FilterCache {

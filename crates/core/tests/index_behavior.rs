@@ -61,7 +61,10 @@ fn update_semantics() {
     let c = cluster();
     let idx = index(&c);
     let mut cl = idx.client(0).unwrap();
-    assert!(!cl.update(b"ghost", b"x").unwrap(), "absent key is not updated");
+    assert!(
+        !cl.update(b"ghost", b"x").unwrap(),
+        "absent key is not updated"
+    );
     cl.insert(b"key", b"a").unwrap();
     assert!(cl.update(b"key", b"b").unwrap());
     assert_eq!(cl.get(b"key").unwrap().as_deref(), Some(&b"b"[..]));
@@ -75,13 +78,22 @@ fn in_place_update_is_cheap_out_of_place_works() {
     cl.insert(b"key12345", &[1u8; 30]).unwrap();
     // In-place: fits in the 64-byte-aligned leaf.
     assert!(cl.update(b"key12345", &[2u8; 40]).unwrap());
-    assert_eq!(cl.get(b"key12345").unwrap().as_deref(), Some(&[2u8; 40][..]));
+    assert_eq!(
+        cl.get(b"key12345").unwrap().as_deref(),
+        Some(&[2u8; 40][..])
+    );
     // Out-of-place: 500 bytes cannot fit the original leaf.
     assert!(cl.update(b"key12345", &[3u8; 500]).unwrap());
-    assert_eq!(cl.get(b"key12345").unwrap().as_deref(), Some(&[3u8; 500][..]));
+    assert_eq!(
+        cl.get(b"key12345").unwrap().as_deref(),
+        Some(&[3u8; 500][..])
+    );
     // And updatable again after relocation.
     assert!(cl.update(b"key12345", &[4u8; 500]).unwrap());
-    assert_eq!(cl.get(b"key12345").unwrap().as_deref(), Some(&[4u8; 500][..]));
+    assert_eq!(
+        cl.get(b"key12345").unwrap().as_deref(),
+        Some(&[4u8; 500][..])
+    );
 }
 
 #[test]
@@ -147,7 +159,10 @@ fn scan_returns_sorted_range_inclusive() {
     }
     let hits = cl.scan(b"banana", b"date").unwrap();
     let keys: Vec<&[u8]> = hits.iter().map(|(k, _)| k.as_slice()).collect();
-    assert_eq!(keys, vec![b"banana".as_slice(), b"blueberry", b"cherry", b"date"]);
+    assert_eq!(
+        keys,
+        vec![b"banana".as_slice(), b"blueberry", b"cherry", b"date"]
+    );
 }
 
 #[test]
@@ -162,7 +177,10 @@ fn scan_skips_deleted_and_handles_empty_range() {
     let hits = cl.scan(b"a", b"c").unwrap();
     let keys: Vec<&[u8]> = hits.iter().map(|(k, _)| k.as_slice()).collect();
     assert_eq!(keys, vec![b"a".as_slice(), b"c"]);
-    assert!(cl.scan(b"x", b"a").unwrap().is_empty(), "inverted range is empty");
+    assert!(
+        cl.scan(b"x", b"a").unwrap().is_empty(),
+        "inverted range is empty"
+    );
 }
 
 #[test]
@@ -194,7 +212,10 @@ fn filter_cache_reduces_round_trips_vs_inht_only() {
     // Long keys: the InhtOnly mode must issue one bucket read per prefix.
     let key = b"averyveryverylongemailkey@example.com";
     let make = |mode| {
-        let cfg = SphinxConfig { mode, ..SphinxConfig::small() };
+        let cfg = SphinxConfig {
+            mode,
+            ..SphinxConfig::small()
+        };
         SphinxIndex::create(&c, cfg).unwrap()
     };
 
@@ -223,11 +244,15 @@ fn filter_cache_reduces_round_trips_vs_inht_only() {
 #[test]
 fn inht_only_mode_is_correct() {
     let c = cluster();
-    let cfg = SphinxConfig { mode: CacheMode::InhtOnly, ..SphinxConfig::small() };
+    let cfg = SphinxConfig {
+        mode: CacheMode::InhtOnly,
+        ..SphinxConfig::small()
+    };
     let idx = SphinxIndex::create(&c, cfg).unwrap();
     let mut cl = idx.client(0).unwrap();
     for i in 0..200u32 {
-        cl.insert(format!("user{i:04}").as_bytes(), &i.to_le_bytes()).unwrap();
+        cl.insert(format!("user{i:04}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
     }
     for i in 0..200u32 {
         assert_eq!(
@@ -244,9 +269,15 @@ fn cross_client_visibility() {
     let mut writer = idx.client(0).unwrap();
     let mut reader = idx.client(1).unwrap(); // different CN, cold cache
     writer.insert(b"shared", b"payload").unwrap();
-    assert_eq!(reader.get(b"shared").unwrap().as_deref(), Some(&b"payload"[..]));
+    assert_eq!(
+        reader.get(b"shared").unwrap().as_deref(),
+        Some(&b"payload"[..])
+    );
     writer.update(b"shared", b"payload2").unwrap();
-    assert_eq!(reader.get(b"shared").unwrap().as_deref(), Some(&b"payload2"[..]));
+    assert_eq!(
+        reader.get(b"shared").unwrap().as_deref(),
+        Some(&b"payload2"[..])
+    );
 }
 
 #[test]
@@ -286,7 +317,11 @@ fn thousand_key_mixed_workout_against_oracle() {
                 assert_eq!(cl.remove(&key).unwrap(), expect, "step {step}");
             }
             _ => {
-                assert_eq!(cl.get(&key).unwrap(), oracle.get(&key).cloned(), "step {step}");
+                assert_eq!(
+                    cl.get(&key).unwrap(),
+                    oracle.get(&key).cloned(),
+                    "step {step}"
+                );
             }
         }
     }
@@ -361,7 +396,10 @@ fn concurrent_overlapping_inserts_and_updates() {
     let mut cl = idx.client(0).unwrap();
     for i in 0..100u32 {
         let key = format!("shared-key{i:04}");
-        let v = cl.get(key.as_bytes()).unwrap().unwrap_or_else(|| panic!("{key} missing"));
+        let v = cl
+            .get(key.as_bytes())
+            .unwrap()
+            .unwrap_or_else(|| panic!("{key} missing"));
         assert_eq!(v.len(), 16);
         assert!(v.iter().all(|&b| b == v[0]), "torn value for {key}: {v:?}");
         assert!(v[0] < 14, "value byte out of range for {key}");
@@ -374,7 +412,9 @@ fn concurrent_readers_during_writes_never_see_torn_values() {
     let idx = index(&c);
     let mut setup = idx.client(0).unwrap();
     for i in 0..50u32 {
-        setup.insert(format!("rw{i:03}").as_bytes(), &[0u8; 32]).unwrap();
+        setup
+            .insert(format!("rw{i:03}").as_bytes(), &[0u8; 32])
+            .unwrap();
     }
     std::thread::scope(|s| {
         // Writers continuously update with uniform-byte values.
@@ -398,10 +438,7 @@ fn concurrent_readers_during_writes_never_see_torn_values() {
                     let key = format!("rw{:03}", round % 50);
                     if let Some(v) = cl.get(key.as_bytes()).unwrap() {
                         assert_eq!(v.len(), 32);
-                        assert!(
-                            v.iter().all(|&b| b == v[0]),
-                            "torn read on {key}: {v:?}"
-                        );
+                        assert!(v.iter().all(|&b| b == v[0]), "torn read on {key}: {v:?}");
                     }
                 }
             });
@@ -415,7 +452,8 @@ fn space_breakdown_reports_small_inht_overhead() {
     let idx = index(&c);
     let mut cl = idx.client(0).unwrap();
     for i in 0..2000u64 {
-        cl.insert(&(i.wrapping_mul(0x9E37_79B9)).to_be_bytes(), &[0u8; 64]).unwrap();
+        cl.insert(&(i.wrapping_mul(0x9E37_79B9)).to_be_bytes(), &[0u8; 64])
+            .unwrap();
     }
     let space = idx.space_breakdown().unwrap();
     assert!(space.art_bytes > 0 && space.inht_bytes > 0);
@@ -423,7 +461,11 @@ fn space_breakdown_reports_small_inht_overhead() {
     // bytes; just check the table stays well under the tree's size. The
     // paper's 3.3–4.9% figure is reproduced at production sizing by the
     // fig6 binary (see EXPERIMENTS.md).
-    assert!(space.inht_overhead() < 1.0, "overhead {}", space.inht_overhead());
+    assert!(
+        space.inht_overhead() < 1.0,
+        "overhead {}",
+        space.inht_overhead()
+    );
 }
 
 #[test]
@@ -437,5 +479,8 @@ fn op_stats_track_operations() {
     cl.remove(b"a").unwrap();
     cl.scan(b"a", b"z").unwrap();
     let s = cl.op_stats();
-    assert_eq!((s.inserts, s.gets, s.updates, s.deletes, s.scans), (1, 1, 1, 1, 1));
+    assert_eq!(
+        (s.inserts, s.gets, s.updates, s.deletes, s.scans),
+        (1, 1, 1, 1, 1)
+    );
 }

@@ -78,7 +78,8 @@ impl BloomFilter {
 
     /// Membership test (false positives possible, false negatives not).
     pub fn contains(&self, item: &[u8]) -> bool {
-        self.positions(item).all(|pos| self.bits[(pos / 64) as usize] & (1 << (pos % 64)) != 0)
+        self.positions(item)
+            .all(|pos| self.bits[(pos / 64) as usize] & (1 << (pos % 64)) != 0)
     }
 
     /// The only way a Bloom filter sheds state: drop everything.
@@ -110,8 +111,9 @@ mod tests {
         for i in 0..2000u32 {
             b.insert(&i.to_le_bytes());
         }
-        let fps =
-            (1_000_000..1_050_000u32).filter(|i| b.contains(&i.to_le_bytes())).count();
+        let fps = (1_000_000..1_050_000u32)
+            .filter(|i| b.contains(&i.to_le_bytes()))
+            .count();
         let rate = fps as f64 / 50_000.0;
         assert!(rate < 0.02, "bloom fp rate {rate}");
     }
@@ -143,7 +145,9 @@ mod tests {
         let mut cuckoo = CuckooFilter::with_byte_budget(budget);
         let mut bloom = BloomFilter::with_byte_budget(budget, 20_000);
 
-        let hot: Vec<Vec<u8>> = (0..200u32).map(|i| format!("hot{i}").into_bytes()).collect();
+        let hot: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("hot{i}").into_bytes())
+            .collect();
         for h in &hot {
             cuckoo.insert(h);
             bloom.insert(h);
@@ -160,10 +164,14 @@ mod tests {
         }
         // Hot-set retention.
         let cuckoo_hot = hot.iter().filter(|h| cuckoo.contains_quiet(h)).count();
-        assert!(cuckoo_hot >= 180, "cuckoo retains the hot set: {cuckoo_hot}/200");
+        assert!(
+            cuckoo_hot >= 180,
+            "cuckoo retains the hot set: {cuckoo_hot}/200"
+        );
         // Accuracy on definite non-members.
-        let probes: Vec<Vec<u8>> =
-            (0..5_000u32).map(|i| format!("absent{i}").into_bytes()).collect();
+        let probes: Vec<Vec<u8>> = (0..5_000u32)
+            .map(|i| format!("absent{i}").into_bytes())
+            .collect();
         let cuckoo_fp = probes.iter().filter(|p| cuckoo.contains_quiet(p)).count();
         let bloom_fp = probes.iter().filter(|p| bloom.contains(p)).count();
         assert!(

@@ -122,7 +122,10 @@ impl CuckooFilter {
     /// Panics if `capacity` is zero.
     pub fn with_capacity_and_seed(capacity: usize, seed: u64) -> Self {
         assert!(capacity > 0, "filter capacity must be positive");
-        let buckets = capacity.div_ceil(SLOTS_PER_BUCKET).next_power_of_two().max(2);
+        let buckets = capacity
+            .div_ceil(SLOTS_PER_BUCKET)
+            .next_power_of_two()
+            .max(2);
         CuckooFilter {
             slots: vec![0; buckets * SLOTS_PER_BUCKET],
             bucket_mask: buckets as u64 - 1,
@@ -236,7 +239,8 @@ impl CuckooFilter {
         let (fp, b1) = self.fp_and_bucket(item);
         let b2 = self.alt_bucket(b1, fp);
         [b1, b2].iter().any(|&bucket| {
-            self.slot_range(bucket).any(|i| self.slots[i] & FP_MASK == fp && self.slots[i] != 0)
+            self.slot_range(bucket)
+                .any(|i| self.slots[i] & FP_MASK == fp && self.slots[i] != 0)
         })
     }
 
@@ -304,8 +308,10 @@ impl CuckooFilter {
                 }
             }
             // If the alternate bucket has a cold entry, evict it and stop.
-            let cold: Vec<usize> =
-                self.slot_range(bucket).filter(|&i| self.slots[i] & HOT_BIT == 0).collect();
+            let cold: Vec<usize> = self
+                .slot_range(bucket)
+                .filter(|&i| self.slots[i] & HOT_BIT == 0)
+                .collect();
             if !cold.is_empty() {
                 let victim = cold[(self.next_rand() % cold.len() as u64) as usize];
                 self.slots[victim] = fp;
@@ -373,7 +379,10 @@ mod tests {
             f.insert(item);
         }
         let lost = items.iter().filter(|i| !f.contains_quiet(i)).count();
-        assert!(lost as u64 <= f.stats().evictions, "losses bounded by evictions");
+        assert!(
+            lost as u64 <= f.stats().evictions,
+            "losses bounded by evictions"
+        );
         assert!(lost < 20, "should retain >99%: lost {lost}/2000");
     }
 
@@ -383,7 +392,9 @@ mod tests {
         for i in 0..4000u32 {
             f.insert(&i.to_le_bytes());
         }
-        let fps = (1_000_000..1_050_000u32).filter(|i| f.contains_quiet(&i.to_le_bytes())).count();
+        let fps = (1_000_000..1_050_000u32)
+            .filter(|i| f.contains_quiet(&i.to_le_bytes()))
+            .count();
         let rate = fps as f64 / 50_000.0;
         assert!(rate < 0.01, "false positive rate {rate} too high");
     }
@@ -402,7 +413,7 @@ mod tests {
     fn eviction_kicks_in_at_capacity_and_prefers_cold() {
         let mut f = CuckooFilter::with_capacity_and_seed(64, 7);
         let n = f.capacity() * 4; // way past capacity
-        // Insert hot set first and touch it to set hotness.
+                                  // Insert hot set first and touch it to set hotness.
         let hot: Vec<Vec<u8>> = (0..16u32).map(|i| format!("hot{i}").into_bytes()).collect();
         for h in &hot {
             f.insert(h);
@@ -420,7 +431,10 @@ mod tests {
         }
         assert!(f.stats().evictions > 0, "flood must evict");
         let survivors = hot.iter().filter(|h| f.contains_quiet(h)).count();
-        assert!(survivors >= 14, "hot entries should survive eviction: {survivors}/16");
+        assert!(
+            survivors >= 14,
+            "hot entries should survive eviction: {survivors}/16"
+        );
     }
 
     #[test]
@@ -441,8 +455,15 @@ mod tests {
     fn byte_budget_respected() {
         for budget in [64usize, 1000, 4096, 100_000] {
             let f = CuckooFilter::with_byte_budget(budget);
-            assert!(f.memory_bytes() <= budget, "{} > {budget}", f.memory_bytes());
-            assert!(f.memory_bytes() * 4 >= budget, "wastes too much of the budget");
+            assert!(
+                f.memory_bytes() <= budget,
+                "{} > {budget}",
+                f.memory_bytes()
+            );
+            assert!(
+                f.memory_bytes() * 4 >= budget,
+                "wastes too much of the budget"
+            );
         }
     }
 

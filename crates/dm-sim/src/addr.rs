@@ -92,7 +92,10 @@ impl RemotePtr {
     ///
     /// Panics if `packed` has bits set above bit 47.
     pub fn from_packed48(packed: u64) -> Self {
-        assert!(packed < (1 << 48), "packed pointer {packed:#x} exceeds 48 bits");
+        assert!(
+            packed < (1 << 48),
+            "packed pointer {packed:#x} exceeds 48 bits"
+        );
         RemotePtr::new((packed >> 40) as u16, packed & ((1 << 40) - 1))
     }
 
@@ -120,7 +123,12 @@ impl fmt::Debug for RemotePtr {
         if self.is_null() {
             write!(f, "RemotePtr(NULL)")
         } else {
-            write!(f, "RemotePtr(mn={}, off={:#x})", self.mn_id(), self.offset())
+            write!(
+                f,
+                "RemotePtr(mn={}, off={:#x})",
+                self.mn_id(),
+                self.offset()
+            )
         }
     }
 }

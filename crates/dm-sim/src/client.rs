@@ -143,7 +143,9 @@ impl DoorbellBatch {
 
     /// Creates an empty batch with capacity for `n` verbs.
     pub fn with_capacity(n: usize) -> Self {
-        DoorbellBatch { verbs: Vec::with_capacity(n) }
+        DoorbellBatch {
+            verbs: Vec::with_capacity(n),
+        }
     }
 
     /// Appends a verb to the batch.
@@ -170,7 +172,9 @@ impl Extend<Verb> for DoorbellBatch {
 
 impl FromIterator<Verb> for DoorbellBatch {
     fn from_iter<T: IntoIterator<Item = Verb>>(iter: T) -> Self {
-        DoorbellBatch { verbs: Vec::from_iter(iter) }
+        DoorbellBatch {
+            verbs: Vec::from_iter(iter),
+        }
     }
 }
 
@@ -189,7 +193,12 @@ pub struct DmClient {
 
 impl DmClient {
     pub(crate) fn new(inner: Arc<ClusterInner>, cn_id: u16) -> Self {
-        DmClient { inner, cn_id, clock_ns: 0, stats: ClientStats::default() }
+        DmClient {
+            inner,
+            cn_id,
+            clock_ns: 0,
+            stats: ClientStats::default(),
+        }
     }
 
     /// The compute node this client runs on.
@@ -279,17 +288,23 @@ impl DmClient {
         self.stats.verbs += batch.verbs.len() as u64;
 
         // Apply memory effects and collect results.
+        let fault_hook = self.inner.fault_hook.get();
         let mut results = Vec::with_capacity(batch.verbs.len());
         for verb in batch.verbs {
-            let mn = self
-                .inner
-                .mns
-                .get(verb.mn_id() as usize)
-                .ok_or(DmError::UnknownMemoryNode { mn_id: verb.mn_id() })?;
+            let mn =
+                self.inner
+                    .mns
+                    .get(verb.mn_id() as usize)
+                    .ok_or(DmError::UnknownMemoryNode {
+                        mn_id: verb.mn_id(),
+                    })?;
             let res = match verb {
                 Verb::Read { ptr, len } => {
                     let mut buf = vec![0u8; len];
                     mn.read_bytes(ptr.offset(), &mut buf)?;
+                    if let Some(hook) = &fault_hook {
+                        hook.corrupt_read(ptr, &mut buf);
+                    }
                     self.stats.bytes_read += len as u64;
                     VerbResult::Read(buf)
                 }
@@ -320,7 +335,9 @@ impl DmClient {
     ///
     /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
     pub fn read(&mut self, ptr: RemotePtr, len: usize) -> Result<Vec<u8>, DmError> {
-        let mut res = self.execute(DoorbellBatch { verbs: vec![Verb::Read { ptr, len }] })?;
+        let mut res = self.execute(DoorbellBatch {
+            verbs: vec![Verb::Read { ptr, len }],
+        })?;
         Ok(res.pop().expect("one result").into_read())
     }
 
@@ -330,7 +347,12 @@ impl DmClient {
     ///
     /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
     pub fn write(&mut self, ptr: RemotePtr, data: &[u8]) -> Result<(), DmError> {
-        self.execute(DoorbellBatch { verbs: vec![Verb::Write { ptr, data: data.to_vec() }] })?;
+        self.execute(DoorbellBatch {
+            verbs: vec![Verb::Write {
+                ptr,
+                data: data.to_vec(),
+            }],
+        })?;
         Ok(())
     }
 
@@ -359,7 +381,9 @@ impl DmClient {
     ///
     /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
     pub fn cas(&mut self, ptr: RemotePtr, expected: u64, new: u64) -> Result<u64, DmError> {
-        let mut res = self.execute(DoorbellBatch { verbs: vec![Verb::Cas { ptr, expected, new }] })?;
+        let mut res = self.execute(DoorbellBatch {
+            verbs: vec![Verb::Cas { ptr, expected, new }],
+        })?;
         Ok(res.pop().expect("one result").into_cas())
     }
 
@@ -369,7 +393,9 @@ impl DmClient {
     ///
     /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
     pub fn faa(&mut self, ptr: RemotePtr, delta: u64) -> Result<u64, DmError> {
-        let mut res = self.execute(DoorbellBatch { verbs: vec![Verb::Faa { ptr, delta }] })?;
+        let mut res = self.execute(DoorbellBatch {
+            verbs: vec![Verb::Faa { ptr, delta }],
+        })?;
         match res.pop().expect("one result") {
             VerbResult::Faa(v) => Ok(v),
             other => panic!("expected Faa result, got {other:?}"),
@@ -417,6 +443,44 @@ impl DmClient {
     }
 }
 
+/// The simulator-backed [`Transport`](crate::Transport): supplies the
+/// required primitives and inherits the batch combinators. The inherent
+/// methods above keep working unchanged (they shadow the same-named trait
+/// provided methods with identical behaviour).
+impl crate::transport::Transport for DmClient {
+    fn execute(&mut self, batch: DoorbellBatch) -> Result<Vec<VerbResult>, DmError> {
+        DmClient::execute(self, batch)
+    }
+
+    fn stats(&self) -> ClientStats {
+        DmClient::stats(self)
+    }
+
+    fn clock_ns(&self) -> u64 {
+        DmClient::clock_ns(self)
+    }
+
+    fn advance_clock(&mut self, ns: u64) {
+        DmClient::advance_clock(self, ns);
+    }
+
+    fn place(&self, hash: u64) -> u16 {
+        DmClient::place(self, hash)
+    }
+
+    fn num_mns(&self) -> u16 {
+        DmClient::num_mns(self)
+    }
+
+    fn alloc(&mut self, mn_id: u16, size: usize) -> Result<RemotePtr, DmError> {
+        DmClient::alloc(self, mn_id, size)
+    }
+
+    fn free(&mut self, ptr: RemotePtr) -> Result<(), DmError> {
+        DmClient::free(self, ptr)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,8 +514,14 @@ mod tests {
         let a = cl.alloc(0, 8).unwrap();
         let b = cl.alloc(0, 8).unwrap();
         let mut batch = DoorbellBatch::new();
-        batch.push(Verb::Write { ptr: a, data: vec![1; 8] });
-        batch.push(Verb::Write { ptr: b, data: vec![2; 8] });
+        batch.push(Verb::Write {
+            ptr: a,
+            data: vec![1; 8],
+        });
+        batch.push(Verb::Write {
+            ptr: b,
+            data: vec![2; 8],
+        });
         batch.push(Verb::Read { ptr: a, len: 8 });
         cl.execute(batch).unwrap();
         assert_eq!(cl.stats().round_trips, 1);
@@ -520,8 +590,14 @@ mod tests {
         let p = cl.alloc(0, 16).unwrap();
         let q = p.checked_add(8).unwrap();
         let mut batch = DoorbellBatch::new();
-        batch.push(Verb::Write { ptr: p, data: 1u64.to_le_bytes().to_vec() });
-        batch.push(Verb::Write { ptr: q, data: 2u64.to_le_bytes().to_vec() });
+        batch.push(Verb::Write {
+            ptr: p,
+            data: 1u64.to_le_bytes().to_vec(),
+        });
+        batch.push(Verb::Write {
+            ptr: q,
+            data: 2u64.to_le_bytes().to_vec(),
+        });
         batch.push(Verb::Read { ptr: p, len: 8 });
         batch.push(Verb::Read { ptr: q, len: 8 });
         let res = cl.execute(batch).unwrap();
@@ -550,7 +626,12 @@ mod tests {
             num_mns: 1,
             num_cns: 1,
             mn_capacity: 1 << 20,
-            net: NetConfig { rtt_ns: 2000, msg_ns: 5000, byte_ns_x1000: 80, client_op_ns: 0 },
+            net: NetConfig {
+                rtt_ns: 2000,
+                msg_ns: 5000,
+                byte_ns_x1000: 80,
+                client_op_ns: 0,
+            },
             ..Default::default()
         };
         let c = DmCluster::new(config);

@@ -1,12 +1,16 @@
 //! Cluster assembly: memory nodes, compute-node NICs, placement ring.
 
+use std::fmt;
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::client::DmClient;
 use crate::error::DmError;
 use crate::heap::MemoryNode;
 use crate::net::{NetConfig, Nic};
 use crate::ring::HashRing;
+use crate::transport::FaultHook;
 
 /// Topology and cost parameters for a simulated DM cluster.
 ///
@@ -38,12 +42,39 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Cluster-wide [`FaultHook`] slot: installed once, observed by every
+/// client at the READ choke point in `DmClient::execute`.
+#[derive(Default)]
+pub(crate) struct FaultSlot(Mutex<Option<Arc<dyn FaultHook>>>);
+
+impl FaultSlot {
+    pub(crate) fn get(&self) -> Option<Arc<dyn FaultHook>> {
+        self.0.lock().clone()
+    }
+
+    fn set(&self, hook: Option<Arc<dyn FaultHook>>) {
+        *self.0.lock() = hook;
+    }
+}
+
+impl fmt::Debug for FaultSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = if self.0.lock().is_some() {
+            "installed"
+        } else {
+            "empty"
+        };
+        write!(f, "FaultSlot({state})")
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct ClusterInner {
     pub(crate) mns: Vec<MemoryNode>,
     pub(crate) cn_nics: Vec<Nic>,
     pub(crate) ring: HashRing,
     pub(crate) config: ClusterConfig,
+    pub(crate) fault_hook: FaultSlot,
 }
 
 /// A simulated disaggregated-memory cluster.
@@ -74,13 +105,26 @@ impl DmCluster {
     /// Panics if `num_mns` or `num_cns` is zero.
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.num_mns > 0, "cluster needs at least one memory node");
-        assert!(config.num_cns > 0, "cluster needs at least one compute node");
+        assert!(
+            config.num_cns > 0,
+            "cluster needs at least one compute node"
+        );
         let mns = (0..config.num_mns)
             .map(|id| MemoryNode::new(id, config.mn_capacity, &config.net))
             .collect();
-        let cn_nics = (0..config.num_cns).map(|_| Nic::new(config.net.clone())).collect();
+        let cn_nics = (0..config.num_cns)
+            .map(|_| Nic::new(config.net.clone()))
+            .collect();
         let ring = HashRing::new(config.num_mns, config.vnodes);
-        DmCluster { inner: Arc::new(ClusterInner { mns, cn_nics, ring, config }) }
+        DmCluster {
+            inner: Arc::new(ClusterInner {
+                mns,
+                cn_nics,
+                ring,
+                config,
+                fault_hook: FaultSlot::default(),
+            }),
+        }
     }
 
     /// Creates a client attached to compute node `cn_id`'s NIC.
@@ -119,12 +163,19 @@ impl DmCluster {
     ///
     /// Returns [`DmError::UnknownMemoryNode`] for an out-of-range id.
     pub fn mn(&self, mn_id: u16) -> Result<&MemoryNode, DmError> {
-        self.inner.mns.get(mn_id as usize).ok_or(DmError::UnknownMemoryNode { mn_id })
+        self.inner
+            .mns
+            .get(mn_id as usize)
+            .ok_or(DmError::UnknownMemoryNode { mn_id })
     }
 
     /// Total live bytes across all MN pools (Fig. 6 accounting).
     pub fn total_live_bytes(&self) -> u64 {
-        self.inner.mns.iter().map(|m| m.alloc_stats().live_bytes).sum()
+        self.inner
+            .mns
+            .iter()
+            .map(|m| m.alloc_stats().live_bytes)
+            .sum()
     }
 
     /// Sum of messages processed by all MN NICs.
@@ -147,6 +198,15 @@ impl DmCluster {
     pub fn config(&self) -> &ClusterConfig {
         &self.inner.config
     }
+
+    /// Installs (or, with `None`, removes) the cluster-wide fault-injection
+    /// hook. Every subsequent READ issued by any client — existing or newly
+    /// created — passes its result bytes through the hook at the
+    /// [`Transport::execute`](crate::Transport::execute) choke point.
+    /// Remote memory is never altered, so injected faults are transient.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn FaultHook>>) {
+        self.inner.fault_hook.set(hook);
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +224,10 @@ mod tests {
 
     #[test]
     fn placement_covers_all_mns() {
-        let c = DmCluster::new(ClusterConfig { num_mns: 4, ..Default::default() });
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 4,
+            ..Default::default()
+        });
         let mut seen = [false; 4];
         for i in 0..1000u64 {
             seen[c.place(i) as usize] = true;

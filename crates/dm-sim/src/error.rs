@@ -42,7 +42,10 @@ impl fmt::Display for DmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DmError::OutOfMemory { mn_id, requested } => {
-                write!(f, "memory node {mn_id} out of memory ({requested} bytes requested)")
+                write!(
+                    f,
+                    "memory node {mn_id} out of memory ({requested} bytes requested)"
+                )
             }
             DmError::InvalidAddress { mn_id, offset } => {
                 write!(f, "invalid address {offset:#x} on memory node {mn_id}")
@@ -68,7 +71,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let e = DmError::OutOfMemory { mn_id: 1, requested: 64 };
+        let e = DmError::OutOfMemory {
+            mn_id: 1,
+            requested: 64,
+        };
         let s = e.to_string();
         assert!(s.starts_with("memory node 1 out of memory"));
         assert!(!s.ends_with('.'));

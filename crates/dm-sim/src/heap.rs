@@ -69,9 +69,15 @@ impl MemoryNode {
     fn check_range(&self, offset: u64, len: usize) -> Result<(), DmError> {
         let end = offset
             .checked_add(len as u64)
-            .ok_or(DmError::InvalidAddress { mn_id: self.id, offset })?;
+            .ok_or(DmError::InvalidAddress {
+                mn_id: self.id,
+                offset,
+            })?;
         if end > self.capacity() as u64 {
-            return Err(DmError::InvalidAddress { mn_id: self.id, offset });
+            return Err(DmError::InvalidAddress {
+                mn_id: self.id,
+                offset,
+            });
         }
         Ok(())
     }
@@ -208,7 +214,10 @@ impl MemoryNode {
             .allocator
             .lock()
             .alloc(size as u64)
-            .ok_or(DmError::OutOfMemory { mn_id: self.id, requested: size })?;
+            .ok_or(DmError::OutOfMemory {
+                mn_id: self.id,
+                requested: size,
+            })?;
         // Zero the region so recycled blocks don't leak stale contents
         // (a fresh RDMA-registered region is zeroed too).
         let zero = vec![0u8; size];
@@ -284,8 +293,14 @@ mod tests {
     #[test]
     fn misaligned_atomics_rejected() {
         let mn = node();
-        assert!(matches!(mn.load_u64(4), Err(DmError::MisalignedAtomic { .. })));
-        assert!(matches!(mn.cas_u64(1, 0, 1), Err(DmError::MisalignedAtomic { .. })));
+        assert!(matches!(
+            mn.load_u64(4),
+            Err(DmError::MisalignedAtomic { .. })
+        ));
+        assert!(matches!(
+            mn.cas_u64(1, 0, 1),
+            Err(DmError::MisalignedAtomic { .. })
+        ));
     }
 
     #[test]

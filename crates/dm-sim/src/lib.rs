@@ -47,6 +47,7 @@ mod heap;
 mod net;
 mod ring;
 mod stats;
+mod transport;
 
 pub use addr::RemotePtr;
 pub use alloc::{size_class, AllocStats};
@@ -57,3 +58,4 @@ pub use heap::MemoryNode;
 pub use net::{NetConfig, Nic};
 pub use ring::HashRing;
 pub use stats::{ClientStats, LatencyHistogram};
+pub use transport::{FaultHook, RetryPolicy, Transport};

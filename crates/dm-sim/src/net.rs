@@ -51,7 +51,12 @@ pub struct NetConfig {
 
 impl Default for NetConfig {
     fn default() -> Self {
-        NetConfig { rtt_ns: 2_000, msg_ns: 10, byte_ns_x1000: 80, client_op_ns: 150 }
+        NetConfig {
+            rtt_ns: 2_000,
+            msg_ns: 10,
+            byte_ns_x1000: 80,
+            client_op_ns: 150,
+        }
     }
 }
 
@@ -68,7 +73,12 @@ impl NetConfig {
     /// cheap, the *number* of round trips matters less and an index's
     /// bandwidth footprint matters relatively more.
     pub fn cxl() -> Self {
-        NetConfig { rtt_ns: 400, msg_ns: 4, byte_ns_x1000: 16, client_op_ns: 60 }
+        NetConfig {
+            rtt_ns: 400,
+            msg_ns: 4,
+            byte_ns_x1000: 16,
+            client_op_ns: 60,
+        }
     }
 
     /// Service time a batch of `msgs` messages moving `bytes` payload bytes
@@ -158,7 +168,12 @@ mod tests {
 
     #[test]
     fn service_time_formula() {
-        let c = NetConfig { rtt_ns: 2000, msg_ns: 10, byte_ns_x1000: 80, client_op_ns: 0 };
+        let c = NetConfig {
+            rtt_ns: 2000,
+            msg_ns: 10,
+            byte_ns_x1000: 80,
+            client_op_ns: 0,
+        };
         // 5 msgs, 1000 bytes: 50 + 80 = 130 ns
         assert_eq!(c.service_ns(5, 1000), 130);
     }
@@ -168,8 +183,14 @@ mod tests {
         let rdma = NetConfig::rdma();
         let cxl = NetConfig::cxl();
         assert_eq!(rdma, NetConfig::default());
-        assert!(cxl.rtt_ns < rdma.rtt_ns / 2, "CXL round trips are much cheaper");
-        assert!(cxl.byte_ns_x1000 < rdma.byte_ns_x1000, "CXL links are faster");
+        assert!(
+            cxl.rtt_ns < rdma.rtt_ns / 2,
+            "CXL round trips are much cheaper"
+        );
+        assert!(
+            cxl.byte_ns_x1000 < rdma.byte_ns_x1000,
+            "CXL links are faster"
+        );
     }
 
     #[test]

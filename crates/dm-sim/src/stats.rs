@@ -22,7 +22,11 @@ const NUM_BUCKETS: usize = OCTAVES * SUB;
 fn bucket_index(ns: u64) -> usize {
     let ns = ns.max(1);
     let octave = (63 - ns.leading_zeros()) as usize;
-    let sub = if octave >= 2 { ((ns >> (octave - 2)) & 0b11) as usize } else { 0 };
+    let sub = if octave >= 2 {
+        ((ns >> (octave - 2)) & 0b11) as usize
+    } else {
+        0
+    };
     (octave * SUB + sub).min(NUM_BUCKETS - 1)
 }
 
@@ -50,7 +54,12 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { buckets: vec![0; NUM_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
     }
 
     /// Records one latency sample.
@@ -171,7 +180,10 @@ mod tests {
             let idx = super::bucket_index(ns);
             assert!(idx >= prev, "index not monotone at {ns}");
             prev = idx;
-            assert!(super::bucket_upper(idx) >= ns, "upper bound below sample {ns}");
+            assert!(
+                super::bucket_upper(idx) >= ns,
+                "upper bound below sample {ns}"
+            );
         }
     }
 
@@ -196,8 +208,18 @@ mod tests {
 
     #[test]
     fn stats_since() {
-        let a = ClientStats { round_trips: 10, verbs: 20, bytes_read: 100, bytes_written: 50 };
-        let b = ClientStats { round_trips: 4, verbs: 5, bytes_read: 40, bytes_written: 20 };
+        let a = ClientStats {
+            round_trips: 10,
+            verbs: 20,
+            bytes_read: 100,
+            bytes_written: 50,
+        };
+        let b = ClientStats {
+            round_trips: 4,
+            verbs: 5,
+            bytes_read: 40,
+            bytes_written: 20,
+        };
         let d = a.since(&b);
         assert_eq!(d.round_trips, 6);
         assert_eq!(d.bytes_total(), 90);

@@ -1,0 +1,397 @@
+//! The remote-access engine interface: verbs + batching + instrumentation.
+//!
+//! [`Transport`] is the single seam between index structures and the
+//! substrate. Index crates (`sphinx`, `baselines`, `bptree`, `race-hash`)
+//! never build [`DoorbellBatch`]es themselves; they call the provided
+//! combinators here, so every round trip flows through one choke point
+//! ([`Transport::execute`]) where the per-client [`ClientStats`] counters
+//! and the cluster's [`FaultHook`] live. Porting the stack to a different
+//! fabric (real RDMA, CXL) means implementing this trait once, not
+//! touching five crates.
+
+use crate::addr::RemotePtr;
+use crate::client::{DoorbellBatch, Verb, VerbResult};
+use crate::error::DmError;
+use crate::stats::ClientStats;
+
+/// Shared bounded-retry configuration for every remote protocol loop.
+///
+/// Before this existed each index crate hard-coded its own constants
+/// (`OP_RETRY_LIMIT`, `IO_RETRY_LIMIT`, `RETRY_LIMIT`, `SPIN_NS`).
+/// The defaults preserve those values:
+///
+/// * [`op_retries`](RetryPolicy::op_retries) = 200 000 — full-operation
+///   loops (lookup through the hash table, lock acquisition, insert
+///   descent). The bound only exists to turn livelock into a reported
+///   error; healthy contention resolves within tens of iterations.
+/// * [`io_retries`](RetryPolicy::io_retries) = 64 — single-node validated
+///   reads (torn checksum / seqlock retries). A torn read means a writer
+///   was mid-flight, so a handful of retries always suffices; 64 is deep
+///   paranoia.
+/// * [`backoff_ns`](RetryPolicy::backoff_ns) = 200 — virtual nanoseconds
+///   charged per retry (plus an OS `yield_now`, see
+///   [`Transport::backoff`]), modelling CN-side pause before re-polling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempt bound for full-operation retry loops.
+    pub op_retries: usize,
+    /// Attempt bound for single-node validated-read loops.
+    pub io_retries: usize,
+    /// Virtual time charged by one [`Transport::backoff`] call.
+    pub backoff_ns: u64,
+}
+
+impl RetryPolicy {
+    /// The documented defaults (see the type-level docs).
+    pub const fn new() -> Self {
+        RetryPolicy {
+            op_retries: 200_000,
+            io_retries: 64,
+            backoff_ns: 200,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new()
+    }
+}
+
+/// A fault-injection hook applied to every READ result at the
+/// [`Transport::execute`] choke point (installed cluster-wide via
+/// [`DmCluster::set_fault_hook`](crate::DmCluster::set_fault_hook)).
+///
+/// The hook corrupts only the *returned* bytes — remote memory stays
+/// intact — so an injected fault behaves exactly like a torn RDMA read:
+/// transient, and gone on retry. Tests use this to prove the validated
+/// read paths (checksums, seqlocks) catch arbitrary word tears.
+pub trait FaultHook: Send + Sync {
+    /// May mutate `data`, the bytes about to be returned for a READ of
+    /// `ptr`. Called after memory effects are applied, before the result
+    /// reaches the caller.
+    fn corrupt_read(&self, ptr: RemotePtr, data: &mut [u8]);
+}
+
+/// One-sided remote access with doorbell batching and unified counters.
+///
+/// [`DmClient`](crate::DmClient) is the simulator-backed implementation.
+/// All the batch-building combinators are provided methods layered on
+/// [`execute`](Transport::execute), so an implementation only supplies the
+/// six required primitives and inherits identical batching semantics and
+/// accounting.
+pub trait Transport {
+    /// Executes a doorbell batch: verbs to the same MN share one round
+    /// trip, verbs to `k` MNs cost `k` parallel round trips, and memory
+    /// effects apply **in verb order** (a READ after a CAS in one batch
+    /// observes the post-CAS state). Results are returned in verb order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first addressing/alignment error; effects of preceding
+    /// verbs are retained.
+    fn execute(&mut self, batch: DoorbellBatch) -> Result<Vec<VerbResult>, DmError>;
+
+    /// Cumulative per-client network counters (round trips, verbs, bytes).
+    fn stats(&self) -> ClientStats;
+
+    /// Current virtual time in nanoseconds.
+    fn clock_ns(&self) -> u64;
+
+    /// Advances the virtual clock by `ns` (models CN-side compute).
+    fn advance_clock(&mut self, ns: u64);
+
+    /// Consistent-hash placement: which MN owns an object with this hash.
+    fn place(&self, hash: u64) -> u16;
+
+    /// Number of memory nodes reachable through this transport.
+    fn num_mns(&self) -> u16;
+
+    /// Allocates `size` bytes on memory node `mn_id` (off the critical
+    /// path: charged no network time, like leased slabs in FaRM/Sherman).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::OutOfMemory`] or [`DmError::UnknownMemoryNode`].
+    fn alloc(&mut self, mn_id: u16, size: usize) -> Result<RemotePtr, DmError>;
+
+    /// Frees a previously allocated region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidFree`] or [`DmError::UnknownMemoryNode`].
+    fn free(&mut self, ptr: RemotePtr) -> Result<(), DmError>;
+
+    /// Allocates on the MN chosen by consistent hashing of `hash`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::OutOfMemory`].
+    fn alloc_placed(&mut self, hash: u64, size: usize) -> Result<RemotePtr, DmError> {
+        let mn = self.place(hash);
+        self.alloc(mn, size)
+    }
+
+    /// Reads `len` bytes at `ptr` in one round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    fn read(&mut self, ptr: RemotePtr, len: usize) -> Result<Vec<u8>, DmError> {
+        let mut res = self.execute([Verb::Read { ptr, len }].into_iter().collect())?;
+        Ok(res.pop().expect("one result").into_read())
+    }
+
+    /// Writes `data` at `ptr` in one round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    fn write(&mut self, ptr: RemotePtr, data: &[u8]) -> Result<(), DmError> {
+        self.execute(
+            [Verb::Write {
+                ptr,
+                data: data.to_vec(),
+            }]
+            .into_iter()
+            .collect(),
+        )?;
+        Ok(())
+    }
+
+    /// Reads the 8-byte word at `ptr` (one round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    fn read_u64(&mut self, ptr: RemotePtr) -> Result<u64, DmError> {
+        let bytes = self.read(ptr, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Writes the 8-byte word at `ptr` (one round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    fn write_u64(&mut self, ptr: RemotePtr, value: u64) -> Result<(), DmError> {
+        self.write(ptr, &value.to_le_bytes())
+    }
+
+    /// CAS on the word at `ptr`; returns the previous value (success ⇔ it
+    /// equals `expected`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    fn cas(&mut self, ptr: RemotePtr, expected: u64, new: u64) -> Result<u64, DmError> {
+        let mut res = self.execute([Verb::Cas { ptr, expected, new }].into_iter().collect())?;
+        Ok(res.pop().expect("one result").into_cas())
+    }
+
+    /// FAA on the word at `ptr`; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    fn faa(&mut self, ptr: RemotePtr, delta: u64) -> Result<u64, DmError> {
+        let mut res = self.execute([Verb::Faa { ptr, delta }].into_iter().collect())?;
+        match res.pop().expect("one result") {
+            VerbResult::Faa(v) => Ok(v),
+            other => panic!("expected Faa result, got {other:?}"),
+        }
+    }
+
+    /// Doorbell-batched reads: all targets on one MN share a single round
+    /// trip (the INHT's parallel hash-entry fetch, scan leaf runs,
+    /// multi-get lanes). Results are in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    fn read_many(&mut self, reads: &[(RemotePtr, usize)]) -> Result<Vec<Vec<u8>>, DmError> {
+        let batch: DoorbellBatch = reads
+            .iter()
+            .map(|&(ptr, len)| Verb::Read { ptr, len })
+            .collect();
+        Ok(self
+            .execute(batch)?
+            .into_iter()
+            .map(VerbResult::into_read)
+            .collect())
+    }
+
+    /// Doorbell-batched writes (e.g. publishing a split's leaf + inner
+    /// node together, or a seqlock node's tail/body/header trio).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
+    fn write_many(&mut self, writes: Vec<(RemotePtr, Vec<u8>)>) -> Result<(), DmError> {
+        let batch: DoorbellBatch = writes
+            .into_iter()
+            .map(|(ptr, data)| Verb::Write { ptr, data })
+            .collect();
+        self.execute(batch)?;
+        Ok(())
+    }
+
+    /// One CAS piggybacked with one read in a single batch. Verbs apply in
+    /// order, so the read observes the post-CAS state — the guarded-install
+    /// and lock-acquire building block (§IV). Returns the CAS's previous
+    /// value and the read bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    fn cas_and_read(
+        &mut self,
+        cas_ptr: RemotePtr,
+        expected: u64,
+        new: u64,
+        read_ptr: RemotePtr,
+        read_len: usize,
+    ) -> Result<(u64, Vec<u8>), DmError> {
+        let batch: DoorbellBatch = [
+            Verb::Cas {
+                ptr: cas_ptr,
+                expected,
+                new,
+            },
+            Verb::Read {
+                ptr: read_ptr,
+                len: read_len,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let mut res = self.execute(batch)?;
+        let bytes = res.pop().expect("read result").into_read();
+        let prev = res.pop().expect("cas result").into_cas();
+        Ok((prev, bytes))
+    }
+
+    /// Doorbell-batched FAAs; returns previous values in input order (used
+    /// by RACE segment splits to bump every bucket header's version in one
+    /// round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
+    fn faa_many(&mut self, targets: &[(RemotePtr, u64)]) -> Result<Vec<u64>, DmError> {
+        let batch: DoorbellBatch = targets
+            .iter()
+            .map(|&(ptr, delta)| Verb::Faa { ptr, delta })
+            .collect();
+        self.execute(batch)?
+            .into_iter()
+            .map(|r| match r {
+                VerbResult::Faa(v) => Ok(v),
+                other => panic!("expected Faa result, got {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Contention backoff: charges [`RetryPolicy::backoff_ns`] of virtual
+    /// time and yields the OS thread so the conflicting (simulated) peer
+    /// can make progress.
+    fn backoff(&mut self, policy: &RetryPolicy) {
+        self.advance_clock(policy.backoff_ns);
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, DmCluster};
+    use crate::DmClient;
+
+    fn client() -> (DmCluster, DmClient) {
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 2,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        });
+        let cl = c.client(0);
+        (c, cl)
+    }
+
+    /// The combinators must preserve the doorbell accounting: same-MN
+    /// batches are one round trip through any Transport.
+    #[test]
+    fn read_many_same_mn_is_one_round_trip() {
+        let (_c, mut t) = client();
+        let a = Transport::alloc(&mut t, 0, 64).unwrap();
+        let b = Transport::alloc(&mut t, 0, 64).unwrap();
+        Transport::write(&mut t, a, b"aaaa").unwrap();
+        Transport::write(&mut t, b, b"bbbb").unwrap();
+        let before = Transport::stats(&t).round_trips;
+        let got = t.read_many(&[(a, 4), (b, 4)]).unwrap();
+        assert_eq!(got, vec![b"aaaa".to_vec(), b"bbbb".to_vec()]);
+        assert_eq!(Transport::stats(&t).round_trips - before, 1);
+    }
+
+    #[test]
+    fn read_many_two_mns_is_two_round_trips() {
+        let (_c, mut t) = client();
+        let a = Transport::alloc(&mut t, 0, 64).unwrap();
+        let b = Transport::alloc(&mut t, 1, 64).unwrap();
+        let before = Transport::stats(&t).round_trips;
+        t.read_many(&[(a, 8), (b, 8)]).unwrap();
+        assert_eq!(Transport::stats(&t).round_trips - before, 2);
+    }
+
+    #[test]
+    fn cas_and_read_observes_post_cas_state() {
+        let (_c, mut t) = client();
+        let p = Transport::alloc(&mut t, 0, 8).unwrap();
+        Transport::write_u64(&mut t, p, 5).unwrap();
+        let before = Transport::stats(&t).round_trips;
+        let (prev, bytes) = t.cas_and_read(p, 5, 9, p, 8).unwrap();
+        assert_eq!(Transport::stats(&t).round_trips - before, 1);
+        assert_eq!(prev, 5);
+        assert_eq!(u64::from_le_bytes(bytes.try_into().unwrap()), 9);
+        // A losing CAS leaves the word alone and the read proves it.
+        let (prev, bytes) = t.cas_and_read(p, 5, 11, p, 8).unwrap();
+        assert_eq!(prev, 9);
+        assert_eq!(u64::from_le_bytes(bytes.try_into().unwrap()), 9);
+    }
+
+    #[test]
+    fn write_many_and_faa_many_batch() {
+        let (_c, mut t) = client();
+        let a = Transport::alloc(&mut t, 0, 8).unwrap();
+        let b = Transport::alloc(&mut t, 0, 8).unwrap();
+        let before = Transport::stats(&t).round_trips;
+        t.write_many(vec![
+            (a, 1u64.to_le_bytes().to_vec()),
+            (b, 2u64.to_le_bytes().to_vec()),
+        ])
+        .unwrap();
+        let prevs = t.faa_many(&[(a, 10), (b, 10)]).unwrap();
+        assert_eq!(Transport::stats(&t).round_trips - before, 2);
+        assert_eq!(prevs, vec![1, 2]);
+        assert_eq!(Transport::read_u64(&mut t, a).unwrap(), 11);
+        assert_eq!(Transport::read_u64(&mut t, b).unwrap(), 12);
+    }
+
+    #[test]
+    fn backoff_charges_policy_time() {
+        let (_c, mut t) = client();
+        let policy = RetryPolicy::default();
+        let t0 = Transport::clock_ns(&t);
+        t.backoff(&policy);
+        assert_eq!(Transport::clock_ns(&t) - t0, policy.backoff_ns);
+    }
+
+    #[test]
+    fn default_policy_matches_documented_constants() {
+        let p = RetryPolicy::default();
+        assert_eq!(
+            (p.op_retries, p.io_retries, p.backoff_ns),
+            (200_000, 64, 200)
+        );
+    }
+}

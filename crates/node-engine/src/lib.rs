@@ -1,0 +1,388 @@
+//! # node-engine — validated remote node I/O
+//!
+//! The layer between the index structures and the [`Transport`]: every
+//! protocol building block that reads or publishes `art-core::layout`
+//! nodes over the network lives here, generic over any [`Transport`]
+//! implementation.
+//!
+//! ```text
+//!   sphinx / baselines / bptree / race-hash     (index logic)
+//!                  │
+//!             node-engine                        (validated reads,
+//!                  │                              guarded installs,
+//!              Transport                          shared RetryPolicy)
+//!                  │
+//!               dm-sim                            (verbs, doorbell
+//!                                                  batching, counters,
+//!                                                  fault hook)
+//! ```
+//!
+//! Before this crate existed, `sphinx`, `baselines`, `bptree` and
+//! `race-hash` each carried a private copy of this scaffolding (torn-read
+//! retry loops, CAS+read doorbell batches, ad-hoc retry constants). The
+//! single shared [`RetryPolicy`] and the primitives below replace all of
+//! them, so the per-op round-trip/byte accounting of every system flows
+//! through the same [`Transport::execute`] choke point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use art_core::hash::prefix_hash64;
+use art_core::layout::{InnerNode, LayoutError, LeafNode, NodeStatus};
+use art_core::NodeKind;
+use dm_sim::{DmError, RemotePtr, Transport};
+
+pub use dm_sim::RetryPolicy;
+
+/// Errors surfaced by the engine primitives. Index crates wrap this into
+/// their own error types (`From` impls on their side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// Substrate (network/memory) error.
+    Dm(DmError),
+    /// Node bytes failed structural validation.
+    Layout(LayoutError),
+    /// A bounded retry loop hit its [`RetryPolicy`] limit.
+    RetriesExhausted {
+        /// Which protocol step gave up.
+        op: &'static str,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Dm(e) => write!(f, "substrate error: {e}"),
+            EngineError::Layout(e) => write!(f, "layout error: {e}"),
+            EngineError::RetriesExhausted { op } => {
+                write!(f, "retries exhausted during {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DmError> for EngineError {
+    fn from(e: DmError) -> Self {
+        EngineError::Dm(e)
+    }
+}
+
+impl From<LayoutError> for EngineError {
+    fn from(e: LayoutError) -> Self {
+        EngineError::Layout(e)
+    }
+}
+
+/// Outcome of a guarded single-word install into an inner node.
+///
+/// The distinction matters for memory safety: buffers referenced by the
+/// installed word may be freed only on [`Install::Raced`] (the CAS never
+/// landed). After [`Install::Ambiguous`] the word may live on in a
+/// type-switched copy of the node, so freeing would let the allocator
+/// recycle memory the live tree still points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Install {
+    /// The word is installed in a live (Idle) node.
+    Done,
+    /// The CAS lost: nothing was installed; referenced buffers are safe to
+    /// free.
+    Raced,
+    /// The CAS landed while the node was mid-type-switch: the install may
+    /// or may not survive in the replacement. Retry via a fresh lookup and
+    /// do not free.
+    Ambiguous,
+}
+
+/// Reads and decodes an inner node of known kind (one round trip).
+///
+/// If the node's kind no longer matches (a type switch raced with the read
+/// of a stale pointer), the decoded node is still returned: the caller sees
+/// its `Invalid`/mismatched header and retries through the hash table.
+///
+/// # Errors
+///
+/// [`EngineError::Dm`] on substrate failure, [`EngineError::Layout`] if the
+/// bytes do not decode as an inner node at all.
+pub fn read_inner_consistent<T: Transport>(
+    t: &mut T,
+    ptr: RemotePtr,
+    kind: NodeKind,
+) -> Result<InnerNode, EngineError> {
+    let bytes = t.read(ptr, InnerNode::byte_size(kind))?;
+    Ok(InnerNode::decode(&bytes)?)
+}
+
+/// Reads and decodes a leaf, retrying torn reads (checksum mismatches from
+/// concurrent in-place updates) and extending the read if the leaf is
+/// larger than `hint` bytes. Each torn read bumps `checksum_retries` and
+/// charges one [`Transport::backoff`]; after
+/// [`RetryPolicy::io_retries`] attempts the read gives up.
+///
+/// # Errors
+///
+/// [`EngineError::RetriesExhausted`] when a writer livelocks the leaf past
+/// the policy bound, [`EngineError::Layout`] for structural (non-checksum)
+/// decode failures, [`EngineError::Dm`] on substrate failure.
+pub fn read_validated_leaf<T: Transport>(
+    t: &mut T,
+    ptr: RemotePtr,
+    hint: usize,
+    policy: &RetryPolicy,
+    checksum_retries: &mut u64,
+) -> Result<LeafNode, EngineError> {
+    let mut read_len = hint.max(64);
+    for _ in 0..policy.io_retries {
+        let bytes = t.read(ptr, read_len)?;
+        // The first word tells us the true size; extend if needed.
+        let word0 = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let units = ((word0 >> 8) & 0xFF) as usize;
+        let true_len = units.max(1) * 64;
+        if true_len > read_len {
+            read_len = true_len;
+            continue;
+        }
+        match LeafNode::decode(&bytes) {
+            Ok(leaf) => return Ok(leaf),
+            Err(LayoutError::ChecksumMismatch { .. }) | Err(LayoutError::TruncatedNode { .. }) => {
+                // Torn read under a concurrent writer: retry.
+                *checksum_retries += 1;
+                t.backoff(policy);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(EngineError::RetriesExhausted { op: "leaf read" })
+}
+
+/// Allocates and writes a fresh leaf on the MN chosen by consistent
+/// hashing of the key; returns its address.
+///
+/// # Errors
+///
+/// [`EngineError::Dm`] on allocation or write failure.
+pub fn write_new_leaf<T: Transport>(
+    t: &mut T,
+    key: &[u8],
+    value: &[u8],
+) -> Result<RemotePtr, EngineError> {
+    let leaf = LeafNode::new(key.to_vec(), value.to_vec());
+    let bytes = leaf.encode();
+    let ptr = t.alloc_placed(prefix_hash64(key), bytes.len())?;
+    t.write(ptr, &bytes)?;
+    Ok(ptr)
+}
+
+/// Allocates and writes a fresh inner node on the MN chosen by consistent
+/// hashing of its full prefix; returns its address.
+///
+/// Hot insert paths batch this write with a companion leaf write via
+/// [`Transport::write_many`] instead; kept for cold paths and tests.
+///
+/// # Errors
+///
+/// [`EngineError::Dm`] on allocation or write failure.
+pub fn write_new_inner<T: Transport>(
+    t: &mut T,
+    node: &InnerNode,
+    prefix: &[u8],
+) -> Result<RemotePtr, EngineError> {
+    let bytes = node.encode();
+    let ptr = t.alloc_placed(prefix_hash64(prefix), bytes.len())?;
+    t.write(ptr, &bytes)?;
+    Ok(ptr)
+}
+
+/// Marks a retired node `Invalid` given its last known header control word
+/// (caller holds the node lock, so a plain store is safe).
+///
+/// # Errors
+///
+/// [`EngineError::Dm`] on substrate failure.
+pub fn invalidate_inner<T: Transport>(
+    t: &mut T,
+    ptr: RemotePtr,
+    node: &InnerNode,
+) -> Result<(), EngineError> {
+    let word = node.header.control_with_status(NodeStatus::Invalid);
+    t.write_u64(ptr, word)?;
+    Ok(())
+}
+
+/// CASes one word of an inner node and — in the same doorbell batch —
+/// re-reads the node's control word to detect a concurrent type switch
+/// (the guarded install of §IV; one round trip).
+///
+/// # Errors
+///
+/// [`EngineError::Dm`] on substrate failure (including a misaligned word
+/// address).
+pub fn install_word<T: Transport>(
+    t: &mut T,
+    node_ptr: RemotePtr,
+    offset: u64,
+    expected: u64,
+    new: u64,
+) -> Result<Install, EngineError> {
+    let word_ptr = node_ptr.checked_add(offset)?;
+    let (prev, control_bytes) = t.cas_and_read(word_ptr, expected, new, node_ptr, 8)?;
+    let control = u64::from_le_bytes(control_bytes.as_slice().try_into().expect("8 bytes"));
+    if prev != expected {
+        return Ok(Install::Raced);
+    }
+    if control & 0xFF == NodeStatus::Idle as u64 {
+        return Ok(Install::Done);
+    }
+    // The node is Locked (mid type-switch) or Invalid. Our word landed and
+    // *may already have been copied into the replacement node*, so it must
+    // be treated as live: the caller retries from a fresh lookup (which
+    // converges either way) and MUST NOT free anything the word references.
+    Ok(Install::Ambiguous)
+}
+
+/// Lock-then-publish: CAS the lock word from `unlocked` to `locked`; on a
+/// lost CAS returns `Ok(false)` without touching anything else. On success
+/// applies `writes` in one doorbell batch — by convention the final write
+/// stores a payload whose status byte releases the lock, so the whole
+/// update costs two round trips (the §III-C in-place update).
+///
+/// # Errors
+///
+/// [`EngineError::Dm`] on substrate failure.
+pub fn cas_locked_write<T: Transport>(
+    t: &mut T,
+    lock_ptr: RemotePtr,
+    unlocked: u64,
+    locked: u64,
+    writes: Vec<(RemotePtr, Vec<u8>)>,
+) -> Result<bool, EngineError> {
+    if t.cas(lock_ptr, unlocked, locked)? != unlocked {
+        return Ok(false);
+    }
+    t.write_many(writes)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_sim::{ClusterConfig, DmClient, DmCluster};
+
+    fn client() -> (DmCluster, DmClient) {
+        let c = DmCluster::new(ClusterConfig::default());
+        let cl = c.client(0);
+        (c, cl)
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let (_c, mut cl) = client();
+        let policy = RetryPolicy::default();
+        let ptr = write_new_leaf(&mut cl, b"key", b"value").unwrap();
+        let mut retries = 0;
+        let leaf = read_validated_leaf(&mut cl, ptr, 128, &policy, &mut retries).unwrap();
+        assert_eq!(leaf.key, b"key");
+        assert_eq!(leaf.value, b"value");
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn big_leaf_needs_second_read() {
+        let (_c, mut cl) = client();
+        let policy = RetryPolicy::default();
+        let value = vec![7u8; 500];
+        let ptr = write_new_leaf(&mut cl, b"key", &value).unwrap();
+        let before = cl.stats().round_trips;
+        let mut retries = 0;
+        let leaf = read_validated_leaf(&mut cl, ptr, 128, &policy, &mut retries).unwrap();
+        assert_eq!(leaf.value, value);
+        assert_eq!(cl.stats().round_trips - before, 2, "hint read + full read");
+    }
+
+    #[test]
+    fn inner_roundtrip() {
+        let (_c, mut cl) = client();
+        let node = InnerNode::new(NodeKind::Node16, b"pre");
+        let ptr = write_new_inner(&mut cl, &node, b"pre").unwrap();
+        let back = read_inner_consistent(&mut cl, ptr, NodeKind::Node16).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn invalidate_marks_status() {
+        let (_c, mut cl) = client();
+        let node = InnerNode::new(NodeKind::Node4, b"x");
+        let ptr = write_new_inner(&mut cl, &node, b"x").unwrap();
+        invalidate_inner(&mut cl, ptr, &node).unwrap();
+        let back = read_inner_consistent(&mut cl, ptr, NodeKind::Node4).unwrap();
+        assert_eq!(back.header.status, NodeStatus::Invalid);
+    }
+
+    #[test]
+    fn install_word_detects_idle_raced_and_locked() {
+        use art_core::layout::SLOTS_OFFSET;
+        let (_c, mut cl) = client();
+        let node = InnerNode::new(NodeKind::Node4, b"p");
+        let ptr = write_new_inner(&mut cl, &node, b"p").unwrap();
+
+        // Fresh slot installs cleanly in one round trip.
+        let before = cl.stats().round_trips;
+        assert_eq!(
+            install_word(&mut cl, ptr, SLOTS_OFFSET, 0, 0x1234).unwrap(),
+            Install::Done
+        );
+        assert_eq!(cl.stats().round_trips - before, 1);
+
+        // Losing the CAS reports Raced.
+        assert_eq!(
+            install_word(&mut cl, ptr, SLOTS_OFFSET, 0, 0x5678).unwrap(),
+            Install::Raced
+        );
+
+        // A locked node makes a *winning* CAS ambiguous.
+        cl.write_u64(ptr, node.header.control_with_status(NodeStatus::Locked))
+            .unwrap();
+        assert_eq!(
+            install_word(&mut cl, ptr, SLOTS_OFFSET, 0x1234, 0x9abc).unwrap(),
+            Install::Ambiguous
+        );
+    }
+
+    #[test]
+    fn cas_locked_write_round_trips_and_loses() {
+        let (_c, mut cl) = client();
+        let policy = RetryPolicy::default();
+        let ptr = write_new_leaf(&mut cl, b"k", b"v1").unwrap();
+        let mut retries = 0;
+        let leaf = read_validated_leaf(&mut cl, ptr, 64, &policy, &mut retries).unwrap();
+        let (idle, locked) = leaf.status_cas_words(NodeStatus::Idle, NodeStatus::Locked);
+
+        let mut new_leaf = LeafNode::new(b"k".to_vec(), b"v2".to_vec());
+        new_leaf.version = leaf.version.wrapping_add(1);
+        new_leaf.set_len_units(leaf.len_units());
+        let before = cl.stats().round_trips;
+        assert!(
+            cas_locked_write(&mut cl, ptr, idle, locked, vec![(ptr, new_leaf.encode())]).unwrap()
+        );
+        assert_eq!(
+            cl.stats().round_trips - before,
+            2,
+            "lock CAS + publishing write"
+        );
+
+        let back = read_validated_leaf(&mut cl, ptr, 64, &policy, &mut retries).unwrap();
+        assert_eq!(back.value, b"v2");
+        assert_eq!(
+            back.status,
+            NodeStatus::Idle,
+            "publishing write released the lock"
+        );
+
+        // Stale lock word: the CAS loses and nothing is written.
+        assert!(!cas_locked_write(&mut cl, ptr, idle, locked, vec![(ptr, leaf.encode())]).unwrap());
+        let back = read_validated_leaf(&mut cl, ptr, 64, &policy, &mut retries).unwrap();
+        assert_eq!(back.value, b"v2");
+    }
+}

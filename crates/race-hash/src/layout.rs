@@ -52,7 +52,10 @@ pub struct TableConfig {
 
 impl Default for TableConfig {
     fn default() -> Self {
-        TableConfig { initial_depth: 2, max_depth: 16 }
+        TableConfig {
+            initial_depth: 2,
+            max_depth: 16,
+        }
     }
 }
 
@@ -89,7 +92,10 @@ impl BucketHeader {
 
     /// Decodes a header word.
     pub fn decode(word: u64) -> BucketHeader {
-        BucketHeader { local_depth: (word & 0xFF) as u8, suffix: word >> 8 }
+        BucketHeader {
+            local_depth: (word & 0xFF) as u8,
+            suffix: word >> 8,
+        }
     }
 
     /// Whether `hash` belongs in a bucket with this header.
@@ -152,7 +158,10 @@ mod tests {
 
     #[test]
     fn bucket_header_roundtrip_and_match() {
-        let h = BucketHeader { local_depth: 5, suffix: 0b10110 };
+        let h = BucketHeader {
+            local_depth: 5,
+            suffix: 0b10110,
+        };
         assert_eq!(BucketHeader::decode(h.encode()), h);
         assert!(h.matches(0b10110));
         assert!(h.matches(0xFF_F600 | 0b10110)); // any high bits
@@ -161,7 +170,10 @@ mod tests {
 
     #[test]
     fn zero_depth_header_matches_everything() {
-        let h = BucketHeader { local_depth: 0, suffix: 0 };
+        let h = BucketHeader {
+            local_depth: 0,
+            suffix: 0,
+        };
         for hash in [0u64, 1, u64::MAX, 0xDEAD] {
             assert!(h.matches(hash));
         }
@@ -169,7 +181,10 @@ mod tests {
 
     #[test]
     fn dir_entry_roundtrip() {
-        let e = DirEntry { segment: RemotePtr::new(1, 4096), local_depth: 7 };
+        let e = DirEntry {
+            segment: RemotePtr::new(1, 4096),
+            local_depth: 7,
+        };
         assert_eq!(DirEntry::decode(e.encode()), Some(e));
         assert_eq!(DirEntry::decode(0), None);
     }
@@ -187,7 +202,10 @@ mod tests {
 
     #[test]
     fn meta_bytes_scale_with_max_depth() {
-        let small = TableConfig { initial_depth: 1, max_depth: 4 };
+        let small = TableConfig {
+            initial_depth: 1,
+            max_depth: 4,
+        };
         assert_eq!(small.meta_bytes(), 64 + 8 * 16);
     }
 }

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use dm_sim::{DmClient, DmError, DoorbellBatch, RemotePtr, Verb};
+use dm_sim::{DmClient, DmError, RemotePtr, RetryPolicy, Transport};
 
 use crate::layout::{
     bucket_offset, pair_index, BucketHeader, DirEntry, TableConfig, BUCKETS_PER_SEGMENT,
@@ -85,17 +85,6 @@ pub struct FoundEntry {
     pub slot: RemotePtr,
 }
 
-const RETRY_LIMIT: usize = 100_000;
-const SPIN_NS: u64 = 200;
-
-/// Waits for a concurrent peer to make progress: advances this client's
-/// virtual clock (the simulated cost of the retry) and yields the OS
-/// thread so the peer actually runs on small hosts.
-fn backoff(client: &mut DmClient) {
-    client.advance_clock(SPIN_NS);
-    std::thread::yield_now();
-}
-
 /// A snapshot of one bucket pair.
 struct PairView {
     base: RemotePtr,
@@ -110,7 +99,11 @@ impl PairView {
         for (i, w) in words.iter_mut().enumerate() {
             *w = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
         }
-        PairView { base, header: BucketHeader::decode(words[0]), words }
+        PairView {
+            base,
+            header: BucketHeader::decode(words[0]),
+            words,
+        }
     }
 
     /// Slot indexes (into `words`) that hold entries, skipping headers.
@@ -119,7 +112,9 @@ impl PairView {
     }
 
     fn slot_ptr(&self, idx: usize) -> RemotePtr {
-        self.base.checked_add(8 * idx as u64).expect("slot in range")
+        self.base
+            .checked_add(8 * idx as u64)
+            .expect("slot in range")
     }
 
     fn find_word(&self, word: u64) -> Option<usize> {
@@ -133,7 +128,10 @@ impl PairView {
     fn entries(&self) -> Vec<FoundEntry> {
         Self::entry_indexes()
             .filter(|&i| self.words[i] != 0)
-            .map(|i| FoundEntry { word: self.words[i], slot: self.slot_ptr(i) })
+            .map(|i| FoundEntry {
+                word: self.words[i],
+                slot: self.slot_ptr(i),
+            })
             .collect()
     }
 }
@@ -149,6 +147,10 @@ pub struct RaceTable {
     global_depth: u8,
     /// Cached directory words (2^global_depth of them).
     dir: Vec<u64>,
+    /// Shared bounded-retry budget (see [`dm_sim::RetryPolicy`]). The
+    /// table previously capped retries at 100_000; it now shares the
+    /// workspace-wide `op_retries` budget.
+    retry: RetryPolicy,
 }
 
 impl RaceTable {
@@ -163,16 +165,21 @@ impl RaceTable {
         mn_id: u16,
         config: &TableConfig,
     ) -> Result<RemotePtr, RaceError> {
-        assert!(config.max_depth <= 16, "max_depth must be <= 16 (directory bits)");
+        assert!(
+            config.max_depth <= 16,
+            "max_depth must be <= 16 (directory bits)"
+        );
         assert!(config.initial_depth <= config.max_depth);
         let meta = client.alloc(mn_id, config.meta_bytes())?;
         let word0 = config.initial_depth as u64 | ((config.max_depth as u64) << 8);
         client.write_u64(meta, word0)?;
         for suffix in 0..(1u64 << config.initial_depth) {
             let seg = alloc_segment(client, mn_id, config.initial_depth, suffix)?;
-            let entry = DirEntry { segment: seg, local_depth: config.initial_depth };
-            client
-                .write_u64(meta.checked_add(DIR_OFFSET + 8 * suffix)?, entry.encode())?;
+            let entry = DirEntry {
+                segment: seg,
+                local_depth: config.initial_depth,
+            };
+            client.write_u64(meta.checked_add(DIR_OFFSET + 8 * suffix)?, entry.encode())?;
         }
         Ok(meta)
     }
@@ -184,7 +191,13 @@ impl RaceTable {
     ///
     /// Propagates substrate errors.
     pub fn open(client: &mut DmClient, meta: RemotePtr) -> Result<Self, RaceError> {
-        let mut table = RaceTable { meta, max_depth: 0, global_depth: 0, dir: Vec::new() };
+        let mut table = RaceTable {
+            meta,
+            max_depth: 0,
+            global_depth: 0,
+            dir: Vec::new(),
+            retry: RetryPolicy::default(),
+        };
         table.refresh(client)?;
         Ok(table)
     }
@@ -212,12 +225,11 @@ impl RaceTable {
     ///
     /// Propagates substrate errors.
     pub fn refresh(&mut self, client: &mut DmClient) -> Result<(), RaceError> {
-        for _ in 0..RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let w0 = client.read_u64(self.meta)?;
             let gd = (w0 & 0xFF) as u8;
             let maxd = ((w0 >> 8) & 0xFF) as u8;
-            let bytes =
-                client.read(self.meta.checked_add(DIR_OFFSET)?, 8 << gd)?;
+            let bytes = client.read(self.meta.checked_add(DIR_OFFSET)?, 8 << gd)?;
             // The directory may have doubled between the two reads; loop
             // until we observe a stable depth.
             let w0_after = client.read_u64(self.meta)?;
@@ -237,7 +249,9 @@ impl RaceTable {
 
     fn locate(&self, hash: u64) -> Result<DirEntry, RaceError> {
         let idx = (hash & ((1u64 << self.global_depth) - 1)) as usize;
-        DirEntry::decode(self.dir[idx]).ok_or(RaceError::Corrupt { what: "empty directory slot" })
+        DirEntry::decode(self.dir[idx]).ok_or(RaceError::Corrupt {
+            what: "empty directory slot",
+        })
     }
 
     /// Remote address of the bucket pair `hash` maps to, per the cached
@@ -289,12 +303,12 @@ impl RaceTable {
         client: &mut DmClient,
         hash: u64,
     ) -> Result<Vec<FoundEntry>, RaceError> {
-        for _ in 0..RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let pv = self.read_pair(client, hash)?;
             if pv.header.matches(hash) {
                 return Ok(pv.entries());
             }
-            backoff(client);
+            client.backoff(&self.retry);
             self.refresh(client)?;
         }
         Err(RaceError::RetriesExhausted { op: "search" })
@@ -326,10 +340,10 @@ impl RaceTable {
         F: FnMut(&mut DmClient, u64) -> Result<u64, RaceError>,
     {
         assert!(word != 0, "entry word 0 is reserved for empty slots");
-        for _ in 0..RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let pv = self.read_pair(client, hash)?;
             if !pv.header.matches(hash) {
-                client.advance_clock(SPIN_NS);
+                client.advance_clock(self.retry.backoff_ns);
                 self.refresh(client)?;
                 continue;
             }
@@ -344,12 +358,7 @@ impl RaceTable {
             // CAS the entry in and re-read the bucket header in the same
             // doorbell batch: if a split slid under us, the header changed
             // and we may sit in the wrong segment.
-            let mut batch = DoorbellBatch::with_capacity(2);
-            batch.push(Verb::Cas { ptr: slot, expected: 0, new: word });
-            batch.push(Verb::Read { ptr: pv.base, len: 8 });
-            let mut res = client.execute(batch)?;
-            let hdr_bytes = res.pop().expect("read result").into_read();
-            let prev = res.pop().expect("cas result").into_cas();
+            let (prev, hdr_bytes) = client.cas_and_read(slot, 0, word, pv.base, 8)?;
             if prev != 0 {
                 continue; // slot raced away; retry
             }
@@ -363,7 +372,7 @@ impl RaceTable {
             // (If the splitter already migrated our word, the undo CAS
             // fails harmlessly and the retry finds the word resident.)
             client.cas(slot, word, 0)?;
-            backoff(client);
+            client.backoff(&self.retry);
             self.refresh(client)?;
         }
         Err(RaceError::RetriesExhausted { op: "insert" })
@@ -417,10 +426,10 @@ impl RaceTable {
         new: u64,
         op: &'static str,
     ) -> Result<bool, RaceError> {
-        for _ in 0..RETRY_LIMIT {
+        for _ in 0..self.retry.op_retries {
             let pv = self.read_pair(client, hash)?;
             if !pv.header.matches(hash) {
-                client.advance_clock(SPIN_NS);
+                client.advance_clock(self.retry.backoff_ns);
                 self.refresh(client)?;
                 continue;
             }
@@ -432,7 +441,7 @@ impl RaceTable {
                 return Ok(true);
             }
             // Lost a race (concurrent delete/replace/migration): retry.
-            backoff(client);
+            client.backoff(&self.retry);
         }
         Err(RaceError::RetriesExhausted { op })
     }
@@ -456,14 +465,16 @@ impl RaceTable {
         //    let the caller retry.
         let prev = client.cas(seg, 0, 1)?;
         if prev != 0 {
-            for _ in 0..RETRY_LIMIT {
-                client.advance_clock(SPIN_NS * 10);
+            for _ in 0..self.retry.op_retries {
+                client.advance_clock(self.retry.backoff_ns * 10);
                 std::thread::yield_now();
                 if client.read_u64(seg)? == 0 {
                     return Ok(());
                 }
             }
-            return Err(RaceError::RetriesExhausted { op: "split lock wait" });
+            return Err(RaceError::RetriesExhausted {
+                op: "split lock wait",
+            });
         }
 
         let result = self.split_locked(client, seg, hash, entry_hash);
@@ -483,8 +494,7 @@ impl RaceTable {
         F: FnMut(&mut DmClient, u64) -> Result<u64, RaceError>,
     {
         // Authoritative depth/suffix from a bucket header.
-        let hdr =
-            BucketHeader::decode(client.read_u64(seg.checked_add(bucket_offset(0))?)?);
+        let hdr = BucketHeader::decode(client.read_u64(seg.checked_add(bucket_offset(0))?)?);
         if !hdr.matches(hash) {
             // Someone split this range before we took the lock; retry at
             // the caller with a fresh directory.
@@ -504,21 +514,29 @@ impl RaceTable {
         // 3. Phase B: bump every old bucket header to (d+1, old_suffix) in
         //    one doorbell batch. From here on, writers of relocating keys
         //    fail the suffix check and undo themselves.
-        let hdr_word = BucketHeader { local_depth: d + 1, suffix: old_suffix }.encode();
-        let mut batch = DoorbellBatch::with_capacity(BUCKETS_PER_SEGMENT);
-        for b in 0..BUCKETS_PER_SEGMENT {
-            batch.push(Verb::Write {
-                ptr: seg.checked_add(bucket_offset(b))?,
-                data: hdr_word.to_le_bytes().to_vec(),
-            });
+        let hdr_word = BucketHeader {
+            local_depth: d + 1,
+            suffix: old_suffix,
         }
-        client.execute(batch)?;
+        .encode();
+        let mut bumps = Vec::with_capacity(BUCKETS_PER_SEGMENT);
+        for b in 0..BUCKETS_PER_SEGMENT {
+            bumps.push((
+                seg.checked_add(bucket_offset(b))?,
+                hdr_word.to_le_bytes().to_vec(),
+            ));
+        }
+        client.write_many(bumps)?;
 
         // 4. Phase C: snapshot the segment, migrate relocating entries into
         //    a local image of the new segment, zeroing them in the old one.
         let snapshot = client.read(seg, SEGMENT_BYTES)?;
         let mut image = vec![0u8; SEGMENT_BYTES];
-        let new_hdr = BucketHeader { local_depth: d + 1, suffix: new_suffix }.encode();
+        let new_hdr = BucketHeader {
+            local_depth: d + 1,
+            suffix: new_suffix,
+        }
+        .encode();
         for b in 0..BUCKETS_PER_SEGMENT {
             let off = bucket_offset(b) as usize;
             image[off..off + 8].copy_from_slice(&new_hdr.to_le_bytes());
@@ -554,7 +572,7 @@ impl RaceTable {
             if client.cas(self.meta.checked_add(META_LOCK_OFFSET)?, 0, 1)? == 0 {
                 break;
             }
-            client.advance_clock(SPIN_NS * 10);
+            client.advance_clock(self.retry.backoff_ns * 10);
             std::thread::yield_now();
         }
         let w0 = client.read_u64(self.meta)?;
@@ -570,9 +588,17 @@ impl RaceTable {
         }
         // Point every directory slot of the two suffixes at the right
         // segment with the new depth, in one batch.
-        let old_de = DirEntry { segment: seg, local_depth: d + 1 }.encode();
-        let new_de = DirEntry { segment: new_seg, local_depth: d + 1 }.encode();
-        let mut batch = DoorbellBatch::new();
+        let old_de = DirEntry {
+            segment: seg,
+            local_depth: d + 1,
+        }
+        .encode();
+        let new_de = DirEntry {
+            segment: new_seg,
+            local_depth: d + 1,
+        }
+        .encode();
+        let mut publishes = Vec::new();
         let mask = (1u64 << (d + 1)) - 1;
         for idx in 0..(1u64 << gd) {
             let word = if idx & mask == new_suffix {
@@ -582,12 +608,12 @@ impl RaceTable {
             } else {
                 continue;
             };
-            batch.push(Verb::Write {
-                ptr: self.meta.checked_add(DIR_OFFSET + 8 * idx)?,
-                data: word.to_le_bytes().to_vec(),
-            });
+            publishes.push((
+                self.meta.checked_add(DIR_OFFSET + 8 * idx)?,
+                word.to_le_bytes().to_vec(),
+            ));
         }
-        client.execute(batch)?;
+        client.write_many(publishes)?;
         client.faa(self.meta.checked_add(META_VERSION_OFFSET)?, 1)?;
         client.write_u64(self.meta.checked_add(META_LOCK_OFFSET)?, 0)?;
 
@@ -618,8 +644,7 @@ impl RaceTable {
             for b in 0..BUCKETS_PER_SEGMENT {
                 for e in 1..=ENTRIES_PER_BUCKET {
                     let off = bucket_offset(b) as usize + 8 * e;
-                    if u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes")) != 0
-                    {
+                    if u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes")) != 0 {
                         entries += 1;
                     }
                 }
@@ -683,7 +708,11 @@ fn alloc_segment(
 ) -> Result<RemotePtr, RaceError> {
     let seg = client.alloc(mn_id, SEGMENT_BYTES)?;
     let mut image = vec![0u8; SEGMENT_BYTES];
-    let hdr = BucketHeader { local_depth: depth, suffix }.encode();
+    let hdr = BucketHeader {
+        local_depth: depth,
+        suffix,
+    }
+    .encode();
     for b in 0..BUCKETS_PER_SEGMENT {
         let off = bucket_offset(b) as usize;
         image[off..off + 8].copy_from_slice(&hdr.to_le_bytes());
@@ -783,7 +812,10 @@ mod tests {
         let w = test_word(h);
         t.insert(&mut cl, h, w, oracle).unwrap();
         assert!(t.replace(&mut cl, h, w, w | 1 << 50).unwrap());
-        assert!(!t.replace(&mut cl, h, w, w | 1 << 51).unwrap(), "old word gone");
+        assert!(
+            !t.replace(&mut cl, h, w, w | 1 << 51).unwrap(),
+            "old word gone"
+        );
         assert!(t.remove(&mut cl, h, w | 1 << 50).unwrap());
         assert!(!t.remove(&mut cl, h, w | 1 << 50).unwrap());
         assert!(t.search(&mut cl, h).unwrap().is_empty());
@@ -793,7 +825,10 @@ mod tests {
     fn grows_through_many_splits_without_losing_entries() {
         let c = cluster();
         let mut cl = c.client(0);
-        let cfg = TableConfig { initial_depth: 1, max_depth: 10 };
+        let cfg = TableConfig {
+            initial_depth: 1,
+            max_depth: 10,
+        };
         let meta = RaceTable::create(&mut cl, 0, &cfg).unwrap();
         let mut t = RaceTable::open(&mut cl, meta).unwrap();
         let n = 4000u64;
@@ -817,7 +852,10 @@ mod tests {
     fn stale_handle_recovers_after_peer_growth() {
         let c = cluster();
         let mut cl = c.client(0);
-        let cfg = TableConfig { initial_depth: 1, max_depth: 10 };
+        let cfg = TableConfig {
+            initial_depth: 1,
+            max_depth: 10,
+        };
         let meta = RaceTable::create(&mut cl, 0, &cfg).unwrap();
         let mut writer = RaceTable::open(&mut cl, meta).unwrap();
         let mut reader_cl = c.client(0);
@@ -833,7 +871,10 @@ mod tests {
         for i in (0..4000u64).step_by(97) {
             let h = mix(i);
             let found = reader.search(&mut reader_cl, h).unwrap();
-            assert!(found.iter().any(|e| e.word == test_word(h)), "stale reader lost {i}");
+            assert!(
+                found.iter().any(|e| e.word == test_word(h)),
+                "stale reader lost {i}"
+            );
         }
         assert!(reader.global_depth() > 1, "reader should have refreshed");
     }
@@ -842,7 +883,10 @@ mod tests {
     fn table_full_surfaces() {
         let c = cluster();
         let mut cl = c.client(0);
-        let cfg = TableConfig { initial_depth: 0, max_depth: 1 };
+        let cfg = TableConfig {
+            initial_depth: 0,
+            max_depth: 1,
+        };
         let meta = RaceTable::create(&mut cl, 0, &cfg).unwrap();
         let mut t = RaceTable::open(&mut cl, meta).unwrap();
         let mut err = None;
@@ -853,14 +897,20 @@ mod tests {
                 break;
             }
         }
-        assert!(matches!(err, Some(RaceError::TableFull { .. })), "got {err:?}");
+        assert!(
+            matches!(err, Some(RaceError::TableFull { .. })),
+            "got {err:?}"
+        );
     }
 
     #[test]
     fn concurrent_inserts_from_many_clients() {
         let c = cluster();
         let mut cl = c.client(0);
-        let cfg = TableConfig { initial_depth: 1, max_depth: 12 };
+        let cfg = TableConfig {
+            initial_depth: 1,
+            max_depth: 12,
+        };
         let meta = RaceTable::create(&mut cl, 0, &cfg).unwrap();
         let threads = 4;
         let per = 800u64;
@@ -889,7 +939,10 @@ mod tests {
     fn stats_count_live_entries() {
         let c = cluster();
         let mut cl = c.client(0);
-        let cfg = TableConfig { initial_depth: 1, max_depth: 10 };
+        let cfg = TableConfig {
+            initial_depth: 1,
+            max_depth: 10,
+        };
         let meta = RaceTable::create(&mut cl, 0, &cfg).unwrap();
         let mut t = RaceTable::open(&mut cl, meta).unwrap();
         for i in 0..500u64 {
@@ -910,7 +963,10 @@ mod tests {
     fn memory_bytes_grows_with_splits() {
         let c = cluster();
         let mut cl = c.client(0);
-        let cfg = TableConfig { initial_depth: 1, max_depth: 10 };
+        let cfg = TableConfig {
+            initial_depth: 1,
+            max_depth: 10,
+        };
         let meta = RaceTable::create(&mut cl, 0, &cfg).unwrap();
         let mut t = RaceTable::open(&mut cl, meta).unwrap();
         let before = t.memory_bytes(&mut cl).unwrap();

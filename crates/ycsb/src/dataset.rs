@@ -13,18 +13,98 @@ fn mix64(mut x: u64) -> u64 {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "li", "bo", "al", "ed", "jo", "amy", "ann", "ben", "dan", "eva", "ian", "joe", "kim", "lee",
-    "max", "mia", "sam", "tom", "zoe", "alex", "anna", "carl", "dave", "emma", "fred", "gary",
-    "hugo", "ivan", "jack", "jane", "kate", "lily", "mark", "nina", "olga", "paul", "rosa",
-    "sara", "tina", "vera", "wang", "yang", "zhao", "chen", "aaron", "bella", "chris", "diana",
-    "elena", "frank", "grace", "henry", "irene", "james", "karen", "laura", "maria", "nancy",
-    "oscar", "peter", "quinn", "ralph", "susan", "tanya", "ursula", "victor", "wendy", "xavier",
-    "yvonne", "zachary", "jingxiang", "shengan", "bowen", "hankun", "linpeng",
+    "li",
+    "bo",
+    "al",
+    "ed",
+    "jo",
+    "amy",
+    "ann",
+    "ben",
+    "dan",
+    "eva",
+    "ian",
+    "joe",
+    "kim",
+    "lee",
+    "max",
+    "mia",
+    "sam",
+    "tom",
+    "zoe",
+    "alex",
+    "anna",
+    "carl",
+    "dave",
+    "emma",
+    "fred",
+    "gary",
+    "hugo",
+    "ivan",
+    "jack",
+    "jane",
+    "kate",
+    "lily",
+    "mark",
+    "nina",
+    "olga",
+    "paul",
+    "rosa",
+    "sara",
+    "tina",
+    "vera",
+    "wang",
+    "yang",
+    "zhao",
+    "chen",
+    "aaron",
+    "bella",
+    "chris",
+    "diana",
+    "elena",
+    "frank",
+    "grace",
+    "henry",
+    "irene",
+    "james",
+    "karen",
+    "laura",
+    "maria",
+    "nancy",
+    "oscar",
+    "peter",
+    "quinn",
+    "ralph",
+    "susan",
+    "tanya",
+    "ursula",
+    "victor",
+    "wendy",
+    "xavier",
+    "yvonne",
+    "zachary",
+    "jingxiang",
+    "shengan",
+    "bowen",
+    "hankun",
+    "linpeng",
 ];
 
 const DOMAINS: &[&str] = &[
-    "qq.com", "gm.com", "163.com", "aol.com", "mail.ru", "gmx.de", "yahoo.com", "gmail.com",
-    "proton.me", "sjtu.edu.cn", "outlook.com", "hotmail.com", "example.org", "fastmail.fm",
+    "qq.com",
+    "gm.com",
+    "163.com",
+    "aol.com",
+    "mail.ru",
+    "gmx.de",
+    "yahoo.com",
+    "gmail.com",
+    "proton.me",
+    "sjtu.edu.cn",
+    "outlook.com",
+    "hotmail.com",
+    "example.org",
+    "fastmail.fm",
 ];
 
 fn base36(mut v: u64, width: usize) -> String {
@@ -69,8 +149,7 @@ impl KeySpace {
                     1 => format!("{first}.{tag}@{domain}"),
                     2 => format!("{first}{tag}@{domain}"),
                     _ => {
-                        let second =
-                            FIRST_NAMES[((h >> 24) % FIRST_NAMES.len() as u64) as usize];
+                        let second = FIRST_NAMES[((h >> 24) % FIRST_NAMES.len() as u64) as usize];
                         format!("{first}.{second}.{tag}@{domain}")
                     }
                 };

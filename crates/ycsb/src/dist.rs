@@ -52,7 +52,14 @@ impl Zipfian {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
-        Zipfian { n, theta, alpha, zeta_n, eta, scrambled }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+            scrambled,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {

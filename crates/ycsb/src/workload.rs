@@ -80,18 +80,34 @@ impl Workload {
 
     /// YCSB-B: 95% reads, 5% updates, zipfian.
     pub fn b() -> Self {
-        Workload { read: 0.95, update: 0.05, name: "B", ..Self::a() }
+        Workload {
+            read: 0.95,
+            update: 0.05,
+            name: "B",
+            ..Self::a()
+        }
     }
 
     /// YCSB-C: 100% reads, zipfian.
     pub fn c() -> Self {
-        Workload { read: 1.0, update: 0.0, name: "C", ..Self::a() }
+        Workload {
+            read: 1.0,
+            update: 0.0,
+            name: "C",
+            ..Self::a()
+        }
     }
 
     /// YCSB-D as run in the paper: 95% reads over the *latest*
     /// distribution, 5% updates.
     pub fn d() -> Self {
-        Workload { read: 0.95, update: 0.05, latest: true, name: "D", ..Self::a() }
+        Workload {
+            read: 0.95,
+            update: 0.05,
+            latest: true,
+            name: "D",
+            ..Self::a()
+        }
     }
 
     /// YCSB-E: 95% scans (uniform length 1..=100), 5% inserts, zipfian.
@@ -111,13 +127,26 @@ impl Workload {
 
     /// LOAD: 100% inserts.
     pub fn load() -> Self {
-        Workload { read: 0.0, update: 0.0, insert: 1.0, scan: 0.0, name: "LOAD", ..Self::a() }
+        Workload {
+            read: 0.0,
+            update: 0.0,
+            insert: 1.0,
+            scan: 0.0,
+            name: "LOAD",
+            ..Self::a()
+        }
     }
 
     /// YCSB-F: 50% reads, 50% read-modify-writes. Not part of the paper's
     /// evaluation; provided for completeness (standard YCSB core suite).
     pub fn f() -> Self {
-        Workload { read: 0.5, update: 0.0, rmw: 0.5, name: "F", ..Self::a() }
+        Workload {
+            read: 0.5,
+            update: 0.0,
+            rmw: 0.5,
+            name: "F",
+            ..Self::a()
+        }
     }
 
     /// Looks a workload up by its paper name (case-insensitive).
@@ -148,7 +177,9 @@ pub struct SharedInsertCursor {
 impl SharedInsertCursor {
     /// Creates a cursor starting after `preloaded` items.
     pub fn new(preloaded: u64) -> Self {
-        SharedInsertCursor { next: Arc::new(AtomicU64::new(preloaded)) }
+        SharedInsertCursor {
+            next: Arc::new(AtomicU64::new(preloaded)),
+        }
     }
 
     /// Allocates the next fresh item index.
@@ -175,7 +206,12 @@ impl OpStream {
     /// Creates a stream over `preloaded` initial items with a fresh private
     /// cursor (single-worker usage).
     pub fn new(workload: Workload, preloaded: u64, seed: u64) -> Self {
-        Self::with_cursor(workload, preloaded, seed, SharedInsertCursor::new(preloaded))
+        Self::with_cursor(
+            workload,
+            preloaded,
+            seed,
+            SharedInsertCursor::new(preloaded),
+        )
     }
 
     /// Creates a stream sharing `cursor` with other workers. Give each
@@ -193,7 +229,12 @@ impl OpStream {
         } else {
             Distribution::zipfian(preloaded.max(1))
         };
-        OpStream { workload, dist, cursor, rng: SmallRng::seed_from_u64(seed) }
+        OpStream {
+            workload,
+            dist,
+            cursor,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// The shared insert cursor (to hand to other workers).

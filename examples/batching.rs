@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- multi_get vs a loop of gets --------------------------------
     let batch = 256usize;
-    let keys: Vec<Vec<u8>> = (0..batch as u64).map(|i| KeySpace::U64.key(i * 97 % n)).collect();
+    let keys: Vec<Vec<u8>> = (0..batch as u64)
+        .map(|i| KeySpace::U64.key(i * 97 % n))
+        .collect();
     let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
 
     cluster.reset_network();
@@ -53,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(results.iter().all(Option::is_some));
 
     println!("\n{batch} point lookups (warm):");
-    println!("  get() loop   {loop_rts:>5} round trips   {:>8.1} us", loop_ns as f64 / 1e3);
+    println!(
+        "  get() loop   {loop_rts:>5} round trips   {:>8.1} us",
+        loop_ns as f64 / 1e3
+    );
     println!(
         "  multi_get    {batch_rts:>5} round trips   {:>8.1} us   ({:.0}x fewer trips)",
         batch_ns as f64 / 1e3,
@@ -76,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     client.set_clock_ns(0);
     let mut checksum = 0u64;
     let mut rows = 0u64;
-    for item in client.scan_iter(&KeySpace::U64.key(0)).with_page_size(128).take(5_000) {
+    for item in client
+        .scan_iter(&KeySpace::U64.key(0))
+        .with_page_size(128)
+        .take(5_000)
+    {
         let (k, _) = item?;
         checksum ^= u64::from_be_bytes(k[..8].try_into()?);
         rows += 1;

@@ -17,7 +17,10 @@ use sphinx::{SphinxConfig, SphinxIndex};
 use ycsb::{value_for, KeySpace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: u64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(20_000);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
     let emails = KeySpace::Email;
     println!("loading {n} synthetic email addresses…");
 
@@ -60,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s = s_client.net_stats().since(&s0);
     let a = a_client.net_stats().since(&a0);
 
-    println!("\nsample address: {}", String::from_utf8_lossy(&emails.key(42)));
+    println!(
+        "\nsample address: {}",
+        String::from_utf8_lossy(&emails.key(42))
+    );
     println!("\n{lookups} point lookups over {n} emails:");
     println!("                     Sphinx      ART-on-DM");
     println!(

@@ -15,7 +15,10 @@ use sphinx::{SphinxConfig, SphinxIndex};
 use ycsb::{value_for, KeySpace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: u64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(30_000);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000);
     let cluster = DmCluster::new(ClusterConfig {
         mn_capacity: 1 << 30,
         ..ClusterConfig::default()
@@ -68,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let filter = client.filter_handle().lock();
         let s = filter.stats();
-        println!("resident prefixes  {} / {} slots", filter.len(), filter.capacity());
+        println!(
+            "resident prefixes  {} / {} slots",
+            filter.len(),
+            filter.capacity()
+        );
         println!("memory             {} KiB", filter.memory_bytes() / 1024);
         // Each lookup probes every prefix length longest-first, so most
         // probes miss by design; the interesting number is hits per get.
@@ -81,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== MN-side space (Fig. 6 accounting) ===");
     let space = index.space_breakdown()?;
-    println!("ART nodes + leaves {:.1} MiB", space.art_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "ART nodes + leaves {:.1} MiB",
+        space.art_bytes as f64 / (1 << 20) as f64
+    );
     println!(
         "hash tables        {:.2} MiB ({:.1}% of ART)",
         space.inht_bytes as f64 / (1 << 20) as f64,
@@ -100,8 +110,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         client.get(&KeySpace::Email.key((i * 13) % n))?;
     }
     let net = client.net_stats().since(&before);
-    println!("round trips / op   {:.2}", net.round_trips as f64 / samples as f64);
-    println!("wire bytes / op    {:.0}", net.bytes_total() as f64 / samples as f64);
+    println!(
+        "round trips / op   {:.2}",
+        net.round_trips as f64 / samples as f64
+    );
+    println!(
+        "wire bytes / op    {:.0}",
+        net.bytes_total() as f64 / samples as f64
+    );
     println!(
         "avg latency        {:.2} us",
         (client.clock_ns() - t0) as f64 / samples as f64 / 1e3

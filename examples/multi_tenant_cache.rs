@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mn_capacity: 1 << 30,
             ..ClusterConfig::default()
         });
-        let config = SphinxConfig { cache_bytes: budget, ..SphinxConfig::default() };
+        let config = SphinxConfig {
+            cache_bytes: budget,
+            ..SphinxConfig::default()
+        };
         let index = SphinxIndex::create(&cluster, config)?;
         let mut client = index.client(0)?;
         for t in 0..TENANTS {
@@ -53,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Warm-up pass so the filter reaches steady state under this
         // budget.
         for _ in 0..lookups / 4 {
-            let t = if rng.gen_bool(0.9) { rng.gen_range(0..5) } else { rng.gen_range(0..TENANTS) };
+            let t = if rng.gen_bool(0.9) {
+                rng.gen_range(0..5)
+            } else {
+                rng.gen_range(0..TENANTS)
+            };
             client.get(&key(t, rng.gen_range(0..RECORDS)))?;
         }
         let base = client.net_stats();
@@ -62,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (f.stats().hits, f.stats().lookups)
         };
         for _ in 0..lookups {
-            let t = if rng.gen_bool(0.9) { rng.gen_range(0..5) } else { rng.gen_range(0..TENANTS) };
+            let t = if rng.gen_bool(0.9) {
+                rng.gen_range(0..5)
+            } else {
+                rng.gen_range(0..TENANTS)
+            };
             client.get(&key(t, rng.gen_range(0..RECORDS)))?;
         }
         let net = client.net_stats().since(&base);

@@ -30,11 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Range scan (inclusive bounds, ordered results).
     println!("\nscan [lyc, lyz]:");
     for (k, v) in client.scan(b"lyc", b"lyz")? {
-        println!("  {} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+        println!(
+            "  {} = {}",
+            String::from_utf8_lossy(&k),
+            String::from_utf8_lossy(&v)
+        );
     }
 
     client.remove(b"lyceum")?;
-    println!("\nafter delete, lyceum -> {}", pretty(client.get(b"lyceum")?));
+    println!(
+        "\nafter delete, lyceum -> {}",
+        pretty(client.get(b"lyceum")?)
+    );
 
     // The whole point of Sphinx: few round trips per operation.
     let net = client.net_stats();
@@ -49,5 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn pretty(v: Option<Vec<u8>>) -> String {
-    v.map_or("<absent>".to_string(), |v| String::from_utf8_lossy(&v).into_owned())
+    v.map_or("<absent>".to_string(), |v| {
+        String::from_utf8_lossy(&v).into_owned()
+    })
 }

@@ -23,7 +23,10 @@ fn arg_str<'a>(args: &'a [String], flag: &str, default: &'a str) -> &'a str {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let system = match arg_str(&args, "--system", "sphinx").to_ascii_lowercase().as_str() {
+    let system = match arg_str(&args, "--system", "sphinx")
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "sphinx" => System::Sphinx,
         "sphinx-inht" => System::SphinxInhtOnly,
         "smart" => System::Smart,
@@ -45,7 +48,10 @@ fn main() {
     if args.iter().any(|a| a == "--uniform") {
         workload = workload.with_uniform();
     }
-    let keyspace = match arg_str(&args, "--dataset", "u64").to_ascii_lowercase().as_str() {
+    let keyspace = match arg_str(&args, "--dataset", "u64")
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "u64" => KeySpace::U64,
         "email" => KeySpace::Email,
         other => {
@@ -87,7 +93,10 @@ fn main() {
         },
     );
 
-    println!("\nthroughput       {:.3} Mops/s (virtual time)", result.mops);
+    println!(
+        "\nthroughput       {:.3} Mops/s (virtual time)",
+        result.mops
+    );
     println!("avg latency      {:.2} us", result.avg_latency_us);
     println!("p99 latency      {:.2} us", result.p99_latency_us);
     println!("round trips/op   {:.2}", result.round_trips_per_op);

@@ -1,0 +1,233 @@
+//! Offline shim: the subset of `proptest` this workspace uses (see
+//! `shims/README.md`). Random-input generation, weighted unions, mapped and
+//! collection strategies, and the `proptest!`/`prop_assert*!` macros — but
+//! **no shrinking**: a failing case reports its generated inputs verbatim.
+//! Case streams are deterministic per test name, so failures reproduce.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestRng};
+
+/// Everything the property-test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Outcome of one generated case: `Err` carries the failure message.
+pub type TestCaseResult = Result<(), String>;
+
+/// Runs `cases` generated inputs of `strategy` through `body`, panicking
+/// with the offending input on the first failure. Backs the [`proptest!`]
+/// macro; not part of the public proptest API.
+pub fn run_cases<S: Strategy>(
+    test_name: &str,
+    config: &test_runner::Config,
+    strategy: &S,
+    body: impl Fn(S::Value) -> TestCaseResult,
+) where
+    S::Value: Debug,
+{
+    let mut rng = TestRng::for_test(test_name);
+    for case in 0..config.cases {
+        let value = strategy.gen_value(&mut rng);
+        let desc = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => panic!(
+                "proptest case {case}/{cases} of `{test_name}` failed: {msg}\n\
+                 input: {desc}",
+                cases = config.cases,
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest case {case}/{cases} of `{test_name}` panicked\n\
+                     input: {desc}",
+                    cases = config.cases,
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Declares property tests: `proptest! { #![proptest_config(..)] #[test]
+/// fn name(x in strategy, ..) { body } .. }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::run_cases(
+                stringify!($name),
+                &__config,
+                &__strategy,
+                |($($arg,)+)| -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)` — fails the
+/// current case without panicking the whole runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!("{}\n  both: {:?}", format!($($fmt)+), l));
+        }
+    }};
+}
+
+/// Weighted or unweighted choice between strategies producing one value
+/// type: `prop_oneof![a, b]` / `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_stream_per_test_name() {
+        let mut a = crate::TestRng::for_test("t");
+        let mut b = crate::TestRng::for_test("t");
+        let s = any::<u64>();
+        assert_eq!(s.gen_value(&mut a), s.gen_value(&mut b));
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::TestRng::for_test("weights");
+        let hits = (0..10_000).filter(|_| s.gen_value(&mut rng)).count();
+        assert!(
+            (8_700..9_300).contains(&hits),
+            "9:1 union gave {hits}/10000"
+        );
+    }
+
+    #[test]
+    fn collections_honor_size_ranges() {
+        let mut rng = crate::TestRng::for_test("sizes");
+        let vs = crate::collection::vec(any::<u8>(), 3..6);
+        let fixed = crate::collection::vec(any::<u8>(), 4);
+        let set = crate::collection::btree_set(any::<u32>(), 1..50);
+        for _ in 0..500 {
+            let v = vs.gen_value(&mut rng);
+            assert!((3..6).contains(&v.len()));
+            assert_eq!(fixed.gen_value(&mut rng).len(), 4);
+            let s = set.gen_value(&mut rng);
+            assert!((1..50).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_in_range(x in 10u64..20, pair in (any::<bool>(), 0u8..4)) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(pair.1 < 4);
+            prop_assert_eq!(pair.1 as u64 + x, x + pair.1 as u64);
+            prop_assert_ne!(x, 99);
+        }
+    }
+}

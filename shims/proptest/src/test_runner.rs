@@ -1,0 +1,43 @@
+//! Case-count configuration and the deterministic per-test RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Failure payload of one generated case (a plain message in this shim).
+pub type TestCaseError = String;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per test name, so a failure
+/// reproduces on re-run (there is no shrinking in this shim).
+pub struct TestRng(pub(crate) SmallRng);
+
+impl TestRng {
+    /// Seeds the case stream from the test's name (FNV-1a).
+    pub fn for_test(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+}

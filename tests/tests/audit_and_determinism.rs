@@ -26,7 +26,9 @@ fn sphinx_verifies_clean_after_write_storm() {
             });
         }
     });
-    let SystemHandle::Sphinx(index) = &handle else { unreachable!() };
+    let SystemHandle::Sphinx(index) = &handle else {
+        unreachable!()
+    };
     let report = index.verify().expect("verify");
     assert!(report.is_clean(), "violations: {:#?}", report.problems);
     assert!(report.inner_nodes > 5);
@@ -50,7 +52,9 @@ fn baselines_verify_clean_after_write_storm() {
                 });
             }
         });
-        let SystemHandle::Baseline(index) = &handle else { unreachable!() };
+        let SystemHandle::Baseline(index) = &handle else {
+            unreachable!()
+        };
         let report = index.verify().expect("verify");
         assert!(
             report.is_clean(),
@@ -89,18 +93,22 @@ fn multi_get_is_safe_under_concurrent_writes() {
             }
         });
 
-        let SystemHandle::Sphinx(index) = &handle else { unreachable!() };
+        let SystemHandle::Sphinx(index) = &handle else {
+            unreachable!()
+        };
         let mut reader = index.client(2).expect("client");
         let keys: Vec<Vec<u8>> = (0..200u64).map(|i| KeySpace::U64.key(i)).collect();
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         for _ in 0..30 {
             let results = reader.multi_get(&refs).expect("multi_get");
             for (key, res) in refs.iter().zip(results) {
-                let v = res.unwrap_or_else(|| {
-                    panic!("key {:?} lost", String::from_utf8_lossy(key))
-                });
+                let v =
+                    res.unwrap_or_else(|| panic!("key {:?} lost", String::from_utf8_lossy(key)));
                 assert_eq!(v.len(), 32);
-                assert!(v.iter().all(|&b| b == v[0]), "torn value from multi_get: {v:?}");
+                assert!(
+                    v.iter().all(|&b| b == v[0]),
+                    "torn value from multi_get: {v:?}"
+                );
             }
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -132,5 +140,9 @@ fn single_worker_virtual_time_is_deterministic() {
         );
         (r.mops.to_bits(), r.avg_latency_us.to_bits(), r.total_ops)
     };
-    assert_eq!(run(), run(), "single-worker virtual time must be bit-identical");
+    assert_eq!(
+        run(),
+        run(),
+        "single-worker virtual time must be bit-identical"
+    );
 }

@@ -36,7 +36,11 @@ fn four_systems_agree_on_a_mixed_history() {
                 let value = value_for(idx, step as u32 + 1);
                 let expect = oracle.contains_key(&key);
                 for (w, _) in &mut workers {
-                    assert_eq!(w.update(&key, &value), expect, "update disagreement @{step}");
+                    assert_eq!(
+                        w.update(&key, &value),
+                        expect,
+                        "update disagreement @{step}"
+                    );
                 }
                 if expect {
                     oracle.insert(key, value);
@@ -58,8 +62,10 @@ fn four_systems_agree_on_a_mixed_history() {
     }
 
     // Identical full scans at the end.
-    let full: Vec<usize> =
-        workers.iter_mut().map(|(w, _)| w.scan(b"", &[0xFF; 40])).collect();
+    let full: Vec<usize> = workers
+        .iter_mut()
+        .map(|(w, _)| w.scan(b"", &[0xFF; 40]))
+        .collect();
     for (count, sys) in full.iter().zip(&systems) {
         assert_eq!(*count, oracle.len(), "{} scan count", sys.label());
     }
@@ -69,8 +75,13 @@ fn four_systems_agree_on_a_mixed_history() {
 /// must agree on a mixed history.
 #[test]
 fn five_systems_agree_on_u64_history() {
-    let systems =
-        [System::Sphinx, System::Smart, System::SmartC, System::Art, System::BpTree];
+    let systems = [
+        System::Sphinx,
+        System::Smart,
+        System::SmartC,
+        System::Art,
+        System::BpTree,
+    ];
     let mut workers: Vec<_> = systems
         .iter()
         .map(|s| {

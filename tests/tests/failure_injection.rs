@@ -8,7 +8,10 @@ use dm_sim::{ClusterConfig, DmCluster};
 use sphinx::{SphinxConfig, SphinxError, SphinxIndex};
 
 fn cluster() -> DmCluster {
-    DmCluster::new(ClusterConfig { mn_capacity: 64 << 20, ..Default::default() })
+    DmCluster::new(ClusterConfig {
+        mn_capacity: 64 << 20,
+        ..Default::default()
+    })
 }
 
 /// Find the leaf address for `key` by scanning the MN pools for its
@@ -32,7 +35,9 @@ fn torn_leaf_write_is_detected_never_served() {
     let c = cluster();
     let index = SphinxIndex::create(&c, SphinxConfig::small()).unwrap();
     let mut client = index.client(0).unwrap();
-    client.insert(b"victim", b"payload-payload-payload").unwrap();
+    client
+        .insert(b"victim", b"payload-payload-payload")
+        .unwrap();
     let ptr = find_leaf_ptr(&c, b"victim", b"payload-payload-payload");
 
     // Tear the value bytes behind the checksum's back (what a reader of a
@@ -72,13 +77,17 @@ fn invalid_status_blocks_reads_until_slot_swap() {
     // Set the leaf's status byte to Invalid (what a deleter does first).
     let mn = c.mn(ptr.mn_id()).unwrap();
     let word0 = mn.load_u64(ptr.offset()).unwrap();
-    mn.store_u64(ptr.offset(), (word0 & !0xFF) | NodeStatus::Invalid as u64).unwrap();
+    mn.store_u64(ptr.offset(), (word0 & !0xFF) | NodeStatus::Invalid as u64)
+        .unwrap();
 
     // Readers treat it as deleted.
     assert_eq!(client.get(b"tomb").unwrap(), None);
     // An insert over the tombstone swaps in a fresh leaf.
     client.insert(b"tomb", b"new-value").unwrap();
-    assert_eq!(client.get(b"tomb").unwrap().as_deref(), Some(&b"new-value"[..]));
+    assert_eq!(
+        client.get(b"tomb").unwrap().as_deref(),
+        Some(&b"new-value"[..])
+    );
 }
 
 #[test]
@@ -97,8 +106,7 @@ fn bogus_hash_entry_is_rejected_by_validation() {
     let h_al = prefix_hash64(b"al");
     let mut dm = c.client(0);
     let mn_al = c.place(h_al) as usize;
-    let mut table =
-        race_hash::RaceTable::open(&mut dm, index.inht_metas()[mn_al]).unwrap();
+    let mut table = race_hash::RaceTable::open(&mut dm, index.inht_metas()[mn_al]).unwrap();
     let found = table.search(&mut dm, h_al).unwrap();
     let al_entry = found
         .iter()
@@ -116,9 +124,10 @@ fn bogus_hash_entry_is_rejected_by_validation() {
         kind: al_entry.kind,
         addr: al_entry.addr,
     };
-    let mut table_zz =
-        race_hash::RaceTable::open(&mut dm, index.inht_metas()[mn_zz]).unwrap();
-    table_zz.insert(&mut dm, h_zz, forged.encode(), |_c, _w| Ok(h_zz)).unwrap();
+    let mut table_zz = race_hash::RaceTable::open(&mut dm, index.inht_metas()[mn_zz]).unwrap();
+    table_zz
+        .insert(&mut dm, h_zz, forged.encode(), |_c, _w| Ok(h_zz))
+        .unwrap();
     // Teach the filter the forged prefix so lookups actually try it.
     client.filter_handle().lock().insert(b"zz");
 

@@ -18,7 +18,10 @@ enum Op {
 fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
     // Small alphabet and lengths force deep sharing, path compression,
     // prefix keys and node splits.
-    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), any::<u8>()], 0..10)
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), any::<u8>()],
+        0..10,
+    )
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

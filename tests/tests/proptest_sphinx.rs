@@ -47,7 +47,10 @@ fn check_mode(mode: CacheMode, ops: &[Op]) -> Result<(), TestCaseError> {
         mn_capacity: 32 << 20,
         ..ClusterConfig::default()
     });
-    let config = SphinxConfig { mode, ..SphinxConfig::small() };
+    let config = SphinxConfig {
+        mode,
+        ..SphinxConfig::small()
+    };
     let index = SphinxIndex::create(&cluster, config).expect("create");
     let mut client = index.client(0).expect("client");
     let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();

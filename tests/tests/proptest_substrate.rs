@@ -20,10 +20,8 @@ fn heap_op() -> impl Strategy<Value = HeapOp> {
         (0u16..3000, proptest::collection::vec(any::<u8>(), 0..100))
             .prop_map(|(offset, data)| HeapOp::Write { offset, data }),
         (0u16..3000, any::<u8>()).prop_map(|(offset, len)| HeapOp::Read { offset, len }),
-        (0u8..200, any::<u64>()).prop_map(|(word_idx, value)| HeapOp::StoreWord {
-            word_idx,
-            value
-        }),
+        (0u8..200, any::<u64>())
+            .prop_map(|(word_idx, value)| HeapOp::StoreWord { word_idx, value }),
         (0u8..200, any::<u32>()).prop_map(|(word_idx, delta)| HeapOp::Faa { word_idx, delta }),
     ]
 }

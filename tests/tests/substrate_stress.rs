@@ -40,8 +40,14 @@ fn heap_survives_concurrent_mixed_verbs() {
                     cl.faa(shared, 1).unwrap();
                     // Doorbell batch spanning both MNs.
                     let mut batch = DoorbellBatch::new();
-                    batch.push(Verb::Read { ptr: private, len: 8 });
-                    batch.push(Verb::Read { ptr: shared, len: 8 });
+                    batch.push(Verb::Read {
+                        ptr: private,
+                        len: 8,
+                    });
+                    batch.push(Verb::Read {
+                        ptr: shared,
+                        len: 8,
+                    });
                     let res = cl.execute(batch).unwrap();
                     assert!(matches!(res[0], VerbResult::Read(_)));
                 }
@@ -57,7 +63,12 @@ fn heap_survives_concurrent_mixed_verbs() {
 fn fluid_queue_saturates_at_capacity() {
     // Offered load beyond NIC capacity must produce completion times that
     // stretch to (work / capacity): the saturation mechanics behind Fig. 5.
-    let net = NetConfig { rtt_ns: 1000, msg_ns: 100, byte_ns_x1000: 0, client_op_ns: 0 };
+    let net = NetConfig {
+        rtt_ns: 1000,
+        msg_ns: 100,
+        byte_ns_x1000: 0,
+        client_op_ns: 0,
+    };
     let cluster = DmCluster::new(ClusterConfig {
         num_mns: 1,
         num_cns: 1,
@@ -97,7 +108,10 @@ fn race_table_concurrent_mixed_churn() {
     let meta = RaceTable::create(
         &mut boot,
         0,
-        &TableConfig { initial_depth: 1, max_depth: 12 },
+        &TableConfig {
+            initial_depth: 1,
+            max_depth: 12,
+        },
     )
     .unwrap();
 
@@ -149,7 +163,9 @@ fn race_table_concurrent_mixed_churn() {
                     "replace lost (t{t} i{i})"
                 ),
                 _ => assert!(
-                    !found.iter().any(|e| e.word & ((1 << 42) - 1) == w & ((1 << 42) - 1)),
+                    !found
+                        .iter()
+                        .any(|e| e.word & ((1 << 42) - 1) == w & ((1 << 42) - 1)),
                     "remove resurrected (t{t} i{i})"
                 ),
             }
@@ -196,7 +212,12 @@ fn latest_distribution_tracks_inserts_through_the_stack() {
         w.insert(&KeySpace::U64.key(i), &value_for(i, 0));
     }
     let mut stream = OpStream::new(
-        Workload { insert: 0.05, read: 0.95, update: 0.0, ..Workload::d() },
+        Workload {
+            insert: 0.05,
+            read: 0.95,
+            update: 0.0,
+            ..Workload::d()
+        },
         preloaded,
         9,
     );
@@ -241,8 +262,7 @@ fn census_estimate_matches_measured_art_bytes() {
         local.insert(k, ());
     }
     let census = local.census();
-    let estimate =
-        census.remote_bytes_estimate(key_bytes / n as usize, VALUE_LEN);
+    let estimate = census.remote_bytes_estimate(key_bytes / n as usize, VALUE_LEN);
 
     // Remote tree over the same keys.
     let handle = System::Sphinx.build(1 << 30, Some(64 << 10));
@@ -252,7 +272,9 @@ fn census_estimate_matches_measured_art_bytes() {
             w.insert(&KeySpace::U64.key(i), &value_for(i, 0));
         }
     }
-    let SystemHandle::Sphinx(index) = &handle else { unreachable!() };
+    let SystemHandle::Sphinx(index) = &handle else {
+        unreachable!()
+    };
     let measured = index.space_breakdown().expect("space").art_bytes;
 
     let ratio = measured as f64 / estimate as f64;
@@ -262,7 +284,11 @@ fn census_estimate_matches_measured_art_bytes() {
     );
     // And the structures themselves must agree.
     let remote = index.verify().expect("verify");
-    assert_eq!(remote.inner_nodes, census.inner_nodes(), "inner node counts differ");
+    assert_eq!(
+        remote.inner_nodes,
+        census.inner_nodes(),
+        "inner node counts differ"
+    );
     assert_eq!(
         remote.leaves,
         census.leaves + census.inner_values,
