@@ -133,6 +133,7 @@ impl BaselineIndex {
             root_slot: None,
             stats: BaselineStats::default(),
             retry: RetryPolicy::default(),
+            obs: obs::Recorder::new(),
         })
     }
 
@@ -182,12 +183,38 @@ pub struct BaselineClient {
     pub(crate) stats: BaselineStats,
     /// Shared bounded-retry budget (see [`dm_sim::RetryPolicy`]).
     pub(crate) retry: RetryPolicy,
+    /// Per-worker telemetry recorder (spans + phase attribution).
+    pub(crate) obs: obs::Recorder,
 }
 
 impl BaselineClient {
     /// Operation counters.
     pub fn op_stats(&self) -> BaselineStats {
         self.stats
+    }
+
+    /// This worker's telemetry: phase-attributed spans plus the baseline
+    /// domain counters (`baseline.*`, `cache.*`, `lock.*`).
+    pub fn telemetry(&self) -> obs::Registry {
+        let mut reg = self.obs.registry();
+        reg.add("baseline.retries", self.stats.retries);
+        reg.add("baseline.checksum_retries", self.stats.checksum_retries);
+        reg
+    }
+
+    #[inline]
+    pub(crate) fn obs_begin(&mut self, kind: obs::OpKind) {
+        self.obs.begin(kind, self.dm.stats(), self.dm.clock_ns());
+    }
+
+    #[inline]
+    pub(crate) fn obs_phase(&mut self, phase: obs::Phase) {
+        self.obs.phase(phase, self.dm.stats(), self.dm.clock_ns());
+    }
+
+    #[inline]
+    pub(crate) fn obs_end(&mut self) {
+        self.obs.end(self.dm.stats(), self.dm.clock_ns());
     }
 
     /// Network-level statistics.

@@ -5,7 +5,8 @@ use art_core::hash::prefix_hash42;
 use art_core::key::{common_prefix_len, MAX_KEY_LEN};
 use art_core::layout::{InnerNode, LeafNode, NodeStatus, Slot, VALUE_SLOT_OFFSET};
 use dm_sim::{RemotePtr, Transport};
-use node_engine::{cas_locked_write, write_new_inner, write_new_leaf, Install};
+use node_engine::{cas_locked_write, write_new_inner, write_new_leaf, Install, LeafReadStats};
+use obs::{OpKind, Phase};
 
 use crate::error::BaselineError;
 use crate::index::BaselineClient;
@@ -82,11 +83,15 @@ impl BaselineClient {
             if let Some(cache) = &self.cache {
                 if let Some(node) = cache.lock().get(ptr) {
                     if node.header.kind == kind {
+                        self.obs.incr("cache.hit");
                         return Ok((node, true));
                     }
                     cache.lock().invalidate(ptr);
                 }
             }
+        }
+        if use_cache && self.cache.is_some() {
+            self.obs.incr("cache.miss");
         }
         let bytes = self.dm.read(ptr, InnerNode::byte_size(kind))?;
         let node = InnerNode::decode(&bytes)?;
@@ -102,13 +107,16 @@ impl BaselineClient {
     /// and short-hint extension live in `node-engine` now).
     fn read_leaf(&mut self, ptr: RemotePtr) -> Result<LeafNode, BaselineError> {
         let hint = self.leaf_read_hint();
-        Ok(node_engine::read_validated_leaf(
-            &mut self.dm,
-            ptr,
-            hint,
-            &self.retry,
-            &mut self.stats.checksum_retries,
-        )?)
+        let prev = self.obs.current_phase();
+        self.obs_phase(Phase::LeafRead);
+        let mut io = LeafReadStats::default();
+        let res = node_engine::read_validated_leaf(&mut self.dm, ptr, hint, &self.retry, &mut io);
+        self.stats.checksum_retries += io.checksum_retries;
+        self.obs.add("leaf.extended_reads", io.extended_reads);
+        if let Some(p) = prev {
+            self.obs_phase(p);
+        }
+        Ok(res?)
     }
 
     fn invalidate_cached(&mut self, ptr: RemotePtr) {
@@ -128,6 +136,8 @@ impl BaselineClient {
                 LocateResult::Done(loc) => return Ok(loc),
                 LocateResult::Retry => {
                     self.stats.retries += 1;
+                    self.obs.retry();
+                    self.obs_phase(Phase::Retry);
                     self.root_slot(true)?;
                     if attempt > 2 {
                         self.backoff();
@@ -139,6 +149,7 @@ impl BaselineClient {
     }
 
     fn locate_once(&mut self, key: &[u8], use_cache: bool) -> Result<LocateResult, BaselineError> {
+        self.obs_phase(Phase::Traversal);
         let root = self.root_slot(false)?;
         let mut parent_node_ptr: Option<RemotePtr> = None;
         let mut parent_word_ptr = self.meta.root_word;
@@ -259,6 +270,13 @@ impl BaselineClient {
     /// [`BaselineError::KeyTooLong`] or substrate errors.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, BaselineError> {
         self.stats.gets += 1;
+        self.obs_begin(OpKind::Get);
+        let r = self.get_inner(key);
+        self.obs_end();
+        r
+    }
+
+    fn get_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, BaselineError> {
         for pass in 0..2 {
             let use_cache = pass == 0;
             let loc = self.locate(key, use_cache)?;
@@ -285,6 +303,13 @@ impl BaselineClient {
     /// or substrate errors.
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), BaselineError> {
         self.stats.inserts += 1;
+        self.obs_begin(OpKind::Insert);
+        let r = self.insert_inner(key, value);
+        self.obs_end();
+        r
+    }
+
+    fn insert_inner(&mut self, key: &[u8], value: &[u8]) -> Result<(), BaselineError> {
         for attempt in 0..self.retry.op_retries {
             let use_cache = attempt == 0;
             let loc = self.locate(key, use_cache)?;
@@ -329,6 +354,8 @@ impl BaselineClient {
             if done {
                 return Ok(());
             }
+            self.obs.retry();
+            self.obs_phase(Phase::Retry);
             self.backoff();
         }
         Err(BaselineError::RetriesExhausted { op: "insert" })
@@ -341,6 +368,13 @@ impl BaselineClient {
     /// Same classes as [`BaselineClient::insert`].
     pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<bool, BaselineError> {
         self.stats.updates += 1;
+        self.obs_begin(OpKind::Update);
+        let r = self.update_inner(key, value);
+        self.obs_end();
+        r
+    }
+
+    fn update_inner(&mut self, key: &[u8], value: &[u8]) -> Result<bool, BaselineError> {
         for attempt in 0..self.retry.op_retries {
             let use_cache = attempt == 0;
             let loc = self.locate(key, use_cache)?;
@@ -360,6 +394,8 @@ impl BaselineClient {
                 _ if loc.used_cache => {} // confirm the miss uncached
                 _ => return Ok(false),
             }
+            self.obs.retry();
+            self.obs_phase(Phase::Retry);
             self.backoff();
         }
         Err(BaselineError::RetriesExhausted { op: "update" })
@@ -372,6 +408,13 @@ impl BaselineClient {
     /// Same classes as [`BaselineClient::insert`].
     pub fn remove(&mut self, key: &[u8]) -> Result<bool, BaselineError> {
         self.stats.deletes += 1;
+        self.obs_begin(OpKind::Delete);
+        let r = self.remove_inner(key);
+        self.obs_end();
+        r
+    }
+
+    fn remove_inner(&mut self, key: &[u8]) -> Result<bool, BaselineError> {
         for attempt in 0..self.retry.op_retries {
             let use_cache = attempt == 0;
             let loc = self.locate(key, use_cache)?;
@@ -384,8 +427,10 @@ impl BaselineClient {
                     if leaf.status == NodeStatus::Invalid {
                         return Ok(false);
                     }
+                    self.obs_phase(Phase::LeafWrite);
                     let (cur, inv) = leaf.status_cas_words(leaf.status, NodeStatus::Invalid);
                     if self.dm.cas(slot.addr, cur, inv)? != cur {
+                        self.obs.retry();
                         self.backoff();
                         continue;
                     }
@@ -395,6 +440,8 @@ impl BaselineClient {
                 _ if loc.used_cache => {}
                 _ => return Ok(false),
             }
+            self.obs.retry();
+            self.obs_phase(Phase::Retry);
             self.backoff();
         }
         Err(BaselineError::RetriesExhausted { op: "remove" })
@@ -415,6 +462,19 @@ impl BaselineClient {
         high: &[u8],
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BaselineError> {
         self.stats.scans += 1;
+        self.obs_begin(OpKind::Scan);
+        let r = self.scan_inner(low, high);
+        self.obs_end();
+        r
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn scan_inner(
+        &mut self,
+        low: &[u8],
+        high: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BaselineError> {
+        self.obs_phase(Phase::Traversal);
         let mut results: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         if low > high {
             return Ok(results);
@@ -697,6 +757,7 @@ impl BaselineClient {
                     ));
                 }
                 _ => {
+                    self.obs.incr("lock.spin");
                     self.backoff();
                 }
             }
@@ -716,6 +777,9 @@ impl BaselineClient {
         value: &[u8],
     ) -> Result<bool, BaselineError> {
         if leaf.fits_in_place(value.len()) {
+            // Lock CAS and payload write travel in one engine call:
+            // attribute the pair to LeafWrite wholesale.
+            self.obs_phase(Phase::LeafWrite);
             let (idle, locked) = leaf.status_cas_words(NodeStatus::Idle, NodeStatus::Locked);
             let mut new_leaf = LeafNode::new(key.to_vec(), value.to_vec());
             new_leaf.version = leaf.version.wrapping_add(1);
@@ -740,6 +804,7 @@ impl BaselineClient {
         key: &[u8],
         value: &[u8],
     ) -> Result<bool, BaselineError> {
+        self.obs_phase(Phase::LeafWrite);
         let new_ptr = write_new_leaf(&mut self.dm, key, value)?;
         let new_slot = Slot::leaf(slot.key_byte, new_ptr);
         match self.install_word(node_ptr, offset, slot.encode(), new_slot.encode())? {
@@ -772,6 +837,7 @@ impl BaselineClient {
             // search key; a mismatch means the tree changed — retry.
             return Ok(false);
         }
+        self.obs_phase(Phase::LeafWrite);
         let cpl = common_prefix_len(key, &leaf.key);
         let prefix = &key[..cpl];
         let kind = self.meta.config.fresh_node_kind();
@@ -816,6 +882,7 @@ impl BaselineClient {
         if cpl >= clen || cpl >= sample.key.len() {
             return Ok(false);
         }
+        self.obs_phase(Phase::LeafWrite);
         let prefix = &key[..cpl];
         let kind = self.meta.config.fresh_node_kind();
         let mut n = InnerNode::new(kind, prefix);
@@ -861,7 +928,9 @@ impl BaselineClient {
         }
         let idle = node.header.control_with_status(NodeStatus::Idle);
         let locked = node.header.control_with_status(NodeStatus::Locked);
+        self.obs_phase(Phase::LockAcquire);
         if self.dm.cas(loc.node_ptr, idle, locked)? != idle {
+            self.obs.incr("lock.contended");
             return Ok(false);
         }
         let bytes = self
@@ -874,6 +943,7 @@ impl BaselineClient {
             return Ok(false);
         }
         if let Some(idx) = fresh.free_slot(byte) {
+            self.obs_phase(Phase::LeafWrite);
             let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
             self.dm.write_many(vec![
                 (
@@ -885,6 +955,7 @@ impl BaselineClient {
             self.invalidate_cached(loc.node_ptr);
             return Ok(true);
         }
+        self.obs_phase(Phase::LeafWrite);
         let mut grown = fresh.grow();
         let leaf_ptr = write_new_leaf(&mut self.dm, key, value)?;
         grown.set_child(Slot::leaf(byte, leaf_ptr));

@@ -15,9 +15,10 @@
 //!     [--keys 60000] [--ops 2000] [--workers 24]
 //! ```
 
-use bench_harness::report::{arg_u64, f3, Table};
+use bench_harness::report::{arg_u64, f3, write_json, Table};
 use bench_harness::runner::{load_phase, run_phase, RunConfig};
 use bench_harness::systems::System;
+use obs::{OpKind, Phase};
 use ycsb::{KeySpace, Workload};
 
 fn main() {
@@ -27,6 +28,10 @@ fn main() {
     let workers = arg_u64(&args, "--workers", 24) as usize;
 
     println!("Ablation — YCSB-C, {keys} keys, {workers} workers\n");
+    // The three *_rts columns are per-phase round-trip attribution for
+    // point lookups (whole worker lifetime): the SFC collapses InhtLookup
+    // from Θ(L) hash-entry reads to ~1, which is the paper's §III-B claim
+    // made directly visible.
     let mut table = Table::new([
         "dataset",
         "variant",
@@ -34,6 +39,9 @@ fn main() {
         "avg_lat_us",
         "rts_per_op",
         "bytes_per_op",
+        "inht_rts",
+        "trav_rts",
+        "leaf_rts",
     ]);
 
     for keyspace in [KeySpace::U64, KeySpace::Email] {
@@ -50,6 +58,22 @@ fn main() {
                 seed: 0xAB1A_7104,
             };
             let r = run_phase(&handle, &cfg);
+            let get = r.telemetry.op(OpKind::Get);
+            let per = |p: Phase| {
+                if get.count == 0 {
+                    0.0
+                } else {
+                    get.phases[p.idx()].round_trips as f64 / get.count as f64
+                }
+            };
+            write_json(
+                &format!(
+                    "ablation_telemetry_{}_{}",
+                    keyspace.name(),
+                    sys.label().to_lowercase().replace('+', "_plus_")
+                ),
+                &r.telemetry.to_json(),
+            );
             table.row([
                 keyspace.name().to_string(),
                 sys.label().to_string(),
@@ -57,9 +81,13 @@ fn main() {
                 f3(r.avg_latency_us),
                 f3(r.round_trips_per_op),
                 format!("{:.0}", r.bytes_per_op),
+                f3(per(Phase::InhtLookup)),
+                f3(per(Phase::Traversal)),
+                f3(per(Phase::LeafRead)),
             ]);
         }
     }
     println!("{}", table.render());
     table.write_csv("ablation");
+    println!("per-phase telemetry JSON written to results/ablation_telemetry_*.json");
 }

@@ -13,10 +13,37 @@
 //!     [--keys 60000] [--ops 2000] [--workers 24]
 //! ```
 
-use bench_harness::report::{arg_u64, f3, Table};
+use bench_harness::report::{arg_u64, f3, write_json, Table};
 use bench_harness::runner::{load_phase, run_phase, RunConfig};
 use bench_harness::systems::System;
+use obs::{OpKind, Phase};
 use ycsb::{KeySpace, Workload};
+
+/// Compact per-phase round-trip attribution for point lookups — the
+/// telemetry view of the paper's cost argument (SFC hit ≈ one hash-entry
+/// read; miss walks Θ(L) prefixes).
+fn get_phase_summary(reg: &obs::Registry) -> String {
+    let get = reg.op(OpKind::Get);
+    if get.count == 0 {
+        return String::from("(no gets)");
+    }
+    let per = |p: Phase| get.phases[p.idx()].round_trips as f64 / get.count as f64;
+    let hits = reg.counter("sfc.probe_hit");
+    let probes = hits + reg.counter("sfc.probe_miss");
+    let mut s = format!(
+        "get rts/op: InhtLookup {:.2}, Traversal {:.2}, LeafRead {:.2}",
+        per(Phase::InhtLookup),
+        per(Phase::Traversal),
+        per(Phase::LeafRead),
+    );
+    if probes > 0 {
+        s.push_str(&format!(
+            " | sfc probe hit-rate {:.1}%",
+            hits as f64 / probes as f64 * 100.0
+        ));
+    }
+    s
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -38,8 +65,10 @@ fn main() {
                 .chain(display.iter().map(|w| format!("YCSB-{w}"))),
         );
         let mut per_system: Vec<Vec<f64>> = Vec::new();
+        let mut phase_lines: Vec<String> = Vec::new();
         for sys in System::paper_lineup() {
             let mut mops = std::collections::HashMap::new();
+            let mut telem = obs::Registry::new();
 
             // Preloaded tree for A–E.
             let handle = sys.build_scaled(1 << 30, keys);
@@ -63,6 +92,7 @@ fn main() {
                         seed: 0xF160_0004,
                     },
                 );
+                telem.merge(&r.telemetry);
                 mops.insert(wl_name, r.mops);
             }
 
@@ -80,7 +110,15 @@ fn main() {
                     seed: 0xF160_0004,
                 },
             );
+            telem.merge(&r.telemetry);
             mops.insert("LOAD", r.mops);
+
+            let slug = sys.label().to_lowercase().replace('+', "_plus_");
+            write_json(
+                &format!("fig4_telemetry_{}_{}", keyspace.name(), slug),
+                &telem.to_json(),
+            );
+            phase_lines.push(format!("{:<10} {}", sys.label(), get_phase_summary(&telem)));
 
             let row: Vec<f64> = display.iter().map(|w| mops[w]).collect();
             table.row(std::iter::once(sys.label().to_string()).chain(row.iter().map(|m| f3(*m))));
@@ -89,6 +127,11 @@ fn main() {
         println!("dataset: {}", keyspace.name());
         println!("{}", table.render());
         table.write_csv(&format!("fig4_{}", keyspace.name()));
+        println!("phase attribution (full run incl. warm-up; JSON in results/):");
+        for line in &phase_lines {
+            println!("  {line}");
+        }
+        println!();
 
         // The paper's headline: Sphinx vs best/worst competitor per
         // workload.

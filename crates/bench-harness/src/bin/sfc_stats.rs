@@ -6,16 +6,25 @@
 //! * the hash-entry miss rate (filter false positives / staleness — the
 //!   paper claims <1%);
 //! * the double-collision retry rate detected at leaves (paper: <0.01%);
-//! * the raw cuckoo-filter false-positive rate at the same occupancy.
+//! * the raw cuckoo-filter false-positive rate at the same occupancy;
+//! * per-get hash-entry reads during the INHT lookup phase — the quantity
+//!   the filter exists to minimise (≈1 on a hit, Θ(L) on a miss).
+//!
+//! All rates come from the telemetry registry ([`obs::Registry`]): the
+//! measured window is isolated by snapshotting the worker's registry
+//! before the loop and differencing the monotone counters, and the full
+//! registry (with per-phase attribution and the flight recorder) is
+//! exported to `results/sfc_stats_telemetry_<dataset>.json`.
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin sfc_stats -- \
 //!     [--keys 100000] [--ops 50000]
 //! ```
 
-use bench_harness::report::{arg_u64, Table};
+use bench_harness::report::{arg_u64, write_json, Table};
 use bench_harness::runner::load_phase;
-use bench_harness::systems::{System, SystemHandle, WorkerClient};
+use bench_harness::systems::{System, WorkerClient};
+use obs::{OpKind, Phase};
 use ycsb::KeySpace;
 
 fn main() {
@@ -30,6 +39,7 @@ fn main() {
         "entry_miss_per_op",
         "fp_retry_per_op",
         "raw_filter_fp_%",
+        "inht_reads_per_get",
     ]);
 
     for keyspace in [KeySpace::U64, KeySpace::Email] {
@@ -41,11 +51,7 @@ fn main() {
         for i in (0..keys).step_by(7) {
             worker.get(&keyspace.key(i));
         }
-        let (base_op, base_net) = match &worker {
-            WorkerClient::Sphinx(c) => (c.op_stats(), c.net_stats()),
-            _ => unreachable!(),
-        };
-        let _ = base_net;
+        let base = worker.telemetry();
         let mut x = 0x1234_5678u64;
         for _ in 0..ops {
             x = x
@@ -53,14 +59,17 @@ fn main() {
                 .wrapping_add(1442695040888963407);
             worker.get(&keyspace.key((x >> 16) % keys));
         }
-        let stats = match &worker {
-            WorkerClient::Sphinx(c) => c.op_stats().since(&base_op),
-            _ => unreachable!(),
-        };
+        let cur = worker.telemetry();
+        // Registry counters and phase cells are monotone, so the measured
+        // window is the difference of the two snapshots.
+        let delta = |name: &str| cur.counter(name) - base.counter(name);
+        let gets = cur.op(OpKind::Get).count - base.op(OpKind::Get).count;
+        let inht_reads = cur.phase(OpKind::Get, Phase::InhtLookup).verbs
+            - base.phase(OpKind::Get, Phase::InhtLookup).verbs;
 
         // Raw filter accuracy at the achieved occupancy.
-        let raw_fp = match (&worker, &handle) {
-            (WorkerClient::Sphinx(c), SystemHandle::Sphinx(_)) => {
+        let raw_fp = match &worker {
+            WorkerClient::Sphinx(c) => {
                 let filter = c.filter_handle().lock();
                 let probes = 50_000u64;
                 let fps = (0..probes)
@@ -75,15 +84,17 @@ fn main() {
             keyspace.name().to_string(),
             format!(
                 "{:.1}",
-                stats.filter_first_hits as f64 / stats.gets as f64 * 100.0
+                delta("sphinx.filter_first_hits") as f64 / gets as f64 * 100.0
             ),
-            format!("{:.4}", stats.entry_misses as f64 / stats.gets as f64),
-            format!(
-                "{:.6}",
-                stats.false_positive_retries as f64 / stats.gets as f64
-            ),
+            format!("{:.4}", delta("sphinx.entry_misses") as f64 / gets as f64),
+            format!("{:.6}", delta("sphinx.fp_retries") as f64 / gets as f64),
             format!("{raw_fp:.3}"),
+            format!("{:.3}", inht_reads as f64 / gets as f64),
         ]);
+        write_json(
+            &format!("sfc_stats_telemetry_{}", keyspace.name()),
+            &cur.to_json(),
+        );
     }
     println!("{}", table.render());
     table.write_csv("sfc_stats");

@@ -1,0 +1,116 @@
+//! CI telemetry smoke check.
+//!
+//! Runs a tiny Sphinx workload, exports the merged telemetry registry as
+//! JSON, re-parses it with the crate's own parser, and asserts the
+//! structural invariants downstream consumers rely on:
+//!
+//! * the schema tag matches [`obs::SCHEMA`] (fails loudly on drift);
+//! * point lookups carry nonzero `SfcProbe` and `LeafRead` attribution
+//!   (the phase-span plumbing through the read path is alive);
+//! * the SFC probe counters are populated;
+//! * the flight recorder captured at least one operation.
+//!
+//! Exits nonzero (panics) on any violation — wired as a CI job.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin telemetry_smoke
+//! ```
+
+use bench_harness::report::write_json;
+use bench_harness::runner::{load_phase, run_phase, RunConfig};
+use bench_harness::systems::System;
+use obs::{json, OpKind, Phase, SCHEMA};
+use ycsb::{KeySpace, Workload};
+
+fn main() {
+    let keys = 3_000;
+    let handle = System::Sphinx.build(64 << 20, Some(1 << 20));
+    load_phase(&handle, KeySpace::U64, keys, 4);
+    let r = run_phase(
+        &handle,
+        &RunConfig {
+            keyspace: KeySpace::U64,
+            num_keys: keys,
+            workload: Workload::a(),
+            workers: 4,
+            ops_per_worker: 500,
+            warmup_per_worker: 100,
+            seed: 0x51_0CE,
+        },
+    );
+
+    let reg = &r.telemetry;
+    let doc = reg.to_json();
+    write_json("telemetry_smoke", &doc);
+
+    // The JSON must parse with our own parser and carry the pinned schema.
+    let parsed = json::parse(&doc).expect("telemetry JSON must parse");
+    assert_eq!(
+        parsed.get("schema").and_then(|v| v.as_str()),
+        Some(SCHEMA),
+        "schema drift: bump consumers together with obs::SCHEMA"
+    );
+
+    // Structural invariants, checked on the parsed document (so the
+    // exporter, not just the in-memory registry, is what's validated).
+    let get = parsed
+        .get("ops")
+        .and_then(|o| o.get("get"))
+        .expect("get ops present");
+    let phase_rts = |name: &str| {
+        get.get("phases")
+            .and_then(|p| p.get(name))
+            .and_then(|p| p.get("round_trips"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let phase_count = |name: &str| {
+        get.get("phases")
+            .and_then(|p| p.get(name))
+            .and_then(|p| p.get("count"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    assert!(
+        phase_count("SfcProbe") > 0,
+        "gets must attribute SfcProbe intervals (CN-local probes count even with zero verbs)"
+    );
+    assert!(
+        phase_rts("LeafRead") > 0,
+        "gets must attribute round trips to LeafRead"
+    );
+
+    // Counters: both recorder-side and in-memory registry agree.
+    let counters = parsed.get("counters").expect("counters present");
+    let probe_hits = counters
+        .get("sfc.probe_hit")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let probe_misses = counters
+        .get("sfc.probe_miss")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    assert!(
+        probe_hits + probe_misses > 0,
+        "SFC probe counters must be populated"
+    );
+    assert!(
+        reg.phase(OpKind::Get, Phase::SfcProbe).count > 0,
+        "in-memory registry must agree with the export"
+    );
+
+    let flight = parsed
+        .get("flight")
+        .and_then(|f| f.get("slowest"))
+        .and_then(|v| v.as_arr())
+        .expect("flight.slowest present");
+    assert!(!flight.is_empty(), "flight recorder must capture ops");
+
+    println!(
+        "telemetry smoke OK: {} ops, SfcProbe count {}, LeafRead rts {}, probes {}",
+        reg.total_ops(),
+        phase_count("SfcProbe"),
+        phase_rts("LeafRead"),
+        probe_hits + probe_misses,
+    );
+}

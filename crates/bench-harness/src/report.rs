@@ -76,6 +76,19 @@ impl Table {
     }
 }
 
+/// Writes a JSON document under `results/` (created on demand) — the
+/// export path for telemetry registries
+/// ([`obs::Registry::to_json`]).
+///
+/// # Panics
+///
+/// Panics on I/O errors (bench context).
+pub fn write_json(name: &str, json: &str) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    fs::write(dir.join(format!("{name}.json")), json).expect("write json");
+}
+
 /// Renders a throughput–latency scatter as ASCII: one letter per series,
 /// log-scaled axes, suitable for eyeballing the Fig. 5 hockey stick in a
 /// terminal. Points are `(x = Mops, y = latency µs)`.

@@ -70,6 +70,11 @@ pub struct RunResult {
     pub round_trips_per_op: f64,
     /// Wire bytes per operation.
     pub bytes_per_op: f64,
+    /// Merged telemetry: every worker's phase-attributed registry plus the
+    /// index-level counters (SFC filter stats, fault injections). Spans
+    /// cover each worker's whole lifetime — warm-up included — unlike the
+    /// scalar fields above, which cover only the measured window.
+    pub telemetry: obs::Registry,
 }
 
 /// Loads `num_keys` keys (indexes `0..num_keys`) through `load_workers`
@@ -111,6 +116,7 @@ struct WorkerOutcome {
     hist: LatencyHistogram,
     round_trips: u64,
     bytes: u64,
+    telemetry: obs::Registry,
 }
 
 /// Executes the measured phase and aggregates virtual-time results.
@@ -180,6 +186,7 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
                     hist,
                     round_trips: net.round_trips,
                     bytes: net.bytes_total(),
+                    telemetry: client.telemetry(),
                 }
             }));
         }
@@ -202,6 +209,10 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
     }
     let round_trips: u64 = outcomes.iter().map(|o| o.round_trips).sum();
     let bytes: u64 = outcomes.iter().map(|o| o.bytes).sum();
+    let mut telemetry = handle.index_telemetry();
+    for o in &outcomes {
+        telemetry.merge(&o.telemetry);
+    }
     RunResult {
         mops: total_ops as f64 / makespan_ns as f64 * 1e3,
         avg_latency_us: hist.mean_ns() as f64 / 1e3,
@@ -209,6 +220,7 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
         total_ops,
         round_trips_per_op: round_trips as f64 / total_ops as f64,
         bytes_per_op: bytes as f64 / total_ops as f64,
+        telemetry,
     }
 }
 
@@ -273,6 +285,23 @@ mod tests {
             r.avg_latency_us
         );
         assert!(r.round_trips_per_op >= 1.0);
+        #[cfg(feature = "telemetry")]
+        {
+            use obs::{OpKind, Phase};
+            assert!(r.telemetry.total_ops() > 0, "spans must reach the registry");
+            assert!(
+                r.telemetry.phase(OpKind::Get, Phase::SfcProbe).count > 0,
+                "gets must attribute SfcProbe intervals"
+            );
+            assert!(
+                r.telemetry.phase(OpKind::Get, Phase::LeafRead).round_trips > 0,
+                "gets must attribute LeafRead round trips"
+            );
+            assert!(
+                r.telemetry.counter("sfc.lookups") > 0,
+                "index-level SFC stats merged"
+            );
+        }
     }
 
     #[test]

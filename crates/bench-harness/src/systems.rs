@@ -158,6 +158,19 @@ impl SystemHandle {
         }
     }
 
+    /// Index-level telemetry: counters owned by the index rather than any
+    /// worker (Sphinx's per-CN filter statistics, collected once here to
+    /// avoid counting the shared filters once per worker), plus the
+    /// cluster's fault-injection count. Empty for uninstrumented systems.
+    pub fn index_telemetry(&self) -> obs::Registry {
+        let mut reg = match self {
+            SystemHandle::Sphinx(idx) => idx.sfc_telemetry(),
+            SystemHandle::Baseline(_) | SystemHandle::BpTree(_) => obs::Registry::new(),
+        };
+        reg.add("faults.injected", self.cluster().fault_injections());
+        reg
+    }
+
     /// MN-side memory: `(index bytes, auxiliary bytes)` where auxiliary is
     /// Sphinx's Inner Node Hash Table (0 for the baselines). Fig. 6.
     pub fn memory_breakdown(&self) -> (u64, u64) {
@@ -255,6 +268,17 @@ impl WorkerClient {
             WorkerClient::Sphinx(c) => c.net_stats(),
             WorkerClient::Baseline(c) => c.net_stats(),
             WorkerClient::BpTree(c) => c.net_stats(),
+        }
+    }
+
+    /// This worker's telemetry registry (phase-attributed spans plus
+    /// domain counters). The B+-tree extension is not instrumented and
+    /// returns an empty registry.
+    pub fn telemetry(&self) -> obs::Registry {
+        match self {
+            WorkerClient::Sphinx(c) => c.telemetry(),
+            WorkerClient::Baseline(c) => c.telemetry(),
+            WorkerClient::BpTree(_) => obs::Registry::new(),
         }
     }
 }

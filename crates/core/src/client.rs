@@ -9,7 +9,8 @@ use art_core::key::{common_prefix_len, MAX_KEY_LEN};
 use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot};
 use cuckoo::CuckooFilter;
 use dm_sim::{ClientStats, DmClient, RemotePtr, RetryPolicy, Transport};
-use node_engine::{read_inner_consistent, read_validated_leaf};
+use node_engine::{read_inner_consistent, read_validated_leaf, LeafReadStats};
+use obs::{OpKind, Phase, Recorder};
 use race_hash::{FoundEntry, RaceTable};
 
 use crate::config::{CacheMode, SphinxConfig};
@@ -94,6 +95,7 @@ pub struct SphinxClient {
     pub(crate) filter: Arc<Mutex<CuckooFilter>>,
     pub(crate) config: SphinxConfig,
     pub(crate) stats: OpStats,
+    pub(crate) obs: Recorder,
     // The shared bounded-retry budget (see node_engine::RetryPolicy for
     // the rationale behind the defaults). Generous op_retries: retries
     // wait out concurrent structural changes (type switches, splits), and
@@ -115,6 +117,7 @@ impl SphinxClient {
             filter,
             config,
             stats: OpStats::default(),
+            obs: Recorder::new(),
             retry: RetryPolicy::default(),
         }
     }
@@ -144,6 +147,75 @@ impl SphinxClient {
         &self.filter
     }
 
+    /// A snapshot of this worker's telemetry: per-op phase attribution,
+    /// latency histograms, the flight recorder, and the Sphinx/INHT domain
+    /// counters folded in as named counters.
+    ///
+    /// The per-CN filter (SFC) statistics are shared across workers and
+    /// deliberately *not* included — collect them once per compute node via
+    /// [`SphinxIndex::sfc_telemetry`](crate::SphinxIndex::sfc_telemetry) to
+    /// avoid double counting.
+    pub fn telemetry(&self) -> obs::Registry {
+        let mut reg = self.obs.registry();
+        let s = &self.stats;
+        reg.add("sphinx.fp_retries", s.false_positive_retries);
+        reg.add("sphinx.invalid_node_retries", s.invalid_node_retries);
+        reg.add("sphinx.checksum_retries", s.checksum_retries);
+        reg.add("sphinx.extended_leaf_reads", s.extended_leaf_reads);
+        reg.add("sphinx.filter_first_hits", s.filter_first_hits);
+        reg.add("sphinx.entry_misses", s.entry_misses);
+        reg.add("sphinx.filter_refreshes", s.filter_refreshes);
+        for t in &self.tables {
+            let c = t.counters();
+            reg.add("inht.searches", c.searches);
+            reg.add("inht.stale_retries", c.stale_retries);
+            reg.add("inht.cas_races", c.cas_races);
+            reg.add("inht.splits", c.splits);
+            reg.add("inht.refreshes", c.refreshes);
+        }
+        reg
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry plumbing. The recorder never touches the clock or the
+    // transport counters — it only snapshots them at phase boundaries.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    pub(crate) fn obs_begin(&mut self, kind: OpKind) {
+        self.obs.begin(kind, self.dm.stats(), self.dm.clock_ns());
+    }
+
+    #[inline]
+    pub(crate) fn obs_phase(&mut self, phase: Phase) {
+        self.obs.phase(phase, self.dm.stats(), self.dm.clock_ns());
+    }
+
+    #[inline]
+    pub(crate) fn obs_end(&mut self) {
+        self.obs.end(self.dm.stats(), self.dm.clock_ns());
+    }
+
+    /// Reads and validates a leaf, attributing the round trips to
+    /// [`Phase::LeafRead`] (restoring the caller's phase afterwards) and
+    /// folding the engine's I/O counters into [`OpStats`].
+    pub(crate) fn read_leaf(
+        &mut self,
+        addr: RemotePtr,
+        hint: usize,
+    ) -> Result<LeafNode, SphinxError> {
+        let prev = self.obs.current_phase();
+        self.obs_phase(Phase::LeafRead);
+        let mut io = LeafReadStats::default();
+        let res = read_validated_leaf(&mut self.dm, addr, hint, &self.retry, &mut io);
+        self.stats.checksum_retries += io.checksum_retries;
+        self.stats.extended_leaf_reads += io.extended_reads;
+        if let Some(p) = prev {
+            self.obs_phase(p);
+        }
+        Ok(res?)
+    }
+
     /// Point lookup.
     ///
     /// # Errors
@@ -152,7 +224,10 @@ impl SphinxClient {
     /// substrate errors otherwise.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, SphinxError> {
         self.stats.gets += 1;
-        let d = self.locate(key)?;
+        self.obs_begin(OpKind::Get);
+        let r = self.locate(key);
+        self.obs_end();
+        let d = r?;
         Ok(match d.outcome {
             Outcome::Leaf { leaf, .. } => {
                 (leaf.key == key && leaf.status != NodeStatus::Invalid).then_some(leaf.value)
@@ -197,6 +272,7 @@ impl SphinxClient {
                     if let Some(cpl) = observed {
                         if cpl < d.entry_len {
                             self.stats.false_positive_retries += 1;
+                            self.obs.retry();
                             max_len = d.entry_len.saturating_sub(1);
                             continue;
                         }
@@ -205,6 +281,8 @@ impl SphinxClient {
                 }
                 DescentResult::Retry => {
                     self.stats.invalid_node_retries += 1;
+                    self.obs.retry();
+                    self.obs_phase(Phase::Retry);
                     self.dm.backoff(&self.retry);
                 }
             }
@@ -224,12 +302,21 @@ impl SphinxClient {
                 let mut l = max_len;
                 let mut first = true;
                 loop {
+                    self.obs_phase(Phase::SfcProbe);
                     let cand = if l == 0 {
                         0
                     } else {
                         let mut f = self.filter.lock();
                         (1..=l).rev().find(|&x| f.contains(&key[..x])).unwrap_or(0)
                     };
+                    if l > 0 {
+                        self.obs.incr(if cand > 0 {
+                            "sfc.probe_hit"
+                        } else {
+                            "sfc.probe_miss"
+                        });
+                    }
+                    self.obs_phase(Phase::InhtLookup);
                     if let Some((ptr, node)) = self.fetch_validated(key, cand)? {
                         if first {
                             self.stats.filter_first_hits += 1;
@@ -246,7 +333,10 @@ impl SphinxClient {
                     l = cand - 1;
                 }
             }
-            CacheMode::InhtOnly => self.entry_node_parallel(key, max_len),
+            CacheMode::InhtOnly => {
+                self.obs_phase(Phase::InhtLookup);
+                self.entry_node_parallel(key, max_len)
+            }
         }
     }
 
@@ -288,8 +378,12 @@ impl SphinxClient {
                 || node.header.prefix_len as usize != len
                 || node.header.prefix_hash42 != h42
             {
+                // The 12-bit fingerprint matched but the node did not: a
+                // genuine fp collision or a stale/retired entry.
+                self.obs.incr("inht.fp_collision");
                 continue;
             }
+            self.obs.incr("inht.hit");
             return Ok(Some((he.addr, node)));
         }
         Ok(None)
@@ -352,6 +446,7 @@ impl SphinxClient {
     ) -> Result<DescentResult, SphinxError> {
         let mut node = entry_node;
         let mut ptr = entry_ptr;
+        self.obs_phase(Phase::Traversal);
         loop {
             if node.header.status == NodeStatus::Invalid {
                 return Ok(DescentResult::Retry);
@@ -361,13 +456,7 @@ impl SphinxClient {
                 // Key terminates exactly at this node.
                 return Ok(DescentResult::Done(match node.value_slot {
                     Some(slot) => {
-                        let leaf = read_validated_leaf(
-                            &mut self.dm,
-                            slot.addr,
-                            self.config.leaf_read_hint,
-                            &self.retry,
-                            &mut self.stats.checksum_retries,
-                        )?;
+                        let leaf = self.read_leaf(slot.addr, self.config.leaf_read_hint)?;
                         Descent {
                             entry_len,
                             node,
@@ -398,13 +487,7 @@ impl SphinxClient {
                     }));
                 }
                 Some((idx, slot)) if slot.is_leaf => {
-                    let leaf = read_validated_leaf(
-                        &mut self.dm,
-                        slot.addr,
-                        self.config.leaf_read_hint,
-                        &self.retry,
-                        &mut self.stats.checksum_retries,
-                    )?;
+                    let leaf = self.read_leaf(slot.addr, self.config.leaf_read_hint)?;
                     return Ok(DescentResult::Done(Descent {
                         entry_len,
                         node,
@@ -481,13 +564,7 @@ impl SphinxClient {
                 None => return Ok(None),
             };
             if slot.is_leaf || current.value_slot == Some(slot) {
-                let leaf = read_validated_leaf(
-                    &mut self.dm,
-                    slot.addr,
-                    self.config.leaf_read_hint,
-                    &self.retry,
-                    &mut self.stats.checksum_retries,
-                )?;
+                let leaf = self.read_leaf(slot.addr, self.config.leaf_read_hint)?;
                 return Ok(Some(leaf));
             }
             let child = read_inner_consistent(&mut self.dm, slot.addr, slot.child_kind)?;

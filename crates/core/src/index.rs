@@ -159,6 +159,35 @@ impl SphinxIndex {
         &self.meta.inht_metas
     }
 
+    /// Merged Succinct Filter Cache statistics across every per-CN filter.
+    ///
+    /// The filters are shared by all workers of a CN, so these counters
+    /// must be collected **once per index** (not per worker) — merging
+    /// them into each worker's [`SphinxClient::telemetry`] would count
+    /// every filter once per worker.
+    pub fn sfc_stats(&self) -> cuckoo::FilterStats {
+        let mut total = cuckoo::FilterStats::default();
+        for filter in self.meta.filters.lock().values() {
+            total.merge(&filter.lock().stats());
+        }
+        total
+    }
+
+    /// The SFC statistics as a telemetry registry fragment (`sfc.*`
+    /// counters), ready to merge into a run-level registry alongside the
+    /// per-worker ones.
+    pub fn sfc_telemetry(&self) -> obs::Registry {
+        let s = self.sfc_stats();
+        let mut reg = obs::Registry::new();
+        reg.add("sfc.inserts", s.inserts);
+        reg.add("sfc.evictions", s.evictions);
+        reg.add("sfc.second_chance", s.second_chance);
+        reg.add("sfc.relocations", s.relocations);
+        reg.add("sfc.lookups", s.lookups);
+        reg.add("sfc.hits", s.hits);
+        reg
+    }
+
     /// Measures MN-side space: total live bytes minus INHT bytes gives the
     /// ART's share (nodes and leaves are the only other allocations).
     ///

@@ -58,6 +58,7 @@ pub use client::SphinxClient;
 pub use config::{CacheMode, SphinxConfig};
 pub use error::SphinxError;
 pub use index::{SpaceBreakdown, SphinxIndex};
+pub use obs;
 pub use scan_iter::ScanIter;
 pub use stats::OpStats;
 pub use verify::IntegrityReport;

@@ -11,6 +11,7 @@
 use art_core::hash::{fp12, prefix_hash42, prefix_hash64};
 use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot};
 use dm_sim::{RemotePtr, Transport};
+use obs::{OpKind, Phase};
 use race_hash::RaceTable;
 
 use crate::client::SphinxClient;
@@ -70,7 +71,11 @@ impl SphinxClient {
             // INHT-only mode already batches per key.
             return keys.iter().map(|k| self.get(k)).collect();
         }
+        // The span covers the batched pipeline; per-key slow-path
+        // fallbacks below record their own Get spans.
+        self.obs_begin(OpKind::MultiGet);
         // Stage 0: candidate prefix per key (local filter checks).
+        self.obs_phase(Phase::SfcProbe);
         let mut lanes: Vec<Lane> = Vec::with_capacity(keys.len());
         let mut prefix_lens = Vec::with_capacity(keys.len());
         {
@@ -85,6 +90,7 @@ impl SphinxClient {
         }
 
         // Stage 1: all hash-bucket pairs in one round trip.
+        self.obs_phase(Phase::InhtLookup);
         let mut bucket_reads = Vec::with_capacity(keys.len());
         let mut bases = Vec::with_capacity(keys.len());
         for (key, &plen) in keys.iter().zip(&prefix_lens) {
@@ -123,6 +129,7 @@ impl SphinxClient {
 
         // Stage 2: all inner nodes in one round trip; resolve each key to
         // a leaf pointer (keys needing deeper descent fall back).
+        self.obs_phase(Phase::Traversal);
         let mut inner_reads = Vec::new();
         let mut idxs = Vec::new();
         for (i, lane) in lanes.iter().enumerate() {
@@ -177,6 +184,7 @@ impl SphinxClient {
         }
 
         // Stage 3: all leaves in one round trip.
+        self.obs_phase(Phase::LeafRead);
         let leaf_reads: Vec<_> = leaf_targets
             .iter()
             .map(|(_, slot)| (slot.addr, self.config.leaf_read_hint))
@@ -191,6 +199,8 @@ impl SphinxClient {
                 Err(_) => Lane::Fallback,  // torn or oversized: retry solo
             };
         }
+
+        self.obs_end();
 
         // Slow path for whatever fell out of the pipeline.
         lanes

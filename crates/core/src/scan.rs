@@ -3,6 +3,8 @@
 
 use art_core::layout::{InnerNode, LeafNode, NodeStatus, Slot};
 use dm_sim::Transport;
+use node_engine::LeafReadStats;
+use obs::{OpKind, Phase};
 
 use crate::client::SphinxClient;
 use crate::error::SphinxError;
@@ -39,6 +41,18 @@ impl SphinxClient {
         high: &[u8],
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, SphinxError> {
         self.stats.scans += 1;
+        self.obs_begin(OpKind::Scan);
+        let r = self.scan_inner(low, high);
+        self.obs_end();
+        r
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn scan_inner(
+        &mut self,
+        low: &[u8],
+        high: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, SphinxError> {
         let mut results: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         if low > high {
             return Ok(results);
@@ -48,6 +62,7 @@ impl SphinxClient {
         let (root_ptr, root, _len) = self.entry_node(&[], 0)?;
         let mut inners: Vec<(InnerNode, Vec<u8>, bool)> = vec![(root, Vec::new(), true)];
         let _ = root_ptr;
+        self.obs_phase(Phase::Traversal);
 
         while !inners.is_empty() {
             // Resolution pass: a node whose known prefix is shorter than
@@ -202,13 +217,17 @@ impl SphinxClient {
             Err(_) => {
                 // Torn or larger-than-hint: fall back to the retrying
                 // reader.
-                match node_engine::read_validated_leaf(
+                let mut io = LeafReadStats::default();
+                let r = node_engine::read_validated_leaf(
                     &mut self.dm,
                     p.slot.addr,
                     self.config.leaf_read_hint,
                     &self.retry,
-                    &mut self.stats.checksum_retries,
-                ) {
+                    &mut io,
+                );
+                self.stats.checksum_retries += io.checksum_retries;
+                self.stats.extended_leaf_reads += io.extended_reads;
+                match r {
                     Ok(leaf) => Ok(Some(leaf)),
                     Err(node_engine::EngineError::RetriesExhausted { .. }) => Ok(None),
                     Err(e) => Err(e.into()),

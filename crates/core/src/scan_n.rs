@@ -9,6 +9,8 @@
 
 use art_core::layout::{InnerNode, LeafNode, NodeStatus, Slot};
 use dm_sim::Transport;
+use node_engine::LeafReadStats;
+use obs::{OpKind, Phase};
 
 use crate::client::SphinxClient;
 use crate::error::SphinxError;
@@ -56,11 +58,24 @@ impl SphinxClient {
         limit: usize,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, SphinxError> {
         self.stats.scans += 1;
+        self.obs_begin(OpKind::Scan);
+        let r = self.scan_n_inner(low, limit);
+        self.obs_end();
+        r
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn scan_n_inner(
+        &mut self,
+        low: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, SphinxError> {
         let mut results: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(limit);
         if limit == 0 {
             return Ok(results);
         }
         let (_, root, _) = self.entry_node(&[], 0)?;
+        self.obs_phase(Phase::Traversal);
         // Stack of unfetched subtrees in reverse key order (smallest on
         // top). Seed with the root's children.
         let mut stack: Vec<PendingChild> = Vec::new();
@@ -84,26 +99,34 @@ impl SphinxClient {
                     .iter()
                     .map(|p| (p.slot.addr, self.config.leaf_read_hint))
                     .collect();
+                self.obs_phase(Phase::LeafRead);
                 let reads = self.dm.read_many(&run_reads)?;
                 for (p, bytes) in run.into_iter().zip(reads) {
                     let leaf = match LeafNode::decode(&bytes) {
                         Ok(l) => l,
-                        Err(_) => match node_engine::read_validated_leaf(
-                            &mut self.dm,
-                            p.slot.addr,
-                            self.config.leaf_read_hint,
-                            &self.retry,
-                            &mut self.stats.checksum_retries,
-                        ) {
-                            Ok(l) => l,
-                            Err(node_engine::EngineError::RetriesExhausted { .. }) => continue,
-                            Err(e) => return Err(e.into()),
-                        },
+                        Err(_) => {
+                            let mut io = LeafReadStats::default();
+                            let r = node_engine::read_validated_leaf(
+                                &mut self.dm,
+                                p.slot.addr,
+                                self.config.leaf_read_hint,
+                                &self.retry,
+                                &mut io,
+                            );
+                            self.stats.checksum_retries += io.checksum_retries;
+                            self.stats.extended_leaf_reads += io.extended_reads;
+                            match r {
+                                Ok(l) => l,
+                                Err(node_engine::EngineError::RetriesExhausted { .. }) => continue,
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
                     };
                     if leaf.status != NodeStatus::Invalid && leaf.key.as_slice() >= low {
                         results.push((leaf.key, leaf.value));
                     }
                 }
+                self.obs_phase(Phase::Traversal);
                 continue;
             }
 

@@ -23,6 +23,9 @@ pub struct OpStats {
     /// Retries caused by leaf checksum mismatches (torn reads under
     /// concurrent in-place updates).
     pub checksum_retries: u64,
+    /// Leaf reads whose size hint fell short, costing a second round trip
+    /// to fetch the remainder.
+    pub extended_leaf_reads: u64,
     /// Times the deepest node was found via the filter cache on the first
     /// hash-entry fetch.
     pub filter_first_hits: u64,
@@ -50,6 +53,7 @@ impl OpStats {
             false_positive_retries: self.false_positive_retries - earlier.false_positive_retries,
             invalid_node_retries: self.invalid_node_retries - earlier.invalid_node_retries,
             checksum_retries: self.checksum_retries - earlier.checksum_retries,
+            extended_leaf_reads: self.extended_leaf_reads - earlier.extended_leaf_reads,
             filter_first_hits: self.filter_first_hits - earlier.filter_first_hits,
             entry_misses: self.entry_misses - earlier.entry_misses,
             filter_refreshes: self.filter_refreshes - earlier.filter_refreshes,

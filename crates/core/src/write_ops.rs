@@ -8,8 +8,9 @@ use art_core::NodeKind;
 use dm_sim::{DmClient, RemotePtr, Transport};
 use node_engine::{
     cas_locked_write, install_word, invalidate_inner, read_inner_consistent, read_validated_leaf,
-    write_new_leaf, Install,
+    write_new_leaf, Install, LeafReadStats,
 };
+use obs::{OpKind, Phase};
 use race_hash::RaceError;
 
 use crate::client::{Outcome, SlotRef, SphinxClient};
@@ -45,6 +46,13 @@ impl SphinxClient {
     /// under pathological contention, or substrate errors.
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), SphinxError> {
         self.stats.inserts += 1;
+        self.obs_begin(OpKind::Insert);
+        let r = self.insert_inner(key, value);
+        self.obs_end();
+        r
+    }
+
+    fn insert_inner(&mut self, key: &[u8], value: &[u8]) -> Result<(), SphinxError> {
         for _ in 0..self.retry.op_retries {
             let d = self.locate(key)?;
             let done = match d.outcome {
@@ -94,6 +102,8 @@ impl SphinxClient {
             if done {
                 return Ok(());
             }
+            self.obs.retry();
+            self.obs_phase(Phase::Retry);
             self.dm.backoff(&self.retry);
         }
         Err(SphinxError::RetriesExhausted { op: "insert" })
@@ -110,6 +120,13 @@ impl SphinxClient {
     /// Same classes as [`SphinxClient::insert`].
     pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<bool, SphinxError> {
         self.stats.updates += 1;
+        self.obs_begin(OpKind::Update);
+        let r = self.update_inner(key, value);
+        self.obs_end();
+        r
+    }
+
+    fn update_inner(&mut self, key: &[u8], value: &[u8]) -> Result<bool, SphinxError> {
         for _ in 0..self.retry.op_retries {
             let d = self.locate(key)?;
             match d.outcome {
@@ -127,6 +144,8 @@ impl SphinxClient {
                 }
                 _ => return Ok(false),
             }
+            self.obs.retry();
+            self.obs_phase(Phase::Retry);
             self.dm.backoff(&self.retry);
         }
         Err(SphinxError::RetriesExhausted { op: "update" })
@@ -139,6 +158,13 @@ impl SphinxClient {
     /// Same classes as [`SphinxClient::insert`].
     pub fn remove(&mut self, key: &[u8]) -> Result<bool, SphinxError> {
         self.stats.deletes += 1;
+        self.obs_begin(OpKind::Delete);
+        let r = self.remove_inner(key);
+        self.obs_end();
+        r
+    }
+
+    fn remove_inner(&mut self, key: &[u8]) -> Result<bool, SphinxError> {
         for _ in 0..self.retry.op_retries {
             let d = self.locate(key)?;
             match d.outcome {
@@ -154,8 +180,10 @@ impl SphinxClient {
                     }
                     // 1. Invalidate the leaf (fails under a concurrent
                     //    update; retry with fresh state).
+                    self.obs_phase(Phase::LeafWrite);
                     let (cur, inv) = leaf.status_cas_words(leaf.status, NodeStatus::Invalid);
                     if self.dm.cas(slot.addr, cur, inv)? != cur {
+                        self.obs.retry();
                         self.dm.advance_clock(200);
                         std::thread::yield_now();
                         continue;
@@ -323,6 +351,7 @@ impl SphinxClient {
                 }
                 _ => {
                     // Still locked: let the switcher run.
+                    self.obs.incr("lock.spin");
                     self.dm.backoff(&self.retry);
                 }
             }
@@ -354,6 +383,9 @@ impl SphinxClient {
         value: &[u8],
     ) -> Result<bool, SphinxError> {
         if leaf.fits_in_place(value.len()) {
+            // One CAS (lock) + one write (value + checksum + unlock) in a
+            // single engine call: attributed wholesale to LeafWrite.
+            self.obs_phase(Phase::LeafWrite);
             let (idle, locked) = leaf.status_cas_words(NodeStatus::Idle, NodeStatus::Locked);
             let mut new_leaf = LeafNode::new(key.to_vec(), value.to_vec());
             new_leaf.version = leaf.version.wrapping_add(1);
@@ -383,6 +415,7 @@ impl SphinxClient {
         key: &[u8],
         value: &[u8],
     ) -> Result<bool, SphinxError> {
+        self.obs_phase(Phase::LeafWrite);
         let new_ptr = write_new_leaf(&mut self.dm, key, value)?;
         let new_slot = Slot::leaf(slot.key_byte, new_ptr);
         let offset = match slot_ref {
@@ -401,7 +434,7 @@ impl SphinxClient {
                 // readers holding its address see a tombstone. The region
                 // is intentionally not recycled (safe reclamation needs
                 // epochs, out of scope — see DESIGN.md).
-                let mut probe = 0;
+                let mut probe = LeafReadStats::default();
                 if let Ok(old) =
                     read_validated_leaf(&mut self.dm, slot.addr, 64, &self.retry, &mut probe)
                 {
@@ -437,6 +470,7 @@ impl SphinxClient {
         };
         let cpl = common_prefix_len(key, &leaf.key);
         let prefix = &key[..cpl];
+        self.obs_phase(Phase::LeafWrite);
         // The new leaf's address is needed inside the new inner node, so
         // allocate it first; both writes then share one doorbell batch.
         let leaf_ptr = self.dm.alloc_placed(
@@ -508,6 +542,7 @@ impl SphinxClient {
             return Ok(false);
         }
         let prefix = &key[..cpl];
+        self.obs_phase(Phase::LeafWrite);
         let leaf_ptr = self.dm.alloc_placed(
             prefix_hash64(key),
             art_core::layout::LeafNode::encoded_size(key.len(), value.len()),
@@ -572,6 +607,7 @@ impl SphinxClient {
         // 1+2. Node-grained lock, with the authoritative re-read
         // piggybacked in the same doorbell batch (the read executes after
         // the CAS, so on success it observes the locked node).
+        self.obs_phase(Phase::LockAcquire);
         let idle = node.header.control_with_status(NodeStatus::Idle);
         let locked = node.header.control_with_status(NodeStatus::Locked);
         let (prev, bytes) = self.dm.cas_and_read(
@@ -582,6 +618,7 @@ impl SphinxClient {
             InnerNode::byte_size(node.header.kind),
         )?;
         if prev != idle {
+            self.obs.incr("lock.contended");
             return Ok(false);
         }
         let fresh = InnerNode::decode(&bytes)?;
@@ -609,6 +646,7 @@ impl SphinxClient {
 
         // 3. Build the grown replacement with the new leaf folded in; both
         // fresh nodes are written in one doorbell batch.
+        self.obs_phase(Phase::LeafWrite);
         let mut grown = fresh.grow();
         let (leaf_ptr, grown_ptr) = {
             let leaf_ptr = self.dm.alloc_placed(
@@ -653,6 +691,7 @@ impl SphinxClient {
         }
 
         // 5. Update the Inner Node Hash Table (single 8-byte CAS, §IV).
+        self.obs_phase(Phase::Maintenance);
         let h = prefix_hash64(prefix);
         let mn = self.dm.place(h) as usize;
         let fp = fp12(prefix);
@@ -846,6 +885,7 @@ impl SphinxClient {
         kind: NodeKind,
         ptr: RemotePtr,
     ) -> Result<(), SphinxError> {
+        self.obs_phase(Phase::Maintenance);
         let h = prefix_hash64(prefix);
         let mn = self.dm.place(h) as usize;
         let entry = HashEntry {

@@ -225,7 +225,7 @@ fn filter_cache_reduces_round_trips_vs_inht_only() {
     cl_f.get(key).unwrap(); // warm
     let b = cl_f.net_stats();
     cl_f.get(key).unwrap();
-    let filter_verbs = cl_f.net_stats().verbs - b.verbs;
+    let filter_verbs = cl_f.net_stats().verbs() - b.verbs();
 
     let idx_i = make(CacheMode::InhtOnly);
     let mut cl_i = idx_i.client(0).unwrap();
@@ -233,7 +233,7 @@ fn filter_cache_reduces_round_trips_vs_inht_only() {
     cl_i.get(key).unwrap();
     let b = cl_i.net_stats();
     cl_i.get(key).unwrap();
-    let inht_verbs = cl_i.net_stats().verbs - b.verbs;
+    let inht_verbs = cl_i.net_stats().verbs() - b.verbs();
 
     assert!(
         filter_verbs * 3 <= inht_verbs,

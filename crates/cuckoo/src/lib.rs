@@ -69,12 +69,28 @@ pub struct FilterStats {
     pub inserts: u64,
     /// Cold entries evicted to make room (information loss).
     pub evictions: u64,
+    /// Evictions where the hotness bit spared at least one hot entry —
+    /// the second-chance policy actually taking effect.
+    pub second_chance: u64,
     /// Cuckoo relocations performed.
     pub relocations: u64,
     /// Membership queries answered.
     pub lookups: u64,
     /// Membership queries that returned `true`.
     pub hits: u64,
+}
+
+impl FilterStats {
+    /// Adds another filter's counters into this one (e.g. summing the
+    /// per-CN filters of a multi-CN run).
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+        self.second_chance += other.second_chance;
+        self.relocations += other.relocations;
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+    }
 }
 
 /// A cuckoo filter with 12-bit fingerprints, 4-way buckets and
@@ -281,6 +297,9 @@ impl CuckooFilter {
             .filter(|&i| self.slots[i] & HOT_BIT == 0)
             .collect();
         if !cold.is_empty() {
+            if cold.len() < 2 * SLOTS_PER_BUCKET {
+                self.stats.second_chance += 1;
+            }
             let victim = cold[(self.next_rand() % cold.len() as u64) as usize];
             self.slots[victim] = fp;
             self.stats.evictions += 1;
@@ -313,6 +332,9 @@ impl CuckooFilter {
                 .filter(|&i| self.slots[i] & HOT_BIT == 0)
                 .collect();
             if !cold.is_empty() {
+                if cold.len() < SLOTS_PER_BUCKET {
+                    self.stats.second_chance += 1;
+                }
                 let victim = cold[(self.next_rand() % cold.len() as u64) as usize];
                 self.slots[victim] = fp;
                 self.stats.evictions += 1;
@@ -407,6 +429,33 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert!(f.remove(b"x"));
         assert!(!f.contains(b"x"));
+    }
+
+    #[test]
+    fn second_chance_counted_when_hot_entries_spared() {
+        let mut f = CuckooFilter::with_capacity_and_seed(64, 11);
+        let items: Vec<Vec<u8>> = (0..f.capacity() as u32)
+            .map(|i| i.to_le_bytes().to_vec())
+            .collect();
+        for item in &items {
+            f.insert(item);
+        }
+        // Heat up the retained entries so full buckets contain hot slots.
+        for item in &items {
+            let _ = f.contains(item);
+        }
+        assert_eq!(f.stats().second_chance, 0, "no eviction yet");
+        // Overfill: evictions now happen among buckets with hot entries.
+        for i in 0..(f.capacity() * 4) as u32 {
+            f.insert(&(1_000_000 + i).to_le_bytes());
+        }
+        let stats = f.stats();
+        assert!(stats.evictions > 0);
+        assert!(
+            stats.second_chance > 0,
+            "hot entries should have been spared at least once"
+        );
+        assert!(stats.second_chance <= stats.evictions);
     }
 
     #[test]

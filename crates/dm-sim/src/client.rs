@@ -250,9 +250,16 @@ impl DmClient {
             return Ok(Vec::new());
         }
         let now = self.clock_ns;
-        // Tally per-MN message counts and bytes for the cost model.
+        // Tally per-MN message counts and bytes for the cost model, and
+        // the per-verb breakdown.
         let mut mn_msgs: Vec<(u16, u64, u64)> = Vec::new(); // (mn, msgs, bytes)
         for verb in &batch.verbs {
+            match verb {
+                Verb::Read { .. } => self.stats.reads += 1,
+                Verb::Write { .. } => self.stats.writes += 1,
+                Verb::Cas { .. } => self.stats.cas += 1,
+                Verb::Faa { .. } => self.stats.faa += 1,
+            }
             let mn = verb.mn_id();
             let bytes = verb.wire_bytes();
             match mn_msgs.iter_mut().find(|(id, _, _)| *id == mn) {
@@ -285,7 +292,6 @@ impl DmClient {
         self.clock_ns = completion + rtt + cpu;
 
         self.stats.round_trips += mn_msgs.len() as u64;
-        self.stats.verbs += batch.verbs.len() as u64;
 
         // Apply memory effects and collect results.
         let fault_hook = self.inner.fault_hook.get();
@@ -303,7 +309,15 @@ impl DmClient {
                     let mut buf = vec![0u8; len];
                     mn.read_bytes(ptr.offset(), &mut buf)?;
                     if let Some(hook) = &fault_hook {
+                        // Injection accounting: only hooks that actually
+                        // altered the bytes count. The pristine copy is
+                        // taken only while a hook is installed, so the
+                        // fault-free data path is unaffected.
+                        let pristine = buf.clone();
                         hook.corrupt_read(ptr, &mut buf);
+                        if buf != pristine {
+                            self.inner.note_fault_injection();
+                        }
                     }
                     self.stats.bytes_read += len as u64;
                     VerbResult::Read(buf)
@@ -504,7 +518,7 @@ mod tests {
         cl.write(p, b"sphinx").unwrap();
         assert_eq!(cl.read(p, 6).unwrap(), b"sphinx");
         assert_eq!(cl.stats().round_trips, 2);
-        assert_eq!(cl.stats().verbs, 2);
+        assert_eq!(cl.stats().verbs(), 2);
     }
 
     #[test]
@@ -525,7 +539,7 @@ mod tests {
         batch.push(Verb::Read { ptr: a, len: 8 });
         cl.execute(batch).unwrap();
         assert_eq!(cl.stats().round_trips, 1);
-        assert_eq!(cl.stats().verbs, 3);
+        assert_eq!(cl.stats().verbs(), 3);
     }
 
     #[test]

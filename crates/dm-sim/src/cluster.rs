@@ -1,6 +1,7 @@
 //! Cluster assembly: memory nodes, compute-node NICs, placement ring.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -75,6 +76,15 @@ pub(crate) struct ClusterInner {
     pub(crate) ring: HashRing,
     pub(crate) config: ClusterConfig,
     pub(crate) fault_hook: FaultSlot,
+    pub(crate) fault_injections: AtomicU64,
+}
+
+impl ClusterInner {
+    /// Records one READ whose bytes were actually altered by the installed
+    /// [`FaultHook`] (called from the `DmClient::execute` choke point).
+    pub(crate) fn note_fault_injection(&self) {
+        self.fault_injections.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A simulated disaggregated-memory cluster.
@@ -123,6 +133,7 @@ impl DmCluster {
                 ring,
                 config,
                 fault_hook: FaultSlot::default(),
+                fault_injections: AtomicU64::new(0),
             }),
         }
     }
@@ -207,6 +218,14 @@ impl DmCluster {
     pub fn set_fault_hook(&self, hook: Option<Arc<dyn FaultHook>>) {
         self.inner.fault_hook.set(hook);
     }
+
+    /// Number of READs whose result bytes were actually corrupted by the
+    /// installed [`FaultHook`] since the cluster was created. Hook
+    /// invocations that leave the buffer unchanged are not counted, so a
+    /// test can assert "N corruptions injected, N recoveries observed".
+    pub fn fault_injections(&self) -> u64 {
+        self.inner.fault_injections.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +259,37 @@ mod tests {
     fn client_for_unknown_cn_panics() {
         let c = DmCluster::new(ClusterConfig::default());
         let _ = c.client(99);
+    }
+
+    #[test]
+    fn fault_injections_count_only_actual_corruptions() {
+        use crate::addr::RemotePtr;
+
+        struct FlipEveryOther(AtomicU64);
+        impl FaultHook for FlipEveryOther {
+            fn corrupt_read(&self, _ptr: RemotePtr, data: &mut [u8]) {
+                if self.0.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                    if let Some(b) = data.first_mut() {
+                        *b ^= 0xFF;
+                    }
+                }
+            }
+        }
+
+        let c = DmCluster::new(ClusterConfig::default());
+        let mut cl = c.client(0);
+        let p = cl.alloc(0, 8).unwrap();
+        cl.write(p, &[7u8; 8]).unwrap();
+        assert_eq!(c.fault_injections(), 0);
+        c.set_fault_hook(Some(Arc::new(FlipEveryOther(AtomicU64::new(0)))));
+        for _ in 0..10 {
+            let _ = cl.read(p, 8).unwrap();
+        }
+        // The hook ran 10 times but only altered bytes on 5 of them.
+        assert_eq!(c.fault_injections(), 5);
+        c.set_fault_hook(None);
+        let _ = cl.read(p, 8).unwrap();
+        assert_eq!(c.fault_injections(), 5);
     }
 
     #[test]

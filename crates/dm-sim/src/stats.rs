@@ -62,11 +62,13 @@ impl LatencyHistogram {
         }
     }
 
-    /// Records one latency sample.
+    /// Records one latency sample. The running sum saturates instead of
+    /// overflowing, so pathological samples (e.g. `u64::MAX`) degrade the
+    /// mean gracefully rather than panicking.
     pub fn record(&mut self, ns: u64) {
         self.buckets[bucket_index(ns)] += 1;
         self.count += 1;
-        self.sum_ns += ns;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
         self.max_ns = self.max_ns.max(ns);
     }
 
@@ -107,19 +109,26 @@ impl LatencyHistogram {
             *a += b;
         }
         self.count += other.count;
-        self.sum_ns += other.sum_ns;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
     }
 }
 
-/// Counters describing the network work a client has performed.
+/// Counters describing the network work a client has performed, broken
+/// down per one-sided verb.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClientStats {
     /// Round trips performed (a doorbell batch to `k` distinct MNs counts
     /// `k` parallel round trips but only advances the clock by the slowest).
     pub round_trips: u64,
-    /// Individual verbs issued (READ/WRITE/CAS/FAA).
-    pub verbs: u64,
+    /// READ verbs issued.
+    pub reads: u64,
+    /// WRITE verbs issued.
+    pub writes: u64,
+    /// CAS verbs issued.
+    pub cas: u64,
+    /// FAA verbs issued.
+    pub faa: u64,
     /// Payload bytes read from remote memory.
     pub bytes_read: u64,
     /// Payload bytes written to remote memory (CAS/FAA count as 8).
@@ -127,6 +136,11 @@ pub struct ClientStats {
 }
 
 impl ClientStats {
+    /// Total verbs issued across all kinds.
+    pub fn verbs(&self) -> u64 {
+        self.reads + self.writes + self.cas + self.faa
+    }
+
     /// Total bytes moved in either direction.
     pub fn bytes_total(&self) -> u64 {
         self.bytes_read + self.bytes_written
@@ -136,7 +150,10 @@ impl ClientStats {
     pub fn since(&self, earlier: &ClientStats) -> ClientStats {
         ClientStats {
             round_trips: self.round_trips - earlier.round_trips,
-            verbs: self.verbs - earlier.verbs,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            cas: self.cas - earlier.cas,
+            faa: self.faa - earlier.faa,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
         }
@@ -210,18 +227,92 @@ mod tests {
     fn stats_since() {
         let a = ClientStats {
             round_trips: 10,
-            verbs: 20,
+            reads: 12,
+            writes: 5,
+            cas: 2,
+            faa: 1,
             bytes_read: 100,
             bytes_written: 50,
         };
         let b = ClientStats {
             round_trips: 4,
-            verbs: 5,
+            reads: 3,
+            writes: 1,
+            cas: 1,
+            faa: 0,
             bytes_read: 40,
             bytes_written: 20,
         };
         let d = a.since(&b);
         assert_eq!(d.round_trips, 6);
         assert_eq!(d.bytes_total(), 90);
+        assert_eq!((d.reads, d.writes, d.cas, d.faa), (9, 4, 1, 1));
+        assert_eq!(d.verbs(), 15);
+        assert_eq!(a.verbs(), 20);
+    }
+
+    #[test]
+    fn samples_at_or_above_top_bucket_collapse_together() {
+        // The histogram spans ~1 ns .. ~1 s; anything larger clamps into
+        // the last bucket. Mean/max stay exact, quantiles saturate at the
+        // top bucket's bound.
+        let mut h = LatencyHistogram::new();
+        h.record(1 << 40);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_ns(), u64::MAX);
+        // Both samples share one bucket, so every quantile reports the
+        // same (clamped) bound.
+        let q_lo = h.quantile_ns(0.01);
+        let q_hi = h.quantile_ns(1.0);
+        assert_eq!(q_lo, q_hi);
+        assert!(q_hi <= h.max_ns());
+        assert!(
+            q_hi >= 1 << 31,
+            "top bucket bound unexpectedly small: {q_hi}"
+        );
+    }
+
+    #[test]
+    fn quantile_zero_returns_smallest_bound() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        h.record(2000);
+        let q0 = h.quantile_ns(0.0);
+        assert!(q0 > 0);
+        assert!(q0 <= h.quantile_ns(0.5));
+        assert!(q0 <= h.max_ns());
+        // Empty histogram still reports 0 for every quantile.
+        assert_eq!(LatencyHistogram::new().quantile_ns(0.0), 0);
+    }
+
+    #[test]
+    fn merge_of_unequal_counts_keeps_quantiles_monotone() {
+        // 1000 fast samples merged with 10 slow ones: quantiles must stay
+        // monotone in q, p50 must stay in the fast cluster, and p999 must
+        // reach the slow cluster.
+        let mut fast = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            fast.record(1_000 + i);
+        }
+        let mut slow = LatencyHistogram::new();
+        for _ in 0..10 {
+            slow.record(1_000_000);
+        }
+        fast.merge(&slow);
+        assert_eq!(fast.count(), 1010);
+        let grid = [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let mut prev = 0;
+        for q in grid {
+            let v = fast.quantile_ns(q);
+            assert!(v >= prev, "quantile not monotone at q={q}: {v} < {prev}");
+            prev = v;
+        }
+        assert!(fast.quantile_ns(0.5) < 4_000, "p50 pulled off fast cluster");
+        assert!(
+            fast.quantile_ns(0.999) >= 1_000_000,
+            "p999 missed slow cluster"
+        );
+        assert_eq!(fast.max_ns(), 1_000_000);
     }
 }

@@ -115,11 +115,33 @@ pub fn read_inner_consistent<T: Transport>(
     Ok(InnerNode::decode(&bytes)?)
 }
 
+/// Counters describing the I/O behaviour of validated leaf reads: how often
+/// reads tore under concurrent writers and how often the size hint was too
+/// small (each extension costs one extra round trip). Plain `u64`s so a
+/// caller can keep one per client and feed both into its telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeafReadStats {
+    /// Torn reads detected by checksum/truncation and retried.
+    pub checksum_retries: u64,
+    /// Re-reads issued because the leaf was larger than the hint.
+    pub extended_reads: u64,
+}
+
+impl LeafReadStats {
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &LeafReadStats) {
+        self.checksum_retries += other.checksum_retries;
+        self.extended_reads += other.extended_reads;
+    }
+}
+
 /// Reads and decodes a leaf, retrying torn reads (checksum mismatches from
 /// concurrent in-place updates) and extending the read if the leaf is
-/// larger than `hint` bytes. Each torn read bumps `checksum_retries` and
-/// charges one [`Transport::backoff`]; after
-/// [`RetryPolicy::io_retries`] attempts the read gives up.
+/// larger than `hint` bytes. Each torn read bumps
+/// [`LeafReadStats::checksum_retries`] and charges one
+/// [`Transport::backoff`]; each hint shortfall bumps
+/// [`LeafReadStats::extended_reads`]. After [`RetryPolicy::io_retries`]
+/// attempts the read gives up.
 ///
 /// # Errors
 ///
@@ -131,7 +153,7 @@ pub fn read_validated_leaf<T: Transport>(
     ptr: RemotePtr,
     hint: usize,
     policy: &RetryPolicy,
-    checksum_retries: &mut u64,
+    io: &mut LeafReadStats,
 ) -> Result<LeafNode, EngineError> {
     let mut read_len = hint.max(64);
     for _ in 0..policy.io_retries {
@@ -142,13 +164,14 @@ pub fn read_validated_leaf<T: Transport>(
         let true_len = units.max(1) * 64;
         if true_len > read_len {
             read_len = true_len;
+            io.extended_reads += 1;
             continue;
         }
         match LeafNode::decode(&bytes) {
             Ok(leaf) => return Ok(leaf),
             Err(LayoutError::ChecksumMismatch { .. }) | Err(LayoutError::TruncatedNode { .. }) => {
                 // Torn read under a concurrent writer: retry.
-                *checksum_retries += 1;
+                io.checksum_retries += 1;
                 t.backoff(policy);
             }
             Err(e) => return Err(e.into()),
@@ -281,11 +304,11 @@ mod tests {
         let (_c, mut cl) = client();
         let policy = RetryPolicy::default();
         let ptr = write_new_leaf(&mut cl, b"key", b"value").unwrap();
-        let mut retries = 0;
-        let leaf = read_validated_leaf(&mut cl, ptr, 128, &policy, &mut retries).unwrap();
+        let mut io = LeafReadStats::default();
+        let leaf = read_validated_leaf(&mut cl, ptr, 128, &policy, &mut io).unwrap();
         assert_eq!(leaf.key, b"key");
         assert_eq!(leaf.value, b"value");
-        assert_eq!(retries, 0);
+        assert_eq!(io, LeafReadStats::default());
     }
 
     #[test]
@@ -295,10 +318,12 @@ mod tests {
         let value = vec![7u8; 500];
         let ptr = write_new_leaf(&mut cl, b"key", &value).unwrap();
         let before = cl.stats().round_trips;
-        let mut retries = 0;
-        let leaf = read_validated_leaf(&mut cl, ptr, 128, &policy, &mut retries).unwrap();
+        let mut io = LeafReadStats::default();
+        let leaf = read_validated_leaf(&mut cl, ptr, 128, &policy, &mut io).unwrap();
         assert_eq!(leaf.value, value);
         assert_eq!(cl.stats().round_trips - before, 2, "hint read + full read");
+        assert_eq!(io.extended_reads, 1);
+        assert_eq!(io.checksum_retries, 0);
     }
 
     #[test]
@@ -355,8 +380,8 @@ mod tests {
         let (_c, mut cl) = client();
         let policy = RetryPolicy::default();
         let ptr = write_new_leaf(&mut cl, b"k", b"v1").unwrap();
-        let mut retries = 0;
-        let leaf = read_validated_leaf(&mut cl, ptr, 64, &policy, &mut retries).unwrap();
+        let mut io = LeafReadStats::default();
+        let leaf = read_validated_leaf(&mut cl, ptr, 64, &policy, &mut io).unwrap();
         let (idle, locked) = leaf.status_cas_words(NodeStatus::Idle, NodeStatus::Locked);
 
         let mut new_leaf = LeafNode::new(b"k".to_vec(), b"v2".to_vec());
@@ -372,7 +397,7 @@ mod tests {
             "lock CAS + publishing write"
         );
 
-        let back = read_validated_leaf(&mut cl, ptr, 64, &policy, &mut retries).unwrap();
+        let back = read_validated_leaf(&mut cl, ptr, 64, &policy, &mut io).unwrap();
         assert_eq!(back.value, b"v2");
         assert_eq!(
             back.status,
@@ -382,7 +407,7 @@ mod tests {
 
         // Stale lock word: the CAS loses and nothing is written.
         assert!(!cas_locked_write(&mut cl, ptr, idle, locked, vec![(ptr, leaf.encode())]).unwrap());
-        let back = read_validated_leaf(&mut cl, ptr, 64, &policy, &mut retries).unwrap();
+        let back = read_validated_leaf(&mut cl, ptr, 64, &policy, &mut io).unwrap();
         assert_eq!(back.value, b"v2");
     }
 }

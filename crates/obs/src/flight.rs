@@ -1,0 +1,160 @@
+//! A fixed-size flight recorder: keeps the K slowest and K most-retried
+//! completed operations with their full phase breakdowns, so a benchmark
+//! run can be post-mortemed without tracing every op.
+
+use crate::span::OpRecord;
+
+/// Default capacity of each top-K set.
+pub const DEFAULT_CAPACITY: usize = 8;
+
+/// Bounded top-K keeper of notable operations.
+///
+/// `offer` is O(K) in the worst case but its fast path — the common op that
+/// is neither slow nor retried — is two comparisons and no allocation.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    slowest: Vec<OpRecord>,
+    most_retried: Vec<OpRecord>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping `capacity` records per category.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            slowest: Vec::with_capacity(capacity),
+            most_retried: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Per-category capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a completed op; it is retained only if it ranks within the
+    /// top K by latency, or by retries (retried ops only).
+    pub fn offer(&mut self, record: &OpRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.slowest.len() < self.capacity || record.latency_ns > self.slowest_floor() {
+            Self::insert_by(&mut self.slowest, record.clone(), self.capacity, |r| {
+                r.latency_ns
+            });
+        }
+        if record.retries > 0
+            && (self.most_retried.len() < self.capacity || record.retries > self.retried_floor())
+        {
+            Self::insert_by(&mut self.most_retried, record.clone(), self.capacity, |r| {
+                r.retries as u64
+            });
+        }
+    }
+
+    fn slowest_floor(&self) -> u64 {
+        self.slowest.last().map(|r| r.latency_ns).unwrap_or(0)
+    }
+
+    fn retried_floor(&self) -> u32 {
+        self.most_retried.last().map(|r| r.retries).unwrap_or(0)
+    }
+
+    fn insert_by(
+        set: &mut Vec<OpRecord>,
+        record: OpRecord,
+        cap: usize,
+        key: impl Fn(&OpRecord) -> u64,
+    ) {
+        let pos = set
+            .iter()
+            .position(|r| key(r) < key(&record))
+            .unwrap_or(set.len());
+        set.insert(pos, record);
+        set.truncate(cap);
+    }
+
+    /// Slowest retained ops, descending by latency.
+    pub fn slowest(&self) -> &[OpRecord] {
+        &self.slowest
+    }
+
+    /// Most-retried retained ops, descending by retry count.
+    pub fn most_retried(&self) -> &[OpRecord] {
+        &self.most_retried
+    }
+
+    /// Merges another recorder, keeping the overall top K per category.
+    pub fn merge(&mut self, other: &FlightRecorder) {
+        for rec in other.slowest.iter().chain(&other.most_retried) {
+            self.offer(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{OpKind, PhaseAgg, NUM_PHASES};
+
+    fn rec(latency_ns: u64, retries: u32) -> OpRecord {
+        OpRecord {
+            kind: OpKind::Get,
+            latency_ns,
+            retries,
+            round_trips: 1,
+            phases: [PhaseAgg::default(); NUM_PHASES],
+        }
+    }
+
+    #[test]
+    fn keeps_top_k_slowest_sorted() {
+        let mut f = FlightRecorder::new(3);
+        for lat in [50, 900, 100, 700, 300, 800] {
+            f.offer(&rec(lat, 0));
+        }
+        let lats: Vec<u64> = f.slowest().iter().map(|r| r.latency_ns).collect();
+        assert_eq!(lats, vec![900, 800, 700]);
+        assert!(f.most_retried().is_empty());
+    }
+
+    #[test]
+    fn retried_ops_tracked_separately() {
+        let mut f = FlightRecorder::new(2);
+        f.offer(&rec(10, 5));
+        f.offer(&rec(9999, 0));
+        f.offer(&rec(20, 2));
+        f.offer(&rec(30, 9));
+        let retries: Vec<u32> = f.most_retried().iter().map(|r| r.retries).collect();
+        assert_eq!(retries, vec![9, 5]);
+        assert_eq!(f.slowest()[0].latency_ns, 9999);
+    }
+
+    #[test]
+    fn merge_keeps_global_top_k() {
+        let mut a = FlightRecorder::new(2);
+        let mut b = FlightRecorder::new(2);
+        a.offer(&rec(100, 0));
+        a.offer(&rec(200, 0));
+        b.offer(&rec(150, 0));
+        b.offer(&rec(300, 0));
+        a.merge(&b);
+        let lats: Vec<u64> = a.slowest().iter().map(|r| r.latency_ns).collect();
+        assert_eq!(lats, vec![300, 200]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut f = FlightRecorder::new(0);
+        f.offer(&rec(100, 3));
+        assert!(f.slowest().is_empty());
+        assert!(f.most_retried().is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Minimal JSON emit/parse — the build environment is offline, so the obs
+//! crate carries its own writer (compact, escaped) and a small recursive-
+//! descent parser sufficient for validating exported telemetry documents.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A compact JSON writer with automatic comma management.
+///
+/// Call sequence is not validated beyond comma placement; the registry
+/// exporter is the only intended producer.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    need_comma: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn comma(&mut self) {
+        if self.need_comma {
+            self.out.push(',');
+        }
+        self.need_comma = false;
+    }
+
+    /// Opens an object value.
+    pub fn begin_obj(&mut self) {
+        self.comma();
+        self.out.push('{');
+    }
+
+    /// Closes the current object.
+    pub fn end_obj(&mut self) {
+        self.out.push('}');
+        self.need_comma = true;
+    }
+
+    /// Opens an array value.
+    pub fn begin_arr(&mut self) {
+        self.comma();
+        self.out.push('[');
+    }
+
+    /// Closes the current array.
+    pub fn end_arr(&mut self) {
+        self.out.push(']');
+        self.need_comma = true;
+    }
+
+    /// Emits an object key; the next emitted value belongs to it.
+    pub fn key(&mut self, k: &str) {
+        self.comma();
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+    }
+
+    /// Emits a string value.
+    pub fn str_val(&mut self, v: &str) {
+        self.comma();
+        write_escaped(&mut self.out, v);
+        self.need_comma = true;
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn u64_val(&mut self, v: u64) {
+        self.comma();
+        let _ = write!(self.out, "{v}");
+        self.need_comma = true;
+    }
+
+    /// Emits a float value (finite; NaN/inf are emitted as 0).
+    pub fn f64_val(&mut self, v: f64) {
+        self.comma();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push('0');
+        }
+        self.need_comma = true;
+    }
+
+    /// `key: string` shorthand.
+    pub fn str_field(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.str_val(v);
+    }
+
+    /// `key: u64` shorthand.
+    pub fn u64_field(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64_val(v);
+    }
+
+    /// `key: f64` shorthand.
+    pub fn f64_field(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64_val(v);
+    }
+
+    /// Returns the document built so far.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; telemetry counters stay well within
+    /// exact integer range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object member lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if this is a non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Array contents, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object contents, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description (with byte offset) on malformed
+/// input or trailing garbage.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (input is a &str, so boundaries are valid).
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_doc() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.str_field("name", "sphinx");
+        w.key("nested");
+        w.begin_obj();
+        w.u64_field("a", 1);
+        w.u64_field("b", 2);
+        w.end_obj();
+        w.key("list");
+        w.begin_arr();
+        w.u64_val(1);
+        w.u64_val(2);
+        w.end_arr();
+        w.f64_field("rate", 0.5);
+        w.end_obj();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"sphinx","nested":{"a":1,"b":2},"list":[1,2],"rate":0.5}"#
+        );
+    }
+
+    #[test]
+    fn writer_escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.str_field("k\"ey", "a\nb\\c");
+        w.end_obj();
+        let doc = w.finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k\"ey").and_then(|v| v.as_str()), Some("a\nb\\c"));
+    }
+
+    #[test]
+    fn parser_round_trips() {
+        let v = parse(r#"{"a": [1, 2.5, "x", true, null], "b": {"c": 7}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("[1,]").is_err());
+    }
+}

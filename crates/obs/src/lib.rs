@@ -1,0 +1,42 @@
+//! # obs — phase-attributed telemetry for the Sphinx reproduction
+//!
+//! Sphinx's whole argument is a round-trip budget: an SFC hit costs one
+//! hash-entry read, a miss costs Θ(L) INHT reads, and the fallback walks
+//! root-to-leaf. This crate makes that budget *observable* per operation:
+//!
+//! * [`Recorder`] — a per-worker span API. Callers bracket each op with
+//!   `begin`/`end` and mark transitions with `phase`, passing the client's
+//!   cumulative [`ClientStats`](dm_sim::ClientStats) and virtual clock at
+//!   each boundary; the recorder attributes the deltas so round trips,
+//!   verbs, and bytes sum up per ([`OpKind`], [`Phase`]).
+//! * [`Registry`] — the mergeable aggregate: per-op-kind latency
+//!   histograms (reusing [`dm_sim::LatencyHistogram`]), the per-phase
+//!   attribution table, named domain counters (SFC hit/miss/eviction,
+//!   INHT fingerprint collisions, retries, fault injections, lock spins),
+//!   and JSON/text export.
+//! * [`FlightRecorder`] — a fixed-size top-K keeper of the slowest and
+//!   most-retried ops with their full phase breakdowns.
+//!
+//! ## Cost model
+//!
+//! The recorder holds plain counters and two pre-sized arrays; the happy
+//! path allocates nothing and never touches the simulation clock or the
+//! transport counters (it only *reads* snapshots the caller passes in), so
+//! enabling telemetry cannot perturb measured round trips, bytes, or
+//! virtual time. Disabling the `telemetry` feature (on by default)
+//! compiles every `Recorder` method down to a no-op while the registry and
+//! export types remain available, so harness code builds unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flight;
+pub mod json;
+mod recorder;
+mod registry;
+mod span;
+
+pub use flight::{FlightRecorder, DEFAULT_CAPACITY};
+pub use recorder::Recorder;
+pub use registry::{OpAgg, Registry, SCHEMA};
+pub use span::{OpKind, OpRecord, Phase, PhaseAgg, NUM_OP_KINDS, NUM_PHASES};

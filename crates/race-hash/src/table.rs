@@ -75,6 +75,25 @@ pub struct TableStats {
     pub load_factor: f64,
 }
 
+/// Per-handle operation counters: how often this client's directory cache
+/// went stale, how often entry CASes lost races, and how many segment
+/// splits it performed. Plain counters (no I/O) — read them with
+/// [`RaceTable::counters`] and feed them into telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaceCounters {
+    /// `search` calls issued.
+    pub searches: u64,
+    /// Bucket reads whose suffix check failed (stale directory cache),
+    /// forcing a refresh + retry.
+    pub stale_retries: u64,
+    /// Entry CASes lost to a concurrent writer.
+    pub cas_races: u64,
+    /// Segment splits performed by this handle.
+    pub splits: u64,
+    /// Directory refreshes (open, stale recovery, and split bookkeeping).
+    pub refreshes: u64,
+}
+
 /// An entry found by [`RaceTable::search`]: the word plus the address of
 /// the slot holding it (for subsequent CAS replace/delete).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +170,7 @@ pub struct RaceTable {
     /// table previously capped retries at 100_000; it now shares the
     /// workspace-wide `op_retries` budget.
     retry: RetryPolicy,
+    counters: RaceCounters,
 }
 
 impl RaceTable {
@@ -197,6 +217,7 @@ impl RaceTable {
             global_depth: 0,
             dir: Vec::new(),
             retry: RetryPolicy::default(),
+            counters: RaceCounters::default(),
         };
         table.refresh(client)?;
         Ok(table)
@@ -212,6 +233,11 @@ impl RaceTable {
         self.global_depth
     }
 
+    /// This handle's cumulative operation counters.
+    pub fn counters(&self) -> RaceCounters {
+        self.counters
+    }
+
     /// Size of the client-side directory cache in bytes (the paper's
     /// "local directory cache, typically 2–5% of the succinct filter
     /// cache size").
@@ -225,6 +251,7 @@ impl RaceTable {
     ///
     /// Propagates substrate errors.
     pub fn refresh(&mut self, client: &mut DmClient) -> Result<(), RaceError> {
+        self.counters.refreshes += 1;
         for _ in 0..self.retry.op_retries {
             let w0 = client.read_u64(self.meta)?;
             let gd = (w0 & 0xFF) as u8;
@@ -303,11 +330,13 @@ impl RaceTable {
         client: &mut DmClient,
         hash: u64,
     ) -> Result<Vec<FoundEntry>, RaceError> {
+        self.counters.searches += 1;
         for _ in 0..self.retry.op_retries {
             let pv = self.read_pair(client, hash)?;
             if pv.header.matches(hash) {
                 return Ok(pv.entries());
             }
+            self.counters.stale_retries += 1;
             client.backoff(&self.retry);
             self.refresh(client)?;
         }
@@ -343,6 +372,7 @@ impl RaceTable {
         for _ in 0..self.retry.op_retries {
             let pv = self.read_pair(client, hash)?;
             if !pv.header.matches(hash) {
+                self.counters.stale_retries += 1;
                 client.advance_clock(self.retry.backoff_ns);
                 self.refresh(client)?;
                 continue;
@@ -360,6 +390,7 @@ impl RaceTable {
             // and we may sit in the wrong segment.
             let (prev, hdr_bytes) = client.cas_and_read(slot, 0, word, pv.base, 8)?;
             if prev != 0 {
+                self.counters.cas_races += 1;
                 continue; // slot raced away; retry
             }
             let hdr_now = BucketHeader::decode(u64::from_le_bytes(
@@ -371,6 +402,7 @@ impl RaceTable {
             // A concurrent split moved our key's range: undo and retry.
             // (If the splitter already migrated our word, the undo CAS
             // fails harmlessly and the retry finds the word resident.)
+            self.counters.stale_retries += 1;
             client.cas(slot, word, 0)?;
             client.backoff(&self.retry);
             self.refresh(client)?;
@@ -429,6 +461,7 @@ impl RaceTable {
         for _ in 0..self.retry.op_retries {
             let pv = self.read_pair(client, hash)?;
             if !pv.header.matches(hash) {
+                self.counters.stale_retries += 1;
                 client.advance_clock(self.retry.backoff_ns);
                 self.refresh(client)?;
                 continue;
@@ -441,6 +474,7 @@ impl RaceTable {
                 return Ok(true);
             }
             // Lost a race (concurrent delete/replace/migration): retry.
+            self.counters.cas_races += 1;
             client.backoff(&self.retry);
         }
         Err(RaceError::RetriesExhausted { op })
@@ -457,6 +491,7 @@ impl RaceTable {
     where
         F: FnMut(&mut DmClient, u64) -> Result<u64, RaceError>,
     {
+        self.counters.splits += 1;
         self.refresh(client)?;
         let de = self.locate(hash)?;
         let seg = de.segment;

@@ -113,6 +113,19 @@ proptest! {
             "recovery path never exercised despite {} torn reads",
             hook.torn.load(Ordering::Relaxed)
         );
+        // The cluster counts injections at the transport choke point:
+        // every corruption the hook performed must be accounted for.
+        prop_assert_eq!(
+            c.fault_injections(),
+            hook.torn.load(Ordering::Relaxed),
+            "cluster-side injection count disagrees with the hook"
+        );
+        // And the telemetry registry surfaces the recoveries.
+        prop_assert_eq!(
+            client.telemetry().counter("sphinx.checksum_retries"),
+            client.op_stats().checksum_retries,
+            "telemetry must mirror the checksum-retry counter"
+        );
     }
 
     #[test]
@@ -141,6 +154,16 @@ proptest! {
             client.op_stats().checksum_retries > 0,
             "recovery path never exercised despite {} torn reads",
             hook.torn.load(Ordering::Relaxed)
+        );
+        prop_assert_eq!(
+            c.fault_injections(),
+            hook.torn.load(Ordering::Relaxed),
+            "cluster-side injection count disagrees with the hook"
+        );
+        prop_assert_eq!(
+            client.telemetry().counter("baseline.checksum_retries"),
+            client.op_stats().checksum_retries,
+            "telemetry must mirror the checksum-retry counter"
         );
     }
 }
