@@ -130,6 +130,20 @@ impl LeafNode {
     ///   caller should re-read the leaf.
     /// * [`LayoutError::UnknownStatus`] — corrupt status tag.
     pub fn decode(bytes: &[u8]) -> Result<Self, LayoutError> {
+        Self::decode_inner(bytes, true)
+    }
+
+    /// Decodes a leaf **without** verifying the checksum (structural checks
+    /// still apply). This deliberately serves torn bytes; it exists only so
+    /// fault-injection harnesses can model a protocol with validation
+    /// switched off (`node_engine::set_leaf_validation`) and prove the
+    /// linearizability checker catches the resulting anomalies. Never call
+    /// it on a data path.
+    pub fn decode_unverified(bytes: &[u8]) -> Result<Self, LayoutError> {
+        Self::decode_inner(bytes, false)
+    }
+
+    fn decode_inner(bytes: &[u8], verify: bool) -> Result<Self, LayoutError> {
         if bytes.len() < 16 {
             return Err(LayoutError::TruncatedNode {
                 need: 16,
@@ -159,7 +173,7 @@ impl LeafNode {
             units: units.max(need.div_ceil(64) as u8),
         };
         let computed = leaf.checksum();
-        if computed != stored {
+        if verify && computed != stored {
             return Err(LayoutError::ChecksumMismatch { stored, computed });
         }
         Ok(leaf)
@@ -209,6 +223,18 @@ mod tests {
             LeafNode::decode(&bytes),
             Err(LayoutError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn decode_unverified_serves_torn_bytes() {
+        let leaf = LeafNode::new(b"key".to_vec(), b"value".to_vec());
+        let mut bytes = leaf.encode();
+        bytes[20] ^= 0x01; // flip one payload bit
+        assert!(LeafNode::decode(&bytes).is_err());
+        let torn = LeafNode::decode_unverified(&bytes).unwrap();
+        assert_ne!(torn.value, leaf.value, "torn payload must be served as-is");
+        // Structural failures are still rejected.
+        assert!(LeafNode::decode_unverified(&bytes[..10]).is_err());
     }
 
     #[test]

@@ -21,9 +21,14 @@
 #![forbid(unsafe_code)]
 
 pub mod gate;
+pub mod lincheck_driver;
 pub mod report;
 pub mod runner;
 pub mod systems;
 
+pub use lincheck_driver::{
+    apply_op, failure_report, run_scheduled, shrink_failing_trace, ExploreConfig, RunOutput,
+    ScheduleMode, TornLeafHook,
+};
 pub use runner::{load_phase, run_phase, RunConfig, RunResult};
 pub use systems::{System, SystemHandle, WorkerClient};

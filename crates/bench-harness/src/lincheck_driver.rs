@@ -1,0 +1,451 @@
+//! Deterministic-schedule linearizability runs over the full index stack.
+//!
+//! This module is the glue between three independent pieces:
+//!
+//! * [`dm_sim::Schedule`] — the lock-step scheduler that turns a
+//!   multi-threaded run into a deterministic function of a seed (or of a
+//!   recorded trace, for replay),
+//! * [`lincheck::HistoryRecorder`] — invoke/response timestamping with
+//!   virtual time (schedule steps while scheduled, a private atomic clock
+//!   otherwise), and
+//! * [`lincheck::check_history`] — the per-key Wing–Gong checker.
+//!
+//! [`run_scheduled`] drives one seeded (or replayed) run of a workload
+//! against any [`System`] and returns the recorded history, the schedule
+//! trace, the checker's verdict, and merged telemetry. A failing trace can
+//! be cut down to a minimal failing prefix with [`shrink_failing_trace`]
+//! and rendered for a bug report with [`failure_report`].
+//!
+//! Determinism contract: with the lock-step gate, at most one worker runs
+//! between grants, so the recorded event order — and therefore
+//! [`lincheck::History::digest`] — is a pure function of
+//! `(workload_seed, schedule seed | trace)`. The regression tests and the
+//! `lincheck_explorer` binary both assert this by running twice.
+
+use std::sync::Arc;
+use std::thread;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dm_sim::{FaultHook, RemotePtr, Schedule, ScheduleConfig, TraceStep};
+use lincheck::{check_history, CheckConfig, History, HistoryRecorder, Op, Outcome, Ret};
+use ycsb::KeySpace;
+
+use crate::systems::{System, WorkerClient};
+
+/// A deterministic, stateless torn-read fault: any READ completion that
+/// parses as a valid leaf gets up to eight bytes of its *value* region
+/// XOR-ed (the key and header stay intact, so the index's key-comparison
+/// checks cannot notice — only the leaf checksum can).
+///
+/// Statelessness matters: the schedule decides *when* a tear fires (the
+/// step's [`dm_sim::StepDecision::tear`] flag, recorded in the trace), so
+/// the hook itself must be a pure function of the buffer for replays to
+/// reproduce the run bit-for-bit. Inner nodes and pointer words do not
+/// decode as leaves and pass through untouched — exactly the hazard the
+/// leaf checksum exists to catch. With checksum validation on, every tear
+/// is retried and histories stay linearizable; with it off
+/// ([`node_engine::set_leaf_validation`]), torn values are served to
+/// clients and the checker reports the wrong-value violation.
+#[derive(Debug, Default)]
+pub struct TornLeafHook;
+
+impl FaultHook for TornLeafHook {
+    fn corrupt_read(&self, _ptr: RemotePtr, data: &mut [u8]) {
+        let Ok(leaf) = art_core::layout::LeafNode::decode(data) else {
+            return;
+        };
+        let start = 16 + leaf.key.len();
+        let end = (start + 8).min(start + leaf.value.len());
+        if start < end && end <= data.len() {
+            for b in &mut data[start..end] {
+                *b ^= 0xA5;
+            }
+        }
+    }
+}
+
+/// Whether a run records a fresh schedule from a seed or replays a trace.
+#[derive(Debug, Clone)]
+pub enum ScheduleMode {
+    /// Record: grant order, delays, and tears drawn from the seeded RNG.
+    Record(ScheduleConfig),
+    /// Replay a recorded trace. Past the end of the trace (or on
+    /// divergence) the schedule falls back to fault-free round-robin, so
+    /// a *prefix* of a failing trace is still a complete, runnable
+    /// schedule — the property [`shrink_failing_trace`] exploits.
+    Replay(Vec<TraceStep>),
+}
+
+/// One exploration run's shape: which system, how many workers, how much
+/// work, and which faults ride along.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// System under test.
+    pub system: System,
+    /// Concurrent workers (schedule participants).
+    pub threads: u32,
+    /// Key-space size; keys are [`ycsb::KeySpace::U64`] items `0..keys`
+    /// (8-byte big-endian, so every system including the B+-tree runs).
+    pub keys: u64,
+    /// Operations issued per worker.
+    pub ops_per_thread: u64,
+    /// Seed for the per-thread workload streams — independent of the
+    /// schedule seed so a replay reruns the identical workload under a
+    /// different (pinned) interleaving.
+    pub workload_seed: u64,
+    /// Install [`TornLeafHook`] on the schedule (tears still only fire on
+    /// steps whose `tear` decision fired).
+    pub tear_hook: bool,
+    /// Include `multi_get` / `scan` / `scan_n` in the op mix.
+    pub multi_ops: bool,
+    /// Checker budget.
+    pub check: CheckConfig,
+}
+
+impl ExploreConfig {
+    /// The CI smoke shape: small key space, three workers, enough ops that
+    /// one seed's history comfortably clears 10 k operations.
+    pub fn smoke(system: System, threads: u32, keys: u64, ops_per_thread: u64) -> Self {
+        ExploreConfig {
+            system,
+            threads,
+            keys,
+            ops_per_thread,
+            workload_seed: 0xC0FF_EE00,
+            tear_hook: true,
+            multi_ops: true,
+            check: CheckConfig::default(),
+        }
+    }
+}
+
+/// Everything one run produces.
+pub struct RunOutput {
+    /// The recorded history (preload included).
+    pub history: History,
+    /// The schedule trace — feed to [`ScheduleMode::Replay`] to reproduce.
+    pub trace: Vec<TraceStep>,
+    /// The checker's verdict on `history`.
+    pub outcome: Outcome,
+    /// Schedule steps granted.
+    pub steps: u64,
+    /// Index-level telemetry merged with every worker's registry.
+    pub telemetry: obs::Registry,
+}
+
+/// Client id the recorder uses for the serial preload phase (workers use
+/// `0..threads`).
+fn preload_client(cfg: &ExploreConfig) -> u32 {
+    cfg.threads
+}
+
+fn value_bytes(client: u32, seq: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(&(client as u64).to_le_bytes());
+    v.extend_from_slice(&seq.to_le_bytes());
+    v
+}
+
+fn gen_key(rng: &mut SmallRng, cfg: &ExploreConfig) -> Vec<u8> {
+    KeySpace::U64.key(rng.gen_range(0..cfg.keys))
+}
+
+/// Draws the next operation for worker `tid` (op `seq`). Weights roughly
+/// follow a write-heavy YCSB mix, with a slice of batched reads and scans
+/// so the checker exercises interval-sharing events.
+fn gen_op(rng: &mut SmallRng, cfg: &ExploreConfig, tid: u32, seq: u64) -> Op {
+    let mut roll = rng.gen_range(0u32..100);
+    if !cfg.multi_ops && roll >= 82 {
+        roll = 0; // fold the batched/scan slice into point gets
+    }
+    match roll {
+        0..=39 => Op::Get {
+            key: gen_key(rng, cfg),
+        },
+        40..=59 => Op::Insert {
+            key: gen_key(rng, cfg),
+            value: value_bytes(tid, seq),
+        },
+        60..=71 => Op::Update {
+            key: gen_key(rng, cfg),
+            value: value_bytes(tid, seq),
+        },
+        72..=81 => Op::Delete {
+            key: gen_key(rng, cfg),
+        },
+        82..=89 => {
+            let n = rng.gen_range(2usize..=4);
+            Op::MultiGet {
+                keys: (0..n).map(|_| gen_key(rng, cfg)).collect(),
+            }
+        }
+        90..=94 => {
+            let a = gen_key(rng, cfg);
+            let b = gen_key(rng, cfg);
+            let (low, high) = if a <= b { (a, b) } else { (b, a) };
+            Op::Scan { low, high }
+        }
+        _ => Op::ScanN {
+            low: gen_key(rng, cfg),
+            limit: rng.gen_range(1usize..=4),
+        },
+    }
+}
+
+/// Executes `op` against a worker and shapes the result for the history —
+/// the single point where [`lincheck::Op`] meets [`WorkerClient`] (also
+/// used by the integration tests that record unscheduled histories).
+pub fn apply_op(w: &mut WorkerClient, op: &Op) -> Ret {
+    match op {
+        Op::Get { key } => Ret::Got(w.get(key)),
+        Op::Insert { key, value } => {
+            w.insert(key, value);
+            Ret::Inserted
+        }
+        Op::Update { key, value } => Ret::Updated(w.update(key, value)),
+        Op::Delete { key } => Ret::Deleted(w.remove(key)),
+        Op::MultiGet { keys } => {
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            Ret::MultiGot(w.multi_get(&refs))
+        }
+        Op::Scan { low, high } => Ret::Scanned(w.scan_pairs(low, high)),
+        Op::ScanN { low, limit } => Ret::Scanned(w.scan_n(low, *limit)),
+    }
+}
+
+/// One full run: build the system, record a serial preload, then drive
+/// `cfg.threads` workers through the lock-step schedule and check the
+/// recorded history.
+///
+/// # Panics
+///
+/// Panics on substrate errors and on worker panics (an index bug surfaced
+/// by the schedule — the `lincheck_explorer` binary catches these and
+/// reports the trace that provoked them).
+pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
+    let handle = cfg.system.build(64 << 20, Some(1 << 20));
+    let num_cns = handle.cluster().config().num_cns;
+    let rec = Arc::new(HistoryRecorder::new());
+
+    // Serial preload: half the key space, recorded so the checker knows
+    // the initial state. Runs before the schedule exists, stamped by the
+    // recorder's own clock.
+    {
+        let mut loader = handle.worker(0);
+        let pc = preload_client(cfg);
+        for i in 0..cfg.keys / 2 {
+            let key = KeySpace::U64.key(i);
+            let value = value_bytes(pc, i);
+            let op = Op::Insert {
+                key: key.clone(),
+                value: value.clone(),
+            };
+            let id = rec.invoke_now(pc, op);
+            loader.insert(&key, &value);
+            rec.respond_now(id, Ret::Inserted);
+        }
+    }
+
+    let schedule = match &mode {
+        ScheduleMode::Record(sc) => Schedule::new(sc.clone()),
+        ScheduleMode::Replay(trace) => Schedule::replay(trace.clone()),
+    };
+    // Scheduled timestamps continue where the preload clock stopped, so
+    // the history's virtual time is monotonic across the phase change.
+    schedule.set_base_step(rec.clock());
+    if cfg.tear_hook {
+        schedule.set_tear_hook(Some(Arc::new(TornLeafHook)));
+    }
+
+    // Build and register workers from the main thread in a fixed order:
+    // registration order defines trace participant ids.
+    let mut workers = Vec::with_capacity(cfg.threads as usize);
+    for t in 0..cfg.threads {
+        let mut w = handle.worker((t as u16) % num_cns);
+        w.attach_schedule(schedule.register());
+        workers.push(w);
+    }
+
+    let mut telemetry = thread::scope(|s| {
+        let joins: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut w)| {
+                let rec = Arc::clone(&rec);
+                let tid = t as u32;
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(
+                        cfg.workload_seed ^ (tid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    for seq in 0..cfg.ops_per_thread {
+                        let op = gen_op(&mut rng, cfg, tid, seq);
+                        let ts = w.schedule_tick().unwrap_or_else(|| rec.next_ts());
+                        let id = rec.invoke(tid, op.clone(), ts);
+                        let ret = apply_op(&mut w, &op);
+                        let ts = w.schedule_tick().unwrap_or_else(|| rec.next_ts());
+                        rec.respond(id, ret, ts);
+                    }
+                    let reg = w.telemetry();
+                    drop(w); // deregisters the schedule participant
+                    reg
+                })
+            })
+            .collect();
+        let mut merged = obs::Registry::new();
+        for j in joins {
+            merged.merge(&j.join().expect("lincheck worker panicked"));
+        }
+        merged
+    });
+    telemetry.merge(&handle.index_telemetry());
+
+    let trace = schedule.trace();
+    let steps = schedule.steps();
+    let history = Arc::try_unwrap(rec)
+        .expect("recorder still shared after join")
+        .finish();
+    let outcome = check_history(&history, &cfg.check);
+    RunOutput {
+        history,
+        trace,
+        outcome,
+        steps,
+        telemetry,
+    }
+}
+
+/// Binary-searches the shortest failing prefix of `full` (replay past the
+/// prefix falls back to fault-free round-robin, so every prefix is a
+/// complete schedule). Returns the minimal prefix and its failing run.
+///
+/// Failure is not guaranteed monotonic in prefix length, so this is the
+/// standard greedy approximation: the returned prefix fails, and no probed
+/// shorter prefix did.
+///
+/// # Panics
+///
+/// Panics if the full trace does not fail when replayed.
+pub fn shrink_failing_trace(
+    cfg: &ExploreConfig,
+    full: &[TraceStep],
+) -> (Vec<TraceStep>, RunOutput) {
+    let mut lo = 0usize;
+    let mut hi = full.len();
+    let mut failing: Option<RunOutput> = None;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let out = run_scheduled(cfg, ScheduleMode::Replay(full[..mid].to_vec()));
+        if out.outcome.is_linearizable() {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+            failing = Some(out);
+        }
+    }
+    let out = failing.unwrap_or_else(|| {
+        let out = run_scheduled(cfg, ScheduleMode::Replay(full[..hi].to_vec()));
+        assert!(
+            !out.outcome.is_linearizable(),
+            "full trace no longer fails on replay"
+        );
+        out
+    });
+    (full[..hi].to_vec(), out)
+}
+
+/// Renders a failing run as a self-contained text report: the config and
+/// seed needed to reproduce, the minimal trace (one `pid:delay:tear` step
+/// per line, the [`TraceStep`] display format), the checker's per-key
+/// violation report, and the run's telemetry.
+pub fn failure_report(
+    cfg: &ExploreConfig,
+    seed: u64,
+    minimal: &[TraceStep],
+    out: &RunOutput,
+) -> String {
+    use std::fmt::Write as _;
+    let mut r = String::new();
+    let _ = writeln!(r, "lincheck failure: {}", cfg.system.label());
+    let _ = writeln!(
+        r,
+        "config: threads={} keys={} ops_per_thread={} workload_seed={:#x} schedule_seed={:#x}",
+        cfg.threads, cfg.keys, cfg.ops_per_thread, cfg.workload_seed, seed
+    );
+    let _ = writeln!(
+        r,
+        "history: {} events, digest {:#018x}, {} schedule steps",
+        out.history.len(),
+        out.history.digest(),
+        out.steps
+    );
+    match &out.outcome {
+        Outcome::Violation(v) => {
+            let _ = writeln!(r, "\nviolation on key {:02x?}:\n{}", v.key, v.report);
+        }
+        Outcome::ResourceExhausted { key, steps } => {
+            let _ = writeln!(
+                r,
+                "\nchecker budget exhausted on key {key:02x?} after {steps} steps"
+            );
+        }
+        Outcome::Linearizable { .. } => {
+            let _ = writeln!(r, "\n(no violation — report generated for a passing run)");
+        }
+    }
+    let _ = writeln!(r, "\nminimal failing trace ({} steps):", minimal.len());
+    for step in minimal {
+        let _ = writeln!(r, "  {step}");
+    }
+    let _ = writeln!(r, "\ntelemetry: {}", out.telemetry.to_json());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(system: System) -> ExploreConfig {
+        ExploreConfig {
+            system,
+            threads: 3,
+            keys: 8,
+            ops_per_thread: 40,
+            workload_seed: 11,
+            tear_hook: true,
+            multi_ops: true,
+            check: CheckConfig::default(),
+        }
+    }
+
+    #[test]
+    fn scheduled_run_is_deterministic_and_linearizable() {
+        let cfg = tiny(System::Sphinx);
+        let mode = ScheduleMode::Record(ScheduleConfig::adversarial(7));
+        let a = run_scheduled(&cfg, mode.clone());
+        let b = run_scheduled(&cfg, mode);
+        assert!(a.outcome.is_linearizable(), "run A: {:?}", a.outcome);
+        assert!(b.outcome.is_linearizable(), "run B: {:?}", b.outcome);
+        assert_eq!(a.history.digest(), b.history.digest());
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_history() {
+        let cfg = tiny(System::Art);
+        let rec = run_scheduled(&cfg, ScheduleMode::Record(ScheduleConfig::adversarial(3)));
+        assert!(rec.outcome.is_linearizable(), "{:?}", rec.outcome);
+        let rep = run_scheduled(&cfg, ScheduleMode::Replay(rec.trace.clone()));
+        assert_eq!(rec.history.digest(), rep.history.digest());
+        assert_eq!(rec.trace, rep.trace);
+    }
+
+    #[test]
+    fn bptree_runs_under_schedule() {
+        let cfg = tiny(System::BpTree);
+        let out = run_scheduled(&cfg, ScheduleMode::Record(ScheduleConfig::adversarial(5)));
+        assert!(out.outcome.is_linearizable(), "{:?}", out.outcome);
+        assert!(out.steps > 0);
+    }
+}

@@ -207,13 +207,33 @@ fn bp_key(key: &[u8]) -> u64 {
     )
 }
 
+/// The B+-tree stores values in fixed 64-byte zero-padded slots
+/// ([`bptree`'s Sherman-style leaf entry]), so a raw `get` returns padding
+/// the caller never wrote. The facade keeps reads faithful to writes by
+/// spending two slot bytes on a length prefix; payloads are capped at 62
+/// bytes (ample for the harness's 16-byte tagged values).
+fn bp_value_encode(value: &[u8]) -> Vec<u8> {
+    let n = value.len().min(62);
+    let mut v = Vec::with_capacity(2 + n);
+    v.extend_from_slice(&(n as u16).to_le_bytes());
+    v.extend_from_slice(&value[..n]);
+    v
+}
+
+fn bp_value_decode(mut slot: Vec<u8>) -> Vec<u8> {
+    let n = (u16::from_le_bytes([slot[0], slot[1]]) as usize).min(slot.len() - 2);
+    slot.drain(..2);
+    slot.truncate(n);
+    slot
+}
+
 impl WorkerClient {
     /// Point lookup.
     pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
         match self {
             WorkerClient::Sphinx(c) => c.get(key).expect("get"),
             WorkerClient::Baseline(c) => c.get(key).expect("get"),
-            WorkerClient::BpTree(c) => c.get(bp_key(key)).expect("get"),
+            WorkerClient::BpTree(c) => c.get(bp_key(key)).expect("get").map(bp_value_decode),
         }
     }
 
@@ -222,7 +242,9 @@ impl WorkerClient {
         match self {
             WorkerClient::Sphinx(c) => c.insert(key, value).expect("insert"),
             WorkerClient::Baseline(c) => c.insert(key, value).expect("insert"),
-            WorkerClient::BpTree(c) => c.insert(bp_key(key), value).expect("insert"),
+            WorkerClient::BpTree(c) => c
+                .insert(bp_key(key), &bp_value_encode(value))
+                .expect("insert"),
         }
     }
 
@@ -231,16 +253,106 @@ impl WorkerClient {
         match self {
             WorkerClient::Sphinx(c) => c.update(key, value).expect("update"),
             WorkerClient::Baseline(c) => c.update(key, value).expect("update"),
-            WorkerClient::BpTree(c) => c.update(bp_key(key), value).expect("update"),
+            WorkerClient::BpTree(c) => c
+                .update(bp_key(key), &bp_value_encode(value))
+                .expect("update"),
+        }
+    }
+
+    /// Delete a key; returns whether it was present.
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        match self {
+            WorkerClient::Sphinx(c) => c.remove(key).expect("remove"),
+            WorkerClient::Baseline(c) => c.remove(key).expect("remove"),
+            WorkerClient::BpTree(c) => c.remove(bp_key(key)).expect("remove"),
+        }
+    }
+
+    /// Batched point lookups, parallel to `keys`. Sphinx issues its real
+    /// doorbell-batched `multi_get`; the baselines have no batched read
+    /// path, so the facade emulates one with sequential gets (each
+    /// returned value is still read at some point inside the call).
+    pub fn multi_get(&mut self, keys: &[&[u8]]) -> Vec<Option<Vec<u8>>> {
+        match self {
+            WorkerClient::Sphinx(c) => c.multi_get(keys).expect("multi_get"),
+            WorkerClient::Baseline(c) => keys
+                .iter()
+                .map(|k| c.get(k).expect("multi_get component"))
+                .collect(),
+            WorkerClient::BpTree(c) => keys
+                .iter()
+                .map(|k| {
+                    c.get(bp_key(k))
+                        .expect("multi_get component")
+                        .map(bp_value_decode)
+                })
+                .collect(),
         }
     }
 
     /// Range scan; returns the number of entries found.
     pub fn scan(&mut self, low: &[u8], high: &[u8]) -> usize {
+        self.scan_pairs(low, high).len()
+    }
+
+    /// Inclusive range scan returning the pairs (`low <= key <= high`).
+    pub fn scan_pairs(&mut self, low: &[u8], high: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
         match self {
-            WorkerClient::Sphinx(c) => c.scan(low, high).expect("scan").len(),
-            WorkerClient::Baseline(c) => c.scan(low, high).expect("scan").len(),
-            WorkerClient::BpTree(c) => c.scan(bp_key(low), bp_key(high)).expect("scan").len(),
+            WorkerClient::Sphinx(c) => c.scan(low, high).expect("scan"),
+            WorkerClient::Baseline(c) => c.scan(low, high).expect("scan"),
+            WorkerClient::BpTree(c) => c
+                .scan(bp_key(low), bp_key(high))
+                .expect("scan")
+                .into_iter()
+                .map(|(k, v)| (k.to_be_bytes().to_vec(), bp_value_decode(v)))
+                .collect(),
+        }
+    }
+
+    /// The first `limit` entries with `key >= low`. Sphinx has a native
+    /// bounded scan; the baselines emulate it with a full-range scan
+    /// truncated to `limit`.
+    pub fn scan_n(&mut self, low: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        match self {
+            WorkerClient::Sphinx(c) => c.scan_n(low, limit).expect("scan_n"),
+            WorkerClient::Baseline(c) => {
+                // An upper bound above any legal key (keys are capped at
+                // 4096 bytes, all-0xFF at that length sorts last).
+                let high = vec![0xFFu8; 4096];
+                let mut pairs = c.scan(low, &high).expect("scan_n");
+                pairs.truncate(limit);
+                pairs
+            }
+            WorkerClient::BpTree(c) => {
+                let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = c
+                    .scan(bp_key(low), u64::MAX)
+                    .expect("scan_n")
+                    .into_iter()
+                    .map(|(k, v)| (k.to_be_bytes().to_vec(), bp_value_decode(v)))
+                    .collect();
+                pairs.truncate(limit);
+                pairs
+            }
+        }
+    }
+
+    /// Attaches a deterministic-schedule participant handle to this
+    /// worker's transport (see [`dm_sim::Schedule`]).
+    pub fn attach_schedule(&mut self, handle: dm_sim::ScheduleHandle) {
+        match self {
+            WorkerClient::Sphinx(c) => c.attach_schedule(handle),
+            WorkerClient::Baseline(c) => c.attach_schedule(handle),
+            WorkerClient::BpTree(c) => c.attach_schedule(handle),
+        }
+    }
+
+    /// Consumes one scheduling step and returns its number (a virtual
+    /// timestamp); `None` when no schedule is attached.
+    pub fn schedule_tick(&mut self) -> Option<u64> {
+        match self {
+            WorkerClient::Sphinx(c) => c.schedule_tick(),
+            WorkerClient::Baseline(c) => c.schedule_tick(),
+            WorkerClient::BpTree(c) => c.schedule_tick(),
         }
     }
 

@@ -240,6 +240,18 @@ impl BpTreeClient {
         self.dm.set_clock_ns(ns);
     }
 
+    /// Attaches a deterministic-schedule participant handle to this
+    /// worker's transport (see [`dm_sim::Schedule`]).
+    pub fn attach_schedule(&mut self, handle: dm_sim::ScheduleHandle) {
+        self.dm.attach_schedule(handle);
+    }
+
+    /// Consumes one scheduling step and returns its number (a virtual
+    /// timestamp); `None` when no schedule is attached.
+    pub fn schedule_tick(&mut self) -> Option<u64> {
+        self.dm.schedule_tick()
+    }
+
     fn backoff(&mut self) {
         self.dm.backoff(&self.retry);
     }

@@ -142,6 +142,18 @@ impl SphinxClient {
         self.dm.set_clock_ns(ns);
     }
 
+    /// Attaches a deterministic-schedule participant handle to this
+    /// worker's transport (see [`dm_sim::Schedule`]).
+    pub fn attach_schedule(&mut self, handle: dm_sim::ScheduleHandle) {
+        self.dm.attach_schedule(handle);
+    }
+
+    /// Consumes one scheduling step and returns its number (a virtual
+    /// timestamp); `None` when no schedule is attached.
+    pub fn schedule_tick(&mut self) -> Option<u64> {
+        self.dm.schedule_tick()
+    }
+
     /// The shared per-CN Succinct Filter Cache.
     pub fn filter_handle(&self) -> &Arc<Mutex<CuckooFilter>> {
         &self.filter

@@ -706,11 +706,18 @@ impl SphinxClient {
             addr: grown_ptr,
         };
         let SphinxClient { tables, dm, .. } = self;
-        tables[mn].replace(dm, h, old_entry.encode(), new_entry.encode())?;
+        let replaced = tables[mn].replace(dm, h, old_entry.encode(), new_entry.encode())?;
 
         // 6. Retire the original so readers holding stale hash entries or
         //    pointers retry (§III-C).
         invalidate_inner(&mut self.dm, node_ptr, &fresh)?;
+        if !replaced {
+            // Lost publish race: another writer grew this same logical node
+            // between our parent swing (step 4) and this CAS, so the entry
+            // no longer names `fresh` and the table may be left naming a
+            // retired node in this prefix's chain. Heal it from the tree.
+            self.reconcile_inht_entry(key, plen)?;
+        }
         Ok(true)
     }
 
@@ -897,6 +904,111 @@ impl SphinxClient {
         tables[mn].insert(dm, h, entry.encode(), inht_split_oracle)?;
         if self.config.mode == CacheMode::FilterCache {
             self.filter.lock().insert(prefix);
+        }
+        // The node was linked before this publish, so a concurrent type
+        // switch may already have grown and retired it — in which case the
+        // grower's own publish CAS found no entry to replace and the entry
+        // just inserted names a dead node. One status re-read closes the
+        // window: if the node was retired, heal the entry from the tree.
+        let control = self.dm.read_u64(ptr)?;
+        if control & 0xFF == NodeStatus::Invalid as u64 {
+            self.reconcile_inht_entry(prefix, prefix.len())?;
+        }
+        Ok(())
+    }
+
+    /// Re-derives the live node at `key[..plen]` from the tree — the
+    /// source of truth — and swings the INHT entry for that prefix onto
+    /// it. Called after a lost publish race (a `replace` CAS that found
+    /// its expected entry gone, or an `insert` that landed after the node
+    /// it names was retired); without it the table can permanently name a
+    /// retired node while the live replacement has no entry at all.
+    ///
+    /// Bounded: after 16 lost CAS rounds the entry is left for the read
+    /// path to heal lazily like any other stale entry.
+    fn reconcile_inht_entry(&mut self, key: &[u8], plen: usize) -> Result<(), SphinxError> {
+        let prefix = &key[..plen];
+        let prefix_h42 = art_core::hash::prefix_hash42(prefix);
+        for _ in 0..16 {
+            // Walk from the root to the live node with this prefix.
+            let (_, mut node, _) = self.entry_node(key, 0)?;
+            let mut node_ptr = None;
+            for _ in 0..64 {
+                let nplen = node.header.prefix_len as usize;
+                if nplen == plen {
+                    break;
+                }
+                if nplen > plen || key.len() <= nplen {
+                    return Ok(()); // position no longer exists
+                }
+                let Some((_, slot)) = node.find_child(key[nplen]) else {
+                    return Ok(());
+                };
+                if slot.is_leaf {
+                    return Ok(());
+                }
+                node = read_inner_consistent(&mut self.dm, slot.addr, slot.child_kind)?;
+                node_ptr = Some(slot.addr);
+            }
+            let Some(live_ptr) = node_ptr else {
+                return Ok(());
+            };
+            if node.header.prefix_len as usize != plen
+                || node.header.status == NodeStatus::Invalid
+                || node.header.prefix_hash42 != prefix_h42
+            {
+                // The structure is mid-churn; whoever retires this node
+                // publishes (and reconciles) its replacement.
+                return Ok(());
+            }
+            let h = prefix_hash64(prefix);
+            let mn = self.dm.place(h) as usize;
+            let fp = fp12(prefix);
+            let desired = HashEntry {
+                fp,
+                kind: node.header.kind,
+                addr: live_ptr,
+            };
+            let SphinxClient { tables, dm, .. } = self;
+            let found = tables[mn].search(dm, h)?;
+            if found.iter().any(|e| {
+                HashEntry::decode(e.word).is_some_and(|he| he.fp == fp && he.addr == live_ptr)
+            }) {
+                return Ok(()); // already consistent
+            }
+            // Swing the entry naming a (possibly retired) member of this
+            // prefix's node chain. The 42-bit prefix hash — preserved by
+            // invalidation, which rewrites only the control word — keeps a
+            // colliding prefix's entry out of reach.
+            let mut lost_cas = false;
+            for e in found {
+                let Some(he) = HashEntry::decode(e.word) else {
+                    continue;
+                };
+                if he.fp != fp || he.addr == live_ptr {
+                    continue;
+                }
+                let Ok(stale) = read_inner_consistent(&mut self.dm, he.addr, he.kind) else {
+                    continue;
+                };
+                if stale.header.prefix_hash42 != prefix_h42 {
+                    continue;
+                }
+                let SphinxClient { tables, dm, .. } = self;
+                if tables[mn].replace(dm, h, e.word, desired.encode())? {
+                    return Ok(());
+                }
+                lost_cas = true;
+                break;
+            }
+            if !lost_cas {
+                // No entry for this prefix at all: the publisher's insert
+                // is still in flight. Its post-insert status check (above)
+                // finds the retired node and reconciles — nothing to do
+                // here, and inserting now would create a duplicate.
+                return Ok(());
+            }
+            self.dm.backoff(&self.retry);
         }
         Ok(())
     }

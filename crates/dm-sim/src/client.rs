@@ -5,6 +5,7 @@ use std::sync::Arc;
 use crate::addr::RemotePtr;
 use crate::cluster::ClusterInner;
 use crate::error::DmError;
+use crate::schedule::{GrantedStep, ScheduleHandle};
 use crate::stats::ClientStats;
 
 /// A single one-sided RDMA operation.
@@ -189,6 +190,7 @@ pub struct DmClient {
     cn_id: u16,
     clock_ns: u64,
     stats: ClientStats,
+    schedule: Option<ScheduleHandle>,
 }
 
 impl DmClient {
@@ -198,7 +200,30 @@ impl DmClient {
             cn_id,
             clock_ns: 0,
             stats: ClientStats::default(),
+            schedule: None,
         }
+    }
+
+    /// Attaches a deterministic-schedule participant handle: from now on
+    /// every non-empty batch this client executes is one scheduler-granted
+    /// step (see [`Schedule`](crate::Schedule)). Dropping the client
+    /// deregisters the participant.
+    pub fn attach_schedule(&mut self, handle: ScheduleHandle) {
+        self.schedule = Some(handle);
+    }
+
+    /// Whether a schedule handle is attached.
+    pub fn is_scheduled(&self) -> bool {
+        self.schedule.is_some()
+    }
+
+    /// Consumes one scheduling step with no attached batch and returns its
+    /// step number — a virtual timestamp totally ordered against every
+    /// other participant's steps (history recorders stamp operation
+    /// invoke/response events with it). Returns `None` when no schedule is
+    /// attached.
+    pub fn schedule_tick(&mut self) -> Option<u64> {
+        self.schedule.as_ref().map(|h| h.tick())
     }
 
     /// The compute node this client runs on.
@@ -249,7 +274,31 @@ impl DmClient {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
-        let now = self.clock_ns;
+        // Under a deterministic schedule the whole batch — cost model and
+        // memory effects — is one granted step: park at the gate, run,
+        // release. `take` sidesteps the self-borrow; the handle is always
+        // restored, and `gate_end` runs on error paths too.
+        match self.schedule.take() {
+            None => self.execute_granted(batch, None),
+            Some(handle) => {
+                let has_cas = batch.verbs.iter().any(|v| matches!(v, Verb::Cas { .. }));
+                let grant = handle.gate_begin(has_cas);
+                let result = self.execute_granted(batch, Some(&grant));
+                handle.gate_end();
+                self.schedule = Some(handle);
+                result
+            }
+        }
+    }
+
+    fn execute_granted(
+        &mut self,
+        batch: DoorbellBatch,
+        grant: Option<&GrantedStep>,
+    ) -> Result<Vec<VerbResult>, DmError> {
+        // An injected delay models the batch being held at the NIC before
+        // submission: virtual time passes, then the verbs go out.
+        let now = self.clock_ns + grant.map_or(0, |g| g.decision.delay_ns);
         // Tally per-MN message counts and bytes for the cost model, and
         // the per-verb breakdown.
         let mut mn_msgs: Vec<(u16, u64, u64)> = Vec::new(); // (mn, msgs, bytes)
@@ -293,8 +342,11 @@ impl DmClient {
 
         self.stats.round_trips += mn_msgs.len() as u64;
 
-        // Apply memory effects and collect results.
+        // Apply memory effects and collect results. READ completions pass
+        // through the cluster-wide fault hook and, on a step whose
+        // schedule decision fired, the schedule's tear hook.
         let fault_hook = self.inner.fault_hook.get();
+        let tear_hook = grant.and_then(|g| g.tear_hook.clone());
         let mut results = Vec::with_capacity(batch.verbs.len());
         for verb in batch.verbs {
             let mn =
@@ -308,13 +360,18 @@ impl DmClient {
                 Verb::Read { ptr, len } => {
                     let mut buf = vec![0u8; len];
                     mn.read_bytes(ptr.offset(), &mut buf)?;
-                    if let Some(hook) = &fault_hook {
+                    if fault_hook.is_some() || tear_hook.is_some() {
                         // Injection accounting: only hooks that actually
                         // altered the bytes count. The pristine copy is
                         // taken only while a hook is installed, so the
                         // fault-free data path is unaffected.
                         let pristine = buf.clone();
-                        hook.corrupt_read(ptr, &mut buf);
+                        if let Some(hook) = &fault_hook {
+                            hook.corrupt_read(ptr, &mut buf);
+                        }
+                        if let Some(hook) = &tear_hook {
+                            hook.corrupt_read(ptr, &mut buf);
+                        }
                         if buf != pristine {
                             self.inner.note_fault_injection();
                         }

@@ -46,6 +46,7 @@ mod error;
 mod heap;
 mod net;
 mod ring;
+mod schedule;
 mod stats;
 mod transport;
 
@@ -57,5 +58,6 @@ pub use error::DmError;
 pub use heap::MemoryNode;
 pub use net::{NetConfig, Nic};
 pub use ring::HashRing;
+pub use schedule::{Schedule, ScheduleConfig, ScheduleHandle, StepDecision, TraceStep};
 pub use stats::{ClientStats, LatencyHistogram};
 pub use transport::{FaultHook, RetryPolicy, Transport};

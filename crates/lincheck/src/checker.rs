@@ -1,0 +1,838 @@
+//! Per-key compositional linearizability checking.
+//!
+//! Linearizability is *local* (Herlihy & Wing): a history over a map object
+//! is linearizable iff each per-key projection is linearizable against a
+//! single-register model. Decomposition keeps the search tractable — the
+//! per-key concurrency level is bounded by the worker count, not by the
+//! history length.
+//!
+//! The per-key search is the Wing–Gong linearization search in Lowe's
+//! iterative formulation (the one Porcupine/Knossos use): a time-ordered
+//! entry list of call/return events, an undo stack, and a memoization set
+//! over `(linearized-set, model-state)` configurations so re-explored
+//! states cut off immediately.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use crate::history::{Event, History, Key, Op, Ret, PENDING_TS};
+
+/// Budget knobs for the search.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Search-loop iterations allowed per key before the checker gives up
+    /// with [`Outcome::ResourceExhausted`]. The default is far above what
+    /// well-behaved histories need (they are near-linear in ops × worker
+    /// count); a blown budget usually *is* the signal — pathological
+    /// ambiguity from a broken protocol.
+    pub max_steps_per_key: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_steps_per_key: 20_000_000,
+        }
+    }
+}
+
+/// A non-linearizable per-key projection, with a human-readable report.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The offending key.
+    pub key: Key,
+    /// Pretty-printed projection: every operation touching the key, in
+    /// invocation order, with client, interval, and response.
+    pub report: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.report)
+    }
+}
+
+/// The checker's verdict on a history.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// A linearization witness exists for every key.
+    Linearizable {
+        /// Distinct keys checked.
+        keys: usize,
+        /// Operations in the history (before per-key decomposition).
+        ops: usize,
+    },
+    /// Some key's projection admits no linearization order.
+    Violation(Violation),
+    /// The search budget ran out before a verdict (treat as failure in CI).
+    ResourceExhausted {
+        /// The key whose search blew the budget.
+        key: Key,
+        /// Steps spent when the checker gave up.
+        steps: u64,
+    },
+}
+
+impl Outcome {
+    /// Whether the history was proven linearizable.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, Outcome::Linearizable { .. })
+    }
+}
+
+/// One per-key register operation (timestamps inherited from the source
+/// event; `multi_get`/`scan` components share their parent's interval).
+#[derive(Debug, Clone, Copy)]
+struct RegOp {
+    invoke: u64,
+    response: u64,
+    kind: RegKind,
+    /// Index of the source [`Event`] (for reporting).
+    src: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RegKind {
+    /// Completed read: model state must equal `expect` (0 = absent).
+    Get {
+        expect: u32,
+    },
+    /// Completed upsert.
+    Insert {
+        val: u32,
+    },
+    /// Completed conditional write; `ok` must equal "key present".
+    Update {
+        val: u32,
+        ok: bool,
+    },
+    /// Completed conditional delete; `ok` must equal "key present".
+    Delete {
+        ok: bool,
+    },
+    /// Invoked, never returned: effect unconstrained, may linearize
+    /// anywhere at/after the invocation.
+    PendingInsert {
+        val: u32,
+    },
+    PendingUpdate {
+        val: u32,
+    },
+    PendingDelete,
+}
+
+impl RegKind {
+    /// Applies the op to the model state; `None` means the recorded return
+    /// contradicts this state (so the op cannot linearize here).
+    fn step(&self, state: u32) -> Option<u32> {
+        match *self {
+            RegKind::Get { expect } => (state == expect).then_some(state),
+            RegKind::Insert { val } | RegKind::PendingInsert { val } => Some(val),
+            RegKind::Update { val, ok } => {
+                if (state != 0) != ok {
+                    None
+                } else if ok {
+                    Some(val)
+                } else {
+                    Some(state)
+                }
+            }
+            RegKind::PendingUpdate { val } => Some(if state != 0 { val } else { state }),
+            RegKind::Delete { ok } => ((state != 0) == ok).then_some(0),
+            RegKind::PendingDelete => Some(0),
+        }
+    }
+}
+
+/// Interns values to dense ids; 0 is reserved for "absent".
+#[derive(Default)]
+struct Interner<'h> {
+    ids: HashMap<&'h [u8], u32>,
+}
+
+impl<'h> Interner<'h> {
+    fn id(&mut self, v: &'h [u8]) -> u32 {
+        let next = self.ids.len() as u32 + 1;
+        *self.ids.entry(v).or_insert(next)
+    }
+}
+
+fn decompose<'h>(h: &'h History) -> Result<BTreeMap<&'h Key, Vec<RegOp>>, Violation> {
+    let mut interner = Interner::default();
+    let mut per_key: BTreeMap<&'h Key, Vec<RegOp>> = BTreeMap::new();
+    for e in &h.events {
+        let mut push = |key: &'h Key, kind: RegKind| {
+            per_key.entry(key).or_default().push(RegOp {
+                invoke: e.invoke_ts,
+                response: e.response_ts,
+                kind,
+                src: e.op_id,
+            });
+        };
+        // Wrong-shaped returns are protocol bugs in their own right;
+        // surface them as violations rather than panicking mid-check.
+        let malformed = |key: &Key| Violation {
+            key: key.clone(),
+            report: format!(
+                "op #{} [client {}] {}: response {} does not match the operation",
+                e.op_id, e.client, e.op, e.ret
+            ),
+        };
+        match (&e.op, &e.ret) {
+            // Pending reads constrain nothing: linearized-with-any-return
+            // and dropped are equally consistent. Skip them.
+            (Op::Get { .. }, Ret::Pending)
+            | (Op::MultiGet { .. }, Ret::Pending)
+            | (Op::Scan { .. }, Ret::Pending)
+            | (Op::ScanN { .. }, Ret::Pending) => {}
+            (Op::Get { key }, Ret::Got(v)) => {
+                let expect = v.as_deref().map_or(0, |v| interner.id(v));
+                push(key, RegKind::Get { expect });
+            }
+            (Op::Insert { key, value }, Ret::Inserted) => {
+                let val = interner.id(value);
+                push(key, RegKind::Insert { val });
+            }
+            (Op::Insert { key, value }, Ret::Pending) => {
+                let val = interner.id(value);
+                push(key, RegKind::PendingInsert { val });
+            }
+            (Op::Update { key, value }, Ret::Updated(ok)) => {
+                let val = interner.id(value);
+                push(key, RegKind::Update { val, ok: *ok });
+            }
+            (Op::Update { key, value }, Ret::Pending) => {
+                let val = interner.id(value);
+                push(key, RegKind::PendingUpdate { val });
+            }
+            (Op::Delete { key }, Ret::Deleted(ok)) => push(key, RegKind::Delete { ok: *ok }),
+            (Op::Delete { key }, Ret::Pending) => push(key, RegKind::PendingDelete),
+            (Op::MultiGet { keys }, Ret::MultiGot(vals)) => {
+                if keys.len() != vals.len() {
+                    let first = keys.first().cloned().unwrap_or_default();
+                    return Err(malformed(&first));
+                }
+                for (key, v) in keys.iter().zip(vals) {
+                    let expect = v.as_deref().map_or(0, |v| interner.id(v));
+                    push(key, RegKind::Get { expect });
+                }
+            }
+            // Scans decompose into one read per *returned* pair: every
+            // returned value must be individually linearizable. A live key
+            // a scan failed to return produces no event — the per-key
+            // contract deliberately stops short of atomic snapshots (see
+            // docs/TESTING.md).
+            (Op::Scan { .. }, Ret::Scanned(pairs)) | (Op::ScanN { .. }, Ret::Scanned(pairs)) => {
+                for (key, v) in pairs {
+                    let expect = interner.id(v);
+                    push(key, RegKind::Get { expect });
+                }
+            }
+            _ => {
+                let key = match &e.op {
+                    Op::Get { key }
+                    | Op::Insert { key, .. }
+                    | Op::Update { key, .. }
+                    | Op::Delete { key } => key.clone(),
+                    Op::MultiGet { keys } => keys.first().cloned().unwrap_or_default(),
+                    Op::Scan { low, .. } | Op::ScanN { low, .. } => low.clone(),
+                };
+                return Err(malformed(&key));
+            }
+        }
+    }
+    Ok(per_key)
+}
+
+enum KeyVerdict {
+    Ok,
+    Violation,
+    Exhausted(u64),
+}
+
+const NONE: u32 = u32::MAX;
+
+/// The iterative Wing–Gong search over one key's projection.
+fn check_key(ops: &[RegOp], budget: u64) -> KeyVerdict {
+    let n = ops.len();
+    if n == 0 {
+        return KeyVerdict::Ok;
+    }
+    // Entry ids: 2*i = call of op i, 2*i+1 = its return (pending returns
+    // sit at virtual time ∞). Sorted by (time, calls-before-returns) so
+    // ops whose intervals merely touch still count as concurrent.
+    let mut order: Vec<u32> = (0..2 * n as u32).collect();
+    order.sort_by_key(|&eid| {
+        let op = (eid / 2) as usize;
+        let is_ret = eid % 2 == 1;
+        let ts = if is_ret {
+            ops[op].response
+        } else {
+            ops[op].invoke
+        };
+        (ts, is_ret, op)
+    });
+    // Doubly-linked list threaded through the sorted order.
+    let mut next = vec![NONE; 2 * n];
+    let mut prev = vec![NONE; 2 * n];
+    let mut head = order[0];
+    for w in order.windows(2) {
+        next[w[0] as usize] = w[1];
+        prev[w[1] as usize] = w[0];
+    }
+
+    let words = n.div_ceil(64);
+    let mut linearized = vec![0u64; words];
+    let mut cache: HashSet<(Box<[u64]>, u32)> = HashSet::new();
+    // Undo stack of committed linearizations: (op, state before it).
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+    let mut state: u32 = 0;
+    let mut entry = head;
+    let mut steps: u64 = 0;
+
+    // Dancing-links lift/unlift of an op's call+return pair.
+    macro_rules! unlink {
+        ($eid:expr) => {{
+            let e = $eid as usize;
+            let (p, nx) = (prev[e], next[e]);
+            if p == NONE {
+                head = nx;
+            } else {
+                next[p as usize] = nx;
+            }
+            if nx != NONE {
+                prev[nx as usize] = p;
+            }
+        }};
+    }
+    macro_rules! relink {
+        ($eid:expr) => {{
+            let e = $eid as usize;
+            let (p, nx) = (prev[e], next[e]);
+            if p == NONE {
+                head = $eid;
+            } else {
+                next[p as usize] = $eid;
+            }
+            if nx != NONE {
+                prev[nx as usize] = $eid;
+            }
+        }};
+    }
+
+    loop {
+        if head == NONE {
+            return KeyVerdict::Ok; // every op linearized
+        }
+        steps += 1;
+        if steps > budget {
+            return KeyVerdict::Exhausted(steps);
+        }
+        debug_assert_ne!(entry, NONE, "walked off the entry list");
+        let op = (entry / 2) as usize;
+        if entry.is_multiple_of(2) {
+            // Call entry: try to linearize this op next.
+            if let Some(new_state) = ops[op].kind.step(state) {
+                linearized[op / 64] |= 1u64 << (op % 64);
+                let config = (linearized.clone().into_boxed_slice(), new_state);
+                if cache.insert(config) {
+                    stack.push((op as u32, state));
+                    state = new_state;
+                    // Lift: call first, then return (relink reverses).
+                    unlink!(entry);
+                    unlink!(entry + 1);
+                    entry = head;
+                    continue;
+                }
+                linearized[op / 64] &= !(1u64 << (op % 64));
+            }
+            entry = next[entry as usize];
+        } else {
+            // Return entry: the window is exhausted — some op that returned
+            // by now must have linearized and none could. Backtrack.
+            let Some((op, prev_state)) = stack.pop() else {
+                return KeyVerdict::Violation;
+            };
+            state = prev_state;
+            linearized[op as usize / 64] &= !(1u64 << (op as usize % 64));
+            let call = op * 2;
+            relink!(call + 1);
+            relink!(call);
+            entry = next[call as usize];
+        }
+    }
+}
+
+fn build_report(h: &History, key: &Key, ops: &[RegOp]) -> String {
+    use std::fmt::Write as _;
+    let mut lines: Vec<&RegOp> = ops.iter().collect();
+    lines.sort_by_key(|o| (o.invoke, o.src));
+    let mut out = String::new();
+    let _ = write!(out, "key ");
+    for b in key.iter().take(24) {
+        let _ = write!(out, "{b:02x}");
+    }
+    let _ = writeln!(
+        out,
+        ": no linearization order exists for its {} operations:",
+        lines.len()
+    );
+    let mut seen: HashSet<usize> = HashSet::new();
+    for o in lines {
+        if !seen.insert(o.src) {
+            continue; // multi_get/scan contribute one line per source op
+        }
+        let e: &Event = &h.events[o.src];
+        let resp = if e.response_ts == PENDING_TS {
+            "∞".to_string()
+        } else {
+            e.response_ts.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  [client {:>2}] #{:<6} @[{}, {}] {} -> {}",
+            e.client, e.op_id, e.invoke_ts, resp, e.op, e.ret
+        );
+    }
+    out
+}
+
+/// Checks a history against the sequential map model.
+///
+/// Returns [`Outcome::Violation`] for the first key (in byte order) whose
+/// projection admits no linearization order, [`Outcome::ResourceExhausted`]
+/// if a key's search blows the budget, and [`Outcome::Linearizable`]
+/// otherwise.
+pub fn check_history(h: &History, cfg: &CheckConfig) -> Outcome {
+    let per_key = match decompose(h) {
+        Ok(m) => m,
+        Err(v) => return Outcome::Violation(v),
+    };
+    for (key, ops) in &per_key {
+        match check_key(ops, cfg.max_steps_per_key) {
+            KeyVerdict::Ok => {}
+            KeyVerdict::Violation => {
+                return Outcome::Violation(Violation {
+                    key: (*key).clone(),
+                    report: build_report(h, key, ops),
+                })
+            }
+            KeyVerdict::Exhausted(steps) => {
+                return Outcome::ResourceExhausted {
+                    key: (*key).clone(),
+                    steps,
+                }
+            }
+        }
+    }
+    Outcome::Linearizable {
+        keys: per_key.len(),
+        ops: h.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryRecorder;
+
+    fn k(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
+    }
+
+    /// Records `(client, invoke, response, op, ret)` tuples directly.
+    fn history(ops: &[(u32, u64, u64, Op, Ret)]) -> History {
+        let rec = HistoryRecorder::new();
+        let ids: Vec<_> = ops
+            .iter()
+            .map(|(c, inv, _, op, _)| rec.invoke(*c, op.clone(), *inv))
+            .collect();
+        for (id, (_, _, resp, _, ret)) in ids.into_iter().zip(ops) {
+            if *ret != Ret::Pending {
+                rec.respond(id, ret.clone(), *resp);
+            }
+        }
+        rec.finish()
+    }
+
+    fn check(ops: &[(u32, u64, u64, Op, Ret)]) -> Outcome {
+        check_history(&history(ops), &CheckConfig::default())
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let out = check(&[
+            (0, 0, 1, Op::Get { key: k("a") }, Ret::Got(None)),
+            (
+                0,
+                2,
+                3,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("v1"),
+                },
+                Ret::Inserted,
+            ),
+            (0, 4, 5, Op::Get { key: k("a") }, Ret::Got(Some(k("v1")))),
+            (
+                0,
+                6,
+                7,
+                Op::Update {
+                    key: k("a"),
+                    value: k("v2"),
+                },
+                Ret::Updated(true),
+            ),
+            (0, 8, 9, Op::Delete { key: k("a") }, Ret::Deleted(true)),
+            (0, 10, 11, Op::Get { key: k("a") }, Ret::Got(None)),
+            (0, 12, 13, Op::Delete { key: k("a") }, Ret::Deleted(false)),
+        ]);
+        assert!(out.is_linearizable(), "{out:?}");
+    }
+
+    #[test]
+    fn value_never_written_is_a_violation() {
+        let out = check(&[
+            (
+                0,
+                0,
+                1,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("v1"),
+                },
+                Ret::Inserted,
+            ),
+            (1, 2, 3, Op::Get { key: k("a") }, Ret::Got(Some(k("xx")))),
+        ]);
+        let Outcome::Violation(v) = out else {
+            panic!("expected violation, got {out:?}");
+        };
+        assert_eq!(v.key, k("a"));
+        assert!(v.report.contains("get"), "{}", v.report);
+    }
+
+    #[test]
+    fn stale_read_after_delete_is_a_violation() {
+        let out = check(&[
+            (
+                0,
+                0,
+                1,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("v1"),
+                },
+                Ret::Inserted,
+            ),
+            (0, 2, 3, Op::Delete { key: k("a") }, Ret::Deleted(true)),
+            (1, 4, 5, Op::Get { key: k("a") }, Ret::Got(Some(k("v1")))),
+        ]);
+        assert!(matches!(out, Outcome::Violation(_)), "{out:?}");
+    }
+
+    #[test]
+    fn concurrent_writes_allow_either_order() {
+        // Two overlapping inserts; a later read may see either one.
+        for winner in ["v1", "v2"] {
+            let out = check(&[
+                (
+                    0,
+                    0,
+                    5,
+                    Op::Insert {
+                        key: k("a"),
+                        value: k("v1"),
+                    },
+                    Ret::Inserted,
+                ),
+                (
+                    1,
+                    1,
+                    4,
+                    Op::Insert {
+                        key: k("a"),
+                        value: k("v2"),
+                    },
+                    Ret::Inserted,
+                ),
+                (2, 6, 7, Op::Get { key: k("a") }, Ret::Got(Some(k(winner)))),
+            ]);
+            assert!(out.is_linearizable(), "winner {winner}: {out:?}");
+        }
+        // But a value from outside the race is still a violation.
+        let out = check(&[
+            (
+                0,
+                0,
+                5,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("v1"),
+                },
+                Ret::Inserted,
+            ),
+            (2, 6, 7, Op::Get { key: k("a") }, Ret::Got(Some(k("v2")))),
+        ]);
+        assert!(matches!(out, Outcome::Violation(_)), "{out:?}");
+    }
+
+    #[test]
+    fn non_overlapping_order_is_enforced() {
+        // insert(v1) fully precedes insert(v2): a later read of v1 is stale.
+        let out = check(&[
+            (
+                0,
+                0,
+                1,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("v1"),
+                },
+                Ret::Inserted,
+            ),
+            (
+                1,
+                2,
+                3,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("v2"),
+                },
+                Ret::Inserted,
+            ),
+            (2, 4, 5, Op::Get { key: k("a") }, Ret::Got(Some(k("v1")))),
+        ]);
+        assert!(matches!(out, Outcome::Violation(_)), "{out:?}");
+    }
+
+    #[test]
+    fn pending_insert_may_or_may_not_be_observed() {
+        // Observed:
+        let out = check(&[
+            (
+                0,
+                0,
+                0,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("v1"),
+                },
+                Ret::Pending,
+            ),
+            (1, 1, 2, Op::Get { key: k("a") }, Ret::Got(Some(k("v1")))),
+        ]);
+        assert!(out.is_linearizable(), "{out:?}");
+        // Not observed:
+        let out = check(&[
+            (
+                0,
+                0,
+                0,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("v1"),
+                },
+                Ret::Pending,
+            ),
+            (1, 1, 2, Op::Get { key: k("a") }, Ret::Got(None)),
+        ]);
+        assert!(out.is_linearizable(), "{out:?}");
+        // Observed, then gone without a delete: violation.
+        let out = check(&[
+            (
+                0,
+                0,
+                0,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("v1"),
+                },
+                Ret::Pending,
+            ),
+            (1, 1, 2, Op::Get { key: k("a") }, Ret::Got(Some(k("v1")))),
+            (1, 3, 4, Op::Get { key: k("a") }, Ret::Got(None)),
+        ]);
+        assert!(matches!(out, Outcome::Violation(_)), "{out:?}");
+    }
+
+    #[test]
+    fn update_on_absent_key_must_report_absent() {
+        let out = check(&[(
+            0,
+            0,
+            1,
+            Op::Update {
+                key: k("a"),
+                value: k("v"),
+            },
+            Ret::Updated(true),
+        )]);
+        assert!(matches!(out, Outcome::Violation(_)), "{out:?}");
+        let out = check(&[(
+            0,
+            0,
+            1,
+            Op::Update {
+                key: k("a"),
+                value: k("v"),
+            },
+            Ret::Updated(false),
+        )]);
+        assert!(out.is_linearizable(), "{out:?}");
+    }
+
+    #[test]
+    fn multi_get_components_check_per_key() {
+        let out = check(&[
+            (
+                0,
+                0,
+                1,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("va"),
+                },
+                Ret::Inserted,
+            ),
+            (
+                0,
+                2,
+                3,
+                Op::Insert {
+                    key: k("b"),
+                    value: k("vb"),
+                },
+                Ret::Inserted,
+            ),
+            (
+                1,
+                4,
+                5,
+                Op::MultiGet {
+                    keys: vec![k("a"), k("b"), k("c")],
+                },
+                Ret::MultiGot(vec![Some(k("va")), Some(k("vb")), None]),
+            ),
+        ]);
+        assert!(out.is_linearizable(), "{out:?}");
+        // One stale component poisons the whole multi_get.
+        let out = check(&[
+            (
+                0,
+                0,
+                1,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("va"),
+                },
+                Ret::Inserted,
+            ),
+            (
+                1,
+                2,
+                3,
+                Op::MultiGet {
+                    keys: vec![k("a"), k("b")],
+                },
+                Ret::MultiGot(vec![None, None]),
+            ),
+        ]);
+        assert!(matches!(out, Outcome::Violation(_)), "{out:?}");
+    }
+
+    #[test]
+    fn scan_pairs_check_as_reads() {
+        let out = check(&[
+            (
+                0,
+                0,
+                1,
+                Op::Insert {
+                    key: k("a"),
+                    value: k("va"),
+                },
+                Ret::Inserted,
+            ),
+            (
+                1,
+                2,
+                3,
+                Op::Scan {
+                    low: k("a"),
+                    high: k("z"),
+                },
+                Ret::Scanned(vec![(k("a"), k("stale"))]),
+            ),
+        ]);
+        assert!(matches!(out, Outcome::Violation(_)), "{out:?}");
+    }
+
+    #[test]
+    fn malformed_multi_get_is_reported() {
+        let out = check(&[(
+            0,
+            0,
+            1,
+            Op::MultiGet {
+                keys: vec![k("a"), k("b")],
+            },
+            Ret::MultiGot(vec![None]),
+        )]);
+        assert!(matches!(out, Outcome::Violation(_)), "{out:?}");
+    }
+
+    /// A 10k+-op interleaved-but-consistent history must verify quickly
+    /// and well inside the default budget (the CI smoke bar).
+    #[test]
+    fn large_concurrent_history_verifies() {
+        let rec = HistoryRecorder::new();
+        let keys: Vec<Vec<u8>> = (0..8u8).map(|i| vec![b'k', i]).collect();
+        // A deterministic round-robin over 3 "clients" whose ops overlap
+        // pairwise (invoke before the previous response) but are applied
+        // in issue order against the model.
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for i in 0..12_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let client = (i % 3) as u32;
+            let key = keys[(x as usize) % keys.len()].clone();
+            let inv = i;
+            let resp = i + 2; // overlaps the next op's invoke at i+1
+            match x % 5 {
+                0 | 1 => {
+                    let cur = model.get(&key).cloned();
+                    let id = rec.invoke(client, Op::Get { key }, inv);
+                    rec.respond(id, Ret::Got(cur), resp);
+                }
+                2 => {
+                    let value = x.to_le_bytes().to_vec();
+                    model.insert(key.clone(), value.clone());
+                    let id = rec.invoke(client, Op::Insert { key, value }, inv);
+                    rec.respond(id, Ret::Inserted, resp);
+                }
+                3 => {
+                    let value = x.to_le_bytes().to_vec();
+                    let ok = model.contains_key(&key);
+                    if ok {
+                        model.insert(key.clone(), value.clone());
+                    }
+                    let id = rec.invoke(client, Op::Update { key, value }, inv);
+                    rec.respond(id, Ret::Updated(ok), resp);
+                }
+                _ => {
+                    let ok = model.remove(&key).is_some();
+                    let id = rec.invoke(client, Op::Delete { key }, inv);
+                    rec.respond(id, Ret::Deleted(ok), resp);
+                }
+            }
+        }
+        let h = rec.finish();
+        assert!(h.len() >= 10_000);
+        let out = check_history(&h, &CheckConfig::default());
+        assert!(out.is_linearizable(), "{out:?}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # lincheck — linearizability checking for the index stack
+//!
+//! Records concurrent operation histories (invoke/response events stamped
+//! with virtual time from the simulator) and decides whether each history is
+//! linearizable with respect to a sequential map model.
+//!
+//! The pipeline:
+//!
+//! 1. **Record** — every worker wraps its index calls with
+//!    [`HistoryRecorder::invoke`] / [`HistoryRecorder::respond`]. Timestamps
+//!    come from the deterministic scheduler's step counter (or, unscheduled,
+//!    from the recorder's own monotonic clock — any valid real-time order
+//!    witness works).
+//! 2. **Decompose** — map operations are compositional per key: a history is
+//!    linearizable iff its per-key projections are (Herlihy & Wing's locality
+//!    theorem). `multi_get` and `scan` decompose into one read event per
+//!    *returned* key sharing the parent's interval — which checks exactly
+//!    "every returned value is individually linearizable" (an absent key
+//!    omitted by a scan produces no event; that weaker-than-atomic-snapshot
+//!    contract is deliberate and documented in `docs/TESTING.md`).
+//! 3. **Search** — per key, a Wing–Gong linearization search (the iterative
+//!    Lowe-style formulation with an entry list, undo stack, and a
+//!    memoization set over *(linearized-set, model-state)* configurations)
+//!    finds a witness order or proves none exists. Pending operations
+//!    (invoked, never returned) may linearize with unconstrained effect or
+//!    be dropped.
+//!
+//! The sequential model is a map: `get` returns the current value, `insert`
+//! upserts, `update` writes iff present and returns whether it did,
+//! `delete` removes iff present and returns whether it did.
+//!
+//! ## Example
+//!
+//! ```
+//! use lincheck::{check_history, CheckConfig, HistoryRecorder, Op, Outcome, Ret};
+//!
+//! let rec = HistoryRecorder::new();
+//! let id = rec.invoke_now(0, Op::Insert { key: b"k".to_vec(), value: b"v".to_vec() });
+//! rec.respond_now(id, Ret::Inserted);
+//! let id = rec.invoke_now(1, Op::Get { key: b"k".to_vec() });
+//! rec.respond_now(id, Ret::Got(Some(b"v".to_vec())));
+//! let outcome = check_history(&rec.finish(), &CheckConfig::default());
+//! assert!(matches!(outcome, Outcome::Linearizable { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod history;
+
+pub use checker::{check_history, CheckConfig, Outcome, Violation};
+pub use history::{Event, History, HistoryRecorder, Key, Op, OpId, Ret, Value, PENDING_TS};

@@ -27,12 +27,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use art_core::hash::prefix_hash64;
 use art_core::layout::{InnerNode, LayoutError, LeafNode, NodeStatus};
 use art_core::NodeKind;
 use dm_sim::{DmError, RemotePtr, Transport};
 
 pub use dm_sim::RetryPolicy;
+
+/// Process-wide switch for leaf checksum validation (default on).
+///
+/// Exists **only** as a deliberately-broken-protocol mode for the
+/// linearizability harness: with validation off,
+/// [`read_validated_leaf`] serves torn leaves as-is instead of retrying,
+/// and the checker must flag the resulting anomalies. Production code
+/// paths never touch this.
+static LEAF_VALIDATION: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables leaf checksum validation process-wide. Returns the
+/// previous setting. Tests that disable it must restore it (and must not
+/// share a process with tests that assume it is on).
+pub fn set_leaf_validation(enabled: bool) -> bool {
+    LEAF_VALIDATION.swap(enabled, Ordering::SeqCst)
+}
+
+/// Whether leaf checksum validation is currently enabled.
+pub fn leaf_validation() -> bool {
+    LEAF_VALIDATION.load(Ordering::SeqCst)
+}
 
 /// Errors surfaced by the engine primitives. Index crates wrap this into
 /// their own error types (`From` impls on their side).
@@ -169,8 +192,19 @@ pub fn read_validated_leaf<T: Transport>(
         }
         match LeafNode::decode(&bytes) {
             Ok(leaf) => return Ok(leaf),
-            Err(LayoutError::ChecksumMismatch { .. }) | Err(LayoutError::TruncatedNode { .. }) => {
+            Err(LayoutError::ChecksumMismatch { .. }) => {
+                if !leaf_validation() {
+                    // Broken-protocol mode for the lincheck harness: serve
+                    // the torn leaf instead of recovering.
+                    return Ok(LeafNode::decode_unverified(&bytes)?);
+                }
                 // Torn read under a concurrent writer: retry.
+                io.checksum_retries += 1;
+                t.backoff(policy);
+            }
+            Err(LayoutError::TruncatedNode { .. }) => {
+                // Torn length fields can claim more payload than the
+                // buffer holds; structurally unreadable either way: retry.
                 io.checksum_retries += 1;
                 t.backoff(policy);
             }

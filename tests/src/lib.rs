@@ -1,1 +1,73 @@
 //! Workspace integration-test helpers (tests live in tests/tests/).
+//!
+//! These were extracted from the torture / failure-injection / stress
+//! suites once each had grown its own copy: tagged values readers can
+//! verify, the SplitMix64 key scrambler, a standard small cluster, and the
+//! MN-pool leaf locator the white-box fault tests use.
+
+use dm_sim::{ClusterConfig, DmCluster, RemotePtr};
+
+/// SplitMix64 — the test suites' standard key/seed scrambler (bijective,
+/// so scrambled keys stay unique).
+pub fn mix64(i: u64) -> u64 {
+    let mut x = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A 24-byte value encoding `(thread, round)` so readers can verify every
+/// observed value was genuinely written by someone: bytes 0..4 carry the
+/// round, byte 4 the thread tag, and bytes 5.. repeat the tag — a torn or
+/// spliced value breaks the uniformity.
+pub fn tagged_value(thread: u8, round: u32) -> Vec<u8> {
+    let mut v = vec![thread; 24];
+    v[0..4].copy_from_slice(&round.to_le_bytes());
+    v[4] = thread;
+    v
+}
+
+/// Asserts `v` is a well-formed [`tagged_value`]: right length, one
+/// writer's tag throughout.
+///
+/// # Panics
+///
+/// Panics (with `context`) if the value is torn or malformed.
+pub fn assert_tagged_intact(v: &[u8], context: &str) {
+    assert_eq!(v.len(), 24, "{context}: bad value length {}", v.len());
+    let tag = v[4];
+    assert!(
+        v[5..].iter().all(|&b| b == tag),
+        "{context}: torn value {v:?}"
+    );
+}
+
+/// The failure-injection suites' standard cluster: default topology with a
+/// 64 MB MN pool.
+pub fn small_cluster() -> DmCluster {
+    DmCluster::new(ClusterConfig {
+        mn_capacity: 64 << 20,
+        ..Default::default()
+    })
+}
+
+/// Finds the leaf address for `(key, value)` by scanning the MN pools for
+/// its encoded form (white-box test trick: values are unique, so the
+/// encoded leaf is too).
+///
+/// # Panics
+///
+/// Panics if no pool contains the leaf.
+pub fn find_leaf_ptr(cluster: &DmCluster, key: &[u8], value: &[u8]) -> RemotePtr {
+    let needle = art_core::layout::LeafNode::new(key.to_vec(), value.to_vec()).encode();
+    for mn_id in 0..cluster.num_mns() {
+        let mn = cluster.mn(mn_id).unwrap();
+        let cap = mn.capacity();
+        let mut buf = vec![0u8; cap];
+        mn.read_bytes(0, &mut buf).unwrap();
+        if let Some(pos) = buf.windows(needle.len()).position(|w| w == needle) {
+            return RemotePtr::new(mn_id, pos as u64);
+        }
+    }
+    panic!("leaf not found in any pool");
+}

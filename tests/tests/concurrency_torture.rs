@@ -1,62 +1,68 @@
 //! Concurrency torture across the full stack: many threads, overlapping
-//! key ranges, all operation types, verified against a per-key linear
-//! history invariant (values are always one of the versions some writer
-//! actually wrote — no torn data, no resurrection after delete without a
-//! subsequent insert).
+//! key ranges, all operation types. Every run records its operations
+//! through the [`lincheck::HistoryRecorder`] and is verified by the
+//! per-key linearizability checker — the stronger replacement for the old
+//! hand-rolled "value was written by someone" invariant, which is still
+//! checked in-flight as a cheap early tripwire.
 
-use bench_harness::systems::System;
 use std::collections::HashSet;
-use ycsb::KeySpace;
+use std::sync::Arc;
 
-/// Values encode (thread, round) so readers can verify every observed
-/// value was genuinely written by someone.
-fn tagged_value(thread: u8, round: u32) -> Vec<u8> {
-    let mut v = vec![thread; 24];
-    v[0..4].copy_from_slice(&round.to_le_bytes());
-    v[4] = thread;
-    v
-}
+use bench_harness::{apply_op, systems::System};
+use integration_tests::{assert_tagged_intact, tagged_value};
+use lincheck::{check_history, CheckConfig, HistoryRecorder, Op, Ret};
+use ycsb::KeySpace;
 
 fn torture(system: System) {
     let handle = system.build(256 << 20, Some(64 << 10));
     let keys = 60u64;
     let threads = 4u8;
     let rounds = 120u32;
+    let rec = Arc::new(HistoryRecorder::new());
 
     std::thread::scope(|s| {
         for t in 0..threads {
             let handle = handle.clone();
+            let rec = Arc::clone(&rec);
             s.spawn(move || {
                 let mut w = handle.worker((t % 3) as u16);
                 for r in 0..rounds {
                     let idx = ((t as u64) * 7 + (r as u64) * 13) % keys;
                     let key = KeySpace::U64.key(idx);
-                    match (t as u32 + r) % 5 {
-                        0 | 1 => w.insert(&key, &tagged_value(t, r)),
-                        2 => {
-                            let _ = w.update(&key, &tagged_value(t, r));
-                        }
-                        3 => {
-                            if let Some(v) = w.get(&key) {
-                                // Value must be internally consistent: one
-                                // writer's tag throughout.
-                                assert_eq!(v.len(), 24, "{}", system.label());
-                                let tag = v[4];
-                                assert!(
-                                    v[5..].iter().all(|&b| b == tag),
-                                    "{}: torn value {v:?}",
-                                    system.label()
-                                );
+                    let op = match (t as u32 + r) % 6 {
+                        0 | 1 => Op::Insert {
+                            key,
+                            value: tagged_value(t, r),
+                        },
+                        2 => Op::Update {
+                            key,
+                            value: tagged_value(t, r),
+                        },
+                        3 => Op::Get { key },
+                        4 => Op::Delete { key },
+                        // u64::MAX as 8 bytes: an inclusive upper bound
+                        // every system (including the fixed-width B+-tree)
+                        // accepts.
+                        _ => Op::Scan {
+                            low: key,
+                            high: vec![0xFF; 8],
+                        },
+                    };
+                    let id = rec.invoke_now(t as u32, op.clone());
+                    let ret = apply_op(&mut w, &op);
+                    // Cheap in-flight tripwire (the checker does the full
+                    // verification after the run).
+                    match &ret {
+                        Ret::Got(Some(v)) => assert_tagged_intact(v, system.label()),
+                        Ret::Scanned(pairs) => {
+                            assert!(pairs.len() <= keys as usize + threads as usize);
+                            for (_, v) in pairs {
+                                assert_tagged_intact(v, system.label());
                             }
                         }
-                        _ => {
-                            // Scans must return well-formed unique keys.
-                            let lo = KeySpace::U64.key(idx);
-                            let hi = [0xFFu8; 9];
-                            let n = w.scan(&lo, &hi);
-                            assert!(n <= keys as usize + threads as usize);
-                        }
+                        _ => {}
                     }
+                    rec.respond_now(id, ret);
                 }
             });
         }
@@ -69,12 +75,16 @@ fn torture(system: System) {
     for idx in 0..keys {
         let key = KeySpace::U64.key(idx);
         if let Some(v) = w.get(&key) {
-            assert_eq!(v.len(), 24);
-            let tag = v[4];
-            assert!(v[5..].iter().all(|&b| b == tag));
+            assert_tagged_intact(&v, system.label());
             assert!(seen.insert(key));
         }
     }
+
+    // The recorded history must admit a linearization order per key.
+    let history = Arc::try_unwrap(rec).expect("recorder shared").finish();
+    assert!(history.len() >= (threads as usize) * (rounds as usize));
+    let outcome = check_history(&history, &CheckConfig::default());
+    assert!(outcome.is_linearizable(), "{}: {outcome:?}", system.label());
 }
 
 #[test]
@@ -92,62 +102,86 @@ fn art_survives_torture() {
     torture(System::Art);
 }
 
+#[test]
+fn bptree_survives_torture() {
+    torture(System::BpTree);
+}
+
 /// Deletions racing inserts on the same keys: keys must always be either
-/// fully present (readable, intact) or fully absent.
+/// fully present (readable, intact) or fully absent — and the recorded
+/// delete/insert/get history must linearize.
 #[test]
 fn delete_insert_races_leave_no_zombies() {
     let handle = System::Sphinx.build(128 << 20, Some(64 << 10));
+    let rec = Arc::new(HistoryRecorder::new());
     {
         let mut w = handle.worker(0);
         for i in 0..40u64 {
-            w.insert(&KeySpace::U64.key(i), &tagged_value(9, 0));
+            let op = Op::Insert {
+                key: KeySpace::U64.key(i),
+                value: tagged_value(9, 0),
+            };
+            let id = rec.invoke_now(3, op.clone());
+            let ret = apply_op(&mut w, &op);
+            rec.respond_now(id, ret);
         }
     }
     std::thread::scope(|s| {
-        // Deleter
+        // Deleter — through the uniform facade (WorkerClient::remove).
         let h = handle.clone();
+        let rec_d = Arc::clone(&rec);
         s.spawn(move || {
-            let SystemWorker::Sphinx(mut c) = unwrap_sphinx(h.worker(1));
+            let mut w = h.worker(1);
             for r in 0..3 {
                 for i in 0..40u64 {
-                    let _ = c.remove(&KeySpace::U64.key((i + r) % 40)).expect("remove");
+                    let op = Op::Delete {
+                        key: KeySpace::U64.key((i + r) % 40),
+                    };
+                    let id = rec_d.invoke_now(0, op.clone());
+                    let ret = apply_op(&mut w, &op);
+                    rec_d.respond_now(id, ret);
                 }
             }
         });
         // Reinserter
         let h = handle.clone();
+        let rec_i = Arc::clone(&rec);
         s.spawn(move || {
             let mut w = h.worker(2);
             for r in 0..3u32 {
                 for i in 0..40u64 {
-                    w.insert(&KeySpace::U64.key(i), &tagged_value(1, r));
+                    let op = Op::Insert {
+                        key: KeySpace::U64.key(i),
+                        value: tagged_value(1, r),
+                    };
+                    let id = rec_i.invoke_now(1, op.clone());
+                    let ret = apply_op(&mut w, &op);
+                    rec_i.respond_now(id, ret);
                 }
             }
         });
         // Reader
         let h = handle.clone();
+        let rec_r = Arc::clone(&rec);
         s.spawn(move || {
             let mut w = h.worker(0);
             for _ in 0..300 {
                 for i in (0..40u64).step_by(7) {
-                    if let Some(v) = w.get(&KeySpace::U64.key(i)) {
-                        assert_eq!(v.len(), 24);
-                        assert!(v[5..].iter().all(|&b| b == v[4]), "zombie/torn value");
+                    let op = Op::Get {
+                        key: KeySpace::U64.key(i),
+                    };
+                    let id = rec_r.invoke_now(2, op.clone());
+                    let ret = apply_op(&mut w, &op);
+                    if let Ret::Got(Some(v)) = &ret {
+                        assert_tagged_intact(v, "zombie check");
                     }
+                    rec_r.respond_now(id, ret);
                 }
             }
         });
     });
-}
 
-// Small helper so the deleter can use the sphinx-only `remove`.
-enum SystemWorker {
-    Sphinx(Box<sphinx::SphinxClient>),
-}
-
-fn unwrap_sphinx(w: bench_harness::systems::WorkerClient) -> SystemWorker {
-    match w {
-        bench_harness::systems::WorkerClient::Sphinx(c) => SystemWorker::Sphinx(c),
-        _ => unreachable!("expected a sphinx worker"),
-    }
+    let history = Arc::try_unwrap(rec).expect("recorder shared").finish();
+    let outcome = check_history(&history, &CheckConfig::default());
+    assert!(outcome.is_linearizable(), "{outcome:?}");
 }

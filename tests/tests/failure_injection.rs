@@ -3,32 +3,9 @@
 //! respond as designed.
 
 use art_core::hash::prefix_hash64;
-use art_core::layout::{LeafNode, NodeStatus};
-use dm_sim::{ClusterConfig, DmCluster};
+use art_core::layout::NodeStatus;
+use integration_tests::{find_leaf_ptr, small_cluster as cluster};
 use sphinx::{SphinxConfig, SphinxError, SphinxIndex};
-
-fn cluster() -> DmCluster {
-    DmCluster::new(ClusterConfig {
-        mn_capacity: 64 << 20,
-        ..Default::default()
-    })
-}
-
-/// Find the leaf address for `key` by scanning the MN pools for its
-/// encoded form (test-only trick: values are unique).
-fn find_leaf_ptr(cluster: &DmCluster, key: &[u8], value: &[u8]) -> dm_sim::RemotePtr {
-    let needle = LeafNode::new(key.to_vec(), value.to_vec()).encode();
-    for mn_id in 0..cluster.num_mns() {
-        let mn = cluster.mn(mn_id).unwrap();
-        let cap = mn.capacity();
-        let mut buf = vec![0u8; cap];
-        mn.read_bytes(0, &mut buf).unwrap();
-        if let Some(pos) = buf.windows(needle.len()).position(|w| w == needle) {
-            return dm_sim::RemotePtr::new(mn_id, pos as u64);
-        }
-    }
-    panic!("leaf not found in any pool");
-}
 
 #[test]
 fn torn_leaf_write_is_detected_never_served() {

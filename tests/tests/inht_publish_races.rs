@@ -1,0 +1,60 @@
+//! Regression for the lost INHT publish race: a node-type switch swings
+//! the parent pointer (making the grown node reachable) *before* it
+//! publishes the new hash entry, so a second writer can grow the same
+//! logical node again and lose its own publish CAS — historically leaving
+//! the table naming a retired node while the live node had no entry at
+//! all (`verify()`: "no hash entry for prefix"). The same window exists
+//! between a split linking a brand-new inner node and its first insert
+//! into the table.
+//!
+//! This storm is engineered to maximise that window: every thread inserts
+//! children of the *same* small set of inner nodes, so each node's
+//! Node4 → Node16 → Node48 → Node256 growth chain is contended by all
+//! threads at once. After the storm settles, the full structural audit
+//! must be clean.
+
+use bench_harness::systems::{System, SystemHandle};
+
+#[test]
+fn concurrent_type_switches_keep_inht_consistent() {
+    let handle = System::Sphinx.build(256 << 20, Some(64 << 10));
+    let threads = 4u8;
+    let prefixes = 24u8;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let handle = handle.clone();
+            s.spawn(move || {
+                let mut w = handle.worker((t % 3) as u16);
+                // Interleave prefixes so every node's growth chain stays
+                // contended for the whole run, rather than each prefix
+                // being finished by one thread before the next arrives.
+                for round in 0..64u8 {
+                    for p in 0..prefixes {
+                        // key = shared prefix | child byte | thread tag.
+                        // 64 children per prefix × 4 threads drives each
+                        // prefix node through every type switch while all
+                        // threads race inserts into it.
+                        let key = [b'r', b'a', b'c', b'e', p, round * 4 + (t % 4), t];
+                        w.insert(&key, &[t; 16]);
+                    }
+                }
+            });
+        }
+    });
+    let SystemHandle::Sphinx(index) = &handle else {
+        unreachable!()
+    };
+    let report = index.verify().expect("verify");
+    assert!(report.is_clean(), "violations: {:#?}", report.problems);
+    // Sanity: the storm actually built the contended fan-out.
+    assert!(
+        report.inner_nodes > prefixes as usize,
+        "{}",
+        report.inner_nodes
+    );
+    assert_eq!(
+        report.leaves,
+        threads as usize * prefixes as usize * 64,
+        "lost inserts"
+    );
+}

@@ -1,0 +1,51 @@
+//! Negative control for the whole lincheck pipeline: with leaf checksum
+//! validation switched off, torn leaf reads are *served* instead of
+//! retried, and the checker must catch the resulting wrong values as a
+//! linearizability violation. If this test fails, the checker has gone
+//! blind — passing sweeps elsewhere prove nothing.
+//!
+//! This lives in its own integration-test binary on purpose: the
+//! validation switch ([`node_engine::set_leaf_validation`]) is
+//! process-wide, and sharing a process with tests that assume validated
+//! reads would race it.
+
+use bench_harness::{run_scheduled, shrink_failing_trace, ExploreConfig, ScheduleMode, System};
+use dm_sim::ScheduleConfig;
+use lincheck::CheckConfig;
+
+#[test]
+fn disabled_leaf_validation_is_caught_as_a_violation() {
+    assert!(
+        node_engine::set_leaf_validation(false),
+        "validation expected on by default"
+    );
+
+    // The explorer's CI-scale negative config: small key space so torn
+    // reads land on hot keys, full adversarial matrix. Pinned seed — the
+    // run is deterministic, so this is a stable reproduction, not a roll
+    // of the dice. (Under other seeds/matrices the served torn value can
+    // instead poison a split and panic the worker — also a caught defect,
+    // but this test pins the wrong-value path the checker exists for.)
+    let cfg = ExploreConfig {
+        check: CheckConfig::default(),
+        ..ExploreConfig::smoke(System::Sphinx, 3, 8, 600)
+    };
+    let out = run_scheduled(&cfg, ScheduleMode::Record(ScheduleConfig::adversarial(1)));
+    assert!(
+        !out.outcome.is_linearizable(),
+        "checker failed to catch served torn reads"
+    );
+
+    // The shrinker must hand back a failing prefix no longer than the
+    // original trace, and replaying it must still fail — the reproduction
+    // path a real bug report would take.
+    let (minimal, failing) = shrink_failing_trace(&cfg, &out.trace);
+    assert!(minimal.len() <= out.trace.len());
+    assert!(!failing.outcome.is_linearizable());
+
+    // With validation restored, the same schedule seed is clean: the
+    // violation was the protocol's fault, not the checker crying wolf.
+    node_engine::set_leaf_validation(true);
+    let clean = run_scheduled(&cfg, ScheduleMode::Record(ScheduleConfig::adversarial(1)));
+    assert!(clean.outcome.is_linearizable(), "{:?}", clean.outcome);
+}

@@ -1,0 +1,123 @@
+//! Concurrent `multi_get` / `scan` against live writers: every value a
+//! batched read or a scan returns must be individually linearizable —
+//! i.e. attributable to some write whose lifetime overlaps the read's
+//! interval consistently with all other operations on that key.
+//!
+//! The checker decomposes a `multi_get` into one read event per key and a
+//! scan into one read event per *returned* pair, all sharing the parent's
+//! interval — exactly the "individually linearizable" contract (the
+//! deliberately weaker-than-snapshot semantics the index provides).
+
+use std::sync::Arc;
+
+use bench_harness::{apply_op, systems::System};
+use integration_tests::tagged_value;
+use lincheck::{check_history, CheckConfig, HistoryRecorder, Op};
+use ycsb::KeySpace;
+
+fn readers_vs_writers(system: System) {
+    let handle = system.build(128 << 20, Some(64 << 10));
+    let keys = 24u64;
+    let rec = Arc::new(HistoryRecorder::new());
+
+    // Preload every key so scans have stable ground under the churn.
+    {
+        let mut w = handle.worker(0);
+        for i in 0..keys {
+            let op = Op::Insert {
+                key: KeySpace::U64.key(i),
+                value: tagged_value(7, i as u32),
+            };
+            let id = rec.invoke_now(4, op.clone());
+            let ret = apply_op(&mut w, &op);
+            rec.respond_now(id, ret);
+        }
+    }
+
+    std::thread::scope(|s| {
+        // Two writers churning overlapping slices: inserts, updates and
+        // deletes so readers race every kind of transition.
+        for wt in 0..2u32 {
+            let h = handle.clone();
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                let mut w = h.worker((wt % 3) as u16);
+                for r in 0..240u32 {
+                    let idx = ((wt as u64) * 5 + (r as u64) * 11) % keys;
+                    let key = KeySpace::U64.key(idx);
+                    let op = match r % 4 {
+                        0 | 1 => Op::Insert {
+                            key,
+                            value: tagged_value(wt as u8, r),
+                        },
+                        2 => Op::Update {
+                            key,
+                            value: tagged_value(wt as u8, r),
+                        },
+                        _ => Op::Delete { key },
+                    };
+                    let id = rec.invoke_now(wt, op.clone());
+                    let ret = apply_op(&mut w, &op);
+                    rec.respond_now(id, ret);
+                }
+            });
+        }
+        // Two readers: one batching multi_gets, one scanning ranges.
+        let h = handle.clone();
+        let rec_m = Arc::clone(&rec);
+        s.spawn(move || {
+            let mut w = h.worker(2);
+            for r in 0..160u64 {
+                let op = Op::MultiGet {
+                    keys: (0..4)
+                        .map(|j| KeySpace::U64.key((r * 3 + j) % keys))
+                        .collect(),
+                };
+                let id = rec_m.invoke_now(2, op.clone());
+                let ret = apply_op(&mut w, &op);
+                rec_m.respond_now(id, ret);
+            }
+        });
+        let h = handle.clone();
+        let rec_s = Arc::clone(&rec);
+        s.spawn(move || {
+            let mut w = h.worker(0);
+            for r in 0..120u64 {
+                let a = KeySpace::U64.key(r % keys);
+                let b = KeySpace::U64.key((r * 7 + 3) % keys);
+                let (low, high) = if a <= b { (a, b) } else { (b, a) };
+                let op = if r % 3 == 0 {
+                    Op::ScanN {
+                        low,
+                        limit: 1 + (r as usize % 4),
+                    }
+                } else {
+                    Op::Scan { low, high }
+                };
+                let id = rec_s.invoke_now(3, op.clone());
+                let ret = apply_op(&mut w, &op);
+                rec_s.respond_now(id, ret);
+            }
+        });
+    });
+
+    let history = Arc::try_unwrap(rec).expect("recorder shared").finish();
+    assert!(history.len() > 500);
+    let outcome = check_history(&history, &CheckConfig::default());
+    assert!(outcome.is_linearizable(), "{}: {outcome:?}", system.label());
+}
+
+#[test]
+fn sphinx_multiget_scan_values_individually_linearizable() {
+    readers_vs_writers(System::Sphinx);
+}
+
+#[test]
+fn art_multiget_scan_values_individually_linearizable() {
+    readers_vs_writers(System::Art);
+}
+
+#[test]
+fn bptree_multiget_scan_values_individually_linearizable() {
+    readers_vs_writers(System::BpTree);
+}

@@ -3,14 +3,8 @@
 //! filter's statistical behaviour at the paper's operating points.
 
 use dm_sim::{ClusterConfig, DmCluster, DoorbellBatch, NetConfig, Verb, VerbResult};
+use integration_tests::mix64 as mix;
 use race_hash::{RaceTable, TableConfig};
-
-fn mix(i: u64) -> u64 {
-    let mut x = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
 
 #[test]
 fn heap_survives_concurrent_mixed_verbs() {
