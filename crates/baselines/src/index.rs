@@ -27,6 +27,10 @@ pub struct BaselineConfig {
     /// plain ART port does not — the cause of its 2.3–3.1× YCSB-E gap in
     /// the paper's Fig. 4.
     pub batched_scan: bool,
+    /// Epoch-based reclamation of unlinked nodes and leaves (shared with
+    /// Sphinx via the `reclaim` crate, so memory comparisons measure the
+    /// index designs, not who leaks more).
+    pub reclaim: reclaim::ReclaimConfig,
 }
 
 impl BaselineConfig {
@@ -38,6 +42,7 @@ impl BaselineConfig {
             cache_bytes: 0,
             leaf_read_hint: 128,
             batched_scan: false,
+            reclaim: reclaim::ReclaimConfig::default(),
         }
     }
 
@@ -49,6 +54,7 @@ impl BaselineConfig {
             cache_bytes,
             leaf_read_hint: 128,
             batched_scan: true,
+            reclaim: reclaim::ReclaimConfig::default(),
         }
     }
 
@@ -66,6 +72,9 @@ pub(crate) struct BaselineMeta {
     pub(crate) root_word: RemotePtr,
     pub(crate) config: BaselineConfig,
     pub(crate) caches: Mutex<HashMap<u16, Arc<Mutex<NodeCache>>>>,
+    /// The index-wide epoch-reclamation domain every worker registers
+    /// with (the MN-resident epoch word and pin-slot array).
+    pub(crate) reclaim_domain: reclaim::ReclaimDomain,
 }
 
 /// A baseline range index (plain ART on DM, or SMART) on a [`DmCluster`].
@@ -90,12 +99,14 @@ impl BaselineIndex {
         boot.write(root_ptr, &root.encode())?;
         let root_word = boot.alloc(0, 8)?;
         boot.write_u64(root_word, Slot::inner(0, kind, root_ptr).encode())?;
+        let reclaim_domain = reclaim::ReclaimDomain::create(&mut boot, 0, config.reclaim)?;
         Ok(BaselineIndex {
             cluster: cluster.clone(),
             meta: Arc::new(BaselineMeta {
                 root_word,
                 config,
                 caches: Mutex::new(HashMap::new()),
+                reclaim_domain,
             }),
         })
     }
@@ -112,7 +123,7 @@ impl BaselineIndex {
     ///
     /// Panics if `cn_id` is out of range for the cluster.
     pub fn client(&self, cn_id: u16) -> Result<BaselineClient, BaselineError> {
-        let dm = self.cluster.client(cn_id);
+        let mut dm = self.cluster.client(cn_id);
         let cache = if self.meta.config.cache_bytes > 0 {
             let mut caches = self.meta.caches.lock();
             Some(
@@ -126,6 +137,7 @@ impl BaselineIndex {
         } else {
             None
         };
+        let reclaim = self.meta.reclaim_domain.register(&mut dm)?;
         Ok(BaselineClient {
             dm,
             meta: self.meta.clone(),
@@ -134,6 +146,7 @@ impl BaselineIndex {
             stats: BaselineStats::default(),
             retry: RetryPolicy::default(),
             obs: obs::Recorder::new(),
+            reclaim,
         })
     }
 
@@ -185,6 +198,8 @@ pub struct BaselineClient {
     pub(crate) retry: RetryPolicy,
     /// Per-worker telemetry recorder (spans + phase attribution).
     pub(crate) obs: obs::Recorder,
+    /// This worker's epoch-reclamation handle (pin slot + limbo list).
+    pub(crate) reclaim: reclaim::ReclaimHandle,
 }
 
 impl BaselineClient {
@@ -199,11 +214,56 @@ impl BaselineClient {
         let mut reg = self.obs.registry();
         reg.add("baseline.retries", self.stats.retries);
         reg.add("baseline.checksum_retries", self.stats.checksum_retries);
+        let rs = self.reclaim.stats();
+        reg.add("reclaim.retired_count", rs.retired_count);
+        reg.add("reclaim.retired_bytes", rs.retired_bytes);
+        reg.add("reclaim.freed_count", rs.freed_count);
+        reg.add("reclaim.freed_bytes", rs.freed_bytes);
+        reg.add("reclaim.limbo_depth", self.reclaim.limbo_len() as u64);
+        reg.add("reclaim.limbo_bytes", self.reclaim.limbo_bytes());
+        reg.add("reclaim.scans", rs.scans);
+        reg.add("reclaim.epoch_advances", rs.epoch_advances);
+        reg.add("reclaim.errors", rs.errors);
+        reg.add("reclaim.epoch_lag_le_1", rs.lag_le_1);
+        reg.add("reclaim.epoch_lag_le_2", rs.lag_le_2);
+        reg.add("reclaim.epoch_lag_le_4", rs.lag_le_4);
+        reg.add("reclaim.epoch_lag_gt_4", rs.lag_gt_4);
         reg
+    }
+
+    /// Reclamation statistics of this worker's epoch handle.
+    pub fn reclaim_stats(&self) -> reclaim::ReclaimStats {
+        self.reclaim.stats()
+    }
+
+    /// Entries waiting in this worker's limbo list.
+    pub fn reclaim_limbo_len(&self) -> usize {
+        self.reclaim.limbo_len()
+    }
+
+    /// Forces one epoch scan (advance + free whatever is past grace).
+    pub fn reclaim_scan(&mut self) {
+        let BaselineClient { dm, reclaim, .. } = self;
+        reclaim.scan(dm);
+    }
+
+    /// Scans until this worker's limbo list is empty or `max_rounds`
+    /// scans have run; returns whether the list drained.
+    pub fn reclaim_quiesce(&mut self, max_rounds: usize) -> bool {
+        let BaselineClient { dm, reclaim, .. } = self;
+        reclaim.quiesce(dm, max_rounds)
+    }
+
+    /// Removes this worker from epoch gating (call before dropping an
+    /// idle client so it cannot stall everyone else's reclamation).
+    pub fn reclaim_deregister(&mut self) {
+        let BaselineClient { dm, reclaim, .. } = self;
+        reclaim.deregister(dm);
     }
 
     #[inline]
     pub(crate) fn obs_begin(&mut self, kind: obs::OpKind) {
+        self.reclaim.pin();
         self.obs.begin(kind, self.dm.stats(), self.dm.clock_ns());
     }
 
@@ -215,6 +275,20 @@ impl BaselineClient {
     #[inline]
     pub(crate) fn obs_end(&mut self) {
         self.obs.end(self.dm.stats(), self.dm.clock_ns());
+    }
+
+    /// Operation epilogue: unpin from the epoch (running the amortized
+    /// reclamation scan when due, attributed to the maintenance phase)
+    /// and close the telemetry span.
+    pub(crate) fn op_exit(&mut self) {
+        if self.reclaim.scan_due() {
+            self.obs_phase(obs::Phase::Maintenance);
+        }
+        {
+            let BaselineClient { dm, reclaim, .. } = self;
+            reclaim.unpin(dm);
+        }
+        self.obs_end();
     }
 
     /// Network-level statistics.

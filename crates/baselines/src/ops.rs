@@ -5,7 +5,10 @@ use art_core::hash::prefix_hash42;
 use art_core::key::{common_prefix_len, MAX_KEY_LEN};
 use art_core::layout::{InnerNode, LeafNode, NodeStatus, Slot, VALUE_SLOT_OFFSET};
 use dm_sim::{RemotePtr, Transport};
-use node_engine::{cas_locked_write, write_new_inner, write_new_leaf, Install, LeafReadStats};
+use node_engine::{
+    cas_locked_write, retire_inner, retire_leaf, write_new_inner, write_new_leaf, Install,
+    LeafReadStats,
+};
 use obs::{OpKind, Phase};
 
 use crate::error::BaselineError;
@@ -272,7 +275,7 @@ impl BaselineClient {
         self.stats.gets += 1;
         self.obs_begin(OpKind::Get);
         let r = self.get_inner(key);
-        self.obs_end();
+        self.op_exit();
         r
     }
 
@@ -305,7 +308,7 @@ impl BaselineClient {
         self.stats.inserts += 1;
         self.obs_begin(OpKind::Insert);
         let r = self.insert_inner(key, value);
-        self.obs_end();
+        self.op_exit();
         r
     }
 
@@ -370,7 +373,7 @@ impl BaselineClient {
         self.stats.updates += 1;
         self.obs_begin(OpKind::Update);
         let r = self.update_inner(key, value);
-        self.obs_end();
+        self.op_exit();
         r
     }
 
@@ -410,7 +413,7 @@ impl BaselineClient {
         self.stats.deletes += 1;
         self.obs_begin(OpKind::Delete);
         let r = self.remove_inner(key);
-        self.obs_end();
+        self.op_exit();
         r
     }
 
@@ -434,7 +437,14 @@ impl BaselineClient {
                         self.backoff();
                         continue;
                     }
-                    let _ = self.install_word(loc.node_ptr, offset, slot.encode(), 0)?;
+                    if self.install_word(loc.node_ptr, offset, slot.encode(), 0)? == Install::Done {
+                        // Our CAS unlinked the tombstoned leaf: its region
+                        // is ours to reclaim once a grace period passes.
+                        let BaselineClient { dm, reclaim, .. } = self;
+                        retire_leaf(dm, reclaim, slot.addr, leaf);
+                    }
+                    // Raced/Ambiguous: whoever replaced (or copied) the
+                    // slot owns the region's retirement now.
                     return Ok(true);
                 }
                 _ if loc.used_cache => {}
@@ -464,7 +474,7 @@ impl BaselineClient {
         self.stats.scans += 1;
         self.obs_begin(OpKind::Scan);
         let r = self.scan_inner(low, high);
-        self.obs_end();
+        self.op_exit();
         r
     }
 
@@ -809,17 +819,32 @@ impl BaselineClient {
         let new_slot = Slot::leaf(slot.key_byte, new_ptr);
         match self.install_word(node_ptr, offset, slot.encode(), new_slot.encode())? {
             Install::Done => {
-                if let Ok(old) = self.read_leaf(slot.addr) {
-                    let (cur, inv) = old.status_cas_words(old.status, NodeStatus::Invalid);
-                    let _ = self.dm.cas(slot.addr, cur, inv)?;
-                }
+                // Tombstone the replaced leaf, then retire it: readers
+                // still holding its address must see `Invalid` (or the
+                // old value) until the grace period expires.
+                let bytes = match self.read_leaf(slot.addr) {
+                    Ok(old) => {
+                        let (cur, inv) = old.status_cas_words(old.status, NodeStatus::Invalid);
+                        let _ = self.dm.cas(slot.addr, cur, inv)?;
+                        old.len_units().max(1) as u64 * 64
+                    }
+                    Err(_) => 64,
+                };
+                let BaselineClient { dm, reclaim, .. } = self;
+                reclaim.retire(dm, slot.addr, bytes);
                 Ok(true)
             }
             Install::Raced => {
                 let _ = self.dm.free(new_ptr);
                 Ok(false)
             }
-            Install::Ambiguous => Ok(false), // possibly live in a copy: leak
+            Install::Ambiguous => {
+                // Possibly live in a mid-switch copy, and the baselines
+                // have no hash table to re-probe ownership through:
+                // abandon the region (counted, bounded leak).
+                self.obs.incr("reclaim.ambiguous_abandoned");
+                Ok(false)
+            }
         }
     }
 
@@ -862,7 +887,10 @@ impl BaselineClient {
                 let _ = self.dm.free(leaf_ptr);
                 Ok(false)
             }
-            Install::Ambiguous => Ok(false),
+            Install::Ambiguous => {
+                self.obs.incr("reclaim.ambiguous_abandoned");
+                Ok(false)
+            }
         }
     }
 
@@ -907,7 +935,10 @@ impl BaselineClient {
                 let _ = self.dm.free(leaf_ptr);
                 Ok(false)
             }
-            Install::Ambiguous => Ok(false),
+            Install::Ambiguous => {
+                self.obs.incr("reclaim.ambiguous_abandoned");
+                Ok(false)
+            }
         }
     }
 
@@ -995,17 +1026,23 @@ impl BaselineClient {
                 return Ok(false);
             }
             Install::Ambiguous => {
-                // The grown node may be linked through a copy: unlock the
-                // original, leak, and let the retry converge on whichever
-                // structure won.
+                // The grown node may be linked through a copy, and the
+                // baselines have no hash table to re-probe ownership
+                // through: unlock the original, abandon the grown node
+                // and leaf (counted, bounded leak), and let the retry
+                // converge on whichever structure won.
                 self.dm.write_u64(loc.node_ptr, unlock)?;
+                self.obs.incr("reclaim.ambiguous_abandoned");
                 self.root_slot = None;
                 return Ok(false);
             }
         }
-        // Retire the original.
-        let invalid = fresh.header.control_with_status(NodeStatus::Invalid);
-        self.dm.write_u64(loc.node_ptr, invalid)?;
+        // Invalidate and retire the original: concurrent traversals may
+        // still hold its address, so the region waits out a grace period.
+        {
+            let BaselineClient { dm, reclaim, .. } = self;
+            retire_inner(dm, reclaim, loc.node_ptr, &fresh)?;
+        }
         self.invalidate_cached(loc.node_ptr);
         if loc.parent_node_ptr.is_none() {
             self.root_slot = None; // our cached root pointer is stale now

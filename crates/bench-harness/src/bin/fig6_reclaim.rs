@@ -1,0 +1,137 @@
+//! Fig. 6 follow-up — MN-side memory under churn, with and without
+//! epoch-based reclamation.
+//!
+//! The original Fig. 6 loads once and measures, which no reclaimer can
+//! change. This experiment adds what the paper's load-only setup hides:
+//! delete/re-insert churn with alternating value sizes (every flip
+//! replaces a leaf out of place). Without reclamation every replaced
+//! leaf, unlinked delete victim, and type-switched node is leaked, so
+//! the footprint ratchets upward with churn; with the `reclaim` crate
+//! wired in, the post-quiescence footprint returns to the loaded
+//! working set.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin fig6_reclaim -- [--keys 20000] [--rounds 3]
+//! ```
+
+use baselines::{BaselineConfig, BaselineIndex};
+use bench_harness::report::{arg_u64, Table};
+use bench_harness::runner::load_phase;
+use bench_harness::systems::SystemHandle;
+use dm_sim::{ClusterConfig, DmCluster};
+use sphinx::{SphinxConfig, SphinxIndex};
+use ycsb::{value_for, KeySpace};
+
+fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+fn build(system: &str, reclaim_on: bool) -> SystemHandle {
+    let cluster = DmCluster::new(ClusterConfig {
+        num_mns: 3,
+        num_cns: 3,
+        mn_capacity: 2 << 30,
+        ..Default::default()
+    });
+    let reclaim = reclaim::ReclaimConfig {
+        enabled: reclaim_on,
+        ..reclaim::ReclaimConfig::default()
+    };
+    match system {
+        "Sphinx" => {
+            let config = SphinxConfig {
+                reclaim,
+                ..SphinxConfig::default()
+            };
+            SystemHandle::Sphinx(SphinxIndex::create(&cluster, config).expect("create sphinx"))
+        }
+        "ART" => {
+            let config = BaselineConfig {
+                reclaim,
+                ..BaselineConfig::art()
+            };
+            SystemHandle::Baseline(BaselineIndex::create(&cluster, config).expect("create art"))
+        }
+        other => unreachable!("unknown system {other}"),
+    }
+}
+
+/// Delete/re-insert churn over the whole key set, alternating between
+/// the loaded 64-byte values and oversized 150-byte ones so every flip
+/// goes out of place. Two workers, so frees are genuinely epoch-gated.
+fn churn(handle: &SystemHandle, keyspace: KeySpace, keys: u64, rounds: u64) {
+    let mut workers = [handle.worker(0), handle.worker(1)];
+    for round in 0..rounds {
+        let grow = round % 2 == 0;
+        for i in 0..keys {
+            let key = keyspace.key(i);
+            let w = &mut workers[(i % 2) as usize];
+            w.remove(&key);
+            if grow {
+                w.insert(&key, &[0xCD; 150]);
+            } else {
+                w.insert(&key, &value_for(i, round as u32));
+            }
+        }
+    }
+    // Back to the loaded value size, then quiesce: round-robin scans so
+    // every worker's slot advances, then drain both limbo lists.
+    for i in 0..keys {
+        let key = keyspace.key(i);
+        let w = &mut workers[(i % 2) as usize];
+        w.remove(&key);
+        w.insert(&key, &value_for(i, 0));
+    }
+    for _ in 0..8 {
+        for w in workers.iter_mut() {
+            w.reclaim_scan();
+        }
+    }
+    for w in workers.iter_mut() {
+        w.reclaim_quiesce(16);
+        w.reclaim_deregister();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let keys = arg_u64(&args, "--keys", 20_000);
+    let rounds = arg_u64(&args, "--rounds", 3);
+
+    println!(
+        "Fig. 6 (reclaim) — MN memory after {rounds} rounds of delete/re-insert churn over {keys} keys\n"
+    );
+    let mut table = Table::new([
+        "dataset",
+        "system",
+        "reclaim",
+        "load_mib",
+        "churned_mib",
+        "reclaimed_mib",
+        "vs_load",
+    ]);
+
+    for keyspace in [KeySpace::U64, KeySpace::Email] {
+        for system in ["Sphinx", "ART"] {
+            for reclaim_on in [false, true] {
+                let handle = build(system, reclaim_on);
+                load_phase(&handle, keyspace, keys, 8);
+                let loaded = handle.cluster().total_live_bytes();
+                churn(&handle, keyspace, keys, rounds);
+                let after = handle.cluster().total_live_bytes();
+                let reclaimed = handle.index_telemetry().counter("mem.reclaimed_bytes");
+                table.row([
+                    keyspace.name().to_string(),
+                    system.to_string(),
+                    if reclaim_on { "on" } else { "off" }.to_string(),
+                    mib(loaded),
+                    mib(after),
+                    mib(reclaimed),
+                    format!("{:.2}x", after as f64 / loaded as f64),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    table.write_csv("fig6_reclaim");
+}

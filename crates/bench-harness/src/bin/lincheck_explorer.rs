@@ -30,6 +30,11 @@
 //! * `--unsafe-disable-leaf-validation` — switch off leaf checksum
 //!   validation ([`node_engine::set_leaf_validation`]) so torn reads are
 //!   served: the broken protocol behind the CI negative test
+//! * `--unsafe-zero-grace` — free retired regions immediately instead of
+//!   waiting out the reclamation grace period
+//!   ([`reclaim::set_zero_grace`]): readers can be served recycled
+//!   memory, the use-after-free the epoch protocol exists to prevent —
+//!   the second CI negative test
 //! * `--replay FILE` — skip the sweep; replay a dumped trace (one
 //!   `pid:delay:tear` step per line) against `--systems`' first entry with
 //!   the same workload flags, and report the outcome
@@ -255,6 +260,10 @@ fn main() -> ExitCode {
     if arg_flag(&args, "--unsafe-disable-leaf-validation") {
         node_engine::set_leaf_validation(false);
         println!("leaf checksum validation DISABLED (broken-protocol mode)");
+    }
+    if arg_flag(&args, "--unsafe-zero-grace") {
+        reclaim::set_zero_grace(true);
+        println!("reclamation grace period DISABLED (use-after-free mode)");
     }
 
     let base_cfg = |system: System| ExploreConfig {

@@ -246,6 +246,9 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
             loader.insert(&key, &value);
             rec.respond_now(id, Ret::Inserted);
         }
+        // Drop out of epoch gating: the loader never scans again, and a
+        // stale pin slot would block every scheduled worker's frees.
+        loader.reclaim_deregister();
     }
 
     let schedule = match &mode {

@@ -95,6 +95,9 @@ pub fn load_phase(handle: &SystemHandle, keyspace: KeySpace, num_keys: u64, load
                     client.insert(&keyspace.key(i), &value_for(i, 0));
                     i += load_workers as u64;
                 }
+                // Leave epoch gating: a dropped loader's stale pin slot
+                // would block every later worker's reclamation.
+                client.reclaim_deregister();
             });
         }
     });
@@ -180,14 +183,16 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
                 }
                 gate.finish(w);
                 let net = client.net_stats().since(&base_stats);
-                WorkerOutcome {
+                let outcome = WorkerOutcome {
                     clock_ns: client.clock_ns(),
                     ops: cfg.ops_per_worker,
                     hist,
                     round_trips: net.round_trips,
                     bytes: net.bytes_total(),
                     telemetry: client.telemetry(),
-                }
+                };
+                client.reclaim_deregister();
+                outcome
             }));
         }
         joins

@@ -168,6 +168,27 @@ impl SystemHandle {
             SystemHandle::Baseline(_) | SystemHandle::BpTree(_) => obs::Registry::new(),
         };
         reg.add("faults.injected", self.cluster().fault_injections());
+        // MN-pool accounting, summed over memory nodes: total live bytes,
+        // bytes recovered through the epoch reclaimer, and live block
+        // counts per allocation size class (Fig. 6 attribution).
+        let cluster = self.cluster();
+        let mut live_bytes = 0u64;
+        let mut reclaimed = 0u64;
+        let mut by_class: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for mn_id in 0..cluster.num_mns() {
+            let mn = cluster.mn(mn_id).expect("mn in range");
+            let stats = mn.alloc_stats();
+            live_bytes += stats.live_bytes;
+            reclaimed += stats.reclaimed_bytes;
+            for (class, blocks) in mn.live_by_class() {
+                *by_class.entry(class).or_default() += blocks;
+            }
+        }
+        reg.add("mem.live_bytes", live_bytes);
+        reg.add("mem.reclaimed_bytes", reclaimed);
+        for (class, blocks) in by_class {
+            reg.add(&format!("mem.class_{class}.live"), blocks);
+        }
         reg
     }
 
@@ -333,6 +354,38 @@ impl WorkerClient {
                 pairs.truncate(limit);
                 pairs
             }
+        }
+    }
+
+    /// Forces one epoch-reclamation scan on this worker (advance the
+    /// cluster epoch, free limbo entries past grace). No-op for the
+    /// B+-tree, which never unlinks nodes.
+    pub fn reclaim_scan(&mut self) {
+        match self {
+            WorkerClient::Sphinx(c) => c.reclaim_scan(),
+            WorkerClient::Baseline(c) => c.reclaim_scan(),
+            WorkerClient::BpTree(_) => {}
+        }
+    }
+
+    /// Scans until this worker's limbo list drains (or `max_rounds` scans
+    /// pass); returns whether it drained. Quiescing a multi-worker run
+    /// needs round-robin calls across the workers, since each one's frees
+    /// are gated on the *others* having refreshed their epoch slots.
+    pub fn reclaim_quiesce(&mut self, max_rounds: usize) -> bool {
+        match self {
+            WorkerClient::Sphinx(c) => c.reclaim_quiesce(max_rounds),
+            WorkerClient::Baseline(c) => c.reclaim_quiesce(max_rounds),
+            WorkerClient::BpTree(_) => true,
+        }
+    }
+
+    /// Removes this worker from epoch gating (before dropping it idle).
+    pub fn reclaim_deregister(&mut self) {
+        match self {
+            WorkerClient::Sphinx(c) => c.reclaim_deregister(),
+            WorkerClient::Baseline(c) => c.reclaim_deregister(),
+            WorkerClient::BpTree(_) => {}
         }
     }
 

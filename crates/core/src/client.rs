@@ -17,6 +17,67 @@ use crate::config::{CacheMode, SphinxConfig};
 use crate::error::SphinxError;
 use crate::stats::OpStats;
 
+/// An install whose CAS landed while the target node was mid-type-switch
+/// ([`node_engine::Install::Ambiguous`]): the installed word may or may
+/// not survive in the type-switched copy, so the regions it references can
+/// be neither used nor freed until a **deferred ownership re-probe** — a
+/// fresh lookup at a later operation boundary — decides whether the tree
+/// adopted the word.
+#[derive(Debug)]
+pub(crate) struct AmbiguousProbe {
+    /// The key whose lookup path decides adoption.
+    pub key: Vec<u8>,
+    /// Failed resolution attempts so far (abandoned past a bound).
+    pub attempts: u32,
+    /// Which install produced the ambiguity.
+    pub kind: ProbeKind,
+}
+
+/// The site-specific shape of an ambiguous install (see the resolution
+/// rules in `SphinxClient::apply_probe_evidence`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ProbeKind {
+    /// Out-of-place update: `fresh` may have replaced the slot word
+    /// pointing at `old`.
+    SwapLeaf {
+        /// The leaf the replaced slot pointed at.
+        old: RemotePtr,
+        /// The replacement leaf.
+        fresh: RemotePtr,
+        /// `fresh`'s encoded size, for retirement accounting.
+        fresh_bytes: u64,
+    },
+    /// Leaf/path split: a new Node4 at `node` (holding a fresh leaf at
+    /// `leaf` plus the re-hung old occupant) may have replaced the slot
+    /// word pointing at `old`. Adoption keeps everything live.
+    NewInner {
+        /// The new inner node.
+        node: RemotePtr,
+        /// `node`'s encoded size.
+        node_bytes: u64,
+        /// The fresh leaf linked inside it.
+        leaf: RemotePtr,
+        /// `leaf`'s encoded size.
+        leaf_bytes: u64,
+        /// What the replaced slot pointed at (leaf or inner child).
+        old: RemotePtr,
+    },
+    /// Type switch whose parent-slot swing was ambiguous: `grown` (holding
+    /// `leaf`) may have replaced `original` in the parent.
+    TypeSwitch {
+        /// The grown replacement node.
+        grown: RemotePtr,
+        /// The fresh leaf folded into the grown node.
+        leaf: RemotePtr,
+        /// The node that was being switched (left unlocked and live).
+        original: RemotePtr,
+        /// `original`'s kind, for the retirement re-read.
+        orig_kind: art_core::NodeKind,
+        /// `original`'s full-prefix length, for the INHT heal.
+        plen: usize,
+    },
+}
+
 /// Where a located leaf hangs off its parent inner node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum SlotRef {
@@ -96,6 +157,11 @@ pub struct SphinxClient {
     pub(crate) config: SphinxConfig,
     pub(crate) stats: OpStats,
     pub(crate) obs: Recorder,
+    /// Epoch-based reclamation handle (limbo list + slot in the index's
+    /// shared [`reclaim::ReclaimDomain`]).
+    pub(crate) reclaim: reclaim::ReclaimHandle,
+    /// Ambiguous installs awaiting their deferred ownership re-probe.
+    pub(crate) ambiguous: Vec<AmbiguousProbe>,
     // The shared bounded-retry budget (see node_engine::RetryPolicy for
     // the rationale behind the defaults). Generous op_retries: retries
     // wait out concurrent structural changes (type switches, splits), and
@@ -110,6 +176,7 @@ impl SphinxClient {
         tables: Vec<RaceTable>,
         filter: Arc<Mutex<CuckooFilter>>,
         config: SphinxConfig,
+        reclaim: reclaim::ReclaimHandle,
     ) -> Self {
         SphinxClient {
             dm,
@@ -118,6 +185,8 @@ impl SphinxClient {
             config,
             stats: OpStats::default(),
             obs: Recorder::new(),
+            reclaim,
+            ambiguous: Vec::new(),
             retry: RetryPolicy::default(),
         }
     }
@@ -177,6 +246,20 @@ impl SphinxClient {
         reg.add("sphinx.filter_first_hits", s.filter_first_hits);
         reg.add("sphinx.entry_misses", s.entry_misses);
         reg.add("sphinx.filter_refreshes", s.filter_refreshes);
+        let r = self.reclaim.stats();
+        reg.add("reclaim.retired_count", r.retired_count);
+        reg.add("reclaim.retired_bytes", r.retired_bytes);
+        reg.add("reclaim.freed_count", r.freed_count);
+        reg.add("reclaim.freed_bytes", r.freed_bytes);
+        reg.add("reclaim.limbo_depth", self.reclaim.limbo_len() as u64);
+        reg.add("reclaim.limbo_bytes", self.reclaim.limbo_bytes());
+        reg.add("reclaim.scans", r.scans);
+        reg.add("reclaim.epoch_advances", r.epoch_advances);
+        reg.add("reclaim.errors", r.errors);
+        reg.add("reclaim.epoch_lag_le_1", r.lag_le_1);
+        reg.add("reclaim.epoch_lag_le_2", r.lag_le_2);
+        reg.add("reclaim.epoch_lag_le_4", r.lag_le_4);
+        reg.add("reclaim.epoch_lag_gt_4", r.lag_gt_4);
         for t in &self.tables {
             let c = t.counters();
             reg.add("inht.searches", c.searches);
@@ -189,12 +272,68 @@ impl SphinxClient {
     }
 
     // ------------------------------------------------------------------
+    // Reclamation plumbing.
+    // ------------------------------------------------------------------
+
+    /// This worker's reclamation counters.
+    pub fn reclaim_stats(&self) -> reclaim::ReclaimStats {
+        self.reclaim.stats()
+    }
+
+    /// Entries waiting out their grace period on this worker.
+    pub fn reclaim_limbo_len(&self) -> usize {
+        self.reclaim.limbo_len()
+    }
+
+    /// Runs one reclamation scan (slot refresh + epoch advance + grace
+    /// check), off the operation path.
+    pub fn reclaim_scan(&mut self) {
+        let SphinxClient { dm, reclaim, .. } = self;
+        reclaim.scan(dm);
+    }
+
+    /// Scans until this worker's limbo list drains or `max_rounds` scans
+    /// elapse; returns whether it drained. With other registered workers
+    /// their slots must advance too — quiesce all workers round-robin.
+    pub fn reclaim_quiesce(&mut self, max_rounds: usize) -> bool {
+        let SphinxClient { dm, reclaim, .. } = self;
+        reclaim.quiesce(dm, max_rounds)
+    }
+
+    /// Withdraws this worker from the reclamation domain so its (now
+    /// permanently stale) epoch pin stops gating other workers' frees.
+    pub fn reclaim_deregister(&mut self) {
+        let SphinxClient { dm, reclaim, .. } = self;
+        reclaim.deregister(dm);
+    }
+
+    /// The operation-exit maintenance step: resolve pending ambiguous
+    /// probes, run the amortized reclamation scan when due (both
+    /// attributed to [`Phase::Maintenance`]), and close the telemetry
+    /// span.
+    pub(crate) fn op_exit(&mut self) {
+        if !self.ambiguous.is_empty() {
+            self.obs_phase(Phase::Maintenance);
+            self.probe_ambiguous();
+        }
+        if self.reclaim.scan_due() {
+            self.obs_phase(Phase::Maintenance);
+        }
+        {
+            let SphinxClient { dm, reclaim, .. } = self;
+            reclaim.unpin(dm);
+        }
+        self.obs_end();
+    }
+
+    // ------------------------------------------------------------------
     // Telemetry plumbing. The recorder never touches the clock or the
     // transport counters — it only snapshots them at phase boundaries.
     // ------------------------------------------------------------------
 
     #[inline]
     pub(crate) fn obs_begin(&mut self, kind: OpKind) {
+        self.reclaim.pin();
         self.obs.begin(kind, self.dm.stats(), self.dm.clock_ns());
     }
 
@@ -238,7 +377,7 @@ impl SphinxClient {
         self.stats.gets += 1;
         self.obs_begin(OpKind::Get);
         let r = self.locate(key);
-        self.obs_end();
+        self.op_exit();
         let d = r?;
         Ok(match d.outcome {
             Outcome::Leaf { leaf, .. } => {

@@ -31,6 +31,10 @@ pub struct SphinxConfig {
     pub leaf_read_hint: usize,
     /// Seed for the filter's eviction RNG (determinism).
     pub seed: u64,
+    /// Epoch-based reclamation of unlinked nodes and leaves. Disable
+    /// (`enabled: false`) to reproduce the pre-reclamation leak behaviour
+    /// for memory comparisons.
+    pub reclaim: reclaim::ReclaimConfig,
 }
 
 impl Default for SphinxConfig {
@@ -48,6 +52,7 @@ impl Default for SphinxConfig {
             },
             leaf_read_hint: 128,
             seed: 0x5F13_C5EE,
+            reclaim: reclaim::ReclaimConfig::default(),
         }
     }
 }

@@ -25,6 +25,9 @@ pub(crate) struct SphinxMeta {
     pub(crate) config: SphinxConfig,
     /// One Succinct Filter Cache per compute node, shared by its workers.
     pub(crate) filters: Mutex<HashMap<u16, Arc<Mutex<CuckooFilter>>>>,
+    /// The index-wide epoch-reclamation domain every worker registers
+    /// with (the MN-resident epoch word and pin-slot array).
+    pub(crate) reclaim_domain: reclaim::ReclaimDomain,
 }
 
 /// MN-side space usage of the index, split by component — the quantities
@@ -93,12 +96,15 @@ impl SphinxIndex {
         };
         table.insert(&mut boot, h, entry.encode(), |_c, _w| Ok(h))?;
 
+        let reclaim_domain = reclaim::ReclaimDomain::create(&mut boot, 0, config.reclaim)?;
+
         Ok(SphinxIndex {
             cluster: cluster.clone(),
             meta: Arc::new(SphinxMeta {
                 inht_metas,
                 config,
                 filters: Mutex::new(HashMap::new()),
+                reclaim_domain,
             }),
         })
     }
@@ -135,11 +141,13 @@ impl SphinxIndex {
                 })
                 .clone()
         };
+        let reclaim = self.meta.reclaim_domain.register(&mut dm)?;
         Ok(SphinxClient::new(
             dm,
             tables,
             filter,
             self.meta.config.clone(),
+            reclaim,
         ))
     }
 

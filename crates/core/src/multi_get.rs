@@ -200,7 +200,7 @@ impl SphinxClient {
             };
         }
 
-        self.obs_end();
+        self.op_exit();
 
         // Slow path for whatever fell out of the pipeline.
         lanes

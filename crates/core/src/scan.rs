@@ -43,7 +43,7 @@ impl SphinxClient {
         self.stats.scans += 1;
         self.obs_begin(OpKind::Scan);
         let r = self.scan_inner(low, high);
-        self.obs_end();
+        self.op_exit();
         r
     }
 

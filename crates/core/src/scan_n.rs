@@ -60,7 +60,7 @@ impl SphinxClient {
         self.stats.scans += 1;
         self.obs_begin(OpKind::Scan);
         let r = self.scan_n_inner(low, limit);
-        self.obs_end();
+        self.op_exit();
         r
     }
 

@@ -7,13 +7,13 @@ use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot, VALUE_S
 use art_core::NodeKind;
 use dm_sim::{DmClient, RemotePtr, Transport};
 use node_engine::{
-    cas_locked_write, install_word, invalidate_inner, read_inner_consistent, read_validated_leaf,
-    write_new_leaf, Install, LeafReadStats,
+    cas_locked_write, install_word, read_inner_consistent, read_validated_leaf, retire_inner,
+    retire_leaf, write_new_leaf, Install, LeafReadStats,
 };
 use obs::{OpKind, Phase};
 use race_hash::RaceError;
 
-use crate::client::{Outcome, SlotRef, SphinxClient};
+use crate::client::{AmbiguousProbe, Descent, Outcome, ProbeKind, SlotRef, SphinxClient};
 use crate::config::CacheMode;
 use crate::error::SphinxError;
 
@@ -48,13 +48,16 @@ impl SphinxClient {
         self.stats.inserts += 1;
         self.obs_begin(OpKind::Insert);
         let r = self.insert_inner(key, value);
-        self.obs_end();
+        self.op_exit();
         r
     }
 
     fn insert_inner(&mut self, key: &[u8], value: &[u8]) -> Result<(), SphinxError> {
         for _ in 0..self.retry.op_retries {
             let d = self.locate(key)?;
+            // An ambiguous install from a previous iteration usually
+            // settles on this very lookup: apply it as evidence for free.
+            self.resolve_probes_with(key, &d);
             let done = match d.outcome {
                 Outcome::Leaf {
                     slot_ref,
@@ -122,7 +125,7 @@ impl SphinxClient {
         self.stats.updates += 1;
         self.obs_begin(OpKind::Update);
         let r = self.update_inner(key, value);
-        self.obs_end();
+        self.op_exit();
         r
     }
 
@@ -160,7 +163,7 @@ impl SphinxClient {
         self.stats.deletes += 1;
         self.obs_begin(OpKind::Delete);
         let r = self.remove_inner(key);
-        self.obs_end();
+        self.op_exit();
         r
     }
 
@@ -195,8 +198,14 @@ impl SphinxClient {
                         SlotRef::Value => VALUE_SLOT_OFFSET,
                     };
                     if install_word(&mut self.dm, d.node_ptr, offset, slot.encode(), 0)?
-                        != Install::Done
+                        == Install::Done
                     {
+                        // 3. This client won the unlink: the tombstoned
+                        //    leaf enters the limbo list and is freed once
+                        //    its grace period elapses.
+                        let SphinxClient { dm, reclaim, .. } = self;
+                        retire_leaf(dm, reclaim, slot.addr, leaf);
+                    } else {
                         self.unlink_invalid_leaf(key)?;
                     }
                     return Ok(true);
@@ -226,11 +235,17 @@ impl SphinxClient {
                     if install_word(&mut self.dm, d.node_ptr, offset, slot.encode(), 0)?
                         == Install::Done
                     {
+                        // Won the (moved) unlink: retire the tombstoned
+                        // leaf exactly as on the fast path.
+                        let SphinxClient { dm, reclaim, .. } = self;
+                        retire_leaf(dm, reclaim, slot.addr, leaf);
                         return Ok(());
                     }
                     self.dm.backoff(&self.retry);
                 }
-                _ => return Ok(()), // slot already gone
+                // Slot already gone: whoever cleared (or replaced) it won
+                // the unlink and owns the region's retirement.
+                _ => return Ok(()),
             }
         }
         Err(SphinxError::RetriesExhausted { op: "unlink" })
@@ -266,6 +281,9 @@ impl SphinxClient {
             node_len,
         )?;
         if prev != 0 {
+            // Clean CAS loss: the fresh leaf was never published anywhere,
+            // so it can bypass the grace period.
+            let _ = self.dm.free(new_slot.addr);
             return Ok(false);
         }
         let mut now = match InnerNode::decode(&bytes) {
@@ -289,9 +307,17 @@ impl SphinxClient {
             .any(|(i, s)| i != idx && s.is_some_and(|s| s.key_byte == byte));
         let _ = &mut now;
         if duplicated {
-            let _ = self
+            let prev = self
                 .dm
                 .cas(node_ptr.checked_add(offset)?, new_slot.encode(), 0)?;
+            if prev == new_slot.encode() {
+                // We unlinked our own briefly-visible leaf; a racing reader
+                // may hold its address, so it takes the grace period. (The
+                // true leaf size is not in scope here — 64 bytes is the
+                // minimum unit and only skews telemetry, not the free.)
+                let SphinxClient { dm, reclaim, .. } = self;
+                reclaim.retire(dm, new_slot.addr, 64);
+            }
             return Ok(false);
         }
         Ok(true)
@@ -338,8 +364,17 @@ impl SphinxClient {
                         .enumerate()
                         .any(|(i, s)| i != idx && s.is_some_and(|s| s.key_byte == byte));
                     if duplicated {
-                        let word = mine.expect("checked above").encode();
-                        let _ = self.dm.cas(node_ptr.checked_add(offset)?, word, 0)?;
+                        let slot = mine.expect("checked above");
+                        let prev = self
+                            .dm
+                            .cas(node_ptr.checked_add(offset)?, slot.encode(), 0)?;
+                        if prev == slot.encode() {
+                            // Same undo as in `install_fresh_child`: we won
+                            // the unlink of our own word, so the leaf takes
+                            // the grace period.
+                            let SphinxClient { dm, reclaim, .. } = self;
+                            reclaim.retire(dm, slot.addr, 64);
+                        }
                         return Ok(false);
                     }
                     return Ok(true);
@@ -430,25 +465,52 @@ impl SphinxClient {
             new_slot.encode(),
         )? {
             Install::Done => {
-                // Best-effort invalidation of the unlinked leaf so laggard
-                // readers holding its address see a tombstone. The region
-                // is intentionally not recycled (safe reclamation needs
-                // epochs, out of scope — see DESIGN.md).
-                let mut probe = LeafReadStats::default();
-                if let Ok(old) =
-                    read_validated_leaf(&mut self.dm, slot.addr, 64, &self.retry, &mut probe)
-                {
-                    let (cur, inv) = old.status_cas_words(old.status, NodeStatus::Invalid);
-                    let _ = self.dm.cas(slot.addr, cur, inv)?;
-                }
+                // Tombstone the unlinked leaf so laggard readers holding
+                // its address see an invalid node, then hand the region to
+                // the epoch reclaimer (docs/RECLAMATION.md): it is freed
+                // once every other client has pinned a later epoch.
+                self.tombstone_and_retire(slot.addr);
                 Ok(true)
             }
             Install::Raced => {
                 let _ = self.dm.free(new_ptr);
                 Ok(false)
             }
-            Install::Ambiguous => Ok(false), // new leaf may be live: leak it
+            Install::Ambiguous => {
+                // The new leaf may live on in a type-switched copy of the
+                // node: defer the ownership decision to a re-probe at an
+                // operation boundary.
+                self.ambiguous.push(AmbiguousProbe {
+                    key: key.to_vec(),
+                    attempts: 0,
+                    kind: ProbeKind::SwapLeaf {
+                        old: slot.addr,
+                        fresh: new_ptr,
+                        fresh_bytes: LeafNode::encoded_size(key.len(), value.len()) as u64,
+                    },
+                });
+                Ok(false)
+            }
         }
+    }
+
+    /// Best-effort tombstone of an unlinked leaf (so laggard readers see
+    /// an invalid node) followed by its retirement into the limbo list.
+    /// Only the client that won the unlinking CAS may call this.
+    fn tombstone_and_retire(&mut self, ptr: RemotePtr) {
+        let mut io = LeafReadStats::default();
+        let bytes = match read_validated_leaf(&mut self.dm, ptr, 64, &self.retry, &mut io) {
+            Ok(old) => {
+                if old.status != NodeStatus::Invalid {
+                    let (cur, inv) = old.status_cas_words(old.status, NodeStatus::Invalid);
+                    let _ = self.dm.cas(ptr, cur, inv);
+                }
+                old.len_units().max(1) as u64 * 64
+            }
+            Err(_) => 64,
+        };
+        let SphinxClient { dm, reclaim, .. } = self;
+        reclaim.retire(dm, ptr, bytes);
     }
 
     /// Case: dispatch slot holds a leaf with a *different* key — create a
@@ -517,7 +579,22 @@ impl SphinxClient {
                 let _ = self.dm.free(leaf_ptr);
                 Ok(false)
             }
-            Install::Ambiguous => Ok(false), // may be live in a copy: leak
+            Install::Ambiguous => {
+                // The new node (and the leaf inside it) may be live in a
+                // type-switched copy: defer ownership to a re-probe.
+                self.ambiguous.push(AmbiguousProbe {
+                    key: key.to_vec(),
+                    attempts: 0,
+                    kind: ProbeKind::NewInner {
+                        node: n_ptr,
+                        node_bytes: InnerNode::byte_size(NodeKind::Node4) as u64,
+                        leaf: leaf_ptr,
+                        leaf_bytes: LeafNode::encoded_size(key.len(), value.len()) as u64,
+                        old: slot.addr,
+                    },
+                });
+                Ok(false)
+            }
         }
     }
 
@@ -582,7 +659,22 @@ impl SphinxClient {
                 let _ = self.dm.free(leaf_ptr);
                 Ok(false)
             }
-            Install::Ambiguous => Ok(false), // may be live in a copy: leak
+            Install::Ambiguous => {
+                // Same as in `split_leaf`: adoption is decided by a
+                // deferred re-probe, not guessed here.
+                self.ambiguous.push(AmbiguousProbe {
+                    key: key.to_vec(),
+                    attempts: 0,
+                    kind: ProbeKind::NewInner {
+                        node: n_ptr,
+                        node_bytes: InnerNode::byte_size(NodeKind::Node4) as u64,
+                        leaf: leaf_ptr,
+                        leaf_bytes: LeafNode::encoded_size(key.len(), value.len()) as u64,
+                        old: slot.addr,
+                    },
+                });
+                Ok(false)
+            }
         }
     }
 
@@ -682,9 +774,21 @@ impl SphinxClient {
                 }
                 Install::Ambiguous => {
                     // The grown node may be linked through a copy we cannot
-                    // see yet: release the lock, leak, and retry — the
-                    // fresh locate converges on whichever structure won.
+                    // see yet: release the lock and retry — the fresh
+                    // locate converges on whichever structure won, and a
+                    // deferred re-probe settles who owns the regions.
                     self.dm.write_u64(node_ptr, unlock)?;
+                    self.ambiguous.push(AmbiguousProbe {
+                        key: key.to_vec(),
+                        attempts: 0,
+                        kind: ProbeKind::TypeSwitch {
+                            grown: grown_ptr,
+                            leaf: leaf_ptr,
+                            original: node_ptr,
+                            orig_kind: fresh.header.kind,
+                            plen,
+                        },
+                    });
                     return Ok(false);
                 }
             }
@@ -709,8 +813,12 @@ impl SphinxClient {
         let replaced = tables[mn].replace(dm, h, old_entry.encode(), new_entry.encode())?;
 
         // 6. Retire the original so readers holding stale hash entries or
-        //    pointers retry (§III-C).
-        invalidate_inner(&mut self.dm, node_ptr, &fresh)?;
+        //    pointers retry (§III-C); its region enters the limbo list and
+        //    is reused only after the epoch grace period.
+        {
+            let SphinxClient { dm, reclaim, .. } = self;
+            retire_inner(dm, reclaim, node_ptr, &fresh)?;
+        }
         if !replaced {
             // Lost publish race: another writer grew this same logical node
             // between our parent swing (step 4) and this CAS, so the entry
@@ -1012,4 +1120,251 @@ impl SphinxClient {
         }
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Deferred ownership re-probes for ambiguous installs.
+    //
+    // An `Install::Ambiguous` word may or may not survive in the
+    // type-switched copy of its node, so the regions it references can be
+    // neither used nor freed at the install site. Each ambiguous install
+    // records an `AmbiguousProbe`; a later lookup of the same key decides
+    // ownership from what the tree actually serves:
+    //
+    // * our region answers the key        → the tree adopted the word; the
+    //                                        region it *replaced* is ours
+    //                                        to retire;
+    // * the replaced word is still linked → the CAS provably never landed
+    //                                        (an unlinked word can never
+    //                                        be re-linked), so our region
+    //                                        was never visible;
+    // * anything else                     → a third party has since won a
+    //                                        CAS over whichever word
+    //                                        survived, and ownership moved
+    //                                        with it: abandon the entry
+    //                                        (counted, bounded leak)
+    //                                        rather than risk a double
+    //                                        free.
+    // ------------------------------------------------------------------
+
+    /// Resolves up to two pending probes with a fresh lookup each. Runs at
+    /// operation exits, attributed to the maintenance phase; never fails
+    /// the caller's operation.
+    pub(crate) fn probe_ambiguous(&mut self) {
+        const MAX_PROBES_PER_OP: usize = 2;
+        for _ in 0..MAX_PROBES_PER_OP {
+            let Some(probe) = self.ambiguous.pop() else {
+                return;
+            };
+            let verdict = match self.locate(&probe.key) {
+                Ok(d) => Self::probe_evidence(&probe, &d),
+                Err(_) => ProbeVerdict::Unknown,
+            };
+            if !self.settle_probe(probe, verdict) {
+                // Re-queued: stop so one stuck entry is not probed twice
+                // in the same operation.
+                return;
+            }
+        }
+    }
+
+    /// Applies a descent for `key` as evidence to any pending probe for
+    /// the same key — the common resolution path, since the insert retry
+    /// following an ambiguous install looks the key up anyway.
+    pub(crate) fn resolve_probes_with(&mut self, key: &[u8], d: &Descent) {
+        if self.ambiguous.is_empty() {
+            return;
+        }
+        let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.ambiguous)
+            .into_iter()
+            .partition(|p| p.key == key);
+        self.ambiguous = rest;
+        for probe in mine {
+            let verdict = Self::probe_evidence(&probe, d);
+            self.settle_probe(probe, verdict);
+        }
+    }
+
+    /// What a fresh descent for the probe's key says about adoption.
+    fn probe_evidence(probe: &AmbiguousProbe, d: &Descent) -> ProbeVerdict {
+        match probe.kind {
+            ProbeKind::SwapLeaf { old, fresh, .. } => match &d.outcome {
+                Outcome::Leaf { slot, leaf, .. } if slot.addr == fresh && leaf.key == probe.key => {
+                    ProbeVerdict::Adopted
+                }
+                Outcome::Leaf { slot, .. } if slot.addr == old => ProbeVerdict::NotAdopted,
+                _ => ProbeVerdict::ThirdParty,
+            },
+            ProbeKind::NewInner {
+                node, leaf, old, ..
+            } => {
+                if d.node_ptr == node {
+                    return ProbeVerdict::Adopted;
+                }
+                match &d.outcome {
+                    Outcome::Leaf { slot, leaf: l, .. }
+                        if slot.addr == leaf && l.key == probe.key =>
+                    {
+                        ProbeVerdict::Adopted
+                    }
+                    Outcome::Leaf { slot, .. } if slot.addr == old => ProbeVerdict::NotAdopted,
+                    Outcome::Divergent { slot, .. } if slot.addr == old => ProbeVerdict::NotAdopted,
+                    _ => ProbeVerdict::ThirdParty,
+                }
+            }
+            ProbeKind::TypeSwitch { grown, leaf, .. } => {
+                if d.node_ptr == grown {
+                    return ProbeVerdict::Adopted;
+                }
+                match &d.outcome {
+                    Outcome::Leaf { slot, leaf: l, .. }
+                        if slot.addr == leaf && l.key == probe.key =>
+                    {
+                        ProbeVerdict::Adopted
+                    }
+                    Outcome::Leaf { leaf: l, .. } if l.key == probe.key => {
+                        // Our key is served by some other region entirely.
+                        ProbeVerdict::ThirdParty
+                    }
+                    // A descent that does not reach the grown node is NOT
+                    // proof of non-adoption: a stale hash entry can still
+                    // route it into the unlinked original. Keep probing.
+                    _ => ProbeVerdict::Unknown,
+                }
+            }
+        }
+    }
+
+    /// Acts on a probe verdict. Returns `false` when the probe was
+    /// re-queued for another attempt, `true` when it was consumed.
+    fn settle_probe(&mut self, mut probe: AmbiguousProbe, verdict: ProbeVerdict) -> bool {
+        const MAX_ATTEMPTS: u32 = 8;
+        let settled = match verdict {
+            ProbeVerdict::Adopted => {
+                if self.probe_adopted(&probe) {
+                    self.obs.incr("reclaim.ambiguous_adopted");
+                    true
+                } else {
+                    false
+                }
+            }
+            ProbeVerdict::NotAdopted => {
+                // Our regions were never visible; they still take the
+                // grace period (costs nothing, guards the conclusion).
+                let SphinxClient { dm, reclaim, .. } = self;
+                match probe.kind {
+                    ProbeKind::SwapLeaf {
+                        fresh, fresh_bytes, ..
+                    } => reclaim.retire(dm, fresh, fresh_bytes),
+                    ProbeKind::NewInner {
+                        node,
+                        node_bytes,
+                        leaf,
+                        leaf_bytes,
+                        ..
+                    } => {
+                        reclaim.retire(dm, node, node_bytes);
+                        reclaim.retire(dm, leaf, leaf_bytes);
+                    }
+                    ProbeKind::TypeSwitch { .. } => unreachable!("never concluded for a switch"),
+                }
+                self.obs.incr("reclaim.ambiguous_unpublished");
+                true
+            }
+            ProbeVerdict::ThirdParty => {
+                self.obs.incr("reclaim.ambiguous_abandoned");
+                true
+            }
+            ProbeVerdict::Unknown => false,
+        };
+        if settled {
+            return true;
+        }
+        probe.attempts += 1;
+        if probe.attempts >= MAX_ATTEMPTS {
+            self.obs.incr("reclaim.ambiguous_abandoned");
+            true
+        } else {
+            self.ambiguous.push(probe);
+            false
+        }
+    }
+
+    /// The adopted-verdict action. Returns `false` if it must be retried
+    /// later (e.g. the original node of a type switch is locked).
+    fn probe_adopted(&mut self, probe: &AmbiguousProbe) -> bool {
+        match probe.kind {
+            ProbeKind::SwapLeaf { old, .. } => {
+                // Our CAS replaced the word pointing at `old`: the old
+                // leaf is ours to tombstone and retire, exactly as on the
+                // unambiguous path.
+                self.tombstone_and_retire(old);
+                true
+            }
+            // Adoption re-hung the old occupant inside the new node:
+            // everything is live, nothing to reclaim.
+            ProbeKind::NewInner { .. } => true,
+            ProbeKind::TypeSwitch {
+                original,
+                orig_kind,
+                plen,
+                ..
+            } => {
+                if !self.retire_switched_original(original, orig_kind) {
+                    return false;
+                }
+                // Heal the hash entry still naming the original (the
+                // unambiguous path replaces it in step 5).
+                let key = probe.key.clone();
+                let _ = self.reconcile_inht_entry(&key, plen);
+                true
+            }
+        }
+    }
+
+    /// Invalidates and retires the unlinked original of an
+    /// ambiguous-but-adopted type switch. The invalidation must CAS (not
+    /// store) the control word: nobody holds the node's lock anymore, and
+    /// a racing writer routed in by a stale hash entry may be switching
+    /// it again — whoever wins the control word owns the retirement.
+    fn retire_switched_original(&mut self, original: RemotePtr, orig_kind: NodeKind) -> bool {
+        let Ok(node) = read_inner_consistent(&mut self.dm, original, orig_kind) else {
+            return false;
+        };
+        match node.header.status {
+            // Someone else already invalidated (and thus retired) it.
+            NodeStatus::Invalid => true,
+            NodeStatus::Idle => {
+                let idle = node.header.control_with_status(NodeStatus::Idle);
+                let inv = node.header.control_with_status(NodeStatus::Invalid);
+                match self.dm.cas(original, idle, inv) {
+                    Ok(prev) if prev == idle => {
+                        let SphinxClient { dm, reclaim, .. } = self;
+                        reclaim.retire(dm, original, InnerNode::byte_size(orig_kind) as u64);
+                        true
+                    }
+                    // Lost the control word: its new owner (a racing
+                    // switch) invalidates and retires it on completion.
+                    Ok(_) => true,
+                    Err(_) => false,
+                }
+            }
+            // Locked mid-switch: if the switch completes it retires the
+            // node itself; if it bails the node returns to Idle. Re-probe.
+            _ => false,
+        }
+    }
+}
+
+/// What a deferred re-probe concluded (see the module comment above
+/// [`SphinxClient::probe_ambiguous`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeVerdict {
+    /// The tree serves our region: the install survived the type switch.
+    Adopted,
+    /// The replaced word is still linked: the install never landed.
+    NotAdopted,
+    /// A third party has since taken ownership of whichever word won.
+    ThirdParty,
+    /// The evidence is inconclusive; probe again later.
+    Unknown,
 }

@@ -41,6 +41,17 @@ pub enum Verb {
         /// Addend (wrapping).
         delta: u64,
     },
+    /// Release the allocation at `ptr` through the reclamation path.
+    ///
+    /// Unlike [`DmClient::free`] (the allocation fast path, charged no
+    /// network time), a `Free` verb travels like any other one-sided
+    /// message — the epoch reclaimer doorbell-batches many of them into
+    /// one round trip — and the returned bytes are attributed to
+    /// [`AllocStats::reclaimed_bytes`](crate::AllocStats::reclaimed_bytes).
+    Free {
+        /// Allocation to release.
+        ptr: RemotePtr,
+    },
 }
 
 impl Verb {
@@ -49,7 +60,8 @@ impl Verb {
             Verb::Read { ptr, .. }
             | Verb::Write { ptr, .. }
             | Verb::Cas { ptr, .. }
-            | Verb::Faa { ptr, .. } => ptr.mn_id(),
+            | Verb::Faa { ptr, .. }
+            | Verb::Free { ptr } => ptr.mn_id(),
         }
     }
 
@@ -60,6 +72,7 @@ impl Verb {
             Verb::Write { data, .. } => data.len() as u64,
             Verb::Cas { .. } => 16, // expected+swap out, old value back
             Verb::Faa { .. } => 16,
+            Verb::Free { .. } => 8, // pointer out, ack back
         }
     }
 }
@@ -76,6 +89,8 @@ pub enum VerbResult {
     Cas(u64),
     /// Previous word value returned by an FAA.
     Faa(u64),
+    /// A free completed.
+    Free,
 }
 
 impl VerbResult {
@@ -308,6 +323,7 @@ impl DmClient {
                 Verb::Write { .. } => self.stats.writes += 1,
                 Verb::Cas { .. } => self.stats.cas += 1,
                 Verb::Faa { .. } => self.stats.faa += 1,
+                Verb::Free { .. } => self.stats.frees += 1,
             }
             let mn = verb.mn_id();
             let bytes = verb.wire_bytes();
@@ -393,6 +409,10 @@ impl DmClient {
                     let prev = mn.faa_u64(ptr.offset(), delta)?;
                     self.stats.bytes_written += 8;
                     VerbResult::Faa(prev)
+                }
+                Verb::Free { ptr } => {
+                    mn.free_reclaimed(ptr)?;
+                    VerbResult::Free
                 }
             };
             results.push(res);

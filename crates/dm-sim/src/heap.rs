@@ -66,6 +66,13 @@ impl MemoryNode {
         self.allocator.lock().stats()
     }
 
+    /// Live block counts per size class (class size, block count), sorted
+    /// by class size. Surfaced through telemetry so churn workloads can see
+    /// which classes the reclaimer is (or is not) recycling.
+    pub fn live_by_class(&self) -> Vec<(u64, u64)> {
+        self.allocator.lock().live_by_class()
+    }
+
     fn check_range(&self, offset: u64, len: usize) -> Result<(), DmError> {
         let end = offset
             .checked_add(len as u64)
@@ -238,6 +245,26 @@ impl MemoryNode {
         self.allocator
             .lock()
             .free(ptr.offset())
+            .then_some(())
+            .ok_or(DmError::InvalidFree { ptr: ptr.to_raw() })
+    }
+
+    /// Releases a region through the *reclamation* path: identical to
+    /// [`MemoryNode::free`] but the returned bytes are also attributed to
+    /// [`AllocStats::reclaimed_bytes`]. Used by the batched `Free` verb the
+    /// epoch reclaimer issues.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidFree`] if `ptr` is not a live allocation on
+    /// this node.
+    pub fn free_reclaimed(&self, ptr: RemotePtr) -> Result<(), DmError> {
+        if ptr.mn_id() != self.id || ptr.is_null() {
+            return Err(DmError::InvalidFree { ptr: ptr.to_raw() });
+        }
+        self.allocator
+            .lock()
+            .free_reclaimed(ptr.offset())
             .then_some(())
             .ok_or(DmError::InvalidFree { ptr: ptr.to_raw() })
     }

@@ -129,6 +129,10 @@ pub struct ClientStats {
     pub cas: u64,
     /// FAA verbs issued.
     pub faa: u64,
+    /// FREE verbs issued (batched reclamation frees; the allocation fast
+    /// path's [`DmClient::free`](crate::DmClient::free) is not a verb and
+    /// is not counted here).
+    pub frees: u64,
     /// Payload bytes read from remote memory.
     pub bytes_read: u64,
     /// Payload bytes written to remote memory (CAS/FAA count as 8).
@@ -138,7 +142,7 @@ pub struct ClientStats {
 impl ClientStats {
     /// Total verbs issued across all kinds.
     pub fn verbs(&self) -> u64 {
-        self.reads + self.writes + self.cas + self.faa
+        self.reads + self.writes + self.cas + self.faa + self.frees
     }
 
     /// Total bytes moved in either direction.
@@ -154,6 +158,7 @@ impl ClientStats {
             writes: self.writes - earlier.writes,
             cas: self.cas - earlier.cas,
             faa: self.faa - earlier.faa,
+            frees: self.frees - earlier.frees,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
         }
@@ -231,6 +236,7 @@ mod tests {
             writes: 5,
             cas: 2,
             faa: 1,
+            frees: 2,
             bytes_read: 100,
             bytes_written: 50,
         };
@@ -240,15 +246,16 @@ mod tests {
             writes: 1,
             cas: 1,
             faa: 0,
+            frees: 1,
             bytes_read: 40,
             bytes_written: 20,
         };
         let d = a.since(&b);
         assert_eq!(d.round_trips, 6);
         assert_eq!(d.bytes_total(), 90);
-        assert_eq!((d.reads, d.writes, d.cas, d.faa), (9, 4, 1, 1));
-        assert_eq!(d.verbs(), 15);
-        assert_eq!(a.verbs(), 20);
+        assert_eq!((d.reads, d.writes, d.cas, d.faa, d.frees), (9, 4, 1, 1, 1));
+        assert_eq!(d.verbs(), 16);
+        assert_eq!(a.verbs(), 22);
     }
 
     #[test]

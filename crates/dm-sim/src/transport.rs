@@ -292,6 +292,25 @@ pub trait Transport {
             .collect()
     }
 
+    /// Doorbell-batched frees through the *reclamation* path: pointers on
+    /// one MN share a single round trip, and the released bytes are
+    /// attributed to [`AllocStats::reclaimed_bytes`](crate::AllocStats).
+    /// The epoch reclaimer drains a quiesced limbo batch with one call.
+    ///
+    /// Unlike [`free`](Transport::free) (the allocation fast path, off the
+    /// critical path and charged no network time), these frees travel as
+    /// verbs and pay the network cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::InvalidFree`] on a dead/unknown pointer; frees
+    /// preceding the failed one are retained.
+    fn free_many(&mut self, ptrs: &[RemotePtr]) -> Result<(), DmError> {
+        let batch: DoorbellBatch = ptrs.iter().map(|&ptr| Verb::Free { ptr }).collect();
+        self.execute(batch)?;
+        Ok(())
+    }
+
     /// Contention backoff: charges [`RetryPolicy::backoff_ns`] of virtual
     /// time and yields the OS thread so the conflicting (simulated) peer
     /// can make progress.
@@ -375,6 +394,36 @@ mod tests {
         assert_eq!(prevs, vec![1, 2]);
         assert_eq!(Transport::read_u64(&mut t, a).unwrap(), 11);
         assert_eq!(Transport::read_u64(&mut t, b).unwrap(), 12);
+    }
+
+    #[test]
+    fn free_many_batches_and_attributes_reclaimed_bytes() {
+        let (c, mut t) = client();
+        let a = Transport::alloc(&mut t, 0, 64).unwrap();
+        let b = Transport::alloc(&mut t, 0, 64).unwrap();
+        let live = c.mn(0).unwrap().alloc_stats().live_bytes;
+        let before = Transport::stats(&t).round_trips;
+        t.free_many(&[a, b]).unwrap();
+        assert_eq!(Transport::stats(&t).round_trips - before, 1);
+        assert_eq!(Transport::stats(&t).frees, 2);
+        let stats = c.mn(0).unwrap().alloc_stats();
+        assert_eq!(stats.live_bytes, live - 128);
+        assert_eq!(stats.reclaimed_bytes, 128);
+        // The fast-path free is not attributed to reclamation.
+        let d = Transport::alloc(&mut t, 0, 64).unwrap();
+        Transport::free(&mut t, d).unwrap();
+        assert_eq!(c.mn(0).unwrap().alloc_stats().reclaimed_bytes, 128);
+    }
+
+    #[test]
+    fn free_many_rejects_dead_pointer() {
+        let (_c, mut t) = client();
+        let a = Transport::alloc(&mut t, 0, 64).unwrap();
+        Transport::free(&mut t, a).unwrap();
+        assert!(matches!(
+            t.free_many(&[a]),
+            Err(DmError::InvalidFree { .. })
+        ));
     }
 
     #[test]

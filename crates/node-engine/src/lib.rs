@@ -102,10 +102,13 @@ impl From<LayoutError> for EngineError {
 /// Outcome of a guarded single-word install into an inner node.
 ///
 /// The distinction matters for memory safety: buffers referenced by the
-/// installed word may be freed only on [`Install::Raced`] (the CAS never
-/// landed). After [`Install::Ambiguous`] the word may live on in a
-/// type-switched copy of the node, so freeing would let the allocator
-/// recycle memory the live tree still points at.
+/// installed word may be freed immediately only on [`Install::Raced`] (the
+/// CAS never landed). After [`Install::Done`], a region the installed word
+/// *replaced* must go through [`retire_leaf`]/[`retire_inner`] — lagging
+/// readers can still hold its address until an epoch grace period elapses.
+/// After [`Install::Ambiguous`] the word may live on in a type-switched
+/// copy of the node, so even retiring must wait for a deferred ownership
+/// re-probe (a fresh lookup deciding whether the tree adopted the word).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Install {
     /// The word is installed in a live (Idle) node.
@@ -115,7 +118,7 @@ pub enum Install {
     Raced,
     /// The CAS landed while the node was mid-type-switch: the install may
     /// or may not survive in the replacement. Retry via a fresh lookup and
-    /// do not free.
+    /// do not free; re-probe ownership before retiring.
     Ambiguous,
 }
 
@@ -268,6 +271,41 @@ pub fn invalidate_inner<T: Transport>(
     Ok(())
 }
 
+/// Hands an unlinked leaf to the epoch reclaimer: the region enters the
+/// client's limbo list sized by the leaf's true length and is freed once
+/// the grace period elapses. The caller must have won the unlink (the CAS
+/// that removed or replaced the leaf's slot, or the tombstone CAS) —
+/// never call `Transport::free` directly on a leaf other clients could
+/// still reach.
+pub fn retire_leaf<T: Transport>(
+    t: &mut T,
+    reclaim: &mut reclaim::ReclaimHandle,
+    ptr: RemotePtr,
+    leaf: &LeafNode,
+) {
+    reclaim.retire(t, ptr, leaf.len_units().max(1) as u64 * 64);
+}
+
+/// The retire companion to [`invalidate_inner`]: marks the replaced inner
+/// node `Invalid` (so racing installs report [`Install::Ambiguous`]) and
+/// hands its region to the epoch reclaimer. The caller holds the node
+/// lock, exactly as for [`invalidate_inner`].
+///
+/// # Errors
+///
+/// [`EngineError::Dm`] if the invalidating store fails (the region is
+/// then *not* retired — readers may still be routed into it).
+pub fn retire_inner<T: Transport>(
+    t: &mut T,
+    reclaim: &mut reclaim::ReclaimHandle,
+    ptr: RemotePtr,
+    node: &InnerNode,
+) -> Result<(), EngineError> {
+    invalidate_inner(t, ptr, node)?;
+    reclaim.retire(t, ptr, InnerNode::byte_size(node.header.kind) as u64);
+    Ok(())
+}
+
 /// CASes one word of an inner node and — in the same doorbell batch —
 /// re-reads the node's control word to detect a concurrent type switch
 /// (the guarded install of §IV; one round trip).
@@ -407,6 +445,41 @@ mod tests {
             install_word(&mut cl, ptr, SLOTS_OFFSET, 0x1234, 0x9abc).unwrap(),
             Install::Ambiguous
         );
+    }
+
+    #[test]
+    fn retire_helpers_feed_the_reclaimer() {
+        let (c, mut cl) = client();
+        let domain =
+            reclaim::ReclaimDomain::create(&mut cl, 0, reclaim::ReclaimConfig::default()).unwrap();
+        let mut handle = domain.register(&mut cl).unwrap();
+        let policy = RetryPolicy::default();
+
+        let leaf_ptr = write_new_leaf(&mut cl, b"key", b"value").unwrap();
+        let mut io = LeafReadStats::default();
+        let leaf = read_validated_leaf(&mut cl, leaf_ptr, 128, &policy, &mut io).unwrap();
+        retire_leaf(&mut cl, &mut handle, leaf_ptr, &leaf);
+        assert_eq!(handle.limbo_len(), 1);
+        assert_eq!(handle.stats().retired_bytes, 64);
+
+        let node = InnerNode::new(NodeKind::Node4, b"p");
+        let inner_ptr = write_new_inner(&mut cl, &node, b"p").unwrap();
+        retire_inner(&mut cl, &mut handle, inner_ptr, &node).unwrap();
+        assert_eq!(handle.limbo_len(), 2);
+        let back = read_inner_consistent(&mut cl, inner_ptr, NodeKind::Node4).unwrap();
+        assert_eq!(back.header.status, NodeStatus::Invalid);
+
+        // Sole registered client: one scan drains both regions.
+        let live = c.mn(0).unwrap().alloc_stats().live_bytes
+            + c.mn(1).unwrap().alloc_stats().live_bytes
+            + c.mn(2).unwrap().alloc_stats().live_bytes;
+        handle.scan(&mut cl);
+        assert_eq!(handle.limbo_len(), 0);
+        let after: u64 = (0..3)
+            .map(|i| c.mn(i).unwrap().alloc_stats().live_bytes)
+            .sum();
+        assert!(after < live, "scan must return bytes to the pools");
+        assert_eq!(handle.stats().errors, 0);
     }
 
     #[test]

@@ -200,6 +200,7 @@ mod tests {
             writes: 1,
             cas: 1,
             faa: 0,
+            frees: 0,
             bytes_read: 128,
             bytes_written: 64,
         };

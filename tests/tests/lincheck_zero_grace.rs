@@ -1,0 +1,55 @@
+//! Negative control for epoch-based reclamation: with the grace period
+//! switched off, retired regions are freed the moment they are unlinked,
+//! so a delayed reader holding the old address can be served recycled
+//! memory that decodes as a perfectly valid — but wrong — leaf. The
+//! linearizability checker must catch that as a violation; if this test
+//! fails, clean reclamation sweeps elsewhere prove nothing.
+//!
+//! This lives in its own integration-test binary on purpose: the
+//! zero-grace switch ([`reclaim::set_zero_grace`]) is process-wide, and
+//! sharing a process with tests that assume grace-period protection
+//! would race it.
+
+use bench_harness::{run_scheduled, shrink_failing_trace, ExploreConfig, ScheduleMode, System};
+use dm_sim::ScheduleConfig;
+use lincheck::CheckConfig;
+
+#[test]
+fn zero_grace_reclamation_is_caught_as_a_violation() {
+    assert!(
+        !reclaim::zero_grace(),
+        "grace period expected on by default"
+    );
+    reclaim::set_zero_grace(true);
+
+    // The explorer's CI-scale negative config: a hot 8-key space so
+    // freed leaf regions are re-allocated quickly, full adversarial
+    // matrix. Pinned seed — the run is deterministic, so this is a
+    // stable reproduction, not a roll of the dice. (Under other seeds
+    // the recycled region instead poisons a traversal and panics the
+    // worker — also a caught defect, but this test pins the wrong-value
+    // path the checker exists for.)
+    let cfg = ExploreConfig {
+        check: CheckConfig::default(),
+        ..ExploreConfig::smoke(System::Sphinx, 3, 8, 600)
+    };
+    let out = run_scheduled(&cfg, ScheduleMode::Record(ScheduleConfig::adversarial(28)));
+    assert!(
+        !out.outcome.is_linearizable(),
+        "checker failed to catch use-after-free serving"
+    );
+
+    // The shrinker must hand back a failing prefix no longer than the
+    // original trace, and replaying it must still fail — the
+    // reproduction path a real bug report would take.
+    let (minimal, failing) = shrink_failing_trace(&cfg, &out.trace);
+    assert!(minimal.len() <= out.trace.len());
+    assert!(!failing.outcome.is_linearizable());
+
+    // With the grace period restored, the same schedule seed is clean:
+    // the violation was the missing grace period's fault, not the
+    // checker crying wolf.
+    reclaim::set_zero_grace(false);
+    let clean = run_scheduled(&cfg, ScheduleMode::Record(ScheduleConfig::adversarial(28)));
+    assert!(clean.outcome.is_linearizable(), "{:?}", clean.outcome);
+}

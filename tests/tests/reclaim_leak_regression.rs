@@ -1,0 +1,142 @@
+//! Leak regression for epoch-based reclamation: a delete/re-insert plus
+//! grow-heavy churn workload must not ratchet MN memory upward. Before
+//! the `reclaim` crate, every out-of-place update, delete unlink, and
+//! type switch leaked its dead region, so exactly this workload grew
+//! without bound; with reclamation wired through, post-quiescence
+//! `live_bytes` must return to within a small factor of the post-preload
+//! baseline.
+
+use bench_harness::systems::{System, SystemHandle, WorkerClient};
+use ycsb::KeySpace;
+
+const KEYS: u64 = 384;
+const TEMP_KEYS: u64 = 128;
+const ROUNDS: usize = 5;
+
+/// Round-robin scans across all workers, then drain each one's limbo
+/// list. A single worker cannot quiesce alone: its frees are gated on
+/// every *other* worker having refreshed its epoch slot, which only
+/// happens when that worker scans.
+fn quiesce_all(workers: &mut [WorkerClient]) {
+    for _ in 0..8 {
+        for w in workers.iter_mut() {
+            w.reclaim_scan();
+        }
+    }
+    for w in workers.iter_mut() {
+        assert!(w.reclaim_quiesce(16), "limbo list failed to drain");
+    }
+}
+
+fn live_bytes(handle: &SystemHandle) -> u64 {
+    handle.cluster().total_live_bytes()
+}
+
+fn churn_one_system(system: System) {
+    let handle = system.build(128 << 20, Some(1 << 20));
+    let mut workers = vec![handle.worker(0), handle.worker(1)];
+
+    // Preload with small values, then settle: the baseline includes
+    // whatever the preload's own type switches retired.
+    for i in 0..KEYS {
+        workers[0].insert(&KeySpace::U64.key(i), &[0xAB; 16]);
+    }
+    quiesce_all(&mut workers);
+    let baseline = live_bytes(&handle);
+    assert!(baseline > 0);
+
+    for round in 0..ROUNDS {
+        // Delete/re-insert churn: every unlink retires the old leaf, and
+        // alternating value sizes force out-of-place re-insertion (a
+        // fresh leaf region per flip) on the systems with variable-size
+        // leaves. Split across the two workers so frees are genuinely
+        // epoch-gated on the other client.
+        let grow = round % 2 == 0;
+        let value = vec![0xCD; if grow { 56 } else { 16 }];
+        for i in 0..KEYS {
+            let key = KeySpace::U64.key(i);
+            let w = &mut workers[(i % 2) as usize];
+            w.remove(&key);
+            w.insert(&key, &value);
+        }
+        // Grow-heavy slice: a burst of temporary keys splits nodes and
+        // forces type switches (retiring the smaller originals), then
+        // their deletion retires the burst's leaves. The same temp keys
+        // every round, so legitimate structural growth saturates after
+        // the first round instead of masking a leak.
+        for i in 0..TEMP_KEYS {
+            workers[1].insert(&KeySpace::U64.key(KEYS + i), &[0xEF; 16]);
+        }
+        for i in 0..TEMP_KEYS {
+            workers[1].remove(&KeySpace::U64.key(KEYS + i));
+        }
+    }
+
+    // Final pass back to the preload's value size, so the steady state
+    // under comparison matches the baseline's.
+    for i in 0..KEYS {
+        let key = KeySpace::U64.key(i);
+        let w = &mut workers[(i % 2) as usize];
+        w.remove(&key);
+        w.insert(&key, &[0xAB; 16]);
+    }
+    quiesce_all(&mut workers);
+
+    let after = live_bytes(&handle);
+    assert!(
+        after as f64 <= baseline as f64 * 1.5,
+        "{}: churn leaked memory: baseline {baseline} B, after {after} B",
+        system.label()
+    );
+
+    // The reclaimer must have actually done the recovering (not the
+    // allocator quietly absorbing the churn). The B+-tree never unlinks
+    // nodes — deletes tombstone entries in place — so it alone has
+    // nothing to free.
+    let mut merged = handle.index_telemetry();
+    for w in &workers {
+        merged.merge(&w.telemetry());
+    }
+    if system != System::BpTree {
+        assert!(
+            merged.counter("reclaim.freed_bytes") > 0,
+            "{}: no freed bytes in telemetry",
+            system.label()
+        );
+        assert!(
+            merged.counter("mem.reclaimed_bytes") > 0,
+            "{}: MN pools saw no reclaimed bytes",
+            system.label()
+        );
+        assert_eq!(
+            merged.counter("reclaim.limbo_depth"),
+            0,
+            "{}: limbo entries left after quiescence",
+            system.label()
+        );
+    }
+    // Keys must have survived all that maintenance.
+    for i in 0..KEYS {
+        assert_eq!(
+            workers[0].get(&KeySpace::U64.key(i)).as_deref(),
+            Some(&[0xAB; 16][..]),
+            "{}: key {i} lost during churn",
+            system.label()
+        );
+    }
+}
+
+#[test]
+fn churn_does_not_leak_sphinx() {
+    churn_one_system(System::Sphinx);
+}
+
+#[test]
+fn churn_does_not_leak_art() {
+    churn_one_system(System::Art);
+}
+
+#[test]
+fn churn_does_not_leak_bptree() {
+    churn_one_system(System::BpTree);
+}
