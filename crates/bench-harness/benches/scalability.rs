@@ -34,6 +34,7 @@ fn benches(c: &mut Criterion) {
                                 ops_per_worker: TOTAL_OPS / workers as u64,
                                 warmup_per_worker: 20,
                                 seed: 0x5CA1_E000 + i,
+                                pipeline_depth: 1,
                             },
                         );
                         let makespan_s = r.total_ops as f64 / (r.mops * 1e6);

@@ -37,6 +37,7 @@ fn bench_workload(c: &mut Criterion, workload_name: &str) {
                             ops_per_worker: ops,
                             warmup_per_worker: 30,
                             seed: 0xBE4C_0000 + i,
+                            pipeline_depth: 1,
                         },
                     );
                     let makespan_s = r.total_ops as f64 / (r.mops * 1e6);

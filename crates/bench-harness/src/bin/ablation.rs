@@ -56,6 +56,7 @@ fn main() {
                 ops_per_worker: ops,
                 warmup_per_worker: (ops / 5).max(50),
                 seed: 0xAB1A_7104,
+                pipeline_depth: RunConfig::depth_from_env(1),
             };
             let r = run_phase(&handle, &cfg);
             let get = r.telemetry.op(OpKind::Get);

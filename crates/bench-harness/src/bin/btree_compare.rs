@@ -59,6 +59,7 @@ fn main() {
                     ops_per_worker: ops_here,
                     warmup_per_worker: (ops_here / 5).max(50),
                     seed: 0xB7EE_0001,
+                    pipeline_depth: RunConfig::depth_from_env(1),
                 },
             );
             table.row([

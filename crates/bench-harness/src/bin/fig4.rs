@@ -90,6 +90,7 @@ fn main() {
                         ops_per_worker: ops_here,
                         warmup_per_worker: (ops_here / 5).max(50),
                         seed: 0xF160_0004,
+                        pipeline_depth: RunConfig::depth_from_env(1),
                     },
                 );
                 telem.merge(&r.telemetry);
@@ -108,6 +109,7 @@ fn main() {
                     ops_per_worker: ops,
                     warmup_per_worker: (ops / 5).max(50),
                     seed: 0xF160_0004,
+                    pipeline_depth: RunConfig::depth_from_env(1),
                 },
             );
             telem.merge(&r.telemetry);

@@ -60,6 +60,7 @@ fn main() {
                     ops_per_worker,
                     warmup_per_worker: (ops_per_worker / 5).max(20),
                     seed: 0xF160_0005,
+                    pipeline_depth: RunConfig::depth_from_env(1),
                 };
                 let r = run_phase(&handle, &cfg);
                 curve.push((r.mops, r.avg_latency_us));

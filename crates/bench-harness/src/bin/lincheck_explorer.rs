@@ -20,6 +20,9 @@
 //! * `--seeds N` / `--seed-base B` — sweep schedule seeds `B..B+N`
 //! * `--threads N`, `--keys N`, `--ops N` — workload shape (ops is per
 //!   thread; the recorded history also includes the `keys/2` preload)
+//! * `--pipeline-depth N` — ops in flight per worker for the batched-read
+//!   slice of the mix (default 1 = blocking; see the op-pipelining
+//!   scheduler in `node-engine`)
 //! * `--fault-matrix quiet|delay|tear|full` — which perturbations the
 //!   schedule injects (see [`dm_sim::ScheduleConfig`])
 //! * `--verify-determinism` — run each seed twice and replay its trace,
@@ -248,6 +251,7 @@ fn main() -> ExitCode {
     let threads = arg_u64(&args, "--threads", 3) as u32;
     let keys = arg_u64(&args, "--keys", 64);
     let ops = arg_u64(&args, "--ops", 3_400);
+    let depth = (arg_u64(&args, "--pipeline-depth", 1) as usize).max(1);
     let matrix = arg_str(&args, "--fault-matrix").unwrap_or_else(|| "full".into());
     if fault_matrix(&matrix, 0).is_none() {
         eprintln!("unknown --fault-matrix {matrix} (quiet|delay|tear|full)");
@@ -268,6 +272,7 @@ fn main() -> ExitCode {
 
     let base_cfg = |system: System| ExploreConfig {
         check: CheckConfig::default(),
+        pipeline_depth: depth,
         ..ExploreConfig::smoke(system, threads, keys, ops)
     };
 

@@ -1,0 +1,86 @@
+//! CI smoke check for the pipelined op scheduler.
+//!
+//! Runs the fig4 YCSB-C short config twice — pipeline depth 1 (the legacy
+//! blocking path) and depth 8 — and asserts the properties the op
+//! pipeline is sold on:
+//!
+//! * per-op network round trips are unchanged (pipelining rearranges
+//!   round trips, it must not add any);
+//! * per-op *doorbells* drop: round trips from different in-flight ops
+//!   fuse into shared physical doorbells;
+//! * virtual time per op drops enough that throughput at depth 8 is
+//!   ≥ 1.5× depth 1 (the acceptance bar under the default `NetConfig`);
+//! * `pipeline.fused_batches > 0` in the exported telemetry;
+//! * at depth 1 doorbells equal round trips exactly — the depth-1
+//!   equivalence guard (no fusion without in-flight concurrency).
+//!
+//! Exits nonzero (panics) on any violation — wired as a CI job.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin pipeline_smoke
+//! ```
+
+use bench_harness::runner::{load_phase, run_phase, RunConfig};
+use bench_harness::systems::System;
+use ycsb::{KeySpace, Workload};
+
+fn main() {
+    let keys = 10_000;
+    let handle = System::Sphinx.build(64 << 20, Some(1 << 20));
+    load_phase(&handle, KeySpace::U64, keys, 8);
+
+    let cfg = |depth: usize| RunConfig {
+        keyspace: KeySpace::U64,
+        num_keys: keys,
+        workload: Workload::c(),
+        workers: 8,
+        ops_per_worker: 1_500,
+        warmup_per_worker: 300,
+        seed: 0x0051_400C_u64,
+        pipeline_depth: depth,
+    };
+    let r1 = run_phase(&handle, &cfg(1));
+    let r8 = run_phase(&handle, &cfg(node_engine::pipeline::DEFAULT_DEPTH));
+
+    assert!(
+        (r8.round_trips_per_op - r1.round_trips_per_op).abs() < 0.25,
+        "pipelining changed per-op round trips: {:.3} -> {:.3}",
+        r1.round_trips_per_op,
+        r8.round_trips_per_op
+    );
+    assert!(
+        (r1.doorbells_per_op - r1.round_trips_per_op).abs() < 1e-9,
+        "depth 1 must not fuse doorbells: {:.3} doorbells vs {:.3} rts",
+        r1.doorbells_per_op,
+        r1.round_trips_per_op
+    );
+    assert!(
+        r8.doorbells_per_op < r1.doorbells_per_op * 0.7,
+        "depth 8 must fuse doorbells: {:.3} -> {:.3} per op",
+        r1.doorbells_per_op,
+        r8.doorbells_per_op
+    );
+    let speedup = r8.mops / r1.mops;
+    assert!(
+        speedup >= 1.5,
+        "depth 8 must be >= 1.5x depth 1 on YCSB-C: {:.3} vs {:.3} mops ({speedup:.2}x)",
+        r1.mops,
+        r8.mops
+    );
+    let fused = r8.telemetry.counter("pipeline.fused_batches");
+    assert!(
+        fused > 0,
+        "pipeline.fused_batches must be exported in telemetry"
+    );
+
+    println!(
+        "pipeline smoke OK: {:.3} -> {:.3} mops ({speedup:.2}x), rts/op {:.3} -> {:.3}, \
+         doorbells/op {:.3} -> {:.3}, fused batches {fused}",
+        r1.mops,
+        r8.mops,
+        r1.round_trips_per_op,
+        r8.round_trips_per_op,
+        r1.doorbells_per_op,
+        r8.doorbells_per_op,
+    );
+}

@@ -36,6 +36,7 @@ fn main() {
             ops_per_worker: 500,
             warmup_per_worker: 100,
             seed: 0x51_0CE,
+            pipeline_depth: RunConfig::depth_from_env(1),
         },
     );
 

@@ -52,6 +52,7 @@ fn main() {
                     ops_per_worker: ops,
                     warmup_per_worker: (ops / 5).max(50),
                     seed: 0xC1_2024,
+                    pipeline_depth: RunConfig::depth_from_env(1),
                 },
             );
             table.row([

@@ -100,6 +100,14 @@ pub struct ExploreConfig {
     pub tear_hook: bool,
     /// Include `multi_get` / `scan` / `scan_n` in the op mix.
     pub multi_ops: bool,
+    /// Ops kept in flight per worker for the batched-read slice of the
+    /// mix: `1` serves [`lincheck::Op::MultiGet`] through the blocking
+    /// `multi_get`, larger depths drive it through the pipelined op
+    /// scheduler ([`WorkerClient::multi_get_pipelined`]) so the schedule
+    /// explores interleavings *between the round trips of concurrently
+    /// in-flight operations* — each parked op is a schedulable
+    /// participant's pending grant, not an atomic block.
+    pub pipeline_depth: usize,
     /// Checker budget.
     pub check: CheckConfig,
 }
@@ -116,6 +124,7 @@ impl ExploreConfig {
             workload_seed: 0xC0FF_EE00,
             tear_hook: true,
             multi_ops: true,
+            pipeline_depth: 1,
             check: CheckConfig::default(),
         }
     }
@@ -198,6 +207,14 @@ fn gen_op(rng: &mut SmallRng, cfg: &ExploreConfig, tid: u32, seq: u64) -> Op {
 /// the single point where [`lincheck::Op`] meets [`WorkerClient`] (also
 /// used by the integration tests that record unscheduled histories).
 pub fn apply_op(w: &mut WorkerClient, op: &Op) -> Ret {
+    apply_op_pipelined(w, op, 1)
+}
+
+/// [`apply_op`] with an explicit pipeline depth: at depth > 1 the batched
+/// reads run through the pipelined op scheduler, so a lincheck run
+/// exercises cross-op in-flight interleavings under the lock-step
+/// schedule.
+pub fn apply_op_pipelined(w: &mut WorkerClient, op: &Op, depth: usize) -> Ret {
     match op {
         Op::Get { key } => Ret::Got(w.get(key)),
         Op::Insert { key, value } => {
@@ -208,7 +225,11 @@ pub fn apply_op(w: &mut WorkerClient, op: &Op) -> Ret {
         Op::Delete { key } => Ret::Deleted(w.remove(key)),
         Op::MultiGet { keys } => {
             let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
-            Ret::MultiGot(w.multi_get(&refs))
+            if depth > 1 {
+                Ret::MultiGot(w.multi_get_pipelined(&refs, depth))
+            } else {
+                Ret::MultiGot(w.multi_get(&refs))
+            }
         }
         Op::Scan { low, high } => Ret::Scanned(w.scan_pairs(low, high)),
         Op::ScanN { low, limit } => Ret::Scanned(w.scan_n(low, *limit)),
@@ -286,7 +307,7 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
                         let op = gen_op(&mut rng, cfg, tid, seq);
                         let ts = w.schedule_tick().unwrap_or_else(|| rec.next_ts());
                         let id = rec.invoke(tid, op.clone(), ts);
-                        let ret = apply_op(&mut w, &op);
+                        let ret = apply_op_pipelined(&mut w, &op, cfg.pipeline_depth);
                         let ts = w.schedule_tick().unwrap_or_else(|| rec.next_ts());
                         rec.respond(id, ret, ts);
                     }
@@ -418,6 +439,7 @@ mod tests {
             workload_seed: 11,
             tear_hook: true,
             multi_ops: true,
+            pipeline_depth: 1,
             check: CheckConfig::default(),
         }
     }

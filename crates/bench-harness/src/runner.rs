@@ -37,9 +37,28 @@ pub struct RunConfig {
     pub warmup_per_worker: u64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Operations kept in flight per worker on the read path. `1` keeps
+    /// the legacy blocking loop; larger depths chunk consecutive YCSB
+    /// reads through [`WorkerClient::multi_get_pipelined`] so their round
+    /// trips fuse into shared doorbells (see DESIGN.md "Pipelined
+    /// execution").
+    pub pipeline_depth: usize,
 }
 
 impl RunConfig {
+    /// Reads the per-worker pipeline depth from the `SPHINX_PIPELINE_DEPTH`
+    /// environment variable (the harness-wide flag for the op scheduler),
+    /// falling back to `default` when unset or unparsable. Binaries pass
+    /// `1` to keep their checked-in results comparable; the pipelined
+    /// artifacts pass `node_engine::pipeline::DEFAULT_DEPTH` (8).
+    pub fn depth_from_env(default: usize) -> usize {
+        std::env::var("SPHINX_PIPELINE_DEPTH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&d| d >= 1)
+            .unwrap_or(default)
+    }
+
     /// A laptop-scale default: 100k keys, 24 workers, 2k measured ops per
     /// worker.
     pub fn quick(keyspace: KeySpace, workload: Workload) -> Self {
@@ -51,6 +70,7 @@ impl RunConfig {
             ops_per_worker: 2_000,
             warmup_per_worker: 400,
             seed: 0xBEAC_0001,
+            pipeline_depth: 1,
         }
     }
 }
@@ -68,6 +88,11 @@ pub struct RunResult {
     pub total_ops: u64,
     /// Network round trips per operation.
     pub round_trips_per_op: f64,
+    /// Physical doorbells per operation. Equal to
+    /// [`round_trips_per_op`](Self::round_trips_per_op) when every
+    /// operation runs blocking; lower when pipelining fuses round trips
+    /// from different in-flight operations into one doorbell.
+    pub doorbells_per_op: f64,
     /// Wire bytes per operation.
     pub bytes_per_op: f64,
     /// Merged telemetry: every worker's phase-attributed registry plus the
@@ -118,6 +143,7 @@ struct WorkerOutcome {
     ops: u64,
     hist: LatencyHistogram,
     round_trips: u64,
+    doorbells: u64,
     bytes: u64,
     telemetry: obs::Registry,
 }
@@ -172,15 +198,7 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
                 client.set_clock_ns(0);
                 let base_stats = client.net_stats();
 
-                let mut hist = LatencyHistogram::new();
-                for _ in 0..cfg.ops_per_worker {
-                    let before = client.clock_ns();
-                    execute_op(&mut client, &mut stream, &cfg, &sorted);
-                    hist.record(client.clock_ns() - before);
-                    // Keep virtual clocks in lockstep so the NIC FIFO sees
-                    // near-monotonic arrivals (see gate.rs).
-                    gate.sync(w, client.clock_ns());
-                }
+                let hist = measured_loop(&mut client, &mut stream, &cfg, &sorted, &gate, w);
                 gate.finish(w);
                 let net = client.net_stats().since(&base_stats);
                 let outcome = WorkerOutcome {
@@ -188,6 +206,7 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
                     ops: cfg.ops_per_worker,
                     hist,
                     round_trips: net.round_trips,
+                    doorbells: net.doorbells,
                     bytes: net.bytes_total(),
                     telemetry: client.telemetry(),
                 };
@@ -213,6 +232,7 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
         hist.merge(&o.hist);
     }
     let round_trips: u64 = outcomes.iter().map(|o| o.round_trips).sum();
+    let doorbells: u64 = outcomes.iter().map(|o| o.doorbells).sum();
     let bytes: u64 = outcomes.iter().map(|o| o.bytes).sum();
     let mut telemetry = handle.index_telemetry();
     for o in &outcomes {
@@ -224,9 +244,87 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
         p99_latency_us: hist.quantile_ns(0.99) as f64 / 1e3,
         total_ops,
         round_trips_per_op: round_trips as f64 / total_ops as f64,
+        doorbells_per_op: doorbells as f64 / total_ops as f64,
         bytes_per_op: bytes as f64 / total_ops as f64,
         telemetry,
     }
+}
+
+/// The measured window: the depth-1 path times every op individually; at
+/// larger depths consecutive YCSB reads are chunked through
+/// [`WorkerClient::multi_get_pipelined`] so up to `pipeline_depth` lookups
+/// share the wire, while writes/scans flush the chunk and run blocking —
+/// each worker's stream keeps its program order either way.
+fn measured_loop(
+    client: &mut WorkerClient,
+    stream: &mut OpStream,
+    cfg: &RunConfig,
+    sorted: &[Vec<u8>],
+    gate: &VirtualGate,
+    w: usize,
+) -> LatencyHistogram {
+    let mut hist = LatencyHistogram::new();
+    if cfg.pipeline_depth <= 1 {
+        for _ in 0..cfg.ops_per_worker {
+            let before = client.clock_ns();
+            execute_op(client, stream, cfg, sorted);
+            hist.record(client.clock_ns() - before);
+            // Keep virtual clocks in lockstep so the NIC FIFO sees
+            // near-monotonic arrivals (see gate.rs).
+            gate.sync(w, client.clock_ns());
+        }
+        return hist;
+    }
+    // Chunks hold a few pipeline-fulls so admission never starves the
+    // in-flight window, without letting one worker's clock run far ahead
+    // of the gate between sync points.
+    let chunk = cfg.pipeline_depth * 4;
+    let mut pending: Vec<u64> = Vec::with_capacity(chunk);
+    for _ in 0..cfg.ops_per_worker {
+        match stream.next_op() {
+            Op::Read(idx) => {
+                pending.push(idx);
+                if pending.len() >= chunk {
+                    flush_reads(client, &mut pending, cfg, &mut hist);
+                    gate.sync(w, client.clock_ns());
+                }
+            }
+            op => {
+                flush_reads(client, &mut pending, cfg, &mut hist);
+                let before = client.clock_ns();
+                apply_op(client, op, cfg, sorted);
+                hist.record(client.clock_ns() - before);
+                gate.sync(w, client.clock_ns());
+            }
+        }
+    }
+    flush_reads(client, &mut pending, cfg, &mut hist);
+    gate.sync(w, client.clock_ns());
+    hist
+}
+
+/// Drains the buffered read chunk through the pipelined path. Latency is
+/// attributed evenly: the chunk's virtual-time span divided by its length
+/// (individual completion times interleave and are not observable at this
+/// layer).
+fn flush_reads(
+    client: &mut WorkerClient,
+    pending: &mut Vec<u64>,
+    cfg: &RunConfig,
+    hist: &mut LatencyHistogram,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let keys: Vec<Vec<u8>> = pending.iter().map(|&i| cfg.keyspace.key(i)).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let before = client.clock_ns();
+    client.multi_get_pipelined(&refs, cfg.pipeline_depth);
+    let per_op = (client.clock_ns() - before) / pending.len() as u64;
+    for _ in 0..pending.len() {
+        hist.record(per_op);
+    }
+    pending.clear();
 }
 
 fn execute_op(
@@ -235,7 +333,11 @@ fn execute_op(
     cfg: &RunConfig,
     sorted: &[Vec<u8>],
 ) {
-    match stream.next_op() {
+    apply_op(client, stream.next_op(), cfg, sorted);
+}
+
+fn apply_op(client: &mut WorkerClient, op: Op, cfg: &RunConfig, sorted: &[Vec<u8>]) {
+    match op {
         Op::Read(idx) => {
             client.get(&cfg.keyspace.key(idx));
         }
@@ -280,6 +382,7 @@ mod tests {
             ops_per_worker: 300,
             warmup_per_worker: 50,
             seed: 7,
+            pipeline_depth: 1,
         };
         let r = run_phase(&handle, &cfg);
         assert_eq!(r.total_ops, 1800);
@@ -310,6 +413,44 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_run_fuses_doorbells() {
+        let handle = System::Sphinx.build(64 << 20, Some(1 << 20));
+        load_phase(&handle, KeySpace::U64, 2_000, 4);
+        let mk = |depth| RunConfig {
+            keyspace: KeySpace::U64,
+            num_keys: 2_000,
+            workload: Workload::c(),
+            workers: 4,
+            ops_per_worker: 400,
+            warmup_per_worker: 100,
+            seed: 11,
+            pipeline_depth: depth,
+        };
+        let r1 = run_phase(&handle, &mk(1));
+        let r8 = run_phase(&handle, &mk(8));
+        // Pipelining rearranges round trips; it must not add any.
+        assert!(
+            (r8.round_trips_per_op - r1.round_trips_per_op).abs() < 0.25,
+            "round trips changed: {} vs {}",
+            r1.round_trips_per_op,
+            r8.round_trips_per_op
+        );
+        assert!(
+            r8.doorbells_per_op < r1.doorbells_per_op * 0.7,
+            "depth 8 must fuse doorbells: {} vs {}",
+            r1.doorbells_per_op,
+            r8.doorbells_per_op
+        );
+        assert!(
+            r8.mops > r1.mops * 1.3,
+            "depth 8 must speed up YCSB-C: {} vs {} mops",
+            r1.mops,
+            r8.mops
+        );
+        assert!((r1.doorbells_per_op - r1.round_trips_per_op).abs() < 1e-9);
+    }
+
+    #[test]
     fn scan_workload_runs() {
         let handle = System::Smart.build(64 << 20, Some(1 << 20));
         load_phase(&handle, KeySpace::U64, 1_000, 4);
@@ -321,6 +462,7 @@ mod tests {
             ops_per_worker: 30,
             warmup_per_worker: 5,
             seed: 7,
+            pipeline_depth: 1,
         };
         let r = run_phase(&handle, &cfg);
         assert!(r.total_ops == 90 && r.mops > 0.0);

@@ -311,6 +311,33 @@ impl WorkerClient {
         }
     }
 
+    /// Batched point lookups with up to `depth` operations in flight per
+    /// worker (the op-pipelining path, see
+    /// [`sphinx::SphinxClient::get_many_pipelined`]). Sphinx and the
+    /// B+-tree drive resumable per-key state machines whose round trips
+    /// fuse across operations; the baselines have no completion-queue
+    /// client and keep the blocking one-get-at-a-time path regardless of
+    /// `depth` (every caller still gets positionally aligned results).
+    pub fn multi_get_pipelined(&mut self, keys: &[&[u8]], depth: usize) -> Vec<Option<Vec<u8>>> {
+        match self {
+            WorkerClient::Sphinx(c) => c
+                .get_many_pipelined(keys, depth)
+                .expect("multi_get_pipelined"),
+            WorkerClient::Baseline(c) => keys
+                .iter()
+                .map(|k| c.get(k).expect("multi_get_pipelined component"))
+                .collect(),
+            WorkerClient::BpTree(c) => {
+                let bp_keys: Vec<u64> = keys.iter().map(|k| bp_key(k)).collect();
+                c.get_many_pipelined(&bp_keys, depth)
+                    .expect("multi_get_pipelined")
+                    .into_iter()
+                    .map(|v| v.map(bp_value_decode))
+                    .collect()
+            }
+        }
+    }
+
     /// Range scan; returns the number of entries found.
     pub fn scan(&mut self, low: &[u8], high: &[u8]) -> usize {
         self.scan_pairs(low, high).len()
@@ -437,13 +464,28 @@ impl WorkerClient {
     }
 
     /// This worker's telemetry registry (phase-attributed spans plus
-    /// domain counters). The B+-tree extension is not instrumented and
-    /// returns an empty registry.
+    /// domain counters). The B+-tree extension has no span recorder, but
+    /// its pipelined-execution counters are exported so fig4_pipeline and
+    /// the smoke checks can compare fusion across systems.
     pub fn telemetry(&self) -> obs::Registry {
         match self {
             WorkerClient::Sphinx(c) => c.telemetry(),
             WorkerClient::Baseline(c) => c.telemetry(),
-            WorkerClient::BpTree(_) => obs::Registry::new(),
+            WorkerClient::BpTree(c) => {
+                let mut reg = obs::Registry::new();
+                let p = c.pipeline_stats();
+                reg.add("pipeline.ops", p.ops);
+                reg.add("pipeline.flushes", p.flushes);
+                reg.add("pipeline.fused_batches", p.fused_batches);
+                reg.add("pipeline.stalls", p.stalls);
+                // All B+-tree submissions are node fetches (tag 0):
+                // surface them under the traversal phase name.
+                reg.add(
+                    "pipeline.rts.Traversal",
+                    p.by_tag.values().map(|a| a.round_trips).sum(),
+                );
+                reg
+            }
         }
     }
 }

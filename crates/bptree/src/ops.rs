@@ -7,7 +7,11 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dm_sim::{DmClient, DmCluster, DmError, RemotePtr, RetryPolicy, Transport};
+use dm_sim::{
+    DmClient, DmCluster, DmError, DoorbellBatch, RemotePtr, RetryPolicy, Transport, Verb,
+    VerbResult,
+};
+use node_engine::{EngineError, OpState, PipelineStats, StepOutcome};
 
 use crate::layout::{BpNode, NodeHeader, NODE_BYTES, TAIL_OFFSET};
 
@@ -38,6 +42,18 @@ impl Error for BpTreeError {}
 impl From<DmError> for BpTreeError {
     fn from(e: DmError) -> Self {
         BpTreeError::Dm(e)
+    }
+}
+
+impl From<EngineError> for BpTreeError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Dm(e) => BpTreeError::Dm(e),
+            EngineError::RetriesExhausted { op } => BpTreeError::RetriesExhausted { op },
+            _ => BpTreeError::RetriesExhausted {
+                op: "pipelined get",
+            },
+        }
     }
 }
 
@@ -160,6 +176,7 @@ impl BpTreeIndex {
             cache,
             root_hint: None,
             retry: RetryPolicy::default(),
+            pipeline: PipelineStats::default(),
         })
     }
 
@@ -222,6 +239,9 @@ pub struct BpTreeClient {
     root_hint: Option<RemotePtr>,
     /// Shared bounded-retry budget (see [`dm_sim::RetryPolicy`]).
     retry: RetryPolicy,
+    /// Cumulative pipelined-execution counters (see
+    /// [`BpTreeClient::get_many_pipelined`]).
+    pipeline: PipelineStats,
 }
 
 impl BpTreeClient {
@@ -348,6 +368,63 @@ impl BpTreeClient {
             .binary_search_by_key(&key, |(k, _)| *k)
             .ok()
             .map(|i| leaf.entries[i].1.to_vec()))
+    }
+
+    /// Looks up many keys keeping up to `depth` lookups in flight: each
+    /// key runs as a resumable [`node_engine::OpState`] machine mirroring
+    /// [`BpTreeClient::get`] (cache-aware descent plus B-link
+    /// right-chase), and every scheduling round the whole window's node
+    /// reads go out in one fused doorbell. Results align with `keys`.
+    /// Keys that exhaust a retry budget mid-machine replay through the
+    /// blocking path.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`BpTreeClient::get`].
+    pub fn get_many_pipelined(
+        &mut self,
+        keys: &[u64],
+        depth: usize,
+    ) -> Result<Vec<Option<Vec<u8>>>, BpTreeError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let root = self.root(false)?;
+        let mut pstats = PipelineStats::default();
+        let run = {
+            let BpTreeClient {
+                dm, cache, retry, ..
+            } = self;
+            let ops = keys.iter().map(|&key| BpGetOp {
+                key,
+                cache,
+                retry: *retry,
+                hops: 0,
+                chases: 0,
+                state: BpSt::Start { root },
+            });
+            node_engine::run_pipelined(dm, ops, depth, &mut pstats)
+        };
+        self.pipeline.merge(&pstats);
+        let outs = run.map_err(BpTreeError::from)?;
+        // Blocking descents drop badly stale hints after a long chase; do
+        // the same once per batch.
+        if outs.iter().any(|o| o.chases > 8) {
+            self.root_hint = None;
+            self.cache.lock().clear();
+        }
+        outs.into_iter()
+            .zip(keys)
+            .map(|(out, &key)| match out.result {
+                Some(v) => Ok(v),
+                None => self.get(key),
+            })
+            .collect()
+    }
+
+    /// Cumulative pipelined-execution counters for this worker.
+    pub fn pipeline_stats(&self) -> &PipelineStats {
+        &self.pipeline
     }
 
     /// Inserts or overwrites `key` (upsert). Values longer than
@@ -633,6 +710,153 @@ impl BpTreeClient {
     }
 }
 
+/// Where a pipelined B+-tree lookup is between round trips.
+enum BpSt {
+    /// Begin the descent from the (known) root.
+    Start {
+        /// Root pointer resolved by the driver before the run.
+        root: RemotePtr,
+    },
+    /// Waiting for the node at `ptr`; `attempts` counts torn-read
+    /// retries of this node.
+    Node { ptr: RemotePtr, attempts: usize },
+}
+
+/// The B+-tree point lookup as a resumable state machine: the descent of
+/// [`BpTreeClient::descend`] with every remote node read turned into a
+/// [`StepOutcome::Submit`]. Cache hits advance CPU-side without a
+/// submission. `result: None` in the output means "fall back to the
+/// blocking path".
+struct BpGetOp<'a> {
+    key: u64,
+    cache: &'a Mutex<InternalCache>,
+    retry: RetryPolicy,
+    /// Descent steps consumed (bounded by `op_retries`, as in blocking).
+    hops: usize,
+    /// B-link right-chases performed (drives cache hygiene).
+    chases: usize,
+    state: BpSt,
+}
+
+/// Output of one [`BpGetOp`]: the lookup result (`None` = fall back) and
+/// the chase count for cache hygiene.
+struct BpGetOut {
+    result: Option<Option<Vec<u8>>>,
+    chases: usize,
+}
+
+impl BpGetOp<'_> {
+    fn fallback(&self) -> Result<StepOutcome<BpGetOut>, EngineError> {
+        Ok(StepOutcome::Done(BpGetOut {
+            result: None,
+            chases: self.chases,
+        }))
+    }
+
+    /// Moves to `ptr`: serves it from the shared internal-node cache when
+    /// allowed, otherwise submits the read.
+    fn goto(
+        &mut self,
+        ptr: RemotePtr,
+        use_cache: bool,
+    ) -> Result<StepOutcome<BpGetOut>, EngineError> {
+        if use_cache {
+            let cached = self.cache.lock().get(ptr);
+            if let Some(node) = cached {
+                return self.advance(node);
+            }
+        }
+        self.state = BpSt::Node { ptr, attempts: 0 };
+        Ok(StepOutcome::Submit {
+            batch: DoorbellBatch::from_iter([Verb::Read {
+                ptr,
+                len: NODE_BYTES,
+            }]),
+            tag: 0,
+        })
+    }
+
+    /// One descent decision from a decoded node: finish at a leaf, chase
+    /// right past a concurrent split, or descend to the owning child.
+    fn advance(&mut self, node: BpNode) -> Result<StepOutcome<BpGetOut>, EngineError> {
+        self.hops += 1;
+        if self.hops >= self.retry.op_retries {
+            return self.fallback();
+        }
+        if self.key >= node.high_key && !node.right.is_null() {
+            self.chases += 1;
+            return self.goto(node.right, false); // fresh: fences moved
+        }
+        if node.is_leaf() {
+            let result = node
+                .entries
+                .binary_search_by_key(&self.key, |(k, _)| *k)
+                .ok()
+                .map(|i| node.entries[i].1.to_vec());
+            return Ok(StepOutcome::Done(BpGetOut {
+                result: Some(result),
+                chases: self.chases,
+            }));
+        }
+        let child = node.child_for(self.key);
+        self.goto(child, true)
+    }
+}
+
+impl OpState for BpGetOp<'_> {
+    type Output = BpGetOut;
+
+    fn step<T: Transport>(
+        &mut self,
+        t: &mut T,
+        completion: Option<Vec<VerbResult>>,
+    ) -> Result<StepOutcome<BpGetOut>, EngineError> {
+        match std::mem::replace(
+            &mut self.state,
+            BpSt::Start {
+                root: RemotePtr::NULL,
+            },
+        ) {
+            BpSt::Start { root } => {
+                debug_assert!(completion.is_none());
+                self.goto(root, true)
+            }
+            BpSt::Node { ptr, attempts } => {
+                let bytes = completion
+                    .expect("Node state awaits a completion")
+                    .pop()
+                    .expect("pipelined get submits exactly one read per batch")
+                    .into_read();
+                match BpNode::decode(&bytes) {
+                    Some(node) => {
+                        self.cache.lock().put(ptr, node.clone());
+                        self.advance(node)
+                    }
+                    None => {
+                        // Torn seqlock read: back off and re-read, bounded
+                        // exactly like the blocking `read_node`.
+                        if attempts + 1 >= self.retry.op_retries {
+                            return self.fallback();
+                        }
+                        t.backoff(&self.retry);
+                        self.state = BpSt::Node {
+                            ptr,
+                            attempts: attempts + 1,
+                        };
+                        Ok(StepOutcome::Submit {
+                            batch: DoorbellBatch::from_iter([Verb::Read {
+                                ptr,
+                                len: NODE_BYTES,
+                            }]),
+                            tag: 0,
+                        })
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -793,6 +1017,43 @@ mod tests {
         assert!(stats.height >= 2, "1000 entries cannot fit one leaf");
         assert!(stats.leaves >= 77, "13-entry leaves: {}", stats.leaves);
         assert!(stats.leaf_occupancy > 0.3 && stats.leaf_occupancy <= 1.0);
+    }
+
+    #[test]
+    fn pipelined_get_matches_blocking_and_fuses() {
+        let idx = index();
+        let mut c = idx.client(0).unwrap();
+        let n = 3_000u64;
+        for i in 0..n {
+            let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            c.insert(key, &i.to_le_bytes()).unwrap();
+        }
+        let keys: Vec<u64> = (0..600u64)
+            .map(|i| (i * 5).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let expected: Vec<_> = keys.iter().map(|&k| c.get(k).unwrap()).collect();
+
+        let s0 = c.net_stats();
+        let got1 = c.get_many_pipelined(&keys, 1).unwrap();
+        let d1 = c.net_stats().since(&s0);
+        assert_eq!(got1, expected);
+        assert_eq!(d1.doorbells, d1.round_trips, "depth 1 never fuses");
+
+        let s0 = c.net_stats();
+        let got8 = c.get_many_pipelined(&keys, 8).unwrap();
+        let d8 = c.net_stats().since(&s0);
+        assert_eq!(got8, expected);
+        assert_eq!(
+            d8.round_trips, d1.round_trips,
+            "logical round trips are depth-independent"
+        );
+        assert!(
+            d8.doorbells < d1.doorbells,
+            "depth 8 must fuse: {} vs {}",
+            d8.doorbells,
+            d1.doorbells
+        );
+        assert!(c.pipeline_stats().fused_batches > 0);
     }
 
     #[test]

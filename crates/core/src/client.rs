@@ -168,6 +168,9 @@ pub struct SphinxClient {
     // on a host with fewer cores than workers a lock holder may need many
     // scheduling rounds while waiters spin through cheap yield-retries.
     pub(crate) retry: RetryPolicy,
+    /// Cumulative pipelined-execution counters (see
+    /// [`SphinxClient::get_many_pipelined`]).
+    pub(crate) pipeline: node_engine::PipelineStats,
 }
 
 impl SphinxClient {
@@ -188,6 +191,7 @@ impl SphinxClient {
             reclaim,
             ambiguous: Vec::new(),
             retry: RetryPolicy::default(),
+            pipeline: node_engine::PipelineStats::default(),
         }
     }
 
@@ -267,6 +271,26 @@ impl SphinxClient {
             reg.add("inht.cas_races", c.cas_races);
             reg.add("inht.splits", c.splits);
             reg.add("inht.refreshes", c.refreshes);
+        }
+        let p = &self.pipeline;
+        reg.add("pipeline.ops", p.ops);
+        reg.add("pipeline.flushes", p.flushes);
+        reg.add("pipeline.fused_batches", p.fused_batches);
+        reg.add("pipeline.stalls", p.stalls);
+        for (bucket, name) in p.depth_hist.iter().zip([
+            "pipeline.depth_le_1",
+            "pipeline.depth_le_2",
+            "pipeline.depth_le_4",
+            "pipeline.depth_le_8",
+            "pipeline.depth_le_16",
+            "pipeline.depth_gt_16",
+        ]) {
+            reg.add(name, *bucket);
+        }
+        for (tag, agg) in &p.by_tag {
+            if let Some(phase) = obs::Phase::ALL.get(*tag as usize) {
+                reg.add(&format!("pipeline.rts.{}", phase.name()), agg.round_trips);
+            }
         }
         reg
     }

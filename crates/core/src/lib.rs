@@ -47,6 +47,7 @@ mod config;
 mod error;
 mod index;
 mod multi_get;
+mod pipeline;
 mod scan;
 mod scan_iter;
 mod scan_n;

@@ -1,0 +1,754 @@
+//! Pipelined point lookups: the Sphinx `get` restructured as a resumable
+//! state machine so one worker can keep several independent lookups in
+//! flight (see [`node_engine::pipeline`]).
+//!
+//! [`GetOp`] mirrors the blocking fast path of [`SphinxClient::get`]
+//! exactly — filter probe → INHT bucket-pair read → candidate node
+//! validation → descent → validated leaf read, including false-positive
+//! restarts and torn-leaf retries — but yields a
+//! [`StepOutcome::Submit`] at every round trip instead of blocking on
+//! [`dm_sim::Transport::execute`]. The driver
+//! ([`SphinxClient::get_many_pipelined`]) runs up to `depth` of these
+//! machines concurrently via [`node_engine::run_pipelined`]: every
+//! scheduling round all in-flight reads go out in one fused doorbell, so
+//! the whole window shares a single RTT.
+//!
+//! Rare paths keep their blocking implementation rather than growing a
+//! second copy: when a machine hits one (stale INHT directory, divergent
+//! compressed path, a node caught mid type-switch, retry-budget
+//! exhaustion) it finishes with [`PipelinedGet::Fallback`] and the driver
+//! replays that key through [`SphinxClient::get`]. Correctness is never
+//! traded for pipelining — the fallback re-executes from scratch and its
+//! counters stand in for the whole op (the machine's partial counters are
+//! discarded to avoid double counting).
+
+use parking_lot::Mutex;
+
+use art_core::hash::{fp12, prefix_hash42, prefix_hash64};
+use art_core::key::{common_prefix_len, MAX_KEY_LEN};
+use art_core::layout::{HashEntry, InnerNode, LayoutError, LeafNode, NodeStatus};
+use art_core::NodeKind;
+use cuckoo::CuckooFilter;
+use dm_sim::{DoorbellBatch, RemotePtr, RetryPolicy, Transport, Verb, VerbResult};
+use node_engine::{leaf_validation, EngineError, OpState, PipelineStats, StepOutcome};
+use obs::{OpKind, Phase};
+use race_hash::RaceTable;
+
+use crate::client::SphinxClient;
+use crate::config::CacheMode;
+use crate::error::SphinxError;
+
+/// Submission tags, used by [`PipelineStats::by_tag`] to attribute the
+/// fused round trips back to the phase taxonomy.
+const TAG_INHT: u32 = Phase::InhtLookup as u32;
+const TAG_TRAVERSAL: u32 = Phase::Traversal as u32;
+const TAG_LEAF: u32 = Phase::LeafRead as u32;
+
+/// Counter deltas accumulated by one machine-run lookup, folded into
+/// [`crate::OpStats`] and the named `obs` counters by the driver.
+#[derive(Debug, Clone, Copy, Default)]
+struct GetDelta {
+    fp_retries: u64,
+    entry_misses: u64,
+    filter_first_hits: u64,
+    filter_refreshes: u64,
+    checksum_retries: u64,
+    extended_reads: u64,
+    probe_hits: u64,
+    probe_misses: u64,
+    inht_hits: u64,
+    fp_collisions: u64,
+}
+
+/// How one pipelined lookup ended.
+enum PipelinedGet {
+    /// The fast path completed: the key's value, or `None` if absent.
+    Value(Option<Vec<u8>>),
+    /// The machine hit a path it does not model; replay via blocking
+    /// [`SphinxClient::get`].
+    Fallback,
+}
+
+/// Output of one [`GetOp`].
+struct GetOut {
+    result: PipelinedGet,
+    delta: GetDelta,
+}
+
+/// Where the machine is between round trips.
+enum St {
+    /// Probe the filter and submit the INHT bucket-pair read.
+    Start,
+    /// Waiting for the bucket pair of `key[..plen]`.
+    Pair {
+        plen: usize,
+        base: RemotePtr,
+        hash: u64,
+    },
+    /// Waiting for candidate inner node `queue[idx]` at prefix `plen`.
+    Candidate {
+        plen: usize,
+        queue: Vec<(RemotePtr, NodeKind)>,
+        idx: usize,
+    },
+    /// Waiting for an inner child during the descent.
+    Child {
+        entry_len: usize,
+        parent_plen: usize,
+        kind: NodeKind,
+    },
+    /// Waiting for the leaf bytes.
+    Leaf {
+        entry_len: usize,
+        ptr: RemotePtr,
+        read_len: usize,
+        attempts: usize,
+    },
+}
+
+/// The Sphinx point lookup as a resumable state machine (FilterCache
+/// mode; the driver routes other modes to the blocking path).
+struct GetOp<'a> {
+    key: &'a [u8],
+    tables: &'a [RaceTable],
+    filter: &'a Mutex<CuckooFilter>,
+    leaf_hint: usize,
+    retry: RetryPolicy,
+    /// Upper bound on the probed prefix length (shrinks on fp restarts).
+    max_len: usize,
+    /// Current probe level within one entry-node search.
+    probe_len: usize,
+    /// Whether the next INHT hit is a first-probe hit.
+    first: bool,
+    /// False-positive restarts consumed (bounded by `op_retries`).
+    restarts: usize,
+    delta: GetDelta,
+    state: St,
+}
+
+/// Shorthand for a single-read submission.
+fn read_batch(ptr: RemotePtr, len: usize) -> DoorbellBatch {
+    DoorbellBatch::from_iter([Verb::Read { ptr, len }])
+}
+
+/// Unwraps a single-read completion.
+fn into_one_read(mut results: Vec<VerbResult>) -> Vec<u8> {
+    results
+        .pop()
+        .expect("pipelined get submits exactly one read per batch")
+        .into_read()
+}
+
+type Step = Result<StepOutcome<GetOut>, EngineError>;
+
+impl<'a> GetOp<'a> {
+    fn new(
+        key: &'a [u8],
+        tables: &'a [RaceTable],
+        filter: &'a Mutex<CuckooFilter>,
+        leaf_hint: usize,
+        retry: RetryPolicy,
+    ) -> Self {
+        GetOp {
+            key,
+            tables,
+            filter,
+            leaf_hint,
+            retry,
+            max_len: key.len(),
+            probe_len: key.len(),
+            first: true,
+            restarts: 0,
+            delta: GetDelta::default(),
+            state: St::Start,
+        }
+    }
+
+    /// Ends the op on a path the machine does not model. The partial
+    /// counter delta is discarded: the blocking replay recounts the op.
+    fn fallback(&mut self) -> Step {
+        Ok(StepOutcome::Done(GetOut {
+            result: PipelinedGet::Fallback,
+            delta: GetDelta::default(),
+        }))
+    }
+
+    fn finish(&mut self, value: Option<Vec<u8>>) -> Step {
+        Ok(StepOutcome::Done(GetOut {
+            result: PipelinedGet::Value(value),
+            delta: self.delta,
+        }))
+    }
+
+    /// CN-local filter probe at the current level, then the bucket-pair
+    /// submission (the SfcProbe → InhtLookup hop of the blocking path).
+    fn probe<T: Transport>(&mut self, t: &mut T) -> Step {
+        let l = self.probe_len;
+        let cand = if l == 0 {
+            0
+        } else {
+            let mut f = self.filter.lock();
+            (1..=l)
+                .rev()
+                .find(|&x| f.contains(&self.key[..x]))
+                .unwrap_or(0)
+        };
+        if l > 0 {
+            if cand > 0 {
+                self.delta.probe_hits += 1;
+            } else {
+                self.delta.probe_misses += 1;
+            }
+        }
+        let prefix = &self.key[..cand];
+        let hash = prefix_hash64(prefix);
+        let mn = t.place(hash) as usize;
+        let Some(table) = self.tables.get(mn) else {
+            return self.fallback();
+        };
+        let Ok(base) = table.bucket_pair_ptr(hash) else {
+            // Directory metadata problem: the blocking path knows how to
+            // refresh and retry it.
+            return self.fallback();
+        };
+        self.state = St::Pair {
+            plen: cand,
+            base,
+            hash,
+        };
+        Ok(StepOutcome::Submit {
+            batch: read_batch(base, RaceTable::pair_len()),
+            tag: TAG_INHT,
+        })
+    }
+
+    /// No valid entry at prefix `plen`: re-probe one level shorter, as the
+    /// blocking entry-node loop does.
+    fn probe_shorter<T: Transport>(&mut self, t: &mut T, plen: usize) -> Step {
+        self.delta.entry_misses += 1;
+        self.first = false;
+        if plen == 0 {
+            // Blocking path reports `Corrupt: root hash entry missing`.
+            return self.fallback();
+        }
+        self.probe_len = plen - 1;
+        self.probe(t)
+    }
+
+    /// Submits candidate `idx` for validation, or moves to the shorter
+    /// prefix when the queue is exhausted.
+    fn next_candidate<T: Transport>(
+        &mut self,
+        t: &mut T,
+        plen: usize,
+        queue: Vec<(RemotePtr, NodeKind)>,
+        idx: usize,
+    ) -> Step {
+        match queue.get(idx) {
+            Some(&(ptr, kind)) => {
+                let len = InnerNode::byte_size(kind);
+                self.state = St::Candidate { plen, queue, idx };
+                Ok(StepOutcome::Submit {
+                    batch: read_batch(ptr, len),
+                    tag: TAG_INHT,
+                })
+            }
+            None => self.probe_shorter(t, plen),
+        }
+    }
+
+    /// One descent decision from a validated inner node: finishes, submits
+    /// the leaf read, or submits the next inner child.
+    fn on_node(&mut self, node: InnerNode, entry_len: usize) -> Step {
+        if node.header.status == NodeStatus::Invalid {
+            // Mid type-switch: blocking `locate` backs off and retries.
+            return self.fallback();
+        }
+        let plen = node.header.prefix_len as usize;
+        if self.key.len() == plen {
+            return match node.value_slot {
+                Some(slot) => self.read_leaf(slot.addr, entry_len),
+                None => self.finish(None),
+            };
+        }
+        match node.find_child(self.key[plen]) {
+            None => self.finish(None),
+            Some((_, slot)) if slot.is_leaf => self.read_leaf(slot.addr, entry_len),
+            Some((_, slot)) => {
+                let len = InnerNode::byte_size(slot.child_kind);
+                self.state = St::Child {
+                    entry_len,
+                    parent_plen: plen,
+                    kind: slot.child_kind,
+                };
+                Ok(StepOutcome::Submit {
+                    batch: read_batch(slot.addr, len),
+                    tag: TAG_TRAVERSAL,
+                })
+            }
+        }
+    }
+
+    fn read_leaf(&mut self, ptr: RemotePtr, entry_len: usize) -> Step {
+        let read_len = self.leaf_hint.max(64);
+        self.state = St::Leaf {
+            entry_len,
+            ptr,
+            read_len,
+            attempts: 0,
+        };
+        Ok(StepOutcome::Submit {
+            batch: read_batch(ptr, read_len),
+            tag: TAG_LEAF,
+        })
+    }
+
+    /// The false-positive check of §III-B: if the leaf shares less of the
+    /// key than the entry node's prefix length, both the fp₂ and the
+    /// 42-bit prefix hash collided — restart with a shorter prefix.
+    fn finish_leaf<T: Transport>(&mut self, t: &mut T, leaf: LeafNode, entry_len: usize) -> Step {
+        if common_prefix_len(self.key, &leaf.key) < entry_len {
+            self.delta.fp_retries += 1;
+            self.restarts += 1;
+            if self.restarts >= self.retry.op_retries {
+                // Blocking path reports RetriesExhausted.
+                return self.fallback();
+            }
+            self.max_len = entry_len.saturating_sub(1);
+            self.probe_len = self.max_len;
+            self.first = true;
+            return self.probe(t);
+        }
+        let hit = leaf.key == self.key && leaf.status != NodeStatus::Invalid;
+        self.finish(hit.then_some(leaf.value))
+    }
+}
+
+impl OpState for GetOp<'_> {
+    type Output = GetOut;
+
+    fn step<T: Transport>(
+        &mut self,
+        t: &mut T,
+        completion: Option<Vec<VerbResult>>,
+    ) -> Result<StepOutcome<GetOut>, EngineError> {
+        let state = std::mem::replace(&mut self.state, St::Start);
+        match state {
+            St::Start => {
+                debug_assert!(completion.is_none());
+                if self.key.len() > MAX_KEY_LEN {
+                    // Blocking path reports KeyTooLong.
+                    return self.fallback();
+                }
+                self.probe(t)
+            }
+            St::Pair { plen, base, hash } => {
+                let bytes = into_one_read(completion.expect("Pair state awaits a completion"));
+                match RaceTable::parse_pair(base, &bytes, hash) {
+                    // Stale directory: the blocking path refreshes it.
+                    None => self.fallback(),
+                    Some(entries) => {
+                        let fp = fp12(&self.key[..plen]);
+                        let queue: Vec<(RemotePtr, NodeKind)> = entries
+                            .iter()
+                            .filter_map(|e| HashEntry::decode(e.word))
+                            .filter(|he| he.fp == fp)
+                            .map(|he| (he.addr, he.kind))
+                            .collect();
+                        self.next_candidate(t, plen, queue, 0)
+                    }
+                }
+            }
+            St::Candidate { plen, queue, idx } => {
+                let bytes = into_one_read(completion.expect("Candidate state awaits a completion"));
+                let Ok(node) = InnerNode::decode(&bytes) else {
+                    return self.fallback();
+                };
+                let (_, kind) = queue[idx];
+                if node.header.status == NodeStatus::Invalid
+                    || node.header.kind != kind
+                    || node.header.prefix_len as usize != plen
+                    || node.header.prefix_hash42 != prefix_hash42(&self.key[..plen])
+                {
+                    // fp₁₂ matched but the node did not: collision or
+                    // stale entry; try the next candidate.
+                    self.delta.fp_collisions += 1;
+                    return self.next_candidate(t, plen, queue, idx + 1);
+                }
+                self.delta.inht_hits += 1;
+                if self.first {
+                    self.delta.filter_first_hits += 1;
+                }
+                self.on_node(node, plen)
+            }
+            St::Child {
+                entry_len,
+                parent_plen,
+                kind,
+            } => {
+                let bytes = into_one_read(completion.expect("Child state awaits a completion"));
+                let Ok(child) = InnerNode::decode(&bytes) else {
+                    return self.fallback();
+                };
+                if child.header.status == NodeStatus::Invalid || child.header.kind != kind {
+                    return self.fallback();
+                }
+                let clen = child.header.prefix_len as usize;
+                if clen <= parent_plen {
+                    return self.fallback();
+                }
+                if self.key.len() >= clen
+                    && child.header.prefix_hash42 == prefix_hash42(&self.key[..clen])
+                {
+                    // Child matches the key: teach the filter this prefix
+                    // (the freshness update of §IV Search) and keep going.
+                    {
+                        let mut f = self.filter.lock();
+                        if !f.contains(&self.key[..clen]) {
+                            f.insert(&self.key[..clen]);
+                            self.delta.filter_refreshes += 1;
+                        }
+                    }
+                    self.on_node(child, entry_len)
+                } else {
+                    // Divergence inside the compressed path: the blocking
+                    // path samples a leaf to learn the actual prefix.
+                    self.fallback()
+                }
+            }
+            St::Leaf {
+                entry_len,
+                ptr,
+                read_len,
+                mut attempts,
+            } => {
+                let bytes = into_one_read(completion.expect("Leaf state awaits a completion"));
+                // First word carries the true size; extend if the hint was
+                // too small (mirrors `read_validated_leaf`).
+                let word0 = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+                let units = ((word0 >> 8) & 0xFF) as usize;
+                let true_len = units.max(1) * 64;
+                if true_len > read_len {
+                    self.delta.extended_reads += 1;
+                    self.state = St::Leaf {
+                        entry_len,
+                        ptr,
+                        read_len: true_len,
+                        attempts,
+                    };
+                    return Ok(StepOutcome::Submit {
+                        batch: read_batch(ptr, true_len),
+                        tag: TAG_LEAF,
+                    });
+                }
+                match LeafNode::decode(&bytes) {
+                    Ok(leaf) => self.finish_leaf(t, leaf, entry_len),
+                    Err(LayoutError::ChecksumMismatch { .. }) if !leaf_validation() => {
+                        // Broken-protocol mode for the lincheck harness:
+                        // serve the torn leaf, as the blocking path does.
+                        match LeafNode::decode_unverified(&bytes) {
+                            Ok(leaf) => self.finish_leaf(t, leaf, entry_len),
+                            Err(_) => self.fallback(),
+                        }
+                    }
+                    Err(LayoutError::ChecksumMismatch { .. })
+                    | Err(LayoutError::TruncatedNode { .. }) => {
+                        // Torn read under a concurrent writer: back off and
+                        // re-read, bounded by the shared policy.
+                        self.delta.checksum_retries += 1;
+                        attempts += 1;
+                        if attempts >= self.retry.io_retries {
+                            return self.fallback();
+                        }
+                        t.backoff(&self.retry);
+                        self.state = St::Leaf {
+                            entry_len,
+                            ptr,
+                            read_len,
+                            attempts,
+                        };
+                        Ok(StepOutcome::Submit {
+                            batch: read_batch(ptr, read_len),
+                            tag: TAG_LEAF,
+                        })
+                    }
+                    Err(_) => self.fallback(),
+                }
+            }
+        }
+    }
+}
+
+impl SphinxClient {
+    /// Looks up many keys keeping up to `depth` lookups in flight.
+    ///
+    /// Unlike [`SphinxClient::multi_get`] — which shares round trips only
+    /// when every key is at the same pipeline stage — this driver runs
+    /// each key as an independent resumable state machine
+    /// ([`node_engine::OpState`]): keys at different depths, with
+    /// different filter outcomes, or needing leaf-read retries all keep
+    /// the window full, and every scheduling round the whole window's
+    /// reads go out in one fused doorbell
+    /// ([`dm_sim::Transport::flush_submitted`]).
+    ///
+    /// Results are positionally aligned with `keys`. Depth 1 degenerates
+    /// to the blocking path (identical network charges, one batch per
+    /// flush). Keys that leave the modeled fast path replay through
+    /// [`SphinxClient::get`]. In [`CacheMode::InhtOnly`] every key takes
+    /// the blocking path (that mode already batches per key).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SphinxClient::get`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dm_sim::{ClusterConfig, DmCluster};
+    /// # use sphinx::{SphinxConfig, SphinxIndex};
+    /// # fn main() -> Result<(), sphinx::SphinxError> {
+    /// # let cluster = DmCluster::new(ClusterConfig::default());
+    /// # let index = SphinxIndex::create(&cluster, SphinxConfig::default())?;
+    /// # let mut client = index.client(0)?;
+    /// client.insert(b"k1", b"v1")?;
+    /// client.insert(b"k2", b"v2")?;
+    /// let hits = client.get_many_pipelined(&[b"k1".as_slice(), b"nope", b"k2"], 8)?;
+    /// assert_eq!(hits[0].as_deref(), Some(&b"v1"[..]));
+    /// assert_eq!(hits[1], None);
+    /// assert_eq!(hits[2].as_deref(), Some(&b"v2"[..]));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn get_many_pipelined(
+        &mut self,
+        keys: &[&[u8]],
+        depth: usize,
+    ) -> Result<Vec<Option<Vec<u8>>>, SphinxError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.config.mode != CacheMode::FilterCache {
+            return keys.iter().map(|k| self.get(k)).collect();
+        }
+        // One MultiGet span covers the pipelined run (phases interleave
+        // across ops, so per-phase attribution comes from
+        // `PipelineStats::by_tag` instead of the span recorder); per-key
+        // fallbacks below record their own Get spans.
+        self.obs_begin(OpKind::MultiGet);
+        let mut pstats = PipelineStats::default();
+        let run = {
+            let SphinxClient {
+                dm,
+                tables,
+                filter,
+                config,
+                retry,
+                ..
+            } = self;
+            let hint = config.leaf_read_hint;
+            let ops = keys
+                .iter()
+                .map(|key| GetOp::new(key, tables, filter, hint, *retry));
+            node_engine::run_pipelined(dm, ops, depth, &mut pstats)
+        };
+        self.pipeline.merge(&pstats);
+        let outs = match run {
+            Ok(outs) => outs,
+            Err(e) => {
+                self.op_exit();
+                return Err(e.into());
+            }
+        };
+
+        let mut machine_ops = 0u64;
+        for out in &outs {
+            if matches!(out.result, PipelinedGet::Fallback) {
+                self.obs.incr("pipeline.fallbacks");
+                continue;
+            }
+            machine_ops += 1;
+            self.stats.gets += 1;
+            let d = &out.delta;
+            self.stats.false_positive_retries += d.fp_retries;
+            self.stats.entry_misses += d.entry_misses;
+            self.stats.filter_first_hits += d.filter_first_hits;
+            self.stats.filter_refreshes += d.filter_refreshes;
+            self.stats.checksum_retries += d.checksum_retries;
+            self.stats.extended_leaf_reads += d.extended_reads;
+            self.obs.add("sfc.probe_hit", d.probe_hits);
+            self.obs.add("sfc.probe_miss", d.probe_misses);
+            self.obs.add("inht.hit", d.inht_hits);
+            self.obs.add("inht.fp_collision", d.fp_collisions);
+        }
+        // Reclamation cadence parity with the blocking path: one unpin per
+        // machine-run op (the final one comes from `op_exit`), so the
+        // amortized scan fires as often as it would have.
+        for _ in 1..machine_ops {
+            if self.reclaim.scan_due() {
+                self.obs_phase(Phase::Maintenance);
+            }
+            let SphinxClient { dm, reclaim, .. } = self;
+            reclaim.unpin(dm);
+        }
+        self.op_exit();
+
+        outs.into_iter()
+            .zip(keys)
+            .map(|(out, key)| match out.result {
+                PipelinedGet::Value(v) => Ok(v),
+                PipelinedGet::Fallback => self.get(key),
+            })
+            .collect()
+    }
+
+    /// Cumulative pipelined-execution counters for this worker (flush
+    /// rounds, fusion, stalls, depth histogram, per-phase attribution).
+    pub fn pipeline_stats(&self) -> &PipelineStats {
+        &self.pipeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SphinxConfig, SphinxIndex};
+    use dm_sim::{ClusterConfig, DmCluster};
+
+    fn setup(n: u64) -> (SphinxIndex, crate::SphinxClient) {
+        let cluster = DmCluster::new(ClusterConfig::default());
+        let index = SphinxIndex::create(&cluster, SphinxConfig::small()).unwrap();
+        let mut client = index.client(0).unwrap();
+        for i in 0..n {
+            client
+                .insert(format!("pget-{i:05}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        (index, client)
+    }
+
+    #[test]
+    fn pipelined_matches_get_at_all_depths() {
+        let (_idx, mut client) = setup(400);
+        let keys: Vec<Vec<u8>> = (0..500u64)
+            .step_by(3)
+            .map(|i| format!("pget-{i:05}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let expected: Vec<_> = refs.iter().map(|k| client.get(k).unwrap()).collect();
+        for depth in [1, 4, 8] {
+            let got = client.get_many_pipelined(&refs, depth).unwrap();
+            assert_eq!(got, expected, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn depth_changes_doorbells_not_round_trips() {
+        let (_idx, mut client) = setup(300);
+        let keys: Vec<Vec<u8>> = (0..200u64)
+            .map(|i| format!("pget-{i:05}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        // Warm the filter so both runs take the identical fast path.
+        for k in &refs {
+            client.get(k).unwrap();
+        }
+
+        let s0 = client.net_stats();
+        let t0 = client.clock_ns();
+        client.get_many_pipelined(&refs, 1).unwrap();
+        let d1 = client.net_stats().since(&s0);
+        let t1 = client.clock_ns() - t0;
+        assert_eq!(
+            d1.doorbells, d1.round_trips,
+            "depth 1 never fuses: every logical round trip is a doorbell"
+        );
+
+        let s0 = client.net_stats();
+        let t0 = client.clock_ns();
+        client.get_many_pipelined(&refs, 8).unwrap();
+        let d8 = client.net_stats().since(&s0);
+        let t8 = client.clock_ns() - t0;
+
+        assert_eq!(
+            d8.round_trips, d1.round_trips,
+            "per-op logical round trips are depth-independent"
+        );
+        assert!(
+            d8.doorbells < d1.doorbells,
+            "depth 8 must fuse: {} doorbells vs {}",
+            d8.doorbells,
+            d1.doorbells
+        );
+        assert!(
+            t8 * 2 < t1,
+            "depth 8 ({t8} ns) should be far faster than depth 1 ({t1} ns)"
+        );
+        let p = client.pipeline_stats();
+        assert!(p.fused_batches > 0);
+        assert_eq!(p.ops, 400, "both runs drove every key through a machine");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn pipeline_counters_reach_telemetry() {
+        let (_idx, mut client) = setup(100);
+        let keys: Vec<Vec<u8>> = (0..100u64)
+            .map(|i| format!("pget-{i:05}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        client.get_many_pipelined(&refs, 8).unwrap();
+        let reg = client.telemetry();
+        assert!(reg.counter("pipeline.ops") >= 100);
+        assert!(reg.counter("pipeline.fused_batches") > 0);
+        assert!(reg.counter("pipeline.flushes") > 0);
+        assert!(reg.counter("pipeline.depth_le_8") > 0);
+        // Per-phase attribution: the INHT, traversal and leaf tags all saw
+        // round trips.
+        assert!(reg.counter("pipeline.rts.InhtLookup") > 0);
+        assert!(reg.counter("pipeline.rts.LeafRead") > 0);
+    }
+
+    #[test]
+    fn inht_only_mode_takes_the_blocking_path() {
+        let cluster = DmCluster::new(ClusterConfig::default());
+        let config = crate::SphinxConfig {
+            mode: crate::CacheMode::InhtOnly,
+            ..crate::SphinxConfig::small()
+        };
+        let index = SphinxIndex::create(&cluster, config).unwrap();
+        let mut client = index.client(0).unwrap();
+        for i in 0..50u64 {
+            client
+                .insert(format!("io-{i:03}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        let keys: Vec<Vec<u8>> = (0..60u64)
+            .map(|i| format!("io-{i:03}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let got = client.get_many_pipelined(&refs, 8).unwrap();
+        for (i, g) in got.iter().enumerate() {
+            if i < 50 {
+                assert_eq!(g.as_deref(), Some(&(i as u64).to_le_bytes()[..]));
+            } else {
+                assert_eq!(*g, None);
+            }
+        }
+        assert_eq!(client.pipeline_stats().ops, 0, "no machines in InhtOnly");
+    }
+
+    #[test]
+    fn pipelined_counts_gets_once_per_key() {
+        let (_idx, mut client) = setup(64);
+        let keys: Vec<Vec<u8>> = (0..80u64)
+            .map(|i| format!("pget-{i:05}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let before = client.op_stats().gets;
+        client.get_many_pipelined(&refs, 8).unwrap();
+        assert_eq!(
+            client.op_stats().gets - before,
+            80,
+            "machine-run and fallback keys each count exactly one get"
+        );
+    }
+}

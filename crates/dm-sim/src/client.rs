@@ -7,6 +7,7 @@ use crate::cluster::ClusterInner;
 use crate::error::DmError;
 use crate::schedule::{GrantedStep, ScheduleHandle};
 use crate::stats::ClientStats;
+use crate::transport::{CqState, FaultHook, SqeToken};
 
 /// A single one-sided RDMA operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +56,8 @@ pub enum Verb {
 }
 
 impl Verb {
-    fn mn_id(&self) -> u16 {
+    /// The memory node this verb targets (from its pointer's placement).
+    pub fn mn_id(&self) -> u16 {
         match self {
             Verb::Read { ptr, .. }
             | Verb::Write { ptr, .. }
@@ -66,7 +68,7 @@ impl Verb {
     }
 
     /// Payload bytes this verb moves over the wire (request + response).
-    fn wire_bytes(&self) -> u64 {
+    pub fn wire_bytes(&self) -> u64 {
         match self {
             Verb::Read { len, .. } => *len as u64,
             Verb::Write { data, .. } => data.len() as u64,
@@ -178,6 +180,25 @@ impl DoorbellBatch {
     pub fn is_empty(&self) -> bool {
         self.verbs.is_empty()
     }
+
+    /// The queued verbs, in submission order.
+    pub fn verbs(&self) -> &[Verb] {
+        &self.verbs
+    }
+
+    /// Number of distinct MNs this batch targets — its logical round-trip
+    /// count, and the physical doorbell count when executed unfused.
+    pub fn mn_groups(&self) -> usize {
+        let mut mns: Vec<u16> = self.verbs.iter().map(Verb::mn_id).collect();
+        mns.sort_unstable();
+        mns.dedup();
+        mns.len()
+    }
+
+    /// Total wire bytes the batch moves (requests + responses).
+    pub fn wire_bytes(&self) -> u64 {
+        self.verbs.iter().map(Verb::wire_bytes).sum()
+    }
 }
 
 impl Extend<Verb> for DoorbellBatch {
@@ -206,6 +227,7 @@ pub struct DmClient {
     clock_ns: u64,
     stats: ClientStats,
     schedule: Option<ScheduleHandle>,
+    cq: CqState,
 }
 
 impl DmClient {
@@ -216,6 +238,7 @@ impl DmClient {
             clock_ns: 0,
             stats: ClientStats::default(),
             schedule: None,
+            cq: CqState::new(),
         }
     }
 
@@ -280,12 +303,95 @@ impl DmClient {
     /// slowest of the per-MN round trips. Results are returned in verb
     /// order.
     ///
+    /// A submit+wait shim over the completion queue: anything already on
+    /// the submission queue is flushed (and possibly fused) along with
+    /// this batch.
+    ///
     /// # Errors
     ///
     /// Returns the first addressing/alignment error encountered; memory
     /// effects of verbs preceding the failed one are retained (as on real
     /// hardware, where a QP flushes after a failed work request).
     pub fn execute(&mut self, batch: DoorbellBatch) -> Result<Vec<VerbResult>, DmError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let token = self.submit(batch);
+        self.wait(token)
+    }
+
+    /// Enqueues a doorbell batch without blocking: the network is not
+    /// touched (and the clock does not advance) until the next
+    /// [`flush_submitted`](DmClient::flush_submitted) or a
+    /// [`wait`](DmClient::wait) that triggers one.
+    pub fn submit(&mut self, batch: DoorbellBatch) -> SqeToken {
+        self.cq.enqueue(batch)
+    }
+
+    /// Reaps the completion for `token` if its batch has been flushed.
+    pub fn poll(&mut self, token: SqeToken) -> Option<Result<Vec<VerbResult>, DmError>> {
+        self.cq.reap(token)
+    }
+
+    /// Blocks (in virtual time) until `token`'s completion is available:
+    /// reaps it if posted, otherwise flushes the submission queue first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error the batch completed with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` was never submitted on this client or was
+    /// already reaped.
+    pub fn wait(&mut self, token: SqeToken) -> Result<Vec<VerbResult>, DmError> {
+        if let Some(done) = self.cq.reap(token) {
+            return done;
+        }
+        self.flush_submitted();
+        self.cq
+            .reap(token)
+            .expect("waited on an SqeToken that was never submitted (or already reaped)")
+    }
+
+    /// Rings the doorbell for every submitted batch and posts the
+    /// completions.
+    ///
+    /// Two regimes:
+    ///
+    /// * **Scheduled** (a [`ScheduleHandle`] is attached) or a single
+    ///   pending batch: each batch runs as its own granted step through
+    ///   the legacy blocking path. Under a deterministic schedule every
+    ///   in-flight operation therefore stays an independently schedulable
+    ///   participant and no cross-op fusion happens — determinism and the
+    ///   lincheck interleaving search are unaffected by pipelining.
+    /// * **Unscheduled, multiple batches**: the flush *fuses* them — all
+    ///   verbs go out in one burst, same-MN verbs from different batches
+    ///   share a single round trip (one per-message cost each, summed
+    ///   per-byte costs, one RTT), and the clock advances once by the
+    ///   slowest MN. Each batch still accounts its own logical
+    ///   [`ClientStats::round_trips`]; only [`ClientStats::doorbells`]
+    ///   records the smaller physical message-burst count.
+    pub fn flush_submitted(&mut self) {
+        let pending = self.cq.take_submitted();
+        if pending.is_empty() {
+            return;
+        }
+        if pending.len() == 1 || self.schedule.is_some() {
+            for (token, batch) in pending {
+                let result = self.execute_one(batch);
+                self.cq.complete(token, result);
+            }
+        } else {
+            self.flush_fused(pending);
+        }
+    }
+
+    /// The legacy blocking path: one batch, one (possibly scheduler-gated)
+    /// charged step. Byte-identical in cost and accounting to the
+    /// pre-completion-queue `execute`, which keeps depth-1 pipelining
+    /// equivalent to the blocking stack.
+    fn execute_one(&mut self, batch: DoorbellBatch) -> Result<Vec<VerbResult>, DmError> {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
@@ -306,25 +412,11 @@ impl DmClient {
         }
     }
 
-    fn execute_granted(
-        &mut self,
-        batch: DoorbellBatch,
-        grant: Option<&GrantedStep>,
-    ) -> Result<Vec<VerbResult>, DmError> {
-        // An injected delay models the batch being held at the NIC before
-        // submission: virtual time passes, then the verbs go out.
-        let now = self.clock_ns + grant.map_or(0, |g| g.decision.delay_ns);
-        // Tally per-MN message counts and bytes for the cost model, and
-        // the per-verb breakdown.
-        let mut mn_msgs: Vec<(u16, u64, u64)> = Vec::new(); // (mn, msgs, bytes)
-        for verb in &batch.verbs {
-            match verb {
-                Verb::Read { .. } => self.stats.reads += 1,
-                Verb::Write { .. } => self.stats.writes += 1,
-                Verb::Cas { .. } => self.stats.cas += 1,
-                Verb::Faa { .. } => self.stats.faa += 1,
-                Verb::Free { .. } => self.stats.frees += 1,
-            }
+    /// Per-MN (mn, msgs, bytes) tally of a verb sequence, in first-seen
+    /// MN order.
+    fn tally(verbs: &[Verb]) -> Vec<(u16, u64, u64)> {
+        let mut mn_msgs: Vec<(u16, u64, u64)> = Vec::new();
+        for verb in verbs {
             let mn = verb.mn_id();
             let bytes = verb.wire_bytes();
             match mn_msgs.iter_mut().find(|(id, _, _)| *id == mn) {
@@ -335,6 +427,32 @@ impl DmClient {
                 None => mn_msgs.push((mn, 1, bytes)),
             }
         }
+        mn_msgs
+    }
+
+    /// Bumps the per-verb-kind counters for a verb sequence.
+    fn count_verbs(&mut self, verbs: &[Verb]) {
+        for verb in verbs {
+            match verb {
+                Verb::Read { .. } => self.stats.reads += 1,
+                Verb::Write { .. } => self.stats.writes += 1,
+                Verb::Cas { .. } => self.stats.cas += 1,
+                Verb::Faa { .. } => self.stats.faa += 1,
+                Verb::Free { .. } => self.stats.frees += 1,
+            }
+        }
+    }
+
+    fn execute_granted(
+        &mut self,
+        batch: DoorbellBatch,
+        grant: Option<&GrantedStep>,
+    ) -> Result<Vec<VerbResult>, DmError> {
+        // An injected delay models the batch being held at the NIC before
+        // submission: virtual time passes, then the verbs go out.
+        let now = self.clock_ns + grant.map_or(0, |g| g.decision.delay_ns);
+        self.count_verbs(&batch.verbs);
+        let mn_msgs = Self::tally(&batch.verbs);
 
         // Charge the CN NIC once for the whole batch, each MN NIC for its
         // share, and take the slowest completion.
@@ -357,12 +475,103 @@ impl DmClient {
         self.clock_ns = completion + rtt + cpu;
 
         self.stats.round_trips += mn_msgs.len() as u64;
+        self.stats.doorbells += mn_msgs.len() as u64;
 
         // Apply memory effects and collect results. READ completions pass
         // through the cluster-wide fault hook and, on a step whose
         // schedule decision fired, the schedule's tear hook.
         let fault_hook = self.inner.fault_hook.get();
         let tear_hook = grant.and_then(|g| g.tear_hook.clone());
+        self.apply_effects(batch, &fault_hook, &tear_hook)
+    }
+
+    /// Fused flush of several independent batches (unscheduled path): one
+    /// physical doorbell per distinct MN across the union of all verbs,
+    /// one RTT, one clock advance — while each batch keeps its own logical
+    /// round-trip accounting and its own per-token result.
+    fn flush_fused(&mut self, pending: Vec<(SqeToken, DoorbellBatch)>) {
+        let now = self.clock_ns;
+        // Validate targets up front: a batch addressing an unknown MN is
+        // rejected whole (no charge, no effects) so it cannot poison the
+        // fused charge for its neighbours.
+        let num_mns = self.inner.mns.len();
+        let mut tallies: Vec<Option<Vec<(u16, u64, u64)>>> = Vec::with_capacity(pending.len());
+        let mut union: Vec<(u16, u64, u64)> = Vec::new();
+        let mut total_verbs: u64 = 0;
+        for (_, batch) in &pending {
+            self.count_verbs(&batch.verbs);
+            let tally = Self::tally(&batch.verbs);
+            if tally.iter().any(|&(mn, _, _)| mn as usize >= num_mns) {
+                tallies.push(None);
+                continue;
+            }
+            for &(mn, msgs, bytes) in &tally {
+                match union.iter_mut().find(|(id, _, _)| *id == mn) {
+                    Some((_, m, b)) => {
+                        *m += msgs;
+                        *b += bytes;
+                    }
+                    None => union.push((mn, msgs, bytes)),
+                }
+            }
+            total_verbs += batch.verbs.len() as u64;
+            tallies.push(Some(tally));
+        }
+
+        // Charge the fused burst: the CN NIC once for the union, each MN
+        // NIC for its fused share (per-message costs add, the RTT is
+        // shared), clock to the slowest completion. An all-invalid flush
+        // charges nothing.
+        if !union.is_empty() {
+            let cn_nic = &self.inner.cn_nics[self.cn_id as usize];
+            let total_msgs: u64 = union.iter().map(|(_, m, _)| m).sum();
+            let total_bytes: u64 = union.iter().map(|(_, _, b)| b).sum();
+            let mut completion = cn_nic.submit(now, total_msgs, total_bytes);
+            for &(mn_id, msgs, bytes) in &union {
+                let fin = self.inner.mns[mn_id as usize]
+                    .nic()
+                    .submit(now, msgs, bytes);
+                completion = completion.max(fin);
+            }
+            let rtt = self.inner.config.net.rtt_ns;
+            let cpu = self.inner.config.net.client_op_ns * total_verbs;
+            self.clock_ns = completion + rtt + cpu;
+            self.stats.doorbells += union.len() as u64;
+        }
+
+        // Apply memory effects in submission order, verb order within a
+        // batch; each batch completes with its own results or error.
+        let fault_hook = self.inner.fault_hook.get();
+        for ((token, batch), tally) in pending.into_iter().zip(tallies) {
+            let result = match tally {
+                None => {
+                    let mn_id = batch
+                        .verbs
+                        .iter()
+                        .map(Verb::mn_id)
+                        .find(|&mn| mn as usize >= num_mns)
+                        .expect("invalid batch has an unknown MN");
+                    Err(DmError::UnknownMemoryNode { mn_id })
+                }
+                Some(tally) => {
+                    self.stats.round_trips += tally.len() as u64;
+                    self.apply_effects(batch, &fault_hook, &None)
+                }
+            };
+            self.cq.complete(token, result);
+        }
+    }
+
+    /// Applies a batch's memory effects in verb order and collects the
+    /// results. READ completions pass through the cluster-wide fault hook
+    /// and (on scheduled steps whose decision fired) the schedule's tear
+    /// hook.
+    fn apply_effects(
+        &mut self,
+        batch: DoorbellBatch,
+        fault_hook: &Option<Arc<dyn FaultHook>>,
+        tear_hook: &Option<Arc<dyn FaultHook>>,
+    ) -> Result<Vec<VerbResult>, DmError> {
         let mut results = Vec::with_capacity(batch.verbs.len());
         for verb in batch.verbs {
             let mn =
@@ -382,10 +591,10 @@ impl DmClient {
                         // taken only while a hook is installed, so the
                         // fault-free data path is unaffected.
                         let pristine = buf.clone();
-                        if let Some(hook) = &fault_hook {
+                        if let Some(hook) = fault_hook {
                             hook.corrupt_read(ptr, &mut buf);
                         }
-                        if let Some(hook) = &tear_hook {
+                        if let Some(hook) = tear_hook {
                             hook.corrupt_read(ptr, &mut buf);
                         }
                         if buf != pristine {
@@ -420,16 +629,22 @@ impl DmClient {
         Ok(results)
     }
 
+    /// Submits a single verb through the submit+wait shim and returns its
+    /// result — the one execution entry point behind every convenience
+    /// method below.
+    fn run_one(&mut self, verb: Verb) -> Result<VerbResult, DmError> {
+        let token = self.submit(DoorbellBatch::from_iter([verb]));
+        let mut res = self.wait(token)?;
+        Ok(res.pop().expect("one verb, one result"))
+    }
+
     /// Reads `len` bytes at `ptr` in one round trip.
     ///
     /// # Errors
     ///
     /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
     pub fn read(&mut self, ptr: RemotePtr, len: usize) -> Result<Vec<u8>, DmError> {
-        let mut res = self.execute(DoorbellBatch {
-            verbs: vec![Verb::Read { ptr, len }],
-        })?;
-        Ok(res.pop().expect("one result").into_read())
+        Ok(self.run_one(Verb::Read { ptr, len })?.into_read())
     }
 
     /// Writes `data` at `ptr` in one round trip.
@@ -438,11 +653,9 @@ impl DmClient {
     ///
     /// Returns [`DmError::InvalidAddress`] for out-of-pool access.
     pub fn write(&mut self, ptr: RemotePtr, data: &[u8]) -> Result<(), DmError> {
-        self.execute(DoorbellBatch {
-            verbs: vec![Verb::Write {
-                ptr,
-                data: data.to_vec(),
-            }],
+        self.run_one(Verb::Write {
+            ptr,
+            data: data.to_vec(),
         })?;
         Ok(())
     }
@@ -472,10 +685,7 @@ impl DmClient {
     ///
     /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
     pub fn cas(&mut self, ptr: RemotePtr, expected: u64, new: u64) -> Result<u64, DmError> {
-        let mut res = self.execute(DoorbellBatch {
-            verbs: vec![Verb::Cas { ptr, expected, new }],
-        })?;
-        Ok(res.pop().expect("one result").into_cas())
+        Ok(self.run_one(Verb::Cas { ptr, expected, new })?.into_cas())
     }
 
     /// RDMA FAA on the word at `ptr`; returns the previous value.
@@ -484,10 +694,7 @@ impl DmClient {
     ///
     /// Returns [`DmError::MisalignedAtomic`] or [`DmError::InvalidAddress`].
     pub fn faa(&mut self, ptr: RemotePtr, delta: u64) -> Result<u64, DmError> {
-        let mut res = self.execute(DoorbellBatch {
-            verbs: vec![Verb::Faa { ptr, delta }],
-        })?;
-        match res.pop().expect("one result") {
+        match self.run_one(Verb::Faa { ptr, delta })? {
             VerbResult::Faa(v) => Ok(v),
             other => panic!("expected Faa result, got {other:?}"),
         }
@@ -539,8 +746,12 @@ impl DmClient {
 /// methods above keep working unchanged (they shadow the same-named trait
 /// provided methods with identical behaviour).
 impl crate::transport::Transport for DmClient {
-    fn execute(&mut self, batch: DoorbellBatch) -> Result<Vec<VerbResult>, DmError> {
-        DmClient::execute(self, batch)
+    fn cq(&mut self) -> &mut CqState {
+        &mut self.cq
+    }
+
+    fn flush_submitted(&mut self) {
+        DmClient::flush_submitted(self);
     }
 
     fn stats(&self) -> ClientStats {
@@ -754,5 +965,129 @@ mod tests {
     fn client_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<DmClient>();
+    }
+
+    #[test]
+    fn submit_is_free_until_flush() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let p = cl.alloc(0, 8).unwrap();
+        cl.write_u64(p, 7).unwrap();
+        let t0 = cl.clock_ns();
+        let s0 = cl.stats();
+        let tok = cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: p, len: 8 }]));
+        assert_eq!(cl.clock_ns(), t0, "submit must not advance the clock");
+        assert_eq!(cl.stats(), s0, "submit must not touch counters");
+        assert!(cl.poll(tok).is_none(), "nothing flushed yet");
+        let res = cl.wait(tok).unwrap();
+        assert_eq!(res[0], VerbResult::Read(7u64.to_le_bytes().to_vec()));
+        assert!(cl.clock_ns() > t0);
+        assert!(cl.poll(tok).is_none(), "token reaped exactly once");
+    }
+
+    #[test]
+    fn fused_flush_is_one_doorbell_two_logical_round_trips() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 8).unwrap();
+        let b = cl.alloc(0, 8).unwrap();
+        cl.write_u64(a, 1).unwrap();
+        cl.write_u64(b, 2).unwrap();
+        let s0 = cl.stats();
+        let t0 = cl.clock_ns();
+        let ta = cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: a, len: 8 }]));
+        let tb = cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: b, len: 8 }]));
+        cl.flush_submitted();
+        let fused_elapsed = cl.clock_ns() - t0;
+        assert_eq!(
+            cl.poll(ta).unwrap().unwrap()[0],
+            VerbResult::Read(1u64.to_le_bytes().to_vec())
+        );
+        assert_eq!(
+            cl.poll(tb).unwrap().unwrap()[0],
+            VerbResult::Read(2u64.to_le_bytes().to_vec())
+        );
+        let d = cl.stats().since(&s0);
+        assert_eq!(d.round_trips, 2, "each op keeps its logical round trip");
+        assert_eq!(d.doorbells, 1, "one fused physical doorbell");
+        assert_eq!(d.reads, 2);
+        // The fused flush shares one RTT: cheaper than two sequential reads.
+        assert!(
+            fused_elapsed < 2 * NetConfig::default().rtt_ns,
+            "fused flush paid more than one RTT: {fused_elapsed}"
+        );
+    }
+
+    #[test]
+    fn fused_flush_across_two_mns_counts_two_doorbells() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 8).unwrap();
+        let b = cl.alloc(1, 8).unwrap();
+        let s0 = cl.stats();
+        cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: a, len: 8 }]));
+        cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: b, len: 8 }]));
+        cl.flush_submitted();
+        let d = cl.stats().since(&s0);
+        assert_eq!(d.round_trips, 2);
+        assert_eq!(d.doorbells, 2, "distinct MNs cannot share a doorbell");
+    }
+
+    #[test]
+    fn single_batch_flush_matches_legacy_execute_exactly() {
+        // Depth-1 pipelining must be byte-identical to the blocking path:
+        // same clock, same stats, same NIC state evolution.
+        let c = small_cluster();
+        let p = c.mn(0).unwrap().alloc(16).unwrap();
+        let mut legacy = c.client(0);
+        legacy.write(p, &[9u8; 16]).unwrap();
+        legacy.read(p, 16).unwrap();
+        c.reset_network();
+        let mut cq = c.client(0);
+        let t1 = cq.submit(DoorbellBatch::from_iter([Verb::Write {
+            ptr: p,
+            data: vec![9u8; 16],
+        }]));
+        cq.wait(t1).unwrap();
+        let t2 = cq.submit(DoorbellBatch::from_iter([Verb::Read { ptr: p, len: 16 }]));
+        cq.wait(t2).unwrap();
+        assert_eq!(cq.clock_ns(), legacy.clock_ns());
+        assert_eq!(cq.stats(), legacy.stats());
+        assert_eq!(cq.stats().doorbells, cq.stats().round_trips);
+    }
+
+    #[test]
+    fn failed_batch_poisons_only_its_token() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 8).unwrap();
+        cl.write_u64(a, 5).unwrap();
+        let dead = cl.alloc(0, 8).unwrap();
+        cl.free(dead).unwrap();
+        let ok = cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: a, len: 8 }]));
+        let bad = cl.submit(DoorbellBatch::from_iter([Verb::Free { ptr: dead }]));
+        cl.flush_submitted();
+        assert_eq!(
+            cl.wait(ok).unwrap()[0],
+            VerbResult::Read(5u64.to_le_bytes().to_vec()),
+            "a neighbour's failure must not poison this batch"
+        );
+        assert!(matches!(cl.wait(bad), Err(DmError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn wait_on_last_token_completes_all_pending() {
+        let c = small_cluster();
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 8).unwrap();
+        let b = cl.alloc(0, 8).unwrap();
+        cl.write_u64(a, 1).unwrap();
+        cl.write_u64(b, 2).unwrap();
+        let ta = cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: a, len: 8 }]));
+        let tb = cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: b, len: 8 }]));
+        // Waiting on the later token flushes the whole queue; the earlier
+        // completion is then poll-able without further network activity.
+        cl.wait(tb).unwrap();
+        assert!(cl.poll(ta).is_some());
     }
 }

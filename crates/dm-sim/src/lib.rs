@@ -60,4 +60,4 @@ pub use net::{NetConfig, Nic};
 pub use ring::HashRing;
 pub use schedule::{Schedule, ScheduleConfig, ScheduleHandle, StepDecision, TraceStep};
 pub use stats::{ClientStats, LatencyHistogram};
-pub use transport::{FaultHook, RetryPolicy, Transport};
+pub use transport::{CqState, FaultHook, RetryPolicy, SqeToken, Transport};

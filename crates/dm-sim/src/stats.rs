@@ -121,6 +121,11 @@ pub struct ClientStats {
     /// Round trips performed (a doorbell batch to `k` distinct MNs counts
     /// `k` parallel round trips but only advances the clock by the slowest).
     pub round_trips: u64,
+    /// Physical doorbells rung at the NIC. Equal to `round_trips` for
+    /// blocking execution; lower when a completion-queue flush fuses the
+    /// submissions of several independent operations into one doorbell per
+    /// target MN (each batch still accounts its own logical `round_trips`).
+    pub doorbells: u64,
     /// READ verbs issued.
     pub reads: u64,
     /// WRITE verbs issued.
@@ -154,6 +159,7 @@ impl ClientStats {
     pub fn since(&self, earlier: &ClientStats) -> ClientStats {
         ClientStats {
             round_trips: self.round_trips - earlier.round_trips,
+            doorbells: self.doorbells - earlier.doorbells,
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,
             cas: self.cas - earlier.cas,
@@ -232,6 +238,7 @@ mod tests {
     fn stats_since() {
         let a = ClientStats {
             round_trips: 10,
+            doorbells: 8,
             reads: 12,
             writes: 5,
             cas: 2,
@@ -242,6 +249,7 @@ mod tests {
         };
         let b = ClientStats {
             round_trips: 4,
+            doorbells: 3,
             reads: 3,
             writes: 1,
             cas: 1,
@@ -252,6 +260,7 @@ mod tests {
         };
         let d = a.since(&b);
         assert_eq!(d.round_trips, 6);
+        assert_eq!(d.doorbells, 5);
         assert_eq!(d.bytes_total(), 90);
         assert_eq!((d.reads, d.writes, d.cas, d.faa, d.frees), (9, 4, 1, 1, 1));
         assert_eq!(d.verbs(), 16);

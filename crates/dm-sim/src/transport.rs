@@ -4,10 +4,22 @@
 //! substrate. Index crates (`sphinx`, `baselines`, `bptree`, `race-hash`)
 //! never build [`DoorbellBatch`]es themselves; they call the provided
 //! combinators here, so every round trip flows through one choke point
-//! ([`Transport::execute`]) where the per-client [`ClientStats`] counters
-//! and the cluster's [`FaultHook`] live. Porting the stack to a different
-//! fabric (real RDMA, CXL) means implementing this trait once, not
-//! touching five crates.
+//! where the per-client [`ClientStats`] counters and the cluster's
+//! [`FaultHook`] live. Porting the stack to a different fabric (real RDMA,
+//! CXL) means implementing this trait once, not touching five crates.
+//!
+//! ## Completion-queue execution
+//!
+//! The trait follows the io_uring idiom: [`submit`](Transport::submit)
+//! enqueues a batch without blocking and returns an [`SqeToken`];
+//! [`flush_submitted`](Transport::flush_submitted) rings the doorbell for
+//! everything pending, fusing same-MN verbs from *different* submissions
+//! into one physical message burst; [`poll`](Transport::poll) /
+//! [`wait`](Transport::wait) reap per-token completions. The classic
+//! blocking [`execute`](Transport::execute) is a submit+wait shim over
+//! this queue, so straight-line callers keep working unchanged while
+//! pipelined callers (see `node-engine`'s op scheduler) keep several
+//! operations in flight per worker.
 
 use crate::addr::RemotePtr;
 use crate::client::{DoorbellBatch, Verb, VerbResult};
@@ -73,24 +85,154 @@ pub trait FaultHook: Send + Sync {
     fn corrupt_read(&self, ptr: RemotePtr, data: &mut [u8]);
 }
 
+/// A ticket identifying one submitted doorbell batch on a transport's
+/// submission queue. Redeem it with [`Transport::poll`] or
+/// [`Transport::wait`]; tokens are not transferable between transports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SqeToken(u64);
+
+/// Submission/completion queue state backing the io_uring-style half of
+/// [`Transport`].
+///
+/// An implementation embeds one `CqState` and hands it out via
+/// [`Transport::cq`]; the provided [`submit`](Transport::submit) /
+/// [`poll`](Transport::poll) / [`wait`](Transport::wait) methods do the
+/// bookkeeping, and the implementation's
+/// [`flush_submitted`](Transport::flush_submitted) moves entries from the
+/// submission side to the completion side, attaching each batch's results
+/// or error.
+#[derive(Debug, Default)]
+pub struct CqState {
+    next_token: u64,
+    sq: Vec<(SqeToken, DoorbellBatch)>,
+    cq: Vec<(SqeToken, Result<Vec<VerbResult>, DmError>)>,
+}
+
+impl CqState {
+    /// Creates an empty submission/completion queue.
+    pub fn new() -> Self {
+        CqState::default()
+    }
+
+    /// Enqueues a batch on the submission queue and mints its token.
+    pub fn enqueue(&mut self, batch: DoorbellBatch) -> SqeToken {
+        let token = SqeToken(self.next_token);
+        self.next_token += 1;
+        self.sq.push((token, batch));
+        token
+    }
+
+    /// Drains the submission queue, in submission order. The flusher must
+    /// [`complete`](CqState::complete) every drained token.
+    pub fn take_submitted(&mut self) -> Vec<(SqeToken, DoorbellBatch)> {
+        std::mem::take(&mut self.sq)
+    }
+
+    /// Posts a completion (results or the batch's error) for `token`.
+    pub fn complete(&mut self, token: SqeToken, result: Result<Vec<VerbResult>, DmError>) {
+        self.cq.push((token, result));
+    }
+
+    /// Reaps the completion for `token` if it has been posted.
+    pub fn reap(&mut self, token: SqeToken) -> Option<Result<Vec<VerbResult>, DmError>> {
+        let idx = self.cq.iter().position(|(t, _)| *t == token)?;
+        Some(self.cq.swap_remove(idx).1)
+    }
+
+    /// Number of batches submitted but not yet flushed.
+    pub fn submitted_len(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Number of completions posted but not yet reaped.
+    pub fn completed_len(&self) -> usize {
+        self.cq.len()
+    }
+}
+
 /// One-sided remote access with doorbell batching and unified counters.
 ///
 /// [`DmClient`](crate::DmClient) is the simulator-backed implementation.
 /// All the batch-building combinators are provided methods layered on
-/// [`execute`](Transport::execute), so an implementation only supplies the
-/// six required primitives and inherits identical batching semantics and
-/// accounting.
+/// [`execute`](Transport::execute) — itself a provided submit+wait shim
+/// over the completion queue — so an implementation only supplies the
+/// required primitives ([`cq`](Transport::cq),
+/// [`flush_submitted`](Transport::flush_submitted), and the
+/// clock/placement/allocation hooks) and inherits identical batching
+/// semantics and accounting.
 pub trait Transport {
+    /// The transport's submission/completion queue state.
+    fn cq(&mut self) -> &mut CqState;
+
+    /// Rings the doorbell for every submitted-but-unflushed batch and
+    /// posts each batch's completion (results in verb order, or the
+    /// batch's error) to the completion queue.
+    ///
+    /// Verbs from *different* submissions that target the same MN must be
+    /// fused into one physical message burst — charged one per-message
+    /// cost each but sharing a single round trip — while each submission
+    /// still accounts its own logical [`ClientStats::round_trips`].
+    /// Memory effects apply in submission order, verb order within a
+    /// batch.
+    fn flush_submitted(&mut self);
+
+    /// Enqueues a doorbell batch without blocking; the network is not
+    /// touched until the next [`flush_submitted`](Transport::flush_submitted)
+    /// (or a [`wait`](Transport::wait) that triggers one).
+    fn submit(&mut self, batch: DoorbellBatch) -> SqeToken {
+        self.cq().enqueue(batch)
+    }
+
+    /// Reaps the completion for `token` if already flushed; `None` while
+    /// the batch still sits on the submission queue.
+    fn poll(&mut self, token: SqeToken) -> Option<Result<Vec<VerbResult>, DmError>> {
+        self.cq().reap(token)
+    }
+
+    /// Blocks (in virtual time) until the completion for `token` is
+    /// available: reaps it if posted, otherwise flushes the submission
+    /// queue and reaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error the batch completed with (addressing/alignment
+    /// faults; effects of verbs preceding the failed one are retained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` was never submitted on this transport or was
+    /// already reaped.
+    fn wait(&mut self, token: SqeToken) -> Result<Vec<VerbResult>, DmError> {
+        if let Some(done) = self.cq().reap(token) {
+            return done;
+        }
+        self.flush_submitted();
+        self.cq()
+            .reap(token)
+            .expect("waited on an SqeToken that was never submitted (or already reaped)")
+    }
+
     /// Executes a doorbell batch: verbs to the same MN share one round
     /// trip, verbs to `k` MNs cost `k` parallel round trips, and memory
     /// effects apply **in verb order** (a READ after a CAS in one batch
     /// observes the post-CAS state). Results are returned in verb order.
     ///
+    /// This is a submit+wait shim over the completion queue: the batch is
+    /// enqueued and the queue immediately flushed, so anything else
+    /// already sitting on the submission queue is flushed (and possibly
+    /// fused) along with it.
+    ///
     /// # Errors
     ///
     /// Returns the first addressing/alignment error; effects of preceding
     /// verbs are retained.
-    fn execute(&mut self, batch: DoorbellBatch) -> Result<Vec<VerbResult>, DmError>;
+    fn execute(&mut self, batch: DoorbellBatch) -> Result<Vec<VerbResult>, DmError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let token = self.submit(batch);
+        self.wait(token)
+    }
 
     /// Cumulative per-client network counters (round trips, verbs, bytes).
     fn stats(&self) -> ClientStats;

@@ -10,12 +10,21 @@
 //!                  │
 //!             node-engine                        (validated reads,
 //!                  │                              guarded installs,
-//!              Transport                          shared RetryPolicy)
-//!                  │
+//!                  │                              shared RetryPolicy,
+//!                  │                              op pipeline driver)
+//!              Transport                          (submit/poll/wait
+//!                  │                              completion queue;
+//!                  │                              execute = submit+wait)
 //!               dm-sim                            (verbs, doorbell
-//!                                                  batching, counters,
+//!                                                  batching + cross-op
+//!                                                  fusion, counters,
 //!                                                  fault hook)
 //! ```
+//!
+//! The [`pipeline`] module adds the other half of the seam: operations
+//! restructured as resumable state machines ([`OpState`]) driven by
+//! [`run_pipelined`], which keeps N ops in flight per worker over the
+//! transport's completion queue.
 //!
 //! Before this crate existed, `sphinx`, `baselines`, `bptree` and
 //! `race-hash` each carried a private copy of this scaffolding (torn-read
@@ -35,6 +44,10 @@ use art_core::NodeKind;
 use dm_sim::{DmError, RemotePtr, Transport};
 
 pub use dm_sim::RetryPolicy;
+
+pub mod pipeline;
+
+pub use pipeline::{run_pipelined, OpState, PipelineStats, StepOutcome, TagAgg, DEFAULT_DEPTH};
 
 /// Process-wide switch for leaf checksum validation (default on).
 ///

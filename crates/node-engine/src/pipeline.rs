@@ -1,0 +1,463 @@
+//! Op pipelining: resumable operation state machines and the per-worker
+//! pipeline driver.
+//!
+//! A DM index op is a chain of dependent round trips (probe → entry →
+//! descend → leaf), so a blocking worker spends almost all its virtual
+//! time parked on RTTs. The driver here keeps up to `depth` *independent*
+//! operations in flight on one worker: each op is an explicit state
+//! machine ([`OpState`]) that, instead of calling
+//! [`Transport::execute`], *returns* the [`DoorbellBatch`] it wants
+//! posted ([`StepOutcome::Submit`]) and is resumed with the completion.
+//! Every scheduling round the driver submits one batch per in-flight op
+//! and issues a single [`Transport::flush_submitted`] — same-MN verbs
+//! from different ops fuse into one physical doorbell, and all in-flight
+//! ops share one RTT per round instead of paying one each.
+//!
+//! ## Contract for `step`
+//!
+//! * `step(t, None)` is the initial call; `step(t, Some(results))` resumes
+//!   with the completion of the batch the previous call submitted.
+//! * `step` may use the transport for CPU-side work (placement, backoff,
+//!   allocation) but must **not** call `execute`/`wait` — a blocking call
+//!   inside `step` would flush every peer's pending submission early.
+//!   (Correctness would survive — completions are reaped by token — but
+//!   the fusion and RTT-overlap benefits would silently vanish.)
+//! * Cross-op fusion is legal because the driver only fuses batches from
+//!   *different* operations: no intra-op ordering edge ever crosses a
+//!   flush fence, as each op has at most one batch in flight.
+
+use std::collections::BTreeMap;
+
+use dm_sim::{DoorbellBatch, SqeToken, Transport, VerbResult};
+
+use crate::EngineError;
+
+/// Default per-worker pipeline depth: enough in-flight ops to hide the
+/// common three-round-trip chain several times over without blowing up
+/// per-worker memory. Harness flags (`SPHINX_PIPELINE_DEPTH`) override it.
+pub const DEFAULT_DEPTH: usize = 8;
+
+/// What an [`OpState::step`] call decided.
+pub enum StepOutcome<R> {
+    /// Post this batch; resume the op when its completion arrives.
+    Submit {
+        /// The verbs to post (must be non-empty).
+        batch: DoorbellBatch,
+        /// Caller-defined attribution tag (e.g. an `obs` phase index)
+        /// aggregated per tag in [`PipelineStats::by_tag`].
+        tag: u32,
+    },
+    /// The op finished with this result.
+    Done(R),
+}
+
+/// A resumable index operation: straight-line blocking code restructured
+/// into an explicit state machine that yields at every round trip.
+pub trait OpState {
+    /// The op's result type.
+    type Output;
+
+    /// Advances the op: consumes the previous submission's completion
+    /// (`None` on the first call) and either submits the next batch or
+    /// finishes. See the module docs for the full contract.
+    ///
+    /// # Errors
+    ///
+    /// A fatal engine error aborts the whole pipeline run.
+    fn step<T: Transport>(
+        &mut self,
+        t: &mut T,
+        completion: Option<Vec<VerbResult>>,
+    ) -> Result<StepOutcome<Self::Output>, EngineError>;
+}
+
+/// Per-tag network aggregates for one pipeline run (tags are the `tag`
+/// values ops attach to their submissions — typically `obs` phase
+/// indices, so callers can attribute round trips per phase).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagAgg {
+    /// Batches submitted with this tag.
+    pub batches: u64,
+    /// Logical round trips (distinct MNs per batch).
+    pub round_trips: u64,
+    /// Verbs submitted.
+    pub verbs: u64,
+    /// Wire bytes moved.
+    pub bytes: u64,
+}
+
+/// Number of `≤`-buckets in [`PipelineStats::depth_hist`]
+/// (1, 2, 4, 8, 16, >16).
+pub const DEPTH_BUCKETS: usize = 6;
+
+/// Counters describing one or more [`run_pipelined`] invocations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Ops driven to completion.
+    pub ops: u64,
+    /// Flush rounds issued.
+    pub flushes: u64,
+    /// Batches that shared their flush with at least one other batch
+    /// (i.e. went out in a fused doorbell burst).
+    pub fused_batches: u64,
+    /// Flush rounds issued with fewer in-flight ops than the configured
+    /// depth — the input stream ran dry or the pipeline was draining.
+    pub stalls: u64,
+    /// In-flight ops at each flush, bucketed ≤1, ≤2, ≤4, ≤8, ≤16, >16.
+    pub depth_hist: [u64; DEPTH_BUCKETS],
+    /// Network work grouped by the submitting op's tag.
+    pub by_tag: BTreeMap<u32, TagAgg>,
+}
+
+impl PipelineStats {
+    fn record_flush(&mut self, in_flight: usize, depth: usize) {
+        self.flushes += 1;
+        if in_flight > 1 {
+            self.fused_batches += in_flight as u64;
+        }
+        if in_flight < depth {
+            self.stalls += 1;
+        }
+        let bucket = match in_flight {
+            0..=1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            _ => 5,
+        };
+        self.depth_hist[bucket] += 1;
+    }
+
+    fn record_submit(&mut self, tag: u32, batch: &DoorbellBatch) {
+        let agg = self.by_tag.entry(tag).or_default();
+        agg.batches += 1;
+        agg.round_trips += batch.mn_groups() as u64;
+        agg.verbs += batch.len() as u64;
+        agg.bytes += batch.wire_bytes();
+    }
+
+    /// Merges another run's counters into this accumulator.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.ops += other.ops;
+        self.flushes += other.flushes;
+        self.fused_batches += other.fused_batches;
+        self.stalls += other.stalls;
+        for (a, b) in self.depth_hist.iter_mut().zip(&other.depth_hist) {
+            *a += b;
+        }
+        for (tag, agg) in &other.by_tag {
+            let mine = self.by_tag.entry(*tag).or_default();
+            mine.batches += agg.batches;
+            mine.round_trips += agg.round_trips;
+            mine.verbs += agg.verbs;
+            mine.bytes += agg.bytes;
+        }
+    }
+}
+
+/// One pipeline slot: an admitted op and its outstanding submission.
+struct Slot<S> {
+    idx: usize,
+    op: S,
+    token: SqeToken,
+}
+
+/// Drives `ops` to completion keeping up to `depth` of them in flight,
+/// returning their outputs in input order.
+///
+/// Each round: every in-flight op has exactly one submitted batch; one
+/// [`Transport::flush_submitted`] posts them all (fused on transports
+/// that support it); each op is resumed with its completion and either
+/// resubmits (joining the next round) or finishes, freeing its slot for
+/// the next op off the iterator. `depth` is clamped to at least 1; depth
+/// 1 degenerates to the blocking path, one batch per flush.
+///
+/// # Errors
+///
+/// The first batch error or fatal `step` error aborts the run (remaining
+/// ops are abandoned; their effects so far are retained, as with blocking
+/// execution).
+pub fn run_pipelined<T, S, I>(
+    t: &mut T,
+    ops: I,
+    depth: usize,
+    stats: &mut PipelineStats,
+) -> Result<Vec<S::Output>, EngineError>
+where
+    T: Transport,
+    S: OpState,
+    I: IntoIterator<Item = S>,
+{
+    let depth = depth.max(1);
+    let mut input = ops.into_iter();
+    let mut outputs: Vec<Option<S::Output>> = Vec::new();
+    let mut slots: Vec<Slot<S>> = Vec::with_capacity(depth);
+
+    // Admit one op: run its first step; ops that finish without touching
+    // the network never occupy a slot.
+    let admit = |t: &mut T,
+                 slots: &mut Vec<Slot<S>>,
+                 outputs: &mut Vec<Option<S::Output>>,
+                 stats: &mut PipelineStats,
+                 mut op: S|
+     -> Result<(), EngineError> {
+        let idx = outputs.len();
+        outputs.push(None);
+        match op.step(t, None)? {
+            StepOutcome::Done(out) => {
+                outputs[idx] = Some(out);
+                stats.ops += 1;
+            }
+            StepOutcome::Submit { batch, tag } => {
+                stats.record_submit(tag, &batch);
+                let token = t.submit(batch);
+                slots.push(Slot { idx, op, token });
+            }
+        }
+        Ok(())
+    };
+
+    loop {
+        while slots.len() < depth {
+            match input.next() {
+                Some(op) => admit(t, &mut slots, &mut outputs, stats, op)?,
+                None => break,
+            }
+        }
+        if slots.is_empty() {
+            break;
+        }
+
+        stats.record_flush(slots.len(), depth);
+        t.flush_submitted();
+
+        let mut kept: Vec<Slot<S>> = Vec::with_capacity(slots.len());
+        for mut slot in slots {
+            let results = t
+                .poll(slot.token)
+                .expect("flushed submission must have a completion")
+                .map_err(EngineError::Dm)?;
+            match slot.op.step(t, Some(results))? {
+                StepOutcome::Done(out) => {
+                    outputs[slot.idx] = Some(out);
+                    stats.ops += 1;
+                }
+                StepOutcome::Submit { batch, tag } => {
+                    stats.record_submit(tag, &batch);
+                    slot.token = t.submit(batch);
+                    kept.push(slot);
+                }
+            }
+        }
+        slots = kept;
+    }
+
+    Ok(outputs
+        .into_iter()
+        .map(|o| o.expect("every admitted op either finished or aborted the run"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_sim::{ClusterConfig, DmCluster, NetConfig, RemotePtr, Verb};
+
+    /// A toy op: `hops` dependent 8-byte reads of the same word, then
+    /// returns the value observed.
+    struct ChainRead {
+        ptr: RemotePtr,
+        hops: usize,
+        last: u64,
+    }
+
+    impl OpState for ChainRead {
+        type Output = u64;
+
+        fn step<T: Transport>(
+            &mut self,
+            _t: &mut T,
+            completion: Option<Vec<VerbResult>>,
+        ) -> Result<StepOutcome<u64>, EngineError> {
+            if let Some(mut res) = completion {
+                let bytes = res.pop().expect("one read").into_read();
+                self.last = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+                self.hops -= 1;
+            }
+            if self.hops == 0 {
+                return Ok(StepOutcome::Done(self.last));
+            }
+            Ok(StepOutcome::Submit {
+                batch: DoorbellBatch::from_iter([Verb::Read {
+                    ptr: self.ptr,
+                    len: 8,
+                }]),
+                tag: 0,
+            })
+        }
+    }
+
+    fn cluster() -> DmCluster {
+        DmCluster::new(ClusterConfig {
+            num_mns: 1,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn pipelined_results_match_input_order() {
+        let c = cluster();
+        let mut cl = c.client(0);
+        let mut ptrs = Vec::new();
+        for i in 0..10u64 {
+            let p = cl.alloc(0, 8).unwrap();
+            dm_sim::Transport::write_u64(&mut cl, p, 100 + i).unwrap();
+            ptrs.push(p);
+        }
+        let ops = ptrs.iter().map(|&ptr| ChainRead {
+            ptr,
+            hops: 3,
+            last: 0,
+        });
+        let mut stats = PipelineStats::default();
+        let out = run_pipelined(&mut cl, ops, 4, &mut stats).unwrap();
+        assert_eq!(out, (100..110).collect::<Vec<u64>>());
+        assert_eq!(stats.ops, 10);
+        assert!(stats.fused_batches > 0);
+        assert_eq!(stats.by_tag[&0].batches, 30, "3 hops x 10 ops");
+    }
+
+    #[test]
+    fn deeper_pipeline_is_faster_and_rings_fewer_doorbells() {
+        let c = cluster();
+        let mk_ops = |cl: &mut dm_sim::DmClient| {
+            let mut ptrs = Vec::new();
+            for i in 0..32u64 {
+                let p = cl.alloc(0, 8).unwrap();
+                dm_sim::Transport::write_u64(cl, p, i).unwrap();
+                ptrs.push(p);
+            }
+            ptrs
+        };
+        let mut d1 = c.client(0);
+        let ptrs = mk_ops(&mut d1);
+        c.reset_network();
+        d1.set_clock_ns(0);
+        let s0 = d1.stats();
+        let mut st1 = PipelineStats::default();
+        run_pipelined(
+            &mut d1,
+            ptrs.iter().map(|&ptr| ChainRead {
+                ptr,
+                hops: 3,
+                last: 0,
+            }),
+            1,
+            &mut st1,
+        )
+        .unwrap();
+        let t1 = d1.clock_ns();
+        let db1 = d1.stats().since(&s0).doorbells;
+
+        c.reset_network();
+        let mut d8 = c.client(0);
+        let s0 = d8.stats();
+        let mut st8 = PipelineStats::default();
+        run_pipelined(
+            &mut d8,
+            ptrs.iter().map(|&ptr| ChainRead {
+                ptr,
+                hops: 3,
+                last: 0,
+            }),
+            8,
+            &mut st8,
+        )
+        .unwrap();
+        let t8 = d8.clock_ns();
+        let d = d8.stats().since(&s0);
+
+        assert_eq!(
+            d.round_trips, db1,
+            "logical per-op round trips are depth-independent"
+        );
+        assert!(
+            d.doorbells < db1,
+            "depth 8 must fuse: {} physical vs {} at depth 1",
+            d.doorbells,
+            db1
+        );
+        assert!(
+            t8 * 4 < t1 * 3,
+            "depth 8 ({t8} ns) should beat depth 1 ({t1} ns) clearly"
+        );
+        assert_eq!(st8.depth_hist[3], st8.flushes - st8.stalls);
+        assert!(st1.fused_batches == 0, "depth 1 never fuses");
+    }
+
+    #[test]
+    fn immediate_done_ops_need_no_network() {
+        struct Nop;
+        impl OpState for Nop {
+            type Output = u8;
+            fn step<T: Transport>(
+                &mut self,
+                _t: &mut T,
+                _c: Option<Vec<VerbResult>>,
+            ) -> Result<StepOutcome<u8>, EngineError> {
+                Ok(StepOutcome::Done(7))
+            }
+        }
+        let c = cluster();
+        let mut cl = c.client(0);
+        let mut stats = PipelineStats::default();
+        let out = run_pipelined(&mut cl, (0..5).map(|_| Nop), 8, &mut stats).unwrap();
+        assert_eq!(out, vec![7; 5]);
+        assert_eq!(cl.stats().round_trips, 0);
+        assert_eq!(stats.flushes, 0);
+    }
+
+    #[test]
+    fn depth_one_matches_blocking_costs_exactly() {
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 1,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            net: NetConfig::rdma(),
+            ..Default::default()
+        });
+        let mut blocking = c.client(0);
+        let p = blocking.alloc(0, 8).unwrap();
+        dm_sim::Transport::write_u64(&mut blocking, p, 42).unwrap();
+        c.reset_network();
+        blocking.set_clock_ns(0);
+        let sb = blocking.stats();
+        for _ in 0..6 {
+            dm_sim::Transport::read(&mut blocking, p, 8).unwrap();
+        }
+        let blocking_elapsed = blocking.clock_ns();
+        let blocking_stats = blocking.stats().since(&sb);
+
+        c.reset_network();
+        let mut piped = c.client(0);
+        let mut stats = PipelineStats::default();
+        let out = run_pipelined(
+            &mut piped,
+            (0..2).map(|_| ChainRead {
+                ptr: p,
+                hops: 3,
+                last: 0,
+            }),
+            1,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out, vec![42, 42]);
+        assert_eq!(piped.clock_ns(), blocking_elapsed);
+        // `piped` is a fresh client, so its whole history is this run.
+        assert_eq!(piped.stats(), blocking_stats);
+    }
+}

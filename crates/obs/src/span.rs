@@ -196,6 +196,7 @@ mod tests {
         let mut agg = PhaseAgg::default();
         let delta = ClientStats {
             round_trips: 2,
+            doorbells: 2,
             reads: 3,
             writes: 1,
             cas: 1,

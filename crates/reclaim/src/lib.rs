@@ -190,22 +190,33 @@ impl ReclaimDomain {
         self.config
     }
 
-    /// Registers a client: claims a slot via FAA on the registration
-    /// counter and publishes the current epoch into it (two round trips,
-    /// off the operation fast path).
+    /// Registers a client: adopts a vacated slot when one exists
+    /// (deregister zeroes its slot), else claims a fresh one via FAA on
+    /// the registration high-water mark, and publishes the current epoch
+    /// into it. A few round trips, off the operation fast path.
+    ///
+    /// Slot adoption is what makes [`ReclaimConfig::max_clients`] a bound
+    /// on *concurrent* clients rather than on cumulative registrations:
+    /// benchmark harnesses that spawn and deregister worker fleets run
+    /// after run against one long-lived index would otherwise exhaust the
+    /// array (this was a real panic in the fig5 worker ladder).
     ///
     /// # Errors
     ///
     /// Returns [`DmError::OutOfMemory`] when the slot array is exhausted
-    /// (more than [`ReclaimConfig::max_clients`] registrations), or any
-    /// substrate error.
+    /// (more than [`ReclaimConfig::max_clients`] *live* registrations),
+    /// or any substrate error.
     pub fn register<T: Transport>(&self, t: &mut T) -> Result<ReclaimHandle, DmError> {
         let batch: DoorbellBatch = [
+            Verb::Read {
+                ptr: self.slots_ptr,
+                len: self.config.max_clients * 8,
+            },
+            // FAA with delta 0 is an atomic read of a word.
             Verb::Faa {
                 ptr: self.reg_ptr,
-                delta: 1,
+                delta: 0,
             },
-            // FAA with delta 0 is an atomic read of the epoch word.
             Verb::Faa {
                 ptr: self.epoch_ptr,
                 delta: 0,
@@ -214,11 +225,52 @@ impl ReclaimDomain {
         .into_iter()
         .collect();
         let res = t.execute(batch)?;
-        let idx = match res[0] {
+        let slots_bytes = match &res[0] {
+            VerbResult::Read(b) => b,
+            _ => unreachable!("read result"),
+        };
+        let high_water = match res[1] {
             VerbResult::Faa(v) => v,
             _ => unreachable!("faa result"),
         };
-        let epoch = match res[1] {
+        let epoch = match res[2] {
+            VerbResult::Faa(v) => v,
+            _ => unreachable!("faa result"),
+        };
+
+        // Adoption pass: a zeroed slot below the high-water mark was
+        // vacated by a deregistered client (never-allocated slots sit at
+        // or above the mark, so a zero there is not claimable — a racing
+        // fresh registrant may have been assigned it by FAA without
+        // having written its epoch yet). The CAS arbitrates racing
+        // adopters; losing one just tries the next candidate. Publishing
+        // the pre-read epoch is conservative: it can only be stale-low,
+        // which delays peers' frees until this client's first scan.
+        let allocated = (high_water as usize).min(self.config.max_clients);
+        for (idx, chunk) in slots_bytes[..allocated * 8].chunks_exact(8).enumerate() {
+            if u64::from_le_bytes(chunk.try_into().expect("8-byte slot")) != 0 {
+                continue;
+            }
+            let slot_ptr = self
+                .slots_ptr
+                .checked_add(idx as u64 * 8)
+                .expect("slot array fits the address space");
+            if t.cas(slot_ptr, 0, epoch)? == 0 {
+                return Ok(self.handle_at(idx, slot_ptr, epoch));
+            }
+        }
+
+        // Fresh slot: bump the high-water mark. Adopted slots never bump
+        // it, so FAA indices stay collision-free with adoption.
+        let res = t.execute(
+            [Verb::Faa {
+                ptr: self.reg_ptr,
+                delta: 1,
+            }]
+            .into_iter()
+            .collect(),
+        )?;
+        let idx = match res[0] {
             VerbResult::Faa(v) => v,
             _ => unreachable!("faa result"),
         };
@@ -233,16 +285,20 @@ impl ReclaimDomain {
             .checked_add(idx * 8)
             .expect("slot array fits the address space");
         t.write_u64(slot_ptr, epoch)?;
-        Ok(ReclaimHandle {
+        Ok(self.handle_at(idx as usize, slot_ptr, epoch))
+    }
+
+    fn handle_at(&self, slot_idx: usize, slot_ptr: RemotePtr, epoch: u64) -> ReclaimHandle {
+        ReclaimHandle {
             domain: self.clone(),
-            slot_idx: idx as usize,
+            slot_idx,
             slot_ptr,
             cached_epoch: epoch,
             ops_since_scan: 0,
             limbo: Vec::new(),
             stats: ReclaimStats::default(),
             active: true,
-        })
+        }
     }
 }
 
@@ -513,6 +569,36 @@ mod tests {
             scan_interval: 4,
             ..ReclaimConfig::default()
         }
+    }
+
+    #[test]
+    fn deregistered_slots_are_adopted_not_leaked() {
+        let c = cluster();
+        let mut t = c.client(0);
+        let cfg = ReclaimConfig {
+            max_clients: 2,
+            ..ReclaimConfig::default()
+        };
+        let domain = ReclaimDomain::create(&mut t, 0, cfg).unwrap();
+
+        // Churn far past max_clients: each generation vacates its slot,
+        // the next adopts it. Before slot adoption this panicked at the
+        // third registration (cumulative FAA indices exhaust the array).
+        let mut persistent = domain.register(&mut t).unwrap();
+        for _ in 0..10 {
+            let mut h = domain.register(&mut t).unwrap();
+            assert_eq!(h.slot_index(), 1, "adopts the one vacated slot");
+            h.deregister(&mut t);
+        }
+
+        // The bound still holds for *concurrent* clients.
+        let mut second = domain.register(&mut t).unwrap();
+        assert!(matches!(
+            domain.register(&mut t),
+            Err(DmError::OutOfMemory { .. })
+        ));
+        second.deregister(&mut t);
+        persistent.deregister(&mut t);
     }
 
     #[test]

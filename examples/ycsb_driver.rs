@@ -90,6 +90,7 @@ fn main() {
             ops_per_worker: ops,
             warmup_per_worker: (ops / 5).max(50),
             seed: 0xD21E_0001,
+            pipeline_depth: RunConfig::depth_from_env(1),
         },
     );
 

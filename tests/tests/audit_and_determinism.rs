@@ -136,6 +136,7 @@ fn single_worker_virtual_time_is_deterministic() {
                 ops_per_worker: 500,
                 warmup_per_worker: 100,
                 seed: 0xD00D,
+                pipeline_depth: 1,
             },
         );
         (r.mops.to_bits(), r.avg_latency_us.to_bits(), r.total_ops)

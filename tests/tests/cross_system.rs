@@ -163,6 +163,7 @@ fn ycsb_smoke_every_workload_every_system() {
                     ops_per_worker: if wl == "E" { 15 } else { 80 },
                     warmup_per_worker: 10,
                     seed: 99,
+                    pipeline_depth: 1,
                 },
             );
             assert!(r.mops > 0.0, "{} {wl}", sys.label());

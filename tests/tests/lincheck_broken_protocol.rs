@@ -48,4 +48,23 @@ fn disabled_leaf_validation_is_caught_as_a_violation() {
     node_engine::set_leaf_validation(true);
     let clean = run_scheduled(&cfg, ScheduleMode::Record(ScheduleConfig::adversarial(1)));
     assert!(clean.outcome.is_linearizable(), "{:?}", clean.outcome);
+
+    // The pipelined op scheduler must not blunt the control: at depth 8
+    // the batched reads run as in-flight state machines, and a served
+    // torn leaf must still surface as a violation (the pipelined leaf
+    // step serves unverified decodes exactly like the blocking path when
+    // validation is off).
+    node_engine::set_leaf_validation(false);
+    let cfg8 = ExploreConfig {
+        pipeline_depth: 8,
+        ..cfg.clone()
+    };
+    let out8 = run_scheduled(&cfg8, ScheduleMode::Record(ScheduleConfig::adversarial(1)));
+    assert!(
+        !out8.outcome.is_linearizable(),
+        "checker failed to catch served torn reads with pipelining enabled"
+    );
+    node_engine::set_leaf_validation(true);
+    let clean8 = run_scheduled(&cfg8, ScheduleMode::Record(ScheduleConfig::adversarial(1)));
+    assert!(clean8.outcome.is_linearizable(), "{:?}", clean8.outcome);
 }

@@ -24,6 +24,7 @@ fn cfg(system: System) -> ExploreConfig {
         workload_seed: 0xBADC_0FFE,
         tear_hook: true,
         multi_ops: true,
+        pipeline_depth: 1,
         check: CheckConfig::default(),
     }
 }
