@@ -35,6 +35,8 @@ fn benches(c: &mut Criterion) {
                                 warmup_per_worker: 20,
                                 seed: 0x5CA1_E000 + i,
                                 pipeline_depth: 1,
+                                trace_head_every: 0,
+                                trace_tail_k: obs::DEFAULT_TAIL_K,
                             },
                         );
                         let makespan_s = r.total_ops as f64 / (r.mops * 1e6);

@@ -38,6 +38,8 @@ fn bench_workload(c: &mut Criterion, workload_name: &str) {
                             warmup_per_worker: 30,
                             seed: 0xBE4C_0000 + i,
                             pipeline_depth: 1,
+                            trace_head_every: 0,
+                            trace_tail_k: obs::DEFAULT_TAIL_K,
                         },
                     );
                     let makespan_s = r.total_ops as f64 / (r.mops * 1e6);

@@ -57,6 +57,8 @@ fn main() {
                 warmup_per_worker: (ops / 5).max(50),
                 seed: 0xAB1A_7104,
                 pipeline_depth: RunConfig::depth_from_env(1),
+                trace_head_every: 0,
+                trace_tail_k: obs::DEFAULT_TAIL_K,
             };
             let r = run_phase(&handle, &cfg);
             let get = r.telemetry.op(OpKind::Get);

@@ -60,6 +60,8 @@ fn main() {
                     warmup_per_worker: (ops_here / 5).max(50),
                     seed: 0xB7EE_0001,
                     pipeline_depth: RunConfig::depth_from_env(1),
+                    trace_head_every: 0,
+                    trace_tail_k: obs::DEFAULT_TAIL_K,
                 },
             );
             table.row([

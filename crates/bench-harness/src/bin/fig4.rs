@@ -91,6 +91,8 @@ fn main() {
                         warmup_per_worker: (ops_here / 5).max(50),
                         seed: 0xF160_0004,
                         pipeline_depth: RunConfig::depth_from_env(1),
+                        trace_head_every: 0,
+                        trace_tail_k: obs::DEFAULT_TAIL_K,
                     },
                 );
                 telem.merge(&r.telemetry);
@@ -110,6 +112,8 @@ fn main() {
                     warmup_per_worker: (ops / 5).max(50),
                     seed: 0xF160_0004,
                     pipeline_depth: RunConfig::depth_from_env(1),
+                    trace_head_every: 0,
+                    trace_tail_k: obs::DEFAULT_TAIL_K,
                 },
             );
             telem.merge(&r.telemetry);

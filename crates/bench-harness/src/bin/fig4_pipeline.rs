@@ -93,6 +93,8 @@ fn main() {
                         warmup_per_worker: (ops / 5).max(50),
                         seed: 0xF160_0004,
                         pipeline_depth: depth,
+                        trace_head_every: 0,
+                        trace_tail_k: obs::DEFAULT_TAIL_K,
                     },
                 );
                 if depth == 1 {
@@ -144,6 +146,8 @@ fn main() {
                     warmup_per_worker: (ops / 5).max(20),
                     seed: 0xF160_0005,
                     pipeline_depth: depth,
+                    trace_head_every: 0,
+                    trace_tail_k: obs::DEFAULT_TAIL_K,
                 },
             );
             if depth == 1 {

@@ -61,6 +61,8 @@ fn main() {
                     warmup_per_worker: (ops_per_worker / 5).max(20),
                     seed: 0xF160_0005,
                     pipeline_depth: RunConfig::depth_from_env(1),
+                    trace_head_every: 0,
+                    trace_tail_k: obs::DEFAULT_TAIL_K,
                 };
                 let r = run_phase(&handle, &cfg);
                 curve.push((r.mops, r.avg_latency_us));

@@ -38,6 +38,8 @@ fn main() {
         warmup_per_worker: 300,
         seed: 0x0051_400C_u64,
         pipeline_depth: depth,
+        trace_head_every: 0,
+        trace_tail_k: obs::DEFAULT_TAIL_K,
     };
     let r1 = run_phase(&handle, &cfg(1));
     let r8 = run_phase(&handle, &cfg(node_engine::pipeline::DEFAULT_DEPTH));

@@ -37,6 +37,8 @@ fn main() {
             warmup_per_worker: 100,
             seed: 0x51_0CE,
             pipeline_depth: RunConfig::depth_from_env(1),
+            trace_head_every: 0,
+            trace_tail_k: obs::DEFAULT_TAIL_K,
         },
     );
 

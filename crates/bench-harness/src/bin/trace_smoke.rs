@@ -1,0 +1,152 @@
+//! CI smoke check for causal per-op tracing (see `obs::trace`).
+//!
+//! Runs the fig4 YCSB-C short config at depth 8 three ways and asserts
+//! the properties the tracer is sold on:
+//!
+//! * with always-on tail sampling the run retains traces, every one of
+//!   them decomposes into an **exact** critical path (queueing + fusion
+//!   wait + NIC service + scheduler stall + CN compute == end-to-end
+//!   latency, to the nanosecond);
+//! * at depth 8 the retained traces witness doorbell fusion: some burst
+//!   carries member tokens from more than one operation;
+//! * the Chrome-trace export is valid `sphinx.trace.v1` JSON (parsed with
+//!   the same in-tree parser CI uses for telemetry);
+//! * with sampling fully off (`head_every == 0`, `tail_k == 0`) a depth-1
+//!   run retains **zero** traces — the compile-out/off path stays free;
+//! * always-on tail sampling costs at most 5% throughput against the
+//!   telemetry-only baseline (tracing never touches the virtual clock,
+//!   so virtual-time throughput must be essentially unchanged).
+//!
+//! Exits nonzero (panics) on any violation — wired as a CI job.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin trace_smoke
+//! ```
+
+use bench_harness::runner::{load_phase, run_phase, RunConfig};
+use bench_harness::systems::System;
+use obs::{critical_path, export_chrome, TRACE_SCHEMA};
+use ycsb::{KeySpace, Workload};
+
+fn main() {
+    let keys = 10_000;
+    let handle = System::Sphinx.build(64 << 20, Some(1 << 20));
+    load_phase(&handle, KeySpace::U64, keys, 8);
+
+    let cfg = |depth: usize, head_every: u64, tail_k: usize| RunConfig {
+        keyspace: KeySpace::U64,
+        num_keys: keys,
+        workload: Workload::c(),
+        workers: 8,
+        ops_per_worker: 1_500,
+        warmup_per_worker: 300,
+        seed: 0x0051_400C_u64,
+        pipeline_depth: depth,
+        trace_head_every: head_every,
+        trace_tail_k: tail_k,
+    };
+    let depth = node_engine::pipeline::DEFAULT_DEPTH;
+
+    // Telemetry-only baseline: sampling fully off.
+    let base = run_phase(&handle, &cfg(depth, 0, 0));
+    assert!(
+        base.traces.is_empty(),
+        "sampling off must retain zero traces, got {}",
+        base.traces.len()
+    );
+
+    // Sampling fully off on the depth-1 (blocking) path too.
+    let r1 = run_phase(&handle, &cfg(1, 0, 0));
+    assert!(
+        r1.traces.is_empty(),
+        "depth-1 run with sampling off must retain zero traces, got {}",
+        r1.traces.len()
+    );
+
+    // Always-on tail sampling (the production default).
+    let traced = run_phase(&handle, &cfg(depth, 0, obs::DEFAULT_TAIL_K));
+    assert!(
+        !traced.traces.is_empty(),
+        "tail sampling at depth {depth} must retain traces"
+    );
+
+    let mut exact = 0usize;
+    let mut fused_bursts = 0usize;
+    for t in &traced.traces {
+        let cp = critical_path(t);
+        assert!(
+            cp.is_exact(),
+            "critical path must sum exactly for trace {:#x}: \
+             queue {} + fusion {} + service {} + stall {} + compute {} != total {}",
+            t.id,
+            cp.queue_ns,
+            cp.fusion_ns,
+            cp.service_ns,
+            cp.stall_ns,
+            cp.compute_ns,
+            cp.total_ns
+        );
+        exact += 1;
+        fused_bursts += t
+            .bursts
+            .iter()
+            .filter(|ev| match ev {
+                dm_sim::trace::TransportEvent::Burst(b) => b.tokens().len() > 1,
+                dm_sim::trace::TransportEvent::Advance { .. } => false,
+            })
+            .count();
+    }
+    assert!(
+        fused_bursts > 0,
+        "depth-{depth} traces must witness doorbell fusion (a burst with >1 member ops)"
+    );
+
+    // The export must be valid `sphinx.trace.v1` Chrome-trace JSON.
+    let json = export_chrome(&traced.traces);
+    let doc = obs::json::parse(&json).expect("trace export must parse");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(TRACE_SCHEMA),
+        "export must be stamped {TRACE_SCHEMA}"
+    );
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ns"),
+        "export must display virtual nanoseconds"
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "export must carry events");
+    for ev in events {
+        for key in ["ph", "pid", "name"] {
+            assert!(
+                ev.get(key).is_some(),
+                "every trace event needs `{key}`: {json:.120}"
+            );
+        }
+    }
+
+    // Always-on tail sampling must not cost virtual-time throughput.
+    let slowdown = (base.mops - traced.mops) / base.mops;
+    assert!(
+        slowdown <= 0.05,
+        "tail sampling cost {:.1}% throughput ({:.3} -> {:.3} mops); budget is 5%",
+        slowdown * 100.0,
+        base.mops,
+        traced.mops
+    );
+
+    println!(
+        "trace smoke OK: {} traces retained ({} exact critical paths, {} fused bursts), \
+         {} export events, {:.3} -> {:.3} mops ({:+.2}% vs telemetry-only)",
+        traced.traces.len(),
+        exact,
+        fused_bursts,
+        events.len(),
+        base.mops,
+        traced.mops,
+        -slowdown * 100.0,
+    );
+}

@@ -142,6 +142,11 @@ pub struct RunOutput {
     pub steps: u64,
     /// Index-level telemetry merged with every worker's registry.
     pub telemetry: obs::Registry,
+    /// Retained causal traces from every worker (head-sampled: under the
+    /// lock-step schedule every pipelined op is traced, so a violation
+    /// report can attach the traces overlapping its window). Sorted by
+    /// trace id, hence deterministic for a fixed seed.
+    pub traces: Vec<obs::OpTrace>,
 }
 
 /// Client id the recorder uses for the serial preload phase (workers use
@@ -289,10 +294,14 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
     for t in 0..cfg.threads {
         let mut w = handle.worker((t as u16) % num_cns);
         w.attach_schedule(schedule.register());
+        // Head-sample every pipelined op: scheduled runs are small and a
+        // violation report wants the full causal picture, not a tail.
+        w.set_trace_sampling(1, obs::DEFAULT_TAIL_K);
+        w.set_trace_worker(t);
         workers.push(w);
     }
 
-    let mut telemetry = thread::scope(|s| {
+    let (mut telemetry, mut traces) = thread::scope(|s| {
         let joins: Vec<_> = workers
             .into_iter()
             .enumerate()
@@ -312,18 +321,23 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
                         rec.respond(id, ret, ts);
                     }
                     let reg = w.telemetry();
+                    let traces = w.take_traces();
                     drop(w); // deregisters the schedule participant
-                    reg
+                    (reg, traces)
                 })
             })
             .collect();
         let mut merged = obs::Registry::new();
+        let mut traces = Vec::new();
         for j in joins {
-            merged.merge(&j.join().expect("lincheck worker panicked"));
+            let (reg, t) = j.join().expect("lincheck worker panicked");
+            merged.merge(&reg);
+            traces.extend(t);
         }
-        merged
+        (merged, traces)
     });
     telemetry.merge(&handle.index_telemetry());
+    traces.sort_by_key(|t| t.id);
 
     let trace = schedule.trace();
     let steps = schedule.steps();
@@ -337,6 +351,7 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
         outcome,
         steps,
         telemetry,
+        traces,
     }
 }
 
@@ -379,10 +394,24 @@ pub fn shrink_failing_trace(
     (full[..hi].to_vec(), out)
 }
 
+/// Whether `op` reads or writes `key` (scans touch their whole range).
+fn op_touches(op: &Op, key: &[u8]) -> bool {
+    match op {
+        Op::Get { key: k }
+        | Op::Insert { key: k, .. }
+        | Op::Update { key: k, .. }
+        | Op::Delete { key: k } => k.as_slice() == key,
+        Op::MultiGet { keys } => keys.iter().any(|k| k.as_slice() == key),
+        Op::Scan { low, high } => low.as_slice() <= key && key <= high.as_slice(),
+        Op::ScanN { low, .. } => key >= low.as_slice(),
+    }
+}
+
 /// Renders a failing run as a self-contained text report: the config and
 /// seed needed to reproduce, the minimal trace (one `pid:delay:tear` step
 /// per line, the [`TraceStep`] display format), the checker's per-key
-/// violation report, and the run's telemetry.
+/// violation report, the causal traces of operations overlapping the
+/// violating window (matched by NIC grant step), and the run's telemetry.
 pub fn failure_report(
     cfg: &ExploreConfig,
     seed: u64,
@@ -421,6 +450,64 @@ pub fn failure_report(
     let _ = writeln!(r, "\nminimal failing trace ({} steps):", minimal.len());
     for step in minimal {
         let _ = writeln!(r, "  {step}");
+    }
+    if let Outcome::Violation(v) = &out.outcome {
+        // The violating window in schedule steps: the span of every
+        // recorded event touching the key. Traces attach when one of
+        // their NIC bursts was granted inside it.
+        let window = out
+            .history
+            .events
+            .iter()
+            .filter(|e| op_touches(&e.op, &v.key))
+            .fold(None::<(u64, u64)>, |w, e| {
+                let (lo, hi) = w.unwrap_or((e.invoke_ts, e.response_ts));
+                Some((lo.min(e.invoke_ts), hi.max(e.response_ts)))
+            });
+        if let Some((lo, hi)) = window {
+            let overlapping: Vec<&obs::OpTrace> = out
+                .traces
+                .iter()
+                .filter(|t| {
+                    t.bursts.iter().any(|ev| match ev {
+                        dm_sim::trace::TransportEvent::Burst(b) => {
+                            b.grant_step.is_some_and(|s| lo <= s && s <= hi)
+                        }
+                        dm_sim::trace::TransportEvent::Advance { .. } => false,
+                    })
+                })
+                .collect();
+            let _ = writeln!(
+                r,
+                "\ncausal traces overlapping the violation window (steps {lo}..={hi}): \
+                 {} of {} retained",
+                overlapping.len(),
+                out.traces.len()
+            );
+            for t in &overlapping {
+                let cp = obs::critical_path(t);
+                let _ = writeln!(
+                    r,
+                    "  trace {:#018x} {:?} [{}..{}]ns retries={} queue={} fusion={} \
+                     service={} stall={} compute={}{}",
+                    t.id,
+                    t.kind,
+                    t.begin_ns,
+                    t.end_ns,
+                    t.retries,
+                    cp.queue_ns,
+                    cp.fusion_ns,
+                    cp.service_ns,
+                    cp.stall_ns,
+                    cp.compute_ns,
+                    if cp.is_exact() { "" } else { " (inexact)" }
+                );
+            }
+            if !overlapping.is_empty() {
+                let full: Vec<obs::OpTrace> = overlapping.into_iter().cloned().collect();
+                let _ = writeln!(r, "\ntrace export: {}", obs::export_chrome(&full));
+            }
+        }
     }
     let _ = writeln!(r, "\ntelemetry: {}", out.telemetry.to_json());
     r

@@ -43,6 +43,14 @@ pub struct RunConfig {
     /// trips fuse into shared doorbells (see DESIGN.md "Pipelined
     /// execution").
     pub pipeline_depth: usize,
+    /// Uniform head-sampling period for causal tracing: every N-th leased
+    /// op is traced unconditionally. `0` disables head sampling (the
+    /// always-on tail sampler still runs when `trace_tail_k > 0`).
+    pub trace_head_every: u64,
+    /// Tail-retention depth for causal tracing: each worker keeps its
+    /// `trace_tail_k` slowest and `trace_tail_k` most-retried operations.
+    /// `0` together with `trace_head_every == 0` turns tracing off.
+    pub trace_tail_k: usize,
 }
 
 impl RunConfig {
@@ -71,6 +79,8 @@ impl RunConfig {
             warmup_per_worker: 400,
             seed: 0xBEAC_0001,
             pipeline_depth: 1,
+            trace_head_every: 0,
+            trace_tail_k: obs::DEFAULT_TAIL_K,
         }
     }
 }
@@ -100,6 +110,12 @@ pub struct RunResult {
     /// cover each worker's whole lifetime — warm-up included — unlike the
     /// scalar fields above, which cover only the measured window.
     pub telemetry: obs::Registry,
+    /// Retained causal traces from the measured window, across all
+    /// workers (tail-sampled slowest/most-retried plus any uniform head
+    /// samples; see [`obs::Tracer`]). Warm-up traces are discarded at the
+    /// phase barrier. Empty when tracing is off or the system has no
+    /// pipelined path.
+    pub traces: Vec<obs::OpTrace>,
 }
 
 /// Loads `num_keys` keys (indexes `0..num_keys`) through `load_workers`
@@ -146,6 +162,7 @@ struct WorkerOutcome {
     doorbells: u64,
     bytes: u64,
     telemetry: obs::Registry,
+    traces: Vec<obs::OpTrace>,
 }
 
 /// Executes the measured phase and aggregates virtual-time results.
@@ -175,6 +192,8 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
             let gate = gate.clone();
             joins.push(s.spawn(move || {
                 let mut client = handle.worker((w % num_cns) as u16);
+                client.set_trace_sampling(cfg.trace_head_every, cfg.trace_tail_k);
+                client.set_trace_worker(w as u32);
                 let mut stream = OpStream::with_cursor(
                     cfg.workload.clone(),
                     cfg.num_keys,
@@ -196,6 +215,9 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
                 }
                 barrier.wait();
                 client.set_clock_ns(0);
+                // Warm-up samples would pollute the tail ranking (their
+                // clocks predate the reset): drop them at the barrier.
+                client.take_traces();
                 let base_stats = client.net_stats();
 
                 let hist = measured_loop(&mut client, &mut stream, &cfg, &sorted, &gate, w);
@@ -209,6 +231,7 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
                     doorbells: net.doorbells,
                     bytes: net.bytes_total(),
                     telemetry: client.telemetry(),
+                    traces: client.take_traces(),
                 };
                 client.reclaim_deregister();
                 outcome
@@ -238,6 +261,8 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
     for o in &outcomes {
         telemetry.merge(&o.telemetry);
     }
+    let mut traces: Vec<obs::OpTrace> = outcomes.into_iter().flat_map(|o| o.traces).collect();
+    traces.sort_by_key(|t| t.id);
     RunResult {
         mops: total_ops as f64 / makespan_ns as f64 * 1e3,
         avg_latency_us: hist.mean_ns() as f64 / 1e3,
@@ -247,6 +272,7 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
         doorbells_per_op: doorbells as f64 / total_ops as f64,
         bytes_per_op: bytes as f64 / total_ops as f64,
         telemetry,
+        traces,
     }
 }
 
@@ -383,6 +409,8 @@ mod tests {
             warmup_per_worker: 50,
             seed: 7,
             pipeline_depth: 1,
+            trace_head_every: 0,
+            trace_tail_k: obs::DEFAULT_TAIL_K,
         };
         let r = run_phase(&handle, &cfg);
         assert_eq!(r.total_ops, 1800);
@@ -425,6 +453,8 @@ mod tests {
             warmup_per_worker: 100,
             seed: 11,
             pipeline_depth: depth,
+            trace_head_every: 0,
+            trace_tail_k: obs::DEFAULT_TAIL_K,
         };
         let r1 = run_phase(&handle, &mk(1));
         let r8 = run_phase(&handle, &mk(8));
@@ -463,6 +493,8 @@ mod tests {
             warmup_per_worker: 5,
             seed: 7,
             pipeline_depth: 1,
+            trace_head_every: 0,
+            trace_tail_k: obs::DEFAULT_TAIL_K,
         };
         let r = run_phase(&handle, &cfg);
         assert!(r.total_ops == 90 && r.mops > 0.0);

@@ -484,8 +484,59 @@ impl WorkerClient {
                     "pipeline.rts.Traversal",
                     p.by_tag.values().map(|a| a.round_trips).sum(),
                 );
+                // Mirror the first-class pipeline aggregate so the
+                // depth histogram and per-tag table reach the
+                // sphinx.telemetry.v1 export for this system too.
+                reg.pipeline.ops = p.ops;
+                reg.pipeline.flushes = p.flushes;
+                reg.pipeline.fused_batches = p.fused_batches;
+                reg.pipeline.stalls = p.stalls;
+                reg.pipeline.depth_hist = p.depth_hist;
+                for agg in p.by_tag.values() {
+                    let t = reg
+                        .pipeline
+                        .by_tag
+                        .entry(obs::Phase::Traversal.name().to_string())
+                        .or_default();
+                    t.batches += agg.batches;
+                    t.round_trips += agg.round_trips;
+                    t.verbs += agg.verbs;
+                    t.bytes += agg.bytes;
+                }
                 reg
             }
+        }
+    }
+
+    /// Configures causal-trace sampling (`head_every` = uniform 1-in-N
+    /// head sample, 0 = off; `tail_k` = slowest/most-retried retention
+    /// depth). The baselines have no pipelined path and therefore no
+    /// tracer; the call is a no-op for them.
+    pub fn set_trace_sampling(&mut self, head_every: u64, tail_k: usize) {
+        match self {
+            WorkerClient::Sphinx(c) => c.set_trace_sampling(head_every, tail_k),
+            WorkerClient::Baseline(_) => {}
+            WorkerClient::BpTree(c) => c.set_trace_sampling(head_every, tail_k),
+        }
+    }
+
+    /// Sets the worker id baked into this client's trace ids, keeping
+    /// ids unique (and exports deterministic) across a run's workers.
+    pub fn set_trace_worker(&mut self, worker: u32) {
+        match self {
+            WorkerClient::Sphinx(c) => c.set_trace_worker(worker),
+            WorkerClient::Baseline(_) => {}
+            WorkerClient::BpTree(c) => c.set_trace_worker(worker),
+        }
+    }
+
+    /// Drains this worker's retained causal traces (empty for the
+    /// baselines).
+    pub fn take_traces(&mut self) -> Vec<obs::OpTrace> {
+        match self {
+            WorkerClient::Sphinx(c) => c.take_traces(),
+            WorkerClient::Baseline(_) => Vec::new(),
+            WorkerClient::BpTree(c) => c.take_traces(),
         }
     }
 }

@@ -8,10 +8,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dm_sim::{
-    DmClient, DmCluster, DmError, DoorbellBatch, RemotePtr, RetryPolicy, Transport, Verb,
+    DmClient, DmCluster, DmError, DoorbellBatch, RemotePtr, RetryPolicy, SqeToken, Transport, Verb,
     VerbResult,
 };
 use node_engine::{EngineError, OpState, PipelineStats, StepOutcome};
+use obs::{OpKind, OpTrace, Tracer};
 
 use crate::layout::{BpNode, NodeHeader, NODE_BYTES, TAIL_OFFSET};
 
@@ -170,14 +171,20 @@ impl BpTreeIndex {
             .entry(cn_id)
             .or_insert_with(|| Arc::new(Mutex::new(InternalCache::new(self.cache_bytes))))
             .clone();
-        Ok(BpTreeClient {
+        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+        let mut client = BpTreeClient {
             dm: self.cluster.client(cn_id),
             meta: self.meta,
             cache,
             root_hint: None,
             retry: RetryPolicy::default(),
             pipeline: PipelineStats::default(),
-        })
+            tracer: Tracer::new(),
+            trace_scratch: Vec::new(),
+        };
+        #[cfg(feature = "telemetry")]
+        client.dm.trace_set_enabled(client.tracer.is_active());
+        Ok(client)
     }
 
     /// The underlying cluster.
@@ -242,6 +249,12 @@ pub struct BpTreeClient {
     /// Cumulative pipelined-execution counters (see
     /// [`BpTreeClient::get_many_pipelined`]).
     pipeline: PipelineStats,
+    /// Causal-trace sampler for the pipelined lookup path (inert without
+    /// the `telemetry` feature).
+    tracer: Tracer,
+    /// Reusable buffer for transport-event windows.
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    trace_scratch: Vec<dm_sim::trace::TransportEvent>,
 }
 
 impl BpTreeClient {
@@ -391,22 +404,48 @@ impl BpTreeClient {
         }
         let root = self.root(false)?;
         let mut pstats = PipelineStats::default();
+        let lease_now = self.dm.clock_ns();
+        let mut leases: Vec<Option<Box<OpTrace>>> = keys
+            .iter()
+            .map(|_| self.tracer.lease(OpKind::Get, lease_now))
+            .collect();
+        #[cfg(feature = "telemetry")]
+        let mark = self.dm.trace_mark();
         let run = {
             let BpTreeClient {
                 dm, cache, retry, ..
             } = self;
-            let ops = keys.iter().map(|&key| BpGetOp {
-                key,
-                cache,
-                retry: *retry,
-                hops: 0,
-                chases: 0,
-                state: BpSt::Start { root },
-            });
+            let ops = keys
+                .iter()
+                .zip(leases.iter_mut())
+                .map(|(&key, lease)| BpGetOp {
+                    key,
+                    cache,
+                    retry: *retry,
+                    hops: 0,
+                    chases: 0,
+                    state: BpSt::Start { root },
+                    trace: lease.take(),
+                });
             node_engine::run_pipelined(dm, ops, depth, &mut pstats)
         };
         self.pipeline.merge(&pstats);
-        let outs = run.map_err(BpTreeError::from)?;
+        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+        let mut outs = run.map_err(BpTreeError::from)?;
+        #[cfg(feature = "telemetry")]
+        if outs.iter().any(|o| o.trace.is_some()) {
+            let mut scratch = std::mem::take(&mut self.trace_scratch);
+            scratch.clear();
+            let complete = self.dm.trace_collect_since(mark, &mut scratch);
+            for out in &mut outs {
+                if let Some(mut tr) = out.trace.take() {
+                    tr.complete = complete;
+                    let end = tr.end_ns;
+                    self.tracer.finish(tr, end, &scratch);
+                }
+            }
+            self.trace_scratch = scratch;
+        }
         // Blocking descents drop badly stale hints after a long chase; do
         // the same once per batch.
         if outs.iter().any(|o| o.chases > 8) {
@@ -425,6 +464,25 @@ impl BpTreeClient {
     /// Cumulative pipelined-execution counters for this worker.
     pub fn pipeline_stats(&self) -> &PipelineStats {
         &self.pipeline
+    }
+
+    /// Configures causal-trace sampling for the pipelined lookup path:
+    /// `head_every` = uniform 1-in-N head sample (0 = off), `tail_k` =
+    /// slowest/most-retried retention depth (see [`obs::Tracer`]).
+    pub fn set_trace_sampling(&mut self, head_every: u64, tail_k: usize) {
+        self.tracer.configure(head_every, tail_k);
+        #[cfg(feature = "telemetry")]
+        self.dm.trace_set_enabled(self.tracer.is_active());
+    }
+
+    /// Sets the worker id baked into this client's trace ids.
+    pub fn set_trace_worker(&mut self, worker: u32) {
+        self.tracer.set_worker(worker);
+    }
+
+    /// Drains the retained traces (tail + head samples).
+    pub fn take_traces(&mut self) -> Vec<obs::OpTrace> {
+        self.tracer.take_traces()
     }
 
     /// Inserts or overwrites `key` (upsert). Values longer than
@@ -736,6 +794,9 @@ struct BpGetOp<'a> {
     /// B-link right-chases performed (drives cache hygiene).
     chases: usize,
     state: BpSt,
+    /// Causal-trace context leased by the driver (`None` when this op was
+    /// not sampled).
+    trace: Option<Box<OpTrace>>,
 }
 
 /// Output of one [`BpGetOp`]: the lookup result (`None` = fall back) and
@@ -743,13 +804,27 @@ struct BpGetOp<'a> {
 struct BpGetOut {
     result: Option<Option<Vec<u8>>>,
     chases: usize,
+    /// The op's causal trace, carried out for [`Tracer::finish`].
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    trace: Option<Box<OpTrace>>,
 }
 
 impl BpGetOp<'_> {
-    fn fallback(&self) -> Result<StepOutcome<BpGetOut>, EngineError> {
+    /// Stamps the trace's end time and hands it to the output.
+    fn take_trace(&mut self, now_ns: u64) -> Option<Box<OpTrace>> {
+        let mut tr = self.trace.take()?;
+        tr.end_ns = now_ns;
+        Some(tr)
+    }
+
+    fn fallback(&mut self, now_ns: u64) -> Result<StepOutcome<BpGetOut>, EngineError> {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.fallback(now_ns);
+        }
         Ok(StepOutcome::Done(BpGetOut {
             result: None,
             chases: self.chases,
+            trace: self.take_trace(now_ns),
         }))
     }
 
@@ -757,14 +832,18 @@ impl BpGetOp<'_> {
     /// allowed, otherwise submits the read.
     fn goto(
         &mut self,
+        now_ns: u64,
         ptr: RemotePtr,
         use_cache: bool,
     ) -> Result<StepOutcome<BpGetOut>, EngineError> {
         if use_cache {
             let cached = self.cache.lock().get(ptr);
             if let Some(node) = cached {
-                return self.advance(node);
+                return self.advance(now_ns, node);
             }
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.phase(obs::Phase::Traversal, now_ns);
         }
         self.state = BpSt::Node { ptr, attempts: 0 };
         Ok(StepOutcome::Submit {
@@ -778,14 +857,14 @@ impl BpGetOp<'_> {
 
     /// One descent decision from a decoded node: finish at a leaf, chase
     /// right past a concurrent split, or descend to the owning child.
-    fn advance(&mut self, node: BpNode) -> Result<StepOutcome<BpGetOut>, EngineError> {
+    fn advance(&mut self, now_ns: u64, node: BpNode) -> Result<StepOutcome<BpGetOut>, EngineError> {
         self.hops += 1;
         if self.hops >= self.retry.op_retries {
-            return self.fallback();
+            return self.fallback(now_ns);
         }
         if self.key >= node.high_key && !node.right.is_null() {
             self.chases += 1;
-            return self.goto(node.right, false); // fresh: fences moved
+            return self.goto(now_ns, node.right, false); // fresh: fences moved
         }
         if node.is_leaf() {
             let result = node
@@ -796,15 +875,28 @@ impl BpGetOp<'_> {
             return Ok(StepOutcome::Done(BpGetOut {
                 result: Some(result),
                 chases: self.chases,
+                trace: self.take_trace(now_ns),
             }));
         }
         let child = node.child_for(self.key);
-        self.goto(child, true)
+        self.goto(now_ns, child, true)
     }
 }
 
 impl OpState for BpGetOp<'_> {
     type Output = BpGetOut;
+
+    fn on_admitted(&mut self, now_ns: u64) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.admit(now_ns);
+        }
+    }
+
+    fn on_submitted(&mut self, token: SqeToken, now_ns: u64) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.submitted(token.raw(), now_ns);
+        }
+    }
 
     fn step<T: Transport>(
         &mut self,
@@ -819,7 +911,7 @@ impl OpState for BpGetOp<'_> {
         ) {
             BpSt::Start { root } => {
                 debug_assert!(completion.is_none());
-                self.goto(root, true)
+                self.goto(t.clock_ns(), root, true)
             }
             BpSt::Node { ptr, attempts } => {
                 let bytes = completion
@@ -830,13 +922,16 @@ impl OpState for BpGetOp<'_> {
                 match BpNode::decode(&bytes) {
                     Some(node) => {
                         self.cache.lock().put(ptr, node.clone());
-                        self.advance(node)
+                        self.advance(t.clock_ns(), node)
                     }
                     None => {
                         // Torn seqlock read: back off and re-read, bounded
                         // exactly like the blocking `read_node`.
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.retry(t.clock_ns());
+                        }
                         if attempts + 1 >= self.retry.op_retries {
-                            return self.fallback();
+                            return self.fallback(t.clock_ns());
                         }
                         t.backoff(&self.retry);
                         self.state = BpSt::Node {

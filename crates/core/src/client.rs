@@ -171,6 +171,18 @@ pub struct SphinxClient {
     /// Cumulative pipelined-execution counters (see
     /// [`SphinxClient::get_many_pipelined`]).
     pub(crate) pipeline: node_engine::PipelineStats,
+    /// Causal-trace sampler (see [`obs::Tracer`]; inert without the
+    /// `telemetry` feature — every lease returns `None`).
+    pub(crate) tracer: obs::Tracer,
+    /// Trace context of the blocking op currently in flight.
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    pub(crate) trace_cur: Option<Box<obs::OpTrace>>,
+    /// Reusable buffer for transport-event windows (no per-op allocation).
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    pub(crate) trace_scratch: Vec<dm_sim::trace::TransportEvent>,
+    /// Transport-ring mark taken at the current op's begin.
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    pub(crate) trace_mark: u64,
 }
 
 impl SphinxClient {
@@ -181,7 +193,8 @@ impl SphinxClient {
         config: SphinxConfig,
         reclaim: reclaim::ReclaimHandle,
     ) -> Self {
-        SphinxClient {
+        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+        let mut client = SphinxClient {
             dm,
             tables,
             filter,
@@ -192,7 +205,14 @@ impl SphinxClient {
             ambiguous: Vec::new(),
             retry: RetryPolicy::default(),
             pipeline: node_engine::PipelineStats::default(),
-        }
+            tracer: obs::Tracer::new(),
+            trace_cur: None,
+            trace_scratch: Vec::new(),
+            trace_mark: 0,
+        };
+        #[cfg(feature = "telemetry")]
+        client.dm.trace_set_enabled(client.tracer.is_active());
+        client
     }
 
     /// Index-level statistics for this worker.
@@ -287,12 +307,65 @@ impl SphinxClient {
         ]) {
             reg.add(name, *bucket);
         }
+        reg.pipeline.ops = p.ops;
+        reg.pipeline.flushes = p.flushes;
+        reg.pipeline.fused_batches = p.fused_batches;
+        reg.pipeline.stalls = p.stalls;
+        reg.pipeline.depth_hist = p.depth_hist;
         for (tag, agg) in &p.by_tag {
             if let Some(phase) = obs::Phase::ALL.get(*tag as usize) {
                 reg.add(&format!("pipeline.rts.{}", phase.name()), agg.round_trips);
+                let t = reg
+                    .pipeline
+                    .by_tag
+                    .entry(phase.name().to_string())
+                    .or_default();
+                t.batches += agg.batches;
+                t.round_trips += agg.round_trips;
+                t.verbs += agg.verbs;
+                t.bytes += agg.bytes;
             }
         }
         reg
+    }
+
+    // ------------------------------------------------------------------
+    // Causal tracing (see `obs::trace`).
+    // ------------------------------------------------------------------
+
+    /// Configures causal-trace sampling for this worker: keep full traces
+    /// for the `tail_k` slowest / most-retried ops plus every
+    /// `head_every`-th op (0 = head sample off). `(0, 0)` disables tracing
+    /// entirely — no lease, no transport-event recording. No-op without
+    /// the `telemetry` feature.
+    pub fn set_trace_sampling(&mut self, head_every: u64, tail_k: usize) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.tracer.configure(head_every, tail_k);
+            self.dm.trace_set_enabled(self.tracer.is_active());
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (head_every, tail_k);
+    }
+
+    /// Sets the worker id stamped into the high half of this worker's
+    /// trace ids (see [`obs::trace::TraceId`]).
+    pub fn set_trace_worker(&mut self, worker: u32) {
+        #[cfg(feature = "telemetry")]
+        self.tracer.set_worker(worker);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = worker;
+    }
+
+    /// Drains the traces retained by this worker's sampler (sorted by
+    /// id). Empty without the `telemetry` feature.
+    pub fn take_traces(&mut self) -> Vec<obs::OpTrace> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.tracer.take_traces()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        Vec::new()
     }
 
     // ------------------------------------------------------------------
@@ -359,16 +432,52 @@ impl SphinxClient {
     pub(crate) fn obs_begin(&mut self, kind: OpKind) {
         self.reclaim.pin();
         self.obs.begin(kind, self.dm.stats(), self.dm.clock_ns());
+        #[cfg(feature = "telemetry")]
+        {
+            let now = self.dm.clock_ns();
+            if let Some(mut t) = self.tracer.lease(kind, now) {
+                t.pin(now);
+                self.trace_mark = self.dm.trace_mark();
+                self.trace_cur = Some(t);
+            }
+        }
     }
 
     #[inline]
     pub(crate) fn obs_phase(&mut self, phase: Phase) {
         self.obs.phase(phase, self.dm.stats(), self.dm.clock_ns());
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = self.trace_cur.as_mut() {
+            t.phase(phase, self.dm.clock_ns());
+        }
+    }
+
+    /// Marks one failed attempt on both the metrics span and the causal
+    /// trace.
+    #[inline]
+    pub(crate) fn obs_retry(&mut self) {
+        self.obs.retry();
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = self.trace_cur.as_mut() {
+            t.retry(self.dm.clock_ns());
+        }
     }
 
     #[inline]
     pub(crate) fn obs_end(&mut self) {
-        self.obs.end(self.dm.stats(), self.dm.clock_ns());
+        let now = self.dm.clock_ns();
+        #[cfg(feature = "telemetry")]
+        if let Some(mut t) = self.trace_cur.take() {
+            t.unpin(now);
+            self.trace_scratch.clear();
+            t.complete = self
+                .dm
+                .trace_collect_since(self.trace_mark, &mut self.trace_scratch);
+            let id = self.tracer.finish(t, now, &self.trace_scratch);
+            self.obs.end_traced(self.dm.stats(), now, id);
+            return;
+        }
+        self.obs.end(self.dm.stats(), now);
     }
 
     /// Reads and validates a leaf, attributing the round trips to
@@ -447,7 +556,7 @@ impl SphinxClient {
                     if let Some(cpl) = observed {
                         if cpl < d.entry_len {
                             self.stats.false_positive_retries += 1;
-                            self.obs.retry();
+                            self.obs_retry();
                             max_len = d.entry_len.saturating_sub(1);
                             continue;
                         }
@@ -456,7 +565,7 @@ impl SphinxClient {
                 }
                 DescentResult::Retry => {
                     self.stats.invalid_node_retries += 1;
-                    self.obs.retry();
+                    self.obs_retry();
                     self.obs_phase(Phase::Retry);
                     self.dm.backoff(&self.retry);
                 }
@@ -474,6 +583,7 @@ impl SphinxClient {
     ) -> Result<(RemotePtr, InnerNode, usize), SphinxError> {
         match self.config.mode {
             CacheMode::FilterCache => {
+                let mut budget = self.retry.io_retries;
                 let mut l = max_len;
                 let mut first = true;
                 loop {
@@ -501,9 +611,25 @@ impl SphinxClient {
                     self.stats.entry_misses += 1;
                     first = false;
                     if cand == 0 {
-                        return Err(SphinxError::Corrupt {
-                            what: "root hash entry missing",
-                        });
+                        // Even the root hash entry failed validation. Under
+                        // contention that is a transient gap, not
+                        // corruption: a concurrent type switch of the root
+                        // invalidates the old node before the repaired
+                        // entry is published, and a reader landing in that
+                        // window sees no valid entry at any prefix length.
+                        // Back off and retake the whole ladder; only a
+                        // persistent gap is corruption.
+                        if budget == 0 {
+                            return Err(SphinxError::Corrupt {
+                                what: "root hash entry missing",
+                            });
+                        }
+                        budget -= 1;
+                        self.obs_retry();
+                        self.obs_phase(Phase::Retry);
+                        self.dm.backoff(&self.retry);
+                        l = max_len;
+                        continue;
                     }
                     l = cand - 1;
                 }
@@ -572,6 +698,7 @@ impl SphinxClient {
         key: &[u8],
         max_len: usize,
     ) -> Result<(RemotePtr, InnerNode, usize), SphinxError> {
+        let mut budget = self.retry.io_retries;
         'retry: for _ in 0..self.retry.op_retries {
             let mut lookups = Vec::with_capacity(max_len + 1);
             let mut reads = Vec::with_capacity(max_len + 1);
@@ -599,9 +726,19 @@ impl SphinxClient {
                     }
                 }
             }
-            return Err(SphinxError::Corrupt {
-                what: "root hash entry missing",
-            });
+            // No prefix — not even the root — validated. Same transient
+            // window as the filter-cache path: back off and redo the batch
+            // before declaring the root entry lost.
+            self.stats.entry_misses += 1;
+            if budget == 0 {
+                return Err(SphinxError::Corrupt {
+                    what: "root hash entry missing",
+                });
+            }
+            budget -= 1;
+            self.obs_retry();
+            self.obs_phase(Phase::Retry);
+            self.dm.backoff(&self.retry);
         }
         Err(SphinxError::RetriesExhausted {
             op: "parallel entry lookup",

@@ -29,9 +29,9 @@ use art_core::key::{common_prefix_len, MAX_KEY_LEN};
 use art_core::layout::{HashEntry, InnerNode, LayoutError, LeafNode, NodeStatus};
 use art_core::NodeKind;
 use cuckoo::CuckooFilter;
-use dm_sim::{DoorbellBatch, RemotePtr, RetryPolicy, Transport, Verb, VerbResult};
+use dm_sim::{DoorbellBatch, RemotePtr, RetryPolicy, SqeToken, Transport, Verb, VerbResult};
 use node_engine::{leaf_validation, EngineError, OpState, PipelineStats, StepOutcome};
-use obs::{OpKind, Phase};
+use obs::{OpKind, OpTrace, Phase};
 use race_hash::RaceTable;
 
 use crate::client::SphinxClient;
@@ -73,6 +73,10 @@ enum PipelinedGet {
 struct GetOut {
     result: PipelinedGet,
     delta: GetDelta,
+    /// The op's causal-trace context, carried out for
+    /// [`obs::Tracer::finish`] (always `None` when tracing is off).
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    trace: Option<Box<OpTrace>>,
 }
 
 /// Where the machine is between round trips.
@@ -124,6 +128,9 @@ struct GetOp<'a> {
     restarts: usize,
     delta: GetDelta,
     state: St,
+    /// Causal-trace context leased by the driver (`None` when this op was
+    /// not sampled — every recording below is then a no-op).
+    trace: Option<Box<OpTrace>>,
 }
 
 /// Shorthand for a single-read submission.
@@ -161,28 +168,57 @@ impl<'a> GetOp<'a> {
             restarts: 0,
             delta: GetDelta::default(),
             state: St::Start,
+            trace: None,
         }
+    }
+
+    /// Records a phase transition on the op's trace, if it has one.
+    fn tphase(&mut self, phase: Phase, now_ns: u64) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.phase(phase, now_ns);
+        }
+    }
+
+    /// Records a retry/restart on the op's trace, if it has one.
+    fn tretry(&mut self, now_ns: u64) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.retry(now_ns);
+        }
+    }
+
+    /// Stamps the trace's end time and hands it to the output.
+    fn take_trace(&mut self, now_ns: u64) -> Option<Box<OpTrace>> {
+        let mut tr = self.trace.take()?;
+        tr.end_ns = now_ns;
+        Some(tr)
     }
 
     /// Ends the op on a path the machine does not model. The partial
     /// counter delta is discarded: the blocking replay recounts the op.
-    fn fallback(&mut self) -> Step {
+    fn fallback(&mut self, now_ns: u64) -> Step {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.fallback(now_ns);
+        }
         Ok(StepOutcome::Done(GetOut {
             result: PipelinedGet::Fallback,
             delta: GetDelta::default(),
+            trace: self.take_trace(now_ns),
         }))
     }
 
-    fn finish(&mut self, value: Option<Vec<u8>>) -> Step {
+    fn finish(&mut self, now_ns: u64, value: Option<Vec<u8>>) -> Step {
         Ok(StepOutcome::Done(GetOut {
             result: PipelinedGet::Value(value),
             delta: self.delta,
+            trace: self.take_trace(now_ns),
         }))
     }
 
     /// CN-local filter probe at the current level, then the bucket-pair
     /// submission (the SfcProbe → InhtLookup hop of the blocking path).
     fn probe<T: Transport>(&mut self, t: &mut T) -> Step {
+        let now = t.clock_ns();
+        self.tphase(Phase::SfcProbe, now);
         let l = self.probe_len;
         let cand = if l == 0 {
             0
@@ -204,13 +240,14 @@ impl<'a> GetOp<'a> {
         let hash = prefix_hash64(prefix);
         let mn = t.place(hash) as usize;
         let Some(table) = self.tables.get(mn) else {
-            return self.fallback();
+            return self.fallback(now);
         };
         let Ok(base) = table.bucket_pair_ptr(hash) else {
             // Directory metadata problem: the blocking path knows how to
             // refresh and retry it.
-            return self.fallback();
+            return self.fallback(now);
         };
+        self.tphase(Phase::InhtLookup, now);
         self.state = St::Pair {
             plen: cand,
             base,
@@ -228,8 +265,10 @@ impl<'a> GetOp<'a> {
         self.delta.entry_misses += 1;
         self.first = false;
         if plen == 0 {
-            // Blocking path reports `Corrupt: root hash entry missing`.
-            return self.fallback();
+            // Blocking path retries the whole ladder on a bounded budget
+            // before reporting `Corrupt: root hash entry missing`; the
+            // machine defers to it.
+            return self.fallback(t.clock_ns());
         }
         self.probe_len = plen - 1;
         self.probe(t)
@@ -259,23 +298,24 @@ impl<'a> GetOp<'a> {
 
     /// One descent decision from a validated inner node: finishes, submits
     /// the leaf read, or submits the next inner child.
-    fn on_node(&mut self, node: InnerNode, entry_len: usize) -> Step {
+    fn on_node(&mut self, now_ns: u64, node: InnerNode, entry_len: usize) -> Step {
         if node.header.status == NodeStatus::Invalid {
             // Mid type-switch: blocking `locate` backs off and retries.
-            return self.fallback();
+            return self.fallback(now_ns);
         }
         let plen = node.header.prefix_len as usize;
         if self.key.len() == plen {
             return match node.value_slot {
-                Some(slot) => self.read_leaf(slot.addr, entry_len),
-                None => self.finish(None),
+                Some(slot) => self.read_leaf(now_ns, slot.addr, entry_len),
+                None => self.finish(now_ns, None),
             };
         }
         match node.find_child(self.key[plen]) {
-            None => self.finish(None),
-            Some((_, slot)) if slot.is_leaf => self.read_leaf(slot.addr, entry_len),
+            None => self.finish(now_ns, None),
+            Some((_, slot)) if slot.is_leaf => self.read_leaf(now_ns, slot.addr, entry_len),
             Some((_, slot)) => {
                 let len = InnerNode::byte_size(slot.child_kind);
+                self.tphase(Phase::Traversal, now_ns);
                 self.state = St::Child {
                     entry_len,
                     parent_plen: plen,
@@ -289,8 +329,9 @@ impl<'a> GetOp<'a> {
         }
     }
 
-    fn read_leaf(&mut self, ptr: RemotePtr, entry_len: usize) -> Step {
+    fn read_leaf(&mut self, now_ns: u64, ptr: RemotePtr, entry_len: usize) -> Step {
         let read_len = self.leaf_hint.max(64);
+        self.tphase(Phase::LeafRead, now_ns);
         self.state = St::Leaf {
             entry_len,
             ptr,
@@ -310,9 +351,10 @@ impl<'a> GetOp<'a> {
         if common_prefix_len(self.key, &leaf.key) < entry_len {
             self.delta.fp_retries += 1;
             self.restarts += 1;
+            self.tretry(t.clock_ns());
             if self.restarts >= self.retry.op_retries {
                 // Blocking path reports RetriesExhausted.
-                return self.fallback();
+                return self.fallback(t.clock_ns());
             }
             self.max_len = entry_len.saturating_sub(1);
             self.probe_len = self.max_len;
@@ -320,12 +362,24 @@ impl<'a> GetOp<'a> {
             return self.probe(t);
         }
         let hit = leaf.key == self.key && leaf.status != NodeStatus::Invalid;
-        self.finish(hit.then_some(leaf.value))
+        self.finish(t.clock_ns(), hit.then_some(leaf.value))
     }
 }
 
 impl OpState for GetOp<'_> {
     type Output = GetOut;
+
+    fn on_admitted(&mut self, now_ns: u64) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.admit(now_ns);
+        }
+    }
+
+    fn on_submitted(&mut self, token: SqeToken, now_ns: u64) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.submitted(token.raw(), now_ns);
+        }
+    }
 
     fn step<T: Transport>(
         &mut self,
@@ -338,7 +392,7 @@ impl OpState for GetOp<'_> {
                 debug_assert!(completion.is_none());
                 if self.key.len() > MAX_KEY_LEN {
                     // Blocking path reports KeyTooLong.
-                    return self.fallback();
+                    return self.fallback(t.clock_ns());
                 }
                 self.probe(t)
             }
@@ -346,7 +400,7 @@ impl OpState for GetOp<'_> {
                 let bytes = into_one_read(completion.expect("Pair state awaits a completion"));
                 match RaceTable::parse_pair(base, &bytes, hash) {
                     // Stale directory: the blocking path refreshes it.
-                    None => self.fallback(),
+                    None => self.fallback(t.clock_ns()),
                     Some(entries) => {
                         let fp = fp12(&self.key[..plen]);
                         let queue: Vec<(RemotePtr, NodeKind)> = entries
@@ -362,7 +416,7 @@ impl OpState for GetOp<'_> {
             St::Candidate { plen, queue, idx } => {
                 let bytes = into_one_read(completion.expect("Candidate state awaits a completion"));
                 let Ok(node) = InnerNode::decode(&bytes) else {
-                    return self.fallback();
+                    return self.fallback(t.clock_ns());
                 };
                 let (_, kind) = queue[idx];
                 if node.header.status == NodeStatus::Invalid
@@ -379,7 +433,7 @@ impl OpState for GetOp<'_> {
                 if self.first {
                     self.delta.filter_first_hits += 1;
                 }
-                self.on_node(node, plen)
+                self.on_node(t.clock_ns(), node, plen)
             }
             St::Child {
                 entry_len,
@@ -388,14 +442,14 @@ impl OpState for GetOp<'_> {
             } => {
                 let bytes = into_one_read(completion.expect("Child state awaits a completion"));
                 let Ok(child) = InnerNode::decode(&bytes) else {
-                    return self.fallback();
+                    return self.fallback(t.clock_ns());
                 };
                 if child.header.status == NodeStatus::Invalid || child.header.kind != kind {
-                    return self.fallback();
+                    return self.fallback(t.clock_ns());
                 }
                 let clen = child.header.prefix_len as usize;
                 if clen <= parent_plen {
-                    return self.fallback();
+                    return self.fallback(t.clock_ns());
                 }
                 if self.key.len() >= clen
                     && child.header.prefix_hash42 == prefix_hash42(&self.key[..clen])
@@ -409,11 +463,11 @@ impl OpState for GetOp<'_> {
                             self.delta.filter_refreshes += 1;
                         }
                     }
-                    self.on_node(child, entry_len)
+                    self.on_node(t.clock_ns(), child, entry_len)
                 } else {
                     // Divergence inside the compressed path: the blocking
                     // path samples a leaf to learn the actual prefix.
-                    self.fallback()
+                    self.fallback(t.clock_ns())
                 }
             }
             St::Leaf {
@@ -448,7 +502,7 @@ impl OpState for GetOp<'_> {
                         // serve the torn leaf, as the blocking path does.
                         match LeafNode::decode_unverified(&bytes) {
                             Ok(leaf) => self.finish_leaf(t, leaf, entry_len),
-                            Err(_) => self.fallback(),
+                            Err(_) => self.fallback(t.clock_ns()),
                         }
                     }
                     Err(LayoutError::ChecksumMismatch { .. })
@@ -457,8 +511,9 @@ impl OpState for GetOp<'_> {
                         // re-read, bounded by the shared policy.
                         self.delta.checksum_retries += 1;
                         attempts += 1;
+                        self.tretry(t.clock_ns());
                         if attempts >= self.retry.io_retries {
-                            return self.fallback();
+                            return self.fallback(t.clock_ns());
                         }
                         t.backoff(&self.retry);
                         self.state = St::Leaf {
@@ -472,7 +527,7 @@ impl OpState for GetOp<'_> {
                             tag: TAG_LEAF,
                         })
                     }
-                    Err(_) => self.fallback(),
+                    Err(_) => self.fallback(t.clock_ns()),
                 }
             }
         }
@@ -535,6 +590,14 @@ impl SphinxClient {
         // `PipelineStats::by_tag` instead of the span recorder); per-key
         // fallbacks below record their own Get spans.
         self.obs_begin(OpKind::MultiGet);
+        // Lease one causal-trace context per key (all `None` when tracing
+        // is off): each machine records its own admission, submissions,
+        // phases, and retries alongside the enclosing MultiGet span.
+        let lease_now = self.dm.clock_ns();
+        let mut leases: Vec<Option<Box<OpTrace>>> = keys
+            .iter()
+            .map(|_| self.tracer.lease(OpKind::Get, lease_now))
+            .collect();
         let mut pstats = PipelineStats::default();
         let run = {
             let SphinxClient {
@@ -546,19 +609,39 @@ impl SphinxClient {
                 ..
             } = self;
             let hint = config.leaf_read_hint;
-            let ops = keys
-                .iter()
-                .map(|key| GetOp::new(key, tables, filter, hint, *retry));
+            let ops = keys.iter().zip(leases.iter_mut()).map(|(key, lease)| {
+                let mut op = GetOp::new(key, tables, filter, hint, *retry);
+                op.trace = lease.take();
+                op
+            });
             node_engine::run_pipelined(dm, ops, depth, &mut pstats)
         };
         self.pipeline.merge(&pstats);
-        let outs = match run {
+        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+        let mut outs = match run {
             Ok(outs) => outs,
             Err(e) => {
                 self.op_exit();
                 return Err(e.into());
             }
         };
+
+        // Finish the per-key traces against the transport-event window the
+        // whole pipelined run shares (one collect, not one per op).
+        #[cfg(feature = "telemetry")]
+        if outs.iter().any(|o| o.trace.is_some()) {
+            let mut scratch = std::mem::take(&mut self.trace_scratch);
+            scratch.clear();
+            let complete = self.dm.trace_collect_since(self.trace_mark, &mut scratch);
+            for out in &mut outs {
+                if let Some(mut tr) = out.trace.take() {
+                    tr.complete = complete;
+                    let end = tr.end_ns;
+                    self.tracer.finish(tr, end, &scratch);
+                }
+            }
+            self.trace_scratch = scratch;
+        }
 
         let mut machine_ops = 0u64;
         for out in &outs {

@@ -105,7 +105,7 @@ impl SphinxClient {
             if done {
                 return Ok(());
             }
-            self.obs.retry();
+            self.obs_retry();
             self.obs_phase(Phase::Retry);
             self.dm.backoff(&self.retry);
         }
@@ -147,7 +147,7 @@ impl SphinxClient {
                 }
                 _ => return Ok(false),
             }
-            self.obs.retry();
+            self.obs_retry();
             self.obs_phase(Phase::Retry);
             self.dm.backoff(&self.retry);
         }
@@ -186,7 +186,7 @@ impl SphinxClient {
                     self.obs_phase(Phase::LeafWrite);
                     let (cur, inv) = leaf.status_cas_words(leaf.status, NodeStatus::Invalid);
                     if self.dm.cas(slot.addr, cur, inv)? != cur {
-                        self.obs.retry();
+                        self.obs_retry();
                         self.dm.advance_clock(200);
                         std::thread::yield_now();
                         continue;

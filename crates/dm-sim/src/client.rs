@@ -7,6 +7,8 @@ use crate::cluster::ClusterInner;
 use crate::error::DmError;
 use crate::schedule::{GrantedStep, ScheduleHandle};
 use crate::stats::ClientStats;
+#[cfg(feature = "trace")]
+use crate::trace::{BurstEvent, TransportEvent, TransportTrace};
 use crate::transport::{CqState, FaultHook, SqeToken};
 
 /// A single one-sided RDMA operation.
@@ -228,6 +230,8 @@ pub struct DmClient {
     stats: ClientStats,
     schedule: Option<ScheduleHandle>,
     cq: CqState,
+    #[cfg(feature = "trace")]
+    trace: TransportTrace,
 }
 
 impl DmClient {
@@ -239,6 +243,8 @@ impl DmClient {
             stats: ClientStats::default(),
             schedule: None,
             cq: CqState::new(),
+            #[cfg(feature = "trace")]
+            trace: TransportTrace::default(),
         }
     }
 
@@ -276,12 +282,45 @@ impl DmClient {
 
     /// Advances the virtual clock by `ns` (models CN-side compute).
     pub fn advance_clock(&mut self, ns: u64) {
+        #[cfg(feature = "trace")]
+        if ns > 0 && self.trace.enabled() {
+            self.trace.push(TransportEvent::Advance {
+                from_ns: self.clock_ns,
+                to_ns: self.clock_ns + ns,
+            });
+        }
         self.clock_ns += ns;
     }
 
     /// Sets the virtual clock (e.g. to re-synchronize workers at a barrier).
+    /// Any retained trace events are dropped — windows that straddle a
+    /// clock reset are meaningless.
     pub fn set_clock_ns(&mut self, ns: u64) {
         self.clock_ns = ns;
+        #[cfg(feature = "trace")]
+        self.trace.clear();
+    }
+
+    /// Turns transport-event tracing on or off for this client.
+    #[cfg(feature = "trace")]
+    pub fn trace_set_enabled(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// The trace sequence number the next transport event will get. Take a
+    /// mark before an op begins and pass it to
+    /// [`trace_collect_since`](DmClient::trace_collect_since) at the end.
+    #[cfg(feature = "trace")]
+    pub fn trace_mark(&self) -> u64 {
+        self.trace.next_seq()
+    }
+
+    /// Appends every retained transport event with sequence ≥ `mark` to
+    /// `out`; returns `false` if part of the window was evicted by the
+    /// ring's capacity.
+    #[cfg(feature = "trace")]
+    pub fn trace_collect_since(&self, mark: u64, out: &mut Vec<TransportEvent>) -> bool {
+        self.trace.collect_since(mark, out)
     }
 
     /// Cumulative network statistics.
@@ -379,7 +418,7 @@ impl DmClient {
         }
         if pending.len() == 1 || self.schedule.is_some() {
             for (token, batch) in pending {
-                let result = self.execute_one(batch);
+                let result = self.execute_one(token, batch);
                 self.cq.complete(token, result);
             }
         } else {
@@ -391,7 +430,11 @@ impl DmClient {
     /// charged step. Byte-identical in cost and accounting to the
     /// pre-completion-queue `execute`, which keeps depth-1 pipelining
     /// equivalent to the blocking stack.
-    fn execute_one(&mut self, batch: DoorbellBatch) -> Result<Vec<VerbResult>, DmError> {
+    fn execute_one(
+        &mut self,
+        token: SqeToken,
+        batch: DoorbellBatch,
+    ) -> Result<Vec<VerbResult>, DmError> {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
@@ -400,11 +443,11 @@ impl DmClient {
         // release. `take` sidesteps the self-borrow; the handle is always
         // restored, and `gate_end` runs on error paths too.
         match self.schedule.take() {
-            None => self.execute_granted(batch, None),
+            None => self.execute_granted(token, batch, None),
             Some(handle) => {
                 let has_cas = batch.verbs.iter().any(|v| matches!(v, Verb::Cas { .. }));
                 let grant = handle.gate_begin(has_cas);
-                let result = self.execute_granted(batch, Some(&grant));
+                let result = self.execute_granted(token, batch, Some(&grant));
                 handle.gate_end();
                 self.schedule = Some(handle);
                 result
@@ -445,12 +488,17 @@ impl DmClient {
 
     fn execute_granted(
         &mut self,
+        token: SqeToken,
         batch: DoorbellBatch,
         grant: Option<&GrantedStep>,
     ) -> Result<Vec<VerbResult>, DmError> {
+        #[cfg(not(feature = "trace"))]
+        let _ = token;
         // An injected delay models the batch being held at the NIC before
         // submission: virtual time passes, then the verbs go out.
-        let now = self.clock_ns + grant.map_or(0, |g| g.decision.delay_ns);
+        let from_ns = self.clock_ns;
+        let delay_ns = grant.map_or(0, |g| g.decision.delay_ns);
+        let now = from_ns + delay_ns;
         self.count_verbs(&batch.verbs);
         let mn_msgs = Self::tally(&batch.verbs);
 
@@ -461,6 +509,10 @@ impl DmClient {
         let total_bytes: u64 = mn_msgs.iter().map(|(_, _, b)| b).sum();
         let cn_fin = cn_nic.submit(now, total_msgs, total_bytes);
         let mut completion = cn_fin;
+        #[cfg(feature = "trace")]
+        let mut fins = [(0u16, 0u64); crate::trace::MAX_BURST_MNS];
+        #[cfg(feature = "trace")]
+        let mut fins_len = 0usize;
         for &(mn_id, msgs, bytes) in &mn_msgs {
             let mn = self
                 .inner
@@ -468,6 +520,11 @@ impl DmClient {
                 .get(mn_id as usize)
                 .ok_or(DmError::UnknownMemoryNode { mn_id })?;
             let fin = mn.nic().submit(now, msgs, bytes);
+            #[cfg(feature = "trace")]
+            if self.trace.enabled() && fins_len < fins.len() {
+                fins[fins_len] = (mn_id, fin);
+                fins_len += 1;
+            }
             completion = completion.max(fin);
         }
         let rtt = self.inner.config.net.rtt_ns;
@@ -476,6 +533,19 @@ impl DmClient {
 
         self.stats.round_trips += mn_msgs.len() as u64;
         self.stats.doorbells += mn_msgs.len() as u64;
+
+        #[cfg(feature = "trace")]
+        if self.trace.enabled() {
+            let mut ev = BurstEvent::new(from_ns, self.clock_ns, delay_ns, cpu);
+            ev.doorbells = mn_msgs.len() as u32;
+            ev.verbs = batch.verbs.len() as u32;
+            ev.grant_step = grant.map(|g| g.step);
+            ev.push_token(token.raw(), batch.verbs.len() as u32);
+            for &(mn, fin) in &fins[..fins_len] {
+                ev.push_mn_fin(mn, fin);
+            }
+            self.trace.push(TransportEvent::Burst(ev));
+        }
 
         // Apply memory effects and collect results. READ completions pass
         // through the cluster-wide fault hook and, on a step whose
@@ -527,16 +597,41 @@ impl DmClient {
             let total_msgs: u64 = union.iter().map(|(_, m, _)| m).sum();
             let total_bytes: u64 = union.iter().map(|(_, _, b)| b).sum();
             let mut completion = cn_nic.submit(now, total_msgs, total_bytes);
+            #[cfg(feature = "trace")]
+            let mut fins = [(0u16, 0u64); crate::trace::MAX_BURST_MNS];
+            #[cfg(feature = "trace")]
+            let mut fins_len = 0usize;
             for &(mn_id, msgs, bytes) in &union {
                 let fin = self.inner.mns[mn_id as usize]
                     .nic()
                     .submit(now, msgs, bytes);
+                #[cfg(feature = "trace")]
+                if self.trace.enabled() && fins_len < fins.len() {
+                    fins[fins_len] = (mn_id, fin);
+                    fins_len += 1;
+                }
                 completion = completion.max(fin);
             }
             let rtt = self.inner.config.net.rtt_ns;
             let cpu = self.inner.config.net.client_op_ns * total_verbs;
             self.clock_ns = completion + rtt + cpu;
             self.stats.doorbells += union.len() as u64;
+
+            #[cfg(feature = "trace")]
+            if self.trace.enabled() {
+                let mut ev = BurstEvent::new(now, self.clock_ns, 0, cpu);
+                ev.doorbells = union.len() as u32;
+                ev.verbs = total_verbs as u32;
+                for ((token, batch), tally) in pending.iter().zip(&tallies) {
+                    if tally.is_some() {
+                        ev.push_token(token.raw(), batch.verbs.len() as u32);
+                    }
+                }
+                for &(mn, fin) in &fins[..fins_len] {
+                    ev.push_mn_fin(mn, fin);
+                }
+                self.trace.push(TransportEvent::Burst(ev));
+            }
         }
 
         // Apply memory effects in submission order, verb order within a

@@ -48,6 +48,7 @@ mod net;
 mod ring;
 mod schedule;
 mod stats;
+pub mod trace;
 mod transport;
 
 pub use addr::RemotePtr;

@@ -91,6 +91,14 @@ pub trait FaultHook: Send + Sync {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SqeToken(u64);
 
+impl SqeToken {
+    /// The token's raw sequence number — stable within one transport's
+    /// lifetime. Trace events identify burst members by this value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// Submission/completion queue state backing the io_uring-style half of
 /// [`Transport`].
 ///

@@ -69,6 +69,24 @@ pub trait OpState {
         t: &mut T,
         completion: Option<Vec<VerbResult>>,
     ) -> Result<StepOutcome<Self::Output>, EngineError>;
+
+    /// Called once when the driver admits the op into a pipeline slot (or
+    /// would — ops that finish on their first step are still admitted),
+    /// before the first [`step`](OpState::step). `now_ns` is the
+    /// transport's virtual clock. Default: no-op; tracing ops record a
+    /// pipeline-admission event here.
+    fn on_admitted(&mut self, now_ns: u64) {
+        let _ = now_ns;
+    }
+
+    /// Called after each of this op's batches is placed on the submission
+    /// queue, with the issued completion-queue token. Covers both the
+    /// first submission and every resubmission (e.g. a retry after a torn
+    /// read). Default: no-op; tracing ops record the token to establish
+    /// doorbell-fusion membership.
+    fn on_submitted(&mut self, token: SqeToken, now_ns: u64) {
+        let _ = (token, now_ns);
+    }
 }
 
 /// Per-tag network aggregates for one pipeline run (tags are the `tag`
@@ -204,6 +222,7 @@ where
      -> Result<(), EngineError> {
         let idx = outputs.len();
         outputs.push(None);
+        op.on_admitted(t.clock_ns());
         match op.step(t, None)? {
             StepOutcome::Done(out) => {
                 outputs[idx] = Some(out);
@@ -212,6 +231,7 @@ where
             StepOutcome::Submit { batch, tag } => {
                 stats.record_submit(tag, &batch);
                 let token = t.submit(batch);
+                op.on_submitted(token, t.clock_ns());
                 slots.push(Slot { idx, op, token });
             }
         }
@@ -246,6 +266,7 @@ where
                 StepOutcome::Submit { batch, tag } => {
                     stats.record_submit(tag, &batch);
                     slot.token = t.submit(batch);
+                    slot.op.on_submitted(slot.token, t.clock_ns());
                     kept.push(slot);
                 }
             }

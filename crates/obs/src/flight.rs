@@ -111,6 +111,7 @@ mod tests {
             retries,
             round_trips: 1,
             phases: [PhaseAgg::default(); NUM_PHASES],
+            trace: None,
         }
     }
 

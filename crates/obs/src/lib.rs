@@ -16,6 +16,15 @@
 //!   and JSON/text export.
 //! * [`FlightRecorder`] — a fixed-size top-K keeper of the slowest and
 //!   most-retried ops with their full phase breakdowns.
+//! * [`Tracer`] — always-on, tail-sampled *causal* tracing. A sampled op
+//!   carries an [`OpTrace`] through its state machine, recording every
+//!   causal edge (admission, submit, doorbell flush with fusion
+//!   membership, per-MN completion, phase transitions, retries, reclaim
+//!   pin/unpin); [`critical_path`] decomposes the op's latency into
+//!   queueing / fusion-wait / NIC-service / scheduler-stall / CN-compute
+//!   segments that sum *exactly* to the end-to-end latency, and
+//!   [`export_chrome`] renders retained traces as Perfetto-viewable
+//!   Chrome trace-event JSON (schema [`TRACE_SCHEMA`]).
 //!
 //! ## Cost model
 //!
@@ -35,8 +44,16 @@ pub mod json;
 mod recorder;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use flight::{FlightRecorder, DEFAULT_CAPACITY};
 pub use recorder::Recorder;
-pub use registry::{OpAgg, Registry, SCHEMA};
+pub use registry::{
+    OpAgg, PipelineAgg, PipelineTagAgg, Registry, PIPELINE_DEPTH_BUCKETS, PIPELINE_DEPTH_LABELS,
+    SCHEMA,
+};
 pub use span::{OpKind, OpRecord, Phase, PhaseAgg, NUM_OP_KINDS, NUM_PHASES};
+pub use trace::{
+    critical_path, export_chrome, CriticalPath, OpEvent, OpTrace, TraceId, Tracer, DEFAULT_TAIL_K,
+    TRACE_SCHEMA,
+};

@@ -124,6 +124,12 @@ impl Recorder {
     /// breakdown into the registry, and offers the op to the flight
     /// recorder. No-op outside a span.
     pub fn end(&mut self, stats: ClientStats, now_ns: u64) {
+        self.end_traced(stats, now_ns, None);
+    }
+
+    /// Like [`end`](Recorder::end), but links the flight-recorder entry to
+    /// a retained causal trace (see [`Tracer::finish`](crate::Tracer::finish)).
+    pub fn end_traced(&mut self, stats: ClientStats, now_ns: u64, trace: Option<u64>) {
         #[cfg(feature = "telemetry")]
         {
             let Some(kind) = self.span.kind.take() else {
@@ -144,11 +150,12 @@ impl Recorder {
                 retries: self.span.retries,
                 round_trips: self.span.phases.iter().map(|p| p.round_trips).sum(),
                 phases: self.span.phases,
+                trace,
             };
             self.registry.flight.offer(&record);
         }
         #[cfg(not(feature = "telemetry"))]
-        let _ = (stats, now_ns);
+        let _ = (stats, now_ns, trace);
     }
 
     /// Adds `n` to a named registry counter.

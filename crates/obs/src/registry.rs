@@ -55,6 +55,73 @@ impl OpAgg {
     }
 }
 
+/// Number of `≤`-buckets in [`PipelineAgg::depth_hist`] (1, 2, 4, 8, 16,
+/// >16) — mirrors `node_engine::pipeline::DEPTH_BUCKETS`.
+pub const PIPELINE_DEPTH_BUCKETS: usize = 6;
+
+/// Stable labels for the depth-histogram buckets, in index order.
+pub const PIPELINE_DEPTH_LABELS: [&str; PIPELINE_DEPTH_BUCKETS] = ["1", "2", "4", "8", "16", "16+"];
+
+/// Per-tag network aggregates of the pipelined op scheduler (tags are
+/// phase names — the `tag` each op attaches to its submissions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineTagAgg {
+    /// Batches submitted with this tag.
+    pub batches: u64,
+    /// Logical round trips (distinct MNs per batch).
+    pub round_trips: u64,
+    /// Verbs submitted.
+    pub verbs: u64,
+    /// Wire bytes moved.
+    pub bytes: u64,
+}
+
+/// First-class pipelined-execution aggregates: the scheduler's depth
+/// histogram and per-tag round-trip table, exported structurally in
+/// `sphinx.telemetry.v1` (the `pipeline.*` scalar counters remain for
+/// backward compatibility).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineAgg {
+    /// Ops driven to completion by the pipelined scheduler.
+    pub ops: u64,
+    /// Flush rounds issued.
+    pub flushes: u64,
+    /// Batches that shared their flush with at least one other batch.
+    pub fused_batches: u64,
+    /// Flush rounds with fewer in-flight ops than the configured depth.
+    pub stalls: u64,
+    /// In-flight ops at each flush, bucketed per
+    /// [`PIPELINE_DEPTH_LABELS`].
+    pub depth_hist: [u64; PIPELINE_DEPTH_BUCKETS],
+    /// Network work grouped by the submitting op's attribution tag.
+    pub by_tag: BTreeMap<String, PipelineTagAgg>,
+}
+
+impl PipelineAgg {
+    /// Merges another run's aggregates into this accumulator.
+    pub fn merge(&mut self, other: &PipelineAgg) {
+        self.ops += other.ops;
+        self.flushes += other.flushes;
+        self.fused_batches += other.fused_batches;
+        self.stalls += other.stalls;
+        for (a, b) in self.depth_hist.iter_mut().zip(&other.depth_hist) {
+            *a += b;
+        }
+        for (tag, agg) in &other.by_tag {
+            let mine = self.by_tag.entry(tag.clone()).or_default();
+            mine.batches += agg.batches;
+            mine.round_trips += agg.round_trips;
+            mine.verbs += agg.verbs;
+            mine.bytes += agg.bytes;
+        }
+    }
+
+    /// True when no pipelined run has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.flushes == 0 && self.ops == 0
+    }
+}
+
 /// A mergeable telemetry registry. One per worker (filled through a
 /// [`Recorder`](crate::Recorder)); merged into one per run for export.
 #[derive(Debug, Clone, Default)]
@@ -66,6 +133,8 @@ pub struct Registry {
     pub counters: BTreeMap<String, u64>,
     /// Top-K slowest / most-retried operations.
     pub flight: FlightRecorder,
+    /// Pipelined-scheduler aggregates (depth histogram, per-tag table).
+    pub pipeline: PipelineAgg,
 }
 
 impl Registry {
@@ -130,6 +199,7 @@ impl Registry {
             self.add(name, *v);
         }
         self.flight.merge(&other.flight);
+        self.pipeline.merge(&other.pipeline);
     }
 
     /// Serializes the registry as a self-describing JSON document
@@ -173,6 +243,35 @@ impl Registry {
         }
         w.end_obj();
 
+        if !self.pipeline.is_empty() {
+            let p = &self.pipeline;
+            w.key("pipeline");
+            w.begin_obj();
+            w.u64_field("ops", p.ops);
+            w.u64_field("flushes", p.flushes);
+            w.u64_field("fused_batches", p.fused_batches);
+            w.u64_field("stalls", p.stalls);
+            w.key("depth_hist");
+            w.begin_obj();
+            for (label, v) in PIPELINE_DEPTH_LABELS.iter().zip(&p.depth_hist) {
+                w.u64_field(label, *v);
+            }
+            w.end_obj();
+            w.key("by_tag");
+            w.begin_obj();
+            for (tag, agg) in &p.by_tag {
+                w.key(tag);
+                w.begin_obj();
+                w.u64_field("batches", agg.batches);
+                w.u64_field("round_trips", agg.round_trips);
+                w.u64_field("verbs", agg.verbs);
+                w.u64_field("bytes", agg.bytes);
+                w.end_obj();
+            }
+            w.end_obj();
+            w.end_obj();
+        }
+
         w.key("counters");
         w.begin_obj();
         for (name, v) in &self.counters {
@@ -213,8 +312,8 @@ impl Registry {
             );
             let _ = writeln!(
                 out,
-                "  {:<12} {:>9} {:>9} {:>10} {:>9}",
-                "phase", "rts/op", "verbs/op", "bytes/op", "time%"
+                "  {:<12} {:>9} {:>9} {:>9} {:>10} {:>9}",
+                "phase", "rts/op", "dbs/op", "verbs/op", "bytes/op", "time%"
             );
             let total_time: u64 = op.phases.iter().map(|p| p.time_ns).sum();
             for phase in Phase::ALL {
@@ -230,12 +329,42 @@ impl Registry {
                 };
                 let _ = writeln!(
                     out,
-                    "  {:<12} {:>9.3} {:>9.3} {:>10.1} {:>8.1}%",
+                    "  {:<12} {:>9.3} {:>9.3} {:>9.3} {:>10.1} {:>8.1}%",
                     phase.name(),
                     per(agg.round_trips),
+                    per(agg.doorbells),
                     per(agg.verbs),
                     per(agg.bytes),
                     pct,
+                );
+            }
+            let (rts, dbs) = op.phases.iter().fold((0u64, 0u64), |(r, d), p| {
+                (r + p.round_trips, d + p.doorbells)
+            });
+            let _ = writeln!(
+                out,
+                "  total: {:.3} rts/op, {:.3} doorbells/op",
+                rts as f64 / op.count as f64,
+                dbs as f64 / op.count as f64,
+            );
+        }
+        if !self.pipeline.is_empty() {
+            let p = &self.pipeline;
+            let _ = writeln!(
+                out,
+                "pipeline: {} ops, {} flushes, {} fused batches, {} stalls",
+                p.ops, p.flushes, p.fused_batches, p.stalls
+            );
+            let _ = write!(out, "  depth_hist:");
+            for (label, v) in PIPELINE_DEPTH_LABELS.iter().zip(&p.depth_hist) {
+                let _ = write!(out, " ≤{label}:{v}");
+            }
+            let _ = writeln!(out);
+            for (tag, agg) in &p.by_tag {
+                let _ = writeln!(
+                    out,
+                    "  tag {:<12} {} batches, {} rts, {} verbs, {} bytes",
+                    tag, agg.batches, agg.round_trips, agg.verbs, agg.bytes
                 );
             }
         }
@@ -275,6 +404,7 @@ fn write_phase_agg(w: &mut JsonWriter, agg: &PhaseAgg) {
     w.begin_obj();
     w.u64_field("count", agg.count);
     w.u64_field("round_trips", agg.round_trips);
+    w.u64_field("doorbells", agg.doorbells);
     w.u64_field("verbs", agg.verbs);
     w.u64_field("bytes", agg.bytes);
     w.u64_field("time_ns", agg.time_ns);
@@ -289,6 +419,9 @@ fn write_records(w: &mut JsonWriter, records: &[crate::span::OpRecord]) {
         w.u64_field("latency_ns", rec.latency_ns);
         w.u64_field("retries", rec.retries as u64);
         w.u64_field("round_trips", rec.round_trips);
+        if let Some(trace) = rec.trace {
+            w.u64_field("trace_id", trace);
+        }
         w.key("phases");
         w.begin_obj();
         for phase in Phase::ALL {

@@ -127,6 +127,9 @@ pub struct PhaseAgg {
     pub count: u64,
     /// Round trips performed during the phase.
     pub round_trips: u64,
+    /// Physical doorbells rung during the phase (< round trips when the
+    /// pipelined scheduler fused this phase's submissions with others).
+    pub doorbells: u64,
     /// Verbs issued during the phase.
     pub verbs: u64,
     /// Bytes moved (read + written) during the phase.
@@ -141,6 +144,7 @@ impl PhaseAgg {
     pub fn add_interval(&mut self, delta: &ClientStats, time_ns: u64) {
         self.count += 1;
         self.round_trips += delta.round_trips;
+        self.doorbells += delta.doorbells;
         self.verbs += delta.verbs();
         self.bytes += delta.bytes_total();
         self.time_ns += time_ns;
@@ -150,6 +154,7 @@ impl PhaseAgg {
     pub fn merge(&mut self, other: &PhaseAgg) {
         self.count += other.count;
         self.round_trips += other.round_trips;
+        self.doorbells += other.doorbells;
         self.verbs += other.verbs;
         self.bytes += other.bytes;
         self.time_ns += other.time_ns;
@@ -175,6 +180,10 @@ pub struct OpRecord {
     pub round_trips: u64,
     /// Per-phase attribution (indexed by [`Phase::idx`]).
     pub phases: [PhaseAgg; NUM_PHASES],
+    /// Link to the op's retained causal trace
+    /// ([`TraceId`](crate::trace::TraceId)), when one was sampled and
+    /// survived retention at record time.
+    pub trace: Option<u64>,
 }
 
 #[cfg(test)]
@@ -209,6 +218,7 @@ mod tests {
         agg.add_interval(&delta, 1000);
         assert_eq!(agg.count, 2);
         assert_eq!(agg.round_trips, 4);
+        assert_eq!(agg.doorbells, 4);
         assert_eq!(agg.verbs, 10);
         assert_eq!(agg.bytes, 384);
         assert_eq!(agg.time_ns, 5000);

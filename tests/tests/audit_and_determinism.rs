@@ -137,6 +137,8 @@ fn single_worker_virtual_time_is_deterministic() {
                 warmup_per_worker: 100,
                 seed: 0xD00D,
                 pipeline_depth: 1,
+                trace_head_every: 0,
+                trace_tail_k: obs::DEFAULT_TAIL_K,
             },
         );
         (r.mops.to_bits(), r.avg_latency_us.to_bits(), r.total_ops)

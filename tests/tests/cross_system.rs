@@ -164,6 +164,8 @@ fn ycsb_smoke_every_workload_every_system() {
                     warmup_per_worker: 10,
                     seed: 99,
                     pipeline_depth: 1,
+                    trace_head_every: 0,
+                    trace_tail_k: obs::DEFAULT_TAIL_K,
                 },
             );
             assert!(r.mops > 0.0, "{} {wl}", sys.label());

@@ -14,6 +14,7 @@
 use bench_harness::{run_scheduled, ExploreConfig, ScheduleMode, System};
 use dm_sim::ScheduleConfig;
 use lincheck::CheckConfig;
+use obs::export_chrome;
 
 fn cfg(system: System) -> ExploreConfig {
     ExploreConfig {
@@ -67,6 +68,52 @@ fn trace_prefix_replays_to_completion() {
     assert!(out.outcome.is_linearizable(), "{:?}", out.outcome);
     // Same workload → same op count either way.
     assert_eq!(out.history.len(), recorded.history.len());
+}
+
+/// Regression: a hot key space (8 keys, 3 workers, 600 ops each) used to
+/// panic the blocking get path with `Corrupt("root hash entry missing")`
+/// when a concurrent root type switch invalidated the node a freshly
+/// repaired FilterCache entry pointed at. The fix retries the entry
+/// lookup on a bounded budget instead of trusting a single validation
+/// round. Seeds pinned to the interleavings that provoked it.
+#[test]
+fn hot_keyspace_blocking_get_survives_root_type_switch() {
+    let cfg = ExploreConfig::smoke(System::Sphinx, 3, 8, 600);
+    for seed in [3u64, 6, 22, 29] {
+        let out = run_scheduled(
+            &cfg,
+            ScheduleMode::Record(ScheduleConfig::adversarial(seed)),
+        );
+        assert!(
+            out.outcome.is_linearizable(),
+            "Sphinx hot-keyspace seed {seed}: {:?}",
+            out.outcome
+        );
+    }
+}
+
+/// Same seed ⇒ byte-identical causal-trace export. The export is the
+/// debugging artifact a failure report embeds; if it drifted across
+/// identical runs, "replay the seed and look at the trace" would be
+/// meaningless.
+#[test]
+fn same_seed_trace_export_is_byte_identical() {
+    let mut cfg = cfg(System::Sphinx);
+    cfg.pipeline_depth = 4; // exercise the pipelined trace path too
+    let mode = ScheduleMode::Record(ScheduleConfig::adversarial(17));
+    let a = run_scheduled(&cfg, mode.clone());
+    let b = run_scheduled(&cfg, mode);
+    assert!(a.outcome.is_linearizable(), "{:?}", a.outcome);
+    assert!(
+        !a.traces.is_empty(),
+        "scheduled runs head-sample every op and must retain traces"
+    );
+    let ea = export_chrome(&a.traces);
+    let eb = export_chrome(&b.traces);
+    assert_eq!(
+        ea, eb,
+        "same (workload seed, schedule seed) must export byte-identical traces"
+    );
 }
 
 /// The pinned regression sweep: every system × seed linearizable under
