@@ -1,0 +1,161 @@
+//! CI gate for the generational Succinct Filter Cache (SFC 2.0).
+//!
+//! Asserts the subsystem's three headline contracts, exiting nonzero
+//! (panicking) on any violation:
+//!
+//! 1. **Succinctness at scale** — a frozen generation holding ≥50k
+//!    prefixes costs ≤10 bits per entry. (Binary-fuse slack is a fixed
+//!    overhead amortised by size: tiny filters sit near 12 bits/entry,
+//!    so the guard is only meaningful at scale.)
+//! 2. **Snapshot determinism** — `snapshot()` is reproducible, and a
+//!    filter warm-started from a snapshot re-exports byte-identical
+//!    bytes: snapshots can be content-addressed and diffed across CNs.
+//! 3. **Warm-start** — a CN that loads a peer's snapshot starts with
+//!    the frozen prefix set resident and does NOT pay the Θ(L)
+//!    entry-miss ramp a cold CN pays on the same read mix.
+//!
+//! The paired CI job also builds the stack `--no-default-features` to
+//! prove the subsystem compiles with telemetry off.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin sfc_smoke
+//! ```
+
+use dm_sim::{ClusterConfig, DmCluster};
+use sphinx::sfc::{FilterCache, SfcConfig};
+use sphinx::{SphinxConfig, SphinxIndex};
+use ycsb::KeySpace;
+
+/// Contract 1: ≤10 bits/entry once the fuse's fixed slack is amortised.
+fn succinctness_at_scale() {
+    const N: u64 = 64_000;
+    let f = FilterCache::new(1 << 20, SfcConfig::default(), 0xF0CC);
+    for i in 0..N {
+        f.insert(format!("prefix/{i:08}").as_bytes());
+    }
+    assert!(f.force_rebuild(), "64k-key fuse build must succeed");
+    let s = f.stats();
+    assert_eq!(s.frozen_len, N, "every inserted prefix must freeze");
+    let bits = s.frozen_bits_per_entry();
+    assert!(
+        bits <= 10.0,
+        "frozen generation costs {bits:.2} bits/entry at {N} keys (contract: <=10)"
+    );
+    // The probe structure still answers: zero false negatives.
+    for i in (0..N).step_by(97) {
+        assert!(f.contains_quiet(format!("prefix/{i:08}").as_bytes()));
+    }
+    println!("succinctness: {N} frozen prefixes at {bits:.2} bits/entry");
+}
+
+/// Contract 2: snapshots are deterministic and round-trip byte-identical.
+fn snapshot_byte_identity() {
+    let f = FilterCache::new(64 << 10, SfcConfig::default(), 0x5EED);
+    for i in 0..5_000u64 {
+        f.insert(format!("tenant-{:03}/{i:06}", i % 17).as_bytes());
+    }
+    assert!(f.force_rebuild());
+    let snap = f.snapshot();
+    assert_eq!(snap, f.snapshot(), "snapshot() must be reproducible");
+
+    let twin = FilterCache::new(64 << 10, SfcConfig::default(), 0x5EED);
+    twin.load_snapshot(&snap).expect("clean snapshot must load");
+    assert_eq!(
+        twin.snapshot(),
+        snap,
+        "a warm-started filter must re-export byte-identical snapshot bytes"
+    );
+    println!(
+        "snapshot: {} bytes, byte-identical across a round trip",
+        snap.len()
+    );
+}
+
+/// Contract 3: a snapshot-loaded CN skips the cold entry-miss ramp.
+fn warm_start_skips_cold_ramp() {
+    const KEYS: u64 = 4_000;
+    let cluster = DmCluster::new(ClusterConfig {
+        num_mns: 3,
+        num_cns: 3,
+        mn_capacity: 1 << 30,
+        ..Default::default()
+    });
+    let index = SphinxIndex::create(&cluster, SphinxConfig::default()).expect("create");
+    let mut writer = index.client(0).expect("cn0");
+    for i in 0..KEYS {
+        writer
+            .insert(&KeySpace::Email.key(i), b"v")
+            .expect("insert");
+    }
+    // One read pass teaches CN 0's filter the live prefix set; freeze it.
+    for i in 0..KEYS {
+        writer.get(&KeySpace::Email.key(i)).expect("get");
+    }
+    writer.filter_handle().force_rebuild();
+    let snap = index.sfc_snapshot(0);
+
+    // The cold ramp is invisible to `entry_misses`: an empty filter
+    // offers no candidate, so the client walks root-to-leaf (Θ(L) round
+    // trips) without ever consulting the INHT entry. The ramp's
+    // signatures are (a) `filter_refreshes` — every inner prefix must be
+    // taught on first contact — and (b) wire round trips per get.
+    let ramp = |cn: u16| {
+        let mut c = index.client(cn).expect("client");
+        let (base, net0) = (c.op_stats(), c.net_stats());
+        for i in 0..KEYS {
+            assert!(c.get(&KeySpace::Email.key(i)).expect("get").is_some());
+        }
+        let (s, net) = (c.op_stats(), c.net_stats().since(&net0));
+        (
+            s.gets - base.gets,
+            s.entry_misses - base.entry_misses,
+            s.filter_refreshes - base.filter_refreshes,
+            net.round_trips,
+        )
+    };
+
+    // CN 1 starts cold; CN 2 warm-starts from CN 0's snapshot before
+    // its first op.
+    let (cold_gets, _, cold_refreshes, cold_rts) = ramp(1);
+    index.load_sfc_snapshot(2, &snap).expect("snapshot load");
+    let (warm_gets, warm_misses, warm_refreshes, warm_rts) = ramp(2);
+
+    assert_eq!(cold_gets, warm_gets);
+    assert!(
+        cold_refreshes > 50,
+        "cold CN must visibly ramp (taught only {cold_refreshes} prefixes)"
+    );
+    assert!(
+        warm_refreshes * 10 < cold_refreshes,
+        "warm-started CN still learning prefixes: {warm_refreshes} refreshes \
+         vs {cold_refreshes} cold"
+    );
+    assert!(
+        (warm_misses as f64) < warm_gets as f64 * 0.10,
+        "warm-started CN missing its own frozen set: {warm_misses} entry \
+         misses over {warm_gets} gets"
+    );
+    assert!(
+        warm_rts < cold_rts,
+        "warm start must save wire round trips ({warm_rts} vs {cold_rts})"
+    );
+    println!(
+        "warm start: {warm_refreshes} prefixes taught vs {cold_refreshes} cold; \
+         {warm_rts} vs {cold_rts} round trips over {warm_gets} gets"
+    );
+
+    let stats = index.sfc_stats();
+    assert_eq!(stats.snapshot_loads, 1);
+    assert_eq!(stats.snapshot_rejects, 0);
+    assert!(
+        index.sfc_telemetry().counter("sfc.gen.snapshot_loads") > 0,
+        "snapshot loads must surface in sphinx.telemetry.v1"
+    );
+}
+
+fn main() {
+    succinctness_at_scale();
+    snapshot_byte_identity();
+    warm_start_skips_cold_ramp();
+    println!("sfc_smoke: all contracts hold");
+}

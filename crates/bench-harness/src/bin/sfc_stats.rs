@@ -1,20 +1,27 @@
 //! §III-B — Succinct Filter Cache accuracy statistics.
 //!
-//! Measures, over a read-only workload:
+//! Measures, over a read-only workload and for **both** cache variants
+//! (the pre-generational cuckoo-only SFC and the generational SFC 2.0:
+//! frozen binary-fuse generation + mutable cuckoo delta):
 //! * the fraction of lookups whose *first* hash-entry fetch already named
 //!   the deepest node (the filter doing its job);
 //! * the hash-entry miss rate (filter false positives / staleness — the
 //!   paper claims <1%);
 //! * the double-collision retry rate detected at leaves (paper: <0.01%);
-//! * the raw cuckoo-filter false-positive rate at the same occupancy;
+//! * the raw filter false-positive rate at the same occupancy;
+//! * the filter hit rate over the probe ladder (hits / membership probes);
+//! * the resident probe-structure cost in bits per cached prefix — the
+//!   succinctness claim (frozen fuse ≈9–10 bits/entry at scale vs the
+//!   cuckoo's ≥16 bits/slot before load-factor losses);
 //! * per-get hash-entry reads during the INHT lookup phase — the quantity
 //!   the filter exists to minimise (≈1 on a hit, Θ(L) on a miss).
 //!
-//! All rates come from the telemetry registry ([`obs::Registry`]): the
-//! measured window is isolated by snapshotting the worker's registry
-//! before the loop and differencing the monotone counters, and the full
-//! registry (with per-phase attribution and the flight recorder) is
-//! exported to `results/sfc_stats_telemetry_<dataset>.json`.
+//! All rates come from the telemetry registry ([`obs::Registry`]) and the
+//! index-level SFC counters: the measured window is isolated by
+//! snapshotting both before the loop and differencing the monotone
+//! counters, and the full registry (with per-phase attribution and the
+//! flight recorder) is exported to
+//! `results/sfc_stats_telemetry_<dataset>_<variant>.json`.
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin sfc_stats -- \
@@ -23,8 +30,10 @@
 
 use bench_harness::report::{arg_u64, write_json, Table};
 use bench_harness::runner::load_phase;
-use bench_harness::systems::{System, WorkerClient};
+use bench_harness::systems::{paper_cache_bytes, SystemHandle, WorkerClient};
+use dm_sim::{ClusterConfig, DmCluster};
 use obs::{OpKind, Phase};
+use sphinx::{SphinxConfig, SphinxIndex};
 use ycsb::KeySpace;
 
 fn main() {
@@ -35,66 +44,110 @@ fn main() {
     println!("§III-B — Succinct Filter Cache statistics ({keys} keys, {ops} lookups)\n");
     let mut table = Table::new([
         "dataset",
+        "variant",
         "filter_first_hit_%",
         "entry_miss_per_op",
         "fp_retry_per_op",
         "raw_filter_fp_%",
+        "filter_hit_rate_%",
+        "bits_per_entry",
         "inht_reads_per_get",
     ]);
 
     for keyspace in [KeySpace::U64, KeySpace::Email] {
-        let handle = System::Sphinx.build(1 << 30, None);
-        load_phase(&handle, keyspace, keys, 8);
-        let mut worker = handle.worker(0);
+        for generational in [false, true] {
+            let variant = if generational {
+                "generational"
+            } else {
+                "cuckoo-only"
+            };
+            // Paper-proportioned cache budget (20 MB : 60 M keys), so the
+            // cuckoo variant's bits/entry reflects a realistically loaded
+            // filter rather than an idle 20 MB allocation.
+            let cluster = DmCluster::new(ClusterConfig {
+                num_mns: 3,
+                num_cns: 3,
+                mn_capacity: 1 << 30,
+                ..Default::default()
+            });
+            let config = SphinxConfig {
+                cache_bytes: paper_cache_bytes(keys),
+                sfc: sphinx::sfc::SfcConfig {
+                    generational,
+                    ..Default::default()
+                },
+                ..SphinxConfig::default()
+            };
+            let index = SphinxIndex::create(&cluster, config).expect("create sphinx");
+            let handle = SystemHandle::Sphinx(index.clone());
+            load_phase(&handle, keyspace, keys, 8);
+            let mut worker = handle.worker(0);
 
-        // Warm the filter with one pass over a sample.
-        for i in (0..keys).step_by(7) {
-            worker.get(&keyspace.key(i));
-        }
-        let base = worker.telemetry();
-        let mut x = 0x1234_5678u64;
-        for _ in 0..ops {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            worker.get(&keyspace.key((x >> 16) % keys));
-        }
-        let cur = worker.telemetry();
-        // Registry counters and phase cells are monotone, so the measured
-        // window is the difference of the two snapshots.
-        let delta = |name: &str| cur.counter(name) - base.counter(name);
-        let gets = cur.op(OpKind::Get).count - base.op(OpKind::Get).count;
-        let inht_reads = cur.phase(OpKind::Get, Phase::InhtLookup).verbs
-            - base.phase(OpKind::Get, Phase::InhtLookup).verbs;
-
-        // Raw filter accuracy at the achieved occupancy.
-        let raw_fp = match &worker {
-            WorkerClient::Sphinx(c) => {
-                let filter = c.filter_handle().lock();
-                let probes = 50_000u64;
-                let fps = (0..probes)
-                    .filter(|i| filter.contains_quiet(format!("no-such-prefix-{i}").as_bytes()))
-                    .count();
-                fps as f64 / probes as f64 * 100.0
+            // Warm the filter with one pass over a sample, then fold the
+            // pending delta into a frozen generation so the measured
+            // window probes the steady generational state.
+            for i in (0..keys).step_by(7) {
+                worker.get(&keyspace.key(i));
             }
-            _ => unreachable!(),
-        };
+            if let WorkerClient::Sphinx(c) = &worker {
+                c.filter_handle().force_rebuild();
+            }
+            let base = worker.telemetry();
+            let sfc_base = index.sfc_stats();
+            let mut x = 0x1234_5678u64;
+            for _ in 0..ops {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                worker.get(&keyspace.key((x >> 16) % keys));
+            }
+            let cur = worker.telemetry();
+            let sfc_cur = index.sfc_stats();
+            // Registry counters and phase cells are monotone, so the
+            // measured window is the difference of the two snapshots.
+            let delta = |name: &str| cur.counter(name) - base.counter(name);
+            let gets = cur.op(OpKind::Get).count - base.op(OpKind::Get).count;
+            let inht_reads = cur.phase(OpKind::Get, Phase::InhtLookup).verbs
+                - base.phase(OpKind::Get, Phase::InhtLookup).verbs;
+            let probes = sfc_cur.lookups - sfc_base.lookups;
+            let hit_rate = (sfc_cur.hits - sfc_base.hits) as f64 / probes.max(1) as f64 * 100.0;
 
-        table.row([
-            keyspace.name().to_string(),
-            format!(
-                "{:.1}",
-                delta("sphinx.filter_first_hits") as f64 / gets as f64 * 100.0
-            ),
-            format!("{:.4}", delta("sphinx.entry_misses") as f64 / gets as f64),
-            format!("{:.6}", delta("sphinx.fp_retries") as f64 / gets as f64),
-            format!("{raw_fp:.3}"),
-            format!("{:.3}", inht_reads as f64 / gets as f64),
-        ]);
-        write_json(
-            &format!("sfc_stats_telemetry_{}", keyspace.name()),
-            &cur.to_json(),
-        );
+            // Raw filter accuracy and resident cost at the achieved
+            // occupancy. `bits_per_entry` counts only the probe
+            // structures (fuse fingerprints + delta slots), the quantity
+            // the succinctness claim is about.
+            let (raw_fp, bits) = match &worker {
+                WorkerClient::Sphinx(c) => {
+                    let filter = c.filter_handle();
+                    let probes = 50_000u64;
+                    let fps = (0..probes)
+                        .filter(|i| filter.contains_quiet(format!("no-such-prefix-{i}").as_bytes()))
+                        .count();
+                    let bits = filter.memory_bytes() as f64 * 8.0 / filter.len().max(1) as f64;
+                    (fps as f64 / probes as f64 * 100.0, bits)
+                }
+                _ => unreachable!(),
+            };
+
+            table.row([
+                keyspace.name().to_string(),
+                variant.to_string(),
+                format!(
+                    "{:.1}",
+                    delta("sphinx.filter_first_hits") as f64 / gets as f64 * 100.0
+                ),
+                format!("{:.4}", delta("sphinx.entry_misses") as f64 / gets as f64),
+                format!("{:.6}", delta("sphinx.fp_retries") as f64 / gets as f64),
+                format!("{raw_fp:.3}"),
+                format!("{hit_rate:.1}"),
+                format!("{bits:.1}"),
+                format!("{:.3}", inht_reads as f64 / gets as f64),
+            ]);
+            write_json(
+                &format!("sfc_stats_telemetry_{}_{}", keyspace.name(), variant),
+                &cur.to_json(),
+            );
+        }
     }
     println!("{}", table.render());
     table.write_csv("sfc_stats");

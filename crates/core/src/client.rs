@@ -2,12 +2,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use art_core::hash::{fp12, prefix_hash42, prefix_hash64};
 use art_core::key::{common_prefix_len, MAX_KEY_LEN};
 use art_core::layout::{HashEntry, InnerNode, LeafNode, NodeStatus, Slot};
-use cuckoo::CuckooFilter;
 use dm_sim::{ClientStats, DmClient, RemotePtr, RetryPolicy, Transport};
 use node_engine::{read_inner_consistent, read_validated_leaf, LeafReadStats};
 use obs::{OpKind, Phase, Recorder};
@@ -153,7 +150,7 @@ pub(crate) enum DescentResult {
 pub struct SphinxClient {
     pub(crate) dm: DmClient,
     pub(crate) tables: Vec<RaceTable>,
-    pub(crate) filter: Arc<Mutex<CuckooFilter>>,
+    pub(crate) filter: Arc<sfc::FilterCache>,
     pub(crate) config: SphinxConfig,
     pub(crate) stats: OpStats,
     pub(crate) obs: Recorder,
@@ -189,7 +186,7 @@ impl SphinxClient {
     pub(crate) fn new(
         dm: DmClient,
         tables: Vec<RaceTable>,
-        filter: Arc<Mutex<CuckooFilter>>,
+        filter: Arc<sfc::FilterCache>,
         config: SphinxConfig,
         reclaim: reclaim::ReclaimHandle,
     ) -> Self {
@@ -248,7 +245,7 @@ impl SphinxClient {
     }
 
     /// The shared per-CN Succinct Filter Cache.
-    pub fn filter_handle(&self) -> &Arc<Mutex<CuckooFilter>> {
+    pub fn filter_handle(&self) -> &Arc<sfc::FilterCache> {
         &self.filter
     }
 
@@ -405,9 +402,10 @@ impl SphinxClient {
     }
 
     /// The operation-exit maintenance step: resolve pending ambiguous
-    /// probes, run the amortized reclamation scan when due (both
-    /// attributed to [`Phase::Maintenance`]), and close the telemetry
-    /// span.
+    /// probes, run the amortized reclamation scan when due, fold the
+    /// filter cache's pending delta into a fresh frozen generation when
+    /// its rebuild threshold is armed (all attributed to
+    /// [`Phase::Maintenance`]), and close the telemetry span.
     pub(crate) fn op_exit(&mut self) {
         if !self.ambiguous.is_empty() {
             self.obs_phase(Phase::Maintenance);
@@ -415,6 +413,13 @@ impl SphinxClient {
         }
         if self.reclaim.scan_due() {
             self.obs_phase(Phase::Maintenance);
+        }
+        if self.config.mode == CacheMode::FilterCache && self.filter.rebuild_due() {
+            // Generation rebuild rides the same amortized maintenance
+            // slot as the reclamation scan: CN-local CPU off the lookup
+            // critical path, never a remote round trip.
+            self.obs_phase(Phase::Maintenance);
+            self.filter.maintain();
         }
         {
             let SphinxClient { dm, reclaim, .. } = self;
@@ -588,12 +593,7 @@ impl SphinxClient {
                 let mut first = true;
                 loop {
                     self.obs_phase(Phase::SfcProbe);
-                    let cand = if l == 0 {
-                        0
-                    } else {
-                        let mut f = self.filter.lock();
-                        (1..=l).rev().find(|&x| f.contains(&key[..x])).unwrap_or(0)
-                    };
+                    let cand = self.filter.deepest_hit(key, l);
                     if l > 0 {
                         self.obs.incr(if cand > 0 {
                             "sfc.probe_hit"
@@ -610,6 +610,11 @@ impl SphinxClient {
                     }
                     self.stats.entry_misses += 1;
                     first = false;
+                    if cand > 0 {
+                        // The filter claimed `key[..cand]` exists but the
+                        // INHT disproved it: an observed false positive.
+                        self.filter.record_false_positive();
+                    }
                     if cand == 0 {
                         // Even the root hash entry failed validation. Under
                         // contention that is a transient gap, not
@@ -828,12 +833,10 @@ impl SphinxClient {
                         // Child matches the key: keep descending, and teach
                         // the filter this prefix (the "freshness" update of
                         // §IV Search).
-                        if self.config.mode == CacheMode::FilterCache {
-                            let mut f = self.filter.lock();
-                            if !f.contains(&key[..clen]) {
-                                f.insert(&key[..clen]);
-                                self.stats.filter_refreshes += 1;
-                            }
+                        if self.config.mode == CacheMode::FilterCache
+                            && self.filter.refresh(&key[..clen])
+                        {
+                            self.stats.filter_refreshes += 1;
                         }
                         node = child;
                         ptr = slot.addr;

@@ -29,8 +29,14 @@ pub struct SphinxConfig {
     /// Bytes fetched for a leaf in the first read. 128 covers a 32-byte
     /// key with a 64-byte value; larger leaves cost one extra read.
     pub leaf_read_hint: usize,
-    /// Seed for the filter's eviction RNG (determinism).
+    /// Seed for the filter's eviction RNG and fuse construction
+    /// (determinism; each CN's filter derives its own seed from this).
     pub seed: u64,
+    /// Generational Succinct Filter Cache tuning (frozen binary-fuse
+    /// generation + mutable cuckoo delta + background rebuilds). Set
+    /// `generational: false` to reproduce the pre-generational
+    /// cuckoo-only cache for ablations.
+    pub sfc: sfc::SfcConfig,
     /// Epoch-based reclamation of unlinked nodes and leaves. Disable
     /// (`enabled: false`) to reproduce the pre-reclamation leak behaviour
     /// for memory comparisons.
@@ -52,6 +58,7 @@ impl Default for SphinxConfig {
             },
             leaf_read_hint: 128,
             seed: 0x5F13_C5EE,
+            sfc: sfc::SfcConfig::default(),
             reclaim: reclaim::ReclaimConfig::default(),
         }
     }

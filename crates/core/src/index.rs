@@ -8,7 +8,6 @@ use parking_lot::Mutex;
 use art_core::hash::{fp12, prefix_hash64};
 use art_core::layout::{HashEntry, InnerNode};
 use art_core::NodeKind;
-use cuckoo::CuckooFilter;
 use dm_sim::{DmCluster, RemotePtr};
 use race_hash::RaceTable;
 
@@ -24,7 +23,7 @@ pub(crate) struct SphinxMeta {
     pub(crate) inht_metas: Vec<RemotePtr>,
     pub(crate) config: SphinxConfig,
     /// One Succinct Filter Cache per compute node, shared by its workers.
-    pub(crate) filters: Mutex<HashMap<u16, Arc<Mutex<CuckooFilter>>>>,
+    pub(crate) filters: Mutex<HashMap<u16, Arc<sfc::FilterCache>>>,
     /// The index-wide epoch-reclamation domain every worker registers
     /// with (the MN-resident epoch word and pin-slot array).
     pub(crate) reclaim_domain: reclaim::ReclaimDomain,
@@ -130,17 +129,7 @@ impl SphinxIndex {
             .iter()
             .map(|&m| RaceTable::open(&mut dm, m))
             .collect::<Result<Vec<_>, _>>()?;
-        let filter = {
-            let mut filters = self.meta.filters.lock();
-            filters
-                .entry(cn_id)
-                .or_insert_with(|| {
-                    Arc::new(Mutex::new(CuckooFilter::with_byte_budget(
-                        self.meta.config.cache_bytes.max(64),
-                    )))
-                })
-                .clone()
-        };
+        let filter = self.filter_for(cn_id);
         let reclaim = self.meta.reclaim_domain.register(&mut dm)?;
         Ok(SphinxClient::new(
             dm,
@@ -149,6 +138,46 @@ impl SphinxIndex {
             self.meta.config.clone(),
             reclaim,
         ))
+    }
+
+    /// Returns compute node `cn_id`'s shared filter cache, creating it
+    /// (cold) on first touch. Creation is deterministic: each CN's
+    /// filter derives its seed from the index seed and the CN id, so
+    /// rebuild and snapshot bytes are reproducible across runs.
+    fn filter_for(&self, cn_id: u16) -> Arc<sfc::FilterCache> {
+        let mut filters = self.meta.filters.lock();
+        filters
+            .entry(cn_id)
+            .or_insert_with(|| {
+                Arc::new(sfc::FilterCache::new(
+                    self.meta.config.cache_bytes.max(64),
+                    self.meta.config.sfc,
+                    self.meta.config.seed.wrapping_add(cn_id as u64),
+                ))
+            })
+            .clone()
+    }
+
+    /// Serializes compute node `cn_id`'s filter cache as a CRC-framed
+    /// snapshot (magic + version + payload + CRC32). A restarting or
+    /// newly joining CN can [`load`](SphinxIndex::load_sfc_snapshot) it
+    /// to warm-start instead of paying the Θ(L)-probe cold-miss ramp.
+    pub fn sfc_snapshot(&self, cn_id: u16) -> Vec<u8> {
+        self.filter_for(cn_id).snapshot()
+    }
+
+    /// Installs a snapshot into compute node `cn_id`'s filter cache
+    /// (created cold first if no worker has attached yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection reason — corrupt framing, wrong version,
+    /// stale generation, or mode mismatch. Rejections are counted in
+    /// `sfc.gen.snapshot_rejects` and leave the cache in its previous
+    /// (at worst cold) state: a bad snapshot degrades warm-start, it
+    /// never poisons the cache or panics.
+    pub fn load_sfc_snapshot(&self, cn_id: u16, bytes: &[u8]) -> Result<(), sfc::SnapshotError> {
+        self.filter_for(cn_id).load_snapshot(bytes)
     }
 
     /// The underlying cluster.
@@ -173,17 +202,21 @@ impl SphinxIndex {
     /// must be collected **once per index** (not per worker) — merging
     /// them into each worker's [`SphinxClient::telemetry`] would count
     /// every filter once per worker.
-    pub fn sfc_stats(&self) -> cuckoo::FilterStats {
-        let mut total = cuckoo::FilterStats::default();
+    pub fn sfc_stats(&self) -> sfc::SfcStats {
+        let mut total = sfc::SfcStats::default();
         for filter in self.meta.filters.lock().values() {
-            total.merge(&filter.lock().stats());
+            total.merge(&filter.stats());
         }
         total
     }
 
-    /// The SFC statistics as a telemetry registry fragment (`sfc.*`
-    /// counters), ready to merge into a run-level registry alongside the
-    /// per-worker ones.
+    /// The SFC statistics as a telemetry registry fragment, ready to
+    /// merge into a run-level registry alongside the per-worker ones.
+    ///
+    /// The flat `sfc.*` names predate the generational subsystem and
+    /// keep their meaning (aggregated over all layers); the `sfc.gen.*`
+    /// family exposes the generational internals — frozen generation
+    /// level and size, pending delta, rebuild and snapshot activity.
     pub fn sfc_telemetry(&self) -> obs::Registry {
         let s = self.sfc_stats();
         let mut reg = obs::Registry::new();
@@ -193,6 +226,18 @@ impl SphinxIndex {
         reg.add("sfc.relocations", s.relocations);
         reg.add("sfc.lookups", s.lookups);
         reg.add("sfc.hits", s.hits);
+        reg.add("sfc.false_positives", s.false_positives);
+        reg.add("sfc.gen.generation", s.generation);
+        reg.add("sfc.gen.frozen_size", s.frozen_len);
+        reg.add("sfc.gen.delta_size", s.delta_len);
+        reg.add("sfc.gen.tombstones", s.tombstones);
+        reg.add("sfc.gen.frozen_hits", s.frozen_hits);
+        reg.add("sfc.gen.delta_hits", s.delta_hits);
+        reg.add("sfc.gen.rebuilds", s.rebuilds);
+        reg.add("sfc.gen.fuse_build_retries", s.fuse_build_retries);
+        reg.add("sfc.gen.snapshot_loads", s.snapshot_loads);
+        reg.add("sfc.gen.snapshot_rejects", s.snapshot_rejects);
+        reg.add("sfc.gen.false_positives", s.false_positives);
         reg
     }
 

@@ -11,11 +11,15 @@
 //!   inner node's *full prefix* to its address, so a client can jump
 //!   straight to the deepest relevant inner node instead of walking the
 //!   tree from the root (§III-A).
-//! * **Bandwidth / NIC load** — a CN-side **Succinct Filter Cache** (a
-//!   cuckoo filter with second-chance eviction) tracks which prefixes have
-//!   inner nodes, reducing the hash-entry reads per operation from Θ(key
-//!   length) to one in the common case, in ~13 bits per prefix, while
-//!   staying coherent under remote modifications (§III-B).
+//! * **Bandwidth / NIC load** — a CN-side **Succinct Filter Cache**
+//!   tracks which prefixes have inner nodes, reducing the hash-entry
+//!   reads per operation from Θ(key length) to one in the common case,
+//!   while staying coherent under remote modifications (§III-B). The
+//!   generational implementation ([`sfc`]) freezes the steady working
+//!   set into an immutable binary-fuse generation (~10 bits per prefix
+//!   at scale) over a mutable cuckoo delta with second-chance eviction,
+//!   folds the delta into the next generation at op boundaries, and
+//!   warm-starts joining CNs from CRC-framed snapshots.
 //!
 //! In the common case an index operation costs **three network round
 //! trips**: hash-bucket read → inner-node read → leaf read.
@@ -61,5 +65,6 @@ pub use error::SphinxError;
 pub use index::{SpaceBreakdown, SphinxIndex};
 pub use obs;
 pub use scan_iter::ScanIter;
+pub use sfc;
 pub use stats::OpStats;
 pub use verify::IntegrityReport;

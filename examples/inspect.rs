@@ -69,12 +69,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== succinct filter cache (this CN) ===");
     {
-        let filter = client.filter_handle().lock();
+        let filter = client.filter_handle();
         let s = filter.stats();
         println!(
-            "resident prefixes  {} / {} slots",
+            "resident prefixes  {} / {} slots (frozen gen {}: {} keys; delta: {})",
             filter.len(),
-            filter.capacity()
+            filter.capacity(),
+            s.generation,
+            s.frozen_len,
+            s.delta_len,
         );
         println!("memory             {} KiB", filter.memory_bytes() / 1024);
         // Each lookup probes every prefix length longest-first, so most

@@ -65,8 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let base = client.net_stats();
         let (h0, l0) = {
-            let f = client.filter_handle().lock();
-            (f.stats().hits, f.stats().lookups)
+            let s = client.filter_handle().stats();
+            (s.hits, s.lookups)
         };
         for _ in 0..lookups {
             let t = if rng.gen_bool(0.9) {
@@ -78,10 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let net = client.net_stats().since(&base);
         let (hit_rate, evictions) = {
-            let f = client.filter_handle().lock();
+            let s = client.filter_handle().stats();
             (
-                (f.stats().hits - h0) as f64 / (f.stats().lookups - l0).max(1) as f64,
-                f.stats().evictions,
+                (s.hits - h0) as f64 / (s.lookups - l0).max(1) as f64,
+                s.evictions,
             )
         };
         println!(

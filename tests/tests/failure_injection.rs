@@ -106,7 +106,7 @@ fn bogus_hash_entry_is_rejected_by_validation() {
         .insert(&mut dm, h_zz, forged.encode(), |_c, _w| Ok(h_zz))
         .unwrap();
     // Teach the filter the forged prefix so lookups actually try it.
-    client.filter_handle().lock().insert(b"zz");
+    client.filter_handle().insert(b"zz");
 
     // Lookups under the forged prefix must not be misrouted into the 'al'
     // subtree: validation rejects the node (prefix hash mismatch) and the
