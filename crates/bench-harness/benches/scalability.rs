@@ -37,6 +37,8 @@ fn benches(c: &mut Criterion) {
                                 pipeline_depth: 1,
                                 trace_head_every: 0,
                                 trace_tail_k: obs::DEFAULT_TAIL_K,
+                                sample_interval_ns: 0,
+                                sample_capacity: 0,
                             },
                         );
                         let makespan_s = r.total_ops as f64 / (r.mops * 1e6);

@@ -95,6 +95,8 @@ fn main() {
                         pipeline_depth: depth,
                         trace_head_every: 0,
                         trace_tail_k: obs::DEFAULT_TAIL_K,
+                        sample_interval_ns: 0,
+                        sample_capacity: 0,
                     },
                 );
                 if depth == 1 {
@@ -148,6 +150,8 @@ fn main() {
                     pipeline_depth: depth,
                     trace_head_every: 0,
                     trace_tail_k: obs::DEFAULT_TAIL_K,
+                    sample_interval_ns: 0,
+                    sample_capacity: 0,
                 },
             );
             if depth == 1 {

@@ -63,6 +63,8 @@ fn main() {
                     pipeline_depth: RunConfig::depth_from_env(1),
                     trace_head_every: 0,
                     trace_tail_k: obs::DEFAULT_TAIL_K,
+                    sample_interval_ns: 0,
+                    sample_capacity: 0,
                 };
                 let r = run_phase(&handle, &cfg);
                 curve.push((r.mops, r.avg_latency_us));

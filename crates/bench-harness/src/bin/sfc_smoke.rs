@@ -21,7 +21,7 @@
 //! cargo run --release -p bench-harness --bin sfc_smoke
 //! ```
 
-use dm_sim::{ClusterConfig, DmCluster};
+use bench_harness::smoke;
 use sphinx::sfc::{FilterCache, SfcConfig};
 use sphinx::{SphinxConfig, SphinxIndex};
 use ycsb::KeySpace;
@@ -74,12 +74,7 @@ fn snapshot_byte_identity() {
 /// Contract 3: a snapshot-loaded CN skips the cold entry-miss ramp.
 fn warm_start_skips_cold_ramp() {
     const KEYS: u64 = 4_000;
-    let cluster = DmCluster::new(ClusterConfig {
-        num_mns: 3,
-        num_cns: 3,
-        mn_capacity: 1 << 30,
-        ..Default::default()
-    });
+    let cluster = smoke::smoke_cluster();
     let index = SphinxIndex::create(&cluster, SphinxConfig::default()).expect("create");
     let mut writer = index.client(0).expect("cn0");
     for i in 0..KEYS {

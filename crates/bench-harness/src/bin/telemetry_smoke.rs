@@ -8,7 +8,10 @@
 //! * point lookups carry nonzero `SfcProbe` and `LeafRead` attribution
 //!   (the phase-span plumbing through the read path is alive);
 //! * the SFC probe counters are populated;
-//! * the flight recorder captured at least one operation.
+//! * the flight recorder captured at least one operation;
+//! * every exported counter name matches the counter catalogue in
+//!   `docs/OBSERVABILITY.md` (the docs and the code cannot drift
+//!   silently).
 //!
 //! Exits nonzero (panics) on any violation — wired as a CI job.
 //!
@@ -17,30 +20,68 @@
 //! ```
 
 use bench_harness::report::write_json;
-use bench_harness::runner::{load_phase, run_phase, RunConfig};
+use bench_harness::runner::run_phase;
+use bench_harness::smoke;
 use bench_harness::systems::System;
 use obs::{json, OpKind, Phase, SCHEMA};
-use ycsb::{KeySpace, Workload};
+
+/// The observability doc, pulled in at compile time so the counter
+/// catalogue below is always the checked-in one.
+const OBS_DOC: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../docs/OBSERVABILITY.md"
+));
+
+/// Extracts the counter-catalogue patterns from the fenced block between
+/// the `counter-catalogue` markers in `docs/OBSERVABILITY.md`.
+fn catalogue_patterns() -> Vec<&'static str> {
+    let begin = OBS_DOC
+        .find("<!-- counter-catalogue:begin -->")
+        .expect("OBSERVABILITY.md must carry a counter-catalogue block");
+    let end = OBS_DOC[begin..]
+        .find("<!-- counter-catalogue:end -->")
+        .map(|i| begin + i)
+        .expect("counter-catalogue block must be closed");
+    OBS_DOC[begin..end]
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("<!--") && !l.starts_with("```"))
+        .collect()
+}
+
+/// `*`-wildcard glob match (no escaping; counter names never contain
+/// `*`). Iterative two-pointer form with backtracking to the last star.
+fn glob_match(pattern: &str, name: &str) -> bool {
+    let (p, n) = (pattern.as_bytes(), name.as_bytes());
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if let Some((sp, sn)) = star {
+            pi = sp + 1;
+            ni = sn + 1;
+            star = Some((sp, sn + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
 
 fn main() {
-    let keys = 3_000;
-    let handle = System::Sphinx.build(64 << 20, Some(1 << 20));
-    load_phase(&handle, KeySpace::U64, keys, 4);
-    let r = run_phase(
-        &handle,
-        &RunConfig {
-            keyspace: KeySpace::U64,
-            num_keys: keys,
-            workload: Workload::a(),
-            workers: 4,
-            ops_per_worker: 500,
-            warmup_per_worker: 100,
-            seed: 0x51_0CE,
-            pipeline_depth: RunConfig::depth_from_env(1),
-            trace_head_every: 0,
-            trace_tail_k: obs::DEFAULT_TAIL_K,
-        },
-    );
+    let keys = smoke::YCSB_A_KEYS;
+    let handle = smoke::build_loaded(System::Sphinx, keys, 4);
+    let mut cfg = smoke::ycsb_a_config(keys);
+    cfg.trace_tail_k = obs::DEFAULT_TAIL_K;
+    let r = run_phase(&handle, &cfg);
 
     let reg = &r.telemetry;
     let doc = reg.to_json();
@@ -109,11 +150,35 @@ fn main() {
         .expect("flight.slowest present");
     assert!(!flight.is_empty(), "flight recorder must capture ops");
 
+    // Every exported counter must match the docs' counter catalogue —
+    // the check that keeps docs/OBSERVABILITY.md honest.
+    let patterns = catalogue_patterns();
+    assert!(
+        patterns.len() >= 40,
+        "counter catalogue suspiciously small ({} patterns) — markers moved?",
+        patterns.len()
+    );
+    let counter_map = counters.as_obj().expect("counters is an object");
+    let mut unlisted = Vec::new();
+    for name in counter_map.keys() {
+        if !patterns.iter().any(|p| glob_match(p, name)) {
+            unlisted.push(name.as_str());
+        }
+    }
+    assert!(
+        unlisted.is_empty(),
+        "counters missing from the docs/OBSERVABILITY.md catalogue: {unlisted:?} — \
+         extend the counter-catalogue block together with the new counter"
+    );
+
     println!(
-        "telemetry smoke OK: {} ops, SfcProbe count {}, LeafRead rts {}, probes {}",
+        "telemetry smoke OK: {} ops, SfcProbe count {}, LeafRead rts {}, probes {}, \
+         {} counters against {} catalogue patterns",
         reg.total_ops(),
         phase_count("SfcProbe"),
         phase_rts("LeafRead"),
         probe_hits + probe_misses,
+        counter_map.len(),
+        patterns.len(),
     );
 }

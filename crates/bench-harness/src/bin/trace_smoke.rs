@@ -23,27 +23,20 @@
 //! cargo run --release -p bench-harness --bin trace_smoke
 //! ```
 
-use bench_harness::runner::{load_phase, run_phase, RunConfig};
+use bench_harness::runner::run_phase;
+use bench_harness::smoke;
 use bench_harness::systems::System;
 use obs::{critical_path, export_chrome, TRACE_SCHEMA};
-use ycsb::{KeySpace, Workload};
 
 fn main() {
-    let keys = 10_000;
-    let handle = System::Sphinx.build(64 << 20, Some(1 << 20));
-    load_phase(&handle, KeySpace::U64, keys, 8);
+    let keys = smoke::YCSB_C_KEYS;
+    let handle = smoke::build_loaded(System::Sphinx, keys, 8);
 
-    let cfg = |depth: usize, head_every: u64, tail_k: usize| RunConfig {
-        keyspace: KeySpace::U64,
-        num_keys: keys,
-        workload: Workload::c(),
-        workers: 8,
-        ops_per_worker: 1_500,
-        warmup_per_worker: 300,
-        seed: 0x0051_400C_u64,
-        pipeline_depth: depth,
-        trace_head_every: head_every,
-        trace_tail_k: tail_k,
+    let cfg = |depth: usize, head_every: u64, tail_k: usize| {
+        let mut c = smoke::ycsb_c_config(keys, depth);
+        c.trace_head_every = head_every;
+        c.trace_tail_k = tail_k;
+        c
     };
     let depth = node_engine::pipeline::DEFAULT_DEPTH;
 

@@ -24,6 +24,7 @@ pub mod gate;
 pub mod lincheck_driver;
 pub mod report;
 pub mod runner;
+pub mod smoke;
 pub mod systems;
 
 pub use lincheck_driver::{

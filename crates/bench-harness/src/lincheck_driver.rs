@@ -147,6 +147,11 @@ pub struct RunOutput {
     /// report can attach the traces overlapping its window). Sorted by
     /// trace id, hence deterministic for a fixed seed.
     pub traces: Vec<obs::OpTrace>,
+    /// Cluster metrics over the whole run (preload included): per-MN
+    /// accounting conserved against the summed client ledger, plus the
+    /// health monitor's verdict — attached to failure reports so a
+    /// violation arrives with the cluster's load picture.
+    pub metrics: obs::MetricsReport,
 }
 
 /// Client id the recorder uses for the serial preload phase (workers use
@@ -255,6 +260,12 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
     let num_cns = handle.cluster().config().num_cns;
     let rec = Arc::new(HistoryRecorder::new());
 
+    // Conservation window opens here: index creation's own verbs are
+    // excluded, every client minted below is covered (a client's setup
+    // verbs land in its own cumulative stats).
+    let cluster_base = handle.cluster().cluster_stats();
+    let mut client_sum;
+
     // Serial preload: half the key space, recorded so the checker knows
     // the initial state. Runs before the schedule exists, stamped by the
     // recorder's own clock.
@@ -275,6 +286,7 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
         // Drop out of epoch gating: the loader never scans again, and a
         // stale pin slot would block every scheduled worker's frees.
         loader.reclaim_deregister();
+        client_sum = loader.net_stats();
     }
 
     let schedule = match &mode {
@@ -301,7 +313,7 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
         workers.push(w);
     }
 
-    let (mut telemetry, mut traces) = thread::scope(|s| {
+    let (mut telemetry, mut traces, net_sum, clock_max) = thread::scope(|s| {
         let joins: Vec<_> = workers
             .into_iter()
             .enumerate()
@@ -322,22 +334,43 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
                     }
                     let reg = w.telemetry();
                     let traces = w.take_traces();
+                    let net = w.net_stats();
+                    let clock = w.clock_ns();
                     drop(w); // deregisters the schedule participant
-                    (reg, traces)
+                    (reg, traces, net, clock)
                 })
             })
             .collect();
         let mut merged = obs::Registry::new();
         let mut traces = Vec::new();
+        let mut net_sum = dm_sim::ClientStats::default();
+        let mut clock_max = 0u64;
         for j in joins {
-            let (reg, t) = j.join().expect("lincheck worker panicked");
+            let (reg, t, net, clock) = j.join().expect("lincheck worker panicked");
             merged.merge(&reg);
             traces.extend(t);
+            net_sum.merge(&net);
+            clock_max = clock_max.max(clock);
         }
-        (merged, traces)
+        (merged, traces, net_sum, clock_max)
     });
     telemetry.merge(&handle.index_telemetry());
     traces.sort_by_key(|t| t.id);
+    client_sum.merge(&net_sum);
+
+    // Close the conservation window and run the health monitor; detector
+    // findings land in the merged registry as `health.*` counters so a
+    // failure report carries the verdict alongside the raw ledgers.
+    let cluster_window = handle.cluster().cluster_stats().since(&cluster_base);
+    let health = obs::evaluate_health(&cluster_window, &telemetry, &obs::HealthConfig::default());
+    health.stamp(&mut telemetry);
+    let metrics = obs::MetricsReport {
+        cluster: cluster_window,
+        client_sum,
+        window_ns: clock_max.max(1),
+        samples: None,
+        health,
+    };
 
     let trace = schedule.trace();
     let steps = schedule.steps();
@@ -352,6 +385,7 @@ pub fn run_scheduled(cfg: &ExploreConfig, mode: ScheduleMode) -> RunOutput {
         steps,
         telemetry,
         traces,
+        metrics,
     }
 }
 
@@ -510,6 +544,8 @@ pub fn failure_report(
         }
     }
     let _ = writeln!(r, "\ntelemetry: {}", out.telemetry.to_json());
+    let _ = writeln!(r, "\n{}", out.metrics.render_text());
+    let _ = writeln!(r, "metrics: {}", out.metrics.to_json());
     r
 }
 

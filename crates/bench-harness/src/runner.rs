@@ -7,9 +7,9 @@
 //! NIC queues and worker clocks are reset, and the run phase starts with a
 //! warm-up fraction so caches reach steady state before measurement.
 
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 
-use dm_sim::LatencyHistogram;
+use dm_sim::{ClientStats, ClusterStats, LatencyHistogram};
 use ycsb::{value_for, KeySpace, Op, OpStream, SharedInsertCursor, Workload};
 
 use crate::gate::VirtualGate;
@@ -51,6 +51,17 @@ pub struct RunConfig {
     /// `trace_tail_k` slowest and `trace_tail_k` most-retried operations.
     /// `0` together with `trace_head_every == 0` turns tracing off.
     pub trace_tail_k: usize,
+    /// Metrics-sampling interval on the virtual clock, ns. Worker 0
+    /// polls per-MN gauges into a ring-buffer [`obs::Sampler`] whenever an
+    /// op boundary crosses the interval; `0` (the default everywhere)
+    /// turns time-series sampling off. Sampling reads atomics only — it
+    /// never issues verbs or advances any virtual clock — but mid-run
+    /// gauge values depend on thread interleaving, so byte-stable exports
+    /// need `workers == 1`.
+    pub sample_interval_ns: u64,
+    /// Ring capacity (rows) for the metrics sampler; when the run outlives
+    /// `capacity × interval` the oldest rows are overwritten and counted.
+    pub sample_capacity: usize,
 }
 
 impl RunConfig {
@@ -81,6 +92,8 @@ impl RunConfig {
             pipeline_depth: 1,
             trace_head_every: 0,
             trace_tail_k: obs::DEFAULT_TAIL_K,
+            sample_interval_ns: 0,
+            sample_capacity: 0,
         }
     }
 }
@@ -116,6 +129,13 @@ pub struct RunResult {
     /// phase barrier. Empty when tracing is off or the system has no
     /// pipelined path.
     pub traces: Vec<obs::OpTrace>,
+    /// The cluster metrics plane's view of the measured window: per-MN
+    /// server-side accounting, the summed client-side ledger (which the
+    /// server side provably conserves against — the window runs from the
+    /// post-warm-up barrier through each worker's reclaim deregistration),
+    /// worker 0's time-series samples when sampling was on, and the
+    /// health monitor's verdict. Exports as `sphinx.metrics.v1`.
+    pub metrics: obs::MetricsReport,
 }
 
 /// Loads `num_keys` keys (indexes `0..num_keys`) through `load_workers`
@@ -163,6 +183,32 @@ struct WorkerOutcome {
     bytes: u64,
     telemetry: obs::Registry,
     traces: Vec<obs::OpTrace>,
+    /// Client-side network delta over the conservation window: measured
+    /// loop *plus* the reclaim deregistration verbs, so it balances the
+    /// cluster-side snapshot taken after every worker joined.
+    net_full: ClientStats,
+    /// Worker 0's metrics sampler (None for other workers / sampling off).
+    samples: Option<obs::Sampler>,
+}
+
+/// Column schema for the metrics sampler: three gauges per MN plus the
+/// driving worker's client and SFC scalars.
+fn sampler_columns(num_mns: u16) -> Vec<String> {
+    let mut cols = Vec::with_capacity(num_mns as usize * 3 + 4);
+    for m in 0..num_mns {
+        cols.push(format!("mn{m}.verbs"));
+        cols.push(format!("mn{m}.doorbells"));
+        cols.push(format!("mn{m}.queue_ns"));
+    }
+    for c in [
+        "client.round_trips",
+        "client.bytes",
+        "sfc.lookups",
+        "sfc.frozen",
+    ] {
+        cols.push(c.to_string());
+    }
+    cols
 }
 
 /// Executes the measured phase and aggregates virtual-time results.
@@ -181,6 +227,10 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
 
     let barrier = Arc::new(Barrier::new(cfg.workers));
     let gate = Arc::new(VirtualGate::new(cfg.workers, GATE_WINDOW_NS));
+    // The leader snapshots the cluster-side accounting between the two
+    // post-warm-up barriers (every worker is blocked, so no verb is in
+    // flight): the conservation window's server-side base.
+    let cluster_base: Arc<Mutex<Option<ClusterStats>>> = Arc::new(Mutex::new(None));
     let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
         let mut joins = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
@@ -190,6 +240,7 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
             let cfg = cfg.clone();
             let barrier = barrier.clone();
             let gate = gate.clone();
+            let cluster_base = cluster_base.clone();
             joins.push(s.spawn(move || {
                 let mut client = handle.worker((w % num_cns) as u16);
                 client.set_trace_sampling(cfg.trace_head_every, cfg.trace_tail_k);
@@ -212,6 +263,8 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
                 if barrier.wait().is_leader() {
                     handle.cluster().reset_network();
                     gate.reset();
+                    *cluster_base.lock().expect("cluster base poisoned") =
+                        Some(handle.cluster().cluster_stats());
                 }
                 barrier.wait();
                 client.set_clock_ns(0);
@@ -220,21 +273,76 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
                 client.take_traces();
                 let base_stats = client.net_stats();
 
-                let hist = measured_loop(&mut client, &mut stream, &cfg, &sorted, &gate, w);
+                // Worker 0 drives the metrics sampler. `cfg!` rather than
+                // an attribute so the off path stays type-checked; the
+                // optimizer removes it entirely with telemetry disabled.
+                let cluster = handle.cluster();
+                let num_mns = cluster.num_mns();
+                let mut sampler = (w == 0
+                    && cfg.sample_interval_ns > 0
+                    && cfg!(feature = "telemetry"))
+                .then(|| {
+                    obs::Sampler::new(
+                        sampler_columns(num_mns),
+                        cfg.sample_capacity.max(1),
+                        cfg.sample_interval_ns,
+                    )
+                });
+                let mut row: Vec<u64> =
+                    Vec::with_capacity(sampler.as_ref().map_or(0, |s| s.width()));
+                let hist = {
+                    let mut probe = |c: &WorkerClient| {
+                        let Some(s) = sampler.as_mut() else { return };
+                        let now = c.clock_ns();
+                        if !s.due(now) {
+                            return;
+                        }
+                        row.clear();
+                        for m in 0..num_mns {
+                            let mn = cluster.mn_stats(m).expect("mn id in range");
+                            row.push(mn.verbs());
+                            row.push(mn.doorbells);
+                            row.push(mn.queue_ns);
+                        }
+                        let net = c.net_stats();
+                        row.push(net.round_trips);
+                        row.push(net.bytes_total());
+                        let sfc = c.sfc_gauges();
+                        row.push(sfc[0]);
+                        row.push(sfc[2]);
+                        s.record(now, &row);
+                    };
+                    measured_loop(
+                        &mut client,
+                        &mut stream,
+                        &cfg,
+                        &sorted,
+                        &gate,
+                        w,
+                        &mut probe,
+                    )
+                };
                 gate.finish(w);
                 let net = client.net_stats().since(&base_stats);
-                let outcome = WorkerOutcome {
-                    clock_ns: client.clock_ns(),
+                let clock_ns = client.clock_ns();
+                let telemetry = client.telemetry();
+                let traces = client.take_traces();
+                client.reclaim_deregister();
+                WorkerOutcome {
+                    clock_ns,
                     ops: cfg.ops_per_worker,
                     hist,
                     round_trips: net.round_trips,
                     doorbells: net.doorbells,
                     bytes: net.bytes_total(),
-                    telemetry: client.telemetry(),
-                    traces: client.take_traces(),
-                };
-                client.reclaim_deregister();
-                outcome
+                    telemetry,
+                    traces,
+                    // Includes the deregistration verbs: the cluster-side
+                    // snapshot is taken after workers join, so the client
+                    // ledger must cover everything up to that point.
+                    net_full: client.net_stats().since(&base_stats),
+                    samples: sampler,
+                }
             }));
         }
         joins
@@ -261,8 +369,34 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
     for o in &outcomes {
         telemetry.merge(&o.telemetry);
     }
+
+    // Close the conservation window: every worker has joined (and
+    // deregistered), so the cluster-side delta must balance the summed
+    // client-side deltas exactly.
+    let cluster_base = cluster_base
+        .lock()
+        .expect("cluster base poisoned")
+        .take()
+        .expect("leader must snapshot the cluster base");
+    let cluster_window = handle.cluster().cluster_stats().since(&cluster_base);
+    let mut client_sum = ClientStats::default();
+    for o in &outcomes {
+        client_sum.merge(&o.net_full);
+    }
+    let health = obs::evaluate_health(&cluster_window, &telemetry, &obs::HealthConfig::default());
+    health.stamp(&mut telemetry);
+
+    let mut outcomes = outcomes;
+    let samples = outcomes.iter_mut().find_map(|o| o.samples.take());
     let mut traces: Vec<obs::OpTrace> = outcomes.into_iter().flat_map(|o| o.traces).collect();
     traces.sort_by_key(|t| t.id);
+    let metrics = obs::MetricsReport {
+        cluster: cluster_window,
+        client_sum,
+        window_ns: makespan_ns,
+        samples,
+        health,
+    };
     RunResult {
         mops: total_ops as f64 / makespan_ns as f64 * 1e3,
         avg_latency_us: hist.mean_ns() as f64 / 1e3,
@@ -273,6 +407,7 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
         bytes_per_op: bytes as f64 / total_ops as f64,
         telemetry,
         traces,
+        metrics,
     }
 }
 
@@ -280,7 +415,9 @@ pub fn run_phase(handle: &SystemHandle, cfg: &RunConfig) -> RunResult {
 /// larger depths consecutive YCSB reads are chunked through
 /// [`WorkerClient::multi_get_pipelined`] so up to `pipeline_depth` lookups
 /// share the wire, while writes/scans flush the chunk and run blocking —
-/// each worker's stream keeps its program order either way.
+/// each worker's stream keeps its program order either way. `probe` runs
+/// at every gate-sync op boundary (the metrics sampler's hook; a no-op
+/// closure when sampling is off).
 fn measured_loop(
     client: &mut WorkerClient,
     stream: &mut OpStream,
@@ -288,6 +425,7 @@ fn measured_loop(
     sorted: &[Vec<u8>],
     gate: &VirtualGate,
     w: usize,
+    probe: &mut dyn FnMut(&WorkerClient),
 ) -> LatencyHistogram {
     let mut hist = LatencyHistogram::new();
     if cfg.pipeline_depth <= 1 {
@@ -298,6 +436,7 @@ fn measured_loop(
             // Keep virtual clocks in lockstep so the NIC FIFO sees
             // near-monotonic arrivals (see gate.rs).
             gate.sync(w, client.clock_ns());
+            probe(client);
         }
         return hist;
     }
@@ -313,6 +452,7 @@ fn measured_loop(
                 if pending.len() >= chunk {
                     flush_reads(client, &mut pending, cfg, &mut hist);
                     gate.sync(w, client.clock_ns());
+                    probe(client);
                 }
             }
             op => {
@@ -321,11 +461,13 @@ fn measured_loop(
                 apply_op(client, op, cfg, sorted);
                 hist.record(client.clock_ns() - before);
                 gate.sync(w, client.clock_ns());
+                probe(client);
             }
         }
     }
     flush_reads(client, &mut pending, cfg, &mut hist);
     gate.sync(w, client.clock_ns());
+    probe(client);
     hist
 }
 
@@ -411,9 +553,16 @@ mod tests {
             pipeline_depth: 1,
             trace_head_every: 0,
             trace_tail_k: obs::DEFAULT_TAIL_K,
+            sample_interval_ns: 5_000,
+            sample_capacity: 64,
         };
         let r = run_phase(&handle, &cfg);
         assert_eq!(r.total_ops, 1800);
+        r.metrics
+            .conservation()
+            .expect("server-side accounting must conserve the client ledger");
+        assert_eq!(r.metrics.health.checks, 4, "all detectors must run");
+        assert!(r.metrics.window_ns > 0);
         assert!(r.mops > 0.0);
         assert!(
             r.avg_latency_us > 1.0,
@@ -437,6 +586,13 @@ mod tests {
                 r.telemetry.counter("sfc.lookups") > 0,
                 "index-level SFC stats merged"
             );
+            let samples = r.metrics.samples.as_ref().expect("sampler ran on worker 0");
+            assert!(!samples.is_empty(), "sampler must capture rows");
+            assert_eq!(
+                r.telemetry.counter("health.checks"),
+                4,
+                "health verdict must be stamped into the registry"
+            );
         }
     }
 
@@ -455,9 +611,14 @@ mod tests {
             pipeline_depth: depth,
             trace_head_every: 0,
             trace_tail_k: obs::DEFAULT_TAIL_K,
+            sample_interval_ns: 0,
+            sample_capacity: 0,
         };
         let r1 = run_phase(&handle, &mk(1));
         let r8 = run_phase(&handle, &mk(8));
+        // The conservation identity must survive doorbell fusion.
+        r1.metrics.conservation().expect("depth-1 conservation");
+        r8.metrics.conservation().expect("depth-8 conservation");
         // Pipelining rearranges round trips; it must not add any.
         assert!(
             (r8.round_trips_per_op - r1.round_trips_per_op).abs() < 0.25,
@@ -495,6 +656,8 @@ mod tests {
             pipeline_depth: 1,
             trace_head_every: 0,
             trace_tail_k: obs::DEFAULT_TAIL_K,
+            sample_interval_ns: 0,
+            sample_capacity: 0,
         };
         let r = run_phase(&handle, &cfg);
         assert!(r.total_ops == 90 && r.mops > 0.0);

@@ -454,6 +454,17 @@ impl WorkerClient {
         }
     }
 
+    /// Cheap SFC gauges for the metrics sampler —
+    /// `[lookups, hits, frozen_len, delta_len]`, all zeros for systems
+    /// without a filter cache. Reads shared atomics only: no verbs, no
+    /// allocation, safe to poll at every op boundary.
+    pub fn sfc_gauges(&self) -> [u64; 4] {
+        match self {
+            WorkerClient::Sphinx(c) => c.sfc_gauges(),
+            WorkerClient::Baseline(_) | WorkerClient::BpTree(_) => [0; 4],
+        }
+    }
+
     /// Network counters.
     pub fn net_stats(&self) -> ClientStats {
         match self {

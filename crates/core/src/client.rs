@@ -249,6 +249,15 @@ impl SphinxClient {
         &self.filter
     }
 
+    /// Cheap SFC gauges for time-series samplers:
+    /// `[lookups, hits, frozen_len, delta_len]`. Reads the shared filter's
+    /// atomic counters — no verbs, no allocation — so a harness can poll
+    /// it at op boundaries without perturbing the run.
+    pub fn sfc_gauges(&self) -> [u64; 4] {
+        let s = self.filter.stats();
+        [s.lookups, s.hits, s.frozen_len, s.delta_len]
+    }
+
     /// A snapshot of this worker's telemetry: per-op phase attribution,
     /// latency histograms, the flight recorder, and the Sphinx/INHT domain
     /// counters folded in as named counters.

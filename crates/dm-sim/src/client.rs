@@ -473,7 +473,12 @@ impl DmClient {
         mn_msgs
     }
 
-    /// Bumps the per-verb-kind counters for a verb sequence.
+    /// Bumps the per-verb-kind counters for a verb sequence — on this
+    /// client *and*, mirrored verb for verb, on the owning memory node's
+    /// server-side accounting (a verb addressed to a nonexistent MN lands
+    /// in the cluster's dropped counter instead). This single choke point
+    /// is what makes `ClusterStats::check_conservation` exact: both sides
+    /// of the ledger are written in the same breath.
     fn count_verbs(&mut self, verbs: &[Verb]) {
         for verb in verbs {
             match verb {
@@ -482,6 +487,10 @@ impl DmClient {
                 Verb::Cas { .. } => self.stats.cas += 1,
                 Verb::Faa { .. } => self.stats.faa += 1,
                 Verb::Free { .. } => self.stats.frees += 1,
+            }
+            match self.inner.mns.get(verb.mn_id() as usize) {
+                Some(mn) => mn.accounting().record_verb(verb),
+                None => self.inner.note_dropped_verb(),
             }
         }
     }
@@ -502,6 +511,19 @@ impl DmClient {
         self.count_verbs(&batch.verbs);
         let mn_msgs = Self::tally(&batch.verbs);
 
+        // Resolve every target before charging any NIC: a batch addressing
+        // an unknown MN is rejected whole, so no doorbell rings without a
+        // matching client-side doorbell count (conservation).
+        let mut targets = Vec::with_capacity(mn_msgs.len());
+        for &(mn_id, _, _) in &mn_msgs {
+            targets.push(
+                self.inner
+                    .mns
+                    .get(mn_id as usize)
+                    .ok_or(DmError::UnknownMemoryNode { mn_id })?,
+            );
+        }
+
         // Charge the CN NIC once for the whole batch, each MN NIC for its
         // share, and take the slowest completion.
         let cn_nic = &self.inner.cn_nics[self.cn_id as usize];
@@ -513,19 +535,18 @@ impl DmClient {
         let mut fins = [(0u16, 0u64); crate::trace::MAX_BURST_MNS];
         #[cfg(feature = "trace")]
         let mut fins_len = 0usize;
-        for &(mn_id, msgs, bytes) in &mn_msgs {
-            let mn = self
-                .inner
-                .mns
-                .get(mn_id as usize)
-                .ok_or(DmError::UnknownMemoryNode { mn_id })?;
-            let fin = mn.nic().submit(now, msgs, bytes);
+        for (&(mn_id, msgs, bytes), mn) in mn_msgs.iter().zip(&targets) {
+            let charge = mn.nic().submit_charged(now, msgs, bytes);
+            mn.accounting()
+                .record_doorbell(charge.wait_ns, charge.service_ns);
             #[cfg(feature = "trace")]
             if self.trace.enabled() && fins_len < fins.len() {
-                fins[fins_len] = (mn_id, fin);
+                fins[fins_len] = (mn_id, charge.fin_ns);
                 fins_len += 1;
             }
-            completion = completion.max(fin);
+            #[cfg(not(feature = "trace"))]
+            let _ = mn_id;
+            completion = completion.max(charge.fin_ns);
         }
         let rtt = self.inner.config.net.rtt_ns;
         let cpu = self.inner.config.net.client_op_ns * batch.verbs.len() as u64;
@@ -602,15 +623,16 @@ impl DmClient {
             #[cfg(feature = "trace")]
             let mut fins_len = 0usize;
             for &(mn_id, msgs, bytes) in &union {
-                let fin = self.inner.mns[mn_id as usize]
-                    .nic()
-                    .submit(now, msgs, bytes);
+                let mn = &self.inner.mns[mn_id as usize];
+                let charge = mn.nic().submit_charged(now, msgs, bytes);
+                mn.accounting()
+                    .record_doorbell(charge.wait_ns, charge.service_ns);
                 #[cfg(feature = "trace")]
                 if self.trace.enabled() && fins_len < fins.len() {
-                    fins[fins_len] = (mn_id, fin);
+                    fins[fins_len] = (mn_id, charge.fin_ns);
                     fins_len += 1;
                 }
-                completion = completion.max(fin);
+                completion = completion.max(charge.fin_ns);
             }
             let rtt = self.inner.config.net.rtt_ns;
             let cpu = self.inner.config.net.client_op_ns * total_verbs;
@@ -697,25 +719,33 @@ impl DmClient {
                         }
                     }
                     self.stats.bytes_read += len as u64;
+                    mn.accounting().record_read_effect(ptr.offset(), len as u64);
                     VerbResult::Read(buf)
                 }
                 Verb::Write { ptr, data } => {
                     mn.write_bytes(ptr.offset(), &data)?;
                     self.stats.bytes_written += data.len() as u64;
+                    mn.accounting()
+                        .record_write_effect(ptr.offset(), data.len() as u64);
                     VerbResult::Write
                 }
                 Verb::Cas { ptr, expected, new } => {
                     let prev = mn.cas_u64(ptr.offset(), expected, new)?;
                     self.stats.bytes_written += 8;
+                    mn.accounting().record_write_effect(ptr.offset(), 8);
                     VerbResult::Cas(prev)
                 }
                 Verb::Faa { ptr, delta } => {
                     let prev = mn.faa_u64(ptr.offset(), delta)?;
                     self.stats.bytes_written += 8;
+                    mn.accounting().record_write_effect(ptr.offset(), 8);
                     VerbResult::Faa(prev)
                 }
                 Verb::Free { ptr } => {
                     mn.free_reclaimed(ptr)?;
+                    // A free moves no accounted payload but still touches
+                    // the heat sketch (reclamation pressure is load too).
+                    mn.accounting().record_write_effect(ptr.offset(), 0);
                     VerbResult::Free
                 }
             };

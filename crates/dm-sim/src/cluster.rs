@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 use crate::client::DmClient;
 use crate::error::DmError;
 use crate::heap::MemoryNode;
+use crate::mn_stats::{ClusterStats, MnStats};
 use crate::net::{NetConfig, Nic};
 use crate::ring::HashRing;
 use crate::transport::FaultHook;
@@ -77,6 +78,7 @@ pub(crate) struct ClusterInner {
     pub(crate) config: ClusterConfig,
     pub(crate) fault_hook: FaultSlot,
     pub(crate) fault_injections: AtomicU64,
+    pub(crate) dropped_verbs: AtomicU64,
 }
 
 impl ClusterInner {
@@ -84,6 +86,13 @@ impl ClusterInner {
     /// [`FaultHook`] (called from the `DmClient::execute` choke point).
     pub(crate) fn note_fault_injection(&self) {
         self.fault_injections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one verb addressed to a nonexistent MN: no node can absorb
+    /// it, so it lands in the cluster-wide dropped counter and the
+    /// conservation identity stays balanced.
+    pub(crate) fn note_dropped_verb(&self) {
+        self.dropped_verbs.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -134,6 +143,7 @@ impl DmCluster {
                 config,
                 fault_hook: FaultSlot::default(),
                 fault_injections: AtomicU64::new(0),
+                dropped_verbs: AtomicU64::new(0),
             }),
         }
     }
@@ -192,6 +202,29 @@ impl DmCluster {
     /// Sum of messages processed by all MN NICs.
     pub fn total_mn_msgs(&self) -> u64 {
         self.inner.mns.iter().map(|m| m.nic().total_msgs()).sum()
+    }
+
+    /// Snapshot of the whole cluster's server-side load accounting: one
+    /// [`MnStats`] per node plus the dropped-verb counter. Monotone for
+    /// the cluster's lifetime (deliberately *not* cleared by
+    /// [`DmCluster::reset_network`]); window with [`ClusterStats::since`]
+    /// and verify against the summed client view with
+    /// [`ClusterStats::check_conservation`].
+    pub fn cluster_stats(&self) -> ClusterStats {
+        ClusterStats {
+            mns: self.inner.mns.iter().map(MemoryNode::mn_stats).collect(),
+            dropped_verbs: self.inner.dropped_verbs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One node's server-side accounting snapshot, allocation-free (for
+    /// time-series samplers on the hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::UnknownMemoryNode`] for an out-of-range id.
+    pub fn mn_stats(&self, mn_id: u16) -> Result<MnStats, DmError> {
+        self.mn(mn_id).map(MemoryNode::mn_stats)
     }
 
     /// Resets every NIC's queue state and counters (between benchmark
@@ -290,6 +323,203 @@ mod tests {
         c.set_fault_hook(None);
         let _ = cl.read(p, 8).unwrap();
         assert_eq!(c.fault_injections(), 5);
+    }
+
+    #[test]
+    fn mn_accounting_conserves_simple_ops() {
+        use crate::client::{DoorbellBatch, Verb};
+
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 2,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        });
+        let base = c.cluster_stats();
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 64).unwrap();
+        let b = cl.alloc(1, 64).unwrap();
+        cl.write(a, &[7u8; 32]).unwrap();
+        cl.write_u64(b, 5).unwrap();
+        cl.cas(b, 5, 6).unwrap();
+        cl.faa(b, 1).unwrap();
+        cl.read(a, 32).unwrap();
+        let dead = cl.alloc(0, 64).unwrap();
+        let mut batch = DoorbellBatch::new();
+        batch.push(Verb::Free { ptr: dead });
+        batch.push(Verb::Read { ptr: a, len: 8 });
+        cl.execute(batch).unwrap();
+
+        let delta = c.cluster_stats().since(&base);
+        delta.check_conservation(&cl.stats()).unwrap();
+        assert_eq!(delta.dropped_verbs, 0);
+        // The per-MN split is also exact: MN 0 saw the writes/reads to
+        // `a`, MN 1 the atomics on `b`.
+        assert_eq!(delta.mns[0].writes, 1);
+        assert_eq!(delta.mns[0].reads, 2);
+        assert_eq!(delta.mns[0].frees, 1);
+        assert_eq!((delta.mns[1].cas, delta.mns[1].faa), (1, 1));
+        assert!(delta.mns[0].service_ns > 0);
+    }
+
+    #[test]
+    fn mn_accounting_conserves_fused_flush_and_doorbells() {
+        use crate::client::{DoorbellBatch, Verb};
+
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 2,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        });
+        let base = c.cluster_stats();
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 8).unwrap();
+        let b = cl.alloc(0, 8).unwrap();
+        let d = cl.alloc(1, 8).unwrap();
+        cl.write_u64(a, 1).unwrap();
+        cl.write_u64(b, 2).unwrap();
+        cl.write_u64(d, 3).unwrap();
+        // Three independent single-verb batches fused into one flush:
+        // logically three round trips, physically two doorbells (MN 0
+        // shared), and the server side must agree doorbell for doorbell.
+        let s0 = cl.stats();
+        let mid = c.cluster_stats();
+        cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: a, len: 8 }]));
+        cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: b, len: 8 }]));
+        cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: d, len: 8 }]));
+        cl.flush_submitted();
+        let fused = c.cluster_stats().since(&mid);
+        let fused_client = cl.stats().since(&s0);
+        assert_eq!(fused_client.doorbells, 2);
+        assert_eq!(fused.total_doorbells(), 2);
+        assert_eq!(fused.mns[0].doorbells, 1, "MN 0 shared one doorbell");
+        fused.check_conservation(&fused_client).unwrap();
+        c.cluster_stats()
+            .since(&base)
+            .check_conservation(&cl.stats())
+            .unwrap();
+    }
+
+    #[test]
+    fn dropped_verbs_keep_totals_balanced() {
+        use crate::addr::RemotePtr;
+        use crate::client::{DoorbellBatch, Verb};
+
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 2,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        });
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 8).unwrap();
+        cl.write_u64(a, 9).unwrap();
+        let ghost = RemotePtr::new(7, 0);
+
+        // Blocking path: the whole batch is rejected before any NIC is
+        // charged; the valid verb still counted on both sides, the ghost
+        // one dropped.
+        let mut batch = DoorbellBatch::new();
+        batch.push(Verb::Read { ptr: a, len: 8 });
+        batch.push(Verb::Read { ptr: ghost, len: 8 });
+        assert!(matches!(
+            cl.execute(batch),
+            Err(DmError::UnknownMemoryNode { mn_id: 7 })
+        ));
+        let snap = c.cluster_stats();
+        assert_eq!(snap.dropped_verbs, 1);
+        assert_eq!(snap.total_doorbells(), cl.stats().doorbells);
+        snap.check_conservation(&cl.stats()).unwrap();
+
+        // Fused path: the invalid batch is rejected, its fused neighbour
+        // completes, and the ledger still balances.
+        cl.submit(DoorbellBatch::from_iter([Verb::Read { ptr: a, len: 8 }]));
+        let bad = cl.submit(DoorbellBatch::from_iter([Verb::Read {
+            ptr: ghost,
+            len: 8,
+        }]));
+        cl.flush_submitted();
+        assert!(matches!(
+            cl.poll(bad).unwrap(),
+            Err(DmError::UnknownMemoryNode { mn_id: 7 })
+        ));
+        let snap = c.cluster_stats();
+        assert_eq!(snap.dropped_verbs, 2);
+        snap.check_conservation(&cl.stats()).unwrap();
+    }
+
+    #[test]
+    fn mid_batch_error_conserves_bytes() {
+        use crate::client::{DoorbellBatch, Verb};
+
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 1,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        });
+        let mut cl = c.client(0);
+        let a = cl.alloc(0, 8).unwrap();
+        let dead = cl.alloc(0, 8).unwrap();
+        cl.free(dead).unwrap();
+        // Write applies, the double free fails, the trailing read is never
+        // applied — bytes must match on both sides of the ledger anyway.
+        let mut batch = DoorbellBatch::new();
+        batch.push(Verb::Write {
+            ptr: a,
+            data: vec![1u8; 8],
+        });
+        batch.push(Verb::Free { ptr: dead });
+        batch.push(Verb::Read { ptr: a, len: 8 });
+        assert!(cl.execute(batch).is_err());
+        let snap = c.cluster_stats();
+        assert_eq!(snap.mns[0].bytes_written, 8);
+        assert_eq!(snap.mns[0].bytes_read, 0);
+        snap.check_conservation(&cl.stats()).unwrap();
+    }
+
+    #[test]
+    fn heat_sketch_localizes_touches() {
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 1,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        });
+        let mut cl = c.client(0);
+        // All traffic lands at the very bottom of the pool: every touch
+        // must fall in region 0.
+        let p = cl.alloc(0, 64).unwrap();
+        for _ in 0..10 {
+            cl.read(p, 64).unwrap();
+        }
+        cl.write(p, &[3u8; 64]).unwrap();
+        let mn = c.cluster_stats().mns[0];
+        assert_eq!(mn.heat_reads[0], 10);
+        assert_eq!(mn.heat_writes[0], 1);
+        assert_eq!(mn.heat_reads.iter().sum::<u64>(), 10);
+        assert_eq!(mn.heat_writes.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn mn_accounting_survives_network_reset() {
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 1,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        });
+        let mut cl = c.client(0);
+        let p = cl.alloc(0, 8).unwrap();
+        cl.read(p, 8).unwrap();
+        let before = c.cluster_stats();
+        c.reset_network();
+        assert_eq!(
+            c.cluster_stats(),
+            before,
+            "reset_network must not clear server-side accounting"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::addr::RemotePtr;
 use crate::alloc::{AllocStats, SegregatedAllocator};
 use crate::error::DmError;
+use crate::mn_stats::{MnAccounting, MnStats};
 use crate::net::{NetConfig, Nic};
 
 use parking_lot::Mutex;
@@ -28,6 +29,7 @@ pub struct MemoryNode {
     words: Box<[AtomicU64]>,
     nic: Nic,
     allocator: Mutex<SegregatedAllocator>,
+    accounting: MnAccounting,
 }
 
 impl MemoryNode {
@@ -37,11 +39,14 @@ impl MemoryNode {
         let words = capacity.div_ceil(8);
         let mut v = Vec::with_capacity(words);
         v.resize_with(words, || AtomicU64::new(0));
+        let words = v.into_boxed_slice();
+        let accounting = MnAccounting::new((words.len() * 8) as u64);
         MemoryNode {
             id,
-            words: v.into_boxed_slice(),
+            words,
             nic: Nic::new(net.clone()),
             allocator: Mutex::new(SegregatedAllocator::new(capacity as u64)),
+            accounting,
         }
     }
 
@@ -58,6 +63,19 @@ impl MemoryNode {
     /// The NIC model attached to this node.
     pub fn nic(&self) -> &Nic {
         &self.nic
+    }
+
+    /// The server-side accounting cell (updated from the client choke
+    /// points in `DmClient`).
+    pub(crate) fn accounting(&self) -> &MnAccounting {
+        &self.accounting
+    }
+
+    /// Snapshot of this node's server-side load accounting. Monotone for
+    /// the cluster's lifetime (not reset between benchmark phases); window
+    /// with [`MnStats::since`].
+    pub fn mn_stats(&self) -> MnStats {
+        self.accounting.snapshot(self.id)
     }
 
     /// Snapshot of allocation statistics (used for the paper's Fig. 6

@@ -88,6 +88,19 @@ impl NetConfig {
     }
 }
 
+/// The cost split of one submitted batch: when the NIC finishes it, how
+/// long it queued behind the existing backlog, and its own service time.
+/// `fin_ns == arrival + wait_ns + service_ns` by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicCharge {
+    /// Virtual time the NIC finishes serving the batch (excluding RTT).
+    pub fin_ns: u64,
+    /// Time the batch waited behind the outstanding backlog.
+    pub wait_ns: u64,
+    /// The batch's own service time.
+    pub service_ns: u64,
+}
+
 /// The fluid-queue state: outstanding service and its reference time.
 #[derive(Debug, Default)]
 struct Backlog {
@@ -123,6 +136,12 @@ impl Nic {
     /// messages and `bytes` payload bytes. Returns the virtual time at which
     /// the NIC finishes serving the batch (excluding propagation RTT).
     pub fn submit(&self, now_ns: u64, msgs: u64, bytes: u64) -> u64 {
+        self.submit_charged(now_ns, msgs, bytes).fin_ns
+    }
+
+    /// Like [`Nic::submit`], but also returns the queue/service split of
+    /// the charge — the raw material of per-MN load accounting.
+    pub fn submit_charged(&self, now_ns: u64, msgs: u64, bytes: u64) -> NicCharge {
         let service = self.config.service_ns(msgs, bytes);
         self.msgs.fetch_add(msgs, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -136,7 +155,11 @@ impl Nic {
         }
         let wait = b.outstanding_ns;
         b.outstanding_ns += service;
-        now_ns + wait + service
+        NicCharge {
+            fin_ns: now_ns + wait + service,
+            wait_ns: wait,
+            service_ns: service,
+        }
     }
 
     /// Total messages ever submitted.
@@ -217,6 +240,17 @@ mod tests {
         nic.submit(0, 1, 8);
         let f = nic.submit(1_000_000, 1, 8);
         assert_eq!(f, 1_000_000 + s);
+    }
+
+    #[test]
+    fn submit_charged_splits_wait_and_service() {
+        let nic = Nic::new(NetConfig::default());
+        let s = NetConfig::default().service_ns(1, 8);
+        let a = nic.submit_charged(0, 1, 8);
+        assert_eq!((a.wait_ns, a.service_ns, a.fin_ns), (0, s, s));
+        let b = nic.submit_charged(0, 1, 8); // queues behind the first
+        assert_eq!((b.wait_ns, b.service_ns, b.fin_ns), (s, s, 2 * s));
+        assert_eq!(b.fin_ns, b.wait_ns + b.service_ns);
     }
 
     #[test]

@@ -155,6 +155,20 @@ impl ClientStats {
         self.bytes_read + self.bytes_written
     }
 
+    /// Adds another client's counters into this one (summing a worker
+    /// fleet's views for a cluster-wide conservation check).
+    pub fn merge(&mut self, other: &ClientStats) {
+        self.round_trips += other.round_trips;
+        self.doorbells += other.doorbells;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.cas += other.cas;
+        self.faa += other.faa;
+        self.frees += other.frees;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+
     /// Difference between two snapshots (`self` after, `earlier` before).
     pub fn since(&self, earlier: &ClientStats) -> ClientStats {
         ClientStats {

@@ -155,6 +155,15 @@ impl PipelineStats {
         agg.bytes += batch.wire_bytes();
     }
 
+    /// Fused submissions per million completed ops — the integer gauge
+    /// form of the fusion rate, for samplers and machine-readable bench
+    /// summaries (deterministic, no float rounding).
+    pub fn fusion_ppm(&self) -> u64 {
+        (self.fused_batches * 1_000_000)
+            .checked_div(self.ops)
+            .unwrap_or(0)
+    }
+
     /// Merges another run's counters into this accumulator.
     pub fn merge(&mut self, other: &PipelineStats) {
         self.ops += other.ops;

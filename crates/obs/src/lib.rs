@@ -25,6 +25,13 @@
 //!   segments that sum *exactly* to the end-to-end latency, and
 //!   [`export_chrome`] renders retained traces as Perfetto-viewable
 //!   Chrome trace-event JSON (schema [`TRACE_SCHEMA`]).
+//! * **Cluster metrics plane** — the server-side view. [`Sampler`] rings
+//!   capture per-MN gauges at op-boundary intervals on the virtual clock,
+//!   [`evaluate_health`] runs anomaly detectors (MN load imbalance, retry
+//!   storms, SFC FP-rate regression, reclaim stalls) over a window's
+//!   [`ClusterStats`](dm_sim::ClusterStats), and [`MetricsReport`] exports
+//!   everything — including the client-vs-server conservation ledger — as
+//!   byte-stable [`METRICS_SCHEMA`] JSON plus a sparkline text dashboard.
 //!
 //! ## Cost model
 //!
@@ -40,18 +47,24 @@
 #![warn(missing_docs)]
 
 mod flight;
+mod health;
 pub mod json;
+mod metrics;
 mod recorder;
 mod registry;
+mod sampler;
 mod span;
 pub mod trace;
 
 pub use flight::{FlightRecorder, DEFAULT_CAPACITY};
+pub use health::{evaluate_health, HealthConfig, HealthFinding, HealthReport};
+pub use metrics::{sparkline, MetricsReport, METRICS_SCHEMA};
 pub use recorder::Recorder;
 pub use registry::{
     OpAgg, PipelineAgg, PipelineTagAgg, Registry, PIPELINE_DEPTH_BUCKETS, PIPELINE_DEPTH_LABELS,
     SCHEMA,
 };
+pub use sampler::Sampler;
 pub use span::{OpKind, OpRecord, Phase, PhaseAgg, NUM_OP_KINDS, NUM_PHASES};
 pub use trace::{
     critical_path, export_chrome, CriticalPath, OpEvent, OpTrace, TraceId, Tracer, DEFAULT_TAIL_K,

@@ -1,0 +1,325 @@
+//! The cluster metrics plane's export surface: `sphinx.metrics.v1`.
+//!
+//! A [`MetricsReport`] bundles one measured window's server-side
+//! [`ClusterStats`](dm_sim::ClusterStats), the matching summed client-side
+//! [`ClientStats`](dm_sim::ClientStats) (so the conservation identity is
+//! checkable by any consumer, not just this process), the optional
+//! time-series [`Sampler`] ring, and the [`HealthReport`]. It exports as
+//! deterministic, byte-stable JSON ([`MetricsReport::to_json`], schema
+//! [`METRICS_SCHEMA`]) — integers only, fixed key order, no floats — and
+//! renders as a per-MN table plus a sparkline dashboard
+//! ([`MetricsReport::render_text`]).
+
+use dm_sim::{ClientStats, ClusterStats, MnStats};
+
+use crate::health::HealthReport;
+use crate::json::JsonWriter;
+use crate::sampler::Sampler;
+
+/// Schema identifier stamped into every metrics export; bump on breaking
+/// changes so downstream consumers fail loudly.
+pub const METRICS_SCHEMA: &str = "sphinx.metrics.v1";
+
+/// One measured window's cluster metrics: per-MN accounting, the client
+/// side of the ledger, optional time series, and the health verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Server-side per-MN accounting over the window.
+    pub cluster: ClusterStats,
+    /// Every participating client's [`ClientStats`] delta over the same
+    /// window, summed — the other side of the conservation ledger.
+    pub client_sum: ClientStats,
+    /// The window's virtual-time span (max worker clock), ns.
+    pub window_ns: u64,
+    /// Time-series samples, when the harness drove a sampler.
+    pub samples: Option<Sampler>,
+    /// The health monitor's findings and verdict.
+    pub health: HealthReport,
+}
+
+impl MetricsReport {
+    /// Verifies the conservation identity embedded in the report: per-MN
+    /// server-side totals vs the summed client-side view.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated identity.
+    pub fn conservation(&self) -> Result<(), String> {
+        self.cluster.check_conservation(&self.client_sum)
+    }
+
+    /// Serializes as deterministic `sphinx.metrics.v1` JSON. Every value
+    /// is an integer and maps use fixed key order, so same-seed runs
+    /// export byte-identical documents.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.str_field("schema", METRICS_SCHEMA);
+        w.u64_field("window_ns", self.window_ns);
+        w.u64_field("dropped_verbs", self.cluster.dropped_verbs);
+
+        w.key("mns");
+        w.begin_arr();
+        for mn in &self.cluster.mns {
+            write_mn(&mut w, mn, self.window_ns);
+        }
+        w.end_arr();
+
+        w.key("clients");
+        w.begin_obj();
+        w.u64_field("round_trips", self.client_sum.round_trips);
+        w.u64_field("doorbells", self.client_sum.doorbells);
+        w.u64_field("reads", self.client_sum.reads);
+        w.u64_field("writes", self.client_sum.writes);
+        w.u64_field("cas", self.client_sum.cas);
+        w.u64_field("faa", self.client_sum.faa);
+        w.u64_field("frees", self.client_sum.frees);
+        w.u64_field("bytes_read", self.client_sum.bytes_read);
+        w.u64_field("bytes_written", self.client_sum.bytes_written);
+        w.end_obj();
+
+        w.u64_field("conserved", u64::from(self.conservation().is_ok()));
+
+        if let Some(samples) = &self.samples {
+            w.key("samples");
+            w.begin_obj();
+            w.u64_field("interval_ns", samples.interval_ns());
+            w.u64_field("dropped", samples.dropped());
+            w.key("columns");
+            w.begin_arr();
+            for col in samples.columns() {
+                w.str_val(col);
+            }
+            w.end_arr();
+            w.key("rows");
+            w.begin_arr();
+            for (t, row) in samples.iter() {
+                w.begin_arr();
+                w.u64_val(t);
+                for &v in row {
+                    w.u64_val(v);
+                }
+                w.end_arr();
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+
+        w.key("health");
+        w.begin_obj();
+        w.str_field("verdict", self.health.verdict());
+        w.u64_field("checks", self.health.checks);
+        w.key("findings");
+        w.begin_arr();
+        for f in &self.health.findings {
+            w.begin_obj();
+            w.str_field("detector", f.detector);
+            w.str_field("message", &f.message);
+            w.u64_field("value", f.value);
+            w.u64_field("threshold", f.threshold);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Renders the metrics dashboard: a per-MN load table with heat
+    /// sparklines, the sampled time series as one sparkline per column,
+    /// and the health verdict.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cluster metrics (window {} us, {} dropped verbs, conservation {}):",
+            self.window_ns / 1000,
+            self.cluster.dropped_verbs,
+            match self.conservation() {
+                Ok(()) => "exact".to_string(),
+                Err(e) => format!("VIOLATED: {e}"),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  {:<3} {:>10} {:>10} {:>12} {:>9} {:>6} {:>9}  heat r/w",
+            "mn", "verbs", "doorbells", "bytes", "queue/db", "busy%", "reads"
+        );
+        for mn in &self.cluster.mns {
+            let _ = writeln!(
+                out,
+                "  {:<3} {:>10} {:>10} {:>12} {:>9} {:>5.1}% {:>9}  {} {}",
+                mn.mn_id,
+                mn.verbs(),
+                mn.doorbells,
+                mn.bytes_total(),
+                mn.mean_queue_ns(),
+                mn.busy_ppm(self.window_ns) as f64 / 10_000.0,
+                mn.reads,
+                sparkline(&mn.heat_reads),
+                sparkline(&mn.heat_writes),
+            );
+        }
+        if let Some(samples) = &self.samples {
+            let _ = writeln!(
+                out,
+                "samples: {} rows @ {} us interval ({} dropped)",
+                samples.len(),
+                samples.interval_ns() / 1000,
+                samples.dropped()
+            );
+            for (i, col) in samples.columns().iter().enumerate() {
+                let vals = samples.column_values(i);
+                let (min, max) = (
+                    vals.iter().copied().min().unwrap_or(0),
+                    vals.iter().copied().max().unwrap_or(0),
+                );
+                let _ = writeln!(out, "  {:<24} {} [{}..{}]", col, sparkline(&vals), min, max);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "health: {} ({} checks, {} findings)",
+            self.health.verdict(),
+            self.health.checks,
+            self.health.findings.len()
+        );
+        for f in &self.health.findings {
+            let _ = writeln!(out, "  [{}] {}", f.detector, f.message);
+        }
+        out
+    }
+}
+
+fn write_mn(w: &mut JsonWriter, mn: &MnStats, window_ns: u64) {
+    w.begin_obj();
+    w.u64_field("id", mn.mn_id as u64);
+    w.u64_field("verbs", mn.verbs());
+    w.u64_field("reads", mn.reads);
+    w.u64_field("writes", mn.writes);
+    w.u64_field("cas", mn.cas);
+    w.u64_field("faa", mn.faa);
+    w.u64_field("frees", mn.frees);
+    w.u64_field("bytes_read", mn.bytes_read);
+    w.u64_field("bytes_written", mn.bytes_written);
+    w.u64_field("doorbells", mn.doorbells);
+    w.u64_field("service_ns", mn.service_ns);
+    w.u64_field("queue_ns", mn.queue_ns);
+    w.u64_field("busy_ppm", mn.busy_ppm(window_ns));
+    w.key("heat_reads");
+    w.begin_arr();
+    for &h in &mn.heat_reads {
+        w.u64_val(h);
+    }
+    w.end_arr();
+    w.key("heat_writes");
+    w.begin_arr();
+    for &h in &mn.heat_writes {
+        w.u64_val(h);
+    }
+    w.end_arr();
+    w.end_obj();
+}
+
+/// Renders a slice of values as a unicode sparkline (8 levels, max-
+/// normalized; an all-zero or empty slice renders as baseline blocks).
+pub fn sparkline(values: &[u64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                LEVELS[0]
+            } else {
+                LEVELS[((v as u128 * (LEVELS.len() - 1) as u128).div_ceil(max as u128)) as usize]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_sim::{ClusterConfig, DmCluster};
+
+    fn sample_report() -> MetricsReport {
+        let c = DmCluster::new(ClusterConfig {
+            num_mns: 2,
+            num_cns: 1,
+            mn_capacity: 1 << 20,
+            ..Default::default()
+        });
+        let mut cl = c.client(0);
+        let p = cl.alloc(0, 64).unwrap();
+        cl.write(p, &[1u8; 64]).unwrap();
+        for _ in 0..5 {
+            cl.read(p, 64).unwrap();
+        }
+        let mut samples = Sampler::new(vec!["verbs".to_string()], 8, 0);
+        samples.record(0, &[1]);
+        samples.record(10, &[3]);
+        MetricsReport {
+            cluster: c.cluster_stats(),
+            client_sum: cl.stats(),
+            window_ns: cl.clock_ns(),
+            samples: Some(samples),
+            health: HealthReport::default(),
+        }
+    }
+
+    #[test]
+    fn json_is_schema_stamped_parseable_and_deterministic() {
+        let r = sample_report();
+        let json = r.to_json();
+        assert_eq!(json, r.to_json(), "same report, same bytes");
+        let parsed = crate::json::parse(&json).expect("valid json");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some(METRICS_SCHEMA)
+        );
+        assert_eq!(parsed.get("conserved").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            parsed.get("mns").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(2)
+        );
+        let rows = parsed
+            .get("samples")
+            .and_then(|s| s.get("rows"))
+            .and_then(|v| v.as_arr())
+            .expect("rows");
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn conservation_violation_is_reported_not_fatal() {
+        let mut r = sample_report();
+        r.client_sum.reads += 1;
+        assert!(r.conservation().is_err());
+        let json = r.to_json();
+        let parsed = crate::json::parse(&json).expect("valid json");
+        assert_eq!(parsed.get("conserved").and_then(|v| v.as_u64()), Some(0));
+        assert!(r.render_text().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn text_dashboard_has_table_and_sparklines() {
+        let text = sample_report().render_text();
+        assert!(text.contains("cluster metrics"));
+        assert!(text.contains("health: healthy"));
+        assert!(text.contains('█'), "heat sparkline present: {text}");
+        assert!(text.contains("verbs"));
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let s = sparkline(&[0, 1, 10]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        assert!(s.starts_with('▁'));
+    }
+}

@@ -1,0 +1,250 @@
+//! Fixed-capacity time-series sampling on the virtual clock.
+//!
+//! A [`Sampler`] is a flat ring buffer of `(timestamp, row)` samples with a
+//! column schema fixed at construction. The harness drives it at
+//! op-boundary intervals: [`Sampler::due`] is one comparison, and
+//! [`Sampler::record`] copies the caller's row into preallocated storage —
+//! the steady state issues **zero verbs and zero allocations**, so
+//! sampling cannot perturb measured virtual time. When the ring is full
+//! the oldest sample is overwritten and counted in
+//! [`Sampler::dropped`] — a run is never capped by its own telemetry.
+
+/// A fixed-capacity, fixed-schema ring buffer of `u64` sample rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sampler {
+    columns: Vec<String>,
+    interval_ns: u64,
+    next_due_ns: u64,
+    capacity: usize,
+    times: Vec<u64>,
+    values: Vec<u64>,
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl Sampler {
+    /// Creates a sampler with the given column schema, ring capacity (in
+    /// rows), and sampling interval on the virtual clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or `capacity` is zero.
+    pub fn new(columns: Vec<String>, capacity: usize, interval_ns: u64) -> Self {
+        assert!(!columns.is_empty(), "sampler needs at least one column");
+        assert!(capacity > 0, "sampler needs a nonzero capacity");
+        let width = columns.len();
+        Sampler {
+            columns,
+            interval_ns,
+            next_due_ns: 0,
+            capacity,
+            times: vec![0; capacity],
+            values: vec![0; capacity * width],
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The column names, in row order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Row width (number of columns).
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The configured sampling interval, ns of virtual time.
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    /// Ring capacity in rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained rows (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rows lost to ring wrap-around (or evicted during a merge).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the next sample is due at virtual time `now_ns`. One
+    /// comparison — cheap enough for every op boundary.
+    pub fn due(&self, now_ns: u64) -> bool {
+        now_ns >= self.next_due_ns
+    }
+
+    /// Records one row at virtual time `now_ns` and re-arms the interval.
+    /// Overwrites (and counts) the oldest row when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not match the column schema's width.
+    pub fn record(&mut self, now_ns: u64, row: &[u64]) {
+        let w = self.width();
+        assert_eq!(row.len(), w, "row width must match the column schema");
+        if self.len == self.capacity {
+            self.dropped += 1;
+        } else {
+            self.len += 1;
+        }
+        self.times[self.head] = now_ns;
+        self.values[self.head * w..self.head * w + w].copy_from_slice(row);
+        self.head = (self.head + 1) % self.capacity;
+        self.next_due_ns = now_ns.saturating_add(self.interval_ns);
+    }
+
+    /// Iterates the retained samples oldest-first as `(time_ns, row)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u64])> + '_ {
+        let w = self.width();
+        let start = (self.head + self.capacity - self.len) % self.capacity;
+        (0..self.len).map(move |i| {
+            let idx = (start + i) % self.capacity;
+            (self.times[idx], &self.values[idx * w..idx * w + w])
+        })
+    }
+
+    /// One column's retained values oldest-first (for sparklines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column_values(&self, col: usize) -> Vec<u64> {
+        assert!(col < self.width(), "column {col} out of range");
+        self.iter().map(|(_, row)| row[col]).collect()
+    }
+
+    /// Merges another sampler's rows into this one (e.g. per-worker rings
+    /// into a run-wide view): rows are interleaved in timestamp order
+    /// (stable — ties keep `self`'s rows first), the newest `capacity`
+    /// rows are retained, and everything evicted is counted as dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column schemas differ.
+    pub fn merge(&mut self, other: &Sampler) {
+        assert_eq!(
+            self.columns, other.columns,
+            "cannot merge samplers with different schemas"
+        );
+        let mut rows: Vec<(u64, Vec<u64>)> = self
+            .iter()
+            .chain(other.iter())
+            .map(|(t, r)| (t, r.to_vec()))
+            .collect();
+        rows.sort_by_key(|&(t, _)| t);
+        let evicted = rows.len().saturating_sub(self.capacity);
+        self.dropped += other.dropped + evicted as u64;
+        let w = self.width();
+        self.head = 0;
+        self.len = 0;
+        for (t, row) in rows.into_iter().skip(evicted) {
+            self.times[self.head] = t;
+            self.values[self.head * w..self.head * w + w].copy_from_slice(&row);
+            self.head = (self.head + 1) % self.capacity;
+            self.len += 1;
+        }
+        self.next_due_ns = self.next_due_ns.max(other.next_due_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn due_record_rearm() {
+        let mut s = Sampler::new(cols(&["a"]), 4, 100);
+        assert!(s.due(0), "first sample is due immediately");
+        s.record(0, &[1]);
+        assert!(!s.due(50));
+        assert!(s.due(100));
+        s.record(130, &[2]);
+        assert!(!s.due(200));
+        assert!(s.due(230));
+        assert_eq!(s.len(), 2);
+        let rows: Vec<_> = s.iter().map(|(t, r)| (t, r[0])).collect();
+        assert_eq!(rows, vec![(0, 1), (130, 2)]);
+    }
+
+    #[test]
+    fn wrap_overwrites_oldest_and_counts_dropped() {
+        let mut s = Sampler::new(cols(&["a", "b"]), 3, 0);
+        for i in 0..5u64 {
+            s.record(i * 10, &[i, i * 2]);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let rows: Vec<_> = s.iter().map(|(t, r)| (t, r[0], r[1])).collect();
+        assert_eq!(rows, vec![(20, 2, 4), (30, 3, 6), (40, 4, 8)]);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time_and_keeps_newest() {
+        let mut a = Sampler::new(cols(&["x"]), 4, 0);
+        let mut b = Sampler::new(cols(&["x"]), 4, 0);
+        a.record(10, &[1]);
+        a.record(30, &[3]);
+        b.record(20, &[2]);
+        b.record(40, &[4]);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.dropped(), 0);
+        let times: Vec<_> = a.iter().map(|(t, _)| t).collect();
+        assert_eq!(times, vec![10, 20, 30, 40]);
+
+        // Overflowing merge evicts the oldest rows and counts them.
+        let mut c = Sampler::new(cols(&["x"]), 4, 0);
+        c.record(5, &[0]);
+        c.record(50, &[5]);
+        a.merge(&c);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.dropped(), 2);
+        let times: Vec<_> = a.iter().map(|(t, _)| t).collect();
+        assert_eq!(times, vec![20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn merge_is_deterministic_on_ties() {
+        let mut a = Sampler::new(cols(&["x"]), 8, 0);
+        let mut b = Sampler::new(cols(&["x"]), 8, 0);
+        a.record(10, &[1]);
+        b.record(10, &[2]);
+        a.merge(&b);
+        let vals: Vec<_> = a.iter().map(|(_, r)| r[0]).collect();
+        assert_eq!(vals, vec![1, 2], "stable sort keeps self's rows first");
+    }
+
+    #[test]
+    fn column_values_extracts_in_order() {
+        let mut s = Sampler::new(cols(&["a", "b"]), 4, 0);
+        s.record(0, &[1, 10]);
+        s.record(1, &[2, 20]);
+        assert_eq!(s.column_values(1), vec![10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_rejected() {
+        let mut s = Sampler::new(cols(&["a", "b"]), 2, 0);
+        s.record(0, &[1]);
+    }
+}
